@@ -1,0 +1,65 @@
+package ssbyz
+
+import (
+	"ssbyz/internal/byzantine"
+	"ssbyz/internal/protocol"
+)
+
+// Adversary constructors. Each returns a protocol.Node scripting one of
+// the attack strategies the paper's proofs defend against; attach them
+// with Simulation.WithFaulty. Faulty nodes cannot forge sender identities
+// (the transport authenticates senders, matching the paper's model).
+
+// Crashed returns a forever-silent node (crash fault).
+func Crashed() Adversary { return &byzantine.Silent{} }
+
+// EquivocatingGeneral returns a faulty General that disseminates the given
+// values round-robin across the nodes at local time at — the canonical
+// attack on the Uniqueness property IA-4.
+func EquivocatingGeneral(at Ticks, values ...Value) Adversary {
+	return &byzantine.Equivocator{Values: values, At: at}
+}
+
+// PartialGeneral returns a faulty General that sends its initiation only
+// to the invitee subset at local time at, leaving the rest of the network
+// to discover the agreement — or not — through the primitive itself.
+func PartialGeneral(at Ticks, v Value, invitees ...NodeID) Adversary {
+	return &byzantine.PartialGeneral{Invitees: invitees, Value: v, At: at}
+}
+
+// Colluder returns a faulty node that amplifies every wave it observes
+// for General g, ignoring the exclusivity and rate-limit rules.
+func Colluder() Adversary { return &byzantine.Yeasayer{} }
+
+// LateColluder returns a faulty node that contributes to General g's waves
+// as late as the message windows allow, stretching every stage.
+func LateColluder(g NodeID, holdLocal Ticks) Adversary {
+	return &byzantine.LateSupporter{G: g, HoldLocal: holdLocal}
+}
+
+// Spammer returns a faulty node that floods the network with syntactically
+// valid garbage — the memory-bound and unforgeability attack.
+func Spammer() Adversary { return &byzantine.Spammer{} }
+
+// Replayer returns a faulty node that captures all traffic and re-emits it
+// after delay — the replay attack on the decay and separation machinery.
+func Replayer(delay Ticks) Adversary { return &byzantine.Replayer{Delay: delay} }
+
+// EchoForger returns a faulty node that fabricates broadcast-layer echo
+// messages for a broadcast by forgedP that never happened (TPS-2 attack).
+func EchoForger(g, forgedP NodeID, v Value, k int, at Ticks) Adversary {
+	return &byzantine.EchoForger{G: g, ForgedP: forgedP, ForgedV: v, K: k, At: at}
+}
+
+var _ = []Adversary{
+	(*byzantine.Silent)(nil),
+	(*byzantine.Equivocator)(nil),
+	(*byzantine.PartialGeneral)(nil),
+	(*byzantine.Yeasayer)(nil),
+	(*byzantine.LateSupporter)(nil),
+	(*byzantine.Spammer)(nil),
+	(*byzantine.Replayer)(nil),
+	(*byzantine.EchoForger)(nil),
+}
+
+var _ protocol.Node = Adversary(nil)

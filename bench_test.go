@@ -1,0 +1,111 @@
+package ssbyz_test
+
+import (
+	"io"
+	"testing"
+
+	"ssbyz"
+	"ssbyz/internal/harness"
+)
+
+// One benchmark per experiment of DESIGN.md §4. Each iteration runs the
+// experiment's full quick-mode sweep (the same code path that regenerates
+// the EXPERIMENTS.md rows) and fails the benchmark on any property
+// violation, so `go test -bench .` doubles as the reproduction gate.
+// cmd/ssbyz-bench runs the same experiments at full scale.
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	var ex *harness.Experiment
+	for _, e := range harness.All() {
+		if e.ID == id {
+			e := e
+			ex = &e
+			break
+		}
+	}
+	if ex == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := ex.Run(harness.Options{Quick: true})
+		if res.Violations != 0 {
+			b.Fatalf("%s: %d property violations", id, res.Violations)
+		}
+	}
+}
+
+func BenchmarkE1ValidityLatency(b *testing.B)      { benchExperiment(b, "E1") }
+func BenchmarkE2AgreementSkew(b *testing.B)        { benchExperiment(b, "E2") }
+func BenchmarkE3TerminationBound(b *testing.B)     { benchExperiment(b, "E3") }
+func BenchmarkE4EarlyStopping(b *testing.B)        { benchExperiment(b, "E4") }
+func BenchmarkE5MessageDrivenSpeedup(b *testing.B) { benchExperiment(b, "E5") }
+func BenchmarkE6Convergence(b *testing.B)          { benchExperiment(b, "E6") }
+func BenchmarkE7FaultyGeneralAgreement(b *testing.B) {
+	benchExperiment(b, "E7")
+}
+func BenchmarkE8InitiatorAccept(b *testing.B)    { benchExperiment(b, "E8") }
+func BenchmarkE9MsgdBroadcast(b *testing.B)      { benchExperiment(b, "E9") }
+func BenchmarkE10MessageComplexity(b *testing.B) { benchExperiment(b, "E10") }
+func BenchmarkF1LatencyVsN(b *testing.B)         { benchExperiment(b, "F1") }
+func BenchmarkF2LatencyVsDelta(b *testing.B)     { benchExperiment(b, "F2") }
+func BenchmarkF3RecoveryTimeline(b *testing.B)   { benchExperiment(b, "F3") }
+func BenchmarkF4PulseSkew(b *testing.B)          { benchExperiment(b, "F4") }
+
+// BenchmarkSingleAgreement measures the simulator's cost of one complete
+// fault-free agreement (7 nodes, ~350 messages) — the unit of work every
+// experiment above multiplies.
+func BenchmarkSingleAgreement(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := ssbyz.NewSimulation(ssbyz.Config{N: 7, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.ScheduleAgreement(0, "bench", 2*s.Params().D)
+		report, err := s.Run(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !report.Unanimous(0, "bench") {
+			b.Fatal("agreement failed")
+		}
+	}
+}
+
+// BenchmarkSingleAgreementN25 is the same unit at n=25 (f=8).
+func BenchmarkSingleAgreementN25(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := ssbyz.NewSimulation(ssbyz.Config{N: 25, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.ScheduleAgreement(0, "bench", 2*s.Params().D)
+		report, err := s.Run(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !report.Unanimous(0, "bench") {
+			b.Fatal("agreement failed")
+		}
+	}
+}
+
+// BenchmarkExperimentReport measures rendering the full quick-mode suite
+// report (the cmd/ssbyz-bench hot path), violations included.
+func BenchmarkExperimentReport(b *testing.B) {
+	if testing.Short() {
+		b.Skip("suite run is seconds-long")
+	}
+	for i := 0; i < b.N; i++ {
+		violations, err := ssbyz.RunExperiments(io.Discard, ssbyz.ExperimentOptions{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if violations != 0 {
+			b.Fatalf("%d property violations", violations)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+// Command ssbyz-bench runs the full reproduction suite — experiments
+// E1–E10 and figures F1–F4 of DESIGN.md — and prints every regenerated
+// table. The rows it emits are the ones recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	ssbyz-bench [-quick] [-seeds 20] [-o EXPERIMENTS-run.md]
+//
+// The full suite takes a few minutes; -quick shrinks the sweeps for a
+// fast smoke run. The exit status is non-zero if any property violation
+// is found (a faithful build reports zero).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ssbyz"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ssbyz-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		quick = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		seeds = flag.Int("seeds", 0, "override repetitions per configuration")
+		out   = flag.String("o", "", "also write the report to this file")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	fmt.Fprintln(w, "# ss-Byz-Agree reproduction suite")
+	fmt.Fprintln(w)
+	violations, err := ssbyz.RunExperiments(w, ssbyz.ExperimentOptions{Quick: *quick, Seeds: *seeds})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "total property violations: %d\n", violations)
+	if violations != 0 {
+		return fmt.Errorf("%d property violations", violations)
+	}
+	return nil
+}

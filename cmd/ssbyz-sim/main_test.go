@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScenariosAllPassChecks(t *testing.T) {
+	for _, scenario := range []string{"correct", "equivocate", "partial", "spam"} {
+		scenario := scenario
+		t.Run(scenario, func(t *testing.T) {
+			var sb strings.Builder
+			err := runScenario(simConfig{n: 7, seed: 1, scenario: scenario}, &sb)
+			if err != nil {
+				t.Fatalf("runScenario: %v\n%s", err, sb.String())
+			}
+			if !strings.Contains(sb.String(), "all checks passed") {
+				t.Errorf("output missing the pass line:\n%s", sb.String())
+			}
+		})
+	}
+}
+
+func TestTransientScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transient scenario simulates Δstb; skipped in -short")
+	}
+	var sb strings.Builder
+	if err := runScenario(simConfig{n: 7, seed: 2, scenario: "transient", verbose: true}, &sb); err != nil {
+		t.Fatalf("runScenario: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "decide \"recovered\"") {
+		t.Errorf("verbose output missing decisions:\n%s", out)
+	}
+}
+
+func TestUnknownScenario(t *testing.T) {
+	var sb strings.Builder
+	if err := runScenario(simConfig{n: 7, scenario: "bogus"}, &sb); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+func TestFaultBudgetEnforced(t *testing.T) {
+	// n=2 tolerates f=0 faults; the equivocate scenario needs two faulty
+	// nodes and must be refused.
+	var sb strings.Builder
+	if err := runScenario(simConfig{n: 2, scenario: "equivocate"}, &sb); err == nil {
+		t.Error("two faulty nodes accepted at f=0")
+	}
+}
+
+func TestVerboseOutput(t *testing.T) {
+	var sb strings.Builder
+	if err := runScenario(simConfig{n: 4, seed: 3, scenario: "correct", verbose: true}, &sb); err != nil {
+		t.Fatalf("runScenario: %v", err)
+	}
+	if !strings.Contains(sb.String(), "node 0") || !strings.Contains(sb.String(), "rt(τG)=") {
+		t.Errorf("verbose lines missing:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,208 @@
+package ssbyz_test
+
+import (
+	"testing"
+
+	"ssbyz"
+)
+
+func TestPulseFacade(t *testing.T) {
+	s, err := ssbyz.NewSimulation(ssbyz.Config{N: 7, Seed: 11})
+	if err != nil {
+		t.Fatalf("NewSimulation: %v", err)
+	}
+	pp := s.Params()
+	s.WithPulseSynchronization(0)
+	report, err := s.Run(5 * (pp.Delta0() + 3*pp.DeltaAgr()))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	byCycle := report.Pulses()
+	if len(byCycle) < 2 {
+		t.Fatalf("cycles pulsed = %d, want ≥ 2", len(byCycle))
+	}
+	for k, pulses := range byCycle {
+		if len(pulses) != 7 {
+			t.Errorf("cycle %d: %d pulses, want 7", k, len(pulses))
+			continue
+		}
+		lo, hi := pulses[0].RT, pulses[0].RT
+		for _, p := range pulses {
+			if p.Cycle != k {
+				t.Errorf("pulse cycle mismatch: %d in bucket %d", p.Cycle, k)
+			}
+			if p.RT < lo {
+				lo = p.RT
+			}
+			if p.RT > hi {
+				hi = p.RT
+			}
+		}
+		if skew := int64(hi - lo); skew > 3*int64(pp.D) {
+			t.Errorf("cycle %d: skew %d > 3d", k, skew)
+		}
+	}
+}
+
+func TestVerifiedAndDecisionsFor(t *testing.T) {
+	s, err := ssbyz.NewSimulation(ssbyz.Config{N: 4, Seed: 12})
+	if err != nil {
+		t.Fatalf("NewSimulation: %v", err)
+	}
+	pp := s.Params()
+	t0 := 2 * pp.D
+	t1 := t0 + pp.DeltaV() + pp.D
+	s.ScheduleAgreement(0, "v", t0)
+	s.ScheduleAgreement(0, "v", t1) // same value after Δv: legal
+	report, err := s.Run(t1 + 3*pp.DeltaAgr())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if errs := report.InitiationErrors(); len(errs) != 0 {
+		t.Fatalf("refusals: %v", errs)
+	}
+	// Two agreements on the same value: 8 decided entries, each initiation
+	// individually verified.
+	if got := len(report.DecisionsFor(0, "v")); got != 8 {
+		t.Errorf("DecisionsFor = %d entries, want 8", got)
+	}
+	if !report.Verified(0, "v", t0) {
+		t.Error("first initiation not verified")
+	}
+	if !report.Verified(0, "v", t1) {
+		t.Error("second initiation not verified")
+	}
+	if report.Verified(0, "v", t0+50*pp.D) {
+		t.Error("Verified accepted a window with no agreement")
+	}
+	if report.Verified(0, "other", t0) {
+		t.Error("Verified accepted a never-agreed value")
+	}
+	// Unanimous is the single-agreement view: with two returns per node it
+	// reports false by design.
+	if report.Unanimous(0, "v") {
+		t.Error("Unanimous true across recurring agreements")
+	}
+}
+
+func TestRunIsIdempotent(t *testing.T) {
+	s, err := ssbyz.NewSimulation(ssbyz.Config{N: 4, Seed: 13})
+	if err != nil {
+		t.Fatalf("NewSimulation: %v", err)
+	}
+	s.ScheduleAgreement(0, "v", 2*s.Params().D)
+	r1, err := s.Run(0)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	r2, err := s.Run(0)
+	if err != nil {
+		t.Fatalf("second Run: %v", err)
+	}
+	if r1 != r2 {
+		t.Error("second Run produced a different report")
+	}
+}
+
+func TestDefaultConfigIsSevenNodes(t *testing.T) {
+	s, err := ssbyz.NewSimulation(ssbyz.Config{})
+	if err != nil {
+		t.Fatalf("NewSimulation: %v", err)
+	}
+	if s.Params().N != 7 || s.Params().F != 2 {
+		t.Errorf("defaults = n%d f%d, want n7 f2", s.Params().N, s.Params().F)
+	}
+}
+
+func TestExplicitLowerF(t *testing.T) {
+	s, err := ssbyz.NewSimulation(ssbyz.Config{N: 10, F: 1})
+	if err != nil {
+		t.Fatalf("NewSimulation: %v", err)
+	}
+	if s.Params().F != 1 {
+		t.Errorf("F = %d, want 1", s.Params().F)
+	}
+}
+
+func TestAdversaryConstructorsRunClean(t *testing.T) {
+	// Every adversary constructor wired into one simulation apiece; the
+	// run must stay violation-free (n=7 tolerates f=2; use one at a time
+	// plus a crashed node).
+	d := ssbyz.Ticks(1000)
+	advs := map[string]ssbyz.Adversary{
+		"crashed":      ssbyz.Crashed(),
+		"equivocator":  ssbyz.EquivocatingGeneral(2*d, "a", "b"),
+		"partial":      ssbyz.PartialGeneral(2*d, "p", 1, 2, 3),
+		"colluder":     ssbyz.Colluder(),
+		"lateColluder": ssbyz.LateColluder(0, 3*d),
+		"spammer":      ssbyz.Spammer(),
+		"replayer":     ssbyz.Replayer(10 * d),
+		"echoForger":   ssbyz.EchoForger(0, 1, "f", 1, 2*d),
+	}
+	for name, adv := range advs {
+		name, adv := name, adv
+		t.Run(name, func(t *testing.T) {
+			s, err := ssbyz.NewSimulation(ssbyz.Config{N: 7, Seed: 14})
+			if err != nil {
+				t.Fatalf("NewSimulation: %v", err)
+			}
+			pp := s.Params()
+			s.WithFaulty(0, adv)
+			s.WithFaulty(6, ssbyz.Crashed())
+			report, err := s.Run(4 * pp.DeltaAgr())
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			for g := 0; g < pp.N; g++ {
+				if vs := report.Check(ssbyz.NodeID(g)); len(vs) != 0 {
+					t.Errorf("General %d violations: %v", g, vs)
+				}
+			}
+		})
+	}
+}
+
+func TestConcurrentSlotsFacade(t *testing.T) {
+	s, err := ssbyz.NewSimulation(ssbyz.Config{N: 7, Seed: 15})
+	if err != nil {
+		t.Fatalf("NewSimulation: %v", err)
+	}
+	pp := s.Params()
+	s.WithConcurrentSlots(2)
+	t0 := 2 * pp.D
+	s.ScheduleSlotAgreement(0, 0, "a", t0)
+	s.ScheduleSlotAgreement(1, 0, "b", t0) // same General, same instant
+	report, err := s.Run(3 * pp.DeltaAgr())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if errs := report.InitiationErrors(); len(errs) != 0 {
+		t.Fatalf("refusals: %v", errs)
+	}
+	for slot, want := range []ssbyz.Value{"a", "b"} {
+		decs := report.SlotDecisions(0, slot)
+		if len(decs) != pp.N {
+			t.Errorf("slot %d: %d deciders, want %d", slot, len(decs), pp.N)
+		}
+		for _, d := range decs {
+			if d.Value != want {
+				t.Errorf("slot %d: decided %q, want %q", slot, d.Value, want)
+			}
+		}
+	}
+}
+
+func TestSlotWithoutIndexedNodesRefused(t *testing.T) {
+	s, err := ssbyz.NewSimulation(ssbyz.Config{N: 4, Seed: 16})
+	if err != nil {
+		t.Fatalf("NewSimulation: %v", err)
+	}
+	s.ScheduleSlotAgreement(1, 0, "v", 2*s.Params().D) // no WithConcurrentSlots
+	report, err := s.Run(0)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if _, ok := report.InitiationErrors()[0]; !ok {
+		t.Error("slot initiation on plain nodes not refused")
+	}
+}

@@ -1,0 +1,403 @@
+// Package baseline reimplements the synchronous Byzantine agreement of
+// Toueg, Perry and Srikanth (SIAM J. Comput. 16(3), 1987) — the protocol
+// whose building-block structure ss-Byz-Agree follows and whose speed it
+// improves on. It is the comparator for the paper's headline claim:
+//
+//	"Our protocol ... has the additional advantage of having a
+//	message-driven rounds structure and not time-driven rounds
+//	structure. Thus the actual time for terminating the protocol
+//	depends on the actual communication network speed and not on the
+//	worst possible bound on message delivery time."
+//
+// The baseline therefore advances in lock-step rounds of fixed duration Φ
+// on each node's local clock, anchored at the General's round-0 initiation:
+// messages of round r are sent at the start of round r and evaluated only
+// at round boundaries, no matter how early they arrive. Measured on the
+// same delay traces as ss-Byz-Agree, the baseline's latency is flat at the
+// worst-case round span while ss-Byz-Agree's tracks the actual delay —
+// exactly the shape experiment E5/F2 reproduces.
+//
+// The baseline is NOT self-stabilizing: it assumes the conventional
+// synchronous model (all correct nodes start round 0 together, clean
+// initial state). The simulator grants it that assumption by having every
+// correct node anchor its round structure at the receipt of the General's
+// initiation message.
+package baseline
+
+import (
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/simtime"
+)
+
+// Sub-kinds carried in Message.Aux for protocol.BaselineRound messages.
+const (
+	// AuxInitiator is the General's round-0 value dissemination.
+	AuxInitiator = iota + 1
+	// AuxInit, AuxEcho, AuxInitPrime, AuxEchoPrime are the TPS broadcast
+	// primitive's message types, relayed in lock-step rounds.
+	AuxInit
+	AuxEcho
+	AuxInitPrime
+	AuxEchoPrime
+)
+
+// tagRound drives the lock-step round structure.
+const tagRound = "baseline-round"
+
+// triple identifies one TPS broadcast (p, m, k).
+type triple struct {
+	P protocol.NodeID
+	M protocol.Value
+	K int
+}
+
+// Node runs the TPS-87 agreement as one correct participant. It implements
+// protocol.Node. A single agreement per General is supported (the
+// comparator only needs one-shot runs).
+type Node struct {
+	rt protocol.Runtime
+	pp protocol.Params
+
+	// sessions is the per-General agreement state.
+	sessions map[protocol.NodeID]*session
+}
+
+var _ protocol.Node = (*Node)(nil)
+
+// NewNode returns an unattached baseline node.
+func NewNode() *Node {
+	return &Node{sessions: make(map[protocol.NodeID]*session)}
+}
+
+// session is the per-General state: the TPS broadcast primitive plus the
+// agreement's phase logic, clocked by lock-step rounds.
+type session struct {
+	g        protocol.NodeID
+	anchored bool
+	anchor   simtime.Local // local time of round 0
+	round    int           // current round index (advances by timer only)
+
+	// Received message sets, keyed by sub-kind and triple, with the round
+	// at which each arrival becomes visible (the NEXT round boundary —
+	// the essence of time-driven rounds).
+	inits      map[triple]int
+	echoes     map[triple]map[protocol.NodeID]int
+	initPrimes map[triple]map[protocol.NodeID]int
+	echoPrimes map[triple]map[protocol.NodeID]int
+
+	sentEcho      map[triple]bool
+	sentInitPrime map[triple]bool
+	sentEchoPrime map[triple]bool
+	accepted      map[triple]int // triple -> round of acceptance
+	broadcasters  map[protocol.NodeID]bool
+
+	value    protocol.Value
+	haveInit bool
+	initVal  protocol.Value
+
+	returned bool
+	decided  bool
+	retVal   protocol.Value
+}
+
+// Start attaches the runtime.
+func (n *Node) Start(rt protocol.Runtime) {
+	n.rt = rt
+	n.pp = rt.Params()
+}
+
+// session returns (creating) the per-General state.
+func (n *Node) session(g protocol.NodeID) *session {
+	s, ok := n.sessions[g]
+	if !ok {
+		s = &session{
+			g:          g,
+			inits:      make(map[triple]int),
+			echoes:     make(map[triple]map[protocol.NodeID]int),
+			initPrimes: make(map[triple]map[protocol.NodeID]int),
+			echoPrimes: make(map[triple]map[protocol.NodeID]int),
+
+			sentEcho:      make(map[triple]bool),
+			sentInitPrime: make(map[triple]bool),
+			sentEchoPrime: make(map[triple]bool),
+			accepted:      make(map[triple]int),
+			broadcasters:  make(map[protocol.NodeID]bool),
+		}
+		n.sessions[g] = s
+	}
+	return s
+}
+
+// InitiateAgreement starts agreement with this node as General: it
+// disseminates m in round 0.
+func (n *Node) InitiateAgreement(m protocol.Value) {
+	self := n.rt.ID()
+	n.rt.Trace(protocol.TraceEvent{Kind: protocol.EvInitiate, G: self, M: m})
+	n.rt.Broadcast(protocol.Message{
+		Kind: protocol.BaselineRound, Aux: AuxInitiator, G: self, M: m,
+	})
+}
+
+// Result returns the outcome for General g.
+func (n *Node) Result(g protocol.NodeID) (returned, decided bool, value protocol.Value) {
+	s, ok := n.sessions[g]
+	if !ok {
+		return false, false, protocol.Bottom
+	}
+	return s.returned, s.decided, s.retVal
+}
+
+// OnMessage records arrivals; nothing is evaluated before the next round
+// boundary (time-driven rounds).
+func (n *Node) OnMessage(from protocol.NodeID, m protocol.Message) {
+	if m.Kind != protocol.BaselineRound {
+		return
+	}
+	if int(m.G) < 0 || int(m.G) >= n.pp.N {
+		return
+	}
+	s := n.session(m.G)
+	switch m.Aux {
+	case AuxInitiator:
+		if from != m.G {
+			return
+		}
+		if !s.anchored {
+			// Synchronous-model assumption: receipt of the General's
+			// round-0 message starts the round structure.
+			s.anchored = true
+			s.anchor = n.rt.Now()
+			s.round = 0
+			n.rt.Trace(protocol.TraceEvent{Kind: protocol.EvInvoke, G: m.G, M: m.M})
+			n.armRound(s, 1)
+		}
+		if !s.haveInit {
+			s.haveInit = true
+			s.initVal = m.M
+		}
+	case AuxInit:
+		if from != m.P {
+			return
+		}
+		tr := triple{P: m.P, M: m.M, K: m.K}
+		if _, ok := s.inits[tr]; !ok {
+			s.inits[tr] = s.nextRound()
+		}
+	case AuxEcho:
+		s.record(s.echoes, m, from)
+	case AuxInitPrime:
+		s.record(s.initPrimes, m, from)
+	case AuxEchoPrime:
+		s.record(s.echoPrimes, m, from)
+	}
+}
+
+// record stores one arrival with its visibility round.
+func (s *session) record(set map[triple]map[protocol.NodeID]int, m protocol.Message, from protocol.NodeID) {
+	tr := triple{P: m.P, M: m.M, K: m.K}
+	senders, ok := set[tr]
+	if !ok {
+		senders = make(map[protocol.NodeID]int)
+		set[tr] = senders
+	}
+	if _, ok := senders[from]; !ok {
+		senders[from] = s.nextRound()
+	}
+}
+
+// nextRound is the round at which a message arriving now becomes visible:
+// the upcoming boundary. Before the anchor is set, arrivals are visible
+// from round 0 on (they were "in the mailbox at the start").
+func (s *session) nextRound() int {
+	if !s.anchored {
+		return 0
+	}
+	return s.round + 1
+}
+
+// countVisible counts distinct senders visible at round r.
+func countVisible(set map[triple]map[protocol.NodeID]int, tr triple, r int) int {
+	n := 0
+	for _, vis := range set[tr] {
+		if vis <= r {
+			n++
+		}
+	}
+	return n
+}
+
+// armRound schedules the boundary of round r (at anchor + r·Φ local time).
+func (n *Node) armRound(s *session, r int) {
+	elapsed := n.pp.Sub(n.rt.Now(), s.anchor)
+	dl := simtime.Duration(r)*n.pp.Phi() - elapsed
+	if dl < 0 {
+		dl = 0
+	}
+	n.rt.After(dl, protocol.TimerTag{Name: tagRound, G: s.g, K: r})
+}
+
+// OnTimer advances the lock-step round structure.
+func (n *Node) OnTimer(tag protocol.TimerTag) {
+	if tag.Name != tagRound {
+		return
+	}
+	s, ok := n.sessions[tag.G]
+	if !ok || !s.anchored || s.returned {
+		return
+	}
+	if tag.K <= s.round {
+		return
+	}
+	s.round = tag.K
+	n.stepRound(s)
+	if !s.returned && s.round <= 2*(n.pp.F+1)+3 {
+		n.armRound(s, s.round+1)
+	}
+}
+
+// stepRound executes the round logic at a boundary: first the broadcast
+// primitive's relays, then the agreement's phase rules. Phases of the
+// agreement span two rounds each, exactly like ss-Byz-Agree's 2k·Φ
+// structure, so latencies are directly comparable.
+func (n *Node) stepRound(s *session) {
+	r := s.round
+
+	// Round 1: echo the General's value as the k=1 broadcast init (the
+	// General's dissemination doubles as broadcast (G, m, 1)) and, at every
+	// node, start relaying the primitive.
+	if s.haveInit {
+		tr := triple{P: s.g, M: s.initVal, K: 0}
+		if _, ok := s.inits[tr]; !ok {
+			s.inits[tr] = r
+		}
+	}
+
+	// TPS broadcast primitive, time-driven: for every known triple run the
+	// round-guarded relay rules.
+	for tr := range s.inits {
+		if s.inits[tr] <= r && !s.sentEcho[tr] && r <= 2*tr.K+1 {
+			s.sentEcho[tr] = true
+			n.broadcastAux(AuxEcho, s.g, tr)
+		}
+	}
+	all := make(map[triple]bool)
+	for tr := range s.echoes {
+		all[tr] = true
+	}
+	for tr := range s.initPrimes {
+		all[tr] = true
+	}
+	for tr := range s.echoPrimes {
+		all[tr] = true
+	}
+	for tr := range all {
+		if r <= 2*tr.K+2 {
+			if cnt := countVisible(s.echoes, tr, r); cnt >= n.pp.ByzQuorum() && !s.sentInitPrime[tr] {
+				s.sentInitPrime[tr] = true
+				n.broadcastAux(AuxInitPrime, s.g, tr)
+			}
+			if cnt := countVisible(s.echoes, tr, r); cnt >= n.pp.Quorum() {
+				n.accept(s, tr, r)
+			}
+		}
+		if r <= 2*tr.K+3 {
+			if cnt := countVisible(s.initPrimes, tr, r); cnt >= n.pp.ByzQuorum() {
+				s.broadcasters[tr.P] = true
+			}
+			if cnt := countVisible(s.initPrimes, tr, r); cnt >= n.pp.Quorum() && !s.sentEchoPrime[tr] {
+				s.sentEchoPrime[tr] = true
+				n.broadcastAux(AuxEchoPrime, s.g, tr)
+			}
+		}
+		if cnt := countVisible(s.echoPrimes, tr, r); cnt >= n.pp.ByzQuorum() && !s.sentEchoPrime[tr] {
+			s.sentEchoPrime[tr] = true
+			n.broadcastAux(AuxEchoPrime, s.g, tr)
+		}
+		if cnt := countVisible(s.echoPrimes, tr, r); cnt >= n.pp.Quorum() {
+			n.accept(s, tr, r)
+		}
+	}
+
+	n.stepAgreement(s)
+}
+
+// broadcastAux sends one primitive message for tr to all nodes.
+func (n *Node) broadcastAux(aux int, g protocol.NodeID, tr triple) {
+	n.rt.Broadcast(protocol.Message{
+		Kind: protocol.BaselineRound, Aux: aux, G: g, M: tr.M, P: tr.P, K: tr.K,
+	})
+}
+
+// accept records acceptance of tr (once).
+func (n *Node) accept(s *session, tr triple, r int) {
+	if _, ok := s.accepted[tr]; ok {
+		return
+	}
+	s.accepted[tr] = r
+	n.rt.Trace(protocol.TraceEvent{Kind: protocol.EvAccept, G: s.g, M: tr.M, K: tr.K, P: tr.P})
+}
+
+// stepAgreement runs the TPS-87 agreement phase rules at a boundary.
+// Phase p spans rounds 2p..2p+1; a node decides when it has accepted the
+// General's value plus p distinct relays by the end of phase p, and aborts
+// when the broadcaster count lags the phase index.
+func (n *Node) stepAgreement(s *session) {
+	if s.returned {
+		return
+	}
+	r := s.round
+
+	// Decide path: accepted (G, m, 0) plus k distinct (p_i, m, i) chains.
+	for tr, ar := range s.accepted {
+		if tr.P != s.g || tr.K != 0 || ar > r {
+			continue
+		}
+		// Count relay chains for this value.
+		relays := n.distinctRelays(s, tr.M, r)
+		phase := (r - 1) / 2
+		if phase < 0 {
+			phase = 0
+		}
+		need := phase
+		if need > n.pp.F {
+			need = n.pp.F
+		}
+		if relays >= need || phase == 0 {
+			s.returned = true
+			s.decided = true
+			s.retVal = tr.M
+			// Relay our own endorsement so laggards catch up.
+			self := n.rt.ID()
+			mytr := triple{P: self, M: tr.M, K: relays + 1}
+			if !s.sentEcho[mytr] {
+				n.broadcastAux(AuxInit, s.g, mytr)
+			}
+			n.rt.Trace(protocol.TraceEvent{
+				Kind: protocol.EvBaselineDecide, G: s.g, M: tr.M, K: r,
+			})
+			return
+		}
+	}
+
+	// Abort path: past phase 2f+1 with no decision.
+	if r > 2*(n.pp.F+1)+3 {
+		s.returned = true
+		s.decided = false
+		s.retVal = protocol.Bottom
+		n.rt.Trace(protocol.TraceEvent{
+			Kind: protocol.EvAbort, G: s.g, M: protocol.Bottom, K: r,
+		})
+	}
+}
+
+// distinctRelays counts distinct non-General nodes whose relay broadcast
+// (p, m, k≥1) this node has accepted by round r.
+func (n *Node) distinctRelays(s *session, m protocol.Value, r int) int {
+	seen := make(map[protocol.NodeID]bool)
+	for tr, ar := range s.accepted {
+		if ar <= r && tr.M == m && tr.K >= 1 && tr.P != s.g {
+			seen[tr.P] = true
+		}
+	}
+	return len(seen)
+}

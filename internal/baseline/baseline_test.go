@@ -1,0 +1,140 @@
+package baseline
+
+import (
+	"testing"
+
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/simnet"
+	"ssbyz/internal/simtime"
+)
+
+// runWorld assembles a world of n baseline nodes with the given delay
+// range, initiates value m at General 0 at t=2d, and runs to quiescence.
+func runWorld(t *testing.T, n int, delayMin, delayMax simtime.Duration, m protocol.Value) (*simnet.World, []*Node) {
+	t.Helper()
+	pp := protocol.DefaultParams(n)
+	w, err := simnet.New(simnet.Config{
+		Params:   pp,
+		Seed:     42,
+		DelayMin: delayMin,
+		DelayMax: delayMax,
+	})
+	if err != nil {
+		t.Fatalf("simnet.New: %v", err)
+	}
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = NewNode()
+		w.SetNode(protocol.NodeID(i), nodes[i])
+	}
+	w.Start()
+	w.Scheduler().At(simtime.Real(2*pp.D), func() {
+		nodes[0].InitiateAgreement(m)
+	})
+	w.RunUntil(simtime.Real(10 * pp.DeltaAgr()))
+	return w, nodes
+}
+
+func TestCorrectGeneralAllDecide(t *testing.T) {
+	for _, n := range []int{4, 7, 10} {
+		n := n
+		t.Run(map[int]string{4: "n4", 7: "n7", 10: "n10"}[n], func(t *testing.T) {
+			_, nodes := runWorld(t, n, 500, 1000, "v")
+			for i, node := range nodes {
+				returned, decided, v := node.Result(0)
+				if !returned || !decided || v != "v" {
+					t.Errorf("node %d: returned=%v decided=%v value=%q, want decide \"v\"", i, returned, decided, v)
+				}
+			}
+		})
+	}
+}
+
+// TestLatencyIsTimeDriven verifies the defining property of the baseline:
+// its decision latency is pinned to whole round spans (multiples of Φ on
+// the local clock) and does not shrink when the actual network delay does.
+func TestLatencyIsTimeDriven(t *testing.T) {
+	pp := protocol.DefaultParams(7)
+	latency := func(delayMax simtime.Duration) simtime.Real {
+		w, _ := runWorld(t, 7, delayMax/2, delayMax, "v")
+		decs := w.Recorder().ByKind(protocol.EvBaselineDecide)
+		if len(decs) == 0 {
+			t.Fatal("no baseline decisions recorded")
+		}
+		var last simtime.Real
+		for _, ev := range decs {
+			if ev.RT > last {
+				last = ev.RT
+			}
+		}
+		return last
+	}
+	fast := latency(pp.D / 10)
+	slow := latency(pp.D)
+	// Both runs must take at least 2 full rounds (2Φ = 16d) after the
+	// initiation at 2d; a message-driven protocol would finish the fast run
+	// an order of magnitude sooner.
+	floor := simtime.Real(2 * pp.Phi())
+	if fast < floor {
+		t.Errorf("fast-network latency %d below the round-structure floor %d: baseline is not time-driven", fast, floor)
+	}
+	// The fast run saves at most the delivery slack of the initiation leg,
+	// not the round structure: the two latencies stay within one Φ.
+	diff := slow - fast
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > simtime.Real(pp.Phi()) {
+		t.Errorf("latency gap %d between fast and slow networks exceeds Φ=%d; rounds are not lock-step", diff, pp.Phi())
+	}
+}
+
+func TestNoInitiationNoDecision(t *testing.T) {
+	pp := protocol.DefaultParams(4)
+	w, err := simnet.New(simnet.Config{Params: pp, Seed: 1})
+	if err != nil {
+		t.Fatalf("simnet.New: %v", err)
+	}
+	nodes := make([]*Node, 4)
+	for i := range nodes {
+		nodes[i] = NewNode()
+		w.SetNode(protocol.NodeID(i), nodes[i])
+	}
+	w.Start()
+	w.RunUntil(simtime.Real(3 * pp.DeltaAgr()))
+	for i, node := range nodes {
+		if returned, _, _ := node.Result(0); returned {
+			t.Errorf("node %d returned without any initiation", i)
+		}
+	}
+}
+
+func TestSilentGeneralOthersDoNotDecide(t *testing.T) {
+	pp := protocol.DefaultParams(7)
+	w, err := simnet.New(simnet.Config{Params: pp, Seed: 7})
+	if err != nil {
+		t.Fatalf("simnet.New: %v", err)
+	}
+	nodes := make([]*Node, 7)
+	for i := range nodes {
+		nodes[i] = NewNode()
+		w.SetNode(protocol.NodeID(i), nodes[i])
+	}
+	w.Start()
+	// General 3 never initiates; some other node's session state for G=3
+	// must never decide.
+	w.RunUntil(simtime.Real(5 * pp.DeltaAgr()))
+	for i, node := range nodes {
+		if _, decided, _ := node.Result(3); decided {
+			t.Errorf("node %d decided for a silent General", i)
+		}
+	}
+}
+
+func TestResultUnknownGeneral(t *testing.T) {
+	n := NewNode()
+	returned, decided, v := n.Result(5)
+	if returned || decided || v != protocol.Bottom {
+		t.Errorf("Result on fresh node = (%v,%v,%q), want (false,false,⊥)", returned, decided, v)
+	}
+}

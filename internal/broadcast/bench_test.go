@@ -1,0 +1,30 @@
+package broadcast
+
+import (
+	"testing"
+
+	"ssbyz/internal/protocol"
+)
+
+// BenchmarkAcceptWave measures one full msgd-broadcast acceptance: five
+// echoes into an anchored session.
+func BenchmarkAcceptWave(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, s, _ := newSession(true)
+		feed(s, protocol.Echo, 3, "v", 1, 0, 1, 2, 4, 5)
+	}
+}
+
+// BenchmarkEvaluateQuiescent measures re-evaluation with live triples but
+// no new conclusions.
+func BenchmarkEvaluateQuiescent(b *testing.B) {
+	rt, s, _ := newSession(true)
+	feed(s, protocol.Echo, 3, "v", 1, 0, 1)
+	feed(s, protocol.Echo, 4, "w", 2, 0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.evaluate(rt.now)
+	}
+}

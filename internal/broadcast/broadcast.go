@@ -1,0 +1,283 @@
+// Package broadcast implements the msgd-broadcast primitive (Fig. 3): a
+// message-driven replacement for the time-driven reliable broadcast of
+// Toueg, Perry and Srikanth [TPS-87]. Rounds are anchored at the local
+// estimate τG of the General's initiation (produced by Initiator-Accept)
+// and progress with the arrival of the anticipated messages; the phase
+// bounds τG + c·Φ only cap how late a step may still be taken, so the
+// primitive "can progress at the speed of message delivery".
+//
+// Once the system is stable and n > 3f it satisfies (Theorem 2):
+//
+//	TPS-1 Correctness — a timely correct broadcast is accepted by every
+//	      correct node within one phase and within 3d real time.
+//	TPS-2 Unforgeability — no acceptance without a correct broadcast.
+//	TPS-3 Relay — one correct acceptance at phase r pulls all correct
+//	      nodes along by phase r+2.
+//	TPS-4 Detection of broadcasters — acceptance implies every correct
+//	      node records p ∈ broadcasters by phase 2k+2.
+package broadcast
+
+import (
+	"ssbyz/internal/msglog"
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/simtime"
+)
+
+// triple identifies one broadcast (p, m, k) within a session.
+type triple struct {
+	P protocol.NodeID
+	M protocol.Value
+	K int
+}
+
+// AcceptFn is called when the node accepts (p, m, k).
+type AcceptFn func(p protocol.NodeID, m protocol.Value, k int)
+
+// Session is one node's msgd-broadcast state for the agreement instance of
+// a single General G. Messages are logged before the anchor τG is known
+// and replayed once it is ("nodes log messages until they are able to
+// process them").
+type Session struct {
+	rt protocol.Runtime
+	g  protocol.NodeID
+	pp protocol.Params
+
+	log *msglog.Log
+
+	anchored bool
+	tauG     simtime.Local
+
+	sentEcho      map[triple]bool
+	sentInitPrime map[triple]bool
+	sentEchoPrime map[triple]bool
+	// accepted dedupes acceptances per triple ("accept only once"). It
+	// deliberately survives Reset: straggler echo′ residue of a completed
+	// agreement arrives within d of the reset, gets logged into the fresh
+	// session, and would otherwise re-accept — and re-decide — the old
+	// value when the next agreement anchors. Entries decay by age in
+	// Cleanup instead, which bounds the memory exactly like the paper's
+	// "erase any value or message older than (2f+3)·Φ" rule. Legitimate
+	// same-value re-broadcasts are spaced by Δv > (2f+3)·Φ (criterion
+	// IG2), so they are never suppressed.
+	accepted     map[triple]simtime.Local
+	broadcasters map[protocol.NodeID]bool
+
+	onAccept AcceptFn
+}
+
+// NewSession creates the session for General g at the node owning rt.
+func NewSession(rt protocol.Runtime, g protocol.NodeID, onAccept AcceptFn) *Session {
+	return &Session{
+		rt:            rt,
+		g:             g,
+		pp:            rt.Params(),
+		log:           msglog.New(rt.Params().Wrap),
+		sentEcho:      make(map[triple]bool),
+		sentInitPrime: make(map[triple]bool),
+		sentEchoPrime: make(map[triple]bool),
+		accepted:      make(map[triple]simtime.Local),
+		broadcasters:  make(map[protocol.NodeID]bool),
+		onAccept:      onAccept,
+	}
+}
+
+// SetAnchor installs τG and replays any logged messages against the now-
+// defined round structure. "No correct node will execute the
+// msgd-broadcast primitive without first producing the reference
+// (anchor) τG."
+func (s *Session) SetAnchor(tauG simtime.Local) {
+	s.anchored = true
+	s.tauG = tauG
+	s.evaluate(s.rt.Now())
+}
+
+// Anchored reports whether τG is defined.
+func (s *Session) Anchored() bool { return s.anchored }
+
+// Broadcast invokes the primitive for this node's own message (Block V):
+// node p sends (init, p, m, k) to all nodes.
+func (s *Session) Broadcast(m protocol.Value, k int) {
+	s.rt.Broadcast(protocol.Message{
+		Kind: protocol.Init, G: s.g, M: m, P: s.rt.ID(), K: k,
+	})
+}
+
+// Broadcasters returns how many distinct nodes are in the broadcasters
+// set (Block Y3), as needed by the agreement layer's Block T.
+func (s *Session) Broadcasters() int { return len(s.broadcasters) }
+
+// IsBroadcaster reports membership of p in broadcasters.
+func (s *Session) IsBroadcaster(p protocol.NodeID) bool { return s.broadcasters[p] }
+
+// OnMessage records an incoming broadcast-layer message and re-evaluates.
+func (s *Session) OnMessage(from protocol.NodeID, m protocol.Message) {
+	if m.G != s.g {
+		return
+	}
+	now := s.rt.Now()
+	switch m.Kind {
+	case protocol.Init:
+		// W2 requires the init to come from p itself; the transport
+		// authenticates From, so a faulty node cannot plant an init for
+		// another p.
+		if from != m.P {
+			return
+		}
+	case protocol.Echo, protocol.InitPrime, protocol.EchoPrime:
+	default:
+		return
+	}
+	s.log.Record(msglog.KeyOf(m), from, now)
+	s.evaluate(now)
+}
+
+// maxAge is the cleanup bound: messages older than (2f+3)·Φ are removed
+// and never satisfy a condition.
+func (s *Session) maxAge() simtime.Duration {
+	return simtime.Duration(2*s.pp.F+3) * s.pp.Phi()
+}
+
+// withinPhase reports whether the node's current τ is at most
+// τG + phases·Φ, the late bound for the corresponding block.
+func (s *Session) withinPhase(now simtime.Local, phases int) bool {
+	return s.pp.Sub(now, s.tauG) <= simtime.Duration(phases)*s.pp.Phi()
+}
+
+// evaluate runs blocks W–Z to a fixed point across every known triple.
+func (s *Session) evaluate(now simtime.Local) {
+	if !s.anchored {
+		return
+	}
+	for iter := 0; iter < 6; iter++ {
+		changed := false
+		for _, tr := range s.activeTriples() {
+			if s.tryTriple(tr, now) {
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// activeTriples enumerates the (p, m, k) triples with any logged state.
+func (s *Session) activeTriples() []triple {
+	seen := make(map[triple]bool)
+	var out []triple
+	for _, k := range s.log.Keys() {
+		tr := triple{P: k.P, M: k.M, K: k.K}
+		if !seen[tr] {
+			seen[tr] = true
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// tryTriple evaluates all blocks for one (p, m, k).
+func (s *Session) tryTriple(tr triple, now simtime.Local) bool {
+	changed := false
+	key := func(kind protocol.MsgKind) msglog.Key {
+		return msglog.Key{Kind: kind, G: s.g, M: tr.M, P: tr.P, K: tr.K}
+	}
+	count := func(kind protocol.MsgKind) int {
+		return s.log.CountWithin(key(kind), s.maxAge(), now)
+	}
+
+	// Block W — echo the direct init, by τG + 2k·Φ.
+	if !s.sentEcho[tr] && s.withinPhase(now, 2*tr.K) && s.log.Has(key(protocol.Init), tr.P) {
+		s.sentEcho[tr] = true
+		s.rt.Broadcast(protocol.Message{Kind: protocol.Echo, G: s.g, M: tr.M, P: tr.P, K: tr.K})
+		changed = true
+	}
+
+	// Block X — by τG + (2k+1)·Φ.
+	if s.withinPhase(now, 2*tr.K+1) {
+		if !s.sentInitPrime[tr] && count(protocol.Echo) >= s.pp.ByzQuorum() {
+			s.sentInitPrime[tr] = true
+			s.rt.Broadcast(protocol.Message{Kind: protocol.InitPrime, G: s.g, M: tr.M, P: tr.P, K: tr.K})
+			changed = true
+		}
+		if count(protocol.Echo) >= s.pp.Quorum() && s.accept(tr) {
+			changed = true
+		}
+	}
+
+	// Block Y — by τG + (2k+2)·Φ.
+	if s.withinPhase(now, 2*tr.K+2) {
+		if count(protocol.InitPrime) >= s.pp.ByzQuorum() && !s.broadcasters[tr.P] {
+			s.broadcasters[tr.P] = true
+			changed = true
+		}
+		if !s.sentEchoPrime[tr] && count(protocol.InitPrime) >= s.pp.Quorum() {
+			s.sentEchoPrime[tr] = true
+			s.rt.Broadcast(protocol.Message{Kind: protocol.EchoPrime, G: s.g, M: tr.M, P: tr.P, K: tr.K})
+			changed = true
+		}
+	}
+
+	// Block Z — at any time.
+	if !s.sentEchoPrime[tr] && count(protocol.EchoPrime) >= s.pp.ByzQuorum() {
+		s.sentEchoPrime[tr] = true
+		s.rt.Broadcast(protocol.Message{Kind: protocol.EchoPrime, G: s.g, M: tr.M, P: tr.P, K: tr.K})
+		changed = true
+	}
+	if count(protocol.EchoPrime) >= s.pp.Quorum() && s.accept(tr) {
+		changed = true
+	}
+	return changed
+}
+
+// accept fires the acceptance of tr exactly once.
+func (s *Session) accept(tr triple) bool {
+	if _, ok := s.accepted[tr]; ok {
+		return false
+	}
+	s.accepted[tr] = s.rt.Now()
+	s.rt.Trace(protocol.TraceEvent{
+		Kind: protocol.EvAccept, G: s.g, M: tr.M, K: tr.K, P: tr.P,
+	})
+	if s.onAccept != nil {
+		s.onAccept(tr.P, tr.M, tr.K)
+	}
+	return true
+}
+
+// Cleanup decays messages and acceptance records older than (2f+3)·Φ.
+func (s *Session) Cleanup(now simtime.Local) {
+	s.log.DecayOlderThan(s.maxAge(), now)
+	for tr, at := range s.accepted {
+		age := s.pp.Sub(now, at)
+		if age < 0 || age > s.maxAge() {
+			delete(s.accepted, tr)
+		}
+	}
+}
+
+// Reset clears the session (3d after the agreement layer returned). The
+// accepted-triple dedup set survives — see its field comment.
+func (s *Session) Reset() {
+	s.log.Clear()
+	s.anchored = false
+	s.tauG = 0
+	s.sentEcho = make(map[triple]bool)
+	s.sentInitPrime = make(map[triple]bool)
+	s.sentEchoPrime = make(map[triple]bool)
+	s.broadcasters = make(map[protocol.NodeID]bool)
+}
+
+// InjectRecord installs a spurious reception record (transient injector).
+func (s *Session) InjectRecord(kind protocol.MsgKind, tr protocol.Message, sender protocol.NodeID, at simtime.Local) {
+	k := msglog.Key{Kind: kind, G: s.g, M: tr.M, P: tr.P, K: tr.K}
+	s.log.InjectRaw(k, sender, at)
+}
+
+// InjectBroadcaster plants p in the broadcasters set (transient injector).
+func (s *Session) InjectBroadcaster(p protocol.NodeID) { s.broadcasters[p] = true }
+
+// InjectAnchor plants an arbitrary anchor (transient injector).
+func (s *Session) InjectAnchor(tauG simtime.Local) {
+	s.anchored = true
+	s.tauG = tauG
+}

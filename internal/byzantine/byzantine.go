@@ -1,0 +1,249 @@
+// Package byzantine provides the adversary strategies used by the tests
+// and experiments. Each strategy implements protocol.Node and, in the
+// simulator, may type-assert its runtime to simnet.AdversaryRuntime for
+// precise timing control (the standard "adversary schedules the network"
+// power). Faulty nodes cannot forge sender identities — the transport
+// authenticates From once the network is non-faulty, exactly as in the
+// paper's model.
+package byzantine
+
+import (
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/simnet"
+	"ssbyz/internal/simtime"
+)
+
+// Silent is a crash-faulty node: it never sends anything.
+type Silent struct{}
+
+var _ protocol.Node = (*Silent)(nil)
+
+// Start implements protocol.Node.
+func (*Silent) Start(protocol.Runtime) {}
+
+// OnMessage implements protocol.Node.
+func (*Silent) OnMessage(protocol.NodeID, protocol.Message) {}
+
+// OnTimer implements protocol.Node.
+func (*Silent) OnTimer(protocol.TimerTag) {}
+
+// sendAt uses adversarial delay control when available, falling back to a
+// plain send.
+func sendAt(rt protocol.Runtime, to protocol.NodeID, m protocol.Message, delay simtime.Duration) {
+	if adv, ok := rt.(simnet.AdversaryRuntime); ok {
+		adv.SendAt(to, m, delay)
+		return
+	}
+	rt.Send(to, m)
+}
+
+// Yeasayer is a maximally helpful faulty participant: it immediately sends
+// support, approve and ready for every (G, m) wave it observes, ignoring
+// the exclusivity and rate-limiting rules a correct node obeys. It is the
+// strongest amplifier for an equivocating General.
+type Yeasayer struct {
+	rt   protocol.Runtime
+	sent map[struct {
+		k protocol.MsgKind
+		g protocol.NodeID
+		m protocol.Value
+	}]bool
+}
+
+var _ protocol.Node = (*Yeasayer)(nil)
+
+// Start implements protocol.Node.
+func (y *Yeasayer) Start(rt protocol.Runtime) {
+	y.rt = rt
+	y.sent = make(map[struct {
+		k protocol.MsgKind
+		g protocol.NodeID
+		m protocol.Value
+	}]bool)
+}
+
+// OnMessage pushes every observed wave.
+func (y *Yeasayer) OnMessage(_ protocol.NodeID, m protocol.Message) {
+	switch m.Kind {
+	case protocol.Initiator, protocol.Support, protocol.Approve, protocol.Ready:
+		y.push(m.G, m.M)
+	}
+}
+
+// OnTimer implements protocol.Node.
+func (y *Yeasayer) OnTimer(protocol.TimerTag) {}
+
+func (y *Yeasayer) push(g protocol.NodeID, v protocol.Value) {
+	for _, kind := range []protocol.MsgKind{protocol.Support, protocol.Approve, protocol.Ready} {
+		key := struct {
+			k protocol.MsgKind
+			g protocol.NodeID
+			m protocol.Value
+		}{kind, g, v}
+		if y.sent[key] {
+			continue
+		}
+		y.sent[key] = true
+		y.rt.Broadcast(protocol.Message{Kind: kind, G: g, M: v})
+	}
+}
+
+// Equivocator is a faulty General that disseminates different values to
+// different partitions of the nodes at time At (on its local clock), and
+// otherwise behaves as a Yeasayer for every wave — the canonical attack on
+// the Uniqueness property IA-4.
+type Equivocator struct {
+	Yeasayer
+	// Values are sent round-robin across recipients (≥ 2 for a real
+	// equivocation).
+	Values []protocol.Value
+	// At is the local time of the attack.
+	At simtime.Duration
+}
+
+var _ protocol.Node = (*Equivocator)(nil)
+
+// Start arms the attack timer.
+func (e *Equivocator) Start(rt protocol.Runtime) {
+	e.Yeasayer.Start(rt)
+	rt.After(e.At, protocol.TimerTag{Name: "equivocate"})
+}
+
+// OnTimer fires the split initiation.
+func (e *Equivocator) OnTimer(tag protocol.TimerTag) {
+	if tag.Name != "equivocate" || len(e.Values) == 0 {
+		return
+	}
+	pp := e.rt.Params()
+	self := e.rt.ID()
+	for i := 0; i < pp.N; i++ {
+		v := e.Values[i%len(e.Values)]
+		e.rt.Send(protocol.NodeID(i), protocol.Message{Kind: protocol.Initiator, G: self, M: v})
+	}
+	// Push all of its own values too.
+	for _, v := range e.Values {
+		e.push(self, v)
+	}
+}
+
+// PartialGeneral is a faulty General that sends its Initiator message only
+// to a chosen subset of the nodes (and supports its own wave), leaving the
+// rest to find out — or not — through the primitive itself.
+type PartialGeneral struct {
+	rt protocol.Runtime
+	// Invitees receive the Initiator message.
+	Invitees []protocol.NodeID
+	Value    protocol.Value
+	// At is the local time of the initiation.
+	At simtime.Duration
+	// SupportDelay delays the General's own support messages.
+	SupportDelay simtime.Duration
+}
+
+var _ protocol.Node = (*PartialGeneral)(nil)
+
+// Start arms the initiation timer.
+func (p *PartialGeneral) Start(rt protocol.Runtime) {
+	p.rt = rt
+	rt.After(p.At, protocol.TimerTag{Name: "partial-init"})
+}
+
+// OnMessage implements protocol.Node.
+func (p *PartialGeneral) OnMessage(protocol.NodeID, protocol.Message) {}
+
+// OnTimer fires the partial initiation.
+func (p *PartialGeneral) OnTimer(tag protocol.TimerTag) {
+	if tag.Name != "partial-init" {
+		return
+	}
+	self := p.rt.ID()
+	for _, to := range p.Invitees {
+		p.rt.Send(to, protocol.Message{Kind: protocol.Initiator, G: self, M: p.Value})
+	}
+	for _, kind := range []protocol.MsgKind{protocol.Support, protocol.Approve, protocol.Ready} {
+		m := protocol.Message{Kind: kind, G: self, M: p.Value}
+		for i := 0; i < p.rt.Params().N; i++ {
+			sendAt(p.rt, protocol.NodeID(i), m, p.SupportDelay)
+		}
+	}
+}
+
+// LateSupporter is a colluding faulty node: when it observes a wave for
+// (G, Value) it contributes its support/approve/ready messages Delay late,
+// stretching the primitive's stage windows as far as they allow.
+type LateSupporter struct {
+	rt protocol.Runtime
+	// G and Value select the wave to collude with; empty Value colludes
+	// with any value of G.
+	G     protocol.NodeID
+	Value protocol.Value
+	// Delay postpones each contribution (clamped to the network's legal
+	// delay range; combine with a timer for longer stretches).
+	Delay simtime.Duration
+	// HoldLocal additionally defers the send decision on the local clock.
+	HoldLocal simtime.Duration
+
+	sent map[struct {
+		k protocol.MsgKind
+		m protocol.Value
+	}]bool
+}
+
+var _ protocol.Node = (*LateSupporter)(nil)
+
+// Start implements protocol.Node.
+func (l *LateSupporter) Start(rt protocol.Runtime) {
+	l.rt = rt
+	l.sent = make(map[struct {
+		k protocol.MsgKind
+		m protocol.Value
+	}]bool)
+}
+
+// OnMessage watches for the colluding wave.
+func (l *LateSupporter) OnMessage(_ protocol.NodeID, m protocol.Message) {
+	if m.G != l.G {
+		return
+	}
+	if l.Value != protocol.Bottom && m.M != l.Value {
+		return
+	}
+	switch m.Kind {
+	case protocol.Initiator, protocol.Support:
+		l.contribute(protocol.Support, m.M)
+	case protocol.Approve:
+		l.contribute(protocol.Approve, m.M)
+	case protocol.Ready:
+		l.contribute(protocol.Ready, m.M)
+	}
+}
+
+// OnTimer sends a held contribution.
+func (l *LateSupporter) OnTimer(tag protocol.TimerTag) {
+	if tag.Name != "late-send" {
+		return
+	}
+	l.broadcastAt(protocol.Message{Kind: protocol.MsgKind(tag.K), G: l.G, M: tag.M}, l.Delay)
+}
+
+func (l *LateSupporter) contribute(kind protocol.MsgKind, v protocol.Value) {
+	key := struct {
+		k protocol.MsgKind
+		m protocol.Value
+	}{kind, v}
+	if l.sent[key] {
+		return
+	}
+	l.sent[key] = true
+	if l.HoldLocal > 0 {
+		l.rt.After(l.HoldLocal, protocol.TimerTag{Name: "late-send", G: l.G, M: v, K: int(kind)})
+		return
+	}
+	l.broadcastAt(protocol.Message{Kind: kind, G: l.G, M: v}, l.Delay)
+}
+
+func (l *LateSupporter) broadcastAt(m protocol.Message, delay simtime.Duration) {
+	for i := 0; i < l.rt.Params().N; i++ {
+		sendAt(l.rt, protocol.NodeID(i), m, delay)
+	}
+}

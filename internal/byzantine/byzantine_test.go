@@ -1,0 +1,258 @@
+package byzantine
+
+import (
+	"testing"
+
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/simnet"
+	"ssbyz/internal/simtime"
+)
+
+// capture is a correct-side probe collecting whatever the adversary sends.
+type capture struct {
+	rt   protocol.Runtime
+	msgs []protocol.Message
+}
+
+func (c *capture) Start(rt protocol.Runtime)                       { c.rt = rt }
+func (c *capture) OnMessage(_ protocol.NodeID, m protocol.Message) { c.msgs = append(c.msgs, m) }
+func (c *capture) OnTimer(protocol.TimerTag)                       {}
+
+func (c *capture) kinds() map[protocol.MsgKind]int {
+	out := make(map[protocol.MsgKind]int)
+	for _, m := range c.msgs {
+		out[m.Kind]++
+	}
+	return out
+}
+
+// adversaryWorld wires the adversary at node 3 and captures at node 0.
+func adversaryWorld(t *testing.T, adv protocol.Node, seed int64) (*simnet.World, *capture) {
+	t.Helper()
+	pp := protocol.DefaultParams(4)
+	w, err := simnet.New(simnet.Config{Params: pp, Seed: seed})
+	if err != nil {
+		t.Fatalf("simnet.New: %v", err)
+	}
+	cap0 := &capture{}
+	w.SetNode(0, cap0)
+	w.SetNode(1, &capture{})
+	w.SetNode(2, &capture{})
+	w.SetNode(3, adv)
+	w.Start()
+	return w, cap0
+}
+
+func TestSilentSendsNothing(t *testing.T) {
+	w, cap0 := adversaryWorld(t, &Silent{}, 1)
+	w.RunUntil(100000)
+	if len(cap0.msgs) != 0 {
+		t.Errorf("Silent sent %d messages", len(cap0.msgs))
+	}
+}
+
+func TestYeasayerAmplifiesWave(t *testing.T) {
+	w, cap0 := adversaryWorld(t, &Yeasayer{}, 2)
+	w.Scheduler().At(100, func() {
+		w.Runtime(1).Broadcast(protocol.Message{Kind: protocol.Support, G: 1, M: "v"})
+	})
+	w.RunUntil(100000)
+	k := cap0.kinds()
+	if k[protocol.Support] < 2 || k[protocol.Approve] < 1 || k[protocol.Ready] < 1 {
+		t.Errorf("Yeasayer amplification missing: %v", k)
+	}
+}
+
+func TestYeasayerPushesEachWaveOnce(t *testing.T) {
+	w, cap0 := adversaryWorld(t, &Yeasayer{}, 3)
+	for i := 0; i < 5; i++ {
+		at := simtime.Real(100 + i*500)
+		w.Scheduler().At(at, func() {
+			w.Runtime(1).Broadcast(protocol.Message{Kind: protocol.Support, G: 1, M: "v"})
+		})
+	}
+	w.RunUntil(100000)
+	fromAdv := 0
+	for _, m := range cap0.msgs {
+		if m.From == 3 && m.Kind == protocol.Ready && m.M == "v" {
+			fromAdv++
+		}
+	}
+	if fromAdv != 1 {
+		t.Errorf("Yeasayer sent ready %d times for one wave, want 1", fromAdv)
+	}
+}
+
+func TestEquivocatorRoundRobinsValues(t *testing.T) {
+	adv := &Equivocator{Values: []protocol.Value{"a", "b"}, At: 500}
+	pp := protocol.DefaultParams(4)
+	w, err := simnet.New(simnet.Config{Params: pp, Seed: 4})
+	if err != nil {
+		t.Fatalf("simnet.New: %v", err)
+	}
+	caps := make([]*capture, 4)
+	for i := 0; i < 3; i++ {
+		caps[i] = &capture{}
+		w.SetNode(protocol.NodeID(i), caps[i])
+	}
+	w.SetNode(3, adv)
+	w.Start()
+	w.RunUntil(100000)
+	// Recipients i get Values[i % 2]: node 0 "a", node 1 "b".
+	want := []protocol.Value{"a", "b", "a"}
+	for i := 0; i < 3; i++ {
+		var got protocol.Value
+		for _, m := range caps[i].msgs {
+			if m.Kind == protocol.Initiator && m.From == 3 {
+				got = m.M
+			}
+		}
+		if got != want[i] {
+			t.Errorf("node %d received Initiator %q, want %q", i, got, want[i])
+		}
+	}
+}
+
+func TestPartialGeneralInvitesSubset(t *testing.T) {
+	adv := &PartialGeneral{Invitees: []protocol.NodeID{1}, Value: "p", At: 500}
+	pp := protocol.DefaultParams(4)
+	w, err := simnet.New(simnet.Config{Params: pp, Seed: 5})
+	if err != nil {
+		t.Fatalf("simnet.New: %v", err)
+	}
+	caps := make([]*capture, 4)
+	for i := 0; i < 3; i++ {
+		caps[i] = &capture{}
+		w.SetNode(protocol.NodeID(i), caps[i])
+	}
+	w.SetNode(3, adv)
+	w.Start()
+	w.RunUntil(100000)
+	for i := 0; i < 3; i++ {
+		sawInit := false
+		sawSupport := false
+		for _, m := range caps[i].msgs {
+			if m.From != 3 {
+				continue
+			}
+			if m.Kind == protocol.Initiator {
+				sawInit = true
+			}
+			if m.Kind == protocol.Support {
+				sawSupport = true
+			}
+		}
+		if (i == 1) != sawInit {
+			t.Errorf("node %d Initiator receipt = %v, want %v", i, sawInit, i == 1)
+		}
+		if !sawSupport {
+			t.Errorf("node %d missing the General's support wave", i)
+		}
+	}
+}
+
+func TestLateSupporterContributesOncePerKind(t *testing.T) {
+	adv := &LateSupporter{G: 1, Value: "v"}
+	w, cap0 := adversaryWorld(t, adv, 6)
+	w.Scheduler().At(100, func() {
+		w.Runtime(1).Broadcast(protocol.Message{Kind: protocol.Support, G: 1, M: "v"})
+		w.Runtime(1).Broadcast(protocol.Message{Kind: protocol.Support, G: 1, M: "v"})
+		w.Runtime(1).Broadcast(protocol.Message{Kind: protocol.Approve, G: 1, M: "v"})
+	})
+	w.RunUntil(100000)
+	counts := map[protocol.MsgKind]int{}
+	for _, m := range cap0.msgs {
+		if m.From == 3 {
+			counts[m.Kind]++
+		}
+	}
+	if counts[protocol.Support] != 1 || counts[protocol.Approve] != 1 {
+		t.Errorf("LateSupporter contributions = %v, want one per kind", counts)
+	}
+}
+
+func TestLateSupporterIgnoresOtherGenerals(t *testing.T) {
+	adv := &LateSupporter{G: 2}
+	w, cap0 := adversaryWorld(t, adv, 7)
+	w.Scheduler().At(100, func() {
+		w.Runtime(1).Broadcast(protocol.Message{Kind: protocol.Support, G: 1, M: "v"})
+	})
+	w.RunUntil(100000)
+	for _, m := range cap0.msgs {
+		if m.From == 3 {
+			t.Errorf("LateSupporter reacted to a foreign General: %v", m)
+		}
+	}
+}
+
+func TestLateSupporterHoldLocal(t *testing.T) {
+	pp := protocol.DefaultParams(4)
+	adv := &LateSupporter{G: 1, HoldLocal: 5 * pp.D}
+	w, cap0 := adversaryWorld(t, adv, 8)
+	var sentAt simtime.Real
+	w.Scheduler().At(100, func() {
+		sentAt = w.Now()
+		w.Runtime(1).Broadcast(protocol.Message{Kind: protocol.Support, G: 1, M: "v"})
+	})
+	w.RunUntil(simtime.Real(20 * pp.D))
+	for _, m := range cap0.msgs {
+		if m.From == 3 && m.Kind == protocol.Support {
+			return // held contribution arrived
+		}
+	}
+	_ = sentAt
+	t.Error("held contribution never arrived")
+}
+
+func TestSpammerBurstsAndStops(t *testing.T) {
+	pp := protocol.DefaultParams(4)
+	adv := &Spammer{Every: pp.D, Burst: 8, Stop: 3 * pp.D}
+	w, cap0 := adversaryWorld(t, adv, 9)
+	w.RunUntil(simtime.Real(50 * pp.D))
+	if len(cap0.msgs) == 0 {
+		t.Fatal("Spammer sent nothing")
+	}
+	// After Stop, no further messages: find the latest arrival.
+	lastBurst := len(cap0.msgs)
+	w.RunUntil(simtime.Real(100 * pp.D))
+	if len(cap0.msgs) != lastBurst {
+		t.Errorf("Spammer kept sending after Stop: %d -> %d", lastBurst, len(cap0.msgs))
+	}
+}
+
+func TestReplayerReplaysCapture(t *testing.T) {
+	pp := protocol.DefaultParams(4)
+	adv := &Replayer{Delay: 10 * pp.D}
+	w, cap0 := adversaryWorld(t, adv, 10)
+	w.Scheduler().At(100, func() {
+		w.Runtime(1).Broadcast(protocol.Message{Kind: protocol.Ready, G: 1, M: "v"})
+	})
+	w.RunUntil(simtime.Real(50 * pp.D))
+	replayed := false
+	for _, m := range cap0.msgs {
+		// The replay arrives under the replayer's own identity: the
+		// transport prevents re-sending as the original sender.
+		if m.From == 3 && m.Kind == protocol.Ready && m.M == "v" {
+			replayed = true
+		}
+	}
+	if !replayed {
+		t.Error("Replayer never replayed the capture")
+	}
+}
+
+func TestEchoForgerEmitsSecondPhase(t *testing.T) {
+	pp := protocol.DefaultParams(4)
+	adv := &EchoForger{G: 1, ForgedP: 2, ForgedV: "f", K: 1, At: 2 * pp.D}
+	w, cap0 := adversaryWorld(t, adv, 11)
+	w.RunUntil(simtime.Real(20 * pp.D))
+	k := cap0.kinds()
+	if k[protocol.Echo] != 1 || k[protocol.InitPrime] != 1 || k[protocol.EchoPrime] != 1 {
+		t.Errorf("EchoForger output = %v, want one of each second-phase kind", k)
+	}
+	for _, m := range cap0.msgs {
+		if m.P != 2 || m.M != "f" {
+			t.Errorf("forged triple wrong: %+v", m)
+		}
+	}
+}

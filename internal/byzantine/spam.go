@@ -1,0 +1,160 @@
+package byzantine
+
+import (
+	"math/rand"
+
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/simnet"
+	"ssbyz/internal/simtime"
+)
+
+// Spammer floods the network with syntactically valid protocol messages
+// carrying random Generals, values, and rounds. It attacks memory bounds
+// (decay must keep state finite) and the unforgeability properties (no
+// amount of spam may produce an I-accept or acceptance without correct
+// participation).
+type Spammer struct {
+	rt protocol.Runtime
+	// Every is the local-time spacing between bursts (default d).
+	Every simtime.Duration
+	// Burst is how many messages per burst (default 2n).
+	Burst int
+	// Values is the pool of values to spam (default a fixed set).
+	Values []protocol.Value
+	// Stop, when positive, ends the spam after this much local time.
+	Stop simtime.Duration
+
+	elapsed simtime.Duration
+	rng     *rand.Rand
+}
+
+var _ protocol.Node = (*Spammer)(nil)
+
+// Start arms the burst loop.
+func (s *Spammer) Start(rt protocol.Runtime) {
+	s.rt = rt
+	if s.Every == 0 {
+		s.Every = rt.Params().D
+	}
+	if s.Burst == 0 {
+		s.Burst = 2 * rt.Params().N
+	}
+	if len(s.Values) == 0 {
+		s.Values = []protocol.Value{"spam-a", "spam-b", "spam-c"}
+	}
+	if adv, ok := rt.(simnet.AdversaryRuntime); ok {
+		s.rng = adv.Rand()
+	} else {
+		s.rng = rand.New(rand.NewSource(int64(rt.ID()) + 42))
+	}
+	rt.After(s.Every, protocol.TimerTag{Name: "spam"})
+}
+
+// OnMessage implements protocol.Node.
+func (s *Spammer) OnMessage(protocol.NodeID, protocol.Message) {}
+
+// OnTimer emits one burst and re-arms.
+func (s *Spammer) OnTimer(tag protocol.TimerTag) {
+	if tag.Name != "spam" {
+		return
+	}
+	pp := s.rt.Params()
+	kinds := []protocol.MsgKind{
+		protocol.Initiator, protocol.Support, protocol.Approve, protocol.Ready,
+		protocol.Init, protocol.Echo, protocol.InitPrime, protocol.EchoPrime,
+	}
+	for i := 0; i < s.Burst; i++ {
+		m := protocol.Message{
+			Kind: kinds[s.rng.Intn(len(kinds))],
+			G:    protocol.NodeID(s.rng.Intn(pp.N)),
+			M:    s.Values[s.rng.Intn(len(s.Values))],
+			P:    protocol.NodeID(s.rng.Intn(pp.N)),
+			K:    s.rng.Intn(2*pp.F + 2),
+		}
+		s.rt.Send(protocol.NodeID(s.rng.Intn(pp.N)), m)
+	}
+	s.elapsed += s.Every
+	if s.Stop > 0 && s.elapsed >= s.Stop {
+		return
+	}
+	s.rt.After(s.Every, protocol.TimerTag{Name: "spam"})
+}
+
+// Replayer records every message it receives and re-broadcasts the whole
+// capture after Delay — the classic replay attack against the decay and
+// separation machinery.
+type Replayer struct {
+	rt protocol.Runtime
+	// Delay is the local time to hold the capture before replaying.
+	Delay simtime.Duration
+	// Repeat, when positive, replays again every Repeat thereafter.
+	Repeat simtime.Duration
+
+	capture []protocol.Message
+}
+
+var _ protocol.Node = (*Replayer)(nil)
+
+// Start arms the replay timer.
+func (r *Replayer) Start(rt protocol.Runtime) {
+	r.rt = rt
+	if r.Delay == 0 {
+		r.Delay = rt.Params().DeltaRmv()
+	}
+	rt.After(r.Delay, protocol.TimerTag{Name: "replay"})
+}
+
+// OnMessage records the capture.
+func (r *Replayer) OnMessage(_ protocol.NodeID, m protocol.Message) {
+	// Note: the replayer can only re-send messages under its own identity;
+	// the transport's authentication prevents re-sending as the original
+	// sender, exactly as in the paper's model.
+	r.capture = append(r.capture, m)
+}
+
+// OnTimer replays the capture.
+func (r *Replayer) OnTimer(tag protocol.TimerTag) {
+	if tag.Name != "replay" {
+		return
+	}
+	for _, m := range r.capture {
+		r.rt.Broadcast(m)
+	}
+	if r.Repeat > 0 {
+		r.rt.After(r.Repeat, protocol.TimerTag{Name: "replay"})
+	}
+}
+
+// EchoForger attacks msgd-broadcast's unforgeability (TPS-2): it emits
+// echo / init′ / echo′ messages for broadcasts that were never sent.
+type EchoForger struct {
+	rt protocol.Runtime
+	// G is the agreement context to attack; ForgedP the claimed
+	// broadcaster; ForgedV the value; K the round.
+	G, ForgedP protocol.NodeID
+	ForgedV    protocol.Value
+	K          int
+	// At is the local time of the forgery.
+	At simtime.Duration
+}
+
+var _ protocol.Node = (*EchoForger)(nil)
+
+// Start arms the forgery.
+func (e *EchoForger) Start(rt protocol.Runtime) {
+	e.rt = rt
+	rt.After(e.At, protocol.TimerTag{Name: "forge"})
+}
+
+// OnMessage implements protocol.Node.
+func (e *EchoForger) OnMessage(protocol.NodeID, protocol.Message) {}
+
+// OnTimer emits the forged second-phase messages.
+func (e *EchoForger) OnTimer(tag protocol.TimerTag) {
+	if tag.Name != "forge" {
+		return
+	}
+	for _, kind := range []protocol.MsgKind{protocol.Echo, protocol.InitPrime, protocol.EchoPrime} {
+		e.rt.Broadcast(protocol.Message{Kind: kind, G: e.G, M: e.ForgedV, P: e.ForgedP, K: e.K})
+	}
+}

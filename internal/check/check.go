@@ -1,0 +1,253 @@
+// Package check turns the paper's proved properties into machine-checkable
+// predicates over simulation results: Agreement, Validity, Termination,
+// the Timeliness items 1–4 of Section 3, and the measurable parts of
+// IA-1..IA-4 and TPS-1..TPS-4. Every numeric bound uses the exact constant
+// from the paper (in units of d and Φ). The discrete-event transport
+// stamps both rt(·) and τ(·) on every event, so the mixed-frame bounds are
+// checked exactly.
+package check
+
+import (
+	"fmt"
+
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/sim"
+	"ssbyz/internal/simtime"
+)
+
+// Violation describes one property violation found in a run.
+type Violation struct {
+	Property string
+	Detail   string
+}
+
+func (v Violation) String() string { return v.Property + ": " + v.Detail }
+
+func violate(out *[]Violation, prop, format string, args ...any) {
+	*out = append(*out, Violation{Property: prop, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Agreement checks: if any correct node decides (G,m), all correct nodes
+// decide the same (and so no correct node aborts or hangs).
+func Agreement(res *sim.Result, g protocol.NodeID) []Violation {
+	var out []Violation
+	decs := res.Decisions(g)
+	var first *sim.Decision
+	for i := range decs {
+		if decs[i].Decided {
+			first = &decs[i]
+			break
+		}
+	}
+	if first == nil {
+		return nil // nobody decided: Agreement is vacuous
+	}
+	returned := make(map[protocol.NodeID]sim.Decision, len(decs))
+	for _, d := range decs {
+		returned[d.Node] = d
+	}
+	for _, id := range res.Correct {
+		d, ok := returned[id]
+		if !ok {
+			violate(&out, "Agreement", "node %d never returned although node %d decided %q", id, first.Node, first.Value)
+			continue
+		}
+		if !d.Decided {
+			violate(&out, "Agreement", "node %d aborted although node %d decided %q", id, first.Node, first.Value)
+			continue
+		}
+		if d.Value != first.Value {
+			violate(&out, "Agreement", "node %d decided %q but node %d decided %q", d.Node, d.Value, first.Node, first.Value)
+		}
+	}
+	return out
+}
+
+// Validity checks: a correct General's initiation at real time t0 leads
+// every correct node to decide the General's value, and (Timeliness-2)
+// t0−d ≤ rt(τG) ≤ rt(τq) ≤ t0+4d.
+func Validity(res *sim.Result, g protocol.NodeID, t0 simtime.Real, want protocol.Value) []Violation {
+	var out []Violation
+	pp := res.Scenario.Params
+	decs := res.Decisions(g)
+	byNode := make(map[protocol.NodeID]sim.Decision, len(decs))
+	for _, d := range decs {
+		byNode[d.Node] = d
+	}
+	for _, id := range res.Correct {
+		d, ok := byNode[id]
+		if !ok {
+			violate(&out, "Validity", "correct node %d never returned", id)
+			continue
+		}
+		if !d.Decided || d.Value != want {
+			violate(&out, "Validity", "node %d returned (%v,%q), want decide %q", id, d.Decided, d.Value, want)
+			continue
+		}
+		if d.RTauG < t0-simtime.Real(pp.D) {
+			violate(&out, "Timeliness-2", "node %d: rt(τG)=%d < t0−d=%d", id, d.RTauG, t0-simtime.Real(pp.D))
+		}
+		if d.RTauG > d.RT {
+			violate(&out, "Timeliness-2", "node %d: rt(τG)=%d > rt(τq)=%d", id, d.RTauG, d.RT)
+		}
+		if d.RT > t0+4*simtime.Real(pp.D) {
+			violate(&out, "Timeliness-2", "node %d: rt(τq)=%d > t0+4d=%d", id, d.RT, t0+4*simtime.Real(pp.D))
+		}
+	}
+	return out
+}
+
+// TimelinessAgreement checks Timeliness-1 over the correct decisions for
+// G: (a) decision real times within 3d of each other (2d when validity
+// holds), (b) anchors within 6d, (d) rt(τG) ≤ rt(τq) and
+// rt(τq) − rt(τG) ≤ Δagr.
+func TimelinessAgreement(res *sim.Result, g protocol.NodeID, validityHolds bool) []Violation {
+	var out []Violation
+	pp := res.Scenario.Params
+	var decided []sim.Decision
+	for _, d := range res.Decisions(g) {
+		if d.Decided {
+			decided = append(decided, d)
+		}
+	}
+	if len(decided) == 0 {
+		return nil
+	}
+	skewBound := 3 * simtime.Real(pp.D)
+	if validityHolds {
+		skewBound = 2 * simtime.Real(pp.D)
+	}
+	for i := 0; i < len(decided); i++ {
+		for j := i + 1; j < len(decided); j++ {
+			a, b := decided[i], decided[j]
+			if diff := absReal(a.RT - b.RT); diff > skewBound {
+				violate(&out, "Timeliness-1a", "nodes %d,%d decision skew %d > %d", a.Node, b.Node, diff, skewBound)
+			}
+			if diff := absReal(a.RTauG - b.RTauG); diff > 6*simtime.Real(pp.D) {
+				violate(&out, "Timeliness-1b", "nodes %d,%d anchor skew %d > 6d=%d", a.Node, b.Node, diff, 6*simtime.Real(pp.D))
+			}
+		}
+	}
+	for _, d := range decided {
+		if d.RTauG > d.RT {
+			violate(&out, "Timeliness-1d", "node %d: rt(τG)=%d > rt(τq)=%d", d.Node, d.RTauG, d.RT)
+		}
+		if d.RT-d.RTauG > simtime.Real(pp.DeltaAgr()) {
+			violate(&out, "Timeliness-1d", "node %d: rt(τq)−rt(τG)=%d > Δagr=%d", d.Node, d.RT-d.RTauG, pp.DeltaAgr())
+		}
+	}
+	return out
+}
+
+// AnchorInInvocationWindow checks Timeliness-1c: each decider's rt(τG)
+// falls in [t1−2d, t2], where [t1,t2] spans the correct invocations.
+func AnchorInInvocationWindow(res *sim.Result, g protocol.NodeID) []Violation {
+	var out []Violation
+	pp := res.Scenario.Params
+	invs := res.Invocations(g)
+	if len(invs) == 0 {
+		return nil
+	}
+	t1, t2 := invs[0].RT, invs[0].RT
+	for _, ev := range invs {
+		if ev.RT < t1 {
+			t1 = ev.RT
+		}
+		if ev.RT > t2 {
+			t2 = ev.RT
+		}
+	}
+	for _, d := range res.Decisions(g) {
+		if !d.Decided {
+			continue
+		}
+		if d.RTauG < t1-2*simtime.Real(pp.D) || d.RTauG > t2 {
+			violate(&out, "Timeliness-1c", "node %d: rt(τG)=%d outside [t1−2d,t2]=[%d,%d]",
+				d.Node, d.RTauG, t1-2*simtime.Real(pp.D), t2)
+		}
+	}
+	return out
+}
+
+// Termination checks Timeliness-3: every correct node that invoked the
+// protocol returns within Δagr of its invocation; nodes that participated
+// without invoking return within Δagr + 7d of the earliest invocation.
+func Termination(res *sim.Result, g protocol.NodeID) []Violation {
+	var out []Violation
+	pp := res.Scenario.Params
+	invs := res.Invocations(g)
+	invokedAt := make(map[protocol.NodeID]simtime.Real, len(invs))
+	earliest := simtime.Real(-1)
+	for _, ev := range invs {
+		if _, ok := invokedAt[ev.Node]; !ok {
+			invokedAt[ev.Node] = ev.RT
+		}
+		if earliest < 0 || ev.RT < earliest {
+			earliest = ev.RT
+		}
+	}
+	retAt := make(map[protocol.NodeID]simtime.Real)
+	for _, d := range res.Decisions(g) {
+		retAt[d.Node] = d.RT
+	}
+	// Expiry is the paper's second termination mode: "by time (2f+1)·Φ+3d
+	// on its clock all entries will be reset, which is a termination of
+	// the protocol". The expiry is detected by a periodic sweep, so allow
+	// one sweep interval (Δrmv/4) plus drift slack on top.
+	expiredAt := make(map[protocol.NodeID]simtime.Real)
+	for _, ev := range res.Rec.Filter(func(ev protocol.TraceEvent) bool {
+		return ev.Kind == protocol.EvExpire && ev.G == g && res.IsCorrect(ev.Node)
+	}) {
+		if _, ok := expiredAt[ev.Node]; !ok {
+			expiredAt[ev.Node] = ev.RT
+		}
+	}
+	expiryBound := simtime.Real(pp.DeltaAgr()) + 3*simtime.Real(pp.D) +
+		simtime.Real(pp.DeltaRmv()/4) + 2*simtime.Real(pp.D)
+	for node, t := range invokedAt {
+		rt, ok := retAt[node]
+		if !ok {
+			if exp, expired := expiredAt[node]; expired {
+				if exp-t > expiryBound {
+					violate(&out, "Termination", "node %d expired %d after invocation (bound (2f+1)Φ+3d+sweep=%d)",
+						node, exp-t, expiryBound)
+				}
+				continue
+			}
+			violate(&out, "Termination", "node %d invoked at %d but never returned nor expired", node, t)
+			continue
+		}
+		if rt-t > simtime.Real(pp.DeltaAgr())+simtime.Real(7*pp.D) {
+			violate(&out, "Termination", "node %d returned %d after invocation (bound Δagr+7d=%d)",
+				node, rt-t, simtime.Real(pp.DeltaAgr())+simtime.Real(7*pp.D))
+		}
+	}
+	// Participants that returned without invoking: Δagr + 7d from the
+	// earliest invocation.
+	if earliest >= 0 {
+		for node, rt := range retAt {
+			if _, ok := invokedAt[node]; ok {
+				continue
+			}
+			bound := earliest + simtime.Real(pp.DeltaAgr()) + 7*simtime.Real(pp.D)
+			if rt > bound {
+				violate(&out, "Termination", "non-invoking node %d returned at %d > bound %d", node, rt, bound)
+			}
+		}
+	}
+	return out
+}
+
+func absReal(x simtime.Real) simtime.Real {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func absDur(x simtime.Duration) simtime.Duration {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

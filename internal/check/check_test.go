@@ -1,0 +1,379 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/sim"
+	"ssbyz/internal/simtime"
+)
+
+// fakeResult builds a sim.Result with a hand-written trace: the checkers
+// only consult the recorder, the correct-node list, and the parameters.
+func fakeResult(correct []protocol.NodeID, events ...protocol.TraceEvent) *sim.Result {
+	rec := protocol.NewRecorder()
+	for _, ev := range events {
+		rec.Add(ev)
+	}
+	return &sim.Result{
+		Scenario: sim.Scenario{Params: protocol.DefaultParams(7)},
+		Rec:      rec,
+		Correct:  correct,
+	}
+}
+
+// decideEv builds a decide event with matching anchor fields.
+func decideEv(node protocol.NodeID, g protocol.NodeID, m protocol.Value, rt, rTauG simtime.Real) protocol.TraceEvent {
+	return protocol.TraceEvent{Kind: protocol.EvDecide, Node: node, G: g, M: m, RT: rt, RTauG: rTauG, TauG: simtime.Local(rTauG)}
+}
+
+func abortEv(node protocol.NodeID, g protocol.NodeID, rt simtime.Real) protocol.TraceEvent {
+	return protocol.TraceEvent{Kind: protocol.EvAbort, Node: node, G: g, RT: rt}
+}
+
+func hasViolation(vs []Violation, prop string) bool {
+	for _, v := range vs {
+		if strings.HasPrefix(v.Property, prop) {
+			return true
+		}
+	}
+	return false
+}
+
+var threeCorrect = []protocol.NodeID{1, 2, 3}
+
+func TestAgreementPasses(t *testing.T) {
+	res := fakeResult(threeCorrect,
+		decideEv(1, 0, "v", 100, 50),
+		decideEv(2, 0, "v", 110, 52),
+		decideEv(3, 0, "v", 120, 51),
+	)
+	if vs := Agreement(res, 0); len(vs) != 0 {
+		t.Errorf("unexpected violations: %v", vs)
+	}
+}
+
+func TestAgreementVacuousWhenNobodyDecides(t *testing.T) {
+	res := fakeResult(threeCorrect, abortEv(1, 0, 100), abortEv(2, 0, 105), abortEv(3, 0, 101))
+	if vs := Agreement(res, 0); len(vs) != 0 {
+		t.Errorf("all-abort flagged: %v", vs)
+	}
+}
+
+func TestAgreementFlagsValueSplit(t *testing.T) {
+	res := fakeResult(threeCorrect,
+		decideEv(1, 0, "v", 100, 50),
+		decideEv(2, 0, "w", 110, 52),
+		decideEv(3, 0, "v", 120, 51),
+	)
+	vs := Agreement(res, 0)
+	if !hasViolation(vs, "Agreement") {
+		t.Errorf("value split not flagged: %v", vs)
+	}
+}
+
+func TestAgreementFlagsMixedReturns(t *testing.T) {
+	res := fakeResult(threeCorrect,
+		decideEv(1, 0, "v", 100, 50),
+		abortEv(2, 0, 110),
+		decideEv(3, 0, "v", 120, 51),
+	)
+	if vs := Agreement(res, 0); !hasViolation(vs, "Agreement") {
+		t.Errorf("decide+abort mix not flagged: %v", vs)
+	}
+}
+
+func TestAgreementFlagsMissingNode(t *testing.T) {
+	res := fakeResult(threeCorrect,
+		decideEv(1, 0, "v", 100, 50),
+		decideEv(2, 0, "v", 110, 52),
+		// node 3 never returns
+	)
+	if vs := Agreement(res, 0); !hasViolation(vs, "Agreement") {
+		t.Errorf("hanging node not flagged: %v", vs)
+	}
+}
+
+func TestValidityPassesInWindow(t *testing.T) {
+	// t0=1000, d=1000: decisions by t0+4d=5000, anchors ≥ t0−d=0.
+	res := fakeResult(threeCorrect,
+		decideEv(1, 0, "v", 4000, 900),
+		decideEv(2, 0, "v", 4500, 950),
+		decideEv(3, 0, "v", 4900, 920),
+	)
+	if vs := Validity(res, 0, 1000, "v"); len(vs) != 0 {
+		t.Errorf("unexpected violations: %v", vs)
+	}
+}
+
+func TestValidityFlagsWrongValue(t *testing.T) {
+	res := fakeResult(threeCorrect,
+		decideEv(1, 0, "w", 4000, 900),
+		decideEv(2, 0, "v", 4500, 950),
+		decideEv(3, 0, "v", 4900, 920),
+	)
+	if vs := Validity(res, 0, 1000, "v"); !hasViolation(vs, "Validity") {
+		t.Errorf("wrong value not flagged: %v", vs)
+	}
+}
+
+func TestValidityFlagsLateDecision(t *testing.T) {
+	res := fakeResult(threeCorrect,
+		decideEv(1, 0, "v", 9000, 900), // > t0+4d
+		decideEv(2, 0, "v", 4500, 950),
+		decideEv(3, 0, "v", 4900, 920),
+	)
+	if vs := Validity(res, 0, 1000, "v"); !hasViolation(vs, "Timeliness-2") {
+		t.Errorf("late decision not flagged: %v", vs)
+	}
+}
+
+func TestValidityFlagsEarlyAnchor(t *testing.T) {
+	res := fakeResult(threeCorrect,
+		decideEv(1, 0, "v", 4000, -5000), // rt(τG) < t0−d
+		decideEv(2, 0, "v", 4500, 950),
+		decideEv(3, 0, "v", 4900, 920),
+	)
+	if vs := Validity(res, 0, 1000, "v"); !hasViolation(vs, "Timeliness-2") {
+		t.Errorf("early anchor not flagged: %v", vs)
+	}
+}
+
+func TestTimelinessAgreementSkewBounds(t *testing.T) {
+	// d=1000: 3d bound without validity, 2d with.
+	base := func(gap simtime.Real) *sim.Result {
+		return fakeResult(threeCorrect,
+			decideEv(1, 0, "v", 10000, 8000),
+			decideEv(2, 0, "v", 10000+gap, 8100),
+			decideEv(3, 0, "v", 10500, 8050),
+		)
+	}
+	if vs := TimelinessAgreement(base(2500), 0, false); len(vs) != 0 {
+		t.Errorf("2.5d skew flagged under the 3d bound: %v", vs)
+	}
+	if vs := TimelinessAgreement(base(2500), 0, true); !hasViolation(vs, "Timeliness-1a") {
+		t.Errorf("2.5d skew passed under the 2d validity bound: %v", vs)
+	}
+	if vs := TimelinessAgreement(base(3500), 0, false); !hasViolation(vs, "Timeliness-1a") {
+		t.Errorf("3.5d skew passed the 3d bound: %v", vs)
+	}
+}
+
+func TestTimelinessAgreementAnchorSkew(t *testing.T) {
+	res := fakeResult(threeCorrect,
+		decideEv(1, 0, "v", 10000, 1000),
+		decideEv(2, 0, "v", 10100, 9000), // anchors 8d apart
+		decideEv(3, 0, "v", 10200, 1500),
+	)
+	if vs := TimelinessAgreement(res, 0, false); !hasViolation(vs, "Timeliness-1b") {
+		t.Errorf("anchor skew not flagged: %v", vs)
+	}
+}
+
+func TestTimelinessAgreementAnchorAfterDecision(t *testing.T) {
+	res := fakeResult(threeCorrect,
+		decideEv(1, 0, "v", 10000, 11000), // rt(τG) > rt(τq)
+		decideEv(2, 0, "v", 10100, 9600),
+		decideEv(3, 0, "v", 10200, 9500),
+	)
+	if vs := TimelinessAgreement(res, 0, false); !hasViolation(vs, "Timeliness-1d") {
+		t.Errorf("anchor-after-decision not flagged: %v", vs)
+	}
+}
+
+func TestAnchorInInvocationWindow(t *testing.T) {
+	inv := func(node protocol.NodeID, rt simtime.Real) protocol.TraceEvent {
+		return protocol.TraceEvent{Kind: protocol.EvInvoke, Node: node, G: 0, RT: rt}
+	}
+	good := fakeResult(threeCorrect,
+		inv(1, 5000), inv(2, 5200), inv(3, 5400),
+		decideEv(1, 0, "v", 9000, 4000), // ≥ t1−2d = 3000
+		decideEv(2, 0, "v", 9100, 5200),
+		decideEv(3, 0, "v", 9200, 5400), // ≤ t2 = 5400
+	)
+	if vs := AnchorInInvocationWindow(good, 0); len(vs) != 0 {
+		t.Errorf("good anchors flagged: %v", vs)
+	}
+	bad := fakeResult(threeCorrect,
+		inv(1, 5000), inv(2, 5200), inv(3, 5400),
+		decideEv(1, 0, "v", 9000, 2000), // < t1−2d
+		decideEv(2, 0, "v", 9100, 6000), // > t2
+		decideEv(3, 0, "v", 9200, 5000),
+	)
+	if vs := AnchorInInvocationWindow(bad, 0); len(vs) != 2 {
+		t.Errorf("want 2 Timeliness-1c violations, got %v", vs)
+	}
+}
+
+func TestTerminationWithinBound(t *testing.T) {
+	pp := protocol.DefaultParams(7)
+	inv := protocol.TraceEvent{Kind: protocol.EvInvoke, Node: 1, G: 0, RT: 1000}
+	good := fakeResult(threeCorrect, inv, decideEv(1, 0, "v", 1000+simtime.Real(pp.DeltaAgr()), 900))
+	if vs := Termination(good, 0); len(vs) != 0 {
+		t.Errorf("in-bound return flagged: %v", vs)
+	}
+	late := fakeResult(threeCorrect, inv, decideEv(1, 0, "v", 1000+simtime.Real(pp.DeltaAgr())+8000, 900))
+	if vs := Termination(late, 0); !hasViolation(vs, "Termination") {
+		t.Errorf("late return not flagged: %v", vs)
+	}
+	hang := fakeResult(threeCorrect, inv)
+	if vs := Termination(hang, 0); !hasViolation(vs, "Termination") {
+		t.Errorf("hang not flagged: %v", vs)
+	}
+}
+
+func TestTerminationAcceptsExpiry(t *testing.T) {
+	pp := protocol.DefaultParams(7)
+	inv := protocol.TraceEvent{Kind: protocol.EvInvoke, Node: 1, G: 0, RT: 1000}
+	exp := protocol.TraceEvent{Kind: protocol.EvExpire, Node: 1, G: 0, RT: 1000 + simtime.Real(pp.DeltaAgr()) + 4000}
+	res := fakeResult(threeCorrect, inv, exp)
+	if vs := Termination(res, 0); len(vs) != 0 {
+		t.Errorf("timely expiry flagged: %v", vs)
+	}
+	lateExp := protocol.TraceEvent{Kind: protocol.EvExpire, Node: 1, G: 0, RT: 1000 + 3*simtime.Real(pp.DeltaAgr())}
+	res2 := fakeResult(threeCorrect, inv, lateExp)
+	if vs := Termination(res2, 0); !hasViolation(vs, "Termination") {
+		t.Errorf("late expiry not flagged: %v", vs)
+	}
+}
+
+func iaccept(node protocol.NodeID, m protocol.Value, rt, rTauG simtime.Real) protocol.TraceEvent {
+	return protocol.TraceEvent{Kind: protocol.EvIAccept, Node: node, G: 0, M: m, RT: rt, RTauG: rTauG, TauG: simtime.Local(rTauG)}
+}
+
+func TestIACorrectness(t *testing.T) {
+	// t0 = 1000, d = 1000.
+	good := fakeResult(threeCorrect,
+		iaccept(1, "v", 3000, 800),
+		iaccept(2, "v", 3500, 900),
+		iaccept(3, "v", 4200, 1200),
+	)
+	if vs := IACorrectness(good, 0, 1000); len(vs) != 0 {
+		t.Errorf("good run flagged: %v", vs)
+	}
+	lateAccept := fakeResult(threeCorrect,
+		iaccept(1, "v", 9000, 800), // > t0+4d
+		iaccept(2, "v", 3500, 900),
+		iaccept(3, "v", 4200, 1200),
+	)
+	vs := IACorrectness(lateAccept, 0, 1000)
+	if !hasViolation(vs, "IA-1A") || !hasViolation(vs, "IA-1B") {
+		t.Errorf("late accept not flagged for 1A and 1B: %v", vs)
+	}
+	spreadAnchors := fakeResult(threeCorrect,
+		iaccept(1, "v", 3000, 200),
+		iaccept(2, "v", 3500, 1900), // 1.7d from node 1 > d
+		iaccept(3, "v", 4200, 1000),
+	)
+	if vs := IACorrectness(spreadAnchors, 0, 1000); !hasViolation(vs, "IA-1C") {
+		t.Errorf("anchor spread not flagged: %v", vs)
+	}
+	missing := fakeResult(threeCorrect, iaccept(1, "v", 3000, 800))
+	if vs := IACorrectness(missing, 0, 1000); !hasViolation(vs, "IA-1A") {
+		t.Errorf("missing I-accepters not flagged: %v", vs)
+	}
+}
+
+func TestIARelay(t *testing.T) {
+	good := fakeResult(threeCorrect,
+		iaccept(1, "v", 10000, 9000),
+		iaccept(2, "v", 11000, 9500),
+		iaccept(3, "v", 11500, 8800),
+	)
+	if vs := IARelay(good, 0); len(vs) != 0 {
+		t.Errorf("good relay flagged: %v", vs)
+	}
+	straggler := fakeResult(threeCorrect,
+		iaccept(1, "v", 10000, 9000),
+		iaccept(2, "v", 15000, 9500), // 5d after the trigger > 2d
+		iaccept(3, "v", 11500, 8800),
+	)
+	if vs := IARelay(straggler, 0); !hasViolation(vs, "IA-3A") {
+		t.Errorf("relay straggler not flagged: %v", vs)
+	}
+	missing := fakeResult(threeCorrect, iaccept(1, "v", 10000, 9000))
+	if vs := IARelay(missing, 0); !hasViolation(vs, "IA-3A") {
+		t.Errorf("missing relay not flagged: %v", vs)
+	}
+}
+
+func TestIAUnforgeability(t *testing.T) {
+	// No invocations, but an I-accept: forged.
+	res := fakeResult(threeCorrect, iaccept(1, "v", 10000, 9000))
+	if vs := IAUnforgeability(res, 0); !hasViolation(vs, "IA-2") {
+		t.Errorf("forged I-accept not flagged: %v", vs)
+	}
+	withInvoke := fakeResult(threeCorrect,
+		protocol.TraceEvent{Kind: protocol.EvInvoke, Node: 2, G: 0, RT: 9000},
+		iaccept(1, "v", 10000, 9000),
+	)
+	if vs := IAUnforgeability(withInvoke, 0); len(vs) != 0 {
+		t.Errorf("legitimate I-accept flagged: %v", vs)
+	}
+}
+
+func TestIAUniqueness(t *testing.T) {
+	pp := protocol.DefaultParams(7)
+	// Different values with anchors ≤ 4d apart: violation.
+	tight := fakeResult(threeCorrect,
+		iaccept(1, "a", 10000, 9000),
+		iaccept(2, "b", 10500, 11000), // 2d apart
+	)
+	if vs := IAUniqueness(tight, 0); !hasViolation(vs, "IA-4A") {
+		t.Errorf("tight different-value anchors not flagged: %v", vs)
+	}
+	// Same value in the forbidden zone (6d, 2Δrmv−3d].
+	forbidden := fakeResult(threeCorrect,
+		iaccept(1, "a", 10000, 9000),
+		iaccept(2, "a", 30000, 9000+8000), // 8d apart
+	)
+	if vs := IAUniqueness(forbidden, 0); !hasViolation(vs, "IA-4B") {
+		t.Errorf("forbidden-zone same-value anchors not flagged: %v", vs)
+	}
+	// Same value far apart (> 2Δrmv−3d): a legitimate re-initiation.
+	farGap := 2*simtime.Real(pp.DeltaRmv()) - 1000
+	far := fakeResult(threeCorrect,
+		iaccept(1, "a", 10000, 9000),
+		iaccept(2, "a", 10000+farGap+5000, 9000+farGap),
+	)
+	if vs := IAUniqueness(far, 0); len(vs) != 0 {
+		t.Errorf("legitimate re-initiation flagged: %v", vs)
+	}
+}
+
+func TestSeparation(t *testing.T) {
+	good := fakeResult(threeCorrect,
+		decideEv(1, 0, "a", 10000, 9000),
+		decideEv(2, 0, "b", 16000, 15000), // 6d apart > 4d
+	)
+	if vs := Separation(good, 0); len(vs) != 0 {
+		t.Errorf("well-separated decisions flagged: %v", vs)
+	}
+	bad := fakeResult(threeCorrect,
+		decideEv(1, 0, "a", 10000, 9000),
+		decideEv(2, 0, "b", 11000, 10000), // 1d apart ≤ 4d
+	)
+	if vs := Separation(bad, 0); !hasViolation(vs, "Timeliness-4a") {
+		t.Errorf("close different-value decisions not flagged: %v", vs)
+	}
+}
+
+func TestAllConcatenates(t *testing.T) {
+	res := fakeResult(threeCorrect,
+		decideEv(1, 0, "v", 10000, 9000),
+		decideEv(2, 0, "w", 10100, 9100), // split and 4A at once
+		decideEv(3, 0, "v", 10200, 9050),
+	)
+	vs := All(res, 0)
+	if !hasViolation(vs, "Agreement") || !hasViolation(vs, "Timeliness-4a") {
+		t.Errorf("All missed expected violations: %v", vs)
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Property: "P", Detail: "d"}
+	if v.String() != "P: d" {
+		t.Errorf("String = %q", v.String())
+	}
+}

@@ -1,0 +1,195 @@
+package check
+
+import (
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/sim"
+	"ssbyz/internal/simtime"
+)
+
+// IACorrectness checks IA-1 for a correct General whose initiation hit the
+// network at real time t0:
+//
+//	1A — all correct nodes I-accept within 4d of the invocation;
+//	1B — all I-accepts within 2d of each other;
+//	1C — recording times rt(τG) within d of each other;
+//	1D — t0−d ≤ rt(τG) ≤ rt(τq) ≤ t0+4d for every I-accepter.
+func IACorrectness(res *sim.Result, g protocol.NodeID, t0 simtime.Real) []Violation {
+	var out []Violation
+	pp := res.Scenario.Params
+	accepts := res.IAccepts(g)
+	got := make(map[protocol.NodeID]protocol.TraceEvent, len(accepts))
+	for _, ev := range accepts {
+		if _, ok := got[ev.Node]; !ok {
+			got[ev.Node] = ev
+		}
+	}
+	d := simtime.Real(pp.D)
+	for _, id := range res.Correct {
+		ev, ok := got[id]
+		if !ok {
+			violate(&out, "IA-1A", "correct node %d never I-accepted", id)
+			continue
+		}
+		if ev.RT > t0+4*d {
+			violate(&out, "IA-1A", "node %d I-accepted at %d > t0+4d=%d", id, ev.RT, t0+4*d)
+		}
+		if ev.RTauG < t0-d {
+			violate(&out, "IA-1D", "node %d: rt(τG)=%d < t0−d=%d", id, ev.RTauG, t0-d)
+		}
+		if ev.RTauG > ev.RT {
+			violate(&out, "IA-1D", "node %d: rt(τG)=%d > rt(τq)=%d", id, ev.RTauG, ev.RT)
+		}
+	}
+	for _, a := range got {
+		for _, b := range got {
+			if a.Node >= b.Node {
+				continue
+			}
+			if diff := absReal(a.RT - b.RT); diff > 2*d {
+				violate(&out, "IA-1B", "nodes %d,%d I-accept skew %d > 2d", a.Node, b.Node, diff)
+			}
+			if diff := absReal(a.RTauG - b.RTauG); diff > d {
+				violate(&out, "IA-1C", "nodes %d,%d recording skew %d > d", a.Node, b.Node, diff)
+			}
+		}
+	}
+	return out
+}
+
+// IARelay checks IA-3: given any correct I-accept within Δagr of its
+// anchor, every correct node I-accepts within 2d of it with anchors within
+// 6d (3A), and rt(τG) ≤ rt(τq) with rt(τq) − rt(τG) ≤ Δagr + 8d (3C).
+func IARelay(res *sim.Result, g protocol.NodeID) []Violation {
+	var out []Violation
+	pp := res.Scenario.Params
+	accepts := res.IAccepts(g)
+	if len(accepts) == 0 {
+		return nil
+	}
+	d := simtime.Real(pp.D)
+	// Find a trigger: a correct I-accept within Δagr of its anchor.
+	var trigger *protocol.TraceEvent
+	for i := range accepts {
+		if accepts[i].RT-accepts[i].RTauG <= simtime.Real(pp.DeltaAgr()) {
+			trigger = &accepts[i]
+			break
+		}
+	}
+	if trigger == nil {
+		return nil
+	}
+	got := make(map[protocol.NodeID]protocol.TraceEvent, len(accepts))
+	for _, ev := range accepts {
+		if _, ok := got[ev.Node]; !ok {
+			got[ev.Node] = ev
+		}
+	}
+	for _, id := range res.Correct {
+		ev, ok := got[id]
+		if !ok {
+			violate(&out, "IA-3A", "node %d never I-accepted despite node %d's I-accept", id, trigger.Node)
+			continue
+		}
+		if diff := absReal(ev.RT - trigger.RT); diff > 2*d {
+			violate(&out, "IA-3A", "node %d I-accept %d from trigger > 2d", id, diff)
+		}
+		if diff := absReal(ev.RTauG - trigger.RTauG); diff > 6*d {
+			violate(&out, "IA-3A", "node %d anchor skew %d > 6d", id, diff)
+		}
+		if ev.RTauG > ev.RT {
+			violate(&out, "IA-3C", "node %d: rt(τG) > rt(τq)", id)
+		}
+		if ev.RT-ev.RTauG > simtime.Real(pp.DeltaAgr())+8*d {
+			violate(&out, "IA-3C", "node %d: rt(τq)−rt(τG)=%d > Δagr+8d", id, ev.RT-ev.RTauG)
+		}
+	}
+	return out
+}
+
+// IAUnforgeability checks IA-2: if no correct node invoked
+// Initiator-Accept for G, no correct node I-accepts anything from G.
+func IAUnforgeability(res *sim.Result, g protocol.NodeID) []Violation {
+	var out []Violation
+	if len(res.Invocations(g)) > 0 {
+		return nil
+	}
+	for _, ev := range res.IAccepts(g) {
+		violate(&out, "IA-2", "node %d I-accepted (G%d,%q) without any correct invocation", ev.Node, g, ev.M)
+	}
+	return out
+}
+
+// IAUniqueness checks IA-4 across every pair of correct I-accepts for G:
+//
+//	4A — different values: anchors > 4d apart;
+//	4B — same value: anchors ≤ 6d apart or > 2Δrmv − 3d apart.
+func IAUniqueness(res *sim.Result, g protocol.NodeID) []Violation {
+	var out []Violation
+	pp := res.Scenario.Params
+	accepts := res.IAccepts(g)
+	d := simtime.Real(pp.D)
+	for i := 0; i < len(accepts); i++ {
+		for j := i + 1; j < len(accepts); j++ {
+			a, b := accepts[i], accepts[j]
+			gap := absReal(a.RTauG - b.RTauG)
+			if a.M != b.M {
+				if gap <= 4*d {
+					violate(&out, "IA-4A", "nodes %d,%d anchors %d apart ≤ 4d for values %q vs %q",
+						a.Node, b.Node, gap, a.M, b.M)
+				}
+			} else {
+				if gap > 6*d && gap <= 2*simtime.Real(pp.DeltaRmv())-3*d {
+					violate(&out, "IA-4B", "nodes %d,%d anchors %d apart in forbidden zone (6d, 2Δrmv−3d] for %q",
+						a.Node, b.Node, gap, a.M)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Separation checks Timeliness-4 over correct decisions across all
+// agreements for G (same bounds as IA-4 applied to decision anchors).
+func Separation(res *sim.Result, g protocol.NodeID) []Violation {
+	var out []Violation
+	pp := res.Scenario.Params
+	var decided []sim.Decision
+	for _, dec := range res.Decisions(g) {
+		if dec.Decided {
+			decided = append(decided, dec)
+		}
+	}
+	d := simtime.Real(pp.D)
+	for i := 0; i < len(decided); i++ {
+		for j := i + 1; j < len(decided); j++ {
+			a, b := decided[i], decided[j]
+			gap := absReal(a.RTauG - b.RTauG)
+			if a.Value != b.Value {
+				if gap <= 4*d {
+					violate(&out, "Timeliness-4a", "decisions %q@%d and %q@%d anchors %d apart ≤ 4d",
+						a.Value, a.Node, b.Value, b.Node, gap)
+				}
+			} else if gap > 6*d && gap <= 2*simtime.Real(pp.DeltaRmv())-3*d {
+				violate(&out, "Timeliness-4b", "decisions on %q anchors %d apart in forbidden zone",
+					a.Value, gap)
+			}
+		}
+	}
+	return out
+}
+
+// All runs the core checks (Agreement, Timeliness-1, Termination,
+// IA relay/uniqueness, separation) for General g and concatenates the
+// violations. Validity/IA-1 need t0 and are checked separately.
+func All(res *sim.Result, g protocol.NodeID) []Violation {
+	var out []Violation
+	out = append(out, Agreement(res, g)...)
+	out = append(out, TimelinessAgreement(res, g, false)...)
+	out = append(out, AnchorInInvocationWindow(res, g)...)
+	out = append(out, Termination(res, g)...)
+	out = append(out, IARelay(res, g)...)
+	out = append(out, IAUnforgeability(res, g)...)
+	out = append(out, IAUniqueness(res, g)...)
+	out = append(out, Separation(res, g)...)
+	return out
+}

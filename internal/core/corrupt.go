@@ -1,0 +1,82 @@
+package core
+
+import (
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/simtime"
+)
+
+// This file exposes the control-state injection hooks used exclusively by
+// the transient-fault injector: a transient failure may leave the
+// agreement layer itself in an arbitrary configuration, and convergence
+// must be demonstrated from all of them.
+
+// CorruptMidAgreement puts the instance into a state as if it were in the
+// middle of an agreement anchored at tauG with candidate value m —
+// without any of the supporting messages having existed. Deadline timers
+// are deliberately NOT armed (the transient wiped them); the stabilization
+// backstop in cleanup must recover the instance.
+func (inst *Instance) CorruptMidAgreement(tauG simtime.Local, m protocol.Value) {
+	inst.tauGSet = true
+	inst.tauG = tauG
+	inst.anchoredAt = tauG
+	inst.iaValue = m
+	inst.invoked = true
+	inst.bc.InjectAnchor(tauG)
+}
+
+// CorruptReturned marks the instance as already returned at returnedAt,
+// with no reset timer pending — the "stuck forever" configuration the
+// cleanup backstop must clear.
+func (inst *Instance) CorruptReturned(returnedAt simtime.Local, decided bool, v protocol.Value) {
+	inst.returned = true
+	inst.returnedAt = returnedAt
+	inst.decided = decided
+	inst.retValue = v
+}
+
+// CorruptLevel plants a phantom accepted broadcast (p, ⟨G,m⟩, k) at local
+// time at, as transient residue in the Block S bookkeeping.
+func (inst *Instance) CorruptLevel(m protocol.Value, k int, p protocol.NodeID, at simtime.Local) {
+	byLevel, ok := inst.levels[m]
+	if !ok {
+		byLevel = make(map[int]map[protocol.NodeID]levelRec)
+		inst.levels[m] = byLevel
+	}
+	senders, ok := byLevel[k]
+	if !ok {
+		senders = make(map[protocol.NodeID]levelRec)
+		byLevel[k] = senders
+	}
+	senders[p] = levelRec{at: at}
+}
+
+// InstanceWithRuntime attaches rt (when the node has not started yet) and
+// returns the instance for g. The transient injector runs before Start and
+// needs instances to plant garbage in; Start later re-attaches the same
+// runtime and arms the sweep as usual.
+func (n *Node) InstanceWithRuntime(rt protocol.Runtime, g protocol.NodeID) *Instance {
+	if n.rt == nil {
+		n.rt = rt
+		n.pp = rt.Params()
+	}
+	return n.Instance(g)
+}
+
+// Instances returns the Generals with live instances (transient injector
+// and tests).
+func (n *Node) Instances() []protocol.NodeID {
+	out := make([]protocol.NodeID, 0, len(n.insts))
+	for g := range n.insts {
+		out = append(out, g)
+	}
+	return out
+}
+
+// CorruptGeneralState scrambles the General-side sending-validity
+// bookkeeping (IG1–IG3 timers), as a transient fault would.
+func (n *Node) CorruptGeneralState(lastInit simtime.Local, backoffUntil simtime.Local) {
+	n.hasInit = true
+	n.lastInit = lastInit
+	n.backoff = true
+	n.backoffUntil = backoffUntil
+}

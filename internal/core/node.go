@@ -1,0 +1,234 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"ssbyz/internal/initaccept"
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/simtime"
+)
+
+// Sending-validity errors returned by InitiateAgreement. A correct General
+// refuses to initiate when the criteria of Section 3 would be violated.
+var (
+	// ErrTooSoon: IG1 — less than Δ0 since the previous initiation.
+	ErrTooSoon = errors.New("core: IG1 violated: less than Δ0 since previous initiation")
+	// ErrValueTooSoon: IG2 — less than Δv since the previous initiation
+	// with the same value.
+	ErrValueTooSoon = errors.New("core: IG2 violated: less than Δv since previous initiation of this value")
+	// ErrBackoff: IG3 — a recent invocation failed; the General stays
+	// silent for Δreset.
+	ErrBackoff = errors.New("core: IG3 backoff: recent invocation failed, General is silent for Δreset")
+)
+
+// Node is a correct node running ss-Byz-Agree. It implements
+// protocol.Node, hosts one agreement instance per General, and carries the
+// General-side initiation logic for agreements it starts itself.
+type Node struct {
+	rt protocol.Runtime
+	pp protocol.Params
+
+	insts map[protocol.NodeID]*Instance
+	// outcomes records the latest return per General so Result stays
+	// answerable after the instance's 3d-deferred reset.
+	outcomes map[protocol.NodeID]outcome
+
+	// General-side sending-validity state (IG1–IG3).
+	hasInit       bool
+	lastInit      simtime.Local
+	lastValueInit map[protocol.Value]simtime.Local
+	backoff       bool
+	backoffUntil  simtime.Local
+	pendingIG3    map[protocol.Value]simtime.Local
+}
+
+var _ protocol.Node = (*Node)(nil)
+
+// NewNode returns an unattached correct node.
+func NewNode() *Node {
+	return &Node{
+		insts:         make(map[protocol.NodeID]*Instance),
+		outcomes:      make(map[protocol.NodeID]outcome),
+		lastValueInit: make(map[protocol.Value]simtime.Local),
+		pendingIG3:    make(map[protocol.Value]simtime.Local),
+	}
+}
+
+// outcome is one remembered agreement return.
+type outcome struct {
+	decided bool
+	value   protocol.Value
+}
+
+// Start attaches the runtime and arms the periodic decay sweep.
+func (n *Node) Start(rt protocol.Runtime) {
+	n.rt = rt
+	n.pp = rt.Params()
+	n.rt.After(n.sweepEvery(), protocol.TimerTag{Name: tagSweep})
+}
+
+func (n *Node) sweepEvery() simtime.Duration { return n.pp.DeltaRmv() / 4 }
+
+// Instance returns (creating on demand) the agreement instance for
+// General g.
+func (n *Node) Instance(g protocol.NodeID) *Instance {
+	inst, ok := n.insts[g]
+	if !ok {
+		inst = newInstance(n.rt, g, n.recordOutcome)
+		n.insts[g] = inst
+	}
+	return inst
+}
+
+// recordOutcome remembers the latest return for Result.
+func (n *Node) recordOutcome(g protocol.NodeID, decided bool, v protocol.Value) {
+	n.outcomes[g] = outcome{decided: decided, value: v}
+}
+
+// InitiateAgreement starts agreement on value m with this node as the
+// General (Block Q0), enforcing the Sending Validity Criteria.
+func (n *Node) InitiateAgreement(m protocol.Value) error {
+	if n.rt == nil {
+		return errors.New("core: node not started")
+	}
+	if m == protocol.Bottom {
+		return errors.New("core: cannot initiate agreement on ⊥")
+	}
+	now := n.rt.Now()
+	if n.backoff {
+		if n.pp.Sub(n.backoffUntil, now) > 0 {
+			return ErrBackoff
+		}
+		n.backoff = false
+	}
+	if n.hasInit {
+		if age := n.pp.Sub(now, n.lastInit); age >= 0 && age < n.pp.Delta0() {
+			return ErrTooSoon
+		}
+	}
+	if t, ok := n.lastValueInit[m]; ok {
+		if age := n.pp.Sub(now, t); age >= 0 && age < n.pp.DeltaV() {
+			return ErrValueTooSoon
+		}
+	}
+	// "The General, before initiating the primitive, removes from its
+	// memory all previously received messages associated with any previous
+	// invocation of the primitive with him as a General."
+	self := n.rt.ID()
+	n.Instance(self).ia.ClearMessages()
+
+	n.hasInit = true
+	n.lastInit = now
+	n.lastValueInit[m] = now
+	n.pendingIG3[m] = now
+	n.rt.Trace(protocol.TraceEvent{Kind: protocol.EvInitiate, G: self, M: m})
+	n.rt.Broadcast(protocol.Message{Kind: protocol.Initiator, G: self, M: m})
+	// IG3: verify the primitive's own progress (L4 ≤ 2d, M4 ≤ 3d,
+	// N4 ≤ 4d after invocation). Checked once the last bound has passed.
+	n.rt.After(5*n.pp.D, protocol.TimerTag{Name: tagIG3, M: m})
+	return nil
+}
+
+// Backoff reports whether the General-side IG3 silence is active.
+func (n *Node) Backoff() bool { return n.backoff }
+
+// Result returns the latest agreement outcome for General g:
+// returned=false while running (or never invoked), decided=false with
+// value ⊥ for abort. The outcome survives the instance's internal reset,
+// reflecting the most recent completed agreement for g.
+func (n *Node) Result(g protocol.NodeID) (returned, decided bool, value protocol.Value) {
+	if inst, ok := n.insts[g]; ok {
+		if returned, decided, value = inst.Returned(); returned {
+			return returned, decided, value
+		}
+	}
+	if out, ok := n.outcomes[g]; ok {
+		return true, out.decided, out.value
+	}
+	return false, false, protocol.Bottom
+}
+
+// OnMessage routes wire messages to the per-General instances.
+func (n *Node) OnMessage(from protocol.NodeID, m protocol.Message) {
+	if int(m.G) < 0 || int(m.G) >= n.pp.N {
+		return // malformed General id
+	}
+	switch m.Kind {
+	case protocol.Initiator:
+		// Only G itself may initiate for G; the transport authenticates
+		// From, so a forged Initiator is silently dropped.
+		if from != m.G {
+			return
+		}
+		n.Instance(m.G).onInitiator(m)
+	case protocol.Support, protocol.Approve, protocol.Ready:
+		n.Instance(m.G).ia.OnMessage(from, m)
+	case protocol.Init, protocol.Echo, protocol.InitPrime, protocol.EchoPrime:
+		n.Instance(m.G).bc.OnMessage(from, m)
+	}
+}
+
+// OnTimer dispatches timer expiries.
+func (n *Node) OnTimer(tag protocol.TimerTag) {
+	switch tag.Name {
+	case initaccept.TagRetry:
+		if inst, ok := n.insts[tag.G]; ok {
+			inst.ia.OnTimer(tag)
+		}
+	case tagBlockT:
+		if inst, ok := n.insts[tag.G]; ok {
+			inst.onBlockT(tag.K)
+		}
+	case tagBlockU:
+		if inst, ok := n.insts[tag.G]; ok {
+			inst.onBlockU()
+		}
+	case tagReset:
+		if inst, ok := n.insts[tag.G]; ok {
+			inst.reset()
+		}
+	case tagSweep:
+		now := n.rt.Now()
+		for _, inst := range n.insts {
+			inst.cleanup(now)
+		}
+		n.rt.After(n.sweepEvery(), protocol.TimerTag{Name: tagSweep})
+	case tagIG3:
+		n.checkIG3(tag.M)
+	case tagIGReset:
+		// End of Δreset silence is detected lazily in InitiateAgreement.
+	}
+}
+
+// checkIG3 determines whether the General's own invocation of
+// Initiator-Accept failed: "executing lines L4, M4 or N4 ... is not
+// completed within 2d, 3d or 4d of the invocation, respectively". On
+// failure the General goes silent for Δreset.
+func (n *Node) checkIG3(m protocol.Value) {
+	invokedAt, ok := n.pendingIG3[m]
+	if !ok {
+		return
+	}
+	delete(n.pendingIG3, m)
+	inst := n.Instance(n.rt.ID())
+	l4, m4, n4, okL, okM, okN := inst.ia.LineTimes(m)
+	d := n.pp.D
+	failed := !okL || n.pp.Sub(l4, invokedAt) > 2*d ||
+		!okM || n.pp.Sub(m4, invokedAt) > 3*d ||
+		!okN || n.pp.Sub(n4, invokedAt) > 4*d
+	if failed {
+		now := n.rt.Now()
+		n.backoff = true
+		n.backoffUntil = n.pp.Add(now, n.pp.DeltaReset())
+		n.rt.After(n.pp.DeltaReset(), protocol.TimerTag{Name: tagIGReset})
+	}
+}
+
+// String identifies the node for debugging.
+func (n *Node) String() string {
+	if n.rt == nil {
+		return "core.Node(unattached)"
+	}
+	return fmt.Sprintf("core.Node(%d)", n.rt.ID())
+}

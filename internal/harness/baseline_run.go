@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"ssbyz/internal/baseline"
+	"ssbyz/internal/metrics"
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/simnet"
+	"ssbyz/internal/simtime"
+)
+
+// runBaseline executes one fault-free TPS-87 baseline agreement (General
+// 0, value "v", initiated at 2d) with actual delays in [δ/2, δ] and
+// returns per-node decision latencies in ticks.
+func runBaseline(pp protocol.Params, seed int64, delta simtime.Duration) []float64 {
+	min := delta / 2
+	if min == 0 {
+		min = 1
+	}
+	w, err := simnet.New(simnet.Config{
+		Params:   pp,
+		Seed:     seed,
+		DelayMin: min,
+		DelayMax: delta,
+	})
+	if err != nil {
+		return nil
+	}
+	nodes := make([]*baseline.Node, pp.N)
+	for i := 0; i < pp.N; i++ {
+		nodes[i] = baseline.NewNode()
+		w.SetNode(protocol.NodeID(i), nodes[i])
+	}
+	w.Start()
+	t0 := simtime.Real(2 * pp.D)
+	w.Scheduler().At(t0, func() { nodes[0].InitiateAgreement("v") })
+	w.RunUntil(simtime.Real(10 * pp.DeltaAgr()))
+
+	var lats []float64
+	for _, ev := range w.Recorder().ByKind(protocol.EvBaselineDecide) {
+		lats = append(lats, float64(ev.RT-t0))
+	}
+	return lats
+}
+
+// meanBaselineLatency averages the baseline's decision latency over seeds.
+func meanBaselineLatency(pp protocol.Params, seeds int, delta simtime.Duration) float64 {
+	var lats []float64
+	for seed := 0; seed < seeds; seed++ {
+		lats = append(lats, runBaseline(pp, int64(seed), delta)...)
+	}
+	return metrics.Summarize(lats).Mean
+}

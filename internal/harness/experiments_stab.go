@@ -1,0 +1,347 @@
+package harness
+
+import (
+	"fmt"
+
+	"ssbyz/internal/byzantine"
+	"ssbyz/internal/check"
+	"ssbyz/internal/metrics"
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/sim"
+	"ssbyz/internal/simnet"
+	"ssbyz/internal/simtime"
+	"ssbyz/internal/transient"
+)
+
+// E6Convergence corrupts every node's state at the moment of coherence and
+// measures when the first fully-verified agreement completes — the
+// self-stabilization claim, bound Δstb = 2Δreset.
+func E6Convergence(opt Options) *Result {
+	r := &Result{ID: "E6", Title: "Convergence from arbitrary state"}
+	pp := protocol.DefaultParams(7)
+	seeds := opt.seeds(20)
+	t := metrics.NewTable("time to first verified agreement after coherence (in d)",
+		"seeds", "mean", "p95", "max", "bound Δstb", "recovered")
+
+	var times []float64
+	recovered := 0
+	for seed := 0; seed < seeds; seed++ {
+		conv, ok, vio := convergenceTime(pp, int64(seed))
+		r.Violations += vio
+		if ok {
+			recovered++
+			times = append(times, dF(float64(conv), pp))
+		}
+	}
+	s := metrics.Summarize(times)
+	t.AddRow(seeds, s.Mean, s.P95, s.Max, dF(float64(pp.DeltaStb()), pp), fmt.Sprintf("%d/%d", recovered, seeds))
+	r.Tables = append(r.Tables, t)
+	r.Notes = append(r.Notes,
+		"state corrupted at t=0 (every protocol variable, spurious in-flight messages); a correct General retries initiations throughout")
+	return r
+}
+
+// convergenceTime runs one corruption scenario and returns the real time
+// of the first initiation that every correct node decided with full
+// validity, ok=false when none succeeded within the run.
+func convergenceTime(pp protocol.Params, seed int64) (simtime.Duration, bool, int) {
+	spacing := pp.Delta0() + 2*pp.D
+	runFor := pp.DeltaStb() + 6*pp.DeltaAgr()
+	var inits []sim.Initiation
+	for i := 0; simtime.Duration(i)*spacing < runFor; i++ {
+		inits = append(inits, sim.Initiation{
+			At:    simtime.Real(simtime.Duration(i) * spacing),
+			G:     0,
+			Value: protocol.Value(fmt.Sprintf("c%d", i)),
+		})
+	}
+	sc := sim.Scenario{
+		Params:      pp,
+		Seed:        seed,
+		Initiations: inits,
+		Corrupt: func(w *simnet.World) {
+			transient.Corrupt(w, transient.Config{Seed: seed + 1000, Severity: 1})
+		},
+		RunFor: runFor,
+	}
+	res, err := sim.Run(sc)
+	if err != nil {
+		return 0, false, 1
+	}
+	vio := 0
+	for i, init := range inits {
+		if _, refused := res.InitErrs[i]; refused {
+			continue // IG1–IG3 refusals are part of convergence
+		}
+		decs := decisionsFor(res, 0, init.Value)
+		if len(decs) != len(res.Correct) {
+			continue
+		}
+		// Verified: every correct node decided this value in the validity
+		// window relative to the initiation.
+		ok := true
+		var last simtime.Real
+		for _, d := range decs {
+			if d.RT > init.At+4*simtime.Real(pp.D) || !d.Decided {
+				ok = false
+				break
+			}
+			if d.RT > last {
+				last = d.RT
+			}
+		}
+		if ok {
+			return simtime.Duration(last), true, vio
+		}
+	}
+	return 0, false, vio
+}
+
+// decisionsFor filters correct-node decisions for one value, one entry
+// per node (the first).
+func decisionsFor(res *sim.Result, g protocol.NodeID, v protocol.Value) []sim.Decision {
+	var out []sim.Decision
+	seen := make(map[protocol.NodeID]bool)
+	for _, d := range res.Decisions(g) {
+		if d.Decided && d.Value == v && !seen[d.Node] {
+			seen[d.Node] = true
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// E7FaultyGeneralAgreement hammers the all-or-none guarantee with an
+// equivocating General amplified by colluders across many seeds.
+func E7FaultyGeneralAgreement(opt Options) *Result {
+	r := &Result{ID: "E7", Title: "Agreement under a faulty General"}
+	pp := protocol.DefaultParams(7)
+	seeds := opt.seeds(200)
+	t := metrics.NewTable("equivocating General outcomes (n=7)",
+		"seeds", "all decide", "all abort", "mixed returns", "value splits")
+
+	allDecide, allAbort, mixed, splits := 0, 0, 0, 0
+	for seed := 0; seed < seeds; seed++ {
+		res, err := sim.Run(sim.Scenario{
+			Params: pp,
+			Seed:   int64(seed),
+			Faulty: map[protocol.NodeID]protocol.Node{
+				0: &byzantine.Equivocator{Values: []protocol.Value{"a", "b"}, At: 2 * pp.D},
+				6: &byzantine.Yeasayer{},
+			},
+			RunFor: 5 * pp.DeltaAgr(),
+		})
+		if err != nil {
+			r.Violations++
+			continue
+		}
+		r.Violations += countViolations(
+			check.Agreement(res, 0),
+			check.IAUniqueness(res, 0),
+			check.Separation(res, 0),
+		)
+		decs := res.Decisions(0)
+		values := make(map[protocol.Value]bool)
+		nDec, nAb := 0, 0
+		for _, d := range decs {
+			if d.Decided {
+				nDec++
+				values[d.Value] = true
+			} else {
+				nAb++
+			}
+		}
+		switch {
+		case len(values) > 1:
+			splits++
+		case nDec == len(res.Correct):
+			allDecide++
+		case nDec == 0:
+			allAbort++
+		default:
+			mixed++
+		}
+	}
+	t.AddRow(seeds, allDecide, allAbort, mixed, splits)
+	r.Tables = append(r.Tables, t)
+	r.Notes = append(r.Notes,
+		"the Agreement property requires value splits = 0 and mixed returns = 0 whenever any node decides;",
+		"all-abort outcomes are permitted for a faulty General")
+	if splits > 0 || mixed > 0 {
+		r.Violations += splits + mixed
+	}
+	return r
+}
+
+// E8InitiatorAccept measures the primitive's IA-1 bounds in isolation
+// (through full-protocol runs, whose I-accept events the primitive owns)
+// and the IA-4 uniqueness bound under equivocation.
+func E8InitiatorAccept(opt Options) *Result {
+	r := &Result{ID: "E8", Title: "Initiator-Accept bounds"}
+	seeds := opt.seeds(30)
+	t := metrics.NewTable("IA-1 bounds, correct General (in d)",
+		"n", "max accept−t0", "bound 4d", "max mutual skew", "bound 2d", "max anchor skew", "bound d")
+	for _, n := range opt.nSweep() {
+		pp := protocol.DefaultParams(n)
+		var maxWin, maxSkew, maxAnchor float64
+		for seed := 0; seed < seeds; seed++ {
+			sc, t0 := correctGeneralScenario(n, int64(seed), 0, 0)
+			res, err := sim.Run(sc)
+			if err != nil {
+				r.Violations++
+				continue
+			}
+			r.Violations += countViolations(check.IACorrectness(res, 0, t0))
+			accepts := res.IAccepts(0)
+			var rts, anchors []simtime.Real
+			for _, ev := range accepts {
+				rts = append(rts, ev.RT)
+				anchors = append(anchors, ev.RTauG)
+				if w := dF(float64(ev.RT-t0), pp); w > maxWin {
+					maxWin = w
+				}
+			}
+			if s := dF(float64(pairwiseSkew(rts)), pp); s > maxSkew {
+				maxSkew = s
+			}
+			if s := dF(float64(pairwiseSkew(anchors)), pp); s > maxAnchor {
+				maxAnchor = s
+			}
+		}
+		t.AddRow(n, maxWin, "4d", maxSkew, "2d", maxAnchor, "1d")
+	}
+	r.Tables = append(r.Tables, t)
+
+	// IA-4 uniqueness under equivocation.
+	pp := protocol.DefaultParams(7)
+	uniq := metrics.NewTable("IA-4 uniqueness under an equivocating General (n=7)",
+		"seeds", "runs with any I-accept", "IA-4 violations")
+	withAccept, vio := 0, 0
+	for seed := 0; seed < seeds; seed++ {
+		res, err := sim.Run(sim.Scenario{
+			Params: pp,
+			Seed:   int64(seed),
+			Faulty: map[protocol.NodeID]protocol.Node{
+				0: &byzantine.Equivocator{Values: []protocol.Value{"a", "b"}, At: 2 * pp.D},
+				6: &byzantine.Yeasayer{},
+			},
+			RunFor: 5 * pp.DeltaAgr(),
+		})
+		if err != nil {
+			vio++
+			continue
+		}
+		if len(res.IAccepts(0)) > 0 {
+			withAccept++
+		}
+		vio += countViolations(check.IAUniqueness(res, 0), check.IARelay(res, 0))
+	}
+	uniq.AddRow(seeds, withAccept, vio)
+	r.Violations += vio
+	r.Tables = append(r.Tables, uniq)
+	return r
+}
+
+// E9MsgdBroadcast measures TPS-1 (3d accept skew for correct broadcasts)
+// and TPS-2 (no acceptance of forged broadcasts).
+func E9MsgdBroadcast(opt Options) *Result {
+	r := &Result{ID: "E9", Title: "msgd-broadcast bounds"}
+	seeds := opt.seeds(30)
+	pp := protocol.DefaultParams(7)
+
+	// TPS-1: fault-free run; every decider broadcasts (q, v, 1); group
+	// accepts by broadcaster and measure the acceptance spread.
+	t := metrics.NewTable("TPS-1 accept skew per correct broadcast (n=7, in d)",
+		"seeds", "broadcasts", "max skew", "bound 3d")
+	broadcasts := 0
+	var maxSkew float64
+	for seed := 0; seed < seeds; seed++ {
+		sc, _ := correctGeneralScenario(7, int64(seed), 0, 0)
+		res, err := sim.Run(sc)
+		if err != nil {
+			r.Violations++
+			continue
+		}
+		byTriple := make(map[string][]simtime.Real)
+		for _, ev := range res.Rec.Events() {
+			if ev.Kind != protocol.EvAccept || !res.IsCorrect(ev.Node) || ev.G != 0 {
+				continue
+			}
+			key := fmt.Sprintf("%d|%s|%d", ev.P, ev.M, ev.K)
+			byTriple[key] = append(byTriple[key], ev.RT)
+		}
+		for _, rts := range byTriple {
+			if len(rts) < pp.Quorum() {
+				continue // partially-collected triple (post-reset stragglers)
+			}
+			broadcasts++
+			if s := dF(float64(pairwiseSkew(rts)), pp); s > maxSkew {
+				maxSkew = s
+				if s > 3 {
+					r.Violations++
+				}
+			}
+		}
+	}
+	t.AddRow(seeds, broadcasts, maxSkew, "3d")
+	r.Tables = append(r.Tables, t)
+
+	// TPS-2: echo forgers fabricate second-phase messages for a broadcast
+	// that never happened; no correct node may accept it.
+	forged := metrics.NewTable("TPS-2 unforgeability under echo forgers (n=7)",
+		"seeds", "forged acceptances")
+	forgedAccepts := 0
+	for seed := 0; seed < seeds; seed++ {
+		res, err := sim.Run(sim.Scenario{
+			Params: pp,
+			Seed:   int64(seed),
+			Faulty: map[protocol.NodeID]protocol.Node{
+				5: &byzantine.EchoForger{G: 0, ForgedP: 1, ForgedV: "forged", K: 1, At: 2 * pp.D},
+				6: &byzantine.EchoForger{G: 0, ForgedP: 1, ForgedV: "forged", K: 1, At: 2 * pp.D},
+			},
+			Initiations: []sim.Initiation{{At: simtime.Real(2 * pp.D), G: 0, Value: "v"}},
+			RunFor:      4 * pp.DeltaAgr(),
+		})
+		if err != nil {
+			r.Violations++
+			continue
+		}
+		for _, ev := range res.Rec.Events() {
+			if ev.Kind == protocol.EvAccept && res.IsCorrect(ev.Node) && ev.M == "forged" {
+				forgedAccepts++
+			}
+		}
+		r.Violations += countViolations(check.Agreement(res, 0))
+	}
+	forged.AddRow(seeds, forgedAccepts)
+	r.Violations += forgedAccepts
+	r.Tables = append(r.Tables, forged)
+	return r
+}
+
+// E10MessageComplexity counts messages per agreement across n — the
+// implied O(n²) per phase.
+func E10MessageComplexity(opt Options) *Result {
+	r := &Result{ID: "E10", Title: "Message complexity"}
+	seeds := opt.seeds(10)
+	t := metrics.NewTable("messages per fault-free agreement",
+		"n", "total msgs (mean)", "msgs / n²")
+	for _, n := range opt.nSweep() {
+		var totals []float64
+		for seed := 0; seed < seeds; seed++ {
+			sc, _ := correctGeneralScenario(n, int64(seed), 0, 0)
+			res, err := sim.Run(sc)
+			if err != nil {
+				r.Violations++
+				continue
+			}
+			total, _ := res.World.MessageCount()
+			totals = append(totals, float64(total))
+		}
+		mean := metrics.Summarize(totals).Mean
+		t.AddRow(n, mean, mean/float64(n*n))
+	}
+	r.Tables = append(r.Tables, t)
+	r.Notes = append(r.Notes, "msgs/n² stays bounded: the per-agreement cost is Θ(n²), matching the all-to-all message pattern of each stage")
+	return r
+}

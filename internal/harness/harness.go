@@ -1,0 +1,223 @@
+// Package harness defines the experiment suite of the reproduction: one
+// experiment per proved bound / headline claim of the paper (E1–E10) plus
+// the figure-shaped series (F1–F4), exactly as indexed in DESIGN.md §4.
+// Each experiment regenerates the rows recorded in EXPERIMENTS.md; the
+// root bench_test.go exposes one testing.B target per experiment and
+// cmd/ssbyz-bench prints the full suite.
+//
+// The paper is a theory paper: its "tables" are proved numeric bounds (in
+// units of d and Φ) and its "figures" are the claimed behavioural shapes
+// (message-driven speed, linear early stopping, Δstb convergence). The
+// harness measures each on the discrete-event simulator, where rt(·) and
+// τ(·) are exact, and reports measured-vs-bound.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ssbyz/internal/check"
+	"ssbyz/internal/metrics"
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/sim"
+	"ssbyz/internal/simtime"
+)
+
+// Options tunes the suite's cost.
+type Options struct {
+	// Seeds is the number of randomized repetitions per configuration
+	// (default 20; the heavier experiments cap it themselves).
+	Seeds int
+	// Quick shrinks sweeps for unit tests (3 seeds, small n only).
+	Quick bool
+}
+
+// seeds returns the effective repetition count.
+func (o Options) seeds(def int) int {
+	if o.Quick {
+		return 3
+	}
+	if o.Seeds > 0 {
+		return o.Seeds
+	}
+	return def
+}
+
+// nSweep returns the node-count sweep.
+func (o Options) nSweep() []int {
+	if o.Quick {
+		return []int{4, 7}
+	}
+	return []int{4, 7, 10, 16, 25, 31}
+}
+
+// Result is one experiment's output.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []*metrics.Table
+	// Notes carries shape conclusions ("ours wins by ×12 at δ=d/10").
+	Notes []string
+	// Violations counts property violations found during the experiment
+	// (must be zero for a faithful reproduction).
+	Violations int
+}
+
+// WriteTo renders the result.
+func (r *Result) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	write := func(format string, args ...any) error {
+		m, err := fmt.Fprintf(w, format, args...)
+		n += int64(m)
+		return err
+	}
+	if err := write("## %s — %s\n\n", r.ID, r.Title); err != nil {
+		return n, err
+	}
+	for _, t := range r.Tables {
+		if err := write("%s\n", t.String()); err != nil {
+			return n, err
+		}
+	}
+	for _, note := range r.Notes {
+		if err := write("- %s\n", note); err != nil {
+			return n, err
+		}
+	}
+	if err := write("- property violations: %d\n\n", r.Violations); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// Experiment couples an identifier with its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	// Claim cites the paper property the experiment reproduces.
+	Claim string
+	Run   func(Options) *Result
+}
+
+// All returns the full suite in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "Validity latency under a correct General", "Validity + Timeliness-2: decide within [t0−d, t0+4d]", E1ValidityLatency},
+		{"E2", "Decision and anchor skew", "Timeliness-1: skew ≤ 3d (2d under validity), anchors ≤ 6d", E2AgreementSkew},
+		{"E3", "Termination bound", "Timeliness-3: return within Δagr (+7d if not invoked)", E3TerminationBound},
+		{"E4", "Early stopping in the actual fault count", "O(f′) rounds, f′ ≤ f actual faults", E4EarlyStopping},
+		{"E5", "Message-driven vs time-driven rounds", "headline: runtime tracks actual δ, not the worst-case bound", E5MessageDrivenSpeedup},
+		{"E6", "Convergence from arbitrary state", "self-stabilization within Δstb = 2Δreset", E6Convergence},
+		{"E7", "Agreement under a faulty General", "Agreement: all-or-none, no splits (IA-4)", E7FaultyGeneralAgreement},
+		{"E8", "Initiator-Accept bounds", "IA-1A..1D, IA-4 on the primitive in isolation", E8InitiatorAccept},
+		{"E9", "msgd-broadcast bounds", "TPS-1/TPS-2: 3d accept skew, unforgeability", E9MsgdBroadcast},
+		{"E10", "Message complexity", "O(n²) messages per agreement", E10MessageComplexity},
+		{"F1", "Latency vs n (ours vs baseline)", "figure: scalability series", F1LatencyVsN},
+		{"F2", "Latency vs actual δ (ours vs baseline)", "figure: the crossover-free domination shape", F2LatencyVsDelta},
+		{"F3", "Recovery timeline after a transient fault", "figure: fraction recovered vs time since coherence", F3RecoveryTimeline},
+		{"F4", "Pulse synchronization skew", "figure: companion [6] pulse layer atop agreement", F4PulseSkew},
+		{"A1", "Block R window ablation", "why the repo uses 5d where Fig. 1 says 4d (DESIGN.md §3)", A1BlockRWindow},
+	}
+}
+
+// RunAll executes the full suite and writes every result to w.
+func RunAll(w io.Writer, opt Options) ([]*Result, error) {
+	var out []*Result
+	for _, ex := range All() {
+		res := ex.Run(opt)
+		out = append(out, res)
+		if _, err := res.WriteTo(w); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// ---- shared helpers ----
+
+// dF converts ticks to multiples of d for presentation.
+func dF(ticks float64, pp protocol.Params) float64 { return ticks / float64(pp.D) }
+
+// correctGeneralScenario builds the canonical fault-free scenario: General
+// 0 initiates "v" at t0 = 2d.
+func correctGeneralScenario(n int, seed int64, delayMin, delayMax simtime.Duration) (sim.Scenario, simtime.Real) {
+	pp := protocol.DefaultParams(n)
+	t0 := simtime.Real(2 * pp.D)
+	sc := sim.Scenario{
+		Params:      pp,
+		Seed:        seed,
+		DelayMin:    delayMin,
+		DelayMax:    delayMax,
+		Initiations: []sim.Initiation{{At: t0, G: 0, Value: "v"}},
+		RunFor:      simtime.Duration(t0) + 3*pp.DeltaAgr(),
+	}
+	return sc, t0
+}
+
+// decisionLatencies returns rt(decision) − t0 per correct decider, the
+// max, and whether all correct nodes decided.
+func decisionLatencies(res *sim.Result, g protocol.NodeID, t0 simtime.Real) (lats []float64, maxLat float64, all bool) {
+	decs := res.Decisions(g)
+	decided := 0
+	for _, d := range decs {
+		if !d.Decided {
+			continue
+		}
+		decided++
+		lat := float64(d.RT - t0)
+		lats = append(lats, lat)
+		if lat > maxLat {
+			maxLat = lat
+		}
+	}
+	return lats, maxLat, decided == len(res.Correct)
+}
+
+// pairwiseSkew returns the maximal pairwise gap of the given instants.
+func pairwiseSkew(ts []simtime.Real) simtime.Duration {
+	if len(ts) == 0 {
+		return 0
+	}
+	lo, hi := ts[0], ts[0]
+	for _, t := range ts {
+		if t < lo {
+			lo = t
+		}
+		if t > hi {
+			hi = t
+		}
+	}
+	return simtime.Duration(hi - lo)
+}
+
+// decideTimes extracts decision/anchor instants of correct deciders.
+func decideTimes(res *sim.Result, g protocol.NodeID) (rts, anchors []simtime.Real) {
+	for _, d := range res.Decisions(g) {
+		if d.Decided {
+			rts = append(rts, d.RT)
+			anchors = append(anchors, d.RTauG)
+		}
+	}
+	return rts, anchors
+}
+
+// countViolations tallies check results, appending details to notes when
+// verbose diagnosis is useful.
+func countViolations(vs ...[]check.Violation) int {
+	n := 0
+	for _, v := range vs {
+		n += len(v)
+	}
+	return n
+}
+
+// sortedKeys returns the sorted keys of an int-keyed map (table ordering).
+func sortedKeys[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,184 @@
+// Package indexed implements the paper's footnote-9 extension:
+//
+//	"One can expand the protocol to a number of concurrent invocations
+//	by using an index to differentiate among the concurrent
+//	invocations."
+//
+// A Node multiplexes S independent ss-Byz-Agree slots. Each slot is a
+// complete inner protocol node with its own Initiator-Accept rate-limit
+// state, so a General may run up to S agreements concurrently — the
+// sending-validity criteria IG1–IG3 apply per slot, exactly the
+// "counters added to concurrent agreement initiations" the paper
+// describes. The wire traffic of slot s is namespaced two ways: the
+// message's Aux field carries the slot index (routing), and values are
+// prefixed "s<idx>|" (so no message-log window of one slot can ever count
+// messages of another).
+//
+// All safety properties hold per slot because each slot IS a full
+// instance of the protocol over the same node set; slots share nothing
+// but the transport.
+package indexed
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ssbyz/internal/core"
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/simtime"
+)
+
+// tagPrefix namespaces timer tags per slot.
+const tagPrefix = "ix"
+
+// Node multiplexes a fixed number of concurrent agreement slots. It
+// implements protocol.Node.
+type Node struct {
+	rt    protocol.Runtime
+	slots []*core.Node
+}
+
+var _ protocol.Node = (*Node)(nil)
+
+// NewNode returns a node with the given number of concurrent slots
+// (minimum 1).
+func NewNode(slots int) *Node {
+	if slots < 1 {
+		slots = 1
+	}
+	n := &Node{slots: make([]*core.Node, slots)}
+	for i := range n.slots {
+		n.slots[i] = core.NewNode()
+	}
+	return n
+}
+
+// Slots returns the number of concurrent slots.
+func (n *Node) Slots() int { return len(n.slots) }
+
+// Start attaches the runtime and starts every slot behind its own
+// namespacing runtime.
+func (n *Node) Start(rt protocol.Runtime) {
+	n.rt = rt
+	for i, slot := range n.slots {
+		slot.Start(&slotRT{Runtime: rt, slot: i})
+	}
+}
+
+// InitiateAgreement starts agreement on v in the given slot with this
+// node as General. Different slots run concurrently; within one slot the
+// usual IG1–IG3 criteria apply.
+func (n *Node) InitiateAgreement(slot int, v protocol.Value) error {
+	if slot < 0 || slot >= len(n.slots) {
+		return fmt.Errorf("indexed: slot %d out of range [0,%d)", slot, len(n.slots))
+	}
+	return n.slots[slot].InitiateAgreement(SlotValue(slot, v))
+}
+
+// Result returns slot's outcome for General g, with the slot namespace
+// stripped from the value.
+func (n *Node) Result(slot int, g protocol.NodeID) (returned, decided bool, v protocol.Value) {
+	if slot < 0 || slot >= len(n.slots) {
+		return false, false, protocol.Bottom
+	}
+	returned, decided, nv := n.slots[slot].Result(g)
+	if decided {
+		if _, inner, ok := ParseSlotValue(nv); ok {
+			nv = inner
+		}
+	}
+	return returned, decided, nv
+}
+
+// OnMessage routes by the Aux slot index. Messages with out-of-range
+// slots (a faulty sender or another configuration) are dropped.
+func (n *Node) OnMessage(from protocol.NodeID, m protocol.Message) {
+	if m.Kind == protocol.BaselineRound {
+		return
+	}
+	if m.Aux < 0 || m.Aux >= len(n.slots) {
+		return
+	}
+	// Defense in depth: the value must carry the same slot namespace, so
+	// cross-slot replays are droppable even if Aux is forged to match.
+	if s, _, ok := ParseSlotValue(m.M); ok && s != m.Aux {
+		return
+	}
+	n.slots[m.Aux].OnMessage(from, m)
+}
+
+// OnTimer strips the slot namespace and forwards.
+func (n *Node) OnTimer(tag protocol.TimerTag) {
+	slot, inner, ok := parseTag(tag.Name)
+	if !ok || slot < 0 || slot >= len(n.slots) {
+		return
+	}
+	tag.Name = inner
+	n.slots[slot].OnTimer(tag)
+}
+
+// SlotValue namespaces v for a slot.
+func SlotValue(slot int, v protocol.Value) protocol.Value {
+	return protocol.Value("s" + strconv.Itoa(slot) + "|" + string(v))
+}
+
+// ParseSlotValue splits a namespaced value.
+func ParseSlotValue(v protocol.Value) (slot int, inner protocol.Value, ok bool) {
+	s := string(v)
+	if !strings.HasPrefix(s, "s") {
+		return 0, v, false
+	}
+	bar := strings.IndexByte(s, '|')
+	if bar < 2 {
+		return 0, v, false
+	}
+	slot, err := strconv.Atoi(s[1:bar])
+	if err != nil {
+		return 0, v, false
+	}
+	return slot, protocol.Value(s[bar+1:]), true
+}
+
+// makeTag / parseTag namespace timer-tag names per slot.
+func makeTag(slot int, name string) string {
+	return tagPrefix + strconv.Itoa(slot) + "|" + name
+}
+
+func parseTag(name string) (slot int, inner string, ok bool) {
+	if !strings.HasPrefix(name, tagPrefix) {
+		return 0, name, false
+	}
+	rest := name[len(tagPrefix):]
+	bar := strings.IndexByte(rest, '|')
+	if bar < 1 {
+		return 0, name, false
+	}
+	slot, err := strconv.Atoi(rest[:bar])
+	if err != nil {
+		return 0, name, false
+	}
+	return slot, rest[bar+1:], true
+}
+
+// slotRT namespaces one slot's traffic: outgoing messages get Aux = slot,
+// timer tags get a slot prefix. Everything else passes through.
+type slotRT struct {
+	protocol.Runtime
+	slot int
+}
+
+func (s *slotRT) Send(to protocol.NodeID, m protocol.Message) {
+	m.Aux = s.slot
+	s.Runtime.Send(to, m)
+}
+
+func (s *slotRT) Broadcast(m protocol.Message) {
+	m.Aux = s.slot
+	s.Runtime.Broadcast(m)
+}
+
+func (s *slotRT) After(dl simtime.Duration, tag protocol.TimerTag) protocol.TimerID {
+	tag.Name = makeTag(s.slot, tag.Name)
+	return s.Runtime.After(dl, tag)
+}

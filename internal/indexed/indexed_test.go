@@ -1,0 +1,185 @@
+package indexed
+
+import (
+	"errors"
+	"testing"
+
+	"ssbyz/internal/core"
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/simnet"
+	"ssbyz/internal/simtime"
+)
+
+// indexedWorld assembles n indexed nodes with the given slot count.
+func indexedWorld(t *testing.T, n, slots int, seed int64) (*simnet.World, []*Node) {
+	t.Helper()
+	pp := protocol.DefaultParams(n)
+	w, err := simnet.New(simnet.Config{Params: pp, Seed: seed, DelayMin: pp.D / 2, DelayMax: pp.D})
+	if err != nil {
+		t.Fatalf("simnet.New: %v", err)
+	}
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = NewNode(slots)
+		w.SetNode(protocol.NodeID(i), nodes[i])
+	}
+	w.Start()
+	return w, nodes
+}
+
+// TestConcurrentInvocationsSameGeneral is the footnote-9 headline: one
+// General runs three agreements AT THE SAME INSTANT — impossible under
+// IG1 without the index — and every slot completes independently.
+func TestConcurrentInvocationsSameGeneral(t *testing.T) {
+	w, nodes := indexedWorld(t, 7, 3, 1)
+	pp := w.Params()
+	w.Scheduler().At(simtime.Real(2*pp.D), func() {
+		for slot := 0; slot < 3; slot++ {
+			v := protocol.Value([]string{"alpha", "beta", "gamma"}[slot])
+			if err := nodes[0].InitiateAgreement(slot, v); err != nil {
+				t.Errorf("slot %d: %v", slot, err)
+			}
+		}
+	})
+	w.RunUntil(simtime.Real(3 * pp.DeltaAgr()))
+	want := []protocol.Value{"alpha", "beta", "gamma"}
+	for slot := 0; slot < 3; slot++ {
+		for i, node := range nodes {
+			returned, decided, v := node.Result(slot, 0)
+			if !returned || !decided || v != want[slot] {
+				t.Errorf("node %d slot %d: (%v,%v,%q), want decide %q", i, slot, returned, decided, v, want[slot])
+			}
+		}
+	}
+}
+
+func TestIG1StillAppliesWithinSlot(t *testing.T) {
+	w, nodes := indexedWorld(t, 4, 2, 2)
+	pp := w.Params()
+	var second error
+	w.Scheduler().At(simtime.Real(2*pp.D), func() {
+		if err := nodes[0].InitiateAgreement(0, "a"); err != nil {
+			t.Errorf("first: %v", err)
+		}
+		second = nodes[0].InitiateAgreement(0, "b") // same slot, immediate
+	})
+	w.RunUntil(simtime.Real(pp.DeltaAgr()))
+	if !errors.Is(second, core.ErrTooSoon) {
+		t.Errorf("same-slot immediate reinitiation error = %v, want ErrTooSoon", second)
+	}
+}
+
+func TestSlotRangeChecked(t *testing.T) {
+	_, nodes := indexedWorld(t, 4, 2, 3)
+	if err := nodes[0].InitiateAgreement(5, "v"); err == nil {
+		t.Error("out-of-range slot accepted")
+	}
+	if err := nodes[0].InitiateAgreement(-1, "v"); err == nil {
+		t.Error("negative slot accepted")
+	}
+	if returned, _, _ := nodes[0].Result(9, 0); returned {
+		t.Error("Result for out-of-range slot returned")
+	}
+}
+
+// TestCrossSlotIsolation: messages of slot 0 must never complete a quorum
+// in slot 1 even when a faulty node forges the Aux routing field.
+func TestCrossSlotIsolation(t *testing.T) {
+	pp := protocol.DefaultParams(4)
+	w, err := simnet.New(simnet.Config{Params: pp, Seed: 4})
+	if err != nil {
+		t.Fatalf("simnet.New: %v", err)
+	}
+	nodes := make([]*Node, 4)
+	for i := 0; i < 4; i++ {
+		nodes[i] = NewNode(2)
+		w.SetNode(protocol.NodeID(i), nodes[i])
+	}
+	w.Start()
+	// Forged cross-slot replay: slot-0-namespaced values with Aux = 1.
+	w.Scheduler().At(100, func() {
+		for _, kind := range []protocol.MsgKind{protocol.Support, protocol.Approve, protocol.Ready} {
+			w.Runtime(3).Broadcast(protocol.Message{
+				Kind: kind, G: 0, M: SlotValue(0, "forged"), Aux: 1,
+			})
+		}
+	})
+	w.RunUntil(simtime.Real(3 * pp.DeltaAgr()))
+	for i, node := range nodes {
+		if _, decided, _ := node.Result(1, 0); decided {
+			t.Errorf("node %d decided in slot 1 from forged cross-slot traffic", i)
+		}
+	}
+}
+
+func TestSlotValueRoundTrip(t *testing.T) {
+	cases := []struct {
+		slot int
+		v    protocol.Value
+	}{
+		{0, "x"}, {7, "with|bar"}, {123, ""},
+	}
+	for _, tc := range cases {
+		slot, inner, ok := ParseSlotValue(SlotValue(tc.slot, tc.v))
+		if !ok || slot != tc.slot || inner != tc.v {
+			t.Errorf("round trip (%d,%q) = (%d,%q,%v)", tc.slot, tc.v, slot, inner, ok)
+		}
+	}
+	for _, raw := range []protocol.Value{"", "plain", "s|", "sx|v"} {
+		if _, _, ok := ParseSlotValue(raw); ok {
+			t.Errorf("ParseSlotValue(%q) accepted a non-namespaced value", raw)
+		}
+	}
+}
+
+func TestTagRoundTrip(t *testing.T) {
+	slot, inner, ok := parseTag(makeTag(3, "agr-sweep"))
+	if !ok || slot != 3 || inner != "agr-sweep" {
+		t.Errorf("tag round trip = (%d,%q,%v)", slot, inner, ok)
+	}
+	if _, _, ok := parseTag("agr-sweep"); ok {
+		t.Error("parseTag accepted an un-namespaced tag")
+	}
+}
+
+func TestMinimumOneSlot(t *testing.T) {
+	n := NewNode(0)
+	if n.Slots() != 1 {
+		t.Errorf("Slots = %d, want 1", n.Slots())
+	}
+}
+
+// TestDecisionSkewPerSlot: concurrent slots keep the Timeliness-1a skew
+// bound independently.
+func TestDecisionSkewPerSlot(t *testing.T) {
+	w, nodes := indexedWorld(t, 7, 2, 5)
+	pp := w.Params()
+	w.Scheduler().At(simtime.Real(2*pp.D), func() {
+		_ = nodes[0].InitiateAgreement(0, "s0")
+		_ = nodes[1].InitiateAgreement(1, "s1") // different General, other slot
+	})
+	w.RunUntil(simtime.Real(3 * pp.DeltaAgr()))
+	// Group decide traces by namespaced value and check skews.
+	byValue := make(map[protocol.Value][]simtime.Real)
+	for _, ev := range w.Recorder().ByKind(protocol.EvDecide) {
+		byValue[ev.M] = append(byValue[ev.M], ev.RT)
+	}
+	for v, rts := range byValue {
+		if len(rts) != 7 {
+			t.Errorf("value %q decided by %d nodes, want 7", v, len(rts))
+			continue
+		}
+		lo, hi := rts[0], rts[0]
+		for _, rt := range rts {
+			if rt < lo {
+				lo = rt
+			}
+			if rt > hi {
+				hi = rt
+			}
+		}
+		if hi-lo > 2*simtime.Real(pp.D) {
+			t.Errorf("value %q: decision skew %d > 2d", v, hi-lo)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package initaccept
+
+import (
+	"testing"
+
+	"ssbyz/internal/protocol"
+)
+
+// BenchmarkFullWave measures one complete Initiator-Accept wave at a
+// single node: invoke + 5 supports + 5 approves + 5 readys → I-accept.
+func BenchmarkFullWave(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rt, ia, _ := newFake()
+		ia.Invoke("v", rt.now)
+		feed(rt, ia, protocol.Support, "v", 2, 3, 4, 5, 6)
+		feed(rt, ia, protocol.Approve, "v", 2, 3, 4, 5, 6)
+		feed(rt, ia, protocol.Ready, "v", 2, 3, 4, 5, 6)
+	}
+}
+
+// BenchmarkEvaluateQuiescent measures the per-message re-evaluation cost
+// on a node with live state but nothing new to conclude — the primitive's
+// hot path under message load.
+func BenchmarkEvaluateQuiescent(b *testing.B) {
+	rt, ia, _ := newFake()
+	ia.Invoke("v", rt.now)
+	feed(rt, ia, protocol.Support, "v", 2, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ia.Evaluate(rt.now)
+	}
+}
+
+// BenchmarkCleanup measures the background decay sweep.
+func BenchmarkCleanup(b *testing.B) {
+	rt, ia, _ := newFake()
+	ia.Invoke("v", rt.now)
+	feed(rt, ia, protocol.Support, "v", 2, 3, 4, 5, 6)
+	feed(rt, ia, protocol.Approve, "v", 2, 3, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ia.Cleanup(rt.now)
+	}
+}

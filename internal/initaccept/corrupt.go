@@ -1,0 +1,43 @@
+package initaccept
+
+import (
+	"ssbyz/internal/msglog"
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/simtime"
+)
+
+// This file exposes state-injection hooks used exclusively by the
+// transient-fault injector and white-box tests: a transient failure may
+// leave every variable of Fig. 2 holding an arbitrary value, and
+// self-stabilization must recover from all of them.
+
+// InjectIValue installs an arbitrary i_values[G,m] recording time.
+func (ia *Instance) InjectIValue(m protocol.Value, rec simtime.Local) {
+	ia.iValues[m] = rec
+}
+
+// InjectLastG installs an arbitrary lastq(G) update.
+func (ia *Instance) InjectLastG(t simtime.Local) { ia.lastG.inject(t) }
+
+// InjectLastGM installs an arbitrary lastq(G,m) update.
+func (ia *Instance) InjectLastGM(m protocol.Value, t simtime.Local) {
+	ia.gm(m).inject(t)
+}
+
+// InjectReady installs an arbitrary ready_{G,m} flag set time.
+func (ia *Instance) InjectReady(m protocol.Value, t simtime.Local) {
+	ia.ready[m] = t
+}
+
+// InjectRecord installs a spurious reception record.
+func (ia *Instance) InjectRecord(kind protocol.MsgKind, m protocol.Value, sender protocol.NodeID, at simtime.Local) {
+	ia.log.InjectRaw(msglog.Key{Kind: kind, G: ia.g, M: m}, sender, at)
+}
+
+// InjectPending installs a phantom pending invocation.
+func (ia *Instance) InjectPending(m protocol.Value, at simtime.Local) {
+	ia.pending[m] = at
+}
+
+// LogLen reports the number of stored reception records (for tests).
+func (ia *Instance) LogLen() int { return ia.log.Len() }

@@ -1,0 +1,93 @@
+package integration
+
+import (
+	"math/rand"
+	"testing"
+
+	"ssbyz/internal/byzantine"
+	"ssbyz/internal/check"
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/sim"
+	"ssbyz/internal/simtime"
+)
+
+func TestCustomDelayFn(t *testing.T) {
+	pp := protocol.DefaultParams(4)
+	fixed := pp.D / 3
+	sc := sim.Scenario{
+		Params: pp,
+		Delay: func(from, to protocol.NodeID, m protocol.Message, rng *rand.Rand) simtime.Duration {
+			return fixed
+		},
+		Initiations: []sim.Initiation{{At: simtime.Real(2 * pp.D), G: 0, Value: "v"}},
+	}
+	res, err := sim.Run(sc)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if vs := check.Validity(res, 0, simtime.Real(2*pp.D), "v"); len(vs) != 0 {
+		t.Errorf("violations with custom delay: %v", vs)
+	}
+}
+
+// TestFuzzRandomAdversaries is the core safety fuzz: across many seeds,
+// random adversary placements and strategies, the Agreement and IA-4
+// properties must never break. This is the property-based equivalent of
+// the paper's "malicious nodes incessantly hamper stabilization".
+func TestFuzzRandomAdversaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz sweep skipped in -short")
+	}
+	pp := protocol.DefaultParams(7)
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		faulty := make(map[protocol.NodeID]protocol.Node)
+		// Pick f random distinct faulty nodes with random strategies.
+		for len(faulty) < pp.F {
+			id := protocol.NodeID(rng.Intn(pp.N))
+			if _, ok := faulty[id]; ok {
+				continue
+			}
+			switch rng.Intn(6) {
+			case 0:
+				faulty[id] = &byzantine.Silent{}
+			case 1:
+				faulty[id] = &byzantine.Yeasayer{}
+			case 2:
+				faulty[id] = &byzantine.Equivocator{
+					Values: []protocol.Value{"a", "b"},
+					At:     simtime.Duration(rng.Intn(int(4 * pp.D))),
+				}
+			case 3:
+				faulty[id] = &byzantine.LateSupporter{G: 0, HoldLocal: simtime.Duration(rng.Intn(int(6 * pp.D)))}
+			case 4:
+				faulty[id] = &byzantine.Spammer{}
+			case 5:
+				faulty[id] = &byzantine.Replayer{Delay: simtime.Duration(rng.Intn(int(pp.DeltaRmv())))}
+			}
+		}
+		sc := sim.Scenario{
+			Params: pp,
+			Seed:   seed,
+			Faulty: faulty,
+			RunFor: 5 * pp.DeltaAgr(),
+		}
+		// A correct General initiates if node 0 is correct.
+		if _, isFaulty := faulty[0]; !isFaulty {
+			sc.Initiations = []sim.Initiation{{At: simtime.Real(2 * pp.D), G: 0, Value: "real"}}
+		}
+		res, err := sim.Run(sc)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Check every General the adversaries may have impersonated.
+		for g := 0; g < pp.N; g++ {
+			vs := check.Agreement(res, protocol.NodeID(g))
+			vs = append(vs, check.IAUniqueness(res, protocol.NodeID(g))...)
+			vs = append(vs, check.Separation(res, protocol.NodeID(g))...)
+			if len(vs) != 0 {
+				t.Errorf("seed %d General %d: %v", seed, g, vs)
+			}
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package integration
+
+import (
+	"fmt"
+	"testing"
+
+	"ssbyz/internal/check"
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/sim"
+	"ssbyz/internal/simnet"
+	"ssbyz/internal/simtime"
+	"ssbyz/internal/transient"
+)
+
+// TestRecurringAgreementsNoDuplicateDecides is the regression test for the
+// stale-acceptance bug: with back-to-back agreements spaced at Δ0 + 2d,
+// straggler echo′ residue of wave k used to replay under wave k+1's anchor
+// and drive a SECOND decide of value k at the same node (violating the
+// one-return-per-agreement contract and the Timeliness-4 separation).
+// Every (node, value) pair must decide exactly once.
+func TestRecurringAgreementsNoDuplicateDecides(t *testing.T) {
+	pp := protocol.DefaultParams(7)
+	spacing := pp.Delta0() + 2*pp.D
+	var inits []sim.Initiation
+	for i := 0; i < 10; i++ {
+		inits = append(inits, sim.Initiation{
+			At:    simtime.Real(simtime.Duration(i) * spacing),
+			G:     0,
+			Value: protocol.Value(fmt.Sprintf("r%d", i)),
+		})
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		res, err := sim.Run(sim.Scenario{
+			Params:      pp,
+			Seed:        seed,
+			Initiations: inits,
+			RunFor:      simtime.Duration(len(inits))*spacing + 3*pp.DeltaAgr(),
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		type key struct {
+			node protocol.NodeID
+			v    protocol.Value
+		}
+		counts := make(map[key]int)
+		for _, d := range res.Decisions(0) {
+			if d.Decided {
+				counts[key{d.Node, d.Value}]++
+			}
+		}
+		for i := range inits {
+			for _, node := range res.Correct {
+				k := key{node, inits[i].Value}
+				if counts[k] != 1 {
+					t.Errorf("seed %d: node %d decided %q %d times, want exactly 1",
+						seed, node, inits[i].Value, counts[k])
+				}
+			}
+		}
+	}
+}
+
+// TestRecurringAgreementsAfterCorruption combines the two stressors: full
+// state corruption at t=0 plus the General retrying a fresh value every
+// Δ0+2d. Convergence to per-value unanimous, validity-window decisions
+// must happen within Δstb of coherence.
+func TestRecurringAgreementsAfterCorruption(t *testing.T) {
+	pp := protocol.DefaultParams(7)
+	spacing := pp.Delta0() + 2*pp.D
+	runFor := pp.DeltaStb() + 6*pp.DeltaAgr()
+	var inits []sim.Initiation
+	for i := 0; simtime.Duration(i)*spacing < runFor-pp.DeltaAgr(); i++ {
+		inits = append(inits, sim.Initiation{
+			At:    simtime.Real(simtime.Duration(i) * spacing),
+			G:     0,
+			Value: protocol.Value(fmt.Sprintf("rc%d", i)),
+		})
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		seed := seed
+		res, err := sim.Run(sim.Scenario{
+			Params:      pp,
+			Seed:        seed,
+			Initiations: inits,
+			Corrupt: func(w *simnet.World) {
+				transient.Corrupt(w, transient.Config{Seed: seed + 500, Severity: 1})
+			},
+			RunFor: runFor,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		converged := simtime.Real(-1)
+		for i, init := range inits {
+			if _, refused := res.InitErrs[i]; refused {
+				continue
+			}
+			if ok, last := verifiedInitiation(res, init, pp); ok {
+				converged = last
+				break
+			}
+		}
+		if converged < 0 {
+			t.Errorf("seed %d: never converged to a verified agreement", seed)
+			continue
+		}
+		if converged > simtime.Real(pp.DeltaStb()) {
+			t.Errorf("seed %d: first verified agreement at %d > Δstb=%d", seed, converged, pp.DeltaStb())
+		}
+		// After convergence the system must stay converged (closure): every
+		// later non-refused initiation is verified too.
+		for i, init := range inits {
+			if init.At <= converged || simtime.Duration(init.At) >= runFor-3*pp.DeltaAgr() {
+				continue
+			}
+			if _, refused := res.InitErrs[i]; refused {
+				t.Errorf("seed %d: initiation %q refused after convergence", seed, init.Value)
+				continue
+			}
+			if ok, _ := verifiedInitiation(res, init, pp); !ok {
+				t.Errorf("seed %d: initiation %q at %d not verified after convergence", seed, init.Value, init.At)
+			}
+		}
+	}
+}
+
+// verifiedInitiation reports whether every correct node decided the
+// initiation's value within the validity window, and the last decision
+// instant.
+func verifiedInitiation(res *sim.Result, init sim.Initiation, pp protocol.Params) (bool, simtime.Real) {
+	nodes := make(map[protocol.NodeID]bool)
+	var last simtime.Real
+	for _, d := range res.Decisions(0) {
+		if !d.Decided || d.Value != init.Value {
+			continue
+		}
+		if d.RT < init.At-simtime.Real(pp.D) || d.RT > init.At+4*simtime.Real(pp.D) {
+			return false, 0
+		}
+		nodes[d.Node] = true
+		if d.RT > last {
+			last = d.RT
+		}
+	}
+	return len(nodes) == len(res.Correct), last
+}
+
+// TestSeparationAcrossRecurringAgreements runs the Timeliness-4 checker
+// over the whole recurring-agreement trace: consecutive same-General
+// decisions must respect the separation bounds.
+func TestSeparationAcrossRecurringAgreements(t *testing.T) {
+	pp := protocol.DefaultParams(7)
+	spacing := pp.Delta0() + 2*pp.D
+	var inits []sim.Initiation
+	for i := 0; i < 8; i++ {
+		inits = append(inits, sim.Initiation{
+			At:    simtime.Real(simtime.Duration(i) * spacing),
+			G:     0,
+			Value: protocol.Value(fmt.Sprintf("s%d", i)),
+		})
+	}
+	res, err := sim.Run(sim.Scenario{
+		Params:      pp,
+		Seed:        9,
+		Initiations: inits,
+		RunFor:      simtime.Duration(len(inits))*spacing + 3*pp.DeltaAgr(),
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if vs := check.Separation(res, 0); len(vs) != 0 {
+		t.Errorf("separation violations: %v", vs)
+	}
+	if vs := check.IAUniqueness(res, 0); len(vs) != 0 {
+		t.Errorf("uniqueness violations: %v", vs)
+	}
+}

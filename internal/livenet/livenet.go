@@ -1,0 +1,357 @@
+// Package livenet is the real-time transport: every node runs its own
+// event-loop goroutine, messages travel over in-process channels with
+// randomized wall-clock delays, and local clocks read the host's monotonic
+// clock. It implements the same protocol.Runtime interface as the
+// discrete-event simulator, so the identical protocol state machines run
+// unmodified in real time — the configuration a downstream user embedding
+// the library in a networked service would start from.
+//
+// Ticks map to wall time through Config.Tick (default 100µs per tick), so
+// the protocol constants keep their paper meaning: with D = 20 ticks, d is
+// 2ms of wall time and messages are delivered within that bound as long as
+// the host is not overloaded. The transport never drops messages; each
+// node's mailbox is an unbounded FIFO drained by its event loop, which
+// serializes OnMessage/OnTimer exactly like the simulator does.
+package livenet
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/simtime"
+)
+
+// Config describes a live cluster.
+type Config struct {
+	Params protocol.Params
+	// Tick is the wall-clock duration of one tick (default 100µs).
+	Tick time.Duration
+	// DelayMin/DelayMax bound the per-message artificial delay, in ticks
+	// (defaults [D/4, D/2]; the remaining half of D absorbs scheduling
+	// jitter so the d bound holds on a loaded host).
+	DelayMin, DelayMax simtime.Duration
+	// Seed drives the delay randomness.
+	Seed int64
+}
+
+// Cluster owns the nodes, their mailboxes and event-loop goroutines.
+type Cluster struct {
+	cfg   Config
+	rec   *protocol.Recorder
+	start time.Time
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	timers map[*time.Timer]struct{}
+
+	nodes []protocol.Node
+	rts   []*nodeRT
+
+	stopped bool
+	wg      sync.WaitGroup
+}
+
+// New builds a cluster; attach nodes with SetNode, then Start.
+func New(cfg Config) (*Cluster, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = 100 * time.Microsecond
+	}
+	if cfg.DelayMax == 0 {
+		cfg.DelayMax = cfg.Params.D / 2
+	}
+	if cfg.DelayMin == 0 {
+		cfg.DelayMin = cfg.Params.D / 4
+	}
+	if cfg.DelayMin > cfg.DelayMax || cfg.DelayMax > cfg.Params.D {
+		return nil, errors.New("livenet: delay range must satisfy 0 ≤ min ≤ max ≤ D")
+	}
+	c := &Cluster{
+		cfg:    cfg,
+		rec:    protocol.NewRecorder(),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		timers: make(map[*time.Timer]struct{}),
+		nodes:  make([]protocol.Node, cfg.Params.N),
+		rts:    make([]*nodeRT, cfg.Params.N),
+	}
+	for i := range c.rts {
+		c.rts[i] = newNodeRT(c, protocol.NodeID(i))
+	}
+	return c, nil
+}
+
+// SetNode attaches the state machine for id. Must be called before Start.
+func (c *Cluster) SetNode(id protocol.NodeID, n protocol.Node) {
+	c.nodes[id] = n
+}
+
+// Recorder returns the shared trace recorder.
+func (c *Cluster) Recorder() *protocol.Recorder { return c.rec }
+
+// Params returns the protocol parameters.
+func (c *Cluster) Params() protocol.Params { return c.cfg.Params }
+
+// Start launches every node's event loop and calls Node.Start inside it.
+func (c *Cluster) Start() {
+	c.start = time.Now()
+	for i, n := range c.nodes {
+		if n == nil {
+			continue // silent (crash-faulty) slot
+		}
+		rt := c.rts[i]
+		node := n
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			rt.loop(node)
+		}()
+		rt.enqueue(func() { node.Start(rt) })
+	}
+}
+
+// Stop shuts the cluster down: stops artificial-delay and protocol timers,
+// closes every mailbox and waits for the event loops to drain and exit.
+func (c *Cluster) Stop() {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	c.stopped = true
+	for t := range c.timers {
+		t.Stop()
+	}
+	c.timers = make(map[*time.Timer]struct{})
+	c.mu.Unlock()
+	for _, rt := range c.rts {
+		rt.close()
+	}
+	c.wg.Wait()
+}
+
+// Run starts the cluster, executes body, then stops it.
+func (c *Cluster) Run(body func()) {
+	c.Start()
+	defer c.Stop()
+	body()
+}
+
+// Do executes fn inside node id's event loop (used to drive General-side
+// initiations race-free) and returns once it has been enqueued.
+func (c *Cluster) Do(id protocol.NodeID, fn func(n protocol.Node)) {
+	node := c.nodes[id]
+	if node == nil {
+		return
+	}
+	c.rts[id].enqueue(func() { fn(node) })
+}
+
+// DoWait executes fn inside node id's event loop and blocks until it has
+// run (or the cluster stopped first). Use it to query node state without
+// racing the event loop.
+func (c *Cluster) DoWait(id protocol.NodeID, fn func(n protocol.Node)) {
+	node := c.nodes[id]
+	if node == nil {
+		return
+	}
+	done := make(chan struct{})
+	c.rts[id].enqueue(func() {
+		defer close(done)
+		fn(node)
+	})
+	select {
+	case <-done:
+	case <-c.rts[id].doneCh():
+	}
+}
+
+// nowTicks returns wall time since Start in ticks.
+func (c *Cluster) nowTicks() simtime.Real {
+	return simtime.Real(time.Since(c.start) / c.cfg.Tick)
+}
+
+// afterTicks registers fn to run after dl ticks of wall time; the timer is
+// tracked so Stop can cancel it. Returns the timer for individual cancel.
+func (c *Cluster) afterTicks(dl simtime.Duration, fn func()) *time.Timer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped {
+		return nil
+	}
+	var t *time.Timer
+	t = time.AfterFunc(time.Duration(dl)*c.cfg.Tick, func() {
+		c.mu.Lock()
+		delete(c.timers, t)
+		c.mu.Unlock()
+		fn()
+	})
+	c.timers[t] = struct{}{}
+	return t
+}
+
+// delay draws one artificial message delay.
+func (c *Cluster) delay() simtime.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cfg.DelayMax == c.cfg.DelayMin {
+		return c.cfg.DelayMin
+	}
+	return c.cfg.DelayMin + simtime.Duration(c.rng.Int63n(int64(c.cfg.DelayMax-c.cfg.DelayMin)+1))
+}
+
+// nodeRT implements protocol.Runtime for one live node. Mailbox semantics:
+// an unbounded FIFO of closures drained by a single goroutine, so protocol
+// code is single-threaded exactly as under the simulator.
+type nodeRT struct {
+	c  *Cluster
+	id protocol.NodeID
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []func()
+	closed bool
+	dead   chan struct{}
+
+	timerMu sync.Mutex
+	nextID  protocol.TimerID
+	pending map[protocol.TimerID]*time.Timer
+}
+
+var _ protocol.Runtime = (*nodeRT)(nil)
+
+func newNodeRT(c *Cluster, id protocol.NodeID) *nodeRT {
+	rt := &nodeRT{c: c, id: id, pending: make(map[protocol.TimerID]*time.Timer), dead: make(chan struct{})}
+	rt.cond = sync.NewCond(&rt.mu)
+	return rt
+}
+
+// enqueue appends one event to the mailbox.
+func (rt *nodeRT) enqueue(fn func()) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed {
+		return
+	}
+	rt.queue = append(rt.queue, fn)
+	rt.cond.Signal()
+}
+
+// close wakes and terminates the event loop.
+func (rt *nodeRT) close() {
+	rt.mu.Lock()
+	if !rt.closed {
+		rt.closed = true
+		close(rt.dead)
+	}
+	rt.cond.Broadcast()
+	rt.mu.Unlock()
+}
+
+// doneCh is closed when the mailbox shuts down.
+func (rt *nodeRT) doneCh() <-chan struct{} { return rt.dead }
+
+// loop drains the mailbox until close.
+func (rt *nodeRT) loop(protocol.Node) {
+	for {
+		rt.mu.Lock()
+		for len(rt.queue) == 0 && !rt.closed {
+			rt.cond.Wait()
+		}
+		if rt.closed {
+			rt.mu.Unlock()
+			return
+		}
+		fn := rt.queue[0]
+		rt.queue = rt.queue[1:]
+		rt.mu.Unlock()
+		fn()
+	}
+}
+
+// ID implements protocol.Runtime.
+func (rt *nodeRT) ID() protocol.NodeID { return rt.id }
+
+// Now implements protocol.Runtime. Live clocks are ideal (offset 0); drift
+// experiments belong to the simulator, where time is controllable.
+func (rt *nodeRT) Now() simtime.Local { return simtime.Local(rt.c.nowTicks()) }
+
+// Params implements protocol.Runtime.
+func (rt *nodeRT) Params() protocol.Params { return rt.c.cfg.Params }
+
+// Send implements protocol.Runtime: deliver after an artificial delay.
+func (rt *nodeRT) Send(to protocol.NodeID, m protocol.Message) {
+	m.From = rt.id // authenticated sender identity
+	target := rt.c.rts[to]
+	node := rt.c.nodes[to]
+	if node == nil {
+		return
+	}
+	from := rt.id
+	rt.c.afterTicks(rt.c.delay(), func() {
+		target.enqueue(func() { node.OnMessage(from, m) })
+	})
+}
+
+// Broadcast implements protocol.Runtime: n point-to-point sends.
+func (rt *nodeRT) Broadcast(m protocol.Message) {
+	for i := 0; i < rt.c.cfg.Params.N; i++ {
+		rt.Send(protocol.NodeID(i), m)
+	}
+}
+
+// After implements protocol.Runtime.
+func (rt *nodeRT) After(dl simtime.Duration, tag protocol.TimerTag) protocol.TimerID {
+	if dl < 0 {
+		dl = 0
+	}
+	rt.timerMu.Lock()
+	rt.nextID++
+	id := rt.nextID
+	rt.timerMu.Unlock()
+
+	node := rt.c.nodes[rt.id]
+	t := rt.c.afterTicks(dl, func() {
+		rt.timerMu.Lock()
+		delete(rt.pending, id)
+		rt.timerMu.Unlock()
+		if node != nil {
+			rt.enqueue(func() { node.OnTimer(tag) })
+		}
+	})
+	if t != nil {
+		rt.timerMu.Lock()
+		rt.pending[id] = t
+		rt.timerMu.Unlock()
+	}
+	return id
+}
+
+// Cancel implements protocol.Runtime.
+func (rt *nodeRT) Cancel(id protocol.TimerID) {
+	rt.timerMu.Lock()
+	t, ok := rt.pending[id]
+	if ok {
+		delete(rt.pending, id)
+	}
+	rt.timerMu.Unlock()
+	if ok {
+		t.Stop()
+	}
+}
+
+// Trace implements protocol.Runtime.
+func (rt *nodeRT) Trace(ev protocol.TraceEvent) {
+	ev.Node = rt.id
+	ev.RT = rt.c.nowTicks()
+	ev.Tau = rt.Now()
+	if ev.TauG != 0 || ev.Kind == protocol.EvDecide || ev.Kind == protocol.EvAbort || ev.Kind == protocol.EvIAccept {
+		// Live clocks are ideal, so rt(τG) is the reading itself.
+		ev.RTauG = simtime.Real(ev.TauG)
+	}
+	rt.c.rec.Add(ev)
+}

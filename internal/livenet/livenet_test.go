@@ -1,0 +1,194 @@
+package livenet
+
+import (
+	"testing"
+	"time"
+
+	"ssbyz/internal/core"
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/simtime"
+)
+
+// liveParams returns parameters sized for wall-clock runs: d = 50 ticks of
+// 100µs = 5ms, so a full Δagr at f=1 is (2·1+1)·8·5ms = 120ms.
+func liveParams(n int) protocol.Params {
+	pp := protocol.DefaultParams(n)
+	pp.D = 50
+	return pp
+}
+
+// result queries node id's outcome for General g through the event loop.
+func result(c *Cluster, id, g protocol.NodeID) (returned, decided bool, v protocol.Value) {
+	c.DoWait(id, func(n protocol.Node) {
+		returned, decided, v = n.(*core.Node).Result(g)
+	})
+	return
+}
+
+// awaitDecisions polls until every node decided for General g or the
+// deadline passes; it returns the number of deciders.
+func awaitDecisions(c *Cluster, n int, g protocol.NodeID, want protocol.Value, timeout time.Duration) int {
+	deadline := time.Now().Add(timeout)
+	for {
+		done := 0
+		for i := 0; i < n; i++ {
+			if returned, decided, v := result(c, protocol.NodeID(i), g); returned && decided && v == want {
+				done++
+			}
+		}
+		if done == n || time.Now().After(deadline) {
+			return done
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"defaults", Config{Params: liveParams(4)}, true},
+		{"bad n/f", Config{Params: protocol.Params{N: 3, F: 1, D: 10}}, false},
+		{"delay above d", Config{Params: liveParams(4), DelayMin: 10, DelayMax: 100}, false},
+		{"inverted range", Config{Params: liveParams(4), DelayMin: 30, DelayMax: 20}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(tc.cfg)
+			if (err == nil) != tc.ok {
+				t.Errorf("New error = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+// newCluster builds a started cluster of correct nodes.
+func newCluster(t *testing.T, pp protocol.Params, seed int64) *Cluster {
+	t.Helper()
+	c, err := New(Config{Params: pp, Seed: seed})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := 0; i < pp.N; i++ {
+		c.SetNode(protocol.NodeID(i), core.NewNode())
+	}
+	c.Start()
+	t.Cleanup(c.Stop)
+	return c
+}
+
+// TestLiveAgreementCorrectGeneral runs a real-time agreement end to end:
+// all correct nodes must decide the General's value.
+func TestLiveAgreementCorrectGeneral(t *testing.T) {
+	pp := liveParams(4)
+	c := newCluster(t, pp, 1)
+	c.Do(0, func(n protocol.Node) {
+		if err := n.(*core.Node).InitiateAgreement("live-v"); err != nil {
+			t.Errorf("InitiateAgreement: %v", err)
+		}
+	})
+	if done := awaitDecisions(c, pp.N, 0, "live-v", 5*time.Second); done != pp.N {
+		t.Fatalf("only %d/%d nodes decided within the deadline", done, pp.N)
+	}
+	for _, ev := range c.Recorder().ByKind(protocol.EvDecide) {
+		if ev.M != "live-v" {
+			t.Errorf("node %d decided %q, want \"live-v\"", ev.Node, ev.M)
+		}
+	}
+}
+
+// TestLiveDecisionSkew checks the Timeliness-1a shape on wall time: all
+// decisions within a few d of each other (exact bounds are simulator
+// territory; here we assert a loose 10d to absorb host jitter).
+func TestLiveDecisionSkew(t *testing.T) {
+	pp := liveParams(4)
+	c := newCluster(t, pp, 2)
+	c.Do(0, func(n protocol.Node) { _ = n.(*core.Node).InitiateAgreement("skew") })
+	if done := awaitDecisions(c, pp.N, 0, "skew", 5*time.Second); done != pp.N {
+		t.Fatalf("only %d/%d nodes decided", done, pp.N)
+	}
+	evs := c.Recorder().ByKind(protocol.EvDecide)
+	lo, hi := evs[0].RT, evs[0].RT
+	for _, ev := range evs {
+		if ev.RT < lo {
+			lo = ev.RT
+		}
+		if ev.RT > hi {
+			hi = ev.RT
+		}
+	}
+	if skew := hi - lo; skew > 10*simtime.Real(pp.D) {
+		t.Errorf("decision skew %d ticks exceeds 10d=%d (host badly overloaded?)", skew, 10*pp.D)
+	}
+}
+
+// TestStopIsIdempotentAndClean ensures the goroutine lifecycle contract:
+// Stop twice is fine and no events are processed after Stop.
+func TestStopIsIdempotentAndClean(t *testing.T) {
+	pp := liveParams(4)
+	c, err := New(Config{Params: pp, Seed: 3})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := 0; i < pp.N; i++ {
+		c.SetNode(protocol.NodeID(i), core.NewNode())
+	}
+	c.Start()
+	c.Stop()
+	c.Stop() // idempotent
+	before := c.Recorder().Len()
+	c.Do(0, func(n protocol.Node) { _ = n.(*core.Node).InitiateAgreement("late") })
+	time.Sleep(20 * time.Millisecond)
+	if after := c.Recorder().Len(); after != before {
+		t.Errorf("events recorded after Stop: %d -> %d", before, after)
+	}
+}
+
+// TestDoWaitAfterStopDoesNotHang covers the shutdown path of DoWait.
+func TestDoWaitAfterStopDoesNotHang(t *testing.T) {
+	pp := liveParams(4)
+	c, err := New(Config{Params: pp, Seed: 5})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := 0; i < pp.N; i++ {
+		c.SetNode(protocol.NodeID(i), core.NewNode())
+	}
+	c.Start()
+	c.Stop()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.DoWait(0, func(protocol.Node) {})
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("DoWait hung after Stop")
+	}
+}
+
+// TestRunWrapper exercises the Run convenience.
+func TestRunWrapper(t *testing.T) {
+	pp := liveParams(4)
+	c, err := New(Config{Params: pp, Seed: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := 0; i < pp.N; i++ {
+		c.SetNode(protocol.NodeID(i), core.NewNode())
+	}
+	ran := false
+	c.Run(func() {
+		ran = true
+		c.Do(1, func(n protocol.Node) { _ = n.(*core.Node).InitiateAgreement("wrapped") })
+		if done := awaitDecisions(c, pp.N, 1, "wrapped", 5*time.Second); done != pp.N {
+			t.Errorf("only %d/%d nodes decided", done, pp.N)
+		}
+	})
+	if !ran {
+		t.Error("Run did not execute the body")
+	}
+}

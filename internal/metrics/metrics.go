@@ -1,0 +1,154 @@
+// Package metrics provides the small statistics and table-rendering
+// toolkit used by the experiment harness: summaries (min/mean/percentile/
+// max) over tick-valued samples and fixed-width table output matching the
+// rows recorded in EXPERIMENTS.md.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds order statistics over a sample set.
+type Summary struct {
+	N             int
+	Min, Max      float64
+	Mean          float64
+	P50, P95, P99 float64
+	StdDev        float64
+}
+
+// Summarize computes a Summary; an empty input yields a zero Summary.
+func Summarize(samples []float64) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	mean := sum / float64(len(s))
+	varsum := 0.0
+	for _, v := range s {
+		varsum += (v - mean) * (v - mean)
+	}
+	return Summary{
+		N:      len(s),
+		Min:    s[0],
+		Max:    s[len(s)-1],
+		Mean:   mean,
+		P50:    percentile(s, 0.50),
+		P95:    percentile(s, 0.95),
+		P99:    percentile(s, 0.99),
+		StdDev: math.Sqrt(varsum / float64(len(s))),
+	}
+}
+
+// percentile returns the p-quantile (0 ≤ p ≤ 1) of sorted samples by the
+// nearest-rank method.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Ints converts integer-like samples to float64.
+func Ints[T ~int | ~int64](in []T) []float64 {
+	out := make([]float64, len(in))
+	for i, v := range in {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// Table renders aligned rows with a header, in GitHub-flavored markdown.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends one row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e12 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for i, c := range cells {
+			fmt.Fprintf(&b, " %-*s |", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	b.WriteString("|")
+	for _, w := range widths {
+		b.WriteString(strings.Repeat("-", w+2))
+		b.WriteString("|")
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// InD formats a tick count as a multiple of d for readability, e.g. 4200
+// ticks with d=1000 renders "4.20d".
+func InD(ticks, d float64) string {
+	if d == 0 {
+		return trimFloat(ticks)
+	}
+	return fmt.Sprintf("%.2fd", ticks/d)
+}

@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Min != 0 || s.Max != 0 || s.Mean != 0 {
+		t.Errorf("empty Summarize = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{42})
+	if s.N != 1 || s.Min != 42 || s.Max != 42 || s.Mean != 42 || s.P50 != 42 || s.P99 != 42 || s.StdDev != 0 {
+		t.Errorf("single Summarize = %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if s.N != 10 || s.Min != 1 || s.Max != 10 {
+		t.Errorf("basic stats wrong: %+v", s)
+	}
+	if s.Mean != 5.5 {
+		t.Errorf("Mean = %v, want 5.5", s.Mean)
+	}
+	if s.P50 != 5 {
+		t.Errorf("P50 = %v, want 5 (nearest rank)", s.P50)
+	}
+	if s.P95 != 10 {
+		t.Errorf("P95 = %v, want 10", s.P95)
+	}
+	wantStd := math.Sqrt(8.25)
+	if math.Abs(s.StdDev-wantStd) > 1e-9 {
+		t.Errorf("StdDev = %v, want %v", s.StdDev, wantStd)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("input mutated: %v", in)
+	}
+}
+
+// TestSummarizeProperties: min ≤ p50 ≤ p95 ≤ p99 ≤ max and min ≤ mean ≤ max.
+func TestSummarizeProperties(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		in := make([]float64, len(raw))
+		for i, v := range raw {
+			in[i] = float64(v)
+		}
+		s := Summarize(in)
+		return s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max && s.N == len(raw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPercentileMatchesNearestRank cross-checks against a direct
+// nearest-rank computation.
+func TestPercentileMatchesNearestRank(t *testing.T) {
+	f := func(raw []int16, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		in := make([]float64, len(raw))
+		for i, v := range raw {
+			in[i] = float64(v)
+		}
+		sort.Float64s(in)
+		p := float64(pRaw%101) / 100
+		idx := int(math.Ceil(p*float64(len(in)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return percentile(in, p) == in[idx]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInts(t *testing.T) {
+	got := Ints([]int64{1, 2, 3})
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("Ints = %v", got)
+	}
+	type myInt int
+	got2 := Ints([]myInt{7})
+	if got2[0] != 7 {
+		t.Errorf("Ints custom type = %v", got2)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("demo", "name", "value")
+	tab.AddRow("alpha", 1.0)
+	tab.AddRow("beta", 2.5)
+	tab.AddRow("g", 12)
+	out := tab.String()
+	if !strings.Contains(out, "### demo") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title, blank, header, separator, 3 rows.
+	if len(lines) != 7 {
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+	// Whole floats render without decimals; fractional with two.
+	if !strings.Contains(out, " 1 ") || !strings.Contains(out, "2.50") {
+		t.Errorf("float formatting wrong:\n%s", out)
+	}
+	// All rows align to the same width.
+	w := len(lines[2])
+	for _, l := range lines[2:] {
+		if len(l) != w {
+			t.Errorf("misaligned row %q (%d vs %d)", l, len(l), w)
+		}
+	}
+}
+
+func TestTableWithoutTitle(t *testing.T) {
+	tab := NewTable("", "h")
+	tab.AddRow("x")
+	if strings.Contains(tab.String(), "###") {
+		t.Error("untitled table rendered a title")
+	}
+}
+
+func TestInD(t *testing.T) {
+	if got := InD(4200, 1000); got != "4.20d" {
+		t.Errorf("InD = %q", got)
+	}
+	if got := InD(4200, 0); got != "4200" {
+		t.Errorf("InD with d=0 = %q", got)
+	}
+}

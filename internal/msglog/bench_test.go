@@ -1,0 +1,66 @@
+package msglog
+
+import (
+	"testing"
+
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/simtime"
+)
+
+// populate fills a log with senders×waves records for one key.
+func populate(l *Log, senders, waves int) {
+	for w := 0; w < waves; w++ {
+		for s := 0; s < senders; s++ {
+			l.Record(supKey, protocol.NodeID(s), simtime.Local(w*1000+s))
+		}
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	l := New(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Record(supKey, protocol.NodeID(i%31), simtime.Local(i))
+	}
+}
+
+func BenchmarkCountWithin(b *testing.B) {
+	l := New(0)
+	populate(l, 31, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.CountWithin(supKey, 2000, 4000)
+	}
+}
+
+func BenchmarkKthNewest(b *testing.B) {
+	l := New(0)
+	populate(l, 31, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.KthNewest(supKey, 11, 4000)
+	}
+}
+
+func BenchmarkCountWithinWrapped(b *testing.B) {
+	l := New(1 << 30)
+	populate(l, 31, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.CountWithin(supKey, 2000, 4000)
+	}
+}
+
+func BenchmarkDecay(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		l := New(0)
+		populate(l, 31, 8)
+		b.StartTimer()
+		l.DecayOlderThan(3000, 8000)
+	}
+}

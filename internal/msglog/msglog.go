@@ -1,0 +1,186 @@
+// Package msglog implements the time-stamped message log every node keeps:
+// reception records per (kind, G, m, p, k) with distinct-sender counting
+// over sliding local-time windows, shortest-interval queries (Block L of
+// Initiator-Accept), and age-based decay (the cleanup rules).
+//
+// The paper requires each node to "record the local-time at which it
+// receives each message" and to evaluate conditions of the form "received
+// X from ≥ c distinct nodes in the interval [τq − α, τq]". Records with
+// timestamps in the future (possible only as transient-fault residue) are
+// "clearly wrong" and are ignored by window queries and removed by decay.
+package msglog
+
+import (
+	"sort"
+
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/simtime"
+)
+
+// Key identifies one message class. For Initiator-Accept messages P and K
+// are zero; for msgd-broadcast messages M, P, K identify the triple.
+type Key struct {
+	Kind protocol.MsgKind
+	G    protocol.NodeID
+	M    protocol.Value
+	P    protocol.NodeID
+	K    int
+}
+
+// KeyOf derives the log key from a wire message.
+func KeyOf(m protocol.Message) Key {
+	switch m.Kind {
+	case protocol.Support, protocol.Approve, protocol.Ready, protocol.Initiator:
+		return Key{Kind: m.Kind, G: m.G, M: m.M}
+	default:
+		return Key{Kind: m.Kind, G: m.G, M: m.M, P: m.P, K: m.K}
+	}
+}
+
+// Log stores reception records. The zero value is not usable; use New.
+type Log struct {
+	wrap simtime.Duration
+	recs map[Key]map[protocol.NodeID]simtime.Local
+}
+
+// New returns an empty log whose window arithmetic honors the given
+// local-clock wrap modulus (0 disables wrapping).
+func New(wrap simtime.Duration) *Log {
+	return &Log{wrap: wrap, recs: make(map[Key]map[protocol.NodeID]simtime.Local)}
+}
+
+// Record notes that sender's message for key was received at local time
+// now. Repeated messages from the same sender keep only the latest
+// reception ("multiple messages sent by an individual node are ignored").
+func (l *Log) Record(key Key, sender protocol.NodeID, now simtime.Local) {
+	m, ok := l.recs[key]
+	if !ok {
+		m = make(map[protocol.NodeID]simtime.Local)
+		l.recs[key] = m
+	}
+	m[sender] = now
+}
+
+// InjectRaw inserts an arbitrary record, bypassing invariants. It exists
+// solely for the transient-fault injector, which fills logs with spurious
+// residue (including future timestamps).
+func (l *Log) InjectRaw(key Key, sender protocol.NodeID, at simtime.Local) {
+	l.Record(key, sender, at)
+}
+
+// Has reports whether a record from sender exists for key.
+func (l *Log) Has(key Key, sender protocol.NodeID) bool {
+	_, ok := l.recs[key][sender]
+	return ok
+}
+
+// CountWithin returns the number of distinct senders whose latest record
+// for key lies in the window [now−width, now]. Future-stamped records are
+// not counted.
+func (l *Log) CountWithin(key Key, width simtime.Duration, now simtime.Local) int {
+	n := 0
+	for _, at := range l.recs[key] {
+		age := simtime.WrapSub(now, at, l.wrap)
+		if age >= 0 && age <= width {
+			n++
+		}
+	}
+	return n
+}
+
+// CountAll returns the number of distinct senders recorded for key with a
+// non-future timestamp, regardless of age (Block N of Initiator-Accept is
+// untimed; staleness is handled by decay).
+func (l *Log) CountAll(key Key, now simtime.Local) int {
+	n := 0
+	for _, at := range l.recs[key] {
+		if simtime.WrapSub(now, at, l.wrap) >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// KthNewest returns the reception time of the k-th most recent distinct
+// sender for key (k ≥ 1), ignoring future-stamped records. The second
+// result is false when fewer than k distinct senders are recorded.
+//
+// It drives the shortest-interval condition of Line L1: the minimal α such
+// that [now−α, now] contains ≥ c distinct senders is now − KthNewest(c).
+func (l *Log) KthNewest(key Key, k int, now simtime.Local) (simtime.Local, bool) {
+	if k <= 0 {
+		return 0, false
+	}
+	ages := make([]simtime.Duration, 0, len(l.recs[key]))
+	for _, at := range l.recs[key] {
+		age := simtime.WrapSub(now, at, l.wrap)
+		if age >= 0 {
+			ages = append(ages, age)
+		}
+	}
+	if len(ages) < k {
+		return 0, false
+	}
+	sort.Slice(ages, func(i, j int) bool { return ages[i] < ages[j] })
+	return simtime.WrapAdd(now, -ages[k-1], l.wrap), true
+}
+
+// Senders returns the distinct senders recorded for key in unspecified
+// order.
+func (l *Log) Senders(key Key) []protocol.NodeID {
+	out := make([]protocol.NodeID, 0, len(l.recs[key]))
+	for id := range l.recs[key] {
+		out = append(out, id)
+	}
+	return out
+}
+
+// DecayOlderThan removes every record whose age exceeds maxAge, as well as
+// future-stamped records (clearly wrong per the paper). It implements the
+// cleanup rules ("Remove any value or message that is older than Δrmv").
+func (l *Log) DecayOlderThan(maxAge simtime.Duration, now simtime.Local) {
+	for key, m := range l.recs {
+		for sender, at := range m {
+			age := simtime.WrapSub(now, at, l.wrap)
+			if age < 0 || age > maxAge {
+				delete(m, sender)
+			}
+		}
+		if len(m) == 0 {
+			delete(l.recs, key)
+		}
+	}
+}
+
+// RemoveMatching deletes all records whose key satisfies pred. Line N4
+// uses it to "remove all (G,m) messages".
+func (l *Log) RemoveMatching(pred func(Key) bool) {
+	for key := range l.recs {
+		if pred(key) {
+			delete(l.recs, key)
+		}
+	}
+}
+
+// Keys returns the keys currently holding at least one record.
+func (l *Log) Keys() []Key {
+	out := make([]Key, 0, len(l.recs))
+	for k := range l.recs {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Len returns the total number of records across all keys.
+func (l *Log) Len() int {
+	n := 0
+	for _, m := range l.recs {
+		n += len(m)
+	}
+	return n
+}
+
+// Clear removes everything (used when an instance resets).
+func (l *Log) Clear() {
+	l.recs = make(map[Key]map[protocol.NodeID]simtime.Local)
+}

@@ -1,0 +1,269 @@
+package msglog
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/simtime"
+)
+
+var supKey = Key{Kind: protocol.Support, G: 0, M: "v"}
+
+func TestKeyOf(t *testing.T) {
+	cases := []struct {
+		name string
+		msg  protocol.Message
+		want Key
+	}{
+		{
+			"support drops P and K",
+			protocol.Message{Kind: protocol.Support, G: 1, M: "x", P: 5, K: 3},
+			Key{Kind: protocol.Support, G: 1, M: "x"},
+		},
+		{
+			"echo keeps the triple",
+			protocol.Message{Kind: protocol.Echo, G: 1, M: "x", P: 5, K: 3},
+			Key{Kind: protocol.Echo, G: 1, M: "x", P: 5, K: 3},
+		},
+		{
+			"initiator drops P and K",
+			protocol.Message{Kind: protocol.Initiator, G: 2, M: "y", P: 9, K: 9},
+			Key{Kind: protocol.Initiator, G: 2, M: "y"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := KeyOf(tc.msg); got != tc.want {
+				t.Errorf("KeyOf = %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestRecordKeepsLatestPerSender(t *testing.T) {
+	l := New(0)
+	l.Record(supKey, 1, 100)
+	l.Record(supKey, 1, 200) // same sender: replaces
+	l.Record(supKey, 2, 150)
+	if got := l.CountWithin(supKey, 10, 205); got != 1 {
+		t.Errorf("CountWithin(10)@205 = %d, want 1 (only sender 1's latest)", got)
+	}
+	if got := l.CountWithin(supKey, 100, 205); got != 2 {
+		t.Errorf("CountWithin(100)@205 = %d, want 2", got)
+	}
+	if got := l.Len(); got != 2 {
+		t.Errorf("Len = %d, want 2", got)
+	}
+}
+
+func TestCountWithinIgnoresFuture(t *testing.T) {
+	l := New(0)
+	l.Record(supKey, 1, 500) // future relative to now=400
+	if got := l.CountWithin(supKey, 1000, 400); got != 0 {
+		t.Errorf("future record counted: %d", got)
+	}
+	if got := l.CountAll(supKey, 400); got != 0 {
+		t.Errorf("CountAll counted future record: %d", got)
+	}
+}
+
+func TestCountAll(t *testing.T) {
+	l := New(0)
+	l.Record(supKey, 1, 10)
+	l.Record(supKey, 2, 9000)
+	if got := l.CountAll(supKey, 10000); got != 2 {
+		t.Errorf("CountAll = %d, want 2 regardless of age", got)
+	}
+}
+
+func TestHas(t *testing.T) {
+	l := New(0)
+	if l.Has(supKey, 1) {
+		t.Error("Has on empty log")
+	}
+	l.Record(supKey, 1, 10)
+	if !l.Has(supKey, 1) {
+		t.Error("Has missed a recorded sender")
+	}
+	if l.Has(supKey, 2) {
+		t.Error("Has found a never-recorded sender")
+	}
+}
+
+func TestKthNewest(t *testing.T) {
+	l := New(0)
+	l.Record(supKey, 1, 100)
+	l.Record(supKey, 2, 300)
+	l.Record(supKey, 3, 200)
+	now := simtime.Local(400)
+	cases := []struct {
+		k      int
+		want   simtime.Local
+		wantOK bool
+	}{
+		{1, 300, true},
+		{2, 200, true},
+		{3, 100, true},
+		{4, 0, false},
+		{0, 0, false},
+		{-1, 0, false},
+	}
+	for _, tc := range cases {
+		got, ok := l.KthNewest(supKey, tc.k, now)
+		if ok != tc.wantOK || (ok && got != tc.want) {
+			t.Errorf("KthNewest(%d) = (%d,%v), want (%d,%v)", tc.k, got, ok, tc.want, tc.wantOK)
+		}
+	}
+}
+
+// TestKthNewestWindowSemantics: now − KthNewest(c) is the minimal α such
+// that [now−α, now] holds ≥ c distinct senders — the Block L1 condition.
+func TestKthNewestWindowSemantics(t *testing.T) {
+	l := New(0)
+	times := []simtime.Local{50, 80, 90, 95}
+	for i, at := range times {
+		l.Record(supKey, protocol.NodeID(i), at)
+	}
+	now := simtime.Local(100)
+	tc, ok := l.KthNewest(supKey, 3, now)
+	if !ok || tc != 80 {
+		t.Fatalf("KthNewest(3) = (%d,%v), want (80,true)", tc, ok)
+	}
+	alpha := now.Sub(tc)
+	if got := l.CountWithin(supKey, alpha, now); got < 3 {
+		t.Errorf("window [now−α, now] holds %d senders, want ≥ 3", got)
+	}
+	if got := l.CountWithin(supKey, alpha-1, now); got >= 3 {
+		t.Errorf("α is not minimal: window α−1 still holds %d", got)
+	}
+}
+
+func TestDecayOlderThan(t *testing.T) {
+	l := New(0)
+	l.Record(supKey, 1, 100)
+	l.Record(supKey, 2, 500)
+	l.Record(supKey, 3, 2000) // future at now=1000 → removed too
+	l.DecayOlderThan(600, 1000)
+	if l.Has(supKey, 1) {
+		t.Error("record older than maxAge survived decay")
+	}
+	if !l.Has(supKey, 2) {
+		t.Error("fresh record removed by decay")
+	}
+	if l.Has(supKey, 3) {
+		t.Error("future-stamped record survived decay")
+	}
+}
+
+func TestDecayRemovesEmptyKeys(t *testing.T) {
+	l := New(0)
+	l.Record(supKey, 1, 10)
+	l.DecayOlderThan(5, 1000)
+	if got := len(l.Keys()); got != 0 {
+		t.Errorf("empty key survived: %d keys", got)
+	}
+}
+
+func TestRemoveMatching(t *testing.T) {
+	l := New(0)
+	keyA := Key{Kind: protocol.Support, G: 0, M: "a"}
+	keyB := Key{Kind: protocol.Support, G: 0, M: "b"}
+	l.Record(keyA, 1, 10)
+	l.Record(keyB, 1, 10)
+	l.RemoveMatching(func(k Key) bool { return k.M == "a" })
+	if l.Has(keyA, 1) {
+		t.Error("matching key survived RemoveMatching")
+	}
+	if !l.Has(keyB, 1) {
+		t.Error("non-matching key removed")
+	}
+}
+
+func TestSendersAndKeys(t *testing.T) {
+	l := New(0)
+	l.Record(supKey, 3, 10)
+	l.Record(supKey, 7, 20)
+	senders := l.Senders(supKey)
+	if len(senders) != 2 {
+		t.Fatalf("Senders = %v, want 2 entries", senders)
+	}
+	seen := map[protocol.NodeID]bool{}
+	for _, s := range senders {
+		seen[s] = true
+	}
+	if !seen[3] || !seen[7] {
+		t.Errorf("Senders = %v, want {3,7}", senders)
+	}
+	if got := len(l.Keys()); got != 1 {
+		t.Errorf("Keys = %d, want 1", got)
+	}
+}
+
+func TestClear(t *testing.T) {
+	l := New(0)
+	l.Record(supKey, 1, 10)
+	l.Clear()
+	if l.Len() != 0 || len(l.Keys()) != 0 {
+		t.Error("Clear left records behind")
+	}
+}
+
+func TestWrappedWindowAcrossZero(t *testing.T) {
+	const wrap = 1000
+	l := New(wrap)
+	l.Record(supKey, 1, 990) // before the wrap
+	now := simtime.Local(5)  // after the wrap: age 15
+	if got := l.CountWithin(supKey, 20, now); got != 1 {
+		t.Errorf("wrapped record not counted: %d", got)
+	}
+	if got := l.CountWithin(supKey, 10, now); got != 0 {
+		t.Errorf("wrapped record counted outside window: %d", got)
+	}
+	at, ok := l.KthNewest(supKey, 1, now)
+	if !ok || at != 990 {
+		t.Errorf("wrapped KthNewest = (%d,%v), want (990,true)", at, ok)
+	}
+}
+
+// TestCountNeverExceedsDistinctSenders is the key quorum-safety property:
+// no window query may ever count one sender twice.
+func TestCountNeverExceedsDistinctSenders(t *testing.T) {
+	f := func(events []struct {
+		Sender uint8
+		At     uint16
+	}, width uint16, nowRaw uint16) bool {
+		l := New(0)
+		distinct := map[protocol.NodeID]bool{}
+		for _, e := range events {
+			l.Record(supKey, protocol.NodeID(e.Sender), simtime.Local(e.At))
+			distinct[protocol.NodeID(e.Sender)] = true
+		}
+		return l.CountWithin(supKey, simtime.Duration(width), simtime.Local(nowRaw)) <= len(distinct)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWindowMonotonicProperty: widening the window never lowers the count.
+func TestWindowMonotonicProperty(t *testing.T) {
+	f := func(events []struct {
+		Sender uint8
+		At     uint16
+	}, w1, w2 uint16) bool {
+		l := New(0)
+		for _, e := range events {
+			l.Record(supKey, protocol.NodeID(e.Sender), simtime.Local(e.At))
+		}
+		lo, hi := simtime.Duration(w1), simtime.Duration(w2)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		now := simtime.Local(1 << 15)
+		return l.CountWithin(supKey, lo, now) <= l.CountWithin(supKey, hi, now)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,121 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+
+	"ssbyz/internal/simtime"
+)
+
+// Params carries the model constants of Section 2 and derives every timing
+// constant of Section 3. All durations are expressed in ticks of the
+// simulation clock; D is the paper's d — the bound on the elapsed time from
+// a correct node sending a message until every correct node has received
+// and processed it, as measured on any correct node's timer (drift
+// included).
+//
+// The paper fixes τGskew = 6d, giving a phase Φ = τGskew + 2d = 8d, and:
+//
+//	Δagr   = (2f+1)·Φ                 — agreement duration bound
+//	Δ0     = 13d                      — min spacing between initiations
+//	Δrmv   = Δagr + Δ0                — decay age of old values
+//	Δv     = 15d + 2Δrmv              — min spacing for the same value
+//	Δnode  = Δv + Δagr                — non-faulty → correct threshold
+//	Δreset = 20d + 4Δrmv              — General back-off after a failure
+//	Δstb   = 2·Δreset                 — stabilization time
+type Params struct {
+	// N is the number of nodes; F the bound on concurrent faults at
+	// steady state. The protocol requires N > 3F.
+	N, F int
+	// D is d: the message delivery + processing bound in ticks.
+	D simtime.Duration
+	// Wrap is the local-clock wrap modulus (0 disables wrapping). When
+	// non-zero it must be much larger than DeltaStb.
+	Wrap simtime.Duration
+	// BlockRWindow overrides the prompt-decision window of Block R
+	// (0 means the default 5d; see the deviation note in DESIGN.md §3).
+	// It exists for the A1 ablation, which demonstrates why the paper's
+	// literal 4d misses the validity bound; production code leaves it 0.
+	BlockRWindow simtime.Duration
+}
+
+// Validate checks the resilience precondition n > 3f and basic sanity.
+func (p Params) Validate() error {
+	if p.N <= 0 {
+		return errors.New("protocol: N must be positive")
+	}
+	if p.F < 0 {
+		return errors.New("protocol: F must be non-negative")
+	}
+	if p.N <= 3*p.F {
+		return fmt.Errorf("protocol: need n > 3f, got n=%d f=%d", p.N, p.F)
+	}
+	if p.D <= 0 {
+		return errors.New("protocol: D must be positive")
+	}
+	if p.Wrap != 0 && p.Wrap < 8*p.DeltaStb() {
+		return fmt.Errorf("protocol: wrap modulus %d too small for Δstb=%d", p.Wrap, p.DeltaStb())
+	}
+	return nil
+}
+
+// MaxFaults returns ⌊(n−1)/3⌋, the optimal resilience for n nodes.
+func MaxFaults(n int) int { return (n - 1) / 3 }
+
+// TauGSkew is the bound on the real-time spread of the τG anchors at
+// correct nodes (property IA-3A): 6d.
+func (p Params) TauGSkew() simtime.Duration { return 6 * p.D }
+
+// Phi is the duration of one phase: τGskew + 2d = 8d.
+func (p Params) Phi() simtime.Duration { return p.TauGSkew() + 2*p.D }
+
+// DeltaAgr is the upper bound on running the agreement protocol:
+// (2f+1)·Φ.
+func (p Params) DeltaAgr() simtime.Duration {
+	return simtime.Duration(2*p.F+1) * p.Phi()
+}
+
+// Delta0 is the minimal time between consecutive initiations by a correct
+// General, for different values: 13d.
+func (p Params) Delta0() simtime.Duration { return 13 * p.D }
+
+// DeltaRmv is the age after which old values are decayed: Δagr + Δ0.
+func (p Params) DeltaRmv() simtime.Duration { return p.DeltaAgr() + p.Delta0() }
+
+// DeltaV is the minimal time between two initiations with the same value:
+// 15d + 2Δrmv.
+func (p Params) DeltaV() simtime.Duration { return 15*p.D + 2*p.DeltaRmv() }
+
+// DeltaNode is the continuous non-faulty time after which a recovering
+// node is considered correct: Δv + Δagr.
+func (p Params) DeltaNode() simtime.Duration { return p.DeltaV() + p.DeltaAgr() }
+
+// DeltaReset is the silence period a correct General observes after
+// noticing a failed initiation (criterion IG3): 20d + 4Δrmv.
+func (p Params) DeltaReset() simtime.Duration { return 20*p.D + 4*p.DeltaRmv() }
+
+// DeltaStb is the stabilization time of the system: 2·Δreset.
+func (p Params) DeltaStb() simtime.Duration { return 2 * p.DeltaReset() }
+
+// Quorum returns n−f, the size of the correct quorum.
+func (p Params) Quorum() int { return p.N - p.F }
+
+// ByzQuorum returns n−2f, the threshold that guarantees at least one
+// correct sender behind a message set.
+func (p Params) ByzQuorum() int { return p.N - 2*p.F }
+
+// Sub computes now−then on the node-local clock honoring the wrap modulus.
+func (p Params) Sub(now, then simtime.Local) simtime.Duration {
+	return simtime.WrapSub(now, then, p.Wrap)
+}
+
+// Add advances a local reading honoring the wrap modulus.
+func (p Params) Add(t simtime.Local, dl simtime.Duration) simtime.Local {
+	return simtime.WrapAdd(t, dl, p.Wrap)
+}
+
+// DefaultParams returns a ready-to-use parameter set: n nodes, optimal
+// f = ⌊(n−1)/3⌋, and d = 1000 ticks.
+func DefaultParams(n int) Params {
+	return Params{N: n, F: MaxFaults(n), D: 1000}
+}

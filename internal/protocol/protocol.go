@@ -1,0 +1,89 @@
+// Package protocol defines the shared vocabulary of the reproduction: node
+// identities, values, wire messages, the timing constants of the paper
+// (Φ, Δ0, Δrmv, Δv, Δagr, Δnode, Δreset, Δstb), and the transport-agnostic
+// Runtime/Node interfaces behind which both the discrete-event simulator
+// and the live goroutine transport sit.
+package protocol
+
+import "fmt"
+
+// NodeID identifies a node. IDs are dense in [0, N).
+type NodeID int
+
+// Value is an agreement value disseminated by a General. The empty string
+// is not a valid value; Bottom represents ⊥ (no decision / abort).
+type Value string
+
+// Bottom is the ⊥ value returned by aborting nodes.
+const Bottom Value = ""
+
+// MsgKind enumerates every wire message of the three layers of the
+// protocol stack. Kinds start at 1 so the zero value is invalid
+// (a corrupted message is detectable).
+type MsgKind int
+
+const (
+	// Initiator is the General's initiation (Initiator, G, m) — Block Q0.
+	Initiator MsgKind = iota + 1
+	// Support, Approve, Ready are the Initiator-Accept messages (Fig. 2).
+	Support
+	Approve
+	Ready
+	// Init, Echo, InitPrime, EchoPrime are the msgd-broadcast messages
+	// (Fig. 3): (init,p,m,k), (echo,p,m,k), (init′,p,m,k), (echo′,p,m,k).
+	Init
+	Echo
+	InitPrime
+	EchoPrime
+	// BaselineRound carries the synchronous TPS-87 baseline's messages;
+	// its sub-kind lives in the message's Aux field.
+	BaselineRound
+)
+
+var msgKindNames = map[MsgKind]string{
+	Initiator:     "initiator",
+	Support:       "support",
+	Approve:       "approve",
+	Ready:         "ready",
+	Init:          "init",
+	Echo:          "echo",
+	InitPrime:     "init'",
+	EchoPrime:     "echo'",
+	BaselineRound: "baseline",
+}
+
+func (k MsgKind) String() string {
+	if s, ok := msgKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("msgkind(%d)", int(k))
+}
+
+// Message is the single wire format shared by all protocol layers. The
+// network authenticates From (a faulty node cannot forge another sender's
+// identity once the network is non-faulty), matching the paper's model.
+type Message struct {
+	Kind MsgKind
+	// G is the General this message concerns.
+	G NodeID
+	// M is the value.
+	M Value
+	// P is the broadcasting node for msgd-broadcast triples (p, m, k).
+	P NodeID
+	// K is the msgd-broadcast round/level k, or the baseline round number.
+	K int
+	// Aux carries baseline sub-kinds and adversarial payloads.
+	Aux int
+	// From is stamped by the transport; receivers must not trust any
+	// in-body sender claim.
+	From NodeID
+}
+
+func (m Message) String() string {
+	switch m.Kind {
+	case Initiator, Support, Approve, Ready:
+		return fmt.Sprintf("(%s,G%d,%q)", m.Kind, m.G, string(m.M))
+	default:
+		return fmt.Sprintf("(%s,p%d,%q,%d)@G%d", m.Kind, m.P, string(m.M), m.K, m.G)
+	}
+}

@@ -1,0 +1,55 @@
+package protocol
+
+import "sync"
+
+// Recorder accumulates trace events from every node in a run. It is safe
+// for concurrent use (the live transport appends from many goroutines; the
+// discrete-event simulator from one).
+type Recorder struct {
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Add appends one event.
+func (r *Recorder) Add(ev TraceEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, ev)
+}
+
+// Events returns a copy of all recorded events in arrival order.
+func (r *Recorder) Events() []TraceEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TraceEvent, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Filter returns the events satisfying pred, in arrival order.
+func (r *Recorder) Filter(pred func(TraceEvent) bool) []TraceEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []TraceEvent
+	for _, ev := range r.events {
+		if pred(ev) {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// ByKind returns the events of one kind, in arrival order.
+func (r *Recorder) ByKind(kind EventKind) []TraceEvent {
+	return r.Filter(func(ev TraceEvent) bool { return ev.Kind == kind })
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}

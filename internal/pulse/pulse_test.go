@@ -1,0 +1,135 @@
+package pulse
+
+import (
+	"testing"
+
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/simnet"
+	"ssbyz/internal/simtime"
+)
+
+// pulseWorld assembles n pulse nodes (faulty IDs left silent) and runs for
+// the given span.
+func pulseWorld(t *testing.T, n int, faulty map[protocol.NodeID]bool, seed int64, runFor simtime.Duration) *simnet.World {
+	t.Helper()
+	pp := protocol.DefaultParams(n)
+	w, err := simnet.New(simnet.Config{Params: pp, Seed: seed, DelayMin: pp.D / 2, DelayMax: pp.D})
+	if err != nil {
+		t.Fatalf("simnet.New: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if faulty[protocol.NodeID(i)] {
+			continue // nil node: crash-faulty
+		}
+		w.SetNode(protocol.NodeID(i), NewNode(Config{}))
+	}
+	w.Start()
+	w.RunUntil(simtime.Real(runFor))
+	return w
+}
+
+// pulsesByCycle groups EvPulse events of correct nodes by cycle index.
+func pulsesByCycle(w *simnet.World, faulty map[protocol.NodeID]bool) map[int][]protocol.TraceEvent {
+	out := make(map[int][]protocol.TraceEvent)
+	for _, ev := range w.Recorder().ByKind(protocol.EvPulse) {
+		if faulty[ev.Node] {
+			continue
+		}
+		out[ev.K] = append(out[ev.K], ev)
+	}
+	return out
+}
+
+func TestPulsesFireAndStaySynchronized(t *testing.T) {
+	pp := protocol.DefaultParams(7)
+	w := pulseWorld(t, 7, nil, 11, 6*MinCycle(pp)+4*pp.DeltaAgr())
+	byCycle := pulsesByCycle(w, nil)
+	if len(byCycle) < 3 {
+		t.Fatalf("only %d cycles pulsed, want ≥ 3", len(byCycle))
+	}
+	for k, evs := range byCycle {
+		if len(evs) != 7 {
+			t.Errorf("cycle %d: %d nodes pulsed, want 7", k, len(evs))
+			continue
+		}
+		lo, hi := evs[0].RT, evs[0].RT
+		for _, ev := range evs {
+			if ev.RT < lo {
+				lo = ev.RT
+			}
+			if ev.RT > hi {
+				hi = ev.RT
+			}
+		}
+		// Decision skew bound: ≤ 3d (Timeliness-1a).
+		if skew := hi - lo; skew > 3*simtime.Real(pp.D) {
+			t.Errorf("cycle %d: pulse skew %d > 3d=%d", k, skew, 3*pp.D)
+		}
+	}
+}
+
+func TestCyclesAdvanceMonotonically(t *testing.T) {
+	pp := protocol.DefaultParams(4)
+	w := pulseWorld(t, 4, nil, 3, 5*MinCycle(pp)+4*pp.DeltaAgr())
+	perNode := make(map[protocol.NodeID][]int)
+	for _, ev := range w.Recorder().ByKind(protocol.EvPulse) {
+		perNode[ev.Node] = append(perNode[ev.Node], ev.K)
+	}
+	for id, ks := range perNode {
+		for i := 1; i < len(ks); i++ {
+			if ks[i] <= ks[i-1] {
+				t.Errorf("node %d: cycle sequence %v not strictly increasing", id, ks)
+				break
+			}
+		}
+	}
+}
+
+// TestFallbackSkipsFaultyGeneral puts the cycle-0 General down; the
+// rotation must still produce pulses on every correct node.
+func TestFallbackSkipsFaultyGeneral(t *testing.T) {
+	pp := protocol.DefaultParams(7)
+	faulty := map[protocol.NodeID]bool{0: true, 1: true}
+	w := pulseWorld(t, 7, faulty, 5, 4*MinCycle(pp)+10*pp.DeltaAgr())
+	byCycle := pulsesByCycle(w, faulty)
+	if len(byCycle) == 0 {
+		t.Fatal("no pulses fired with faulty Generals in rotation")
+	}
+	for k, evs := range byCycle {
+		if len(evs) != 5 {
+			t.Errorf("cycle %d: %d correct nodes pulsed, want 5", k, len(evs))
+		}
+	}
+}
+
+func TestCycleValueRoundTrip(t *testing.T) {
+	cases := []int{0, 1, 7, 123456}
+	for _, k := range cases {
+		got, ok := ParseCycleValue(CycleValue(k))
+		if !ok || got != k {
+			t.Errorf("ParseCycleValue(CycleValue(%d)) = (%d,%v)", k, got, ok)
+		}
+	}
+	for _, v := range []protocol.Value{"", "x", "pulse-", "pulse-x", "Pulse-3"} {
+		if _, ok := ParseCycleValue(v); ok {
+			t.Errorf("ParseCycleValue(%q) accepted a foreign value", v)
+		}
+	}
+}
+
+func TestMinCycleEnforced(t *testing.T) {
+	pp := protocol.DefaultParams(4)
+	w, err := simnet.New(simnet.Config{Params: pp, Seed: 1})
+	if err != nil {
+		t.Fatalf("simnet.New: %v", err)
+	}
+	n := NewNode(Config{Cycle: 1}) // absurdly short
+	w.SetNode(0, n)
+	for i := 1; i < 4; i++ {
+		w.SetNode(protocol.NodeID(i), NewNode(Config{}))
+	}
+	w.Start()
+	if n.cfg.Cycle < MinCycle(pp) {
+		t.Errorf("Cycle %d below MinCycle %d after Start", n.cfg.Cycle, MinCycle(pp))
+	}
+}

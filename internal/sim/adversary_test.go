@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"ssbyz/internal/byzantine"
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/simtime"
+)
+
+// decideValues returns the set of distinct non-⊥ decided values for g.
+func decideValues(res *Result, g protocol.NodeID) map[protocol.Value]int {
+	out := make(map[protocol.Value]int)
+	for _, d := range res.Decisions(g) {
+		if d.Decided {
+			out[d.Value]++
+		}
+	}
+	return out
+}
+
+// TestEquivocatingGeneralNoSplit: a faulty General sending two values to
+// two halves must never get correct nodes to decide different values
+// (all-or-none per value; Agreement).
+func TestEquivocatingGeneralNoSplit(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			pp := protocol.DefaultParams(7)
+			g := protocol.NodeID(6)
+			res, err := Run(Scenario{
+				Params: pp,
+				Seed:   seed,
+				Faulty: map[protocol.NodeID]protocol.Node{
+					g: &byzantine.Equivocator{Values: []protocol.Value{"a", "b"}, At: simtime.Duration(seed * 100)},
+				},
+				RunFor: 4 * pp.DeltaAgr(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			vals := decideValues(res, g)
+			if len(vals) > 1 {
+				t.Fatalf("split decision: %v", vals)
+			}
+			// If any correct node decided, all must have decided that value.
+			for v, cnt := range vals {
+				if cnt != len(res.Correct) {
+					t.Fatalf("value %q decided by %d/%d correct nodes", v, cnt, len(res.Correct))
+				}
+			}
+		})
+	}
+}
+
+// TestEquivocatorWithColluders adds f−1 Yeasayer colluders amplifying both
+// waves; Agreement must still hold.
+func TestEquivocatorWithColluders(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		pp := protocol.DefaultParams(10) // f = 3
+		g := protocol.NodeID(9)
+		res, err := Run(Scenario{
+			Params: pp,
+			Seed:   seed,
+			Faulty: map[protocol.NodeID]protocol.Node{
+				g: &byzantine.Equivocator{Values: []protocol.Value{"a", "b"}, At: 500},
+				7: &byzantine.Yeasayer{},
+				8: &byzantine.Yeasayer{},
+			},
+			RunFor: 4 * pp.DeltaAgr(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals := decideValues(res, g)
+		if len(vals) > 1 {
+			t.Fatalf("seed %d: split decision: %v", seed, vals)
+		}
+		for v, cnt := range vals {
+			if cnt != len(res.Correct) {
+				t.Fatalf("seed %d: value %q decided by %d/%d", seed, v, cnt, len(res.Correct))
+			}
+		}
+	}
+}
+
+// TestSpamCannotForge: pure spam from f nodes must never produce an
+// I-accept or a decision for a General that never correctly initiated.
+func TestSpamCannotForge(t *testing.T) {
+	pp := protocol.DefaultParams(7)
+	res, err := Run(Scenario{
+		Params: pp,
+		Seed:   7,
+		Faulty: map[protocol.NodeID]protocol.Node{
+			5: &byzantine.Spammer{},
+			6: &byzantine.Spammer{},
+		},
+		RunFor: 3 * pp.DeltaStb(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < pp.N; g++ {
+		if got := res.IAccepts(protocol.NodeID(g)); len(got) > 0 {
+			t.Fatalf("spam produced I-accept for G%d: %+v", g, got[0])
+		}
+		if got := res.Decisions(protocol.NodeID(g)); len(got) > 0 {
+			t.Fatalf("spam produced a return for G%d", g)
+		}
+	}
+}
+
+// TestPartialGeneralAllOrNone: a General inviting only a subset must still
+// yield all-or-none outcomes.
+func TestPartialGeneralAllOrNone(t *testing.T) {
+	pp := protocol.DefaultParams(7)
+	for _, k := range []int{1, 2, 3, 4, 5, 6} {
+		for seed := int64(0); seed < 10; seed++ {
+			invitees := make([]protocol.NodeID, 0, k)
+			for i := 0; i < k; i++ {
+				invitees = append(invitees, protocol.NodeID(i))
+			}
+			g := protocol.NodeID(6)
+			res, err := Run(Scenario{
+				Params: pp,
+				Seed:   seed,
+				Faulty: map[protocol.NodeID]protocol.Node{
+					g: &byzantine.PartialGeneral{Invitees: invitees, Value: "p", At: 100},
+				},
+				RunFor: 4 * pp.DeltaAgr(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			vals := decideValues(res, g)
+			for v, cnt := range vals {
+				if cnt != len(res.Correct) {
+					t.Fatalf("k=%d seed=%d: value %q decided by %d/%d correct nodes",
+						k, seed, v, cnt, len(res.Correct))
+				}
+			}
+		}
+	}
+}

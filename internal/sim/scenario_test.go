@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"testing"
+
+	"ssbyz/internal/byzantine"
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/pulse"
+	"ssbyz/internal/simnet"
+	"ssbyz/internal/simtime"
+)
+
+func TestRunRejectsInvalidParams(t *testing.T) {
+	_, err := Run(Scenario{Params: protocol.Params{N: 6, F: 2, D: 1000}})
+	if err == nil {
+		t.Error("Run accepted n = 3f")
+	}
+}
+
+func TestRunRejectsTooManyFaulty(t *testing.T) {
+	sc := Scenario{
+		Params: protocol.DefaultParams(4),
+		Faulty: map[protocol.NodeID]protocol.Node{1: nil, 2: nil},
+	}
+	if _, err := Run(sc); err == nil {
+		t.Error("Run accepted 2 faulty nodes at f=1")
+	}
+}
+
+func TestRunDefaults(t *testing.T) {
+	res, err := Run(Scenario{})
+	if err != nil {
+		t.Fatalf("Run with zero scenario: %v", err)
+	}
+	if res.Scenario.Params.N != 7 {
+		t.Errorf("default N = %d, want 7", res.Scenario.Params.N)
+	}
+	if len(res.Correct) != 7 {
+		t.Errorf("correct nodes = %d, want 7", len(res.Correct))
+	}
+}
+
+func TestIsCorrect(t *testing.T) {
+	res, err := Run(Scenario{
+		Params: protocol.DefaultParams(4),
+		Faulty: map[protocol.NodeID]protocol.Node{2: nil},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.IsCorrect(2) {
+		t.Error("faulty node reported correct")
+	}
+	if !res.IsCorrect(0) || !res.IsCorrect(3) {
+		t.Error("correct node reported faulty")
+	}
+}
+
+func TestInitiationByFaultyGeneralSkipped(t *testing.T) {
+	pp := protocol.DefaultParams(4)
+	sc := Scenario{
+		Params:      pp,
+		Faulty:      map[protocol.NodeID]protocol.Node{0: &byzantine.Silent{}},
+		Initiations: []Initiation{{At: simtime.Real(2 * pp.D), G: 0, Value: "v"}},
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Initiations(0)) != 0 {
+		t.Error("scripted initiation ran on a faulty General")
+	}
+	if len(res.InitErrs) != 0 {
+		t.Errorf("InitErrs for a skipped initiation: %v", res.InitErrs)
+	}
+}
+
+func TestNodeFactoryOverride(t *testing.T) {
+	pp := protocol.DefaultParams(4)
+	sc := Scenario{
+		Params:  pp,
+		NewNode: func() protocol.Node { return pulse.NewNode(pulse.Config{}) },
+		RunFor:  2 * (pulse.MinCycle(pp) + pp.DeltaAgr()),
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Rec.ByKind(protocol.EvPulse)) == 0 {
+		t.Error("factory-built pulse nodes fired no pulses")
+	}
+}
+
+func TestNonInitiatorNodeReported(t *testing.T) {
+	pp := protocol.DefaultParams(4)
+	sc := Scenario{
+		Params: pp,
+		// A factory returning nodes that cannot initiate.
+		NewNode:     func() protocol.Node { return &byzantine.Silent{} },
+		Initiations: []Initiation{{At: 0, G: 0, Value: "v"}},
+		RunFor:      pp.DeltaAgr(),
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if _, ok := res.InitErrs[0]; !ok {
+		t.Error("non-Initiator node did not surface an initiation error")
+	}
+}
+
+func TestCorruptHookRunsBeforeStart(t *testing.T) {
+	pp := protocol.DefaultParams(4)
+	ran := false
+	sc := Scenario{
+		Params:  pp,
+		Corrupt: func(w *simnet.World) { ran = true },
+		RunFor:  pp.D,
+	}
+	if _, err := Run(sc); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !ran {
+		t.Error("Corrupt hook never ran")
+	}
+}
+
+func TestDecisionsSortedByNode(t *testing.T) {
+	pp := protocol.DefaultParams(7)
+	res, err := Run(Scenario{
+		Params:      pp,
+		Seed:        3,
+		Initiations: []Initiation{{At: simtime.Real(2 * pp.D), G: 0, Value: "v"}},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	decs := res.Decisions(0)
+	for i := 1; i < len(decs); i++ {
+		if decs[i].Node < decs[i-1].Node {
+			t.Fatalf("decisions not sorted: %v", decs)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+// Package sim assembles and runs complete simulation scenarios: a world of
+// correct nodes (internal/core) and adversaries (internal/byzantine),
+// scripted initiations, optional transient-fault injection, and result
+// extraction for the property checkers and the experiment harness.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"ssbyz/internal/core"
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/simnet"
+	"ssbyz/internal/simtime"
+)
+
+// Initiation schedules a General-side agreement initiation at a virtual
+// real time. Slot selects a concurrent-invocation slot when the correct
+// nodes are indexed (footnote-9 extension); it must be 0 otherwise.
+type Initiation struct {
+	At    simtime.Real
+	G     protocol.NodeID
+	Value protocol.Value
+	Slot  int
+}
+
+// Scenario describes one run.
+type Scenario struct {
+	// Params are the protocol constants; zero value defaults to
+	// DefaultParams(7).
+	Params protocol.Params
+	// Seed drives all randomness.
+	Seed int64
+	// DelayMin/DelayMax bound actual message delays (default [D/2, D]).
+	DelayMin, DelayMax simtime.Duration
+	// Delay optionally overrides the delay policy.
+	Delay simnet.DelayFn
+	// Clocks optionally sets per-node clocks.
+	Clocks []simtime.Clock
+	// Faulty maps node IDs to adversary implementations. A nil entry is a
+	// crash-faulty (forever silent) node. IDs not present are correct.
+	Faulty map[protocol.NodeID]protocol.Node
+	// NewNode builds each correct node's state machine (default
+	// core.NewNode). Alternative factories (e.g. the pulse layer) must
+	// return nodes that implement Initiator for scripted initiations to
+	// work.
+	NewNode func() protocol.Node
+	// Initiations are the scripted General actions. Initiations by faulty
+	// Generals are ignored here (the adversary scripts its own behaviour).
+	Initiations []Initiation
+	// Corrupt, when non-nil, runs at virtual time 0 against the assembled
+	// world, before any protocol event (the transient-fault hook).
+	Corrupt func(w *simnet.World)
+	// RunFor is the virtual real time to simulate (default 3·Δagr).
+	RunFor simtime.Duration
+}
+
+// Initiator is the General-side capability required of correct nodes for
+// scripted initiations.
+type Initiator interface {
+	InitiateAgreement(v protocol.Value) error
+}
+
+// SlotInitiator is the indexed (concurrent-invocation) variant.
+type SlotInitiator interface {
+	InitiateAgreement(slot int, v protocol.Value) error
+}
+
+// Decision is the outcome of one correct node for one General.
+type Decision struct {
+	Node    protocol.NodeID
+	Decided bool // false = abort (⊥)
+	Value   protocol.Value
+	RT      simtime.Real  // real time of the return
+	Tau     simtime.Local // local time of the return
+	TauG    simtime.Local // the anchor
+	RTauG   simtime.Real  // real time at which the local clock read TauG
+}
+
+// Result is everything a run produced.
+type Result struct {
+	Scenario Scenario
+	World    *simnet.World
+	Rec      *protocol.Recorder
+	// Correct lists the IDs of correct nodes, ascending.
+	Correct []protocol.NodeID
+	// InitErrs records sending-validity refusals hit by scripted
+	// initiations (IG1–IG3), keyed by initiation index.
+	InitErrs map[int]error
+}
+
+// Run executes the scenario to completion.
+func Run(sc Scenario) (*Result, error) {
+	if sc.Params.N == 0 {
+		sc.Params = protocol.DefaultParams(7)
+	}
+	if err := sc.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if sc.DelayMax == 0 {
+		sc.DelayMax = sc.Params.D
+	}
+	if sc.DelayMin == 0 {
+		sc.DelayMin = sc.Params.D / 2
+	}
+	if sc.RunFor == 0 {
+		sc.RunFor = 3 * sc.Params.DeltaAgr()
+	}
+	if len(sc.Faulty) > sc.Params.F {
+		return nil, fmt.Errorf("sim: %d faulty nodes exceeds f=%d", len(sc.Faulty), sc.Params.F)
+	}
+
+	w, err := simnet.New(simnet.Config{
+		Params:   sc.Params,
+		Seed:     sc.Seed,
+		DelayMin: sc.DelayMin,
+		DelayMax: sc.DelayMax,
+		Delay:    sc.Delay,
+		Clocks:   sc.Clocks,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Scenario: sc, World: w, Rec: w.Recorder(), InitErrs: make(map[int]error)}
+	for i := 0; i < sc.Params.N; i++ {
+		id := protocol.NodeID(i)
+		if adv, ok := sc.Faulty[id]; ok {
+			if adv != nil {
+				w.SetNode(id, adv)
+			}
+			continue
+		}
+		if sc.NewNode != nil {
+			w.SetNode(id, sc.NewNode())
+		} else {
+			w.SetNode(id, core.NewNode())
+		}
+		res.Correct = append(res.Correct, id)
+	}
+	sort.Slice(res.Correct, func(i, j int) bool { return res.Correct[i] < res.Correct[j] })
+
+	if sc.Corrupt != nil {
+		sc.Corrupt(w)
+	}
+	w.Start()
+
+	for i, init := range sc.Initiations {
+		if _, faulty := sc.Faulty[init.G]; faulty {
+			continue
+		}
+		i, init := i, init
+		w.Scheduler().At(init.At, func() {
+			var err error
+			switch n := w.Node(init.G).(type) {
+			case SlotInitiator:
+				err = n.InitiateAgreement(init.Slot, init.Value)
+			case Initiator:
+				if init.Slot != 0 {
+					err = fmt.Errorf("sim: node %d has no concurrent slots", init.G)
+				} else {
+					err = n.InitiateAgreement(init.Value)
+				}
+			default:
+				err = fmt.Errorf("sim: node %d cannot initiate agreements", init.G)
+			}
+			if err != nil {
+				res.InitErrs[i] = err
+			}
+		})
+	}
+
+	w.RunUntil(simtime.Real(sc.RunFor))
+	return res, nil
+}
+
+// IsCorrect reports whether id is a correct node in this run.
+func (r *Result) IsCorrect(id protocol.NodeID) bool {
+	for _, c := range r.Correct {
+		if c == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Decisions returns every correct node's return (decide or abort) for
+// General g, in node order. Nodes that never returned are absent.
+func (r *Result) Decisions(g protocol.NodeID) []Decision {
+	var out []Decision
+	for _, ev := range r.Rec.Events() {
+		if ev.G != g || !r.IsCorrect(ev.Node) {
+			continue
+		}
+		switch ev.Kind {
+		case protocol.EvDecide:
+			out = append(out, Decision{Node: ev.Node, Decided: true, Value: ev.M,
+				RT: ev.RT, Tau: ev.Tau, TauG: ev.TauG, RTauG: ev.RTauG})
+		case protocol.EvAbort:
+			out = append(out, Decision{Node: ev.Node, Decided: false, Value: protocol.Bottom,
+				RT: ev.RT, Tau: ev.Tau, TauG: ev.TauG, RTauG: ev.RTauG})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// IAccepts returns the I-accept events of correct nodes for General g.
+func (r *Result) IAccepts(g protocol.NodeID) []protocol.TraceEvent {
+	return r.Rec.Filter(func(ev protocol.TraceEvent) bool {
+		return ev.Kind == protocol.EvIAccept && ev.G == g && r.IsCorrect(ev.Node)
+	})
+}
+
+// Invocations returns the protocol-invocation events of correct nodes for
+// General g (Block Q1 executions).
+func (r *Result) Invocations(g protocol.NodeID) []protocol.TraceEvent {
+	return r.Rec.Filter(func(ev protocol.TraceEvent) bool {
+		return ev.Kind == protocol.EvInvoke && ev.G == g && r.IsCorrect(ev.Node)
+	})
+}
+
+// Initiations returns the EvInitiate events for General g.
+func (r *Result) Initiations(g protocol.NodeID) []protocol.TraceEvent {
+	return r.Rec.Filter(func(ev protocol.TraceEvent) bool {
+		return ev.Kind == protocol.EvInitiate && ev.G == g
+	})
+}

@@ -1,0 +1,214 @@
+// Package simnet is the deterministic discrete-event transport. It
+// realizes exactly the axioms of the paper's communication model: messages
+// between correct nodes are delivered and processed within d (the actual
+// per-message delay is drawn from [DelayMin, DelayMax] ≤ d), the sender's
+// identity is authenticated, there is no broadcast medium, and each node's
+// local clock drifts within (1±ρ) of real time.
+//
+// Because virtual real time and every node's local reading are both
+// first-class, the property checkers can verify the paper's bounds (which
+// mix rt(·) and τ(·)) exactly.
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/simtime"
+)
+
+// DelayFn picks the delivery delay for one message. It must return a value
+// in [min, max]; the world clamps anything outside.
+type DelayFn func(from, to protocol.NodeID, m protocol.Message, rng *rand.Rand) simtime.Duration
+
+// Config describes one simulated world.
+type Config struct {
+	Params protocol.Params
+	// Seed drives all randomness (delays, adversaries). Same seed, same run.
+	Seed int64
+	// DelayMin/DelayMax bound actual message delays. DelayMax must be ≤
+	// Params.D − a processing margin; by convention the whole of d is
+	// available to the transport (processing is instantaneous in the
+	// simulator, matching d ≡ (δ+π)(1+ρ) with π folded in).
+	DelayMin, DelayMax simtime.Duration
+	// Delay optionally overrides the default uniform-random delay policy.
+	Delay DelayFn
+	// Clocks optionally sets per-node clocks; nil entries (or a nil slice)
+	// default to ideal clocks with zero offset. Use simtime.DriftClock to
+	// model drift and offset.
+	Clocks []simtime.Clock
+}
+
+// World is a deterministic simulation of n nodes exchanging messages.
+type World struct {
+	cfg   Config
+	sch   *simtime.Scheduler
+	rng   *rand.Rand
+	rec   *protocol.Recorder
+	nodes []protocol.Node
+	rts   []*nodeRT
+
+	// counts tracks sent messages per kind for the complexity experiment.
+	counts map[protocol.MsgKind]int64
+	total  int64
+
+	// dropFn, when set, silently discards matching messages (used to model
+	// the tail of an incoherent period and targeted partitions).
+	dropFn func(from, to protocol.NodeID, m protocol.Message) bool
+
+	started bool
+}
+
+// New builds a world. Nodes must be attached with SetNode before Start.
+func New(cfg Config) (*World, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.DelayMax == 0 {
+		cfg.DelayMax = cfg.Params.D
+	}
+	if cfg.DelayMin < 0 || cfg.DelayMin > cfg.DelayMax {
+		return nil, fmt.Errorf("simnet: bad delay range [%d,%d]", cfg.DelayMin, cfg.DelayMax)
+	}
+	if cfg.DelayMax > cfg.Params.D {
+		return nil, fmt.Errorf("simnet: DelayMax %d exceeds d=%d", cfg.DelayMax, cfg.Params.D)
+	}
+	w := &World{
+		cfg:    cfg,
+		sch:    simtime.NewScheduler(),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		rec:    protocol.NewRecorder(),
+		nodes:  make([]protocol.Node, cfg.Params.N),
+		rts:    make([]*nodeRT, cfg.Params.N),
+		counts: make(map[protocol.MsgKind]int64),
+	}
+	for i := 0; i < cfg.Params.N; i++ {
+		var clk simtime.Clock
+		if i < len(cfg.Clocks) {
+			clk = cfg.Clocks[i]
+		}
+		if clk.Wrap == 0 {
+			clk.Wrap = cfg.Params.Wrap
+		}
+		w.rts[i] = &nodeRT{w: w, id: protocol.NodeID(i), clock: clk}
+	}
+	return w, nil
+}
+
+// SetNode attaches the protocol state machine for node id.
+func (w *World) SetNode(id protocol.NodeID, n protocol.Node) {
+	w.nodes[id] = n
+}
+
+// Node returns the state machine attached to id.
+func (w *World) Node(id protocol.NodeID) protocol.Node { return w.nodes[id] }
+
+// Runtime returns node id's runtime (exposed for adversaries and the
+// transient injector).
+func (w *World) Runtime(id protocol.NodeID) protocol.Runtime { return w.rts[id] }
+
+// Recorder returns the shared trace recorder.
+func (w *World) Recorder() *protocol.Recorder { return w.rec }
+
+// Scheduler exposes the event queue for scenario scripting (e.g. injecting
+// an initiation at a chosen virtual time).
+func (w *World) Scheduler() *simtime.Scheduler { return w.sch }
+
+// Rand returns the world's deterministic RNG.
+func (w *World) Rand() *rand.Rand { return w.rng }
+
+// Params returns the protocol parameters.
+func (w *World) Params() protocol.Params { return w.cfg.Params }
+
+// Now returns current virtual real time.
+func (w *World) Now() simtime.Real { return w.sch.Now() }
+
+// LocalNow returns node id's current local reading.
+func (w *World) LocalNow(id protocol.NodeID) simtime.Local {
+	return w.rts[id].Now()
+}
+
+// SetDropFn installs a message filter; messages for which fn returns true
+// are discarded in flight. Pass nil to clear.
+func (w *World) SetDropFn(fn func(from, to protocol.NodeID, m protocol.Message) bool) {
+	w.dropFn = fn
+}
+
+// MessageCount returns the total messages sent and a per-kind breakdown.
+func (w *World) MessageCount() (int64, map[protocol.MsgKind]int64) {
+	out := make(map[protocol.MsgKind]int64, len(w.counts))
+	for k, v := range w.counts {
+		out[k] = v
+	}
+	return w.total, out
+}
+
+// Start calls Start on every attached node. Nodes left nil are silent
+// (crash-faulty from the beginning).
+func (w *World) Start() {
+	if w.started {
+		return
+	}
+	w.started = true
+	for i, n := range w.nodes {
+		if n != nil {
+			n.Start(w.rts[i])
+		}
+	}
+}
+
+// RunUntil executes events until virtual real time reaches deadline.
+func (w *World) RunUntil(deadline simtime.Real) {
+	w.sch.RunUntil(deadline)
+}
+
+// delayFor picks the delay for one message.
+func (w *World) delayFor(from, to protocol.NodeID, m protocol.Message) simtime.Duration {
+	var d simtime.Duration
+	if w.cfg.Delay != nil {
+		d = w.cfg.Delay(from, to, m, w.rng)
+	} else if w.cfg.DelayMax > w.cfg.DelayMin {
+		d = w.cfg.DelayMin + simtime.Duration(w.rng.Int63n(int64(w.cfg.DelayMax-w.cfg.DelayMin)+1))
+	} else {
+		d = w.cfg.DelayMin
+	}
+	return w.clampDelay(d)
+}
+
+func (w *World) clampDelay(d simtime.Duration) simtime.Duration {
+	if d < w.cfg.DelayMin {
+		d = w.cfg.DelayMin
+	}
+	if d > w.cfg.DelayMax {
+		d = w.cfg.DelayMax
+	}
+	return d
+}
+
+// deliver schedules the arrival of m at to, after delay.
+func (w *World) deliver(from, to protocol.NodeID, m protocol.Message, delay simtime.Duration) {
+	w.total++
+	w.counts[m.Kind]++
+	if w.dropFn != nil && w.dropFn(from, to, m) {
+		return
+	}
+	m.From = from // authenticated identity: stamped by the transport
+	w.sch.After(delay, func() {
+		if n := w.nodes[to]; n != nil {
+			n.OnMessage(from, m)
+		}
+	})
+}
+
+// InjectDelivery schedules a raw message delivery outside the normal send
+// path. The transient injector uses it to model residue of the incoherent
+// period: spurious messages that arrive right after coherence begins. The
+// claimed sender From must be set by the caller.
+func (w *World) InjectDelivery(to protocol.NodeID, m protocol.Message, at simtime.Real) {
+	w.sch.At(at, func() {
+		if n := w.nodes[to]; n != nil {
+			n.OnMessage(m.From, m)
+		}
+	})
+}

@@ -1,0 +1,44 @@
+package simtime
+
+import "testing"
+
+func BenchmarkSchedulerAtStep(b *testing.B) {
+	s := NewScheduler()
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.At(Real(i), fn)
+		s.Step()
+	}
+}
+
+func BenchmarkSchedulerMixed(b *testing.B) {
+	// The simulator's actual pattern: bursts of schedules, occasional
+	// cancels, interleaved steps.
+	s := NewScheduler()
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id1 := s.At(Real(i+10), fn)
+		s.At(Real(i+5), fn)
+		s.At(Real(i+20), fn)
+		s.Cancel(id1)
+		s.Step()
+		s.Step()
+	}
+}
+
+func BenchmarkClockReadAt(b *testing.B) {
+	c := DriftClock(12345, 137, 1<<40)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = c.ReadAt(Real(i))
+	}
+}
+
+func BenchmarkWrapSub(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = WrapSub(Local(i), Local(i/2), 1<<30)
+	}
+}

@@ -1,0 +1,135 @@
+package simtime
+
+import "container/heap"
+
+// EventID identifies a scheduled event so that it can be cancelled.
+type EventID uint64
+
+// event is one entry in the scheduler's priority queue.
+type event struct {
+	at        Real
+	seq       uint64 // tie-break so same-time events run in schedule order
+	id        EventID
+	fn        func()
+	cancelled bool
+	index     int // heap index
+}
+
+// eventHeap implements heap.Interface ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is a deterministic discrete-event scheduler. Events scheduled
+// for the same instant run in the order they were scheduled. Scheduler is
+// not safe for concurrent use; the discrete-event runtimes drive it from a
+// single goroutine.
+type Scheduler struct {
+	now    Real
+	heap   eventHeap
+	seq    uint64
+	nextID EventID
+	byID   map[EventID]*event
+}
+
+// NewScheduler returns a scheduler positioned at real time 0.
+func NewScheduler() *Scheduler {
+	return &Scheduler{byID: make(map[EventID]*event)}
+}
+
+// Now returns the current virtual real time.
+func (s *Scheduler) Now() Real { return s.now }
+
+// At schedules fn to run at real time t. Scheduling in the past (t < Now)
+// runs the event at the current instant (it is clamped to Now), which can
+// only arise from adversarial or transient inputs.
+func (s *Scheduler) At(t Real, fn func()) EventID {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	s.nextID++
+	e := &event{at: t, seq: s.seq, id: s.nextID, fn: fn}
+	heap.Push(&s.heap, e)
+	s.byID[e.id] = e
+	return e.id
+}
+
+// After schedules fn to run dl ticks of real time from now.
+func (s *Scheduler) After(dl Duration, fn func()) EventID {
+	return s.At(s.now.Add(dl), fn)
+}
+
+// Cancel prevents a scheduled event from running. Cancelling an event that
+// already ran or was already cancelled is a no-op.
+func (s *Scheduler) Cancel(id EventID) {
+	if e, ok := s.byID[id]; ok {
+		e.cancelled = true
+		delete(s.byID, id)
+	}
+}
+
+// Pending reports how many events (including cancelled placeholders) are
+// still queued.
+func (s *Scheduler) Pending() int { return len(s.heap) }
+
+// Step runs the next event, advancing virtual time to it. It returns false
+// when no events remain.
+func (s *Scheduler) Step() bool {
+	for len(s.heap) > 0 {
+		e := heap.Pop(&s.heap).(*event)
+		if e.cancelled {
+			continue
+		}
+		delete(s.byID, e.id)
+		s.now = e.at
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events until virtual time would exceed deadline or no
+// events remain. The clock is left at min(deadline, time of last event).
+// Events scheduled exactly at deadline do run.
+func (s *Scheduler) RunUntil(deadline Real) {
+	for len(s.heap) > 0 {
+		// Peek.
+		next := s.heap[0]
+		if next.cancelled {
+			heap.Pop(&s.heap)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}

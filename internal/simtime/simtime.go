@@ -1,0 +1,132 @@
+// Package simtime provides the virtual-time substrate for the simulator:
+// a distinction between real time and per-node local (drifting, possibly
+// wrapping) clock readings, wrap-aware interval arithmetic, and a
+// deterministic discrete-event scheduler.
+//
+// The paper's model distinguishes t (real time) and τ (a node's local
+// reading), related through a bounded drift ρ:
+//
+//	(1−ρ)(v−u) ≤ τ(v)−τ(u) ≤ (1+ρ)(v−u)
+//
+// Real and Local are distinct types so that protocol code cannot
+// accidentally mix frames of reference.
+package simtime
+
+import "fmt"
+
+// Real is a point in virtual real time, in ticks. One tick is an abstract
+// unit; scenarios typically set d (the message-delivery bound) to 1000
+// ticks so that a tick reads as a microsecond when d = 1ms.
+type Real int64
+
+// Local is a reading of some node's local clock, in the same tick unit.
+// Local readings at different nodes are not comparable with each other;
+// only intervals measured on the same clock are meaningful, matching the
+// paper's model where "the actual reading of the various timers may be
+// arbitrarily apart, but their relative rate is bounded".
+type Local int64
+
+// Duration is a span of time in ticks. It is used for both real-time and
+// local-time intervals; the drift bound makes the two interchangeable up
+// to a (1±ρ) factor, which the paper folds into d.
+type Duration int64
+
+// Sub returns the elapsed local time from then to now on a non-wrapping
+// clock.
+func (now Local) Sub(then Local) Duration { return Duration(now - then) }
+
+// Add advances a local reading by dl.
+func (t Local) Add(dl Duration) Local { return t + Local(dl) }
+
+// Add advances a real-time point by dl.
+func (t Real) Add(dl Duration) Real { return t + Real(dl) }
+
+// Sub returns the elapsed real time from then to now.
+func (now Real) Sub(then Real) Duration { return Duration(now - then) }
+
+// WrapSub returns the elapsed local time from then to now on a clock that
+// wraps at modulus wrap (wrap == 0 means the clock does not wrap). The
+// result is correct as long as the true elapsed time is smaller than
+// wrap/2, which the paper guarantees by assuming "the local time wrap
+// around is larger than a constant factor of the maximal interval of time
+// need to be measured".
+func WrapSub(now, then Local, wrap Duration) Duration {
+	if wrap == 0 {
+		return now.Sub(then)
+	}
+	d := (int64(now) - int64(then)) % int64(wrap)
+	if d < 0 {
+		d += int64(wrap)
+	}
+	// Intervals longer than wrap/2 are interpreted as negative (a reading
+	// from the "future", e.g. transient garbage).
+	if d > int64(wrap)/2 {
+		d -= int64(wrap)
+	}
+	return Duration(d)
+}
+
+// WrapAdd advances a local reading by dl on a clock wrapping at wrap.
+func WrapAdd(t Local, dl Duration, wrap Duration) Local {
+	if wrap == 0 {
+		return t.Add(dl)
+	}
+	v := (int64(t) + int64(dl)) % int64(wrap)
+	if v < 0 {
+		v += int64(wrap)
+	}
+	return Local(v)
+}
+
+// Clock models one node's hardware clock: a local reading that advances at
+// rate within [1−ρ, 1+ρ] of real time, from an arbitrary offset, optionally
+// wrapping at a modulus. The zero value is a perfect, non-wrapping clock
+// starting at local time 0.
+type Clock struct {
+	// OffsetTicks is the local reading at real time 0.
+	OffsetTicks Local
+	// RateNum/RateDen express the drift rate as a rational so that the
+	// simulation is exactly deterministic (no floating point). A perfect
+	// clock has RateNum == RateDen. Zero values mean rate 1.
+	RateNum, RateDen int64
+	// Wrap is the wrap-around modulus of the local reading; 0 disables
+	// wrapping.
+	Wrap Duration
+}
+
+// rate returns the numerator/denominator, defaulting to 1/1.
+func (c Clock) rate() (int64, int64) {
+	if c.RateNum == 0 || c.RateDen == 0 {
+		return 1, 1
+	}
+	return c.RateNum, c.RateDen
+}
+
+// ReadAt returns the local reading at real time t.
+func (c Clock) ReadAt(t Real) Local {
+	num, den := c.rate()
+	elapsed := int64(t) * num / den
+	return WrapAdd(c.OffsetTicks, Duration(elapsed), c.Wrap)
+}
+
+// RealAfter converts a local duration into the real duration that must
+// elapse for the local clock to advance by dl. It is used to schedule
+// timers expressed in local time.
+func (c Clock) RealAfter(dl Duration) Duration {
+	num, den := c.rate()
+	// ceil(dl * den / num) so the timer never fires early in local terms.
+	v := (int64(dl)*den + num - 1) / num
+	return Duration(v)
+}
+
+// DriftClock builds a clock with drift expressed in parts-per-million.
+// ppm = +100 means the clock runs 100 ppm fast; negative means slow.
+func DriftClock(offset Local, ppm int64, wrap Duration) Clock {
+	const million = 1_000_000
+	return Clock{OffsetTicks: offset, RateNum: million + ppm, RateDen: million, Wrap: wrap}
+}
+
+func (c Clock) String() string {
+	num, den := c.rate()
+	return fmt.Sprintf("Clock(offset=%d rate=%d/%d wrap=%d)", c.OffsetTicks, num, den, c.Wrap)
+}

@@ -1,0 +1,335 @@
+package simtime
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSubAndAdd(t *testing.T) {
+	cases := []struct {
+		name      string
+		now, then Local
+		want      Duration
+	}{
+		{"forward", 100, 30, 70},
+		{"zero", 55, 55, 0},
+		{"backward", 30, 100, -70},
+		{"negative readings", -10, -50, 40},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.now.Sub(tc.then); got != tc.want {
+				t.Errorf("(%d).Sub(%d) = %d, want %d", tc.now, tc.then, got, tc.want)
+			}
+			if got := tc.then.Add(tc.want); got != tc.now {
+				t.Errorf("(%d).Add(%d) = %d, want %d", tc.then, tc.want, got, tc.now)
+			}
+		})
+	}
+}
+
+func TestRealArithmetic(t *testing.T) {
+	if got := Real(500).Sub(Real(200)); got != 300 {
+		t.Errorf("Real Sub = %d, want 300", got)
+	}
+	if got := Real(500).Add(Duration(-100)); got != 400 {
+		t.Errorf("Real Add = %d, want 400", got)
+	}
+}
+
+func TestWrapSub(t *testing.T) {
+	const wrap = 1000
+	cases := []struct {
+		name      string
+		now, then Local
+		want      Duration
+	}{
+		{"plain", 700, 600, 100},
+		{"across wrap", 50, 950, 100},
+		{"zero", 123, 123, 0},
+		{"half backwards", 100, 700, -600 + 1000}, // 400 forward (< wrap/2)
+		{"future then", 900, 100, -200},           // 800 > wrap/2 → negative
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := WrapSub(tc.now, tc.then, wrap); got != tc.want {
+				t.Errorf("WrapSub(%d,%d,%d) = %d, want %d", tc.now, tc.then, wrap, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestWrapSubNoWrap(t *testing.T) {
+	if got := WrapSub(10, 500, 0); got != -490 {
+		t.Errorf("WrapSub with wrap=0 = %d, want -490", got)
+	}
+}
+
+func TestWrapAdd(t *testing.T) {
+	const wrap = 1000
+	cases := []struct {
+		name string
+		t    Local
+		dl   Duration
+		want Local
+	}{
+		{"plain", 100, 200, 300},
+		{"across wrap", 900, 200, 100},
+		{"negative across", 100, -200, 900},
+		{"zero", 500, 0, 500},
+		{"full cycle", 321, 1000, 321},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := WrapAdd(tc.t, tc.dl, wrap); got != tc.want {
+				t.Errorf("WrapAdd(%d,%d,%d) = %d, want %d", tc.t, tc.dl, wrap, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestWrapRoundTripProperty: for any reading and any interval shorter than
+// wrap/2, advancing then subtracting recovers the interval exactly.
+func TestWrapRoundTripProperty(t *testing.T) {
+	const wrap = 1 << 20
+	f := func(start int64, dlRaw int64) bool {
+		base := Local(((start % wrap) + wrap) % wrap)
+		dl := Duration(((dlRaw % (wrap / 2)) + wrap/2) % (wrap / 2)) // [0, wrap/2)
+		end := WrapAdd(base, dl, wrap)
+		return WrapSub(end, base, wrap) == dl
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWrapSubAntisymmetry: WrapSub(a,b) == −WrapSub(b,a) unless the gap is
+// exactly wrap/2.
+func TestWrapSubAntisymmetry(t *testing.T) {
+	const wrap = 1 << 16
+	f := func(aRaw, bRaw int64) bool {
+		a := Local(((aRaw % wrap) + wrap) % wrap)
+		b := Local(((bRaw % wrap) + wrap) % wrap)
+		d1, d2 := WrapSub(a, b, wrap), WrapSub(b, a, wrap)
+		if d1 == wrap/2 || d2 == wrap/2 {
+			return true // boundary is one-sided by convention
+		}
+		return d1 == -d2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClockZeroValueIsIdeal(t *testing.T) {
+	var c Clock
+	for _, rt := range []Real{0, 1, 1000, 1 << 40} {
+		if got := c.ReadAt(rt); got != Local(rt) {
+			t.Errorf("zero clock ReadAt(%d) = %d", rt, got)
+		}
+	}
+	if got := c.RealAfter(500); got != 500 {
+		t.Errorf("zero clock RealAfter(500) = %d", got)
+	}
+}
+
+func TestClockOffset(t *testing.T) {
+	c := Clock{OffsetTicks: 250}
+	if got := c.ReadAt(100); got != 350 {
+		t.Errorf("ReadAt(100) = %d, want 350", got)
+	}
+}
+
+func TestDriftClockFastAndSlow(t *testing.T) {
+	fast := DriftClock(0, +1000, 0) // +1000 ppm
+	slow := DriftClock(0, -1000, 0)
+	const span = 1_000_000
+	if got := fast.ReadAt(span); got != span+1000 {
+		t.Errorf("fast ReadAt = %d, want %d", got, span+1000)
+	}
+	if got := slow.ReadAt(span); got != span-1000 {
+		t.Errorf("slow ReadAt = %d, want %d", got, span-1000)
+	}
+}
+
+// TestRealAfterNeverEarly: a timer scheduled via RealAfter must never fire
+// before the local clock has advanced by the requested amount.
+func TestRealAfterNeverEarly(t *testing.T) {
+	clocks := []Clock{
+		{},
+		DriftClock(0, +500, 0),
+		DriftClock(0, -500, 0),
+		DriftClock(123, +1_000_000/2, 0), // 50% fast
+	}
+	f := func(startRaw, dlRaw int64) bool {
+		start := Real(startRaw % (1 << 30))
+		if start < 0 {
+			start = -start
+		}
+		dl := Duration(dlRaw % (1 << 20))
+		if dl < 0 {
+			dl = -dl
+		}
+		for _, c := range clocks {
+			fire := start.Add(c.RealAfter(dl))
+			if c.ReadAt(fire).Sub(c.ReadAt(start)) < dl {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClockWrap(t *testing.T) {
+	c := Clock{OffsetTicks: 900, Wrap: 1000}
+	if got := c.ReadAt(200); got != 100 {
+		t.Errorf("wrapped ReadAt(200) = %d, want 100", got)
+	}
+}
+
+func TestClockString(t *testing.T) {
+	if s := (Clock{}).String(); s == "" {
+		t.Error("empty Clock String")
+	}
+}
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	s.At(30, func() { order = append(order, 3) })
+	s.At(10, func() { order = append(order, 1) })
+	s.At(20, func() { order = append(order, 2) })
+	s.At(10, func() { order = append(order, 11) }) // same instant: FIFO
+	s.RunUntil(100)
+	want := []int{1, 11, 2, 3}
+	if len(order) != len(want) {
+		t.Fatalf("ran %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("ran %v, want %v", order, want)
+		}
+	}
+	if s.Now() != 100 {
+		t.Errorf("Now = %d, want 100 (deadline)", s.Now())
+	}
+}
+
+func TestSchedulerCancel(t *testing.T) {
+	s := NewScheduler()
+	ran := false
+	id := s.At(10, func() { ran = true })
+	s.Cancel(id)
+	s.Cancel(id) // double cancel is a no-op
+	s.RunUntil(100)
+	if ran {
+		t.Error("cancelled event ran")
+	}
+}
+
+func TestSchedulerPastSchedulingClamps(t *testing.T) {
+	s := NewScheduler()
+	s.At(50, func() {})
+	s.RunUntil(50)
+	ran := false
+	s.At(10, func() { ran = true }) // in the past → clamped to now
+	s.RunUntil(60)
+	if !ran {
+		t.Error("past-scheduled event never ran")
+	}
+}
+
+func TestSchedulerAfter(t *testing.T) {
+	s := NewScheduler()
+	var at Real
+	s.At(40, func() {
+		s.After(5, func() { at = s.Now() })
+	})
+	s.RunUntil(100)
+	if at != 45 {
+		t.Errorf("After fired at %d, want 45", at)
+	}
+}
+
+func TestSchedulerStep(t *testing.T) {
+	s := NewScheduler()
+	if s.Step() {
+		t.Error("Step on empty scheduler returned true")
+	}
+	s.At(5, func() {})
+	if !s.Step() {
+		t.Error("Step with one event returned false")
+	}
+	if s.Now() != 5 {
+		t.Errorf("Now = %d after Step, want 5", s.Now())
+	}
+}
+
+func TestSchedulerDeadlineEventsRun(t *testing.T) {
+	s := NewScheduler()
+	ran := false
+	s.At(100, func() { ran = true })
+	s.RunUntil(100)
+	if !ran {
+		t.Error("event exactly at deadline did not run")
+	}
+}
+
+func TestSchedulerNestedScheduling(t *testing.T) {
+	s := NewScheduler()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 5 {
+			s.After(1, recurse)
+		}
+	}
+	s.At(0, recurse)
+	s.RunUntil(10)
+	if depth != 5 {
+		t.Errorf("nested chain depth = %d, want 5", depth)
+	}
+}
+
+func TestSchedulerPending(t *testing.T) {
+	s := NewScheduler()
+	s.At(1, func() {})
+	s.At(2, func() {})
+	if got := s.Pending(); got != 2 {
+		t.Errorf("Pending = %d, want 2", got)
+	}
+	s.RunUntil(5)
+	if got := s.Pending(); got != 0 {
+		t.Errorf("Pending after run = %d, want 0", got)
+	}
+}
+
+// TestSchedulerManyEventsSorted: a property-style stress of heap ordering.
+func TestSchedulerManyEventsSorted(t *testing.T) {
+	s := NewScheduler()
+	var fired []Real
+	// Deterministic pseudo-random times.
+	x := int64(12345)
+	for i := 0; i < 500; i++ {
+		x = (x*6364136223846793005 + 1442695040888963407) % (1 << 20)
+		at := Real(x)
+		if at < 0 {
+			at = -at
+		}
+		s.At(at, func() { fired = append(fired, s.Now()) })
+	}
+	s.RunUntil(math.MaxInt32)
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("events fired out of order: %d after %d", fired[i], fired[i-1])
+		}
+	}
+	if len(fired) != 500 {
+		t.Errorf("fired %d events, want 500", len(fired))
+	}
+}

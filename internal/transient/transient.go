@@ -1,0 +1,174 @@
+// Package transient implements the transient-fault injector: it places the
+// system in an arbitrary state at the moment the network becomes coherent
+// (virtual time 0 of a run), exactly the situation the paper's
+// self-stabilization property quantifies over. "When the system eventually
+// returns to behave according to the presumed assumptions, each node may
+// be in an arbitrary state."
+//
+// The injector corrupts, per node and driven by a seeded RNG:
+//
+//   - Initiator-Accept state: i_values entries, lastq(G), lastq(G,m),
+//     ready flags, and spurious reception records (including
+//     future-stamped ones);
+//   - msgd-broadcast state: phantom anchors, broadcasters, and records;
+//   - agreement control state: instances that believe they are mid-
+//     agreement or already returned, phantom Block-S level records;
+//   - General-side sending-validity bookkeeping;
+//   - the network: spurious in-flight messages (with forged senders —
+//     residue of the faulty network) that arrive within the first d.
+package transient
+
+import (
+	"math/rand"
+
+	"ssbyz/internal/core"
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/simnet"
+	"ssbyz/internal/simtime"
+)
+
+// Config controls the injection.
+type Config struct {
+	// Seed drives the corruption (independent of the world seed).
+	Seed int64
+	// Severity in [0,1] scales the probability of each corruption class
+	// being applied to each node. 1 corrupts everything everywhere.
+	Severity float64
+	// Values is the pool of garbage values (default: three fixed values).
+	Values []protocol.Value
+	// SkewRange bounds the random offsets of garbage timestamps around the
+	// node's local time, in ticks (default 4·Δrmv, both past and future).
+	SkewRange simtime.Duration
+	// InFlight is the number of spurious deliveries per node scheduled in
+	// the first d (default 2n).
+	InFlight int
+}
+
+// Corrupt applies the injection to every correct node of the world. Call
+// it after the world is assembled and before Start.
+func Corrupt(w *simnet.World, cfg Config) {
+	pp := w.Params()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.Severity == 0 {
+		cfg.Severity = 1
+	}
+	if len(cfg.Values) == 0 {
+		cfg.Values = []protocol.Value{"ghost-a", "ghost-b", "ghost-c"}
+	}
+	if cfg.SkewRange == 0 {
+		cfg.SkewRange = 4 * pp.DeltaRmv()
+	}
+	if cfg.InFlight == 0 {
+		cfg.InFlight = 2 * pp.N
+	}
+
+	hit := func() bool { return rng.Float64() < cfg.Severity }
+	randVal := func() protocol.Value { return cfg.Values[rng.Intn(len(cfg.Values))] }
+	randNode := func() protocol.NodeID { return protocol.NodeID(rng.Intn(pp.N)) }
+	randSkew := func() simtime.Duration {
+		return simtime.Duration(rng.Int63n(2*int64(cfg.SkewRange)+1)) - cfg.SkewRange
+	}
+
+	for id := 0; id < pp.N; id++ {
+		node, ok := w.Node(protocol.NodeID(id)).(*core.Node)
+		if !ok || node == nil {
+			continue
+		}
+		// The node has not started yet; the runtime still answers Now().
+		rtNow := w.LocalNow(protocol.NodeID(id))
+
+		// Pick a few Generals to plant garbage for.
+		for gi := 0; gi < 1+rng.Intn(3); gi++ {
+			g := randNode()
+			inst := instanceBeforeStart(node, w, protocol.NodeID(id), g)
+			if inst == nil {
+				continue
+			}
+			ia := inst.IA()
+			if hit() {
+				ia.InjectIValue(randVal(), rtNow+simtime.Local(randSkew()))
+			}
+			if hit() {
+				ia.InjectLastG(rtNow + simtime.Local(randSkew()))
+			}
+			if hit() {
+				ia.InjectLastGM(randVal(), rtNow+simtime.Local(randSkew()))
+			}
+			if hit() {
+				ia.InjectReady(randVal(), rtNow+simtime.Local(randSkew()))
+			}
+			for i := 0; i < 3*pp.F; i++ {
+				if hit() {
+					kinds := []protocol.MsgKind{protocol.Support, protocol.Approve, protocol.Ready}
+					ia.InjectRecord(kinds[rng.Intn(len(kinds))], randVal(), randNode(), rtNow+simtime.Local(randSkew()))
+				}
+			}
+			if hit() {
+				ia.InjectPending(randVal(), rtNow+simtime.Local(randSkew()))
+			}
+
+			bc := inst.BC()
+			if hit() {
+				bc.InjectAnchor(rtNow + simtime.Local(randSkew()))
+			}
+			if hit() {
+				bc.InjectBroadcaster(randNode())
+			}
+			for i := 0; i < 2*pp.F; i++ {
+				if hit() {
+					kinds := []protocol.MsgKind{protocol.Echo, protocol.InitPrime, protocol.EchoPrime}
+					m := protocol.Message{G: g, M: randVal(), P: randNode(), K: rng.Intn(2*pp.F + 2)}
+					bc.InjectRecord(kinds[rng.Intn(len(kinds))], m, randNode(), rtNow+simtime.Local(randSkew()))
+				}
+			}
+
+			// Agreement control state.
+			switch rng.Intn(4) {
+			case 0:
+				if hit() {
+					inst.CorruptMidAgreement(rtNow+simtime.Local(randSkew()), randVal())
+				}
+			case 1:
+				if hit() {
+					inst.CorruptReturned(rtNow+simtime.Local(randSkew()), rng.Intn(2) == 0, randVal())
+				}
+			case 2:
+				if hit() {
+					inst.CorruptLevel(randVal(), 1+rng.Intn(pp.F+1), randNode(), rtNow+simtime.Local(randSkew()))
+				}
+			}
+		}
+		if hit() {
+			node.CorruptGeneralState(rtNow+simtime.Local(randSkew()), rtNow+simtime.Local(randSkew()))
+		}
+
+		// Spurious in-flight messages: residue of the incoherent network,
+		// arriving within the first d. Senders are forged — these were
+		// "sent" while the network was still faulty.
+		for i := 0; i < cfg.InFlight; i++ {
+			if !hit() {
+				continue
+			}
+			kinds := []protocol.MsgKind{
+				protocol.Initiator, protocol.Support, protocol.Approve, protocol.Ready,
+				protocol.Init, protocol.Echo, protocol.InitPrime, protocol.EchoPrime,
+			}
+			m := protocol.Message{
+				Kind: kinds[rng.Intn(len(kinds))],
+				G:    randNode(),
+				M:    randVal(),
+				P:    randNode(),
+				K:    rng.Intn(2*pp.F + 2),
+				From: randNode(),
+			}
+			w.InjectDelivery(protocol.NodeID(id), m, simtime.Real(rng.Int63n(int64(pp.D))))
+		}
+	}
+}
+
+// instanceBeforeStart creates the per-General instance on a node that has
+// not started yet. core.Node.Instance requires a runtime; we attach it
+// here exactly as Start would, without arming the sweep (Start will).
+func instanceBeforeStart(node *core.Node, w *simnet.World, id, g protocol.NodeID) *core.Instance {
+	return node.InstanceWithRuntime(w.Runtime(id), g)
+}

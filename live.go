@@ -1,0 +1,129 @@
+package ssbyz
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ssbyz/internal/core"
+	"ssbyz/internal/livenet"
+	"ssbyz/internal/protocol"
+)
+
+// LiveCluster runs the protocol in real time: one goroutine per node,
+// in-process channels with randomized wall-clock delays. It is the
+// configuration a service embedding the library would start from.
+type LiveCluster struct {
+	c     *livenet.Cluster
+	pp    Params
+	tick  time.Duration
+	nodes []*core.Node
+}
+
+// LiveConfig describes a live cluster.
+type LiveConfig struct {
+	// N is the number of nodes (default 4).
+	N int
+	// D is the delivery bound in ticks (default 50).
+	D Ticks
+	// Tick is the wall-clock length of one tick (default 100µs, making
+	// the default d = 5ms).
+	Tick time.Duration
+	// Seed drives the artificial delay randomness.
+	Seed int64
+}
+
+// NewLiveCluster assembles and starts a live cluster of correct nodes.
+// Callers must Stop it.
+func NewLiveCluster(cfg LiveConfig) (*LiveCluster, error) {
+	if cfg.N == 0 {
+		cfg.N = 4
+	}
+	pp := protocol.DefaultParams(cfg.N)
+	if cfg.D > 0 {
+		pp.D = cfg.D
+	} else {
+		pp.D = 50
+	}
+	if err := pp.Validate(); err != nil {
+		return nil, fmt.Errorf("ssbyz: %w", err)
+	}
+	c, err := livenet.New(livenet.Config{Params: pp, Tick: cfg.Tick, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("ssbyz: %w", err)
+	}
+	lc := &LiveCluster{c: c, pp: pp, tick: cfg.Tick, nodes: make([]*core.Node, pp.N)}
+	if lc.tick == 0 {
+		lc.tick = 100 * time.Microsecond
+	}
+	for i := 0; i < pp.N; i++ {
+		lc.nodes[i] = core.NewNode()
+		c.SetNode(protocol.NodeID(i), lc.nodes[i])
+	}
+	c.Start()
+	return lc, nil
+}
+
+// Params returns the resolved protocol constants.
+func (lc *LiveCluster) Params() Params { return lc.pp }
+
+// Stop shuts down every node goroutine and pending timer.
+func (lc *LiveCluster) Stop() { lc.c.Stop() }
+
+// Initiate asks node g to start agreement on v. The error reflects the
+// sending-validity criteria IG1–IG3.
+func (lc *LiveCluster) Initiate(g NodeID, v Value) error {
+	errCh := make(chan error, 1)
+	lc.c.DoWait(g, func(n protocol.Node) {
+		errCh <- n.(*core.Node).InitiateAgreement(v)
+	})
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return errors.New("ssbyz: cluster stopped")
+	}
+}
+
+// Await blocks until every node has returned for General g or the timeout
+// elapses. It returns the unanimous decided value, or an error on abort,
+// split (impossible for a correct build), or timeout.
+func (lc *LiveCluster) Await(g NodeID, timeout time.Duration) (Value, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		values := make(map[Value]int)
+		returned := 0
+		for i := 0; i < lc.pp.N; i++ {
+			var ret, dec bool
+			var v Value
+			lc.c.DoWait(NodeID(i), func(n protocol.Node) {
+				ret, dec, v = n.(*core.Node).Result(g)
+			})
+			if ret {
+				returned++
+				if dec {
+					values[v]++
+				}
+			}
+		}
+		if returned == lc.pp.N {
+			switch len(values) {
+			case 0:
+				return Bottom, errors.New("ssbyz: all nodes aborted")
+			case 1:
+				for v := range values {
+					if values[v] == lc.pp.N {
+						return v, nil
+					}
+					return v, fmt.Errorf("ssbyz: %d/%d nodes decided %q, rest aborted", values[v], lc.pp.N, v)
+				}
+			default:
+				return Bottom, fmt.Errorf("ssbyz: value split across nodes: %v", values)
+			}
+		}
+		if time.Now().After(deadline) {
+			return Bottom, fmt.Errorf("ssbyz: timeout with %d/%d nodes returned", returned, lc.pp.N)
+		}
+		time.Sleep(lc.tick * 10)
+	}
+}

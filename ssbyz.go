@@ -1,0 +1,351 @@
+// Package ssbyz is a from-scratch Go reproduction of "Self-stabilizing
+// Byzantine Agreement" (Daliot & Dolev, PODC 2006): the ss-Byz-Agree
+// protocol, its Initiator-Accept and msgd-broadcast building blocks, the
+// Toueg–Perry–Srikanth (1987) time-driven baseline it improves on, a pulse
+// synchronization layer built on top, and the simulation substrate that
+// makes every proved bound of the paper measurable.
+//
+// The package offers two ways to run the protocol:
+//
+//   - Simulation: a deterministic discrete-event world with per-node
+//     drifting clocks and adversarial message timing, where virtual real
+//     time and each node's local reading are both observable — this is
+//     how the paper's Timeliness/IA/TPS bounds are verified exactly.
+//
+//   - Live: a goroutine-per-node transport over in-process channels with
+//     wall-clock delays, for embedding the protocol in real services.
+//
+// Quickstart (simulation):
+//
+//	sim, _ := ssbyz.NewSimulation(ssbyz.Config{N: 7})
+//	sim.ScheduleAgreement(0, "launch", 2*sim.Params().D)
+//	report := sim.Run(0)
+//	for _, d := range report.Decisions(0) { fmt.Println(d.Node, d.Value) }
+//
+// The deeper layers remain importable through this package's re-exported
+// types; the experiment suite reproducing the paper's results lives behind
+// RunExperiments and cmd/ssbyz-bench.
+package ssbyz
+
+import (
+	"fmt"
+	"io"
+
+	"ssbyz/internal/check"
+	"ssbyz/internal/core"
+	"ssbyz/internal/harness"
+	"ssbyz/internal/indexed"
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/pulse"
+	"ssbyz/internal/sim"
+	"ssbyz/internal/simnet"
+	"ssbyz/internal/simtime"
+	"ssbyz/internal/transient"
+)
+
+// Re-exported fundamental types. They alias the internal protocol
+// vocabulary so user code can name them while the implementation layers
+// stay internal.
+type (
+	// NodeID identifies a node; IDs are dense in [0, N).
+	NodeID = protocol.NodeID
+	// Value is an agreement value; the empty string is ⊥.
+	Value = protocol.Value
+	// Params carries n, f, d and derives every timing constant (Φ, Δ0,
+	// Δrmv, Δv, Δagr, Δnode, Δreset, Δstb).
+	Params = protocol.Params
+	// Ticks is a duration in simulation ticks (d is typically 1000).
+	Ticks = simtime.Duration
+	// Violation is a failed property check.
+	Violation = check.Violation
+)
+
+// Bottom is the ⊥ value (abort / no decision).
+const Bottom = protocol.Bottom
+
+// Config describes a cluster.
+type Config struct {
+	// N is the number of nodes. F defaults to ⌊(N−1)/3⌋ (optimal).
+	N int
+	// F optionally lowers the fault bound below optimal.
+	F int
+	// D is the message delivery+processing bound in ticks (default 1000).
+	D Ticks
+	// Seed drives all randomness; identical seeds reproduce runs exactly.
+	Seed int64
+	// DelayMin/DelayMax bound actual message delays (default [D/2, D]).
+	// Lowering them below D is how "the actual communication network
+	// speed" of the paper's headline claim is modelled.
+	DelayMin, DelayMax Ticks
+}
+
+// params materializes the protocol constants.
+func (c Config) params() (protocol.Params, error) {
+	if c.N == 0 {
+		c.N = 7
+	}
+	pp := protocol.DefaultParams(c.N)
+	if c.F > 0 {
+		pp.F = c.F
+	}
+	if c.D > 0 {
+		pp.D = c.D
+	}
+	if err := pp.Validate(); err != nil {
+		return pp, err
+	}
+	return pp, nil
+}
+
+// Adversary scripts a faulty node. Construct values with the With*
+// functions; a nil Adversary in WithFaulty marks a crash-faulty node.
+type Adversary = protocol.Node
+
+// Decision is one correct node's return for a General.
+type Decision = sim.Decision
+
+// Simulation is a deterministic world assembled from a Config. Configure
+// (faults, scheduled agreements, transient corruption), then Run.
+type Simulation struct {
+	cfg    Config
+	pp     protocol.Params
+	sc     sim.Scenario
+	report *Report
+}
+
+// NewSimulation validates the config and prepares an empty scenario.
+func NewSimulation(cfg Config) (*Simulation, error) {
+	pp, err := cfg.params()
+	if err != nil {
+		return nil, fmt.Errorf("ssbyz: %w", err)
+	}
+	return &Simulation{
+		cfg: cfg,
+		pp:  pp,
+		sc: sim.Scenario{
+			Params:   pp,
+			Seed:     cfg.Seed,
+			DelayMin: cfg.DelayMin,
+			DelayMax: cfg.DelayMax,
+			Faulty:   make(map[protocol.NodeID]protocol.Node),
+		},
+	}, nil
+}
+
+// Params returns the resolved protocol constants.
+func (s *Simulation) Params() Params { return s.pp }
+
+// WithFaulty marks node id faulty, driven by the given adversary (nil for
+// a crashed node). It returns s for chaining.
+func (s *Simulation) WithFaulty(id NodeID, adv Adversary) *Simulation {
+	s.sc.Faulty[id] = adv
+	return s
+}
+
+// WithConcurrentSlots turns every correct node into an indexed node with
+// the given number of concurrent-invocation slots (the paper's footnote-9
+// extension): one General may run up to that many agreements at once, the
+// sending-validity criteria applying per slot. Schedule with
+// ScheduleSlotAgreement and read results with Report.SlotDecisions.
+func (s *Simulation) WithConcurrentSlots(slots int) *Simulation {
+	s.sc.NewNode = func() protocol.Node { return indexed.NewNode(slots) }
+	return s
+}
+
+// ScheduleSlotAgreement schedules General g to initiate v in the given
+// concurrent slot at virtual time at (requires WithConcurrentSlots).
+func (s *Simulation) ScheduleSlotAgreement(slot int, g NodeID, v Value, at Ticks) *Simulation {
+	s.sc.Initiations = append(s.sc.Initiations, sim.Initiation{
+		At: simtime.Real(at), G: g, Value: v, Slot: slot,
+	})
+	return s
+}
+
+// SlotDecisions returns the correct nodes' decide-returns for General g
+// in one concurrent slot, with the slot namespace stripped from values.
+func (r *Report) SlotDecisions(g NodeID, slot int) []Decision {
+	var out []Decision
+	for _, d := range r.res.Decisions(g) {
+		if !d.Decided {
+			continue
+		}
+		sl, inner, ok := indexed.ParseSlotValue(d.Value)
+		if !ok || sl != slot {
+			continue
+		}
+		d.Value = inner
+		out = append(out, d)
+	}
+	return out
+}
+
+// WithPulseSynchronization turns every correct node into a pulse node:
+// the cluster fires recurring synchronized pulses (the companion [6]
+// layer built atop ss-Byz-Agree). cycle is the local-time spacing between
+// pulses; values below the legal minimum are raised to it. Retrieve fired
+// pulses with Report.Pulses.
+func (s *Simulation) WithPulseSynchronization(cycle Ticks) *Simulation {
+	s.sc.NewNode = func() protocol.Node {
+		return pulse.NewNode(pulse.Config{Cycle: cycle})
+	}
+	return s
+}
+
+// Pulse is one fired pulse at one node.
+type Pulse struct {
+	Node  NodeID
+	Cycle int
+	// RT is the virtual real time of the pulse.
+	RT simtime.Real
+}
+
+// Pulses returns every pulse fired by correct nodes, grouped by cycle.
+func (r *Report) Pulses() map[int][]Pulse {
+	out := make(map[int][]Pulse)
+	for _, ev := range r.res.Rec.ByKind(protocol.EvPulse) {
+		if !r.res.IsCorrect(ev.Node) {
+			continue
+		}
+		out[ev.K] = append(out[ev.K], Pulse{Node: ev.Node, Cycle: ev.K, RT: ev.RT})
+	}
+	return out
+}
+
+// WithTransientFault corrupts every node's state to an arbitrary
+// (seed-determined) configuration at the moment the run begins — the
+// paper's post-transient scenario. Severity in (0,1] scales how much of
+// the state is corrupted; 1 corrupts everything.
+func (s *Simulation) WithTransientFault(seed int64, severity float64) *Simulation {
+	s.sc.Corrupt = func(w *simnet.World) {
+		transient.Corrupt(w, transient.Config{Seed: seed, Severity: severity})
+	}
+	return s
+}
+
+// ScheduleAgreement schedules General g to initiate agreement on v at
+// virtual time at. The initiation is refused (and recorded in the report)
+// if it violates the sending-validity criteria IG1–IG3.
+func (s *Simulation) ScheduleAgreement(g NodeID, v Value, at Ticks) *Simulation {
+	s.sc.Initiations = append(s.sc.Initiations, sim.Initiation{
+		At: simtime.Real(at), G: g, Value: v,
+	})
+	return s
+}
+
+// Run executes the simulation for the given virtual duration (0 means
+// three agreement spans past the last scheduled initiation) and returns
+// the report. Run may be called once per Simulation.
+func (s *Simulation) Run(runFor Ticks) (*Report, error) {
+	if s.report != nil {
+		return s.report, nil
+	}
+	if runFor > 0 {
+		s.sc.RunFor = runFor
+	} else {
+		var last simtime.Real
+		for _, init := range s.sc.Initiations {
+			if init.At > last {
+				last = init.At
+			}
+		}
+		s.sc.RunFor = simtime.Duration(last) + 3*s.pp.DeltaAgr()
+	}
+	res, err := sim.Run(s.sc)
+	if err != nil {
+		return nil, fmt.Errorf("ssbyz: %w", err)
+	}
+	s.report = &Report{res: res}
+	return s.report, nil
+}
+
+// Report exposes a finished run's outcomes and property checks.
+type Report struct {
+	res *sim.Result
+}
+
+// Decisions returns every correct node's return for General g in node
+// order (absent nodes never returned).
+func (r *Report) Decisions(g NodeID) []Decision { return r.res.Decisions(g) }
+
+// Unanimous reports whether every correct node returned exactly once for
+// General g, deciding v. It is meant for single-agreement runs; for
+// recurring agreements use Verified, which scopes to one initiation.
+func (r *Report) Unanimous(g NodeID, v Value) bool {
+	decs := r.res.Decisions(g)
+	if len(decs) != len(r.res.Correct) {
+		return false
+	}
+	for _, d := range decs {
+		if !d.Decided || d.Value != v {
+			return false
+		}
+	}
+	return true
+}
+
+// DecisionsFor returns the decide-returns of correct nodes for General g
+// carrying value v (recurring agreements produce one entry per node per
+// agreed initiation).
+func (r *Report) DecisionsFor(g NodeID, v Value) []Decision {
+	var out []Decision
+	for _, d := range r.res.Decisions(g) {
+		if d.Decided && d.Value == v {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Verified reports whether the initiation of v by General g at virtual
+// time t0 completed with full validity: every correct node decided v
+// within the paper's window [t0−d, t0+4d].
+func (r *Report) Verified(g NodeID, v Value, t0 Ticks) bool {
+	pp := r.res.Scenario.Params
+	nodes := make(map[NodeID]bool)
+	for _, d := range r.DecisionsFor(g, v) {
+		if d.RT >= simtime.Real(t0-pp.D) && d.RT <= simtime.Real(t0+4*pp.D) {
+			nodes[d.Node] = true
+		}
+	}
+	return len(nodes) == len(r.res.Correct)
+}
+
+// InitiationErrors returns the sending-validity refusals (IG1–IG3) hit by
+// scheduled initiations, keyed by schedule index.
+func (r *Report) InitiationErrors() map[int]error { return r.res.InitErrs }
+
+// Check runs the full property battery (Agreement, Timeliness, IA/TPS
+// bounds) for General g and returns any violations.
+func (r *Report) Check(g NodeID) []Violation { return check.All(r.res, g) }
+
+// CheckValidity additionally verifies the Validity window for a correct
+// General that initiated v at virtual time t0.
+func (r *Report) CheckValidity(g NodeID, t0 Ticks, v Value) []Violation {
+	return check.Validity(r.res, g, simtime.Real(t0), v)
+}
+
+// Messages returns the total message count of the run.
+func (r *Report) Messages() int64 {
+	total, _ := r.res.World.MessageCount()
+	return total
+}
+
+// NewCorrectNode returns a fresh correct-node state machine for callers
+// embedding the protocol behind their own transport. Most users should
+// prefer Simulation or LiveCluster.
+func NewCorrectNode() *core.Node { return core.NewNode() }
+
+// ExperimentOptions tunes RunExperiments.
+type ExperimentOptions = harness.Options
+
+// RunExperiments executes the full reproduction suite (experiments E1–E10
+// and figures F1–F4 of DESIGN.md) and writes each result to w. It returns
+// the total number of property violations (0 for a faithful build).
+func RunExperiments(w io.Writer, opt ExperimentOptions) (int, error) {
+	results, err := harness.RunAll(w, opt)
+	violations := 0
+	for _, r := range results {
+		violations += r.Violations
+	}
+	return violations, err
+}
