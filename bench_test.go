@@ -2,6 +2,7 @@ package ssbyz_test
 
 import (
 	"io"
+	"runtime"
 	"testing"
 
 	"ssbyz"
@@ -9,8 +10,8 @@ import (
 )
 
 // One benchmark per experiment of DESIGN.md §4. Each iteration runs the
-// experiment's full quick-mode sweep (the same code path that regenerates
-// the EXPERIMENTS.md rows) and fails the benchmark on any property
+// experiment's full quick-mode sweep (the same code path whose tables
+// `ssbyz-bench -o` records) and fails the benchmark on any property
 // violation, so `go test -bench .` doubles as the reproduction gate.
 // cmd/ssbyz-bench runs the same experiments at full scale.
 
@@ -94,13 +95,26 @@ func BenchmarkSingleAgreementN25(b *testing.B) {
 }
 
 // BenchmarkExperimentReport measures rendering the full quick-mode suite
-// report (the cmd/ssbyz-bench hot path), violations included.
+// report (the cmd/ssbyz-bench hot path) strictly sequentially — the
+// Workers=1 anchor BenchmarkSuiteParallel is compared against.
 func BenchmarkExperimentReport(b *testing.B) {
+	benchSuite(b, 1)
+}
+
+// BenchmarkSuiteParallel is the same quick-mode suite with cells fanned
+// across GOMAXPROCS workers; the ratio to BenchmarkExperimentReport is the
+// harness's parallel speedup on this machine (output is byte-identical).
+func BenchmarkSuiteParallel(b *testing.B) {
+	benchSuite(b, runtime.GOMAXPROCS(0))
+}
+
+func benchSuite(b *testing.B, workers int) {
+	b.Helper()
 	if testing.Short() {
 		b.Skip("suite run is seconds-long")
 	}
 	for i := 0; i < b.N; i++ {
-		violations, err := ssbyz.RunExperiments(io.Discard, ssbyz.ExperimentOptions{Quick: true})
+		violations, err := ssbyz.RunExperiments(io.Discard, ssbyz.ExperimentOptions{Quick: true, Workers: workers})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,21 +1,27 @@
 // Command ssbyz-bench runs the full reproduction suite — experiments
-// E1–E10 and figures F1–F4 of DESIGN.md — and prints every regenerated
-// table. The rows it emits are the ones recorded in EXPERIMENTS.md.
+// E1–E10, figures F1–F4, and ablation A1 of DESIGN.md §4 — and prints
+// every regenerated table.
 //
 // Usage:
 //
-//	ssbyz-bench [-quick] [-seeds 20] [-o EXPERIMENTS-run.md]
+//	ssbyz-bench [-quick] [-seeds 20] [-parallel N] [-o report.md] [-json suite.json]
 //
-// The full suite takes a few minutes; -quick shrinks the sweeps for a
-// fast smoke run. The exit status is non-zero if any property violation
-// is found (a faithful build reports zero).
+// The full suite takes a few minutes single-threaded; -parallel fans the
+// independent simulation cells across N workers (default GOMAXPROCS) with
+// byte-identical output, and -quick shrinks the sweeps for a fast smoke
+// run. -json additionally writes the machine-readable suite (a
+// BENCH_*.json-style artifact for the perf trajectory). The exit status is
+// non-zero if any property violation is found (a faithful build reports
+// zero).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"ssbyz"
 )
@@ -29,9 +35,11 @@ func main() {
 
 func run() error {
 	var (
-		quick = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
-		seeds = flag.Int("seeds", 0, "override repetitions per configuration")
-		out   = flag.String("o", "", "also write the report to this file")
+		quick    = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		seeds    = flag.Int("seeds", 0, "override repetitions per configuration")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulation cells (1 = sequential)")
+		out      = flag.String("o", "", "also write the report to this file")
+		jsonOut  = flag.String("json", "", "write the machine-readable suite to this file")
 	)
 	flag.Parse()
 
@@ -47,13 +55,26 @@ func run() error {
 
 	fmt.Fprintln(w, "# ss-Byz-Agree reproduction suite")
 	fmt.Fprintln(w)
-	violations, err := ssbyz.RunExperiments(w, ssbyz.ExperimentOptions{Quick: *quick, Seeds: *seeds})
+	suite, err := ssbyz.RunExperimentsSuite(w, ssbyz.ExperimentOptions{
+		Quick:   *quick,
+		Seeds:   *seeds,
+		Workers: *parallel,
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "total property violations: %d\n", violations)
-	if violations != 0 {
-		return fmt.Errorf("%d property violations", violations)
+	fmt.Fprintf(w, "total property violations: %d\n", suite.Violations)
+	if *jsonOut != "" {
+		blob, err := json.MarshalIndent(suite, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if suite.Violations != 0 {
+		return fmt.Errorf("%d property violations", suite.Violations)
 	}
 	return nil
 }

@@ -1,0 +1,3 @@
+module ssbyz
+
+go 1.24

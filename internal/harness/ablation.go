@@ -31,19 +31,37 @@ func A1BlockRWindow(opt Options) *Result {
 	t := metrics.NewTable("fault-free validity misses by window and delay regime (n=7)",
 		"window", "regime", "seeds", "validity misses", "worst own-node gap (d)")
 
+	type regime struct {
+		window      simtime.Duration
+		adversarial bool
+	}
+	var regimes []regime
 	for _, window := range []simtime.Duration{4, 5} {
 		for _, adversarial := range []bool{false, true} {
-			misses, worstGap := a1Run(window, adversarial, seeds)
-			regime := "random"
-			if adversarial {
-				regime = "adversarial"
+			regimes = append(regimes, regime{window, adversarial})
+		}
+	}
+	cells := sweep(opt, regimes, seeds, func(rg regime, seed int) a1Cell {
+		return a1Run(rg.window, rg.adversarial, seed)
+	})
+	for i, rg := range regimes {
+		misses := 0
+		var worstGap float64
+		for _, c := range cells[i] {
+			if c.miss {
+				misses++
 			}
-			t.AddRow(fmt.Sprintf("%dd", window), regime, seeds, misses, worstGap)
-			// Only the repo's 5d configuration must be violation-free; the
-			// 4d rows exist to show the failure.
-			if window == 5 {
-				r.Violations += misses
-			}
+			worstGap = max(worstGap, c.gap)
+		}
+		name := "random"
+		if rg.adversarial {
+			name = "adversarial"
+		}
+		t.AddRow(fmt.Sprintf("%dd", rg.window), name, seeds, misses, worstGap)
+		// Only the repo's 5d configuration must be violation-free; the
+		// 4d rows exist to show the failure.
+		if rg.window == 5 {
+			r.Violations += misses
 		}
 	}
 	r.Tables = append(r.Tables, t)
@@ -53,43 +71,46 @@ func A1BlockRWindow(opt Options) *Result {
 	return r
 }
 
-// a1Run executes the seeds for one (window, regime) cell, returning the
-// number of validity misses and the worst observed rt(τq)−rt(τG) at an
+// a1Cell is one (window, regime, seed) outcome: whether the run missed
+// the validity window, and the worst observed rt(τq)−rt(τG) at an
 // I-accept, in units of d.
-func a1Run(window simtime.Duration, adversarial bool, seeds int) (misses int, worstGap float64) {
-	for seed := 0; seed < seeds; seed++ {
-		pp := protocol.DefaultParams(7)
-		pp.BlockRWindow = window * pp.D
-		t0 := simtime.Real(2 * pp.D)
-		sc := sim.Scenario{
-			Params:      pp,
-			Seed:        int64(seed),
-			Initiations: []sim.Initiation{{At: t0, G: 6, Value: "v"}},
-			RunFor:      simtime.Duration(t0) + 3*pp.DeltaAgr(),
-		}
-		if adversarial {
-			sc.DelayMin = 1
-			sc.DelayMax = pp.D
-			sc.Delay = a1AdversarialDelay(pp)
-		} else {
-			sc.DelayMin = pp.D / 4
-			sc.DelayMax = pp.D
-		}
-		res, err := sim.Run(sc)
-		if err != nil {
-			misses++
-			continue
-		}
-		if len(check.Validity(res, 6, t0, "v")) > 0 {
-			misses++
-		}
-		for _, ev := range res.IAccepts(6) {
-			if gap := float64(ev.RT-ev.RTauG) / float64(pp.D); gap > worstGap {
-				worstGap = gap
-			}
+type a1Cell struct {
+	miss bool
+	gap  float64
+}
+
+// a1Run executes one seed of one (window, regime) cell.
+func a1Run(window simtime.Duration, adversarial bool, seed int) a1Cell {
+	var c a1Cell
+	pp := protocol.DefaultParams(7)
+	pp.BlockRWindow = window * pp.D
+	t0 := simtime.Real(2 * pp.D)
+	sc := sim.Scenario{
+		Params:      pp,
+		Seed:        int64(seed),
+		Initiations: []sim.Initiation{{At: t0, G: 6, Value: "v"}},
+		RunFor:      simtime.Duration(t0) + 3*pp.DeltaAgr(),
+	}
+	if adversarial {
+		sc.DelayMin = 1
+		sc.DelayMax = pp.D
+		sc.Delay = a1AdversarialDelay(pp)
+	} else {
+		sc.DelayMin = pp.D / 4
+		sc.DelayMax = pp.D
+	}
+	res, err := sim.Run(sc)
+	if err != nil {
+		c.miss = true
+		return c
+	}
+	c.miss = len(check.Validity(res, 6, t0, "v")) > 0
+	for _, ev := range res.IAccepts(6) {
+		if gap := float64(ev.RT-ev.RTauG) / float64(pp.D); gap > c.gap {
+			c.gap = gap
 		}
 	}
-	return misses, worstGap
+	return c
 }
 
 // a1AdversarialDelay builds the legal worst-case schedule realizing the

@@ -2,7 +2,6 @@ package harness
 
 import (
 	"ssbyz/internal/baseline"
-	"ssbyz/internal/metrics"
 	"ssbyz/internal/protocol"
 	"ssbyz/internal/simnet"
 	"ssbyz/internal/simtime"
@@ -10,7 +9,8 @@ import (
 
 // runBaseline executes one fault-free TPS-87 baseline agreement (General
 // 0, value "v", initiated at 2d) with actual delays in [δ/2, δ] and
-// returns per-node decision latencies in ticks.
+// returns per-node decision latencies in ticks. It is the baseline half of
+// a latCell; the head-to-head experiments fan it out per seed via sweep.
 func runBaseline(pp protocol.Params, seed int64, delta simtime.Duration) []float64 {
 	min := delta / 2
 	if min == 0 {
@@ -40,13 +40,4 @@ func runBaseline(pp protocol.Params, seed int64, delta simtime.Duration) []float
 		lats = append(lats, float64(ev.RT-t0))
 	}
 	return lats
-}
-
-// meanBaselineLatency averages the baseline's decision latency over seeds.
-func meanBaselineLatency(pp protocol.Params, seeds int, delta simtime.Duration) float64 {
-	var lats []float64
-	for seed := 0; seed < seeds; seed++ {
-		lats = append(lats, runBaseline(pp, int64(seed), delta)...)
-	}
-	return metrics.Summarize(lats).Mean
 }

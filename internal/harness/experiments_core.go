@@ -11,6 +11,11 @@ import (
 	"ssbyz/internal/simtime"
 )
 
+// Every experiment below is phrased for the parallel engine in runner.go:
+// a pure per-(config, seed) cell function fanned out by sweep, followed by
+// an in-order merge on the caller's goroutine. Cells never share state;
+// merges never depend on execution order.
+
 // E1ValidityLatency sweeps n with a correct General and measures the
 // decision latency of every correct node against the Validity /
 // Timeliness-2 window [t0−d, t0+4d].
@@ -18,34 +23,51 @@ func E1ValidityLatency(opt Options) *Result {
 	r := &Result{ID: "E1", Title: "Validity latency under a correct General"}
 	t := metrics.NewTable("decision latency, correct General (latencies in d)",
 		"n", "f", "seeds", "mean", "p95", "max", "bound", "all decided")
-	for _, n := range opt.nSweep() {
+
+	type cell struct {
+		lats       []float64
+		allDecided bool
+		note       string
+		violations int
+	}
+	ns := opt.nSweep()
+	seeds := opt.seeds(20)
+	cells := sweep(opt, ns, seeds, func(n, seed int) cell {
+		c := cell{allDecided: true}
+		sc, t0 := correctGeneralScenario(n, int64(seed), 0, 0)
+		res, err := sim.Run(sc)
+		if err != nil {
+			c.note = fmt.Sprintf("n=%d seed=%d: %v", n, seed, err)
+			c.violations++
+			return c
+		}
+		ls, _, all := decisionLatencies(res, 0, t0)
+		c.allDecided = all
+		for _, l := range ls {
+			c.lats = append(c.lats, dF(l, sc.Params))
+		}
+		c.violations += countViolations(
+			check.Validity(res, 0, t0, "v"),
+			check.TimelinessAgreement(res, 0, true),
+			check.Termination(res, 0),
+		)
+		return c
+	})
+	for i, n := range ns {
 		var lats []float64
 		allDecided := true
-		var pp protocol.Params
-		for seed := 0; seed < opt.seeds(20); seed++ {
-			sc, t0 := correctGeneralScenario(n, int64(seed), 0, 0)
-			pp = sc.Params
-			res, err := sim.Run(sc)
-			if err != nil {
-				r.Notes = append(r.Notes, fmt.Sprintf("n=%d seed=%d: %v", n, seed, err))
-				r.Violations++
-				continue
+		for _, c := range cells[i] {
+			if c.note != "" {
+				r.Notes = append(r.Notes, c.note)
 			}
-			ls, _, all := decisionLatencies(res, 0, t0)
-			if !all {
+			r.Violations += c.violations
+			if !c.allDecided {
 				allDecided = false
 			}
-			for _, l := range ls {
-				lats = append(lats, dF(l, sc.Params))
-			}
-			r.Violations += countViolations(
-				check.Validity(res, 0, t0, "v"),
-				check.TimelinessAgreement(res, 0, true),
-				check.Termination(res, 0),
-			)
+			lats = append(lats, c.lats...)
 		}
 		s := metrics.Summarize(lats)
-		t.AddRow(n, pp.F, opt.seeds(20), s.Mean, s.P95, s.Max, "4d", allDecided)
+		t.AddRow(n, protocol.DefaultParams(n).F, seeds, s.Mean, s.P95, s.Max, "4d", allDecided)
 	}
 	r.Tables = append(r.Tables, t)
 	r.Notes = append(r.Notes, "paper bound: every correct node decides within [t0−d, t0+4d] (Timeliness-2)")
@@ -62,31 +84,39 @@ func E2AgreementSkew(opt Options) *Result {
 	seeds := opt.seeds(100)
 	pp := protocol.DefaultParams(7)
 
+	type cell struct {
+		dec, anc   float64
+		decided    bool
+		violations int
+	}
+
 	// Correct General: validity holds, bound 2d / 6d.
-	var maxDec, maxAnc float64
-	for seed := 0; seed < seeds; seed++ {
+	correct := sweepSeeds(opt, seeds, func(seed int) cell {
+		var c cell
 		sc, _ := correctGeneralScenario(7, int64(seed), 0, 0)
 		res, err := sim.Run(sc)
 		if err != nil {
-			r.Violations++
-			continue
+			c.violations++
+			return c
 		}
 		rts, anchors := decideTimes(res, 0)
-		if d := dF(float64(pairwiseSkew(rts)), pp); d > maxDec {
-			maxDec = d
-		}
-		if d := dF(float64(pairwiseSkew(anchors)), pp); d > maxAnc {
-			maxAnc = d
-		}
-		r.Violations += countViolations(check.TimelinessAgreement(res, 0, true))
+		c.dec = dF(float64(pairwiseSkew(rts)), pp)
+		c.anc = dF(float64(pairwiseSkew(anchors)), pp)
+		c.violations += countViolations(check.TimelinessAgreement(res, 0, true))
+		return c
+	})
+	var maxDec, maxAnc float64
+	for _, c := range correct {
+		r.Violations += c.violations
+		maxDec = max(maxDec, c.dec)
+		maxAnc = max(maxAnc, c.anc)
 	}
 	t.AddRow("correct", seeds, maxDec, "2d", maxAnc, "6d")
 
 	// Faulty General: partial initiation that still lets a decision form;
 	// validity does not hold, bound 3d / 6d.
-	maxDec, maxAnc = 0, 0
-	decidedRuns := 0
-	for seed := 0; seed < seeds; seed++ {
+	faulty := sweepSeeds(opt, seeds, func(seed int) cell {
+		var c cell
 		scPP := protocol.DefaultParams(7)
 		invitees := []protocol.NodeID{1, 2, 3, 4, 5}
 		sc := sim.Scenario{
@@ -100,23 +130,28 @@ func E2AgreementSkew(opt Options) *Result {
 		}
 		res, err := sim.Run(sc)
 		if err != nil {
-			r.Violations++
-			continue
+			c.violations++
+			return c
 		}
 		rts, anchors := decideTimes(res, 0)
-		if len(rts) > 0 {
-			decidedRuns++
-		}
-		if d := dF(float64(pairwiseSkew(rts)), scPP); d > maxDec {
-			maxDec = d
-		}
-		if d := dF(float64(pairwiseSkew(anchors)), scPP); d > maxAnc {
-			maxAnc = d
-		}
-		r.Violations += countViolations(
+		c.decided = len(rts) > 0
+		c.dec = dF(float64(pairwiseSkew(rts)), scPP)
+		c.anc = dF(float64(pairwiseSkew(anchors)), scPP)
+		c.violations += countViolations(
 			check.Agreement(res, 0),
 			check.TimelinessAgreement(res, 0, false),
 		)
+		return c
+	})
+	maxDec, maxAnc = 0, 0
+	decidedRuns := 0
+	for _, c := range faulty {
+		r.Violations += c.violations
+		if c.decided {
+			decidedRuns++
+		}
+		maxDec = max(maxDec, c.dec)
+		maxAnc = max(maxAnc, c.anc)
 	}
 	t.AddRow("faulty(partial)", seeds, maxDec, "3d", maxAnc, "6d")
 	r.Tables = append(r.Tables, t)
@@ -157,43 +192,66 @@ func E3TerminationBound(opt Options) *Result {
 			}
 		}},
 	}
-	for _, sc := range scenarios {
+
+	type cell struct {
+		worst      float64
+		violations int
+	}
+	idx := make([]int, len(scenarios))
+	for i := range idx {
+		idx[i] = i
+	}
+	cells := sweep(opt, idx, seeds, func(si, seed int) cell {
+		var c cell
+		res, err := sim.Run(sim.Scenario{
+			Params: pp,
+			Seed:   int64(seed),
+			Faulty: scenarios[si].faulty(int64(seed)),
+			RunFor: 5 * pp.DeltaAgr(),
+		})
+		if err != nil {
+			c.violations++
+			return c
+		}
+		c.violations += countViolations(check.Termination(res, 0), check.Agreement(res, 0))
+		c.worst = worstReturn(res, 0, pp)
+		return c
+	})
+	for i, sc := range scenarios {
 		var worst float64
 		vio := 0
-		for seed := 0; seed < seeds; seed++ {
-			res, err := sim.Run(sim.Scenario{
-				Params: pp,
-				Seed:   int64(seed),
-				Faulty: sc.faulty(int64(seed)),
-				RunFor: 5 * pp.DeltaAgr(),
-			})
-			if err != nil {
-				vio++
-				continue
-			}
-			vio += countViolations(check.Termination(res, 0), check.Agreement(res, 0))
-			// Worst return time relative to the earliest correct invocation.
-			invs := res.Invocations(0)
-			if len(invs) == 0 {
-				continue
-			}
-			earliest := invs[0].RT
-			for _, ev := range invs {
-				if ev.RT < earliest {
-					earliest = ev.RT
-				}
-			}
-			for _, d := range res.Decisions(0) {
-				if lat := dF(float64(d.RT-earliest), pp); lat > worst {
-					worst = lat
-				}
-			}
+		for _, c := range cells[i] {
+			vio += c.violations
+			worst = max(worst, c.worst)
 		}
 		t.AddRow(sc.name, seeds, worst, bound, vio)
 		r.Violations += vio
 	}
 	r.Tables = append(r.Tables, t)
 	return r
+}
+
+// worstReturn is the worst correct-node return time for General g relative
+// to the earliest correct invocation, in units of d (0 when no correct
+// node invoked).
+func worstReturn(res *sim.Result, g protocol.NodeID, pp protocol.Params) float64 {
+	invs := res.Invocations(g)
+	if len(invs) == 0 {
+		return 0
+	}
+	earliest := invs[0].RT
+	for _, ev := range invs {
+		if ev.RT < earliest {
+			earliest = ev.RT
+		}
+	}
+	var worst float64
+	for _, d := range res.Decisions(g) {
+		if lat := dF(float64(d.RT-earliest), pp); lat > worst {
+			worst = lat
+		}
+	}
+	return worst
 }
 
 // E4EarlyStopping measures how the worst-case return time grows with the
@@ -212,50 +270,50 @@ func E4EarlyStopping(opt Options) *Result {
 		"f'", "general", "seeds", "max return", "cap (2f+1)Φ", "violations")
 	capD := dF(float64(pp.DeltaAgr()), pp)
 
-	for fPrime := 0; fPrime <= pp.F; fPrime++ {
+	fPrimes := make([]int, pp.F+1)
+	for i := range fPrimes {
+		fPrimes[i] = i
+	}
+	type cell struct {
+		worst      float64
+		violations int
+	}
+	cells := sweep(opt, fPrimes, seeds, func(fPrime, seed int) cell {
+		var c cell
+		faulty := make(map[protocol.NodeID]protocol.Node, fPrime)
+		if fPrime > 0 {
+			// The General itself is the first actual fault; it invites
+			// only part of the network so rounds are actually needed.
+			invitees := make([]protocol.NodeID, 0, pp.N-pp.F)
+			for i := 1; i < pp.N-pp.F+1; i++ {
+				invitees = append(invitees, protocol.NodeID(i))
+			}
+			faulty[0] = &byzantine.PartialGeneral{Invitees: invitees, Value: "e4", At: 2 * pp.D, SupportDelay: pp.D}
+		}
+		for extra := 1; extra < fPrime; extra++ {
+			faulty[protocol.NodeID(pp.N-extra)] = &byzantine.LateSupporter{
+				G: 0, Delay: pp.D, HoldLocal: simtime.Duration(extra) * 2 * pp.D,
+			}
+		}
+		sc := sim.Scenario{Params: pp, Seed: int64(seed), Faulty: faulty, RunFor: 5 * pp.DeltaAgr()}
+		if fPrime == 0 {
+			sc.Initiations = []sim.Initiation{{At: simtime.Real(2 * pp.D), G: 0, Value: "e4"}}
+		}
+		res, err := sim.Run(sc)
+		if err != nil {
+			c.violations++
+			return c
+		}
+		c.violations += countViolations(check.Agreement(res, 0), check.Termination(res, 0))
+		c.worst = worstReturn(res, 0, pp)
+		return c
+	})
+	for i, fPrime := range fPrimes {
 		var worst float64
 		vio := 0
-		for seed := 0; seed < seeds; seed++ {
-			faulty := make(map[protocol.NodeID]protocol.Node, fPrime)
-			if fPrime > 0 {
-				// The General itself is the first actual fault; it invites
-				// only part of the network so rounds are actually needed.
-				invitees := make([]protocol.NodeID, 0, pp.N-pp.F)
-				for i := 1; i < pp.N-pp.F+1; i++ {
-					invitees = append(invitees, protocol.NodeID(i))
-				}
-				faulty[0] = &byzantine.PartialGeneral{Invitees: invitees, Value: "e4", At: 2 * pp.D, SupportDelay: pp.D}
-			}
-			for extra := 1; extra < fPrime; extra++ {
-				faulty[protocol.NodeID(pp.N-extra)] = &byzantine.LateSupporter{
-					G: 0, Delay: pp.D, HoldLocal: simtime.Duration(extra) * 2 * pp.D,
-				}
-			}
-			sc := sim.Scenario{Params: pp, Seed: int64(seed), Faulty: faulty, RunFor: 5 * pp.DeltaAgr()}
-			if fPrime == 0 {
-				sc.Initiations = []sim.Initiation{{At: simtime.Real(2 * pp.D), G: 0, Value: "e4"}}
-			}
-			res, err := sim.Run(sc)
-			if err != nil {
-				vio++
-				continue
-			}
-			vio += countViolations(check.Agreement(res, 0), check.Termination(res, 0))
-			invs := res.Invocations(0)
-			if len(invs) == 0 {
-				continue
-			}
-			earliest := invs[0].RT
-			for _, ev := range invs {
-				if ev.RT < earliest {
-					earliest = ev.RT
-				}
-			}
-			for _, d := range res.Decisions(0) {
-				if lat := dF(float64(d.RT-earliest), pp); lat > worst {
-					worst = lat
-				}
-			}
+		for _, c := range cells[i] {
+			vio += c.violations
+			worst = max(worst, c.worst)
 		}
 		general := "correct"
 		if fPrime > 0 {
@@ -282,9 +340,11 @@ func E5MessageDrivenSpeedup(opt Options) *Result {
 	if opt.Quick {
 		deltas = []simtime.Duration{pp.D / 10, pp.D}
 	}
-	for _, delta := range deltas {
-		ours := meanOursLatency(pp, seeds, delta, &r.Violations)
-		base := meanBaselineLatency(pp, seeds, delta)
+	cells := sweep(opt, deltas, seeds, func(delta simtime.Duration, seed int) latCell {
+		return runLatencyCell(pp, seed, delta)
+	})
+	for i, delta := range deltas {
+		ours, base := mergeLatCells(cells[i], &r.Violations)
 		speedup := 0.0
 		if ours > 0 {
 			speedup = base / ours
@@ -298,27 +358,45 @@ func E5MessageDrivenSpeedup(opt Options) *Result {
 	return r
 }
 
-// meanOursLatency is the mean correct-node decision latency for
-// ss-Byz-Agree with actual delays in [δ/2, δ].
-func meanOursLatency(pp protocol.Params, seeds int, delta simtime.Duration, violations *int) float64 {
-	var lats []float64
+// latCell is one seed's head-to-head latency measurement: ss-Byz-Agree and
+// the TPS-87 baseline on the same delay distribution.
+type latCell struct {
+	ours, base []float64
+	violations int
+}
+
+// runLatencyCell measures one (params, seed, δ) cell of the comparison,
+// with actual delays in [δ/2, δ].
+func runLatencyCell(pp protocol.Params, seed int, delta simtime.Duration) latCell {
+	var c latCell
 	min := delta / 2
 	if min == 0 {
 		min = 1
 	}
-	for seed := 0; seed < seeds; seed++ {
-		sc, t0 := correctGeneralScenario(pp.N, int64(seed), min, delta)
-		res, err := sim.Run(sc)
-		if err != nil {
-			*violations++
-			continue
-		}
+	sc, t0 := correctGeneralScenario(pp.N, int64(seed), min, delta)
+	res, err := sim.Run(sc)
+	if err != nil {
+		c.violations++
+	} else {
 		ls, _, all := decisionLatencies(res, 0, t0)
 		if !all {
-			*violations++
+			c.violations++
 		}
-		lats = append(lats, ls...)
-		*violations += countViolations(check.Validity(res, 0, t0, "v"))
+		c.ours = ls
+		c.violations += countViolations(check.Validity(res, 0, t0, "v"))
 	}
-	return metrics.Summarize(lats).Mean
+	c.base = runBaseline(pp, int64(seed), delta)
+	return c
+}
+
+// mergeLatCells folds one configuration's cells (in seed order) into the
+// two mean latencies, accumulating violations.
+func mergeLatCells(cells []latCell, violations *int) (ours, base float64) {
+	var oursLats, baseLats []float64
+	for _, c := range cells {
+		*violations += c.violations
+		oursLats = append(oursLats, c.ours...)
+		baseLats = append(baseLats, c.base...)
+	}
+	return metrics.Summarize(oursLats).Mean, metrics.Summarize(baseLats).Mean
 }

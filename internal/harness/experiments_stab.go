@@ -23,14 +23,22 @@ func E6Convergence(opt Options) *Result {
 	t := metrics.NewTable("time to first verified agreement after coherence (in d)",
 		"seeds", "mean", "p95", "max", "bound Δstb", "recovered")
 
+	type cell struct {
+		conv       simtime.Duration
+		ok         bool
+		violations int
+	}
+	cells := sweepSeeds(opt, seeds, func(seed int) cell {
+		conv, ok, vio := convergenceTime(pp, int64(seed))
+		return cell{conv: conv, ok: ok, violations: vio}
+	})
 	var times []float64
 	recovered := 0
-	for seed := 0; seed < seeds; seed++ {
-		conv, ok, vio := convergenceTime(pp, int64(seed))
-		r.Violations += vio
-		if ok {
+	for _, c := range cells {
+		r.Violations += c.violations
+		if c.ok {
 			recovered++
-			times = append(times, dF(float64(conv), pp))
+			times = append(times, dF(float64(c.conv), pp))
 		}
 	}
 	s := metrics.Summarize(times)
@@ -120,8 +128,20 @@ func E7FaultyGeneralAgreement(opt Options) *Result {
 	t := metrics.NewTable("equivocating General outcomes (n=7)",
 		"seeds", "all decide", "all abort", "mixed returns", "value splits")
 
-	allDecide, allAbort, mixed, splits := 0, 0, 0, 0
-	for seed := 0; seed < seeds; seed++ {
+	type outcome int
+	const (
+		outErr outcome = iota
+		outAllDecide
+		outAllAbort
+		outMixed
+		outSplit
+	)
+	type cell struct {
+		out        outcome
+		violations int
+	}
+	cells := sweepSeeds(opt, seeds, func(seed int) cell {
+		var c cell
 		res, err := sim.Run(sim.Scenario{
 			Params: pp,
 			Seed:   int64(seed),
@@ -132,34 +152,47 @@ func E7FaultyGeneralAgreement(opt Options) *Result {
 			RunFor: 5 * pp.DeltaAgr(),
 		})
 		if err != nil {
-			r.Violations++
-			continue
+			c.violations++
+			return c
 		}
-		r.Violations += countViolations(
+		c.violations += countViolations(
 			check.Agreement(res, 0),
 			check.IAUniqueness(res, 0),
 			check.Separation(res, 0),
 		)
 		decs := res.Decisions(0)
 		values := make(map[protocol.Value]bool)
-		nDec, nAb := 0, 0
+		nDec := 0
 		for _, d := range decs {
 			if d.Decided {
 				nDec++
 				values[d.Value] = true
-			} else {
-				nAb++
 			}
 		}
 		switch {
 		case len(values) > 1:
-			splits++
+			c.out = outSplit
 		case nDec == len(res.Correct):
-			allDecide++
+			c.out = outAllDecide
 		case nDec == 0:
-			allAbort++
+			c.out = outAllAbort
 		default:
+			c.out = outMixed
+		}
+		return c
+	})
+	allDecide, allAbort, mixed, splits := 0, 0, 0, 0
+	for _, c := range cells {
+		r.Violations += c.violations
+		switch c.out {
+		case outAllDecide:
+			allDecide++
+		case outAllAbort:
+			allAbort++
+		case outMixed:
 			mixed++
+		case outSplit:
+			splits++
 		}
 	}
 	t.AddRow(seeds, allDecide, allAbort, mixed, splits)
@@ -181,32 +214,42 @@ func E8InitiatorAccept(opt Options) *Result {
 	seeds := opt.seeds(30)
 	t := metrics.NewTable("IA-1 bounds, correct General (in d)",
 		"n", "max accept−t0", "bound 4d", "max mutual skew", "bound 2d", "max anchor skew", "bound d")
-	for _, n := range opt.nSweep() {
+
+	type ia1Cell struct {
+		win, skew, anchor float64
+		violations        int
+	}
+	ns := opt.nSweep()
+	ia1 := sweep(opt, ns, seeds, func(n, seed int) ia1Cell {
+		var c ia1Cell
 		pp := protocol.DefaultParams(n)
+		sc, t0 := correctGeneralScenario(n, int64(seed), 0, 0)
+		res, err := sim.Run(sc)
+		if err != nil {
+			c.violations++
+			return c
+		}
+		c.violations += countViolations(check.IACorrectness(res, 0, t0))
+		accepts := res.IAccepts(0)
+		var rts, anchors []simtime.Real
+		for _, ev := range accepts {
+			rts = append(rts, ev.RT)
+			anchors = append(anchors, ev.RTauG)
+			if w := dF(float64(ev.RT-t0), pp); w > c.win {
+				c.win = w
+			}
+		}
+		c.skew = dF(float64(pairwiseSkew(rts)), pp)
+		c.anchor = dF(float64(pairwiseSkew(anchors)), pp)
+		return c
+	})
+	for i, n := range ns {
 		var maxWin, maxSkew, maxAnchor float64
-		for seed := 0; seed < seeds; seed++ {
-			sc, t0 := correctGeneralScenario(n, int64(seed), 0, 0)
-			res, err := sim.Run(sc)
-			if err != nil {
-				r.Violations++
-				continue
-			}
-			r.Violations += countViolations(check.IACorrectness(res, 0, t0))
-			accepts := res.IAccepts(0)
-			var rts, anchors []simtime.Real
-			for _, ev := range accepts {
-				rts = append(rts, ev.RT)
-				anchors = append(anchors, ev.RTauG)
-				if w := dF(float64(ev.RT-t0), pp); w > maxWin {
-					maxWin = w
-				}
-			}
-			if s := dF(float64(pairwiseSkew(rts)), pp); s > maxSkew {
-				maxSkew = s
-			}
-			if s := dF(float64(pairwiseSkew(anchors)), pp); s > maxAnchor {
-				maxAnchor = s
-			}
+		for _, c := range ia1[i] {
+			r.Violations += c.violations
+			maxWin = max(maxWin, c.win)
+			maxSkew = max(maxSkew, c.skew)
+			maxAnchor = max(maxAnchor, c.anchor)
 		}
 		t.AddRow(n, maxWin, "4d", maxSkew, "2d", maxAnchor, "1d")
 	}
@@ -216,8 +259,12 @@ func E8InitiatorAccept(opt Options) *Result {
 	pp := protocol.DefaultParams(7)
 	uniq := metrics.NewTable("IA-4 uniqueness under an equivocating General (n=7)",
 		"seeds", "runs with any I-accept", "IA-4 violations")
-	withAccept, vio := 0, 0
-	for seed := 0; seed < seeds; seed++ {
+	type ia4Cell struct {
+		accepted   bool
+		violations int
+	}
+	ia4 := sweepSeeds(opt, seeds, func(seed int) ia4Cell {
+		var c ia4Cell
 		res, err := sim.Run(sim.Scenario{
 			Params: pp,
 			Seed:   int64(seed),
@@ -228,13 +275,19 @@ func E8InitiatorAccept(opt Options) *Result {
 			RunFor: 5 * pp.DeltaAgr(),
 		})
 		if err != nil {
-			vio++
-			continue
+			c.violations++
+			return c
 		}
-		if len(res.IAccepts(0)) > 0 {
+		c.accepted = len(res.IAccepts(0)) > 0
+		c.violations += countViolations(check.IAUniqueness(res, 0), check.IARelay(res, 0))
+		return c
+	})
+	withAccept, vio := 0, 0
+	for _, c := range ia4 {
+		if c.accepted {
 			withAccept++
 		}
-		vio += countViolations(check.IAUniqueness(res, 0), check.IARelay(res, 0))
+		vio += c.violations
 	}
 	uniq.AddRow(seeds, withAccept, vio)
 	r.Violations += vio
@@ -253,14 +306,18 @@ func E9MsgdBroadcast(opt Options) *Result {
 	// accepts by broadcaster and measure the acceptance spread.
 	t := metrics.NewTable("TPS-1 accept skew per correct broadcast (n=7, in d)",
 		"seeds", "broadcasts", "max skew", "bound 3d")
-	broadcasts := 0
-	var maxSkew float64
-	for seed := 0; seed < seeds; seed++ {
+	type tps1Cell struct {
+		broadcasts int
+		maxSkew    float64
+		violations int
+	}
+	tps1 := sweepSeeds(opt, seeds, func(seed int) tps1Cell {
+		var c tps1Cell
 		sc, _ := correctGeneralScenario(7, int64(seed), 0, 0)
 		res, err := sim.Run(sc)
 		if err != nil {
-			r.Violations++
-			continue
+			c.violations++
+			return c
 		}
 		byTriple := make(map[string][]simtime.Real)
 		for _, ev := range res.Rec.Events() {
@@ -274,14 +331,26 @@ func E9MsgdBroadcast(opt Options) *Result {
 			if len(rts) < pp.Quorum() {
 				continue // partially-collected triple (post-reset stragglers)
 			}
-			broadcasts++
-			if s := dF(float64(pairwiseSkew(rts)), pp); s > maxSkew {
-				maxSkew = s
-				if s > 3 {
-					r.Violations++
-				}
+			c.broadcasts++
+			if s := dF(float64(pairwiseSkew(rts)), pp); s > c.maxSkew {
+				c.maxSkew = s
 			}
 		}
+		// Violations are counted per seed over its own max, never against
+		// a cross-seed running max: cells must be order-independent for
+		// the Workers determinism guarantee (the sequential harness's
+		// running-max count also varied with map iteration order).
+		if c.maxSkew > 3 {
+			c.violations++
+		}
+		return c
+	})
+	broadcasts := 0
+	var maxSkew float64
+	for _, c := range tps1 {
+		r.Violations += c.violations
+		broadcasts += c.broadcasts
+		maxSkew = max(maxSkew, c.maxSkew)
 	}
 	t.AddRow(seeds, broadcasts, maxSkew, "3d")
 	r.Tables = append(r.Tables, t)
@@ -290,8 +359,12 @@ func E9MsgdBroadcast(opt Options) *Result {
 	// that never happened; no correct node may accept it.
 	forged := metrics.NewTable("TPS-2 unforgeability under echo forgers (n=7)",
 		"seeds", "forged acceptances")
-	forgedAccepts := 0
-	for seed := 0; seed < seeds; seed++ {
+	type tps2Cell struct {
+		forged     int
+		violations int
+	}
+	tps2 := sweepSeeds(opt, seeds, func(seed int) tps2Cell {
+		var c tps2Cell
 		res, err := sim.Run(sim.Scenario{
 			Params: pp,
 			Seed:   int64(seed),
@@ -303,15 +376,21 @@ func E9MsgdBroadcast(opt Options) *Result {
 			RunFor:      4 * pp.DeltaAgr(),
 		})
 		if err != nil {
-			r.Violations++
-			continue
+			c.violations++
+			return c
 		}
 		for _, ev := range res.Rec.Events() {
 			if ev.Kind == protocol.EvAccept && res.IsCorrect(ev.Node) && ev.M == "forged" {
-				forgedAccepts++
+				c.forged++
 			}
 		}
-		r.Violations += countViolations(check.Agreement(res, 0))
+		c.violations += countViolations(check.Agreement(res, 0))
+		return c
+	})
+	forgedAccepts := 0
+	for _, c := range tps2 {
+		r.Violations += c.violations
+		forgedAccepts += c.forged
 	}
 	forged.AddRow(seeds, forgedAccepts)
 	r.Violations += forgedAccepts
@@ -326,17 +405,33 @@ func E10MessageComplexity(opt Options) *Result {
 	seeds := opt.seeds(10)
 	t := metrics.NewTable("messages per fault-free agreement",
 		"n", "total msgs (mean)", "msgs / n²")
-	for _, n := range opt.nSweep() {
+
+	type cell struct {
+		total      float64
+		ok         bool
+		violations int
+	}
+	ns := opt.nSweep()
+	cells := sweep(opt, ns, seeds, func(n, seed int) cell {
+		var c cell
+		sc, _ := correctGeneralScenario(n, int64(seed), 0, 0)
+		res, err := sim.Run(sc)
+		if err != nil {
+			c.violations++
+			return c
+		}
+		total, _ := res.World.MessageCount()
+		c.total = float64(total)
+		c.ok = true
+		return c
+	})
+	for i, n := range ns {
 		var totals []float64
-		for seed := 0; seed < seeds; seed++ {
-			sc, _ := correctGeneralScenario(n, int64(seed), 0, 0)
-			res, err := sim.Run(sc)
-			if err != nil {
-				r.Violations++
-				continue
+		for _, c := range cells[i] {
+			r.Violations += c.violations
+			if c.ok {
+				totals = append(totals, c.total)
 			}
-			total, _ := res.World.MessageCount()
-			totals = append(totals, float64(total))
 		}
 		mean := metrics.Summarize(totals).Mean
 		t.AddRow(n, mean, mean/float64(n*n))

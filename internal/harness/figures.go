@@ -19,10 +19,14 @@ func F1LatencyVsN(opt Options) *Result {
 	seeds := opt.seeds(10)
 	t := metrics.NewTable("mean decision latency vs n (δ = d/2, in d)",
 		"n", "ss-Byz-Agree", "TPS-87 baseline")
-	for _, n := range opt.nSweep() {
+	ns := opt.nSweep()
+	cells := sweep(opt, ns, seeds, func(n, seed int) latCell {
 		pp := protocol.DefaultParams(n)
-		ours := meanOursLatency(pp, seeds, pp.D/2, &r.Violations)
-		base := meanBaselineLatency(pp, seeds, pp.D/2)
+		return runLatencyCell(pp, seed, pp.D/2)
+	})
+	for i, n := range ns {
+		pp := protocol.DefaultParams(n)
+		ours, base := mergeLatCells(cells[i], &r.Violations)
 		t.AddRow(n, dF(ours, pp), dF(base, pp))
 	}
 	r.Tables = append(r.Tables, t)
@@ -42,9 +46,11 @@ func F2LatencyVsDelta(opt Options) *Result {
 	if opt.Quick {
 		deltas = []simtime.Duration{pp.D / 10, pp.D / 2, pp.D}
 	}
-	for _, delta := range deltas {
-		ours := meanOursLatency(pp, seeds, delta, &r.Violations)
-		base := meanBaselineLatency(pp, seeds, delta)
+	cells := sweep(opt, deltas, seeds, func(delta simtime.Duration, seed int) latCell {
+		return runLatencyCell(pp, seed, delta)
+	})
+	for i, delta := range deltas {
+		ours, base := mergeLatCells(cells[i], &r.Violations)
 		ratio := 0.0
 		if ours > 0 {
 			ratio = base / ours
@@ -75,9 +81,12 @@ func F3RecoveryTimeline(opt Options) *Result {
 	nWindows := 8
 	winLen := runFor / simtime.Duration(nWindows)
 
-	okCount := make(map[int]int)
-	totCount := make(map[int]int)
-	for seed := 0; seed < seeds; seed++ {
+	type cell struct {
+		ok, tot    map[int]int
+		violations int
+	}
+	cells := sweepSeeds(opt, seeds, func(seed int) cell {
+		c := cell{ok: make(map[int]int), tot: make(map[int]int)}
 		var inits []sim.Initiation
 		for i := 0; simtime.Duration(i)*spacing < runFor-pp.DeltaAgr(); i++ {
 			inits = append(inits, sim.Initiation{
@@ -86,26 +95,26 @@ func F3RecoveryTimeline(opt Options) *Result {
 				Value: protocol.Value(fmt.Sprintf("f3-%d", i)),
 			})
 		}
-		seed := int64(seed)
+		seed64 := int64(seed)
 		res, err := sim.Run(sim.Scenario{
 			Params:      pp,
-			Seed:        seed,
+			Seed:        seed64,
 			Initiations: inits,
 			Corrupt: func(w *simnet.World) {
-				transient.Corrupt(w, transient.Config{Seed: seed + 2000, Severity: 1})
+				transient.Corrupt(w, transient.Config{Seed: seed64 + 2000, Severity: 1})
 			},
 			RunFor: runFor,
 		})
 		if err != nil {
-			r.Violations++
-			continue
+			c.violations++
+			return c
 		}
 		for i, init := range inits {
 			win := int(simtime.Duration(init.At) / winLen)
 			if win >= nWindows {
 				win = nWindows - 1
 			}
-			totCount[win]++
+			c.tot[win]++
 			if _, refused := res.InitErrs[i]; refused {
 				continue // refusal ⇒ not verified in this window
 			}
@@ -121,8 +130,20 @@ func F3RecoveryTimeline(opt Options) *Result {
 				}
 			}
 			if ok {
-				okCount[win]++
+				c.ok[win]++
 			}
+		}
+		return c
+	})
+	okCount := make(map[int]int)
+	totCount := make(map[int]int)
+	for _, c := range cells {
+		r.Violations += c.violations
+		for win, v := range c.ok {
+			okCount[win] += v
+		}
+		for win, v := range c.tot {
+			totCount[win] += v
 		}
 	}
 	for _, win := range sortedKeys(totCount) {
@@ -151,15 +172,18 @@ func F4PulseSkew(opt Options) *Result {
 	t := metrics.NewTable("pulse skew per cycle (n=7, in d)",
 		"cycle", "runs pulsed", "max skew", "bound 3d")
 
-	skews := make(map[int]float64)
-	counts := make(map[int]int)
-	for seed := 0; seed < seeds; seed++ {
+	type cell struct {
+		skews      map[int]float64
+		violations int
+	}
+	cells := sweepSeeds(opt, seeds, func(seed int) cell {
+		c := cell{skews: make(map[int]float64)}
 		w, err := simnet.New(simnet.Config{
 			Params: pp, Seed: int64(seed), DelayMin: pp.D / 2, DelayMax: pp.D,
 		})
 		if err != nil {
-			r.Violations++
-			continue
+			c.violations++
+			return c
 		}
 		for i := 0; i < pp.N; i++ {
 			w.SetNode(protocol.NodeID(i), pulse.NewNode(pulse.Config{}))
@@ -175,13 +199,24 @@ func F4PulseSkew(opt Options) *Result {
 			if k >= cycles || len(rts) != pp.N {
 				continue
 			}
-			counts[k]++
-			if s := dF(float64(pairwiseSkew(rts)), pp); s > skews[k] {
-				skews[k] = s
-				if s > 3 {
-					r.Violations++
-				}
+			s := dF(float64(pairwiseSkew(rts)), pp)
+			c.skews[k] = s
+			// Per-(seed, cycle) count, not per cross-seed running max:
+			// cells must be order-independent for the Workers determinism
+			// guarantee.
+			if s > 3 {
+				c.violations++
 			}
+		}
+		return c
+	})
+	skews := make(map[int]float64)
+	counts := make(map[int]int)
+	for _, c := range cells {
+		r.Violations += c.violations
+		for k, s := range c.skews {
+			counts[k]++
+			skews[k] = max(skews[k], s)
 		}
 	}
 	for _, k := range sortedKeys(counts) {

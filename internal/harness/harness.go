@@ -1,8 +1,8 @@
 // Package harness defines the experiment suite of the reproduction: one
 // experiment per proved bound / headline claim of the paper (E1–E10) plus
-// the figure-shaped series (F1–F4), exactly as indexed in DESIGN.md §4.
-// Each experiment regenerates the rows recorded in EXPERIMENTS.md; the
-// root bench_test.go exposes one testing.B target per experiment and
+// the figure-shaped series (F1–F4), as indexed in DESIGN.md §4. Each
+// experiment regenerates the report tables that `ssbyz-bench -o` writes;
+// the root bench_test.go exposes one testing.B target per experiment and
 // cmd/ssbyz-bench prints the full suite.
 //
 // The paper is a theory paper: its "tables" are proved numeric bounds (in
@@ -31,6 +31,14 @@ type Options struct {
 	Seeds int
 	// Quick shrinks sweeps for unit tests (3 seeds, small n only).
 	Quick bool
+	// Workers bounds how many simulation cells run concurrently (default
+	// runtime.GOMAXPROCS(0)). Output is byte-identical for every value:
+	// parallelism only reorders execution, never presentation.
+	Workers int
+
+	// pool, when set by RunAll, is the token pool shared by every sweep of
+	// every overlapping experiment.
+	pool chan struct{}
 }
 
 // seeds returns the effective repetition count.
@@ -52,16 +60,17 @@ func (o Options) nSweep() []int {
 	return []int{4, 7, 10, 16, 25, 31}
 }
 
-// Result is one experiment's output.
+// Result is one experiment's output. It marshals directly into the JSON
+// suite artifact (see Suite), so renames here are artifact-schema changes.
 type Result struct {
-	ID     string
-	Title  string
-	Tables []*metrics.Table
+	ID     string           `json:"id"`
+	Title  string           `json:"title"`
+	Tables []*metrics.Table `json:"tables"`
 	// Notes carries shape conclusions ("ours wins by ×12 at δ=d/10").
-	Notes []string
+	Notes []string `json:"notes,omitempty"`
 	// Violations counts property violations found during the experiment
 	// (must be zero for a faithful reproduction).
-	Violations int
+	Violations int `json:"violations"`
 }
 
 // WriteTo renders the result.
@@ -121,17 +130,62 @@ func All() []Experiment {
 	}
 }
 
-// RunAll executes the full suite and writes every result to w.
+// RunAll executes the full suite and writes every result to w. Whole
+// experiments overlap — each runs in its own goroutine, all drawing cells
+// from one Workers-sized pool — but results are written strictly in
+// presentation order, so the report is byte-identical for every Workers
+// setting.
 func RunAll(w io.Writer, opt Options) ([]*Result, error) {
+	opt = opt.withSharedPool()
+	exps := All()
+	results := make([]*Result, len(exps))
+	done := make([]chan struct{}, len(exps))
+	for i := range exps {
+		i := i
+		done[i] = make(chan struct{})
+		go func() {
+			defer close(done[i])
+			results[i] = exps[i].Run(opt)
+		}()
+	}
 	var out []*Result
-	for _, ex := range All() {
-		res := ex.Run(opt)
-		out = append(out, res)
-		if _, err := res.WriteTo(w); err != nil {
+	for i := range exps {
+		<-done[i]
+		out = append(out, results[i])
+		if _, err := results[i].WriteTo(w); err != nil {
+			// Drain the stragglers so no goroutine outlives the call.
+			for _, ch := range done[i+1:] {
+				<-ch
+			}
 			return out, err
 		}
 	}
 	return out, nil
+}
+
+// Suite is the machine-readable form of a full run, shaped for the
+// BENCH_*.json perf-trajectory artifacts: the resolved options, every
+// result (tables as header/row string grids), and the violation total.
+type Suite struct {
+	Quick      bool      `json:"quick"`
+	Seeds      int       `json:"seeds,omitempty"`
+	Workers    int       `json:"workers"`
+	Violations int       `json:"violations"`
+	Results    []*Result `json:"results"`
+}
+
+// NewSuite packages finished results with the options that produced them.
+func NewSuite(opt Options, results []*Result) *Suite {
+	s := &Suite{
+		Quick:   opt.Quick,
+		Seeds:   opt.Seeds,
+		Workers: opt.workers(),
+		Results: results,
+	}
+	for _, r := range results {
+		s.Violations += r.Violations
+	}
+	return s
 }
 
 // ---- shared helpers ----

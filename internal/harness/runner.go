@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+)
+
+// This file is the suite's parallel execution engine. Every experiment is
+// a sweep over independent (configuration, seed) cells — each cell one
+// deterministic simulator run — so the fan-out is embarrassingly parallel.
+// sweep schedules the cells onto a bounded worker pool and reassembles the
+// per-cell outputs in input order, which keeps every table, note, and
+// violation count byte-identical across Workers=1 and Workers=N: each cell
+// is sealed (its own simnet world, its own rand stream seeded by the cell
+// coordinates), and all cross-cell aggregation happens after the barrier,
+// in presentation order, on the caller's goroutine.
+
+// workers resolves the effective parallelism.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// limiter returns the pool tokens sweeps draw from: the shared pool when
+// RunAll installed one (so concurrent experiments cannot oversubscribe the
+// machine), otherwise a fresh pool sized for this sweep alone.
+func (o Options) limiter() chan struct{} {
+	if o.pool != nil {
+		return o.pool
+	}
+	return make(chan struct{}, o.workers())
+}
+
+// withSharedPool returns a copy of o whose sweeps all draw from one
+// Workers-sized token pool, bounding total concurrency across overlapping
+// experiments.
+func (o Options) withSharedPool() Options {
+	if o.pool == nil {
+		o.pool = make(chan struct{}, o.workers())
+	}
+	return o
+}
+
+// sweep runs run(config, seed) for every cell of the configs × seeds grid
+// on the worker pool and returns the outputs indexed [config][seed]. run
+// must derive all randomness from its arguments and must not touch state
+// shared with other cells; under that contract the returned grid is
+// identical for every Workers setting.
+func sweep[C, T any](opt Options, configs []C, seeds int, run func(cfg C, seed int) T) [][]T {
+	out := make([][]T, len(configs))
+	for i := range out {
+		out[i] = make([]T, seeds)
+	}
+	pool := opt.limiter()
+	var wg sync.WaitGroup
+	for ci := range configs {
+		for s := 0; s < seeds; s++ {
+			ci, s := ci, s
+			pool <- struct{}{}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-pool }()
+				out[ci][s] = run(configs[ci], s)
+			}()
+		}
+	}
+	wg.Wait()
+	return out
+}
+
+// sweepSeeds is sweep over a single configuration: one cell per seed.
+func sweepSeeds[T any](opt Options, seeds int, run func(seed int) T) []T {
+	grid := sweep(opt, []struct{}{{}}, seeds, func(_ struct{}, seed int) T {
+		return run(seed)
+	})
+	return grid[0]
+}

@@ -1,7 +1,7 @@
 // Package metrics provides the small statistics and table-rendering
 // toolkit used by the experiment harness: summaries (min/mean/percentile/
 // max) over tick-valued samples and fixed-width table output matching the
-// rows recorded in EXPERIMENTS.md.
+// report `ssbyz-bench -o` writes.
 package metrics
 
 import (
@@ -75,10 +75,11 @@ func Ints[T ~int | ~int64](in []T) []float64 {
 }
 
 // Table renders aligned rows with a header, in GitHub-flavored markdown.
+// It also marshals into the harness's JSON suite artifact.
 type Table struct {
-	Title   string
-	Headers []string
-	Rows    [][]string
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
 }
 
 // NewTable creates a table with the given title and column headers.

@@ -335,17 +335,28 @@ func (r *Report) Messages() int64 {
 // prefer Simulation or LiveCluster.
 func NewCorrectNode() *core.Node { return core.NewNode() }
 
-// ExperimentOptions tunes RunExperiments.
+// ExperimentOptions tunes RunExperiments. Set Workers to fan independent
+// simulation cells across goroutines (default runtime.GOMAXPROCS(0)); the
+// report is byte-identical for every Workers value.
 type ExperimentOptions = harness.Options
 
+// ExperimentSuite is the machine-readable form of a suite run: options,
+// per-experiment tables, and the violation total, shaped for JSON
+// perf-trajectory artifacts.
+type ExperimentSuite = harness.Suite
+
 // RunExperiments executes the full reproduction suite (experiments E1–E10
-// and figures F1–F4 of DESIGN.md) and writes each result to w. It returns
-// the total number of property violations (0 for a faithful build).
+// and figures F1–F4 of DESIGN.md §4) and writes each result to w. It
+// returns the total number of property violations (0 for a faithful
+// build).
 func RunExperiments(w io.Writer, opt ExperimentOptions) (int, error) {
+	suite, err := RunExperimentsSuite(w, opt)
+	return suite.Violations, err
+}
+
+// RunExperimentsSuite is RunExperiments returning the machine-readable
+// suite alongside the human-readable report written to w.
+func RunExperimentsSuite(w io.Writer, opt ExperimentOptions) (*ExperimentSuite, error) {
 	results, err := harness.RunAll(w, opt)
-	violations := 0
-	for _, r := range results {
-		violations += r.Violations
-	}
-	return violations, err
+	return harness.NewSuite(opt, results), err
 }
