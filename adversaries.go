@@ -10,39 +10,47 @@ import (
 // with Simulation.WithFaulty. Faulty nodes cannot forge sender identities
 // (the transport authenticates senders, matching the paper's model).
 
-// Crashed returns a forever-silent node (crash fault).
+// Crashed returns a forever-silent node — the crash fault, weakest point
+// of the paper's Byzantine fault spectrum; the protocol must tolerate f
+// of these inside its n > 3f resilience bound just like full traitors.
 func Crashed() Adversary { return &byzantine.Silent{} }
 
 // EquivocatingGeneral returns a faulty General that disseminates the given
 // values round-robin across the nodes at local time at — the canonical
-// attack on the Uniqueness property IA-4.
+// attack on the Uniqueness property IA-4 (anchors for different values
+// must stay > 4d apart or collapse to one agreement).
 func EquivocatingGeneral(at Ticks, values ...Value) Adversary {
 	return &byzantine.Equivocator{Values: values, At: at}
 }
 
 // PartialGeneral returns a faulty General that sends its initiation only
 // to the invitee subset at local time at, leaving the rest of the network
-// to discover the agreement — or not — through the primitive itself.
+// to discover the agreement — or not — through the primitive's relay
+// machinery (Blocks L–N and the Δagr-Relay property IA-3).
 func PartialGeneral(at Ticks, v Value, invitees ...NodeID) Adversary {
 	return &byzantine.PartialGeneral{Invitees: invitees, Value: v, At: at}
 }
 
 // Colluder returns a faulty node that amplifies every wave it observes
-// for General g, ignoring the exclusivity and rate-limit rules.
+// for General g, ignoring the exclusivity condition of Block K and the
+// lastq(G)/lastq(G,m) rate limits that correct nodes obey.
 func Colluder() Adversary { return &byzantine.Yeasayer{} }
 
 // LateColluder returns a faulty node that contributes to General g's waves
-// as late as the message windows allow, stretching every stage.
+// as late as the message windows allow, stretching every stage toward the
+// Δagr = (2f+1)Φ bound (the Timeliness-3 worst case).
 func LateColluder(g NodeID, holdLocal Ticks) Adversary {
 	return &byzantine.LateSupporter{G: g, HoldLocal: holdLocal}
 }
 
 // Spammer returns a faulty node that floods the network with syntactically
-// valid garbage — the memory-bound and unforgeability attack.
+// valid garbage — the memory-bound attack on the Δrmv decay rules and the
+// Unforgeability properties (IA-2, TPS-2).
 func Spammer() Adversary { return &byzantine.Spammer{} }
 
 // Replayer returns a faulty node that captures all traffic and re-emits it
-// after delay — the replay attack on the decay and separation machinery.
+// after delay — the replay attack on the Δrmv decay and the IA-4
+// separation machinery (stale waves must never re-anchor an agreement).
 func Replayer(delay Ticks) Adversary { return &byzantine.Replayer{Delay: delay} }
 
 // EchoForger returns a faulty node that fabricates broadcast-layer echo

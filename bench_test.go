@@ -54,6 +54,11 @@ func BenchmarkF2LatencyVsDelta(b *testing.B)     { benchExperiment(b, "F2") }
 func BenchmarkF3RecoveryTimeline(b *testing.B)   { benchExperiment(b, "F3") }
 func BenchmarkF4PulseSkew(b *testing.B)          { benchExperiment(b, "F4") }
 
+// BenchmarkS1Scaling runs the large-n scaling workload (n up to 64) —
+// the experiment the msglog/scheduler/delivery hot-path rework exists
+// for (DESIGN.md §5).
+func BenchmarkS1Scaling(b *testing.B) { benchExperiment(b, "S1") }
+
 // BenchmarkSingleAgreement measures the simulator's cost of one complete
 // fault-free agreement (7 nodes, ~350 messages) — the unit of work every
 // experiment above multiplies.

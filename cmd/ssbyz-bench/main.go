@@ -1,6 +1,6 @@
 // Command ssbyz-bench runs the full reproduction suite — experiments
-// E1–E10, figures F1–F4, and ablation A1 of DESIGN.md §4 — and prints
-// every regenerated table.
+// E1–E10, figures F1–F4, ablation A1, and the scaling workload S1 of
+// DESIGN.md §4 — and prints every regenerated table.
 //
 // Usage:
 //
@@ -9,10 +9,13 @@
 // The full suite takes a few minutes single-threaded; -parallel fans the
 // independent simulation cells across N workers (default GOMAXPROCS) with
 // byte-identical output, and -quick shrinks the sweeps for a fast smoke
-// run. -json additionally writes the machine-readable suite (a
-// BENCH_*.json-style artifact for the perf trajectory). The exit status is
-// non-zero if any property violation is found (a faithful build reports
-// zero).
+// run (S1 still sweeps to n = 64 — only its seed count shrinks). -json
+// additionally writes the machine-readable suite (the BENCH_*.json
+// artifact of the perf trajectory); every table in it is deterministic,
+// and each result's wall_ms field — the one intentionally machine-varying
+// number — records what the experiment cost on this run (DESIGN.md §5).
+// The exit status is non-zero if any property violation is found (a
+// faithful build reports zero).
 package main
 
 import (

@@ -1,0 +1,104 @@
+package ssbyz_test
+
+// This test is the godoc audit gate for the public facade: every exported
+// identifier declared in ssbyz.go, live.go, and adversaries.go must carry
+// a doc comment, and that comment must state its paper provenance — the
+// Block, figure, property, or timing constant of conf_podc_DaliotD06 the
+// API surface realizes. The reproduction is only navigable if the facade
+// says which part of the paper each knob corresponds to.
+
+import (
+	"go/ast"
+	"go/doc"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// auditedFiles are the facade files under the provenance requirement.
+var auditedFiles = map[string]bool{
+	"ssbyz.go":       true,
+	"live.go":        true,
+	"adversaries.go": true,
+}
+
+// provenance matches the paper anchors a facade doc comment may cite:
+// property names (IA-*, TPS-*, IG*, Timeliness, Validity, Agreement,
+// Unforgeability, Uniqueness), protocol blocks and figures, the derived
+// timing constants (Δ…, Φ, τG, d), the ⊥ value, or an explicit reference
+// to the paper itself.
+var provenance = regexp.MustCompile(
+	`IA-\d|TPS-\d|IG\d|Block [A-Z]|Fig\. \d|Claim \d|Theorem \d|footnote-\d` +
+		`|Timeliness|Validity|Agreement|Unforgeability|Uniqueness` +
+		`|self-stabiliz|Byzantine|Δ|Φ|τG|⊥|PODC|the paper|paper's`)
+
+func TestFacadeGodocProvenance(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	astPkg, ok := pkgs["ssbyz"]
+	if !ok {
+		t.Fatalf("package ssbyz not found (got %v)", pkgs)
+	}
+	p := doc.New(astPkg, "ssbyz", 0)
+
+	audited := func(node ast.Node) bool {
+		return auditedFiles[fset.Position(node.Pos()).Filename]
+	}
+	check := func(kind, name, docText string, node ast.Node) {
+		if !audited(node) {
+			return
+		}
+		t.Helper()
+		docText = strings.TrimSpace(docText)
+		if docText == "" {
+			t.Errorf("%s %s (%s) has no doc comment", kind, name, fset.Position(node.Pos()))
+			return
+		}
+		if !provenance.MatchString(docText) {
+			t.Errorf("%s %s: doc comment states no paper provenance (want a Block/property/constant reference): %q",
+				kind, name, docText)
+		}
+	}
+
+	for _, v := range p.Consts {
+		check("const", strings.Join(v.Names, ","), v.Doc, v.Decl)
+	}
+	for _, v := range p.Vars {
+		// Blank-named sentinels (var _ = …) are not exported API.
+		if len(v.Names) == 1 && v.Names[0] == "_" {
+			continue
+		}
+		check("var", strings.Join(v.Names, ","), v.Doc, v.Decl)
+	}
+	for _, f := range p.Funcs {
+		check("func", f.Name, f.Doc, f.Decl)
+	}
+	for _, typ := range p.Types {
+		// A grouped type declaration documents each spec individually;
+		// go/doc surfaces the per-spec comment as typ.Doc already.
+		check("type", typ.Name, typ.Doc, typ.Decl)
+		for _, f := range typ.Funcs {
+			check("func", f.Name, f.Doc, f.Decl)
+		}
+		for _, m := range typ.Methods {
+			check("method", typ.Name+"."+m.Name, m.Doc, m.Decl)
+		}
+		for _, v := range typ.Consts {
+			check("const", strings.Join(v.Names, ","), v.Doc, v.Decl)
+		}
+		for _, v := range typ.Vars {
+			if len(v.Names) == 1 && v.Names[0] == "_" {
+				continue
+			}
+			check("var", strings.Join(v.Names, ","), v.Doc, v.Decl)
+		}
+	}
+}

@@ -33,6 +33,31 @@ type triple struct {
 // AcceptFn is called when the node accepts (p, m, k).
 type AcceptFn func(p protocol.NodeID, m protocol.Value, k int)
 
+// tripleState consolidates every per-triple flag into a single map entry,
+// so the fixed-point evaluator touches one hash per triple per pass
+// instead of one per flag (the message-processing hot path, DESIGN.md §5).
+type tripleState struct {
+	sentEcho      bool
+	sentInitPrime bool
+	sentEchoPrime bool
+	// accepted dedupes acceptances per triple ("accept only once"). It
+	// deliberately survives Reset: straggler echo′ residue of a completed
+	// agreement arrives within d of the reset, gets logged into the fresh
+	// session, and would otherwise re-accept — and re-decide — the old
+	// value when the next agreement anchors. The flag decays by age in
+	// Cleanup instead, which bounds the memory exactly like the paper's
+	// "erase any value or message older than (2f+3)·Φ" rule. Legitimate
+	// same-value re-broadcasts are spaced by Δv > (2f+3)·Φ (criterion
+	// IG2), so they are never suppressed.
+	accepted   bool
+	acceptedAt simtime.Local
+	// inAct marks membership of the active iteration list (s.act).
+	inAct bool
+	// Cached key resolutions for the triple's four message classes, so
+	// the per-message evaluation does not re-hash the full msglog.Key.
+	hInit, hEcho, hInitPrime, hEchoPrime msglog.Handle
+}
+
 // Session is one node's msgd-broadcast state for the agreement instance of
 // a single General G. Messages are logged before the anchor τG is known
 // and replayed once it is ("nodes log messages until they are able to
@@ -47,19 +72,13 @@ type Session struct {
 	anchored bool
 	tauG     simtime.Local
 
-	sentEcho      map[triple]bool
-	sentInitPrime map[triple]bool
-	sentEchoPrime map[triple]bool
-	// accepted dedupes acceptances per triple ("accept only once"). It
-	// deliberately survives Reset: straggler echo′ residue of a completed
-	// agreement arrives within d of the reset, gets logged into the fresh
-	// session, and would otherwise re-accept — and re-decide — the old
-	// value when the next agreement anchors. Entries decay by age in
-	// Cleanup instead, which bounds the memory exactly like the paper's
-	// "erase any value or message older than (2f+3)·Φ" rule. Legitimate
-	// same-value re-broadcasts are spaced by Δv > (2f+3)·Φ (criterion
-	// IG2), so they are never suppressed.
-	accepted     map[triple]simtime.Local
+	states map[triple]*tripleState
+	// act lists the triples the evaluator iterates, in first-seen order
+	// (deterministic). It is appended to as messages arrive and rebuilt
+	// from the log on Cleanup/Reset, so settled or decayed triples stop
+	// costing evaluator passes.
+	act []triple
+
 	broadcasters map[protocol.NodeID]bool
 
 	onAccept AcceptFn
@@ -68,16 +87,13 @@ type Session struct {
 // NewSession creates the session for General g at the node owning rt.
 func NewSession(rt protocol.Runtime, g protocol.NodeID, onAccept AcceptFn) *Session {
 	return &Session{
-		rt:            rt,
-		g:             g,
-		pp:            rt.Params(),
-		log:           msglog.New(rt.Params().Wrap),
-		sentEcho:      make(map[triple]bool),
-		sentInitPrime: make(map[triple]bool),
-		sentEchoPrime: make(map[triple]bool),
-		accepted:      make(map[triple]simtime.Local),
-		broadcasters:  make(map[protocol.NodeID]bool),
-		onAccept:      onAccept,
+		rt:           rt,
+		g:            g,
+		pp:           rt.Params(),
+		log:          msglog.New(rt.Params().Wrap),
+		states:       make(map[triple]*tripleState),
+		broadcasters: make(map[protocol.NodeID]bool),
+		onAccept:     onAccept,
 	}
 }
 
@@ -109,6 +125,42 @@ func (s *Session) Broadcasters() int { return len(s.broadcasters) }
 // IsBroadcaster reports membership of p in broadcasters.
 func (s *Session) IsBroadcaster(p protocol.NodeID) bool { return s.broadcasters[p] }
 
+// note returns (creating and activating if needed) the state of tr.
+func (s *Session) note(tr triple) *tripleState {
+	st, ok := s.states[tr]
+	if !ok {
+		key := func(kind protocol.MsgKind) msglog.Key {
+			return msglog.Key{Kind: kind, G: s.g, M: tr.M, P: tr.P, K: tr.K}
+		}
+		st = &tripleState{
+			hInit:      s.log.NewHandle(key(protocol.Init)),
+			hEcho:      s.log.NewHandle(key(protocol.Echo)),
+			hInitPrime: s.log.NewHandle(key(protocol.InitPrime)),
+			hEchoPrime: s.log.NewHandle(key(protocol.EchoPrime)),
+		}
+		s.states[tr] = st
+	}
+	if !st.inAct {
+		st.inAct = true
+		s.act = append(s.act, tr)
+	}
+	return st
+}
+
+// handleFor picks the cached handle matching a message kind.
+func (st *tripleState) handleFor(kind protocol.MsgKind) *msglog.Handle {
+	switch kind {
+	case protocol.Init:
+		return &st.hInit
+	case protocol.Echo:
+		return &st.hEcho
+	case protocol.InitPrime:
+		return &st.hInitPrime
+	default:
+		return &st.hEchoPrime
+	}
+}
+
 // OnMessage records an incoming broadcast-layer message and re-evaluates.
 func (s *Session) OnMessage(from protocol.NodeID, m protocol.Message) {
 	if m.G != s.g {
@@ -127,8 +179,15 @@ func (s *Session) OnMessage(from protocol.NodeID, m protocol.Message) {
 	default:
 		return
 	}
-	s.log.Record(msglog.KeyOf(m), from, now)
-	s.evaluate(now)
+	tr := triple{P: m.P, M: m.M, K: m.K}
+	st := s.note(tr)
+	s.log.RecordVia(st.handleFor(m.Kind), from, now)
+	// Only tr's own conditions can newly hold: counts are keyed by the
+	// exact (p, m, k) and the phase windows only ever close with time, so
+	// re-evaluation is scoped to the affected triple (DESIGN.md §5).
+	if s.anchored {
+		s.evalTriple(tr, st, now)
+	}
 }
 
 // maxAge is the cleanup bound: messages older than (2f+3)·Φ are removed
@@ -143,98 +202,93 @@ func (s *Session) withinPhase(now simtime.Local, phases int) bool {
 	return s.pp.Sub(now, s.tauG) <= simtime.Duration(phases)*s.pp.Phi()
 }
 
-// evaluate runs blocks W–Z to a fixed point across every known triple.
+// evaluate runs blocks W–Z to a fixed point across every active triple
+// (the anchor-install replay path). Triples are independent — no block's
+// condition reads another triple's counts or flags — so the fixed point
+// factors into one per triple.
 func (s *Session) evaluate(now simtime.Local) {
 	if !s.anchored {
 		return
 	}
+	for _, tr := range s.act {
+		s.evalTriple(tr, s.states[tr], now)
+	}
+}
+
+// evalTriple runs blocks W–Z for one triple to a fixed point.
+func (s *Session) evalTriple(tr triple, st *tripleState, now simtime.Local) {
 	for iter := 0; iter < 6; iter++ {
-		changed := false
-		for _, tr := range s.activeTriples() {
-			if s.tryTriple(tr, now) {
-				changed = true
-			}
-		}
-		if !changed {
+		if !s.tryTriple(tr, st, now) {
 			return
 		}
 	}
 }
 
-// activeTriples enumerates the (p, m, k) triples with any logged state.
-func (s *Session) activeTriples() []triple {
-	seen := make(map[triple]bool)
-	var out []triple
-	for _, k := range s.log.Keys() {
-		tr := triple{P: k.P, M: k.M, K: k.K}
-		if !seen[tr] {
-			seen[tr] = true
-			out = append(out, tr)
-		}
-	}
-	return out
-}
-
 // tryTriple evaluates all blocks for one (p, m, k).
-func (s *Session) tryTriple(tr triple, now simtime.Local) bool {
+func (s *Session) tryTriple(tr triple, st *tripleState, now simtime.Local) bool {
+	if st.sentEcho && st.sentInitPrime && st.sentEchoPrime && st.accepted && s.broadcasters[tr.P] {
+		// Settled: every send fired, the acceptance fired, and p is a
+		// known broadcaster — no block can conclude anything new.
+		return false
+	}
 	changed := false
-	key := func(kind protocol.MsgKind) msglog.Key {
-		return msglog.Key{Kind: kind, G: s.g, M: tr.M, P: tr.P, K: tr.K}
-	}
-	count := func(kind protocol.MsgKind) int {
-		return s.log.CountWithin(key(kind), s.maxAge(), now)
-	}
 
 	// Block W — echo the direct init, by τG + 2k·Φ.
-	if !s.sentEcho[tr] && s.withinPhase(now, 2*tr.K) && s.log.Has(key(protocol.Init), tr.P) {
-		s.sentEcho[tr] = true
+	if !st.sentEcho && s.withinPhase(now, 2*tr.K) && s.log.HasVia(&st.hInit, tr.P) {
+		st.sentEcho = true
 		s.rt.Broadcast(protocol.Message{Kind: protocol.Echo, G: s.g, M: tr.M, P: tr.P, K: tr.K})
 		changed = true
 	}
 
 	// Block X — by τG + (2k+1)·Φ.
-	if s.withinPhase(now, 2*tr.K+1) {
-		if !s.sentInitPrime[tr] && count(protocol.Echo) >= s.pp.ByzQuorum() {
-			s.sentInitPrime[tr] = true
+	if (!st.sentInitPrime || !st.accepted) && s.withinPhase(now, 2*tr.K+1) {
+		nEcho := s.log.CountWithinVia(&st.hEcho, s.maxAge(), now)
+		if !st.sentInitPrime && nEcho >= s.pp.ByzQuorum() {
+			st.sentInitPrime = true
 			s.rt.Broadcast(protocol.Message{Kind: protocol.InitPrime, G: s.g, M: tr.M, P: tr.P, K: tr.K})
 			changed = true
 		}
-		if count(protocol.Echo) >= s.pp.Quorum() && s.accept(tr) {
+		if nEcho >= s.pp.Quorum() && s.accept(tr, st) {
 			changed = true
 		}
 	}
 
 	// Block Y — by τG + (2k+2)·Φ.
-	if s.withinPhase(now, 2*tr.K+2) {
-		if count(protocol.InitPrime) >= s.pp.ByzQuorum() && !s.broadcasters[tr.P] {
+	if (!s.broadcasters[tr.P] || !st.sentEchoPrime) && s.withinPhase(now, 2*tr.K+2) {
+		nInitPrime := s.log.CountWithinVia(&st.hInitPrime, s.maxAge(), now)
+		if nInitPrime >= s.pp.ByzQuorum() && !s.broadcasters[tr.P] {
 			s.broadcasters[tr.P] = true
 			changed = true
 		}
-		if !s.sentEchoPrime[tr] && count(protocol.InitPrime) >= s.pp.Quorum() {
-			s.sentEchoPrime[tr] = true
+		if !st.sentEchoPrime && nInitPrime >= s.pp.Quorum() {
+			st.sentEchoPrime = true
 			s.rt.Broadcast(protocol.Message{Kind: protocol.EchoPrime, G: s.g, M: tr.M, P: tr.P, K: tr.K})
 			changed = true
 		}
 	}
 
 	// Block Z — at any time.
-	if !s.sentEchoPrime[tr] && count(protocol.EchoPrime) >= s.pp.ByzQuorum() {
-		s.sentEchoPrime[tr] = true
-		s.rt.Broadcast(protocol.Message{Kind: protocol.EchoPrime, G: s.g, M: tr.M, P: tr.P, K: tr.K})
-		changed = true
-	}
-	if count(protocol.EchoPrime) >= s.pp.Quorum() && s.accept(tr) {
-		changed = true
+	if !st.sentEchoPrime || !st.accepted {
+		nEchoPrime := s.log.CountWithinVia(&st.hEchoPrime, s.maxAge(), now)
+		if !st.sentEchoPrime && nEchoPrime >= s.pp.ByzQuorum() {
+			st.sentEchoPrime = true
+			s.rt.Broadcast(protocol.Message{Kind: protocol.EchoPrime, G: s.g, M: tr.M, P: tr.P, K: tr.K})
+			changed = true
+		}
+		if nEchoPrime >= s.pp.Quorum() && s.accept(tr, st) {
+			changed = true
+		}
 	}
 	return changed
 }
 
 // accept fires the acceptance of tr exactly once.
-func (s *Session) accept(tr triple) bool {
-	if _, ok := s.accepted[tr]; ok {
+func (s *Session) accept(tr triple, st *tripleState) bool {
+	if st.accepted {
 		return false
 	}
-	s.accepted[tr] = s.rt.Now()
+	st.accepted = true
+	st.acceptedAt = s.rt.Now()
 	s.rt.Trace(protocol.TraceEvent{
 		Kind: protocol.EvAccept, G: s.g, M: tr.M, K: tr.K, P: tr.P,
 	})
@@ -244,32 +298,65 @@ func (s *Session) accept(tr triple) bool {
 	return true
 }
 
-// Cleanup decays messages and acceptance records older than (2f+3)·Φ.
+// rebuildAct recomputes the active-triple list from the records that
+// survive in the log, keeping first-seen order for the survivors.
+func (s *Session) rebuildAct() {
+	for _, st := range s.states {
+		st.inAct = false
+	}
+	live := s.act[:0]
+	s.log.ForEachKey(func(k msglog.Key) {
+		tr := triple{P: k.P, M: k.M, K: k.K}
+		if st := s.states[tr]; st != nil && !st.inAct {
+			st.inAct = true
+			live = append(live, tr)
+		}
+	})
+	s.act = live
+}
+
+// Cleanup decays messages and acceptance records older than (2f+3)·Φ and
+// drops settled triples from the evaluator's iteration list.
 func (s *Session) Cleanup(now simtime.Local) {
 	s.log.DecayOlderThan(s.maxAge(), now)
-	for tr, at := range s.accepted {
-		age := s.pp.Sub(now, at)
-		if age < 0 || age > s.maxAge() {
-			delete(s.accepted, tr)
+	s.rebuildAct()
+	for tr, st := range s.states {
+		if st.accepted {
+			age := s.pp.Sub(now, st.acceptedAt)
+			if age < 0 || age > s.maxAge() {
+				st.accepted = false
+			}
+		}
+		if !st.accepted && !st.inAct && !st.sentEcho && !st.sentInitPrime && !st.sentEchoPrime {
+			delete(s.states, tr)
 		}
 	}
 }
 
 // Reset clears the session (3d after the agreement layer returned). The
-// accepted-triple dedup set survives — see its field comment.
+// accepted-triple dedup flags survive — see the tripleState field comment.
 func (s *Session) Reset() {
 	s.log.Clear()
 	s.anchored = false
 	s.tauG = 0
-	s.sentEcho = make(map[triple]bool)
-	s.sentInitPrime = make(map[triple]bool)
-	s.sentEchoPrime = make(map[triple]bool)
+	s.act = s.act[:0]
+	for tr, st := range s.states {
+		if !st.accepted {
+			delete(s.states, tr)
+			continue
+		}
+		st.sentEcho = false
+		st.sentInitPrime = false
+		st.sentEchoPrime = false
+		st.inAct = false
+	}
 	s.broadcasters = make(map[protocol.NodeID]bool)
 }
 
 // InjectRecord installs a spurious reception record (transient injector).
 func (s *Session) InjectRecord(kind protocol.MsgKind, tr protocol.Message, sender protocol.NodeID, at simtime.Local) {
 	k := msglog.Key{Kind: kind, G: s.g, M: tr.M, P: tr.P, K: tr.K}
+	s.note(triple{P: tr.P, M: tr.M, K: tr.K})
 	s.log.InjectRaw(k, sender, at)
 }
 

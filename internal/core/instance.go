@@ -133,7 +133,8 @@ func (inst *Instance) onIAccept(m protocol.Value, tauG simtime.Local) {
 
 	// Block R: decide immediately on a prompt I-accept.
 	//
-	// Deviation from the paper's Fig. 1, documented in DESIGN.md: R1 tests
+	// Deviation from the paper's Fig. 1, documented in DESIGN.md §3: R1
+	// tests
 	// τq − τG ≤ 4d, but the paper's own Claim 1 timeline allows a correct
 	// node's N4 as late as t0+4d with its recording time as early as t0−d
 	// (IA-1D), i.e. an own-node gap of up to 5d. With the literal 4d the

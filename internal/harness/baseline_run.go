@@ -9,9 +9,10 @@ import (
 
 // runBaseline executes one fault-free TPS-87 baseline agreement (General
 // 0, value "v", initiated at 2d) with actual delays in [δ/2, δ] and
-// returns per-node decision latencies in ticks. It is the baseline half of
-// a latCell; the head-to-head experiments fan it out per seed via sweep.
-func runBaseline(pp protocol.Params, seed int64, delta simtime.Duration) []float64 {
+// returns per-node decision latencies in ticks plus the total message
+// count. It is the baseline half of a latCell and of the S1 scaling
+// cells; the head-to-head experiments fan it out per seed via sweep.
+func runBaseline(pp protocol.Params, seed int64, delta simtime.Duration) ([]float64, int64) {
 	min := delta / 2
 	if min == 0 {
 		min = 1
@@ -23,7 +24,7 @@ func runBaseline(pp protocol.Params, seed int64, delta simtime.Duration) []float
 		DelayMax: delta,
 	})
 	if err != nil {
-		return nil
+		return nil, 0
 	}
 	nodes := make([]*baseline.Node, pp.N)
 	for i := 0; i < pp.N; i++ {
@@ -39,5 +40,6 @@ func runBaseline(pp protocol.Params, seed int64, delta simtime.Duration) []float
 	for _, ev := range w.Recorder().ByKind(protocol.EvBaselineDecide) {
 		lats = append(lats, float64(ev.RT-t0))
 	}
-	return lats
+	msgs, _ := w.MessageCount()
+	return lats, msgs
 }

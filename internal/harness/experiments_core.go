@@ -385,7 +385,7 @@ func runLatencyCell(pp protocol.Params, seed int, delta simtime.Duration) latCel
 		c.ours = ls
 		c.violations += countViolations(check.Validity(res, 0, t0, "v"))
 	}
-	c.base = runBaseline(pp, int64(seed), delta)
+	c.base, _ = runBaseline(pp, int64(seed), delta)
 	return c
 }
 

@@ -1,6 +1,7 @@
 // Package harness defines the experiment suite of the reproduction: one
-// experiment per proved bound / headline claim of the paper (E1–E10) plus
-// the figure-shaped series (F1–F4), as indexed in DESIGN.md §4. Each
+// experiment per proved bound / headline claim of the paper (E1–E10), the
+// figure-shaped series (F1–F4), the Block R ablation (A1), and the
+// large-n scaling workload (S1), as indexed in DESIGN.md §4. Each
 // experiment regenerates the report tables that `ssbyz-bench -o` writes;
 // the root bench_test.go exposes one testing.B target per experiment and
 // cmd/ssbyz-bench prints the full suite.
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"ssbyz/internal/check"
 	"ssbyz/internal/metrics"
@@ -71,6 +73,12 @@ type Result struct {
 	// Violations counts property violations found during the experiment
 	// (must be zero for a faithful reproduction).
 	Violations int `json:"violations"`
+	// WallMS is the experiment's wall-clock cost in milliseconds, filled
+	// by RunAll. It is the ONLY non-deterministic field of the JSON suite
+	// artifact (it records the perf trajectory across commits) and is
+	// deliberately excluded from WriteTo, so the human-readable report
+	// stays byte-identical across machines and worker counts.
+	WallMS float64 `json:"wall_ms,omitempty"`
 }
 
 // WriteTo renders the result.
@@ -127,6 +135,7 @@ func All() []Experiment {
 		{"F3", "Recovery timeline after a transient fault", "figure: fraction recovered vs time since coherence", F3RecoveryTimeline},
 		{"F4", "Pulse synchronization skew", "figure: companion [6] pulse layer atop agreement", F4PulseSkew},
 		{"A1", "Block R window ablation", "why the repo uses 5d where Fig. 1 says 4d (DESIGN.md §3)", A1BlockRWindow},
+		{"S1", "Scaling: agreement cost vs n", "new workload: the substrate sustains n = 64 committees (DESIGN.md §5)", S1Scaling},
 	}
 }
 
@@ -145,7 +154,12 @@ func RunAll(w io.Writer, opt Options) ([]*Result, error) {
 		done[i] = make(chan struct{})
 		go func() {
 			defer close(done[i])
+			start := time.Now()
 			results[i] = exps[i].Run(opt)
+			// Experiments overlap on a shared pool, so this includes time
+			// spent waiting for workers — read it as "cost within a full
+			// suite run", not an isolated measurement.
+			results[i].WallMS = float64(time.Since(start).Microseconds()) / 1000
 		}()
 	}
 	var out []*Result

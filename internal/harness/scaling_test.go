@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// TestScalingTableCoversN64 is the acceptance gate of the S1 workload:
+// the sweep must include n = 64 even in quick mode (quick shrinks seeds,
+// never the committee sizes — sustaining large n IS the experiment).
+func TestScalingTableCoversN64(t *testing.T) {
+	ns := ScalingNs()
+	if ns[len(ns)-1] != 64 {
+		t.Fatalf("ScalingNs = %v, want a sweep ending at 64", ns)
+	}
+	if testing.Short() {
+		t.Skip("running the sweep is seconds-long; skipped in -short")
+	}
+	tab, violations := ScalingTable(Options{Quick: true}, []int{64})
+	if violations != 0 {
+		t.Fatalf("S1 at n=64: %d property violations", violations)
+	}
+	if len(tab.Rows) != 1 || tab.Rows[0][0] != "64" {
+		t.Fatalf("S1 table rows = %v, want one n=64 row", tab.Rows)
+	}
+}
+
+// TestScalingQuickBudgetN31 is the CI regression tripwire: the quick S1
+// sweep at n = 31 must fit a generous wall-clock budget. It is not a
+// microbenchmark — the budget is ~20× the current cost — but it fails
+// loudly if a change reintroduces superlinear simulator overhead (the
+// pre-rework substrate would blow it).
+func TestScalingQuickBudgetN31(t *testing.T) {
+	if testing.Short() {
+		t.Skip("running the sweep is seconds-long; skipped in -short")
+	}
+	const budget = 60 * time.Second
+	start := time.Now()
+	_, violations := ScalingTable(Options{Quick: true}, []int{31})
+	elapsed := time.Since(start)
+	if violations != 0 {
+		t.Fatalf("S1 at n=31: %d property violations", violations)
+	}
+	if elapsed > budget {
+		t.Fatalf("quick S1 sweep at n=31 took %v, budget %v — the simulation substrate regressed", elapsed, budget)
+	}
+	t.Logf("quick S1 sweep at n=31: %v (budget %v)", elapsed, budget)
+}
+
+// TestScalingTableDeterministicAcrossWorkers: every figure of the S1
+// table (including the processed-event cost column) must be identical
+// whether cells run sequentially or fanned out.
+func TestScalingTableDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the sweep twice; skipped in -short")
+	}
+	ns := []int{4, 7, 16}
+	seq, vSeq := ScalingTable(Options{Quick: true, Workers: 1}, ns)
+	par, vPar := ScalingTable(Options{Quick: true, Workers: 8}, ns)
+	if vSeq != vPar {
+		t.Fatalf("violations differ across workers: %d vs %d", vSeq, vPar)
+	}
+	if seq.String() != par.String() {
+		t.Fatalf("S1 table differs across worker counts:\n%s\nvs\n%s", seq.String(), par.String())
+	}
+}
+
+// TestScalingCellDeterministic: the per-cell measurement (including the
+// scheduler's processed-event count) is a pure function of (n, seed).
+func TestScalingCellDeterministic(t *testing.T) {
+	a := runScaleCell(7, 3)
+	b := runScaleCell(7, 3)
+	if a.msgs != b.msgs || a.events != b.events || a.baseMsgs != b.baseMsgs {
+		t.Fatalf("cell not deterministic: %+v vs %+v", a, b)
+	}
+	if a.events == 0 || a.msgs == 0 {
+		t.Fatalf("cell measured nothing: %+v", a)
+	}
+	if len(a.lats) != len(b.lats) {
+		t.Fatalf("latency sets differ: %d vs %d", len(a.lats), len(b.lats))
+	}
+	for i := range a.lats {
+		if a.lats[i] != b.lats[i] {
+			t.Fatalf("latency %d differs: %v vs %v", i, a.lats[i], b.lats[i])
+		}
+	}
+}

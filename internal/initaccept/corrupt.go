@@ -27,16 +27,19 @@ func (ia *Instance) InjectLastGM(m protocol.Value, t simtime.Local) {
 // InjectReady installs an arbitrary ready_{G,m} flag set time.
 func (ia *Instance) InjectReady(m protocol.Value, t simtime.Local) {
 	ia.ready[m] = t
+	ia.noteValue(m)
 }
 
 // InjectRecord installs a spurious reception record.
 func (ia *Instance) InjectRecord(kind protocol.MsgKind, m protocol.Value, sender protocol.NodeID, at simtime.Local) {
+	ia.noteValue(m)
 	ia.log.InjectRaw(msglog.Key{Kind: kind, G: ia.g, M: m}, sender, at)
 }
 
 // InjectPending installs a phantom pending invocation.
 func (ia *Instance) InjectPending(m protocol.Value, at simtime.Local) {
 	ia.pending[m] = at
+	ia.noteValue(m)
 }
 
 // LogLen reports the number of stored reception records (for tests).

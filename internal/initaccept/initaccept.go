@@ -67,6 +67,13 @@ type Instance struct {
 	// used by a correct General to detect failed invocations (IG3).
 	lineL4, lineM4, lineN4 map[protocol.Value]simtime.Local
 
+	// actVals lists the values Evaluate iterates, in first-seen order
+	// (deterministic). It grows as values gain live state and is rebuilt
+	// on Cleanup/reset, so Evaluate does not re-derive the set from maps
+	// on every incoming message (the hot path, DESIGN.md §5).
+	actVals []protocol.Value
+	actSet  map[protocol.Value]bool
+
 	onIAccept IAcceptFn
 }
 
@@ -87,8 +94,46 @@ func New(rt protocol.Runtime, g protocol.NodeID, onIAccept IAcceptFn) *Instance 
 		lineL4:      make(map[protocol.Value]simtime.Local),
 		lineM4:      make(map[protocol.Value]simtime.Local),
 		lineN4:      make(map[protocol.Value]simtime.Local),
+		actSet:      make(map[protocol.Value]bool),
 		onIAccept:   onIAccept,
 	}
+}
+
+// noteValue marks m live for the fixed-point evaluator.
+func (ia *Instance) noteValue(m protocol.Value) {
+	if !ia.actSet[m] {
+		ia.actSet[m] = true
+		ia.actVals = append(ia.actVals, m)
+	}
+}
+
+// rebuildActive recomputes the live-value list from current state
+// (pending invocations, logged receptions, ready flags), keeping
+// first-seen order for survivors.
+func (ia *Instance) rebuildActive() {
+	for m := range ia.actSet {
+		delete(ia.actSet, m)
+	}
+	live := ia.actVals[:0]
+	keep := func(m protocol.Value) {
+		if !ia.actSet[m] {
+			ia.actSet[m] = true
+			live = append(live, m)
+		}
+	}
+	for _, m := range ia.actVals {
+		if _, ok := ia.pending[m]; ok {
+			keep(m)
+			continue
+		}
+		if _, ok := ia.ready[m]; ok {
+			keep(m)
+		}
+	}
+	ia.log.ForEachKey(func(k msglog.Key) { keep(k.M) })
+	// Pending/ready values not in the old list cannot exist (every path
+	// that adds one calls noteValue), so the rebuilt list is complete.
+	ia.actVals = live
 }
 
 // General returns the General this instance tracks.
@@ -190,6 +235,7 @@ func (ia *Instance) Invoke(m protocol.Value, now simtime.Local) {
 		return
 	}
 	ia.pending[m] = now
+	ia.noteValue(m)
 	// Retry Block K shortly in case a condition (e.g. "sent support in the
 	// last d") clears within the allowance.
 	ia.rt.After(ia.d(), protocol.TimerTag{Name: TagRetry, G: ia.g, M: m})
@@ -231,15 +277,18 @@ func (ia *Instance) OnMessage(from protocol.NodeID, m protocol.Message) {
 	if ia.ignored(m.M, now) {
 		return
 	}
+	ia.noteValue(m.M)
 	ia.log.Record(msglog.KeyOf(m), from, now)
 	ia.Evaluate(now)
 }
 
-// Evaluate runs all enabled lines to a fixed point at local time now.
+// Evaluate runs all enabled lines to a fixed point at local time now. The
+// iteration set is the maintained live-value list (noteValue), so a quiet
+// re-evaluation allocates nothing.
 func (ia *Instance) Evaluate(now simtime.Local) {
 	for iter := 0; iter < 8; iter++ {
 		changed := false
-		for _, m := range ia.activeValues() {
+		for _, m := range ia.actVals {
 			if ia.tryK(m, now) {
 				changed = true
 			}
@@ -257,28 +306,6 @@ func (ia *Instance) Evaluate(now simtime.Local) {
 			return
 		}
 	}
-}
-
-// activeValues enumerates the values with any live state.
-func (ia *Instance) activeValues() []protocol.Value {
-	seen := make(map[protocol.Value]bool)
-	var out []protocol.Value
-	add := func(m protocol.Value) {
-		if !seen[m] {
-			seen[m] = true
-			out = append(out, m)
-		}
-	}
-	for m := range ia.pending {
-		add(m)
-	}
-	for _, k := range ia.log.Keys() {
-		add(k.M)
-	}
-	for m := range ia.ready {
-		add(m)
-	}
-	return out
 }
 
 // tryK evaluates Block K for a pending invocation of value m.
@@ -474,6 +501,7 @@ func (ia *Instance) Cleanup(now simtime.Local) {
 			delete(ia.pending, m)
 		}
 	}
+	ia.rebuildActive()
 }
 
 // ResetAcceptState clears the acceptance machinery 3d after the agreement
@@ -489,12 +517,16 @@ func (ia *Instance) ResetAcceptState() {
 	ia.sent = make(map[sentKey]simtime.Local)
 	ia.pending = make(map[protocol.Value]simtime.Local)
 	ia.hasSupportAny = false
+	ia.rebuildActive()
 }
 
 // ClearMessages drops received messages only. A correct General calls it
 // on itself before initiating ("the General removes from its memory all
 // previously received messages associated with any previous invocation").
-func (ia *Instance) ClearMessages() { ia.log.Clear() }
+func (ia *Instance) ClearMessages() {
+	ia.log.Clear()
+	ia.rebuildActive()
+}
 
 // LineTimes reports when lines L4, M4, N4 last completed for value m, for
 // the General's IG3 failure detection. Zero times with false mean never.

@@ -16,7 +16,7 @@ func populate(l *Log, senders, waves int) {
 	}
 }
 
-func BenchmarkRecord(b *testing.B) {
+func BenchmarkMsglogRecord(b *testing.B) {
 	l := New(0)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -24,7 +24,7 @@ func BenchmarkRecord(b *testing.B) {
 	}
 }
 
-func BenchmarkCountWithin(b *testing.B) {
+func BenchmarkMsglogCountWithin(b *testing.B) {
 	l := New(0)
 	populate(l, 31, 4)
 	b.ReportAllocs()
@@ -34,7 +34,7 @@ func BenchmarkCountWithin(b *testing.B) {
 	}
 }
 
-func BenchmarkKthNewest(b *testing.B) {
+func BenchmarkMsglogKthNewest(b *testing.B) {
 	l := New(0)
 	populate(l, 31, 4)
 	b.ReportAllocs()
@@ -44,7 +44,7 @@ func BenchmarkKthNewest(b *testing.B) {
 	}
 }
 
-func BenchmarkCountWithinWrapped(b *testing.B) {
+func BenchmarkMsglogCountWithinWrapped(b *testing.B) {
 	l := New(1 << 30)
 	populate(l, 31, 4)
 	b.ReportAllocs()
@@ -54,7 +54,7 @@ func BenchmarkCountWithinWrapped(b *testing.B) {
 	}
 }
 
-func BenchmarkDecay(b *testing.B) {
+func BenchmarkMsglogDecay(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()

@@ -8,11 +8,31 @@
 // X from ≥ c distinct nodes in the interval [τq − α, τq]". Records with
 // timestamps in the future (possible only as transient-fault residue) are
 // "clearly wrong" and are ignored by window queries and removed by decay.
+//
+// Layout. Each key holds one record per distinct sender (the latest
+// reception), kept in a slice sorted oldest→newest by wrap-aware reception
+// time, plus a sender index for O(1) duplicate replacement. Window queries
+// are two binary searches over the sorted slice — O(log s) for s senders,
+// with no allocation — because counting distinct senders in [now−α, now]
+// is exactly counting records in that age range. Keys iterate in first-
+// recording order, so enumeration is deterministic (maps are not).
+//
+// Wrapped clocks. Sortedness is maintained with the same WrapSub
+// arithmetic the queries use, so results are exact whenever the live
+// records of a key span less than wrap/2 — the paper's own premise ("the
+// local time wrap around is larger than a constant factor of the maximal
+// interval of time need to be measured"), guaranteed in steady state by
+// decay at Δrmv ≪ wrap. Arbitrary transient residue can violate that
+// span until the first decay sweep; during that interval the slice may
+// not be age-sorted and windowed counts can be inexact in either
+// direction (never exceeding the number of distinct senders — each is
+// recorded once). That is within the self-stabilization model: a
+// transiently corrupted node may behave arbitrarily until cleanup, and
+// DecayOlderThan removes the out-of-span records and re-sorts the
+// survivors, restoring exactness.
 package msglog
 
 import (
-	"sort"
-
 	"ssbyz/internal/protocol"
 	"ssbyz/internal/simtime"
 )
@@ -37,28 +57,134 @@ func KeyOf(m protocol.Message) Key {
 	}
 }
 
+// rec is one reception record: the latest local receive time of one
+// distinct sender.
+type rec struct {
+	at     simtime.Local
+	sender protocol.NodeID
+}
+
+// keyLog holds one key's records, sorted oldest→newest (wrap-aware).
+type keyLog struct {
+	recs     []rec
+	bySender map[protocol.NodeID]simtime.Local
+}
+
 // Log stores reception records. The zero value is not usable; use New.
 type Log struct {
 	wrap simtime.Duration
-	recs map[Key]map[protocol.NodeID]simtime.Local
+	recs map[Key]*keyLog
+	// order lists live keys in first-recording order, making Keys and
+	// ForEachKey deterministic.
+	order []Key
+	total int
+	// gen invalidates Handles whenever a key's records are dropped
+	// wholesale (Clear, decay-to-empty, RemoveMatching).
+	gen uint64
+}
+
+// Handle is a cached resolution of one key, letting a caller that queries
+// the same key repeatedly (the fixed-point evaluators) skip the hash of
+// the full Key struct on every operation. A Handle belongs to the Log
+// that the caller uses it with; the zero-ish value from NewHandle is
+// valid and resolves lazily.
+type Handle struct {
+	key Key
+	kl  *keyLog
+	gen uint64
+}
+
+// NewHandle returns an unresolved handle for key.
+func (l *Log) NewHandle(key Key) Handle { return Handle{key: key} }
+
+// resolve returns the key's records, consulting the cache first. With
+// create it installs an empty keyLog (Record path); otherwise it returns
+// nil when the key has none. Key deletions bump l.gen, so a stale pointer
+// is never used after its keyLog left the map.
+func (l *Log) resolve(h *Handle, create bool) *keyLog {
+	if h.kl != nil && h.gen == l.gen {
+		return h.kl
+	}
+	kl, ok := l.recs[h.key]
+	if !ok {
+		if !create {
+			return nil
+		}
+		kl = &keyLog{bySender: make(map[protocol.NodeID]simtime.Local)}
+		l.recs[h.key] = kl
+		l.order = append(l.order, h.key)
+	}
+	h.kl, h.gen = kl, l.gen
+	return kl
+}
+
+// RecordVia is Record through a cached handle.
+func (l *Log) RecordVia(h *Handle, sender protocol.NodeID, now simtime.Local) {
+	l.record(l.resolve(h, true), sender, now)
+}
+
+// CountWithinVia is CountWithin through a cached handle.
+func (l *Log) CountWithinVia(h *Handle, width simtime.Duration, now simtime.Local) int {
+	kl := l.resolve(h, false)
+	if kl == nil {
+		return 0
+	}
+	return kl.firstFuture(now, l.wrap) - kl.firstWithin(width, now, l.wrap)
+}
+
+// HasVia is Has through a cached handle.
+func (l *Log) HasVia(h *Handle, sender protocol.NodeID) bool {
+	kl := l.resolve(h, false)
+	if kl == nil {
+		return false
+	}
+	_, ok := kl.bySender[sender]
+	return ok
 }
 
 // New returns an empty log whose window arithmetic honors the given
 // local-clock wrap modulus (0 disables wrapping).
 func New(wrap simtime.Duration) *Log {
-	return &Log{wrap: wrap, recs: make(map[Key]map[protocol.NodeID]simtime.Local)}
+	return &Log{wrap: wrap, recs: make(map[Key]*keyLog)}
 }
 
 // Record notes that sender's message for key was received at local time
 // now. Repeated messages from the same sender keep only the latest
 // reception ("multiple messages sent by an individual node are ignored").
 func (l *Log) Record(key Key, sender protocol.NodeID, now simtime.Local) {
-	m, ok := l.recs[key]
-	if !ok {
-		m = make(map[protocol.NodeID]simtime.Local)
-		l.recs[key] = m
+	h := Handle{key: key}
+	l.record(l.resolve(&h, true), sender, now)
+}
+
+// record inserts (sender, now) into kl, replacing the sender's previous
+// record if any.
+func (l *Log) record(kl *keyLog, sender protocol.NodeID, now simtime.Local) {
+	if old, dup := kl.bySender[sender]; dup {
+		kl.removeRec(old, sender)
+		l.total--
 	}
-	m[sender] = now
+	kl.bySender[sender] = now
+	l.total++
+	// Insert in sorted position. Records arrive in (nearly) nondecreasing
+	// local time, so the scan from the newest end is O(1) amortized.
+	i := len(kl.recs)
+	kl.recs = append(kl.recs, rec{})
+	for i > 0 && simtime.WrapSub(kl.recs[i-1].at, now, l.wrap) > 0 {
+		kl.recs[i] = kl.recs[i-1]
+		i--
+	}
+	kl.recs[i] = rec{at: now, sender: sender}
+}
+
+// removeRec deletes the record (at, sender) from the slice.
+func (kl *keyLog) removeRec(at simtime.Local, sender protocol.NodeID) {
+	for i := len(kl.recs) - 1; i >= 0; i-- {
+		if kl.recs[i].sender == sender && kl.recs[i].at == at {
+			copy(kl.recs[i:], kl.recs[i+1:])
+			kl.recs = kl.recs[:len(kl.recs)-1]
+			return
+		}
+	}
 }
 
 // InjectRaw inserts an arbitrary record, bypassing invariants. It exists
@@ -70,35 +196,57 @@ func (l *Log) InjectRaw(key Key, sender protocol.NodeID, at simtime.Local) {
 
 // Has reports whether a record from sender exists for key.
 func (l *Log) Has(key Key, sender protocol.NodeID) bool {
-	_, ok := l.recs[key][sender]
+	kl, ok := l.recs[key]
+	if !ok {
+		return false
+	}
+	_, ok = kl.bySender[sender]
 	return ok
+}
+
+// firstWithin returns the index of the first record with age ≤ width at
+// local time now. Ages are nonincreasing along the sorted slice, so the
+// predicate is monotone and a binary search applies.
+func (kl *keyLog) firstWithin(width simtime.Duration, now simtime.Local, wrap simtime.Duration) int {
+	lo, hi := 0, len(kl.recs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if simtime.WrapSub(now, kl.recs[mid].at, wrap) <= width {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// firstFuture returns the index of the first future-stamped record (age
+// < 0) at local time now; records at and beyond it are ignored by every
+// query ("clearly wrong").
+func (kl *keyLog) firstFuture(now simtime.Local, wrap simtime.Duration) int {
+	return kl.firstWithin(-1, now, wrap)
 }
 
 // CountWithin returns the number of distinct senders whose latest record
 // for key lies in the window [now−width, now]. Future-stamped records are
-// not counted.
+// not counted. Cost: O(log s), allocation-free.
 func (l *Log) CountWithin(key Key, width simtime.Duration, now simtime.Local) int {
-	n := 0
-	for _, at := range l.recs[key] {
-		age := simtime.WrapSub(now, at, l.wrap)
-		if age >= 0 && age <= width {
-			n++
-		}
+	kl, ok := l.recs[key]
+	if !ok {
+		return 0
 	}
-	return n
+	return kl.firstFuture(now, l.wrap) - kl.firstWithin(width, now, l.wrap)
 }
 
 // CountAll returns the number of distinct senders recorded for key with a
 // non-future timestamp, regardless of age (Block N of Initiator-Accept is
 // untimed; staleness is handled by decay).
 func (l *Log) CountAll(key Key, now simtime.Local) int {
-	n := 0
-	for _, at := range l.recs[key] {
-		if simtime.WrapSub(now, at, l.wrap) >= 0 {
-			n++
-		}
+	kl, ok := l.recs[key]
+	if !ok {
+		return 0
 	}
-	return n
+	return kl.firstFuture(now, l.wrap)
 }
 
 // KthNewest returns the reception time of the k-th most recent distinct
@@ -107,80 +255,130 @@ func (l *Log) CountAll(key Key, now simtime.Local) int {
 //
 // It drives the shortest-interval condition of Line L1: the minimal α such
 // that [now−α, now] contains ≥ c distinct senders is now − KthNewest(c).
+// Cost: O(log s), allocation-free.
 func (l *Log) KthNewest(key Key, k int, now simtime.Local) (simtime.Local, bool) {
 	if k <= 0 {
 		return 0, false
 	}
-	ages := make([]simtime.Duration, 0, len(l.recs[key]))
-	for _, at := range l.recs[key] {
-		age := simtime.WrapSub(now, at, l.wrap)
-		if age >= 0 {
-			ages = append(ages, age)
-		}
-	}
-	if len(ages) < k {
+	kl, ok := l.recs[key]
+	if !ok {
 		return 0, false
 	}
-	sort.Slice(ages, func(i, j int) bool { return ages[i] < ages[j] })
-	return simtime.WrapAdd(now, -ages[k-1], l.wrap), true
+	j := kl.firstFuture(now, l.wrap)
+	if j < k {
+		return 0, false
+	}
+	return kl.recs[j-k].at, true
 }
 
-// Senders returns the distinct senders recorded for key in unspecified
-// order.
+// Senders returns the distinct senders recorded for key, oldest reception
+// first (deterministic order).
 func (l *Log) Senders(key Key) []protocol.NodeID {
-	out := make([]protocol.NodeID, 0, len(l.recs[key]))
-	for id := range l.recs[key] {
-		out = append(out, id)
+	kl, ok := l.recs[key]
+	if !ok {
+		return nil
+	}
+	out := make([]protocol.NodeID, len(kl.recs))
+	for i, r := range kl.recs {
+		out[i] = r.sender
 	}
 	return out
 }
 
 // DecayOlderThan removes every record whose age exceeds maxAge, as well as
 // future-stamped records (clearly wrong per the paper). It implements the
-// cleanup rules ("Remove any value or message that is older than Δrmv").
+// cleanup rules ("Remove any value or message that is older than Δrmv")
+// and, as a side effect, restores exact sortedness after transient residue
+// (all survivors fit one wrap/2 span relative to now).
 func (l *Log) DecayOlderThan(maxAge simtime.Duration, now simtime.Local) {
-	for key, m := range l.recs {
-		for sender, at := range m {
-			age := simtime.WrapSub(now, at, l.wrap)
+	removedKey := false
+	for key, kl := range l.recs {
+		kept := kl.recs[:0]
+		for _, r := range kl.recs {
+			age := simtime.WrapSub(now, r.at, l.wrap)
 			if age < 0 || age > maxAge {
-				delete(m, sender)
+				delete(kl.bySender, r.sender)
+				l.total--
+				continue
 			}
+			kept = append(kept, r)
 		}
-		if len(m) == 0 {
+		kl.recs = kept
+		// Insertion sort by age: survivors are nearly sorted already, and
+		// re-sorting here is what repairs any ordering damage done by
+		// wrap-anomalous residue.
+		for i := 1; i < len(kl.recs); i++ {
+			r := kl.recs[i]
+			j := i
+			for j > 0 && simtime.WrapSub(now, kl.recs[j-1].at, l.wrap) < simtime.WrapSub(now, r.at, l.wrap) {
+				kl.recs[j] = kl.recs[j-1]
+				j--
+			}
+			kl.recs[j] = r
+		}
+		if len(kl.recs) == 0 {
 			delete(l.recs, key)
+			removedKey = true
 		}
+	}
+	if removedKey {
+		l.gen++
+		l.compactOrder()
 	}
 }
 
 // RemoveMatching deletes all records whose key satisfies pred. Line N4
 // uses it to "remove all (G,m) messages".
 func (l *Log) RemoveMatching(pred func(Key) bool) {
-	for key := range l.recs {
+	removed := false
+	for key, kl := range l.recs {
 		if pred(key) {
+			l.total -= len(kl.recs)
 			delete(l.recs, key)
+			removed = true
 		}
+	}
+	if removed {
+		l.gen++
+		l.compactOrder()
 	}
 }
 
-// Keys returns the keys currently holding at least one record.
-func (l *Log) Keys() []Key {
-	out := make([]Key, 0, len(l.recs))
-	for k := range l.recs {
-		out = append(out, k)
+// compactOrder drops keys no longer present from the iteration order.
+func (l *Log) compactOrder() {
+	kept := l.order[:0]
+	for _, k := range l.order {
+		if _, ok := l.recs[k]; ok {
+			kept = append(kept, k)
+		}
 	}
+	l.order = kept
+}
+
+// Keys returns the keys currently holding at least one record, in
+// first-recording order.
+func (l *Log) Keys() []Key {
+	out := make([]Key, len(l.order))
+	copy(out, l.order)
 	return out
 }
 
-// Len returns the total number of records across all keys.
-func (l *Log) Len() int {
-	n := 0
-	for _, m := range l.recs {
-		n += len(m)
+// ForEachKey calls fn for every key currently holding at least one record,
+// in first-recording order, without allocating. fn must not mutate the
+// log.
+func (l *Log) ForEachKey(fn func(Key)) {
+	for _, k := range l.order {
+		fn(k)
 	}
-	return n
 }
+
+// Len returns the total number of records across all keys.
+func (l *Log) Len() int { return l.total }
 
 // Clear removes everything (used when an instance resets).
 func (l *Log) Clear() {
-	l.recs = make(map[Key]map[protocol.NodeID]simtime.Local)
+	l.recs = make(map[Key]*keyLog)
+	l.order = l.order[:0]
+	l.total = 0
+	l.gen++
 }

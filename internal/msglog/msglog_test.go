@@ -246,6 +246,225 @@ func TestCountNeverExceedsDistinctSenders(t *testing.T) {
 	}
 }
 
+// TestWrappedKthNewestAcrossZero: shortest-interval queries stay exact
+// when the window of interest straddles the wrap point and includes
+// several senders on both sides of it.
+func TestWrappedKthNewestAcrossZero(t *testing.T) {
+	const wrap = 1000
+	l := New(wrap)
+	l.Record(supKey, 1, 970) // oldest, before the wrap
+	l.Record(supKey, 2, 990) // before the wrap
+	l.Record(supKey, 3, 10)  // after the wrap
+	l.Record(supKey, 4, 20)  // newest
+	now := simtime.Local(30)
+	wants := []struct {
+		k    int
+		want simtime.Local
+	}{{1, 20}, {2, 10}, {3, 990}, {4, 970}}
+	for _, tc := range wants {
+		got, ok := l.KthNewest(supKey, tc.k, now)
+		if !ok || got != tc.want {
+			t.Errorf("KthNewest(%d) = (%d,%v), want (%d,true)", tc.k, got, ok, tc.want)
+		}
+	}
+	if _, ok := l.KthNewest(supKey, 5, now); ok {
+		t.Error("KthNewest(5) found a fifth sender")
+	}
+	if got := l.CountWithin(supKey, 45, now); got != 3 {
+		t.Errorf("CountWithin(45) across the wrap = %d, want 3", got)
+	}
+}
+
+// TestWrappedFutureResidueIgnored: transient residue stamped "ahead" of
+// the local clock (in wrap terms) must be invisible to every window query
+// and to KthNewest, exactly as with a non-wrapping clock.
+func TestWrappedFutureResidueIgnored(t *testing.T) {
+	const wrap = 1 << 20
+	l := New(wrap)
+	now := simtime.Local(5000)
+	l.Record(supKey, 1, 4900)                          // legitimate
+	l.InjectRaw(supKey, 2, now+200)                    // near future
+	l.InjectRaw(supKey, 3, simtime.Local(wrap/2+4000)) // far side of the circle
+	if got := l.CountWithin(supKey, wrap/2-1, now); got != 1 {
+		t.Errorf("CountWithin counted future residue: %d, want 1", got)
+	}
+	if got := l.CountAll(supKey, now); got != 1 {
+		t.Errorf("CountAll counted future residue: %d, want 1", got)
+	}
+	if at, ok := l.KthNewest(supKey, 1, now); !ok || at != 4900 {
+		t.Errorf("KthNewest(1) = (%d,%v), want (4900,true)", at, ok)
+	}
+	if _, ok := l.KthNewest(supKey, 2, now); ok {
+		t.Error("KthNewest(2) reached into future residue")
+	}
+	// Decay removes the clearly-wrong records and keeps the fresh one.
+	l.DecayOlderThan(1000, now)
+	if l.Has(supKey, 2) || l.Has(supKey, 3) {
+		t.Error("future residue survived decay")
+	}
+	if !l.Has(supKey, 1) {
+		t.Error("legitimate record removed by decay")
+	}
+}
+
+// TestDecayWrappedAgedRecords: decay measures age through the wrap, so a
+// record written just before the wrap point is still "recent" right after
+// it, while genuinely old records go.
+func TestDecayWrappedAgedRecords(t *testing.T) {
+	const wrap = 1000
+	l := New(wrap)
+	l.Record(supKey, 1, 600) // age 405 at now=5 → decayed
+	l.Record(supKey, 2, 980) // age 25 at now=5 → kept
+	l.DecayOlderThan(100, 5)
+	if l.Has(supKey, 1) {
+		t.Error("aged wrapped record survived decay")
+	}
+	if !l.Has(supKey, 2) {
+		t.Error("recent wrapped record removed by decay")
+	}
+	if got := l.Len(); got != 1 {
+		t.Errorf("Len after decay = %d, want 1", got)
+	}
+}
+
+// TestRecordReplaceOutOfOrder: a sender's latest reception wins even when
+// receptions arrive out of timestamp order (InjectRaw residue), and the
+// replaced record never resurfaces in queries.
+func TestRecordReplaceOutOfOrder(t *testing.T) {
+	l := New(0)
+	l.Record(supKey, 1, 500)
+	l.Record(supKey, 2, 300)
+	l.Record(supKey, 1, 100) // same sender, earlier stamp: still replaces
+	if got := l.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	if got := l.CountWithin(supKey, 1000, 600); got != 2 {
+		t.Errorf("CountWithin = %d, want 2", got)
+	}
+	if at, ok := l.KthNewest(supKey, 2, 600); !ok || at != 100 {
+		t.Errorf("KthNewest(2) = (%d,%v), want (100,true)", at, ok)
+	}
+	if got := l.CountWithin(supKey, 150, 600); got != 0 {
+		t.Errorf("replaced record at 500 still visible: count %d", got)
+	}
+}
+
+// TestKeysDeterministicOrder: keys enumerate in first-recording order
+// (maps would be random), which downstream fixed-point evaluators rely on
+// for reproducible message emission order.
+func TestKeysDeterministicOrder(t *testing.T) {
+	l := New(0)
+	keys := []Key{
+		{Kind: protocol.Support, G: 0, M: "c"},
+		{Kind: protocol.Support, G: 0, M: "a"},
+		{Kind: protocol.Approve, G: 0, M: "b"},
+	}
+	for i, k := range keys {
+		l.Record(k, protocol.NodeID(i), simtime.Local(10*i))
+	}
+	got := l.Keys()
+	if len(got) != len(keys) {
+		t.Fatalf("Keys = %v, want %d entries", got, len(keys))
+	}
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("Keys order = %v, want %v", got, keys)
+		}
+	}
+	var walked []Key
+	l.ForEachKey(func(k Key) { walked = append(walked, k) })
+	for i := range keys {
+		if walked[i] != keys[i] {
+			t.Fatalf("ForEachKey order = %v, want %v", walked, keys)
+		}
+	}
+	l.RemoveMatching(func(k Key) bool { return k.M == "c" })
+	got = l.Keys()
+	if len(got) != 2 || got[0] != keys[1] || got[1] != keys[2] {
+		t.Fatalf("Keys after RemoveMatching = %v, want [a b]", got)
+	}
+}
+
+// refLog is the naive map-based reference model of the log semantics: one
+// latest record per sender, ages via WrapSub.
+type refLog map[protocol.NodeID]simtime.Local
+
+func (r refLog) countWithin(width simtime.Duration, now simtime.Local, wrap simtime.Duration) int {
+	n := 0
+	for _, at := range r {
+		age := simtime.WrapSub(now, at, wrap)
+		if age >= 0 && age <= width {
+			n++
+		}
+	}
+	return n
+}
+
+// TestDifferentialVsReference drives the sorted-slice implementation and
+// the reference model with the same pseudo-random schedule of records,
+// decays, and queries, and requires identical answers throughout. The
+// schedule keeps live timestamps within wrap/2 of the query instant — the
+// regime in which the log contracts exactness (the paper's wrap premise).
+func TestDifferentialVsReference(t *testing.T) {
+	const wrap = 1 << 16
+	l := New(wrap)
+	ref := refLog{}
+	x := int64(42)
+	next := func(mod int64) int64 {
+		x = (x*6364136223846793005 + 1442695040888963407) & (1<<62 - 1)
+		return x % mod
+	}
+	now := simtime.Local(0)
+	for step := 0; step < 5000; step++ {
+		now = simtime.WrapAdd(now, simtime.Duration(next(50)), wrap)
+		switch next(10) {
+		case 0, 1, 2, 3, 4, 5: // record, slightly jittered into the past
+			sender := protocol.NodeID(next(40))
+			at := simtime.WrapAdd(now, -simtime.Duration(next(2000)), wrap)
+			l.Record(supKey, sender, at)
+			ref[sender] = at
+		case 6, 7: // window queries
+			width := simtime.Duration(next(4000))
+			if got, want := l.CountWithin(supKey, width, now), ref.countWithin(width, now, wrap); got != want {
+				t.Fatalf("step %d: CountWithin(%d)@%d = %d, want %d", step, width, now, got, want)
+			}
+			if got, want := l.CountAll(supKey, now), ref.countWithin(1<<30, now, wrap); got != want {
+				t.Fatalf("step %d: CountAll@%d = %d, want %d", step, now, got, want)
+			}
+		case 8: // k-th newest vs reference minimal window
+			k := int(next(10)) + 1
+			at, ok := l.KthNewest(supKey, k, now)
+			nonFuture := ref.countWithin(1<<30, now, wrap)
+			if ok != (nonFuture >= k) {
+				t.Fatalf("step %d: KthNewest(%d) ok=%v with %d senders", step, k, ok, nonFuture)
+			}
+			if ok {
+				alpha := simtime.WrapSub(now, at, wrap)
+				if got := ref.countWithin(alpha, now, wrap); got < k {
+					t.Fatalf("step %d: window α=%d holds %d < k=%d", step, alpha, got, k)
+				}
+				if alpha > 0 {
+					if got := ref.countWithin(alpha-1, now, wrap); got >= k {
+						t.Fatalf("step %d: α=%d not minimal (%d ≥ k=%d at α−1)", step, alpha, got, k)
+					}
+				}
+			}
+		case 9: // decay
+			maxAge := simtime.Duration(next(3000))
+			l.DecayOlderThan(maxAge, now)
+			for sender, at := range ref {
+				age := simtime.WrapSub(now, at, wrap)
+				if age < 0 || age > maxAge {
+					delete(ref, sender)
+				}
+			}
+			if got := l.Len(); got != len(ref) {
+				t.Fatalf("step %d: Len after decay = %d, want %d", step, got, len(ref))
+			}
+		}
+	}
+}
+
 // TestWindowMonotonicProperty: widening the window never lowers the count.
 func TestWindowMonotonicProperty(t *testing.T) {
 	f := func(events []struct {

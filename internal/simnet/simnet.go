@@ -49,15 +49,40 @@ type World struct {
 	nodes []protocol.Node
 	rts   []*nodeRT
 
-	// counts tracks sent messages per kind for the complexity experiment.
-	counts map[protocol.MsgKind]int64
+	// counts tracks sent messages per kind for the complexity experiment
+	// (indexed by MsgKind: a map hash per sent message is hot-path cost).
+	counts [protocol.BaselineRound + 1]int64
 	total  int64
 
 	// dropFn, when set, silently discards matching messages (used to model
 	// the tail of an incoherent period and targeted partitions).
 	dropFn func(from, to protocol.NodeID, m protocol.Message) bool
 
+	// delPool recycles delivery events so that scheduling one in-flight
+	// message performs zero heap allocations (DESIGN.md §5).
+	delPool []*delivery
+
 	started bool
+}
+
+// delivery is one in-flight message: a pooled simtime.Handler, so the
+// delivery hot path allocates neither a closure nor a scheduler entry.
+type delivery struct {
+	w  *World
+	to protocol.NodeID
+	m  protocol.Message
+}
+
+// RunEvent delivers the message. The delivery object returns itself to
+// the pool before dispatching, so nodes that send while handling a message
+// (the message-driven rounds) can reuse it immediately.
+func (d *delivery) RunEvent() {
+	w, to, m := d.w, d.to, d.m
+	*d = delivery{}
+	w.delPool = append(w.delPool, d)
+	if n := w.nodes[to]; n != nil {
+		n.OnMessage(m.From, m)
+	}
 }
 
 // New builds a world. Nodes must be attached with SetNode before Start.
@@ -75,13 +100,12 @@ func New(cfg Config) (*World, error) {
 		return nil, fmt.Errorf("simnet: DelayMax %d exceeds d=%d", cfg.DelayMax, cfg.Params.D)
 	}
 	w := &World{
-		cfg:    cfg,
-		sch:    simtime.NewScheduler(),
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		rec:    protocol.NewRecorder(),
-		nodes:  make([]protocol.Node, cfg.Params.N),
-		rts:    make([]*nodeRT, cfg.Params.N),
-		counts: make(map[protocol.MsgKind]int64),
+		cfg:   cfg,
+		sch:   simtime.NewScheduler(),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		rec:   protocol.NewRecorder(),
+		nodes: make([]protocol.Node, cfg.Params.N),
+		rts:   make([]*nodeRT, cfg.Params.N),
 	}
 	for i := 0; i < cfg.Params.N; i++ {
 		var clk simtime.Clock
@@ -137,9 +161,11 @@ func (w *World) SetDropFn(fn func(from, to protocol.NodeID, m protocol.Message) 
 
 // MessageCount returns the total messages sent and a per-kind breakdown.
 func (w *World) MessageCount() (int64, map[protocol.MsgKind]int64) {
-	out := make(map[protocol.MsgKind]int64, len(w.counts))
+	out := make(map[protocol.MsgKind]int64)
 	for k, v := range w.counts {
-		out[k] = v
+		if v != 0 {
+			out[protocol.MsgKind(k)] = v
+		}
 	}
 	return w.total, out
 }
@@ -186,19 +212,26 @@ func (w *World) clampDelay(d simtime.Duration) simtime.Duration {
 	return d
 }
 
-// deliver schedules the arrival of m at to, after delay.
+// deliver schedules the arrival of m at to, after delay. Deliveries are
+// uncancellable pooled events: no allocation, no scheduler bookkeeping.
 func (w *World) deliver(from, to protocol.NodeID, m protocol.Message, delay simtime.Duration) {
 	w.total++
-	w.counts[m.Kind]++
+	if int(m.Kind) < len(w.counts) {
+		w.counts[m.Kind]++
+	}
 	if w.dropFn != nil && w.dropFn(from, to, m) {
 		return
 	}
 	m.From = from // authenticated identity: stamped by the transport
-	w.sch.After(delay, func() {
-		if n := w.nodes[to]; n != nil {
-			n.OnMessage(from, m)
-		}
-	})
+	var d *delivery
+	if n := len(w.delPool); n > 0 {
+		d = w.delPool[n-1]
+		w.delPool = w.delPool[:n-1]
+	} else {
+		d = new(delivery)
+	}
+	*d = delivery{w: w, to: to, m: m}
+	w.sch.PostHandlerAfter(delay, d)
 }
 
 // InjectDelivery schedules a raw message delivery outside the normal send
@@ -206,7 +239,7 @@ func (w *World) deliver(from, to protocol.NodeID, m protocol.Message, delay simt
 // period: spurious messages that arrive right after coherence begins. The
 // claimed sender From must be set by the caller.
 func (w *World) InjectDelivery(to protocol.NodeID, m protocol.Message, at simtime.Real) {
-	w.sch.At(at, func() {
+	w.sch.Post(at, func() {
 		if n := w.nodes[to]; n != nil {
 			n.OnMessage(m.From, m)
 		}

@@ -28,6 +28,51 @@ func BenchmarkSchedulerMixed(b *testing.B) {
 	}
 }
 
+// BenchmarkSchedulerPostStep measures the uncancellable fast path the
+// transport uses for message deliveries: no EventID, no map entry, and no
+// per-event allocation (the heap stores events by value).
+func BenchmarkSchedulerPostStep(b *testing.B) {
+	s := NewScheduler()
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Post(Real(i), fn)
+		s.Step()
+	}
+}
+
+type nopHandler struct{}
+
+func (nopHandler) RunEvent() {}
+
+// BenchmarkSchedulerPostHandlerStep is the handler variant (what pooled
+// deliveries use).
+func BenchmarkSchedulerPostHandlerStep(b *testing.B) {
+	s := NewScheduler()
+	var h nopHandler
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.PostHandler(Real(i), h)
+		s.Step()
+	}
+}
+
+// BenchmarkSchedulerDeepQueue schedules into a standing queue of 4096
+// events — the heap-depth regime of an n=64 committee mid-agreement.
+func BenchmarkSchedulerDeepQueue(b *testing.B) {
+	s := NewScheduler()
+	fn := func() {}
+	for i := 0; i < 4096; i++ {
+		s.Post(Real(i*1000), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Post(s.Now()+Real(500), fn)
+		s.Step()
+	}
+}
+
 func BenchmarkClockReadAt(b *testing.B) {
 	c := DriftClock(12345, 137, 1<<40)
 	b.ReportAllocs()

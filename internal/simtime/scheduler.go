@@ -1,82 +1,143 @@
 package simtime
 
-import "container/heap"
-
-// EventID identifies a scheduled event so that it can be cancelled.
+// EventID identifies a cancellable scheduled event. Uncancellable events
+// (the Post* family) have no ID and cost neither an allocation nor a map
+// entry — they are the bulk of a simulation's events (message deliveries).
 type EventID uint64
 
-// event is one entry in the scheduler's priority queue.
+// Handler is a no-closure event payload: implementations carry their own
+// state and are invoked by RunEvent when the event fires. The simulated
+// transport uses pooled handlers so that scheduling a message delivery
+// performs zero heap allocations.
+type Handler interface {
+	RunEvent()
+}
+
+// event is one scheduled entry. Events are stored by value; seq breaks
+// same-instant ties so events run in schedule order.
 type event struct {
-	at        Real
-	seq       uint64 // tie-break so same-time events run in schedule order
-	id        EventID
-	fn        func()
-	cancelled bool
-	index     int // heap index
+	at  Real
+	seq uint64
+	id  EventID
+	fn  func()
+	h   Handler
 }
 
-// eventHeap implements heap.Interface ordered by (at, seq).
-type eventHeap []*event
+// wheelBits sizes the timing wheel: one bucket per tick over a horizon of
+// 2^wheelBits ticks. The default d is 1000 ticks, so the whole delivery
+// horizon (delays ≤ d) and the short protocol timers (≤ ~13d) fall inside
+// the wheel; only the long Δ-constant timers overflow to the heap.
+const wheelBits = 14
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
+const wheelSize = 1 << wheelBits
+const wheelMask = wheelSize - 1
 
 // Scheduler is a deterministic discrete-event scheduler. Events scheduled
 // for the same instant run in the order they were scheduled. Scheduler is
 // not safe for concurrent use; the discrete-event runtimes drive it from a
 // single goroutine.
+//
+// The queue is a timing wheel (one FIFO bucket per tick over a fixed
+// horizon) with an overflow binary min-heap for events beyond the horizon:
+// O(1) schedule and pop for the near-future events that dominate a network
+// simulation, instead of an O(log E) sift through a heap of every
+// in-flight message. Buckets migrate from the overflow heap exactly when
+// their tick enters the horizon, before any direct insert for that tick
+// can happen, so the (at, seq) execution order is identical to a single
+// global priority queue.
 type Scheduler struct {
-	now    Real
-	heap   eventHeap
-	seq    uint64
+	now Real
+	seq uint64
+
+	// wheel[(base+k) & wheelMask] holds the events for tick base+k,
+	// 0 ≤ k < wheelSize, appended in schedule order. base ≤ now at all
+	// times. cursor indexes the first unconsumed event of bucket base.
+	wheel   [wheelSize][]event
+	base    Real
+	cursor  int
+	inWheel int
+
+	// overflow holds events at ticks ≥ base+wheelSize, ordered by
+	// (at, seq).
+	overflow []event
+
 	nextID EventID
-	byID   map[EventID]*event
+	// live tracks cancellable events only: false = pending, true =
+	// cancelled (lazy deletion; the entry is skipped when reached).
+	live map[EventID]bool
+
+	processed uint64
 }
 
 // NewScheduler returns a scheduler positioned at real time 0.
 func NewScheduler() *Scheduler {
-	return &Scheduler{byID: make(map[EventID]*event)}
+	return &Scheduler{live: make(map[EventID]bool)}
 }
 
 // Now returns the current virtual real time.
 func (s *Scheduler) Now() Real { return s.now }
 
-// At schedules fn to run at real time t. Scheduling in the past (t < Now)
-// runs the event at the current instant (it is clamped to Now), which can
-// only arise from adversarial or transient inputs.
-func (s *Scheduler) At(t Real, fn func()) EventID {
-	if t < s.now {
-		t = s.now
+// Processed returns how many events have run so far. It is a deterministic
+// cost metric: for a fixed scenario and seed the count is identical on
+// every machine, which is what the S1 scaling experiment reports where
+// wall-clock would break run-to-run reproducibility.
+func (s *Scheduler) Processed() uint64 { return s.processed }
+
+// schedule enqueues e, clamping past times to the present (scheduling in
+// the past can only arise from adversarial or transient inputs).
+func (s *Scheduler) schedule(e event) {
+	if e.at < s.now {
+		e.at = s.now
 	}
+	if e.at < s.base {
+		// peek ran the base ahead of the clock hunting for the next event
+		// and a RunUntil deadline stopped execution before reaching it
+		// (base tracks the next event's tick, now the deadline). A new
+		// event in [now, base) needs the wheel rewound, or its bucket
+		// would not be reached until one full wheel period later.
+		s.rewind(e.at)
+	}
+	if e.at < s.base+wheelSize {
+		s.wheel[int(e.at)&wheelMask] = append(s.wheel[int(e.at)&wheelMask], e)
+		s.inWheel++
+		return
+	}
+	s.heapPush(e)
+}
+
+// rewind moves the wheel base back to tick to (now ≤ to < base), used on
+// the rare staged-run pattern where events are scheduled between
+// RunUntil calls at times the base has already swept past. It evacuates
+// every pending wheel event to the overflow heap and re-migrates the
+// ones inside the new horizon, so bucket contents always match the
+// window [base, base+wheelSize). O(wheelSize); never on the hot path.
+func (s *Scheduler) rewind(to Real) {
+	for i := range s.wheel {
+		for _, e := range s.wheel[i] {
+			if e.fn != nil || e.h != nil || e.id != 0 {
+				s.heapPush(e)
+			}
+		}
+		s.wheel[i] = s.wheel[i][:0]
+	}
+	s.inWheel = 0
+	s.cursor = 0
+	s.base = to
+	edge := s.base + wheelSize - 1
+	for len(s.overflow) > 0 && s.overflow[0].at <= edge {
+		e := s.heapPop()
+		s.wheel[int(e.at)&wheelMask] = append(s.wheel[int(e.at)&wheelMask], e)
+		s.inWheel++
+	}
+}
+
+// At schedules fn to run at real time t and returns an ID for Cancel.
+func (s *Scheduler) At(t Real, fn func()) EventID {
 	s.seq++
 	s.nextID++
-	e := &event{at: t, seq: s.seq, id: s.nextID, fn: fn}
-	heap.Push(&s.heap, e)
-	s.byID[e.id] = e
-	return e.id
+	s.live[s.nextID] = false
+	s.schedule(event{at: t, seq: s.seq, id: s.nextID, fn: fn})
+	return s.nextID
 }
 
 // After schedules fn to run dl ticks of real time from now.
@@ -84,47 +145,132 @@ func (s *Scheduler) After(dl Duration, fn func()) EventID {
 	return s.At(s.now.Add(dl), fn)
 }
 
+// Post schedules fn to run at real time t without cancellation support:
+// no ID is assigned and no bookkeeping entry is created. Use it for the
+// fire-and-forget bulk of a simulation's events.
+func (s *Scheduler) Post(t Real, fn func()) {
+	s.seq++
+	s.schedule(event{at: t, seq: s.seq, fn: fn})
+}
+
+// PostAfter is Post at dl ticks from now.
+func (s *Scheduler) PostAfter(dl Duration, fn func()) {
+	s.Post(s.now.Add(dl), fn)
+}
+
+// PostHandler schedules h.RunEvent at real time t without cancellation
+// support and without any allocation in the scheduler (the event is a
+// value in a bucket and h is caller-owned, typically pooled).
+func (s *Scheduler) PostHandler(t Real, h Handler) {
+	s.seq++
+	s.schedule(event{at: t, seq: s.seq, h: h})
+}
+
+// PostHandlerAfter is PostHandler at dl ticks from now.
+func (s *Scheduler) PostHandlerAfter(dl Duration, h Handler) {
+	s.PostHandler(s.now.Add(dl), h)
+}
+
 // Cancel prevents a scheduled event from running. Cancelling an event that
 // already ran or was already cancelled is a no-op.
 func (s *Scheduler) Cancel(id EventID) {
-	if e, ok := s.byID[id]; ok {
-		e.cancelled = true
-		delete(s.byID, id)
+	if cancelled, ok := s.live[id]; ok && !cancelled {
+		s.live[id] = true
 	}
 }
 
 // Pending reports how many events (including cancelled placeholders) are
 // still queued.
-func (s *Scheduler) Pending() int { return len(s.heap) }
+func (s *Scheduler) Pending() int {
+	return s.inWheel - s.cursor + len(s.overflow)
+}
+
+// advance moves the wheel base to the next tick, recycling the drained
+// bucket and migrating overflow events whose tick just entered the
+// horizon. The caller guarantees the current bucket is fully consumed.
+func (s *Scheduler) advance() {
+	b := &s.wheel[int(s.base)&wheelMask]
+	s.inWheel -= len(*b)
+	*b = (*b)[:0]
+	s.cursor = 0
+	s.base++
+	edge := s.base + wheelSize - 1
+	for len(s.overflow) > 0 && s.overflow[0].at <= edge {
+		e := s.heapPop()
+		s.wheel[int(e.at)&wheelMask] = append(s.wheel[int(e.at)&wheelMask], e)
+		s.inWheel++
+	}
+}
+
+// peek positions the scheduler at the next runnable event and returns its
+// time. Cancelled placeholders encountered on the way are consumed without
+// running. It returns false when no events remain.
+func (s *Scheduler) peek() (Real, bool) {
+	for {
+		bucket := s.wheel[int(s.base)&wheelMask]
+		if s.cursor < len(bucket) {
+			e := &bucket[s.cursor]
+			if e.id != 0 && s.live[e.id] {
+				delete(s.live, e.id)
+				*e = event{} // release references
+				s.cursor++
+				continue
+			}
+			return s.base, true
+		}
+		if s.inWheel-s.cursor > 0 {
+			s.advance()
+			continue
+		}
+		if len(s.overflow) == 0 {
+			return 0, false
+		}
+		// The wheel is empty: jump the base straight to the earliest
+		// overflow tick instead of sweeping the gap bucket by bucket.
+		s.inWheel -= len(s.wheel[int(s.base)&wheelMask])
+		s.wheel[int(s.base)&wheelMask] = s.wheel[int(s.base)&wheelMask][:0]
+		s.cursor = 0
+		s.base = s.overflow[0].at
+		edge := s.base + wheelSize - 1
+		for len(s.overflow) > 0 && s.overflow[0].at <= edge {
+			e := s.heapPop()
+			s.wheel[int(e.at)&wheelMask] = append(s.wheel[int(e.at)&wheelMask], e)
+			s.inWheel++
+		}
+	}
+}
 
 // Step runs the next event, advancing virtual time to it. It returns false
 // when no events remain.
 func (s *Scheduler) Step() bool {
-	for len(s.heap) > 0 {
-		e := heap.Pop(&s.heap).(*event)
-		if e.cancelled {
-			continue
-		}
-		delete(s.byID, e.id)
-		s.now = e.at
-		e.fn()
-		return true
+	at, ok := s.peek()
+	if !ok {
+		return false
 	}
-	return false
+	bucket := s.wheel[int(s.base)&wheelMask]
+	e := bucket[s.cursor]
+	bucket[s.cursor] = event{} // release references
+	s.cursor++
+	if e.id != 0 {
+		delete(s.live, e.id)
+	}
+	s.now = at
+	s.processed++
+	if e.fn != nil {
+		e.fn()
+	} else if e.h != nil {
+		e.h.RunEvent()
+	}
+	return true
 }
 
 // RunUntil executes events until virtual time would exceed deadline or no
 // events remain. The clock is left at min(deadline, time of last event).
 // Events scheduled exactly at deadline do run.
 func (s *Scheduler) RunUntil(deadline Real) {
-	for len(s.heap) > 0 {
-		// Peek.
-		next := s.heap[0]
-		if next.cancelled {
-			heap.Pop(&s.heap)
-			continue
-		}
-		if next.at > deadline {
+	for {
+		at, ok := s.peek()
+		if !ok || at > deadline {
 			break
 		}
 		s.Step()
@@ -132,4 +278,51 @@ func (s *Scheduler) RunUntil(deadline Real) {
 	if s.now < deadline {
 		s.now = deadline
 	}
+}
+
+// ---- overflow heap (binary min-heap by (at, seq)) ----
+
+func (s *Scheduler) heapLess(i, j int) bool {
+	if s.overflow[i].at != s.overflow[j].at {
+		return s.overflow[i].at < s.overflow[j].at
+	}
+	return s.overflow[i].seq < s.overflow[j].seq
+}
+
+func (s *Scheduler) heapPush(e event) {
+	s.overflow = append(s.overflow, e)
+	i := len(s.overflow) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.heapLess(i, parent) {
+			break
+		}
+		s.overflow[i], s.overflow[parent] = s.overflow[parent], s.overflow[i]
+		i = parent
+	}
+}
+
+func (s *Scheduler) heapPop() event {
+	top := s.overflow[0]
+	n := len(s.overflow) - 1
+	s.overflow[0] = s.overflow[n]
+	s.overflow[n] = event{}
+	s.overflow = s.overflow[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && s.heapLess(l, smallest) {
+			smallest = l
+		}
+		if r < n && s.heapLess(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s.overflow[i], s.overflow[smallest] = s.overflow[smallest], s.overflow[i]
+		i = smallest
+	}
+	return top
 }

@@ -309,6 +309,130 @@ func TestSchedulerPending(t *testing.T) {
 	}
 }
 
+// TestSchedulerPostInterleavesWithAt: uncancellable Post events share the
+// same (time, schedule-order) total order as cancellable At events.
+func TestSchedulerPostInterleavesWithAt(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	s.At(10, func() { order = append(order, 1) })
+	s.Post(10, func() { order = append(order, 2) }) // same instant: FIFO
+	s.PostAfter(5, func() { order = append(order, 0) })
+	s.At(20, func() { order = append(order, 3) })
+	s.RunUntil(100)
+	want := []int{0, 1, 2, 3}
+	if len(order) != len(want) {
+		t.Fatalf("ran %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("ran %v, want %v", order, want)
+		}
+	}
+}
+
+type recordingHandler struct {
+	fired *[]Real
+	s     *Scheduler
+}
+
+func (h recordingHandler) RunEvent() { *h.fired = append(*h.fired, h.s.Now()) }
+
+// TestSchedulerPostHandler: handler events fire exactly like fn events.
+func TestSchedulerPostHandler(t *testing.T) {
+	s := NewScheduler()
+	var fired []Real
+	h := recordingHandler{fired: &fired, s: s}
+	s.PostHandler(30, h)
+	s.PostHandlerAfter(10, h)
+	s.RunUntil(100)
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 30 {
+		t.Errorf("handler events fired at %v, want [10 30]", fired)
+	}
+}
+
+// TestSchedulerProcessed: the deterministic cost counter counts executed
+// events only — cancelled placeholders are excluded.
+func TestSchedulerProcessed(t *testing.T) {
+	s := NewScheduler()
+	id := s.At(5, func() {})
+	s.At(10, func() {})
+	s.Post(15, func() {})
+	s.Cancel(id)
+	s.RunUntil(100)
+	if got := s.Processed(); got != 2 {
+		t.Errorf("Processed = %d, want 2", got)
+	}
+}
+
+// TestSchedulerCancelBookkeeping: cancellable IDs leave no residue in the
+// live map once run or cancelled, so long simulations don't leak.
+func TestSchedulerCancelBookkeeping(t *testing.T) {
+	s := NewScheduler()
+	id := s.At(5, func() {})
+	s.At(6, func() {})
+	s.Cancel(id)
+	s.RunUntil(10)
+	if len(s.live) != 0 {
+		t.Errorf("live map holds %d entries after drain, want 0", len(s.live))
+	}
+	s.Cancel(id)            // long after it was cancelled: no-op
+	s.Cancel(EventID(9999)) // never issued: no-op
+	if len(s.live) != 0 {
+		t.Errorf("stale Cancel created %d entries", len(s.live))
+	}
+}
+
+// TestSchedulerScheduleBehindBase: the staged-run pattern. A RunUntil
+// deadline can stop execution with the wheel base already swept forward
+// to the next pending event's tick; an event then scheduled between the
+// deadline and that tick must still run at its own time and in order
+// (regression: it used to land in a bucket the base had passed and run
+// one wheel period late, after the later event).
+func TestSchedulerScheduleBehindBase(t *testing.T) {
+	s := NewScheduler()
+	var order []Real
+	note := func() { order = append(order, s.Now()) }
+	s.Post(5000, note)
+	s.RunUntil(1000) // base hunts ahead to 5000; now stays 1000
+	if s.Now() != 1000 {
+		t.Fatalf("Now = %d after RunUntil(1000), want 1000", s.Now())
+	}
+	s.Post(1100, note) // between the deadline and the pending event
+	s.Post(30000, note)
+	s.RunUntil(100000)
+	want := []Real{1100, 5000, 30000}
+	if len(order) != len(want) {
+		t.Fatalf("fired at %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", order, want)
+		}
+	}
+	if s.Now() != 100000 {
+		t.Errorf("Now = %d, want 100000", s.Now())
+	}
+}
+
+// TestSchedulerRewindKeepsCancelSemantics: rewinding the wheel must not
+// resurrect cancelled events nor lose pending cancellable ones.
+func TestSchedulerRewindKeepsCancelSemantics(t *testing.T) {
+	s := NewScheduler()
+	ran := make(map[string]bool)
+	s.At(5000, func() { ran["keep"] = true })
+	id := s.At(5001, func() { ran["cancelled"] = true })
+	s.Cancel(id)
+	s.RunUntil(1000) // sweeps base forward toward 5000
+	s.Post(1100, func() { ran["early"] = true })
+	s.RunUntil(100000)
+	if !ran["early"] || !ran["keep"] || ran["cancelled"] {
+		t.Errorf("ran = %v, want early+keep only", ran)
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending = %d after drain, want 0", s.Pending())
+	}
+}
+
 // TestSchedulerManyEventsSorted: a property-style stress of heap ordering.
 func TestSchedulerManyEventsSorted(t *testing.T) {
 	s := NewScheduler()

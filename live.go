@@ -10,9 +10,12 @@ import (
 	"ssbyz/internal/protocol"
 )
 
-// LiveCluster runs the protocol in real time: one goroutine per node,
-// in-process channels with randomized wall-clock delays. It is the
-// configuration a service embedding the library would start from.
+// LiveCluster runs ss-Byz-Agree in real time: one goroutine per node,
+// in-process channels with randomized wall-clock delays bounded by the
+// paper's d (LiveConfig.D × Tick). It is the configuration a service
+// embedding the library would start from; the message-driven rounds mean
+// agreements complete at actual channel speed, not at the d worst case
+// (the paper's headline claim).
 type LiveCluster struct {
 	c     *livenet.Cluster
 	pp    Params
@@ -20,7 +23,9 @@ type LiveCluster struct {
 	nodes []*core.Node
 }
 
-// LiveConfig describes a live cluster.
+// LiveConfig describes a live cluster: n nodes tolerating f = ⌊(n−1)/3⌋
+// Byzantine faults, with the paper's delivery bound d expressed as D
+// ticks of wall-clock length Tick.
 type LiveConfig struct {
 	// N is the number of nodes (default 4).
 	N int
@@ -33,8 +38,8 @@ type LiveConfig struct {
 	Seed int64
 }
 
-// NewLiveCluster assembles and starts a live cluster of correct nodes.
-// Callers must Stop it.
+// NewLiveCluster assembles and starts a live cluster of correct nodes
+// (validating the paper's n > 3f precondition). Callers must Stop it.
 func NewLiveCluster(cfg LiveConfig) (*LiveCluster, error) {
 	if cfg.N == 0 {
 		cfg.N = 4
@@ -64,14 +69,16 @@ func NewLiveCluster(cfg LiveConfig) (*LiveCluster, error) {
 	return lc, nil
 }
 
-// Params returns the resolved protocol constants.
+// Params returns the resolved protocol constants (n, f, d and the
+// derived Δ bounds of the paper's Section 3).
 func (lc *LiveCluster) Params() Params { return lc.pp }
 
-// Stop shuts down every node goroutine and pending timer.
+// Stop shuts down every node goroutine and pending timer (including the
+// periodic Δrmv decay sweeps).
 func (lc *LiveCluster) Stop() { lc.c.Stop() }
 
-// Initiate asks node g to start agreement on v. The error reflects the
-// sending-validity criteria IG1–IG3.
+// Initiate asks node g to act as the General and start agreement on v.
+// The error reflects the sending-validity criteria IG1–IG3.
 func (lc *LiveCluster) Initiate(g NodeID, v Value) error {
 	errCh := make(chan error, 1)
 	lc.c.DoWait(g, func(n protocol.Node) {
@@ -86,8 +93,10 @@ func (lc *LiveCluster) Initiate(g NodeID, v Value) error {
 }
 
 // Await blocks until every node has returned for General g or the timeout
-// elapses. It returns the unanimous decided value, or an error on abort,
-// split (impossible for a correct build), or timeout.
+// elapses (the paper bounds the return by Δagr past the invocation,
+// Timeliness-3). It returns the unanimous decided value, or an error on
+// abort, value split (a violation of the Agreement property, impossible
+// for a correct build), or timeout.
 func (lc *LiveCluster) Await(g NodeID, timeout time.Duration) (Value, error) {
 	deadline := time.Now().Add(timeout)
 	for {

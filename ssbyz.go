@@ -47,23 +47,30 @@ import (
 // vocabulary so user code can name them while the implementation layers
 // stay internal.
 type (
-	// NodeID identifies a node; IDs are dense in [0, N).
+	// NodeID identifies one of the paper's n nodes (IDs are dense in
+	// [0, N)); at most f of them are Byzantine at steady state.
 	NodeID = protocol.NodeID
-	// Value is an agreement value; the empty string is ⊥.
+	// Value is an agreement value; the empty string is the paper's ⊥
+	// (abort / no decision).
 	Value = protocol.Value
 	// Params carries n, f, d and derives every timing constant (Φ, Δ0,
 	// Δrmv, Δv, Δagr, Δnode, Δreset, Δstb).
 	Params = protocol.Params
-	// Ticks is a duration in simulation ticks (d is typically 1000).
+	// Ticks is a duration in simulation ticks; d — the paper's message
+	// delivery + processing bound — is typically 1000 ticks.
 	Ticks = simtime.Duration
-	// Violation is a failed property check.
+	// Violation is a failed check of one of the paper's proved
+	// properties (Agreement, Validity, Timeliness-1..3, IA-*, TPS-*).
 	Violation = check.Violation
 )
 
 // Bottom is the ⊥ value (abort / no decision).
 const Bottom = protocol.Bottom
 
-// Config describes a cluster.
+// Config describes a cluster under the paper's model: n nodes of which
+// at most F are Byzantine (n > 3f), message delays bounded by D (the
+// paper's d), and actual delays — the δ of the headline claim — drawn
+// from [DelayMin, DelayMax].
 type Config struct {
 	// N is the number of nodes. F defaults to ⌊(N−1)/3⌋ (optimal).
 	N int
@@ -97,15 +104,20 @@ func (c Config) params() (protocol.Params, error) {
 	return pp, nil
 }
 
-// Adversary scripts a faulty node. Construct values with the With*
-// functions; a nil Adversary in WithFaulty marks a crash-faulty node.
+// Adversary scripts a Byzantine node. Construct values with the
+// constructors in adversaries.go; a nil Adversary in WithFaulty marks a
+// crash-faulty node.
 type Adversary = protocol.Node
 
-// Decision is one correct node's return for a General.
+// Decision is one correct node's return for a General: the decided value
+// (or ⊥ on abort), its real and local return times, and the anchor τG
+// the decision is timed against.
 type Decision = sim.Decision
 
-// Simulation is a deterministic world assembled from a Config. Configure
-// (faults, scheduled agreements, transient corruption), then Run.
+// Simulation is a deterministic world realizing the paper's model —
+// bounded message delays, per-node drifting clocks, up to f Byzantine
+// nodes. Configure (faults, scheduled agreements, transient corruption),
+// then Run.
 type Simulation struct {
 	cfg    Config
 	pp     protocol.Params
@@ -113,7 +125,8 @@ type Simulation struct {
 	report *Report
 }
 
-// NewSimulation validates the config and prepares an empty scenario.
+// NewSimulation validates the config (the paper's n > 3f resilience
+// precondition among the checks) and prepares an empty scenario.
 func NewSimulation(cfg Config) (*Simulation, error) {
 	pp, err := cfg.params()
 	if err != nil {
@@ -132,11 +145,13 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 	}, nil
 }
 
-// Params returns the resolved protocol constants.
+// Params returns the resolved protocol constants (n, f, d and the
+// derived Δ bounds of the paper's Section 3).
 func (s *Simulation) Params() Params { return s.pp }
 
-// WithFaulty marks node id faulty, driven by the given adversary (nil for
-// a crashed node). It returns s for chaining.
+// WithFaulty marks node id Byzantine, driven by the given adversary (nil
+// for a crashed node); the scenario may hold at most f = ⌊(n−1)/3⌋ of
+// them. It returns s for chaining.
 func (s *Simulation) WithFaulty(id NodeID, adv Adversary) *Simulation {
 	s.sc.Faulty[id] = adv
 	return s
@@ -162,7 +177,8 @@ func (s *Simulation) ScheduleSlotAgreement(slot int, g NodeID, v Value, at Ticks
 }
 
 // SlotDecisions returns the correct nodes' decide-returns for General g
-// in one concurrent slot, with the slot namespace stripped from values.
+// in one concurrent slot (the paper's footnote-9 extension), with the
+// slot namespace stripped from values.
 func (r *Report) SlotDecisions(g NodeID, slot int) []Decision {
 	var out []Decision
 	for _, d := range r.res.Decisions(g) {
@@ -180,10 +196,11 @@ func (r *Report) SlotDecisions(g NodeID, slot int) []Decision {
 }
 
 // WithPulseSynchronization turns every correct node into a pulse node:
-// the cluster fires recurring synchronized pulses (the companion [6]
-// layer built atop ss-Byz-Agree). cycle is the local-time spacing between
-// pulses; values below the legal minimum are raised to it. Retrieve fired
-// pulses with Report.Pulses.
+// the cluster fires recurring synchronized pulses (the paper's companion
+// [6] layer built atop ss-Byz-Agree), each cycle inheriting the
+// agreement's 3d decision skew (Timeliness-1a). cycle is the local-time
+// spacing between pulses; values below the legal minimum are raised to
+// it. Retrieve fired pulses with Report.Pulses.
 func (s *Simulation) WithPulseSynchronization(cycle Ticks) *Simulation {
 	s.sc.NewNode = func() protocol.Node {
 		return pulse.NewNode(pulse.Config{Cycle: cycle})
@@ -191,7 +208,9 @@ func (s *Simulation) WithPulseSynchronization(cycle Ticks) *Simulation {
 	return s
 }
 
-// Pulse is one fired pulse at one node.
+// Pulse is one fired pulse at one node of the companion [6]
+// pulse-synchronization layer; pulses of one cycle land within the
+// agreement's 3d skew (Timeliness-1a).
 type Pulse struct {
 	Node  NodeID
 	Cycle int
@@ -199,7 +218,9 @@ type Pulse struct {
 	RT simtime.Real
 }
 
-// Pulses returns every pulse fired by correct nodes, grouped by cycle.
+// Pulses returns every pulse fired by correct nodes of the companion [6]
+// layer, grouped by cycle; each cycle's pulses inherit the agreement's
+// 3d skew bound (Timeliness-1a), which experiment F4 measures.
 func (r *Report) Pulses() map[int][]Pulse {
 	out := make(map[int][]Pulse)
 	for _, ev := range r.res.Rec.ByKind(protocol.EvPulse) {
@@ -233,8 +254,8 @@ func (s *Simulation) ScheduleAgreement(g NodeID, v Value, at Ticks) *Simulation 
 }
 
 // Run executes the simulation for the given virtual duration (0 means
-// three agreement spans past the last scheduled initiation) and returns
-// the report. Run may be called once per Simulation.
+// three Δagr agreement spans past the last scheduled initiation) and
+// returns the report. Run may be called once per Simulation.
 func (s *Simulation) Run(runFor Ticks) (*Report, error) {
 	if s.report != nil {
 		return s.report, nil
@@ -258,18 +279,21 @@ func (s *Simulation) Run(runFor Ticks) (*Report, error) {
 	return s.report, nil
 }
 
-// Report exposes a finished run's outcomes and property checks.
+// Report exposes a finished run's outcomes and the checks of the paper's
+// proved properties (Agreement, Validity, Timeliness, IA-*, TPS-*).
 type Report struct {
 	res *sim.Result
 }
 
-// Decisions returns every correct node's return for General g in node
-// order (absent nodes never returned).
+// Decisions returns every correct node's decide-or-abort return for
+// General g in node order (absent nodes never returned); the Agreement
+// property requires the decided values to be identical.
 func (r *Report) Decisions(g NodeID) []Decision { return r.res.Decisions(g) }
 
 // Unanimous reports whether every correct node returned exactly once for
-// General g, deciding v. It is meant for single-agreement runs; for
-// recurring agreements use Verified, which scopes to one initiation.
+// General g, deciding v — the all-decide case of the Agreement property.
+// It is meant for single-agreement runs; for recurring agreements use
+// Verified, which scopes to one initiation.
 func (r *Report) Unanimous(g NodeID, v Value) bool {
 	decs := r.res.Decisions(g)
 	if len(decs) != len(r.res.Correct) {
@@ -284,8 +308,8 @@ func (r *Report) Unanimous(g NodeID, v Value) bool {
 }
 
 // DecisionsFor returns the decide-returns of correct nodes for General g
-// carrying value v (recurring agreements produce one entry per node per
-// agreed initiation).
+// carrying value v (recurring agreements — spaced by the paper's Δ0 and
+// Δv minima — produce one entry per node per agreed initiation).
 func (r *Report) DecisionsFor(g NodeID, v Value) []Decision {
 	var out []Decision
 	for _, d := range r.res.Decisions(g) {
@@ -324,30 +348,37 @@ func (r *Report) CheckValidity(g NodeID, t0 Ticks, v Value) []Violation {
 	return check.Validity(r.res, g, simtime.Real(t0), v)
 }
 
-// Messages returns the total message count of the run.
+// Messages returns the total message count of the run — the quantity
+// E10 and S1 track against the paper's O(n²)-per-primitive bound.
 func (r *Report) Messages() int64 {
 	total, _ := r.res.World.MessageCount()
 	return total
 }
 
-// NewCorrectNode returns a fresh correct-node state machine for callers
+// NewCorrectNode returns a fresh correct-node state machine — the full
+// ss-Byz-Agree stack of Fig. 1 (sending-validity criteria IG1–IG3,
+// Blocks K/L/Q/R) over Initiator-Accept and msgd-broadcast — for callers
 // embedding the protocol behind their own transport. Most users should
 // prefer Simulation or LiveCluster.
 func NewCorrectNode() *core.Node { return core.NewNode() }
 
-// ExperimentOptions tunes RunExperiments. Set Workers to fan independent
-// simulation cells across goroutines (default runtime.GOMAXPROCS(0)); the
-// report is byte-identical for every Workers value.
+// ExperimentOptions tunes RunExperiments — the sweeps that re-measure the
+// paper's proved bounds. Set Workers to fan independent simulation cells
+// across goroutines (default runtime.GOMAXPROCS(0)); the report is
+// byte-identical for every Workers value.
 type ExperimentOptions = harness.Options
 
 // ExperimentSuite is the machine-readable form of a suite run: options,
-// per-experiment tables, and the violation total, shaped for JSON
-// perf-trajectory artifacts.
+// per-experiment tables, and the total of the paper's property-bound
+// violations, shaped for the BENCH_*.json perf-trajectory artifacts
+// (every table deterministic; wall_ms per result is the one
+// machine-varying field — see DESIGN.md §5).
 type ExperimentSuite = harness.Suite
 
-// RunExperiments executes the full reproduction suite (experiments E1–E10
-// and figures F1–F4 of DESIGN.md §4) and writes each result to w. It
-// returns the total number of property violations (0 for a faithful
+// RunExperiments executes the full reproduction suite (experiments
+// E1–E10, figures F1–F4, ablation A1, and scaling workload S1 of
+// DESIGN.md §4) and writes each result to w. It returns the total number
+// of violations of the paper's proved properties (0 for a faithful
 // build).
 func RunExperiments(w io.Writer, opt ExperimentOptions) (int, error) {
 	suite, err := RunExperimentsSuite(w, opt)
@@ -355,7 +386,8 @@ func RunExperiments(w io.Writer, opt ExperimentOptions) (int, error) {
 }
 
 // RunExperimentsSuite is RunExperiments returning the machine-readable
-// suite alongside the human-readable report written to w.
+// suite — the paper's re-measured bounds as data — alongside the
+// human-readable report written to w.
 func RunExperimentsSuite(w io.Writer, opt ExperimentOptions) (*ExperimentSuite, error) {
 	results, err := harness.RunAll(w, opt)
 	return harness.NewSuite(opt, results), err
