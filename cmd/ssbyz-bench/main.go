@@ -6,14 +6,15 @@
 //
 //	ssbyz-bench [-quick] [-seeds 20] [-parallel N] [-o report.md] [-json suite.json]
 //
-// The full suite takes a few minutes single-threaded; -parallel fans the
-// independent simulation cells across N workers (default GOMAXPROCS) with
-// byte-identical output, and -quick shrinks the sweeps for a fast smoke
-// run (S1 still sweeps to n = 64 — only its seed count shrinks). -json
+// The full suite takes many minutes single-threaded (S1 stretches to
+// n = 256); -parallel fans the independent simulation cells across N
+// workers (default GOMAXPROCS) with byte-identical output, and -quick
+// shrinks the sweeps for a fast smoke run (S1 still sweeps to n = 128 —
+// only its seed count shrinks and the n = 256 point is dropped). -json
 // additionally writes the machine-readable suite (the BENCH_*.json
 // artifact of the perf trajectory); every table in it is deterministic,
-// and each result's wall_ms field — the one intentionally machine-varying
-// number — records what the experiment cost on this run (DESIGN.md §5).
+// and the intentionally machine-varying fields — wall_ms, peak_alloc_mb,
+// and S1's per-n cell_wall_ms — record what the run cost (DESIGN.md §5).
 // The exit status is non-zero if any property violation is found (a
 // faithful build reports zero).
 package main

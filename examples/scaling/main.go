@@ -21,8 +21,8 @@
 //
 // Run with: go run ./examples/scaling [-n 64] [-seeds 3]
 //
-// The full sweep over n ∈ {4, 7, 16, 31, 64} is experiment S1 in
-// `go run ./cmd/ssbyz-bench -quick`.
+// The full sweep over n ∈ {4, 7, 16, 31, 64, 128} is experiment S1 in
+// `go run ./cmd/ssbyz-bench -quick` (256 without -quick).
 package main
 
 import (
@@ -45,7 +45,7 @@ func main() {
 	fmt.Printf("S1 at n=%d: %d fault-free agreements of ss-Byz-Agree vs the TPS-87 baseline, δ ∈ [d/2, d]\n\n",
 		*n, *seeds)
 	start := time.Now()
-	table, violations := harness.ScalingTable(harness.Options{Seeds: *seeds}, []int{*n})
+	table, violations, _ := harness.ScalingTable(harness.Options{Seeds: *seeds}, []int{*n})
 	elapsed := time.Since(start)
 
 	fmt.Print(table.String())

@@ -78,23 +78,63 @@ type Session struct {
 	// from the log on Cleanup/Reset, so settled or decayed triples stop
 	// costing evaluator passes.
 	act []triple
+	// byP caches the latest triple resolution per broadcasting node p.
+	// During one agreement almost every message for p carries the same
+	// (m, k), so the per-arrival states-map hash collapses to an indexed
+	// compare. Entries are dropped wholesale on Cleanup/Reset (the only
+	// points that delete tripleStates).
+	byP []cachedTriple
 
-	broadcasters map[protocol.NodeID]bool
+	// broadcasters is a bitmap over node IDs with nBroadcasters its
+	// popcount: Block Y3 membership is tested on every post-settlement
+	// arrival, so it must not cost a map probe.
+	broadcasters []uint64
+	nBroadcaster int
 
 	onAccept AcceptFn
 }
 
+// cachedTriple is one byP entry: the last (m, k) resolved for p.
+type cachedTriple struct {
+	m  protocol.Value
+	k  int
+	st *tripleState
+}
+
 // NewSession creates the session for General g at the node owning rt.
 func NewSession(rt protocol.Runtime, g protocol.NodeID, onAccept AcceptFn) *Session {
+	pp := rt.Params()
 	return &Session{
 		rt:           rt,
 		g:            g,
-		pp:           rt.Params(),
-		log:          msglog.New(rt.Params().Wrap),
+		pp:           pp,
+		log:          msglog.New(pp.Wrap),
 		states:       make(map[triple]*tripleState),
-		broadcasters: make(map[protocol.NodeID]bool),
+		byP:          make([]cachedTriple, pp.N),
+		broadcasters: make([]uint64, (pp.N+63)/64),
 		onAccept:     onAccept,
 	}
+}
+
+// isBroadcaster tests p's bit. IDs outside [0, 64·len) (possible only in
+// hostile messages) are never set.
+func (s *Session) isBroadcaster(p protocol.NodeID) bool {
+	w := uint(p) >> 6
+	return p >= 0 && int(w) < len(s.broadcasters) && s.broadcasters[w]&(1<<(uint(p)&63)) != 0
+}
+
+// setBroadcaster adds p to the broadcasters set (Block Y3), growing the
+// bitmap for hostile out-of-range IDs so they still count once each.
+func (s *Session) setBroadcaster(p protocol.NodeID) {
+	if p < 0 || s.isBroadcaster(p) {
+		return
+	}
+	w := uint(p) >> 6
+	for int(w) >= len(s.broadcasters) {
+		s.broadcasters = append(s.broadcasters, 0)
+	}
+	s.broadcasters[w] |= 1 << (uint(p) & 63)
+	s.nBroadcaster++
 }
 
 // SetAnchor installs τG and replays any logged messages against the now-
@@ -120,31 +160,57 @@ func (s *Session) Broadcast(m protocol.Value, k int) {
 
 // Broadcasters returns how many distinct nodes are in the broadcasters
 // set (Block Y3), as needed by the agreement layer's Block T.
-func (s *Session) Broadcasters() int { return len(s.broadcasters) }
+func (s *Session) Broadcasters() int { return s.nBroadcaster }
 
 // IsBroadcaster reports membership of p in broadcasters.
-func (s *Session) IsBroadcaster(p protocol.NodeID) bool { return s.broadcasters[p] }
+func (s *Session) IsBroadcaster(p protocol.NodeID) bool { return s.isBroadcaster(p) }
 
 // note returns (creating and activating if needed) the state of tr.
 func (s *Session) note(tr triple) *tripleState {
+	var cache *cachedTriple
+	if tr.P >= 0 && int(tr.P) < len(s.byP) {
+		cache = &s.byP[tr.P]
+		if cache.st != nil && cache.m == tr.M && cache.k == tr.K {
+			st := cache.st
+			if !st.inAct {
+				st.inAct = true
+				s.act = append(s.act, tr)
+			}
+			return st
+		}
+	}
 	st, ok := s.states[tr]
 	if !ok {
 		key := func(kind protocol.MsgKind) msglog.Key {
 			return msglog.Key{Kind: kind, G: s.g, M: tr.M, P: tr.P, K: tr.K}
 		}
+		// The echo-class keys collect up to n distinct senders each;
+		// presizing them skips the append-growth copies (init keys hold
+		// only p's own record).
 		st = &tripleState{
 			hInit:      s.log.NewHandle(key(protocol.Init)),
-			hEcho:      s.log.NewHandle(key(protocol.Echo)),
-			hInitPrime: s.log.NewHandle(key(protocol.InitPrime)),
-			hEchoPrime: s.log.NewHandle(key(protocol.EchoPrime)),
+			hEcho:      s.log.NewHandleSized(key(protocol.Echo), s.pp.N),
+			hInitPrime: s.log.NewHandleSized(key(protocol.InitPrime), s.pp.N),
+			hEchoPrime: s.log.NewHandleSized(key(protocol.EchoPrime), s.pp.N),
 		}
 		s.states[tr] = st
+	}
+	if cache != nil {
+		*cache = cachedTriple{m: tr.M, k: tr.K, st: st}
 	}
 	if !st.inAct {
 		st.inAct = true
 		s.act = append(s.act, tr)
 	}
 	return st
+}
+
+// dropTripleCache forgets every byP resolution; called whenever states-map
+// entries may have been deleted.
+func (s *Session) dropTripleCache() {
+	for i := range s.byP {
+		s.byP[i] = cachedTriple{}
+	}
 }
 
 // handleFor picks the cached handle matching a message kind.
@@ -225,13 +291,22 @@ func (s *Session) evalTriple(tr triple, st *tripleState, now simtime.Local) {
 }
 
 // tryTriple evaluates all blocks for one (p, m, k).
+//
+// Each block's window query now sits behind an O(1) incremental-count
+// guard (msglog.LenVia, the live record count of the key): a threshold of
+// c distinct senders cannot hold while fewer than c records exist at all,
+// so below-threshold arrivals — the bulk of a broadcast wave — conclude in
+// constant time, and the binary searches run only in the narrow band where
+// a block could actually fire (DESIGN.md §5).
 func (s *Session) tryTriple(tr triple, st *tripleState, now simtime.Local) bool {
-	if st.sentEcho && st.sentInitPrime && st.sentEchoPrime && st.accepted && s.broadcasters[tr.P] {
+	if st.sentEcho && st.sentInitPrime && st.sentEchoPrime && st.accepted && s.isBroadcaster(tr.P) {
 		// Settled: every send fired, the acceptance fired, and p is a
-		// known broadcaster — no block can conclude anything new.
+		// known broadcaster — no block can conclude anything new, so a
+		// post-threshold arrival is an O(1) drop.
 		return false
 	}
 	changed := false
+	byzQ, q := s.pp.ByzQuorum(), s.pp.Quorum()
 
 	// Block W — echo the direct init, by τG + 2k·Φ.
 	if !st.sentEcho && s.withinPhase(now, 2*tr.K) && s.log.HasVia(&st.hInit, tr.P) {
@@ -241,26 +316,28 @@ func (s *Session) tryTriple(tr triple, st *tripleState, now simtime.Local) bool 
 	}
 
 	// Block X — by τG + (2k+1)·Φ.
-	if (!st.sentInitPrime || !st.accepted) && s.withinPhase(now, 2*tr.K+1) {
+	if (!st.sentInitPrime || !st.accepted) && s.log.LenVia(&st.hEcho) >= byzQ &&
+		s.withinPhase(now, 2*tr.K+1) {
 		nEcho := s.log.CountWithinVia(&st.hEcho, s.maxAge(), now)
-		if !st.sentInitPrime && nEcho >= s.pp.ByzQuorum() {
+		if !st.sentInitPrime && nEcho >= byzQ {
 			st.sentInitPrime = true
 			s.rt.Broadcast(protocol.Message{Kind: protocol.InitPrime, G: s.g, M: tr.M, P: tr.P, K: tr.K})
 			changed = true
 		}
-		if nEcho >= s.pp.Quorum() && s.accept(tr, st) {
+		if nEcho >= q && s.accept(tr, st) {
 			changed = true
 		}
 	}
 
 	// Block Y — by τG + (2k+2)·Φ.
-	if (!s.broadcasters[tr.P] || !st.sentEchoPrime) && s.withinPhase(now, 2*tr.K+2) {
+	if (!st.sentEchoPrime || !s.isBroadcaster(tr.P)) && s.log.LenVia(&st.hInitPrime) >= byzQ &&
+		s.withinPhase(now, 2*tr.K+2) {
 		nInitPrime := s.log.CountWithinVia(&st.hInitPrime, s.maxAge(), now)
-		if nInitPrime >= s.pp.ByzQuorum() && !s.broadcasters[tr.P] {
-			s.broadcasters[tr.P] = true
+		if nInitPrime >= byzQ && !s.isBroadcaster(tr.P) {
+			s.setBroadcaster(tr.P)
 			changed = true
 		}
-		if !st.sentEchoPrime && nInitPrime >= s.pp.Quorum() {
+		if !st.sentEchoPrime && nInitPrime >= q {
 			st.sentEchoPrime = true
 			s.rt.Broadcast(protocol.Message{Kind: protocol.EchoPrime, G: s.g, M: tr.M, P: tr.P, K: tr.K})
 			changed = true
@@ -268,14 +345,14 @@ func (s *Session) tryTriple(tr triple, st *tripleState, now simtime.Local) bool 
 	}
 
 	// Block Z — at any time.
-	if !st.sentEchoPrime || !st.accepted {
+	if (!st.sentEchoPrime || !st.accepted) && s.log.LenVia(&st.hEchoPrime) >= byzQ {
 		nEchoPrime := s.log.CountWithinVia(&st.hEchoPrime, s.maxAge(), now)
-		if !st.sentEchoPrime && nEchoPrime >= s.pp.ByzQuorum() {
+		if !st.sentEchoPrime && nEchoPrime >= byzQ {
 			st.sentEchoPrime = true
 			s.rt.Broadcast(protocol.Message{Kind: protocol.EchoPrime, G: s.g, M: tr.M, P: tr.P, K: tr.K})
 			changed = true
 		}
-		if nEchoPrime >= s.pp.Quorum() && s.accept(tr, st) {
+		if nEchoPrime >= q && s.accept(tr, st) {
 			changed = true
 		}
 	}
@@ -331,6 +408,7 @@ func (s *Session) Cleanup(now simtime.Local) {
 			delete(s.states, tr)
 		}
 	}
+	s.dropTripleCache()
 }
 
 // Reset clears the session (3d after the agreement layer returned). The
@@ -350,7 +428,11 @@ func (s *Session) Reset() {
 		st.sentEchoPrime = false
 		st.inAct = false
 	}
-	s.broadcasters = make(map[protocol.NodeID]bool)
+	s.dropTripleCache()
+	for i := range s.broadcasters {
+		s.broadcasters[i] = 0
+	}
+	s.nBroadcaster = 0
 }
 
 // InjectRecord installs a spurious reception record (transient injector).
@@ -361,7 +443,7 @@ func (s *Session) InjectRecord(kind protocol.MsgKind, tr protocol.Message, sende
 }
 
 // InjectBroadcaster plants p in the broadcasters set (transient injector).
-func (s *Session) InjectBroadcaster(p protocol.NodeID) { s.broadcasters[p] = true }
+func (s *Session) InjectBroadcaster(p protocol.NodeID) { s.setBroadcaster(p) }
 
 // InjectAnchor plants an arbitrary anchor (transient injector).
 func (s *Session) InjectAnchor(tauG simtime.Local) {

@@ -1,0 +1,83 @@
+package check
+
+import (
+	"testing"
+
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/sim"
+	"ssbyz/internal/simtime"
+)
+
+// benchRun produces one fault-free n=31 run to check (seeded, so every
+// benchmark iteration sees the same trace).
+func benchRun(b *testing.B) (*sim.Result, simtime.Real) {
+	b.Helper()
+	pp := protocol.DefaultParams(31)
+	t0 := simtime.Real(2 * pp.D)
+	res, err := sim.Run(sim.Scenario{
+		Params:      pp,
+		Seed:        11,
+		Initiations: []sim.Initiation{{At: t0, G: 0, Value: "v"}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res, t0
+}
+
+// BenchmarkCheckBattery measures the full property battery on a fresh
+// result each iteration — extraction runs once per kind over the
+// recorder's index and is memoized, so the whole battery is one pass over
+// the trace rather than one scan per property.
+func BenchmarkCheckBattery(b *testing.B) {
+	res, t0 := benchRun(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Shallow re-wrap: same world and trace, cold extract caches.
+		fresh := &sim.Result{Scenario: res.Scenario, World: res.World,
+			Rec: res.Rec, Correct: res.Correct}
+		vs := All(fresh, 0)
+		vs = append(vs, Validity(fresh, 0, t0, "v")...)
+		vs = append(vs, IACorrectness(fresh, 0, t0)...)
+		if len(vs) != 0 {
+			b.Fatalf("violations in benchmark run: %v", vs)
+		}
+	}
+}
+
+// BenchmarkTraceExtract pits the recorder's kind-indexed read path
+// against the Filter-based full-trace scan it replaced, over the ~10
+// extractions one property battery performs.
+func BenchmarkTraceExtract(b *testing.B) {
+	res, _ := benchRun(b)
+	kinds := []protocol.EventKind{
+		protocol.EvDecide, protocol.EvAbort, protocol.EvIAccept,
+		protocol.EvInvoke, protocol.EvInitiate, protocol.EvExpire,
+	}
+	b.Run("kind-indexed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			total := 0
+			for _, k := range kinds {
+				res.Rec.ForEachKind(func(protocol.TraceEvent) { total++ }, k)
+			}
+			if total == 0 {
+				b.Fatal("no events extracted")
+			}
+		}
+	})
+	b.Run("filter-based", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			total := 0
+			for _, k := range kinds {
+				k := k
+				total += len(res.Rec.Filter(func(ev protocol.TraceEvent) bool { return ev.Kind == k }))
+			}
+			if total == 0 {
+				b.Fatal("no events extracted")
+			}
+		}
+	})
+}

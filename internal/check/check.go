@@ -195,13 +195,14 @@ func Termination(res *sim.Result, g protocol.NodeID) []Violation {
 	// the protocol". The expiry is detected by a periodic sweep, so allow
 	// one sweep interval (Δrmv/4) plus drift slack on top.
 	expiredAt := make(map[protocol.NodeID]simtime.Real)
-	for _, ev := range res.Rec.Filter(func(ev protocol.TraceEvent) bool {
-		return ev.Kind == protocol.EvExpire && ev.G == g && res.IsCorrect(ev.Node)
-	}) {
+	res.Rec.ForEachKind(func(ev protocol.TraceEvent) {
+		if ev.G != g || !res.IsCorrect(ev.Node) {
+			return
+		}
 		if _, ok := expiredAt[ev.Node]; !ok {
 			expiredAt[ev.Node] = ev.RT
 		}
-	}
+	}, protocol.EvExpire)
 	expiryBound := simtime.Real(pp.DeltaAgr()) + 3*simtime.Real(pp.D) +
 		simtime.Real(pp.DeltaRmv()/4) + 2*simtime.Real(pp.D)
 	for node, t := range invokedAt {

@@ -42,7 +42,7 @@ func A1BlockRWindow(opt Options) *Result {
 		}
 	}
 	cells := sweep(opt, regimes, seeds, func(rg regime, seed int) a1Cell {
-		return a1Run(rg.window, rg.adversarial, seed)
+		return a1Run(opt, rg.window, rg.adversarial, seed)
 	})
 	for i, rg := range regimes {
 		misses := 0
@@ -80,7 +80,7 @@ type a1Cell struct {
 }
 
 // a1Run executes one seed of one (window, regime) cell.
-func a1Run(window simtime.Duration, adversarial bool, seed int) a1Cell {
+func a1Run(opt Options, window simtime.Duration, adversarial bool, seed int) a1Cell {
 	var c a1Cell
 	pp := protocol.DefaultParams(7)
 	pp.BlockRWindow = window * pp.D
@@ -99,7 +99,7 @@ func a1Run(window simtime.Duration, adversarial bool, seed int) a1Cell {
 		sc.DelayMin = pp.D / 4
 		sc.DelayMax = pp.D
 	}
-	res, err := sim.Run(sc)
+	res, err := opt.run(sc)
 	if err != nil {
 		c.miss = true
 		return c

@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// benchArtifact mirrors the Suite JSON fields the guard reads.
+type benchArtifact struct {
+	Results []struct {
+		ID         string             `json:"id"`
+		WallMS     float64            `json:"wall_ms"`
+		CellWallMS map[string]float64 `json:"cell_wall_ms"`
+	} `json:"results"`
+}
+
+func loadArtifact(t *testing.T, name string) *benchArtifact {
+	t.Helper()
+	blob, err := os.ReadFile(filepath.Join("..", "..", name))
+	if err != nil {
+		t.Fatalf("missing committed bench artifact: %v", err)
+	}
+	var a benchArtifact
+	if err := json.Unmarshal(blob, &a); err != nil {
+		t.Fatalf("parse %s: %v", name, err)
+	}
+	return &a
+}
+
+func (a *benchArtifact) s1() (wallMS float64, cellWall map[string]float64, ok bool) {
+	for _, r := range a.Results {
+		if r.ID == "S1" {
+			return r.WallMS, r.CellWallMS, true
+		}
+	}
+	return 0, nil, false
+}
+
+// TestBenchArtifactN64Guard is the cross-PR perf regression guard on the
+// committed BENCH artifacts: PR3's n=64 S1 cost (cell_wall_ms["64"] mean
+// per seed × 3 quick seeds) must not regress past 2× the whole PR2-era
+// quick S1 sweep (whose n ≤ 64 run — wall_ms — was dominated by its three
+// n=64 cells). Both numbers were measured on the builder machine of their
+// PR, so the 2× margin absorbs machine deltas; the expected ratio after
+// this PR's substrate rework is ≈0.2.
+func TestBenchArtifactN64Guard(t *testing.T) {
+	pr2Wall, _, ok := loadArtifact(t, "BENCH_PR2_quick.json").s1()
+	if !ok || pr2Wall <= 0 {
+		t.Fatal("BENCH_PR2_quick.json has no usable S1 wall_ms")
+	}
+	_, pr3Cells, ok := loadArtifact(t, "BENCH_PR3_quick.json").s1()
+	if !ok {
+		t.Fatal("BENCH_PR3_quick.json has no S1 result")
+	}
+	perSeed, ok := pr3Cells["64"]
+	if !ok || perSeed <= 0 {
+		t.Fatalf("BENCH_PR3_quick.json S1 cell_wall_ms has no n=64 entry: %v", pr3Cells)
+	}
+	const quickSeeds = 3
+	pr3N64 := perSeed * quickSeeds
+	if pr3N64 > 2*pr2Wall {
+		t.Fatalf("n=64 S1 cost regressed: PR3 %.0fms (3 seeds) > 2× PR2 quick-sweep %.0fms", pr3N64, pr2Wall)
+	}
+	t.Logf("n=64 S1: PR3 %.0fms (3 seeds) vs PR2 quick-sweep %.0fms (ratio %.2f)", pr3N64, pr2Wall, pr3N64/pr2Wall)
+}
+
+// TestBenchArtifactCoversN128 pins the committed PR3 artifact to the new
+// sweep shape: the quick S1 table must include an n=128 row with its
+// wall-clock recorded.
+func TestBenchArtifactCoversN128(t *testing.T) {
+	_, cells, ok := loadArtifact(t, "BENCH_PR3_quick.json").s1()
+	if !ok {
+		t.Fatal("BENCH_PR3_quick.json has no S1 result")
+	}
+	if v, found := cells["128"]; !found || v <= 0 {
+		t.Fatalf("BENCH_PR3_quick.json S1 cell_wall_ms has no n=128 entry: %v", cells)
+	}
+}

@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/sim"
+	"ssbyz/internal/simtime"
+)
+
+// renderReport renders experiment results the way RunAll does, minus the
+// non-deterministic JSON-only fields (WallMS etc. are not written by
+// WriteTo), so two renders can be compared byte for byte.
+func renderReport(t *testing.T, opt Options, exps ...func(Options) *Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, run := range exps {
+		if _, err := run(opt).WriteTo(&buf); err != nil {
+			t.Fatalf("render: %v", err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestBatchedVsLegacyReportsIdentical pins the batched fan-out delivery
+// path to the legacy per-recipient one across whole experiments: E1
+// (fault-free sweeps), E7 (equivocating General + colluder), and the S1
+// scaling table (head-to-head incl. the TPS-87 baseline and the
+// deterministic processed-event column). The reports must be byte
+// identical — batching may only change how deliveries are scheduled,
+// never what any node observes.
+func TestBatchedVsLegacyReportsIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three experiments twice; skipped in -short")
+	}
+	batched := renderReport(t, Options{Quick: true}, E1ValidityLatency, E7FaultyGeneralAgreement)
+	legacy := renderReport(t, Options{Quick: true, LegacyFanout: true}, E1ValidityLatency, E7FaultyGeneralAgreement)
+	if !bytes.Equal(batched, legacy) {
+		t.Fatalf("E1/E7 reports differ between batched and legacy fan-out:\n--- batched ---\n%s\n--- legacy ---\n%s", batched, legacy)
+	}
+
+	// S1 on a reduced sweep (the full quick sweep reaches n=128; the
+	// differential result is independent of n, and n=31 already exercises
+	// multi-recipient batches on every tick).
+	ns := []int{4, 16, 31}
+	tb, vb, _ := ScalingTable(Options{Quick: true}, ns)
+	tl, vl, _ := ScalingTable(Options{Quick: true, LegacyFanout: true}, ns)
+	if vb != vl {
+		t.Fatalf("S1 violations differ: batched %d vs legacy %d", vb, vl)
+	}
+	if tb.String() != tl.String() {
+		t.Fatalf("S1 table differs between batched and legacy fan-out:\n%s\nvs\n%s", tb.String(), tl.String())
+	}
+}
+
+// TestBatchedVsLegacyWorldIdentical compares a single world run under both
+// fan-out modes at the trace level: every recorded event (in order), the
+// per-kind message counts, and the processed-event counter must agree
+// exactly — the strongest form of the delivery-order guarantee.
+func TestBatchedVsLegacyWorldIdentical(t *testing.T) {
+	run := func(legacy bool, seed int64) (*sim.Result, int64, map[protocol.MsgKind]int64, uint64) {
+		pp := protocol.DefaultParams(16)
+		res, err := sim.Run(sim.Scenario{
+			Params:       pp,
+			Seed:         seed,
+			Initiations:  []sim.Initiation{{At: simtime.Real(2 * pp.D), G: 0, Value: "v"}},
+			LegacyFanout: legacy,
+		})
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		total, byKind := res.World.MessageCount()
+		return res, total, byKind, res.World.Scheduler().Processed()
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		resB, totB, kindB, procB := run(false, seed)
+		resL, totL, kindL, procL := run(true, seed)
+		if totB != totL {
+			t.Fatalf("seed %d: MessageCount %d (batched) != %d (legacy)", seed, totB, totL)
+		}
+		for k, v := range kindL {
+			if kindB[k] != v {
+				t.Fatalf("seed %d: kind %v count %d (batched) != %d (legacy)", seed, k, kindB[k], v)
+			}
+		}
+		if procB != procL {
+			t.Fatalf("seed %d: Processed %d (batched) != %d (legacy)", seed, procB, procL)
+		}
+		evB, evL := resB.Rec.Events(), resL.Rec.Events()
+		if len(evB) != len(evL) {
+			t.Fatalf("seed %d: %d trace events (batched) != %d (legacy)", seed, len(evB), len(evL))
+		}
+		for i := range evB {
+			if evB[i] != evL[i] {
+				t.Fatalf("seed %d: trace event %d differs:\nbatched: %+v\nlegacy:  %+v", seed, i, evB[i], evL[i])
+			}
+		}
+	}
+}

@@ -35,7 +35,7 @@ func E1ValidityLatency(opt Options) *Result {
 	cells := sweep(opt, ns, seeds, func(n, seed int) cell {
 		c := cell{allDecided: true}
 		sc, t0 := correctGeneralScenario(n, int64(seed), 0, 0)
-		res, err := sim.Run(sc)
+		res, err := opt.run(sc)
 		if err != nil {
 			c.note = fmt.Sprintf("n=%d seed=%d: %v", n, seed, err)
 			c.violations++
@@ -94,7 +94,7 @@ func E2AgreementSkew(opt Options) *Result {
 	correct := sweepSeeds(opt, seeds, func(seed int) cell {
 		var c cell
 		sc, _ := correctGeneralScenario(7, int64(seed), 0, 0)
-		res, err := sim.Run(sc)
+		res, err := opt.run(sc)
 		if err != nil {
 			c.violations++
 			return c
@@ -128,7 +128,7 @@ func E2AgreementSkew(opt Options) *Result {
 			},
 			RunFor: 4 * scPP.DeltaAgr(),
 		}
-		res, err := sim.Run(sc)
+		res, err := opt.run(sc)
 		if err != nil {
 			c.violations++
 			return c
@@ -203,7 +203,7 @@ func E3TerminationBound(opt Options) *Result {
 	}
 	cells := sweep(opt, idx, seeds, func(si, seed int) cell {
 		var c cell
-		res, err := sim.Run(sim.Scenario{
+		res, err := opt.run(sim.Scenario{
 			Params: pp,
 			Seed:   int64(seed),
 			Faulty: scenarios[si].faulty(int64(seed)),
@@ -299,7 +299,7 @@ func E4EarlyStopping(opt Options) *Result {
 		if fPrime == 0 {
 			sc.Initiations = []sim.Initiation{{At: simtime.Real(2 * pp.D), G: 0, Value: "e4"}}
 		}
-		res, err := sim.Run(sc)
+		res, err := opt.run(sc)
 		if err != nil {
 			c.violations++
 			return c
@@ -341,7 +341,7 @@ func E5MessageDrivenSpeedup(opt Options) *Result {
 		deltas = []simtime.Duration{pp.D / 10, pp.D}
 	}
 	cells := sweep(opt, deltas, seeds, func(delta simtime.Duration, seed int) latCell {
-		return runLatencyCell(pp, seed, delta)
+		return runLatencyCell(opt, pp, seed, delta)
 	})
 	for i, delta := range deltas {
 		ours, base := mergeLatCells(cells[i], &r.Violations)
@@ -367,14 +367,14 @@ type latCell struct {
 
 // runLatencyCell measures one (params, seed, δ) cell of the comparison,
 // with actual delays in [δ/2, δ].
-func runLatencyCell(pp protocol.Params, seed int, delta simtime.Duration) latCell {
+func runLatencyCell(opt Options, pp protocol.Params, seed int, delta simtime.Duration) latCell {
 	var c latCell
 	min := delta / 2
 	if min == 0 {
 		min = 1
 	}
 	sc, t0 := correctGeneralScenario(pp.N, int64(seed), min, delta)
-	res, err := sim.Run(sc)
+	res, err := opt.run(sc)
 	if err != nil {
 		c.violations++
 	} else {
@@ -385,7 +385,7 @@ func runLatencyCell(pp protocol.Params, seed int, delta simtime.Duration) latCel
 		c.ours = ls
 		c.violations += countViolations(check.Validity(res, 0, t0, "v"))
 	}
-	c.base, _ = runBaseline(pp, int64(seed), delta)
+	c.base, _ = runBaseline(opt, pp, int64(seed), delta)
 	return c
 }
 

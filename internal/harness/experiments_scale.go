@@ -2,18 +2,25 @@ package harness
 
 import (
 	"fmt"
+	"time"
 
 	"ssbyz/internal/check"
 	"ssbyz/internal/metrics"
 	"ssbyz/internal/protocol"
-	"ssbyz/internal/sim"
 )
 
 // ScalingNs is the committee-size sweep of experiment S1. Unlike the
 // E-series sweeps it is NOT shrunk in quick mode: proving that the
-// substrate sustains n = 64 routinely is the point of the experiment, so
-// quick mode shrinks only the seed count.
-func ScalingNs() []int { return []int{4, 7, 16, 31, 64} }
+// substrate sustains n = 128 routinely is the point of the experiment, so
+// quick mode shrinks only the seed count. Full mode stretches the sweep
+// to n = 256 (≈8× the n=128 message volume — reachable, not routine).
+func ScalingNs(full bool) []int {
+	ns := []int{4, 7, 16, 31, 64, 128}
+	if full {
+		ns = append(ns, 256)
+	}
+	return ns
+}
 
 // scaleCell is one (n, seed) head-to-head measurement.
 type scaleCell struct {
@@ -23,15 +30,20 @@ type scaleCell struct {
 	baseLats   []float64 // TPS-87 baseline latencies, ticks
 	baseMsgs   int64
 	violations int
+	// wallMS is this cell's wall-clock cost (both protocols + property
+	// checks). Non-deterministic; it feeds only the JSON artifact's
+	// cell_wall_ms field, never the table.
+	wallMS float64
 }
 
 // runScaleCell measures one fault-free agreement of both protocols at
 // size n with the standard delay range [d/2, d].
-func runScaleCell(n, seed int) scaleCell {
+func runScaleCell(opt Options, n, seed int) scaleCell {
+	start := time.Now()
 	var c scaleCell
 	pp := protocol.DefaultParams(n)
 	sc, t0 := correctGeneralScenario(n, int64(seed), pp.D/2, pp.D)
-	res, err := sim.Run(sc)
+	res, err := opt.run(sc)
 	if err != nil {
 		c.violations++
 		return c
@@ -47,29 +59,33 @@ func runScaleCell(n, seed int) scaleCell {
 		check.Validity(res, 0, t0, "v"),
 		check.Agreement(res, 0),
 	)
-	c.baseLats, c.baseMsgs = runBaseline(pp, int64(seed), pp.D)
+	c.baseLats, c.baseMsgs = runBaseline(opt, pp, int64(seed), pp.D)
+	c.wallMS = float64(time.Since(start).Microseconds()) / 1000
 	return c
 }
 
 // ScalingTable runs the S1 sweep over the given committee sizes and
-// returns the result table plus the violation count. Every figure in the
-// table is deterministic (latencies in d, message totals, processed
+// returns the result table, the violation count, and the mean per-seed
+// wall-clock cost per committee size (keyed by n, in ms). Every figure in
+// the table is deterministic (latencies in d, message totals, processed
 // discrete events), so the table is byte-identical across machines and
 // worker counts; wall-clock cost is deliberately kept out of it and
-// reported through the suite's wall_ms JSON field instead.
-func ScalingTable(opt Options, ns []int) (*metrics.Table, int) {
+// reported through the suite's wall_ms / cell_wall_ms JSON fields
+// instead.
+func ScalingTable(opt Options, ns []int) (*metrics.Table, int, map[string]float64) {
 	t := metrics.NewTable("agreement cost vs n (fault-free, δ ∈ [d/2, d])",
 		"n", "f", "seeds", "ours lat (d)", "base lat (d)",
 		"ours msgs", "base msgs", "ours msgs/n²", "events")
 	seeds := opt.seeds(8)
 	cells := sweep(opt, ns, seeds, func(n, seed int) scaleCell {
-		return runScaleCell(n, seed)
+		return runScaleCell(opt, n, seed)
 	})
 	violations := 0
+	cellWall := make(map[string]float64, len(ns))
 	for i, n := range ns {
 		pp := protocol.DefaultParams(n)
 		var lats, baseLats []float64
-		var msgs, baseMsgs, events float64
+		var msgs, baseMsgs, events, wall float64
 		for _, c := range cells[i] {
 			violations += c.violations
 			lats = append(lats, c.lats...)
@@ -77,31 +93,35 @@ func ScalingTable(opt Options, ns []int) (*metrics.Table, int) {
 			msgs += float64(c.msgs)
 			baseMsgs += float64(c.baseMsgs)
 			events += float64(c.events)
+			wall += c.wallMS
 		}
 		sN := float64(seeds)
 		t.AddRow(n, pp.F, seeds,
 			dF(metrics.Summarize(lats).Mean, pp),
 			dF(metrics.Summarize(baseLats).Mean, pp),
 			msgs/sN, baseMsgs/sN, msgs/sN/float64(n*n), events/sN)
+		cellWall[fmt.Sprint(n)] = wall / sN
 	}
-	return t, violations
+	return t, violations, cellWall
 }
 
 // S1Scaling is the large-n scalability experiment: agreement latency,
 // message count, and simulation cost for ss-Byz-Agree vs the TPS-87
-// baseline as the committee grows to n = 64. Latency stays flat (rounds,
-// not size, bound it) while messages grow superquadratically in n at the
-// msgd-broadcast layer — the workload that motivated the hot-path rework
-// of msglog, the scheduler, and the delivery path (DESIGN.md §5).
+// baseline as the committee grows to n = 128 (256 in full mode). Latency
+// stays flat (rounds, not size, bound it) while messages grow
+// superquadratically in n at the msgd-broadcast layer — the workload that
+// motivated the hot-path rework of msglog, the scheduler, and the
+// delivery path (DESIGN.md §5).
 func S1Scaling(opt Options) *Result {
 	r := &Result{ID: "S1", Title: "Scaling: agreement cost vs n"}
-	t, violations := ScalingTable(opt, ScalingNs())
+	t, violations, cellWall := ScalingTable(opt, ScalingNs(!opt.Quick))
 	r.Violations += violations
 	r.Tables = append(r.Tables, t)
+	r.CellWallMS = cellWall
 	r.Notes = append(r.Notes,
 		"latency is flat in n for both protocols (round-bound); ours sits near the actual δ, the baseline near whole Φ rounds",
 		"ours msgs/n² grows with n: each msgd-broadcast instance is Θ(n²) and Θ(n) instances run per agreement (see E10 for the per-instance bound)",
-		fmt.Sprintf("events is the deterministic discrete-event count per run; wall-clock per experiment is recorded as wall_ms in the JSON suite artifact (seeds=%d)", opt.seeds(8)),
+		fmt.Sprintf("events is the deterministic discrete-event count per run; per-n wall-clock is recorded as cell_wall_ms in the JSON suite artifact (seeds=%d)", opt.seeds(8)),
 	)
 	return r
 }

@@ -29,7 +29,7 @@ func E6Convergence(opt Options) *Result {
 		violations int
 	}
 	cells := sweepSeeds(opt, seeds, func(seed int) cell {
-		conv, ok, vio := convergenceTime(pp, int64(seed))
+		conv, ok, vio := convergenceTime(opt, pp, int64(seed))
 		return cell{conv: conv, ok: ok, violations: vio}
 	})
 	var times []float64
@@ -52,7 +52,7 @@ func E6Convergence(opt Options) *Result {
 // convergenceTime runs one corruption scenario and returns the real time
 // of the first initiation that every correct node decided with full
 // validity, ok=false when none succeeded within the run.
-func convergenceTime(pp protocol.Params, seed int64) (simtime.Duration, bool, int) {
+func convergenceTime(opt Options, pp protocol.Params, seed int64) (simtime.Duration, bool, int) {
 	spacing := pp.Delta0() + 2*pp.D
 	runFor := pp.DeltaStb() + 6*pp.DeltaAgr()
 	var inits []sim.Initiation
@@ -72,7 +72,7 @@ func convergenceTime(pp protocol.Params, seed int64) (simtime.Duration, bool, in
 		},
 		RunFor: runFor,
 	}
-	res, err := sim.Run(sc)
+	res, err := opt.run(sc)
 	if err != nil {
 		return 0, false, 1
 	}
@@ -142,7 +142,7 @@ func E7FaultyGeneralAgreement(opt Options) *Result {
 	}
 	cells := sweepSeeds(opt, seeds, func(seed int) cell {
 		var c cell
-		res, err := sim.Run(sim.Scenario{
+		res, err := opt.run(sim.Scenario{
 			Params: pp,
 			Seed:   int64(seed),
 			Faulty: map[protocol.NodeID]protocol.Node{
@@ -224,7 +224,7 @@ func E8InitiatorAccept(opt Options) *Result {
 		var c ia1Cell
 		pp := protocol.DefaultParams(n)
 		sc, t0 := correctGeneralScenario(n, int64(seed), 0, 0)
-		res, err := sim.Run(sc)
+		res, err := opt.run(sc)
 		if err != nil {
 			c.violations++
 			return c
@@ -265,7 +265,7 @@ func E8InitiatorAccept(opt Options) *Result {
 	}
 	ia4 := sweepSeeds(opt, seeds, func(seed int) ia4Cell {
 		var c ia4Cell
-		res, err := sim.Run(sim.Scenario{
+		res, err := opt.run(sim.Scenario{
 			Params: pp,
 			Seed:   int64(seed),
 			Faulty: map[protocol.NodeID]protocol.Node{
@@ -314,19 +314,19 @@ func E9MsgdBroadcast(opt Options) *Result {
 	tps1 := sweepSeeds(opt, seeds, func(seed int) tps1Cell {
 		var c tps1Cell
 		sc, _ := correctGeneralScenario(7, int64(seed), 0, 0)
-		res, err := sim.Run(sc)
+		res, err := opt.run(sc)
 		if err != nil {
 			c.violations++
 			return c
 		}
 		byTriple := make(map[string][]simtime.Real)
-		for _, ev := range res.Rec.Events() {
-			if ev.Kind != protocol.EvAccept || !res.IsCorrect(ev.Node) || ev.G != 0 {
-				continue
+		res.Rec.ForEachKind(func(ev protocol.TraceEvent) {
+			if !res.IsCorrect(ev.Node) || ev.G != 0 {
+				return
 			}
 			key := fmt.Sprintf("%d|%s|%d", ev.P, ev.M, ev.K)
 			byTriple[key] = append(byTriple[key], ev.RT)
-		}
+		}, protocol.EvAccept)
 		for _, rts := range byTriple {
 			if len(rts) < pp.Quorum() {
 				continue // partially-collected triple (post-reset stragglers)
@@ -365,7 +365,7 @@ func E9MsgdBroadcast(opt Options) *Result {
 	}
 	tps2 := sweepSeeds(opt, seeds, func(seed int) tps2Cell {
 		var c tps2Cell
-		res, err := sim.Run(sim.Scenario{
+		res, err := opt.run(sim.Scenario{
 			Params: pp,
 			Seed:   int64(seed),
 			Faulty: map[protocol.NodeID]protocol.Node{
@@ -379,11 +379,11 @@ func E9MsgdBroadcast(opt Options) *Result {
 			c.violations++
 			return c
 		}
-		for _, ev := range res.Rec.Events() {
-			if ev.Kind == protocol.EvAccept && res.IsCorrect(ev.Node) && ev.M == "forged" {
+		res.Rec.ForEachKind(func(ev protocol.TraceEvent) {
+			if res.IsCorrect(ev.Node) && ev.M == "forged" {
 				c.forged++
 			}
-		}
+		}, protocol.EvAccept)
 		c.violations += countViolations(check.Agreement(res, 0))
 		return c
 	})
@@ -417,7 +417,7 @@ func E10MessageComplexity(opt Options) *Result {
 	cells := sweep(opt, ns, seeds, func(n, seed int) cell {
 		var c cell
 		sc, _ := correctGeneralScenario(n, int64(seed), 0, 0)
-		res, err := sim.Run(sc)
+		res, err := opt.run(sc)
 		if err != nil {
 			c.violations++
 			return c

@@ -22,7 +22,7 @@ func F1LatencyVsN(opt Options) *Result {
 	ns := opt.nSweep()
 	cells := sweep(opt, ns, seeds, func(n, seed int) latCell {
 		pp := protocol.DefaultParams(n)
-		return runLatencyCell(pp, seed, pp.D/2)
+		return runLatencyCell(opt, pp, seed, pp.D/2)
 	})
 	for i, n := range ns {
 		pp := protocol.DefaultParams(n)
@@ -47,7 +47,7 @@ func F2LatencyVsDelta(opt Options) *Result {
 		deltas = []simtime.Duration{pp.D / 10, pp.D / 2, pp.D}
 	}
 	cells := sweep(opt, deltas, seeds, func(delta simtime.Duration, seed int) latCell {
-		return runLatencyCell(pp, seed, delta)
+		return runLatencyCell(opt, pp, seed, delta)
 	})
 	for i, delta := range deltas {
 		ours, base := mergeLatCells(cells[i], &r.Violations)
@@ -96,7 +96,7 @@ func F3RecoveryTimeline(opt Options) *Result {
 			})
 		}
 		seed64 := int64(seed)
-		res, err := sim.Run(sim.Scenario{
+		res, err := opt.run(sim.Scenario{
 			Params:      pp,
 			Seed:        seed64,
 			Initiations: inits,
@@ -180,6 +180,7 @@ func F4PulseSkew(opt Options) *Result {
 		c := cell{skews: make(map[int]float64)}
 		w, err := simnet.New(simnet.Config{
 			Params: pp, Seed: int64(seed), DelayMin: pp.D / 2, DelayMax: pp.D,
+			LegacyFanout: opt.LegacyFanout,
 		})
 		if err != nil {
 			c.violations++

@@ -37,10 +37,23 @@ type Options struct {
 	// runtime.GOMAXPROCS(0)). Output is byte-identical for every value:
 	// parallelism only reorders execution, never presentation.
 	Workers int
+	// LegacyFanout runs every simulated world on the per-recipient
+	// broadcast delivery path instead of the batched one. The suite's
+	// output must be byte-identical either way (the differential tests
+	// assert it); the flag exists only to demonstrate that.
+	LegacyFanout bool
 
 	// pool, when set by RunAll, is the token pool shared by every sweep of
 	// every overlapping experiment.
 	pool chan struct{}
+}
+
+// run executes a scenario with the options' delivery-path choice applied.
+// Every experiment cell goes through here, so the whole suite honors
+// LegacyFanout.
+func (o Options) run(sc sim.Scenario) (*sim.Result, error) {
+	sc.LegacyFanout = o.LegacyFanout
+	return sim.Run(sc)
 }
 
 // seeds returns the effective repetition count.
@@ -73,12 +86,24 @@ type Result struct {
 	// Violations counts property violations found during the experiment
 	// (must be zero for a faithful reproduction).
 	Violations int `json:"violations"`
+	// WallMS, PeakAllocMB and CellWallMS are the non-deterministic
+	// fields of the JSON suite artifact (they record the perf trajectory
+	// across commits) and are deliberately excluded from WriteTo, so the
+	// human-readable report stays byte-identical across machines and
+	// worker counts.
+	//
 	// WallMS is the experiment's wall-clock cost in milliseconds, filled
-	// by RunAll. It is the ONLY non-deterministic field of the JSON suite
-	// artifact (it records the perf trajectory across commits) and is
-	// deliberately excluded from WriteTo, so the human-readable report
-	// stays byte-identical across machines and worker counts.
+	// by RunAll.
 	WallMS float64 `json:"wall_ms,omitempty"`
+	// PeakAllocMB is the process heap high-water (MB) sampled while the
+	// experiment ran, filled by RunAll. Experiments overlap on a shared
+	// worker pool, so read it as "heap pressure while this experiment was
+	// in flight", not an isolated footprint.
+	PeakAllocMB float64 `json:"peak_alloc_mb,omitempty"`
+	// CellWallMS breaks an experiment's cost down by configuration (S1
+	// fills it with the mean per-seed wall clock per committee size) —
+	// the series the BENCH regression guard compares across commits.
+	CellWallMS map[string]float64 `json:"cell_wall_ms,omitempty"`
 }
 
 // WriteTo renders the result.
@@ -149,17 +174,21 @@ func RunAll(w io.Writer, opt Options) ([]*Result, error) {
 	exps := All()
 	results := make([]*Result, len(exps))
 	done := make([]chan struct{}, len(exps))
+	sampler := newPeakSampler()
+	defer sampler.stop()
 	for i := range exps {
 		i := i
 		done[i] = make(chan struct{})
 		go func() {
 			defer close(done[i])
 			start := time.Now()
+			win := sampler.open()
 			results[i] = exps[i].Run(opt)
 			// Experiments overlap on a shared pool, so this includes time
 			// spent waiting for workers — read it as "cost within a full
 			// suite run", not an isolated measurement.
 			results[i].WallMS = float64(time.Since(start).Microseconds()) / 1000
+			results[i].PeakAllocMB = sampler.close(win)
 		}()
 	}
 	var out []*Result

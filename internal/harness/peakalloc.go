@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// peakSampler records the process heap high-water (runtime.MemStats
+// HeapAlloc) over per-experiment windows. One background goroutine
+// samples every few milliseconds and folds the reading into every open
+// window, so the cost is shared across however many experiments overlap.
+// The readings feed Result.PeakAllocMB — a perf-trajectory number like
+// WallMS, explicitly non-deterministic and excluded from the rendered
+// report.
+type peakSampler struct {
+	mu      sync.Mutex
+	windows map[*uint64]struct{}
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+const peakSampleEvery = 10 * time.Millisecond
+
+func newPeakSampler() *peakSampler {
+	s := &peakSampler{
+		windows: make(map[*uint64]struct{}),
+		done:    make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		ticker := time.NewTicker(peakSampleEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-s.done:
+				return
+			case <-ticker.C:
+				s.sample()
+			}
+		}
+	}()
+	return s
+}
+
+// sample reads the heap size once and raises every open window's peak.
+func (s *peakSampler) sample() {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	s.mu.Lock()
+	for w := range s.windows {
+		if m.HeapAlloc > *w {
+			*w = m.HeapAlloc
+		}
+	}
+	s.mu.Unlock()
+}
+
+// open starts a window. The immediate sample bounds the error for
+// experiments shorter than the sampling period.
+func (s *peakSampler) open() *uint64 {
+	w := new(uint64)
+	s.mu.Lock()
+	s.windows[w] = struct{}{}
+	s.mu.Unlock()
+	s.sample()
+	return w
+}
+
+// close ends the window and returns its peak in MB.
+func (s *peakSampler) close(w *uint64) float64 {
+	s.sample()
+	s.mu.Lock()
+	delete(s.windows, w)
+	peak := *w
+	s.mu.Unlock()
+	return float64(peak) / 1e6
+}
+
+// stop shuts the sampling goroutine down.
+func (s *peakSampler) stop() {
+	close(s.done)
+	s.wg.Wait()
+}

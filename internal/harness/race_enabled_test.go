@@ -1,0 +1,7 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports that this build runs under the race detector, whose
+// 5–20× slowdown makes wall-clock tripwire budgets meaningless.
+const raceEnabled = true

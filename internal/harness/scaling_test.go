@@ -5,18 +5,22 @@ import (
 	"time"
 )
 
-// TestScalingTableCoversN64 is the acceptance gate of the S1 workload:
-// the sweep must include n = 64 even in quick mode (quick shrinks seeds,
-// never the committee sizes — sustaining large n IS the experiment).
-func TestScalingTableCoversN64(t *testing.T) {
-	ns := ScalingNs()
-	if ns[len(ns)-1] != 64 {
-		t.Fatalf("ScalingNs = %v, want a sweep ending at 64", ns)
+// TestScalingSweepShape is the acceptance gate of the S1 workload: the
+// quick sweep must reach n = 128 and the full sweep n = 256 (quick
+// shrinks seeds, never the committee sizes — sustaining large n IS the
+// experiment), and an n = 64 sweep must produce its row cleanly.
+func TestScalingSweepShape(t *testing.T) {
+	ns := ScalingNs(false)
+	if ns[len(ns)-1] != 128 {
+		t.Fatalf("ScalingNs = %v, want a quick sweep ending at 128", ns)
+	}
+	if full := ScalingNs(true); full[len(full)-1] != 256 {
+		t.Fatalf("ScalingNs(full) = %v, want a sweep ending at 256", full)
 	}
 	if testing.Short() {
 		t.Skip("running the sweep is seconds-long; skipped in -short")
 	}
-	tab, violations := ScalingTable(Options{Quick: true}, []int{64})
+	tab, violations, _ := ScalingTable(Options{Quick: true}, []int{64})
 	if violations != 0 {
 		t.Fatalf("S1 at n=64: %d property violations", violations)
 	}
@@ -34,9 +38,12 @@ func TestScalingQuickBudgetN31(t *testing.T) {
 	if testing.Short() {
 		t.Skip("running the sweep is seconds-long; skipped in -short")
 	}
+	if raceEnabled {
+		t.Skip("wall-clock budget is meaningless under the race detector")
+	}
 	const budget = 60 * time.Second
 	start := time.Now()
-	_, violations := ScalingTable(Options{Quick: true}, []int{31})
+	_, violations, _ := ScalingTable(Options{Quick: true}, []int{31})
 	elapsed := time.Since(start)
 	if violations != 0 {
 		t.Fatalf("S1 at n=31: %d property violations", violations)
@@ -47,6 +54,31 @@ func TestScalingQuickBudgetN31(t *testing.T) {
 	t.Logf("quick S1 sweep at n=31: %v (budget %v)", elapsed, budget)
 }
 
+// TestScalingQuickBudgetN128 is the n=128 wall-clock tripwire, guarding
+// the tentpole of this substrate generation: the quick S1 sweep at n=128
+// (three seeds, ~19M messages each plus the TPS-87 baseline) must fit a
+// generous budget. ~8× the current cost — it fails loudly on a
+// superlinear regression, not on machine variance.
+func TestScalingQuickBudgetN128(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three n=128 agreements take ~20s; skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("wall-clock budget is meaningless under the race detector")
+	}
+	const budget = 180 * time.Second
+	start := time.Now()
+	_, violations, _ := ScalingTable(Options{Quick: true}, []int{128})
+	elapsed := time.Since(start)
+	if violations != 0 {
+		t.Fatalf("S1 at n=128: %d property violations", violations)
+	}
+	if elapsed > budget {
+		t.Fatalf("quick S1 sweep at n=128 took %v, budget %v — the simulation substrate regressed", elapsed, budget)
+	}
+	t.Logf("quick S1 sweep at n=128: %v (budget %v)", elapsed, budget)
+}
+
 // TestScalingTableDeterministicAcrossWorkers: every figure of the S1
 // table (including the processed-event cost column) must be identical
 // whether cells run sequentially or fanned out.
@@ -55,8 +87,8 @@ func TestScalingTableDeterministicAcrossWorkers(t *testing.T) {
 		t.Skip("runs the sweep twice; skipped in -short")
 	}
 	ns := []int{4, 7, 16}
-	seq, vSeq := ScalingTable(Options{Quick: true, Workers: 1}, ns)
-	par, vPar := ScalingTable(Options{Quick: true, Workers: 8}, ns)
+	seq, vSeq, _ := ScalingTable(Options{Quick: true, Workers: 1}, ns)
+	par, vPar, _ := ScalingTable(Options{Quick: true, Workers: 8}, ns)
 	if vSeq != vPar {
 		t.Fatalf("violations differ across workers: %d vs %d", vSeq, vPar)
 	}
@@ -68,8 +100,8 @@ func TestScalingTableDeterministicAcrossWorkers(t *testing.T) {
 // TestScalingCellDeterministic: the per-cell measurement (including the
 // scheduler's processed-event count) is a pure function of (n, seed).
 func TestScalingCellDeterministic(t *testing.T) {
-	a := runScaleCell(7, 3)
-	b := runScaleCell(7, 3)
+	a := runScaleCell(Options{}, 7, 3)
+	b := runScaleCell(Options{}, 7, 3)
 	if a.msgs != b.msgs || a.events != b.events || a.baseMsgs != b.baseMsgs {
 		t.Fatalf("cell not deterministic: %+v vs %+v", a, b)
 	}

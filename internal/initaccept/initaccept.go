@@ -67,14 +67,24 @@ type Instance struct {
 	// used by a correct General to detect failed invocations (IG3).
 	lineL4, lineM4, lineN4 map[protocol.Value]simtime.Local
 
-	// actVals lists the values Evaluate iterates, in first-seen order
-	// (deterministic). It grows as values gain live state and is rebuilt
-	// on Cleanup/reset, so Evaluate does not re-derive the set from maps
-	// on every incoming message (the hot path, DESIGN.md §5).
-	actVals []protocol.Value
-	actSet  map[protocol.Value]bool
+	// actVals/actStates list the values Evaluate iterates (and their
+	// cached per-value state) in first-seen order (deterministic). They
+	// grow as values gain live state and are rebuilt on Cleanup/reset, so
+	// Evaluate does not re-derive the set from maps on every incoming
+	// message (the hot path, DESIGN.md §5).
+	actVals   []protocol.Value
+	actStates []*valState
+	vals      map[protocol.Value]*valState
 
 	onIAccept IAcceptFn
+}
+
+// valState caches one value's msglog key resolutions, so the per-message
+// block evaluation skips the Key-struct hash (which includes the value
+// string) on every count and record.
+type valState struct {
+	inAct                      bool
+	hSupport, hApprove, hReady msglog.Handle
 }
 
 // New creates the instance for General g at the node owning rt.
@@ -94,46 +104,59 @@ func New(rt protocol.Runtime, g protocol.NodeID, onIAccept IAcceptFn) *Instance 
 		lineL4:      make(map[protocol.Value]simtime.Local),
 		lineM4:      make(map[protocol.Value]simtime.Local),
 		lineN4:      make(map[protocol.Value]simtime.Local),
-		actSet:      make(map[protocol.Value]bool),
+		vals:        make(map[protocol.Value]*valState),
 		onIAccept:   onIAccept,
 	}
 }
 
-// noteValue marks m live for the fixed-point evaluator.
-func (ia *Instance) noteValue(m protocol.Value) {
-	if !ia.actSet[m] {
-		ia.actSet[m] = true
-		ia.actVals = append(ia.actVals, m)
+// noteValue marks m live for the fixed-point evaluator and returns its
+// cached state.
+func (ia *Instance) noteValue(m protocol.Value) *valState {
+	vs, ok := ia.vals[m]
+	if !ok {
+		vs = &valState{
+			hSupport: ia.log.NewHandleSized(msglog.Key{Kind: protocol.Support, G: ia.g, M: m}, ia.pp.N),
+			hApprove: ia.log.NewHandleSized(msglog.Key{Kind: protocol.Approve, G: ia.g, M: m}, ia.pp.N),
+			hReady:   ia.log.NewHandleSized(msglog.Key{Kind: protocol.Ready, G: ia.g, M: m}, ia.pp.N),
+		}
+		ia.vals[m] = vs
 	}
+	if !vs.inAct {
+		vs.inAct = true
+		ia.actVals = append(ia.actVals, m)
+		ia.actStates = append(ia.actStates, vs)
+	}
+	return vs
 }
 
 // rebuildActive recomputes the live-value list from current state
 // (pending invocations, logged receptions, ready flags), keeping
-// first-seen order for survivors.
+// first-seen order for survivors. Values that drop out lose their cached
+// state too (a later reappearance rebuilds it).
 func (ia *Instance) rebuildActive() {
-	for m := range ia.actSet {
-		delete(ia.actSet, m)
+	old := ia.actVals
+	for _, vs := range ia.actStates {
+		vs.inAct = false
 	}
-	live := ia.actVals[:0]
-	keep := func(m protocol.Value) {
-		if !ia.actSet[m] {
-			ia.actSet[m] = true
-			live = append(live, m)
-		}
-	}
-	for _, m := range ia.actVals {
+	ia.actVals = nil
+	ia.actStates = ia.actStates[:0]
+	for _, m := range old {
 		if _, ok := ia.pending[m]; ok {
-			keep(m)
+			ia.noteValue(m)
 			continue
 		}
 		if _, ok := ia.ready[m]; ok {
-			keep(m)
+			ia.noteValue(m)
 		}
 	}
-	ia.log.ForEachKey(func(k msglog.Key) { keep(k.M) })
+	ia.log.ForEachKey(func(k msglog.Key) { ia.noteValue(k.M) })
 	// Pending/ready values not in the old list cannot exist (every path
 	// that adds one calls noteValue), so the rebuilt list is complete.
-	ia.actVals = live
+	for m, vs := range ia.vals {
+		if !vs.inAct {
+			delete(ia.vals, m)
+		}
+	}
 }
 
 // General returns the General this instance tracks.
@@ -277,28 +300,38 @@ func (ia *Instance) OnMessage(from protocol.NodeID, m protocol.Message) {
 	if ia.ignored(m.M, now) {
 		return
 	}
-	ia.noteValue(m.M)
-	ia.log.Record(msglog.KeyOf(m), from, now)
+	vs := ia.noteValue(m.M)
+	switch m.Kind {
+	case protocol.Support:
+		ia.log.RecordVia(&vs.hSupport, from, now)
+	case protocol.Approve:
+		ia.log.RecordVia(&vs.hApprove, from, now)
+	case protocol.Ready:
+		ia.log.RecordVia(&vs.hReady, from, now)
+	}
 	ia.Evaluate(now)
 }
 
 // Evaluate runs all enabled lines to a fixed point at local time now. The
 // iteration set is the maintained live-value list (noteValue), so a quiet
-// re-evaluation allocates nothing.
+// re-evaluation allocates nothing, and each block hides its window
+// queries behind an O(1) record-count guard (msglog.LenVia): a threshold
+// of c distinct senders cannot hold with fewer than c records in the log.
 func (ia *Instance) Evaluate(now simtime.Local) {
 	for iter := 0; iter < 8; iter++ {
 		changed := false
-		for _, m := range ia.actVals {
+		for i := 0; i < len(ia.actVals); i++ {
+			m, vs := ia.actVals[i], ia.actStates[i]
 			if ia.tryK(m, now) {
 				changed = true
 			}
-			if ia.tryL(m, now) {
+			if ia.tryL(m, vs, now) {
 				changed = true
 			}
-			if ia.tryM(m, now) {
+			if ia.tryM(m, vs, now) {
 				changed = true
 			}
-			if ia.tryN(m, now) {
+			if ia.tryN(m, vs, now) {
 				changed = true
 			}
 		}
@@ -358,10 +391,12 @@ func (ia *Instance) tryK(m protocol.Value, now simtime.Local) bool {
 //	L2.   i_values[G,m] := max{i_values[G,m], τq−α−2d}; lastq(G,m) = τq
 //	L3. support from ≥ n−f distinct nodes in [τq−2d, τq]
 //	L4.   send (approve,G,m) to all; lastq(G,m) = τq
-func (ia *Instance) tryL(m protocol.Value, now simtime.Local) bool {
+func (ia *Instance) tryL(m protocol.Value, vs *valState, now simtime.Local) bool {
+	if ia.log.LenVia(&vs.hSupport) < ia.pp.ByzQuorum() {
+		return false // no support threshold can hold yet (L1 and L3 both need ≥ n−2f records)
+	}
 	changed := false
-	sup := msglog.Key{Kind: protocol.Support, G: ia.g, M: m}
-	if tc, ok := ia.log.KthNewest(sup, ia.pp.ByzQuorum(), now); ok {
+	if tc, ok := ia.log.KthNewestVia(&vs.hSupport, ia.pp.ByzQuorum(), now); ok {
 		if alpha := ia.pp.Sub(now, tc); alpha >= 0 && alpha <= 4*ia.d() {
 			rec := ia.pp.Add(tc, -2*ia.d())
 			if cur, ok := ia.iValue(m, now); !ok || ia.pp.Sub(rec, cur) > 0 {
@@ -373,7 +408,7 @@ func (ia *Instance) tryL(m protocol.Value, now simtime.Local) bool {
 			}
 		}
 	}
-	if ia.log.CountWithin(sup, 2*ia.d(), now) >= ia.pp.Quorum() {
+	if ia.log.CountWithinVia(&vs.hSupport, 2*ia.d(), now) >= ia.pp.Quorum() {
 		if ia.canSend(protocol.Approve, m, now) {
 			ia.rt.Broadcast(protocol.Message{Kind: protocol.Approve, G: ia.g, M: m})
 			ia.markSent(protocol.Approve, m, now)
@@ -393,10 +428,12 @@ func (ia *Instance) tryL(m protocol.Value, now simtime.Local) bool {
 //	M2.   ready_{G,m} = true; lastq(G,m) = τq
 //	M3. approve from ≥ n−f distinct nodes in [τq−3d, τq]
 //	M4.   send (ready,G,m) to all; lastq(G,m) = τq
-func (ia *Instance) tryM(m protocol.Value, now simtime.Local) bool {
+func (ia *Instance) tryM(m protocol.Value, vs *valState, now simtime.Local) bool {
+	if ia.log.LenVia(&vs.hApprove) < ia.pp.ByzQuorum() {
+		return false // M1 and M3 both need ≥ n−2f approve records
+	}
 	changed := false
-	app := msglog.Key{Kind: protocol.Approve, G: ia.g, M: m}
-	if ia.log.CountWithin(app, 5*ia.d(), now) >= ia.pp.ByzQuorum() {
+	if ia.log.CountWithinVia(&vs.hApprove, 5*ia.d(), now) >= ia.pp.ByzQuorum() {
 		if at, ok := ia.ready[m]; !ok || at != now {
 			ia.ready[m] = now
 			changed = true
@@ -405,7 +442,7 @@ func (ia *Instance) tryM(m protocol.Value, now simtime.Local) bool {
 			changed = true
 		}
 	}
-	if ia.log.CountWithin(app, 3*ia.d(), now) >= ia.pp.Quorum() {
+	if ia.log.CountWithinVia(&vs.hApprove, 3*ia.d(), now) >= ia.pp.Quorum() {
 		if ia.canSend(protocol.Ready, m, now) {
 			ia.rt.Broadcast(protocol.Message{Kind: protocol.Ready, G: ia.g, M: m})
 			ia.markSent(protocol.Ready, m, now)
@@ -428,13 +465,15 @@ func (ia *Instance) tryM(m protocol.Value, now simtime.Local) bool {
 //	N4.   τG := i_values[G,m]; i_values[G,∗] := ⊥;
 //	      remove all (G,m) messages, ignore them for 3d;
 //	      I-accept ⟨G,m,τG⟩; lastq(G,m) = τq; lastq(G) := τq
-func (ia *Instance) tryN(m protocol.Value, now simtime.Local) bool {
+func (ia *Instance) tryN(m protocol.Value, vs *valState, now simtime.Local) bool {
 	if !ia.readyDefined(m, now) {
 		return false
 	}
+	if ia.log.LenVia(&vs.hReady) < ia.pp.ByzQuorum() {
+		return false // N1 and N3 both need ≥ n−2f ready records
+	}
 	changed := false
-	rdy := msglog.Key{Kind: protocol.Ready, G: ia.g, M: m}
-	cnt := ia.log.CountWithin(rdy, ia.pp.DeltaRmv(), now)
+	cnt := ia.log.CountWithinVia(&vs.hReady, ia.pp.DeltaRmv(), now)
 	if cnt >= ia.pp.ByzQuorum() && ia.canSend(protocol.Ready, m, now) {
 		ia.rt.Broadcast(protocol.Message{Kind: protocol.Ready, G: ia.g, M: m})
 		ia.markSent(protocol.Ready, m, now)

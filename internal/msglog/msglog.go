@@ -64,10 +64,58 @@ type rec struct {
 	sender protocol.NodeID
 }
 
+// seenWords sizes the inline sender bitmap: 4 words cover IDs < 256, the
+// full committee range the substrate targets, without a pointer chase on
+// the per-arrival duplicate test. Larger IDs spill to the overflow slice.
+const seenWords = 4
+
 // keyLog holds one key's records, sorted oldest→newest (wrap-aware).
+// seen is a sender bitmap standing in for the per-key sender map the log
+// used to carry: senders are dense in [0, N) (the transports authenticate
+// identities), so one bit per sender answers the duplicate test in O(1)
+// with no hashing and no per-key map to allocate, walk, or garbage-collect
+// — the per-arrival cost that dominated large-n runs (DESIGN.md §5).
 type keyLog struct {
 	recs     []rec
-	bySender map[protocol.NodeID]simtime.Local
+	seen     [seenWords]uint64
+	seenOver []uint64 // bits for senders ≥ 64·seenWords
+}
+
+// hasSender reports whether sender holds a record (bitmap test).
+func (kl *keyLog) hasSender(sender protocol.NodeID) bool {
+	w := uint(sender) >> 6
+	if w < seenWords {
+		return kl.seen[w]&(1<<(uint(sender)&63)) != 0
+	}
+	w -= seenWords
+	return int(w) < len(kl.seenOver) && kl.seenOver[w]&(1<<(uint(sender)&63)) != 0
+}
+
+// setSender marks sender as recorded, growing the overflow as needed.
+func (kl *keyLog) setSender(sender protocol.NodeID) {
+	w := uint(sender) >> 6
+	if w < seenWords {
+		kl.seen[w] |= 1 << (uint(sender) & 63)
+		return
+	}
+	w -= seenWords
+	for int(w) >= len(kl.seenOver) {
+		kl.seenOver = append(kl.seenOver, 0)
+	}
+	kl.seenOver[w] |= 1 << (uint(sender) & 63)
+}
+
+// clearSender removes sender from the bitmap.
+func (kl *keyLog) clearSender(sender protocol.NodeID) {
+	w := uint(sender) >> 6
+	if w < seenWords {
+		kl.seen[w] &^= 1 << (uint(sender) & 63)
+		return
+	}
+	w -= seenWords
+	if int(w) < len(kl.seenOver) {
+		kl.seenOver[w] &^= 1 << (uint(sender) & 63)
+	}
 }
 
 // Log stores reception records. The zero value is not usable; use New.
@@ -89,13 +137,22 @@ type Log struct {
 // that the caller uses it with; the zero-ish value from NewHandle is
 // valid and resolves lazily.
 type Handle struct {
-	key Key
-	kl  *keyLog
-	gen uint64
+	key  Key
+	kl   *keyLog
+	gen  uint64
+	hint int
 }
 
 // NewHandle returns an unresolved handle for key.
 func (l *Log) NewHandle(key Key) Handle { return Handle{key: key} }
+
+// NewHandleSized is NewHandle with a capacity hint: when the key's storage
+// is first created through this handle, its record slice is presized for
+// hint senders, sparing the quorum-sized keys (echo waves collect ~n
+// records each) the append-growth copies.
+func (l *Log) NewHandleSized(key Key, hint int) Handle {
+	return Handle{key: key, hint: hint}
+}
 
 // resolve returns the key's records, consulting the cache first. With
 // create it installs an empty keyLog (Record path); otherwise it returns
@@ -110,7 +167,10 @@ func (l *Log) resolve(h *Handle, create bool) *keyLog {
 		if !create {
 			return nil
 		}
-		kl = &keyLog{bySender: make(map[protocol.NodeID]simtime.Local)}
+		kl = &keyLog{}
+		if h.hint > 0 {
+			kl.recs = make([]rec, 0, h.hint)
+		}
 		l.recs[h.key] = kl
 		l.order = append(l.order, h.key)
 	}
@@ -132,14 +192,35 @@ func (l *Log) CountWithinVia(h *Handle, width simtime.Duration, now simtime.Loca
 	return kl.firstFuture(now, l.wrap) - kl.firstWithin(width, now, l.wrap)
 }
 
+// LenVia returns how many records the handle's key holds, in O(1). It is
+// the incremental support counter of the threshold fast paths: bumped on
+// insert, adjusted when decay closes the window, and always ≥ any windowed
+// count of the key (window queries only ever exclude records), so
+// LenVia < c proves CountWithinVia/KthNewest would miss a threshold of c
+// without running the binary searches.
+func (l *Log) LenVia(h *Handle) int {
+	kl := l.resolve(h, false)
+	if kl == nil {
+		return 0
+	}
+	return len(kl.recs)
+}
+
+// LenOf is LenVia by key.
+func (l *Log) LenOf(key Key) int {
+	if kl, ok := l.recs[key]; ok {
+		return len(kl.recs)
+	}
+	return 0
+}
+
 // HasVia is Has through a cached handle.
 func (l *Log) HasVia(h *Handle, sender protocol.NodeID) bool {
 	kl := l.resolve(h, false)
 	if kl == nil {
 		return false
 	}
-	_, ok := kl.bySender[sender]
-	return ok
+	return kl.hasSender(sender)
 }
 
 // New returns an empty log whose window arithmetic honors the given
@@ -157,13 +238,21 @@ func (l *Log) Record(key Key, sender protocol.NodeID, now simtime.Local) {
 }
 
 // record inserts (sender, now) into kl, replacing the sender's previous
-// record if any.
+// record if any. Senders must be non-negative (IDs are dense in [0, N) and
+// the transports authenticate them); a negative sender is dropped.
 func (l *Log) record(kl *keyLog, sender protocol.NodeID, now simtime.Local) {
-	if old, dup := kl.bySender[sender]; dup {
-		kl.removeRec(old, sender)
+	if sender < 0 {
+		return
+	}
+	if kl.hasSender(sender) {
+		// Duplicate: "multiple messages sent by an individual node are
+		// ignored" — only the latest reception is kept. Duplicates cannot
+		// occur from correct nodes (sends are suppressed per kind), so the
+		// linear scan is off the hot path.
+		kl.removeRec(sender)
 		l.total--
 	}
-	kl.bySender[sender] = now
+	kl.setSender(sender)
 	l.total++
 	// Insert in sorted position. Records arrive in (nearly) nondecreasing
 	// local time, so the scan from the newest end is O(1) amortized.
@@ -176,10 +265,10 @@ func (l *Log) record(kl *keyLog, sender protocol.NodeID, now simtime.Local) {
 	kl.recs[i] = rec{at: now, sender: sender}
 }
 
-// removeRec deletes the record (at, sender) from the slice.
-func (kl *keyLog) removeRec(at simtime.Local, sender protocol.NodeID) {
+// removeRec deletes sender's record from the slice.
+func (kl *keyLog) removeRec(sender protocol.NodeID) {
 	for i := len(kl.recs) - 1; i >= 0; i-- {
-		if kl.recs[i].sender == sender && kl.recs[i].at == at {
+		if kl.recs[i].sender == sender {
 			copy(kl.recs[i:], kl.recs[i+1:])
 			kl.recs = kl.recs[:len(kl.recs)-1]
 			return
@@ -200,8 +289,7 @@ func (l *Log) Has(key Key, sender protocol.NodeID) bool {
 	if !ok {
 		return false
 	}
-	_, ok = kl.bySender[sender]
-	return ok
+	return kl.hasSender(sender)
 }
 
 // firstWithin returns the index of the first record with age ≤ width at
@@ -271,6 +359,22 @@ func (l *Log) KthNewest(key Key, k int, now simtime.Local) (simtime.Local, bool)
 	return kl.recs[j-k].at, true
 }
 
+// KthNewestVia is KthNewest through a cached handle.
+func (l *Log) KthNewestVia(h *Handle, k int, now simtime.Local) (simtime.Local, bool) {
+	if k <= 0 {
+		return 0, false
+	}
+	kl := l.resolve(h, false)
+	if kl == nil {
+		return 0, false
+	}
+	j := kl.firstFuture(now, l.wrap)
+	if j < k {
+		return 0, false
+	}
+	return kl.recs[j-k].at, true
+}
+
 // Senders returns the distinct senders recorded for key, oldest reception
 // first (deterministic order).
 func (l *Log) Senders(key Key) []protocol.NodeID {
@@ -297,7 +401,7 @@ func (l *Log) DecayOlderThan(maxAge simtime.Duration, now simtime.Local) {
 		for _, r := range kl.recs {
 			age := simtime.WrapSub(now, r.at, l.wrap)
 			if age < 0 || age > maxAge {
-				delete(kl.bySender, r.sender)
+				kl.clearSender(r.sender)
 				l.total--
 				continue
 			}

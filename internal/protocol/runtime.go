@@ -83,6 +83,11 @@ const (
 	// termination of the protocol"). It occurs when a (possibly faulty)
 	// General's initiation never produced an anchor at this node.
 	EvExpire
+
+	// numEventKinds is the sentinel bounding the kind space; the
+	// recorder's per-kind index is sized from it, so a kind added above
+	// is indexed automatically. Keep it last.
+	numEventKinds
 )
 
 var eventKindNames = map[EventKind]string{

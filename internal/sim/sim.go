@@ -53,6 +53,10 @@ type Scenario struct {
 	Corrupt func(w *simnet.World)
 	// RunFor is the virtual real time to simulate (default 3·Δagr).
 	RunFor simtime.Duration
+	// LegacyFanout forces the per-recipient broadcast delivery path (see
+	// simnet.Config.LegacyFanout); the differential tests pin the batched
+	// path against it.
+	LegacyFanout bool
 }
 
 // Initiator is the General-side capability required of correct nodes for
@@ -77,7 +81,14 @@ type Decision struct {
 	RTauG   simtime.Real  // real time at which the local clock read TauG
 }
 
-// Result is everything a run produced.
+// Result is everything a run produced. The per-General accessors
+// (Decisions, IAccepts, Invocations, Initiations) extract from the
+// recorder's kind index once and memoize: the property battery asks for
+// the same extracts ~10 times per run, and at large n re-scanning (and
+// re-copying) the full trace per predicate dominated the checking cost.
+// The returned slices are shared — callers must treat them as read-only.
+// The accessors are not safe for concurrent use (runs are checked from
+// one goroutine).
 type Result struct {
 	Scenario Scenario
 	World    *simnet.World
@@ -87,6 +98,13 @@ type Result struct {
 	// InitErrs records sending-validity refusals hit by scripted
 	// initiations (IG1–IG3), keyed by initiation index.
 	InitErrs map[int]error
+
+	// correctSet answers IsCorrect in O(1); index by node ID.
+	correctSet []bool
+	decCache   map[protocol.NodeID][]Decision
+	iaCache    map[protocol.NodeID][]protocol.TraceEvent
+	invCache   map[protocol.NodeID][]protocol.TraceEvent
+	initCache  map[protocol.NodeID][]protocol.TraceEvent
 }
 
 // Run executes the scenario to completion.
@@ -111,18 +129,25 @@ func Run(sc Scenario) (*Result, error) {
 	}
 
 	w, err := simnet.New(simnet.Config{
-		Params:   sc.Params,
-		Seed:     sc.Seed,
-		DelayMin: sc.DelayMin,
-		DelayMax: sc.DelayMax,
-		Delay:    sc.Delay,
-		Clocks:   sc.Clocks,
+		Params:       sc.Params,
+		Seed:         sc.Seed,
+		DelayMin:     sc.DelayMin,
+		DelayMax:     sc.DelayMax,
+		Delay:        sc.Delay,
+		Clocks:       sc.Clocks,
+		LegacyFanout: sc.LegacyFanout,
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	res := &Result{Scenario: sc, World: w, Rec: w.Recorder(), InitErrs: make(map[int]error)}
+	res := &Result{
+		Scenario:   sc,
+		World:      w,
+		Rec:        w.Recorder(),
+		InitErrs:   make(map[int]error),
+		correctSet: make([]bool, sc.Params.N),
+	}
 	for i := 0; i < sc.Params.N; i++ {
 		id := protocol.NodeID(i)
 		if adv, ok := sc.Faulty[id]; ok {
@@ -137,6 +162,7 @@ func Run(sc Scenario) (*Result, error) {
 			w.SetNode(id, core.NewNode())
 		}
 		res.Correct = append(res.Correct, id)
+		res.correctSet[id] = true
 	}
 	sort.Slice(res.Correct, func(i, j int) bool { return res.Correct[i] < res.Correct[j] })
 
@@ -176,6 +202,9 @@ func Run(sc Scenario) (*Result, error) {
 
 // IsCorrect reports whether id is a correct node in this run.
 func (r *Result) IsCorrect(id protocol.NodeID) bool {
+	if r.correctSet != nil {
+		return id >= 0 && int(id) < len(r.correctSet) && r.correctSet[id]
+	}
 	for _, c := range r.Correct {
 		if c == id {
 			return true
@@ -185,44 +214,67 @@ func (r *Result) IsCorrect(id protocol.NodeID) bool {
 }
 
 // Decisions returns every correct node's return (decide or abort) for
-// General g, in node order. Nodes that never returned are absent.
+// General g, in node order. Nodes that never returned are absent. The
+// slice is memoized and shared — read-only for callers.
 func (r *Result) Decisions(g protocol.NodeID) []Decision {
-	var out []Decision
-	for _, ev := range r.Rec.Events() {
-		if ev.G != g || !r.IsCorrect(ev.Node) {
-			continue
-		}
-		switch ev.Kind {
-		case protocol.EvDecide:
-			out = append(out, Decision{Node: ev.Node, Decided: true, Value: ev.M,
-				RT: ev.RT, Tau: ev.Tau, TauG: ev.TauG, RTauG: ev.RTauG})
-		case protocol.EvAbort:
-			out = append(out, Decision{Node: ev.Node, Decided: false, Value: protocol.Bottom,
-				RT: ev.RT, Tau: ev.Tau, TauG: ev.TauG, RTauG: ev.RTauG})
-		}
+	if out, ok := r.decCache[g]; ok {
+		return out
 	}
+	var out []Decision
+	r.Rec.ForEachKind(func(ev protocol.TraceEvent) {
+		if ev.G != g || !r.IsCorrect(ev.Node) {
+			return
+		}
+		d := Decision{Node: ev.Node, Decided: ev.Kind == protocol.EvDecide,
+			RT: ev.RT, Tau: ev.Tau, TauG: ev.TauG, RTauG: ev.RTauG}
+		if d.Decided {
+			d.Value = ev.M
+		} else {
+			d.Value = protocol.Bottom
+		}
+		out = append(out, d)
+	}, protocol.EvDecide, protocol.EvAbort)
 	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	if r.decCache == nil {
+		r.decCache = make(map[protocol.NodeID][]Decision)
+	}
+	r.decCache[g] = out
 	return out
 }
 
-// IAccepts returns the I-accept events of correct nodes for General g.
+// kindForG extracts kind-events for General g through a per-G cache.
+func (r *Result) kindForG(cache *map[protocol.NodeID][]protocol.TraceEvent,
+	g protocol.NodeID, kind protocol.EventKind, correctOnly bool) []protocol.TraceEvent {
+	if out, ok := (*cache)[g]; ok {
+		return out
+	}
+	var out []protocol.TraceEvent
+	r.Rec.ForEachKind(func(ev protocol.TraceEvent) {
+		if ev.G == g && (!correctOnly || r.IsCorrect(ev.Node)) {
+			out = append(out, ev)
+		}
+	}, kind)
+	if *cache == nil {
+		*cache = make(map[protocol.NodeID][]protocol.TraceEvent)
+	}
+	(*cache)[g] = out
+	return out
+}
+
+// IAccepts returns the I-accept events of correct nodes for General g
+// (memoized; read-only).
 func (r *Result) IAccepts(g protocol.NodeID) []protocol.TraceEvent {
-	return r.Rec.Filter(func(ev protocol.TraceEvent) bool {
-		return ev.Kind == protocol.EvIAccept && ev.G == g && r.IsCorrect(ev.Node)
-	})
+	return r.kindForG(&r.iaCache, g, protocol.EvIAccept, true)
 }
 
 // Invocations returns the protocol-invocation events of correct nodes for
-// General g (Block Q1 executions).
+// General g (Block Q1 executions; memoized; read-only).
 func (r *Result) Invocations(g protocol.NodeID) []protocol.TraceEvent {
-	return r.Rec.Filter(func(ev protocol.TraceEvent) bool {
-		return ev.Kind == protocol.EvInvoke && ev.G == g && r.IsCorrect(ev.Node)
-	})
+	return r.kindForG(&r.invCache, g, protocol.EvInvoke, true)
 }
 
-// Initiations returns the EvInitiate events for General g.
+// Initiations returns the EvInitiate events for General g (memoized;
+// read-only).
 func (r *Result) Initiations(g protocol.NodeID) []protocol.TraceEvent {
-	return r.Rec.Filter(func(ev protocol.TraceEvent) bool {
-		return ev.Kind == protocol.EvInitiate && ev.G == g
-	})
+	return r.kindForG(&r.initCache, g, protocol.EvInitiate, false)
 }

@@ -29,9 +29,7 @@ func (rt *nodeRT) Send(to protocol.NodeID, m protocol.Message) {
 }
 
 func (rt *nodeRT) Broadcast(m protocol.Message) {
-	for i := 0; i < rt.w.cfg.Params.N; i++ {
-		rt.Send(protocol.NodeID(i), m)
-	}
+	rt.w.broadcastFrom(rt.id, m)
 }
 
 func (rt *nodeRT) After(dl simtime.Duration, tag protocol.TimerTag) protocol.TimerID {

@@ -38,6 +38,12 @@ type Config struct {
 	// default to ideal clocks with zero offset. Use simtime.DriftClock to
 	// model drift and offset.
 	Clocks []simtime.Clock
+	// LegacyFanout forces Broadcast to post one scheduler event per
+	// recipient (the pre-batching delivery path). It exists for the
+	// differential tests that pin the batched path to the legacy one:
+	// both must produce byte-identical traces, message counts, and
+	// processed-event counts.
+	LegacyFanout bool
 }
 
 // World is a deterministic simulation of n nodes exchanging messages.
@@ -59,8 +65,30 @@ type World struct {
 	dropFn func(from, to protocol.NodeID, m protocol.Message) bool
 
 	// delPool recycles delivery events so that scheduling one in-flight
-	// message performs zero heap allocations (DESIGN.md §5).
+	// message performs zero heap allocations (DESIGN.md §5); delSlab
+	// carves fresh deliveries out of chunk allocations, so the in-flight
+	// peak of a broadcast storm is a few large spans rather than millions
+	// of individually tracked heap objects (the GC scan cost at n ≥ 128).
 	delPool []*delivery
+	delSlab []delivery
+
+	// batchPool recycles fan-out batches, and fanScratch/fanOffs are the
+	// per-Broadcast bucketing workspace: fanScratch is indexed by the
+	// delay offset within [DelayMin, DelayMax] (two recipients share a
+	// batch exactly when they share a delay, hence an arrival tick), and
+	// fanOffs lists the offsets in use, in first-use order. Both are
+	// reused across broadcasts, so the batched fan-out allocates nothing
+	// in steady state (DESIGN.md §5).
+	batchPool  []*deliveryBatch
+	fanScratch []*deliveryBatch
+	fanOffs    []int
+	// useBatch selects the batched fan-out: per-tick batches only pay
+	// when recipients actually share arrival ticks, i.e. when the delay
+	// span is within a small factor of n (they win n× on deterministic
+	// delays and lose a bucketing pass on wide scatters, where the
+	// per-recipient pooled path is already optimal). Either path yields
+	// byte-identical runs, so this is purely a cost choice.
+	useBatch bool
 
 	started bool
 }
@@ -75,14 +103,44 @@ type delivery struct {
 
 // RunEvent delivers the message. The delivery object returns itself to
 // the pool before dispatching, so nodes that send while handling a message
-// (the message-driven rounds) can reuse it immediately.
+// (the message-driven rounds) can reuse it immediately. Its fields are
+// left stale until reuse — clearing them per delivery is measurable at
+// n ≥ 128, and the only thing they retain is a short value string.
 func (d *delivery) RunEvent() {
 	w, to, m := d.w, d.to, d.m
-	*d = delivery{}
 	w.delPool = append(w.delPool, d)
 	if n := w.nodes[to]; n != nil {
 		n.OnMessage(m.From, m)
 	}
+}
+
+// deliveryBatch is one broadcast's recipients that share an arrival tick:
+// a single pooled scheduler event standing for len(tos) deliveries. The
+// recipients are dispatched in the order they were enqueued (ascending
+// NodeID within one Broadcast call), which is exactly the (time, seq)
+// order the per-recipient fan-out would have produced, so traces are
+// byte-identical between the two paths.
+type deliveryBatch struct {
+	w   *World
+	m   protocol.Message
+	tos []protocol.NodeID
+}
+
+// RunEvent dispatches the batch. Processed-event accounting stays per
+// delivery (the batch credits len−1 extras on top of its own Step), so the
+// deterministic cost metric is independent of the fan-out mode. The batch
+// returns to the pool only after the last dispatch: a nested Broadcast
+// issued by a recipient must not reuse the recipient slice mid-iteration.
+func (b *deliveryBatch) RunEvent() {
+	w, m, tos := b.w, b.m, b.tos
+	w.sch.AddProcessed(uint64(len(tos) - 1))
+	for _, to := range tos {
+		if n := w.nodes[to]; n != nil {
+			n.OnMessage(m.From, m)
+		}
+	}
+	b.tos = tos[:0]
+	w.batchPool = append(w.batchPool, b)
 }
 
 // New builds a world. Nodes must be attached with SetNode before Start.
@@ -103,9 +161,13 @@ func New(cfg Config) (*World, error) {
 		cfg:   cfg,
 		sch:   simtime.NewScheduler(),
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
-		rec:   protocol.NewRecorder(),
+		rec:   protocol.NewSequentialRecorder(),
 		nodes: make([]protocol.Node, cfg.Params.N),
 		rts:   make([]*nodeRT, cfg.Params.N),
+		// One bucket per possible delay value: recipients of one broadcast
+		// share an arrival tick exactly when they share a delay.
+		fanScratch: make([]*deliveryBatch, int(cfg.DelayMax-cfg.DelayMin)+1),
+		useBatch:   int64(cfg.DelayMax-cfg.DelayMin)+1 <= 4*int64(cfg.Params.N),
 	}
 	for i := 0; i < cfg.Params.N; i++ {
 		var clk simtime.Clock
@@ -212,36 +274,122 @@ func (w *World) clampDelay(d simtime.Duration) simtime.Duration {
 	return d
 }
 
-// deliver schedules the arrival of m at to, after delay. Deliveries are
-// uncancellable pooled events: no allocation, no scheduler bookkeeping.
-func (w *World) deliver(from, to protocol.NodeID, m protocol.Message, delay simtime.Duration) {
+// countMessage applies the per-send accounting (total + per-kind
+// counters) and the in-flight drop filter, reporting whether the message
+// survives. Both fan-out paths go through it — the byte-identical
+// guarantee between them depends on this accounting having exactly one
+// implementation. m must still be unstamped here (the filter sees the
+// message as sent, From excluded).
+func (w *World) countMessage(from, to protocol.NodeID, m protocol.Message) bool {
 	w.total++
 	if int(m.Kind) < len(w.counts) {
 		w.counts[m.Kind]++
 	}
-	if w.dropFn != nil && w.dropFn(from, to, m) {
+	return w.dropFn == nil || !w.dropFn(from, to, m)
+}
+
+// deliver schedules the arrival of m at to, after delay. Deliveries are
+// uncancellable pooled events: no allocation, no scheduler bookkeeping.
+func (w *World) deliver(from, to protocol.NodeID, m protocol.Message, delay simtime.Duration) {
+	if !w.countMessage(from, to, m) {
 		return
 	}
 	m.From = from // authenticated identity: stamped by the transport
+	w.sch.PostHandlerAfter(delay, w.pooledDelivery(to, m))
+}
+
+// pooledDelivery pops (or carves) a delivery event for (to, m).
+func (w *World) pooledDelivery(to protocol.NodeID, m protocol.Message) *delivery {
 	var d *delivery
 	if n := len(w.delPool); n > 0 {
 		d = w.delPool[n-1]
 		w.delPool = w.delPool[:n-1]
 	} else {
-		d = new(delivery)
+		if len(w.delSlab) == cap(w.delSlab) {
+			// Full (or nil) slab: start a fresh chunk. The old chunk must
+			// not be grown in place — outstanding deliveries point into it.
+			w.delSlab = make([]delivery, 0, 512)
+		}
+		w.delSlab = w.delSlab[:len(w.delSlab)+1]
+		d = &w.delSlab[len(w.delSlab)-1]
 	}
 	*d = delivery{w: w, to: to, m: m}
-	w.sch.PostHandlerAfter(delay, d)
+	return d
+}
+
+// pooledBatch pops (or makes) an empty fan-out batch for m.
+func (w *World) pooledBatch(m protocol.Message) *deliveryBatch {
+	var b *deliveryBatch
+	if n := len(w.batchPool); n > 0 {
+		b = w.batchPool[n-1]
+		w.batchPool = w.batchPool[:n-1]
+	} else {
+		b = new(deliveryBatch)
+	}
+	b.w, b.m = w, m
+	return b
+}
+
+// broadcastFrom implements Runtime.Broadcast: one send to every node,
+// including the sender (the model has no broadcast medium). The batched
+// path draws the same delay sequence the per-recipient path would
+// (ascending recipient ID, so the RNG stream is untouched), buckets
+// recipients by arrival tick, and posts ONE pooled batch event per
+// distinct tick — up to n× less scheduler traffic per broadcast (all of
+// it when delays are deterministic) with the exact per-recipient
+// (time, seq) delivery order of the legacy path, so traces, message
+// counts, and processed-event counts are byte-identical between the two.
+func (w *World) broadcastFrom(from protocol.NodeID, m protocol.Message) {
+	n := w.cfg.Params.N
+	if w.cfg.LegacyFanout || !w.useBatch {
+		for to := 0; to < n; to++ {
+			w.deliver(from, protocol.NodeID(to), m, w.delayFor(from, protocol.NodeID(to), m))
+		}
+		return
+	}
+	sm := m
+	sm.From = from // authenticated identity: stamped by the transport
+	for to := 0; to < n; to++ {
+		toID := protocol.NodeID(to)
+		delay := w.delayFor(from, toID, m)
+		if !w.countMessage(from, toID, m) {
+			continue
+		}
+		off := int(delay - w.cfg.DelayMin)
+		b := w.fanScratch[off]
+		if b == nil {
+			b = w.pooledBatch(sm)
+			w.fanScratch[off] = b
+			w.fanOffs = append(w.fanOffs, off)
+		}
+		b.tos = append(b.tos, toID)
+	}
+	// Flush in first-use order: batches sit at distinct ticks, so the
+	// posting order among them is immaterial to execution order — it only
+	// has to be deterministic.
+	for _, off := range w.fanOffs {
+		b := w.fanScratch[off]
+		w.fanScratch[off] = nil
+		delay := w.cfg.DelayMin + simtime.Duration(off)
+		if len(b.tos) == 1 {
+			// A lone recipient degrades to a plain delivery: smaller event,
+			// and the batch returns to the pool immediately.
+			to := b.tos[0]
+			*b = deliveryBatch{tos: b.tos[:0]}
+			w.batchPool = append(w.batchPool, b)
+			w.sch.PostHandlerAfter(delay, w.pooledDelivery(to, sm))
+			continue
+		}
+		w.sch.PostHandlerAfter(delay, b)
+	}
+	w.fanOffs = w.fanOffs[:0]
 }
 
 // InjectDelivery schedules a raw message delivery outside the normal send
 // path. The transient injector uses it to model residue of the incoherent
 // period: spurious messages that arrive right after coherence begins. The
-// claimed sender From must be set by the caller.
+// claimed sender From must be set by the caller. The event is a pooled
+// handler, honoring the no-allocation delivery invariant.
 func (w *World) InjectDelivery(to protocol.NodeID, m protocol.Message, at simtime.Real) {
-	w.sch.Post(at, func() {
-		if n := w.nodes[to]; n != nil {
-			n.OnMessage(m.From, m)
-		}
-	})
+	w.sch.PostHandler(at, w.pooledDelivery(to, m))
 }

@@ -13,14 +13,28 @@ type Handler interface {
 	RunEvent()
 }
 
-// event is one scheduled entry. Events are stored by value; seq breaks
-// same-instant ties so events run in schedule order.
+// funcHandler adapts a plain func() to Handler. Closure-based events (the
+// At/Post family) box one per call; the hot delivery path never does.
+type funcHandler func()
+
+func (f funcHandler) RunEvent() { f() }
+
+// event is one wheel entry. Its tick is implied by the bucket it sits in
+// (and its wrap-aware distance from the wheel base), so wheel storage is
+// 32 bytes per in-flight event with a single pointer-carrying field — the
+// dominant memory of a large-n broadcast storm, where millions of events
+// are in flight at once. seq breaks same-instant ties so events run in
+// schedule order.
 type event struct {
-	at  Real
 	seq uint64
 	id  EventID
-	fn  func()
 	h   Handler
+}
+
+// timedEvent is an overflow-heap entry: an event plus its explicit tick.
+type timedEvent struct {
+	at Real
+	event
 }
 
 // wheelBits sizes the timing wheel: one bucket per tick over a horizon of
@@ -59,7 +73,7 @@ type Scheduler struct {
 
 	// overflow holds events at ticks ≥ base+wheelSize, ordered by
 	// (at, seq).
-	overflow []event
+	overflow []timedEvent
 
 	nextID EventID
 	// live tracks cancellable events only: false = pending, true =
@@ -83,26 +97,41 @@ func (s *Scheduler) Now() Real { return s.now }
 // wall-clock would break run-to-run reproducibility.
 func (s *Scheduler) Processed() uint64 { return s.processed }
 
-// schedule enqueues e, clamping past times to the present (scheduling in
-// the past can only arise from adversarial or transient inputs).
-func (s *Scheduler) schedule(e event) {
-	if e.at < s.now {
-		e.at = s.now
+// AddProcessed credits n extra events to the Processed counter. The batched
+// delivery path of the simulated transport uses it so that Processed keeps
+// counting individual message deliveries: a batch of k same-tick deliveries
+// is one scheduler event but k units of simulated work, and the metric must
+// stay byte-identical with the per-recipient fan-out it replaced.
+func (s *Scheduler) AddProcessed(n uint64) { s.processed += n }
+
+// tickOfSlot recovers the tick a wheel slot currently stands for: the
+// unique t ≡ slot (mod wheelSize) within [base, base+wheelSize).
+func (s *Scheduler) tickOfSlot(slot int) Real {
+	off := (slot - int(s.base)) & wheelMask
+	return s.base + Real(off)
+}
+
+// schedule enqueues e for tick at, clamping past times to the present
+// (scheduling in the past can only arise from adversarial or transient
+// inputs).
+func (s *Scheduler) schedule(at Real, e event) {
+	if at < s.now {
+		at = s.now
 	}
-	if e.at < s.base {
+	if at < s.base {
 		// peek ran the base ahead of the clock hunting for the next event
 		// and a RunUntil deadline stopped execution before reaching it
 		// (base tracks the next event's tick, now the deadline). A new
 		// event in [now, base) needs the wheel rewound, or its bucket
 		// would not be reached until one full wheel period later.
-		s.rewind(e.at)
+		s.rewind(at)
 	}
-	if e.at < s.base+wheelSize {
-		s.wheel[int(e.at)&wheelMask] = append(s.wheel[int(e.at)&wheelMask], e)
+	if at < s.base+wheelSize {
+		s.wheel[int(at)&wheelMask] = append(s.wheel[int(at)&wheelMask], e)
 		s.inWheel++
 		return
 	}
-	s.heapPush(e)
+	s.heapPush(timedEvent{at: at, event: e})
 }
 
 // rewind moves the wheel base back to tick to (now ≤ to < base), used on
@@ -113,9 +142,16 @@ func (s *Scheduler) schedule(e event) {
 // window [base, base+wheelSize). O(wheelSize); never on the hot path.
 func (s *Scheduler) rewind(to Real) {
 	for i := range s.wheel {
-		for _, e := range s.wheel[i] {
-			if e.fn != nil || e.h != nil || e.id != 0 {
-				s.heapPush(e)
+		at := s.tickOfSlot(i)
+		bucket := s.wheel[i]
+		if at == s.base {
+			// The base bucket's consumed prefix is stale (Step does not
+			// zero slots); only entries from the cursor on are pending.
+			bucket = bucket[s.cursor:]
+		}
+		for _, e := range bucket {
+			if e.h != nil || e.id != 0 {
+				s.heapPush(timedEvent{at: at, event: e})
 			}
 		}
 		s.wheel[i] = s.wheel[i][:0]
@@ -123,10 +159,16 @@ func (s *Scheduler) rewind(to Real) {
 	s.inWheel = 0
 	s.cursor = 0
 	s.base = to
+	s.migrate()
+}
+
+// migrate moves overflow events whose tick is inside the horizon into
+// their buckets.
+func (s *Scheduler) migrate() {
 	edge := s.base + wheelSize - 1
 	for len(s.overflow) > 0 && s.overflow[0].at <= edge {
 		e := s.heapPop()
-		s.wheel[int(e.at)&wheelMask] = append(s.wheel[int(e.at)&wheelMask], e)
+		s.wheel[int(e.at)&wheelMask] = append(s.wheel[int(e.at)&wheelMask], e.event)
 		s.inWheel++
 	}
 }
@@ -136,7 +178,7 @@ func (s *Scheduler) At(t Real, fn func()) EventID {
 	s.seq++
 	s.nextID++
 	s.live[s.nextID] = false
-	s.schedule(event{at: t, seq: s.seq, id: s.nextID, fn: fn})
+	s.schedule(t, event{seq: s.seq, id: s.nextID, h: funcHandler(fn)})
 	return s.nextID
 }
 
@@ -146,11 +188,11 @@ func (s *Scheduler) After(dl Duration, fn func()) EventID {
 }
 
 // Post schedules fn to run at real time t without cancellation support:
-// no ID is assigned and no bookkeeping entry is created. Use it for the
-// fire-and-forget bulk of a simulation's events.
+// no ID is assigned and no bookkeeping entry is created. Use it for
+// fire-and-forget events off the hot path (the delivery bulk goes through
+// PostHandler, which does not even box a closure).
 func (s *Scheduler) Post(t Real, fn func()) {
-	s.seq++
-	s.schedule(event{at: t, seq: s.seq, fn: fn})
+	s.PostHandler(t, funcHandler(fn))
 }
 
 // PostAfter is Post at dl ticks from now.
@@ -163,7 +205,7 @@ func (s *Scheduler) PostAfter(dl Duration, fn func()) {
 // value in a bucket and h is caller-owned, typically pooled).
 func (s *Scheduler) PostHandler(t Real, h Handler) {
 	s.seq++
-	s.schedule(event{at: t, seq: s.seq, h: h})
+	s.schedule(t, event{seq: s.seq, h: h})
 }
 
 // PostHandlerAfter is PostHandler at dl ticks from now.
@@ -194,12 +236,7 @@ func (s *Scheduler) advance() {
 	*b = (*b)[:0]
 	s.cursor = 0
 	s.base++
-	edge := s.base + wheelSize - 1
-	for len(s.overflow) > 0 && s.overflow[0].at <= edge {
-		e := s.heapPop()
-		s.wheel[int(e.at)&wheelMask] = append(s.wheel[int(e.at)&wheelMask], e)
-		s.inWheel++
-	}
+	s.migrate()
 }
 
 // peek positions the scheduler at the next runnable event and returns its
@@ -231,12 +268,7 @@ func (s *Scheduler) peek() (Real, bool) {
 		s.wheel[int(s.base)&wheelMask] = s.wheel[int(s.base)&wheelMask][:0]
 		s.cursor = 0
 		s.base = s.overflow[0].at
-		edge := s.base + wheelSize - 1
-		for len(s.overflow) > 0 && s.overflow[0].at <= edge {
-			e := s.heapPop()
-			s.wheel[int(e.at)&wheelMask] = append(s.wheel[int(e.at)&wheelMask], e)
-			s.inWheel++
-		}
+		s.migrate()
 	}
 }
 
@@ -249,16 +281,18 @@ func (s *Scheduler) Step() bool {
 	}
 	bucket := s.wheel[int(s.base)&wheelMask]
 	e := bucket[s.cursor]
-	bucket[s.cursor] = event{} // release references
 	s.cursor++
+	// The consumed slot is NOT zeroed: its handler reference lives until
+	// the bucket slot is overwritten on a later wheel pass, which retains
+	// only pooled (already live) deliveries or an occasional closure for a
+	// bounded time — where clearing 32 bytes per event is a measurable
+	// share of a large-n run.
 	if e.id != 0 {
 		delete(s.live, e.id)
 	}
 	s.now = at
 	s.processed++
-	if e.fn != nil {
-		e.fn()
-	} else if e.h != nil {
+	if e.h != nil {
 		e.h.RunEvent()
 	}
 	return true
@@ -289,7 +323,7 @@ func (s *Scheduler) heapLess(i, j int) bool {
 	return s.overflow[i].seq < s.overflow[j].seq
 }
 
-func (s *Scheduler) heapPush(e event) {
+func (s *Scheduler) heapPush(e timedEvent) {
 	s.overflow = append(s.overflow, e)
 	i := len(s.overflow) - 1
 	for i > 0 {
@@ -302,11 +336,11 @@ func (s *Scheduler) heapPush(e event) {
 	}
 }
 
-func (s *Scheduler) heapPop() event {
+func (s *Scheduler) heapPop() timedEvent {
 	top := s.overflow[0]
 	n := len(s.overflow) - 1
 	s.overflow[0] = s.overflow[n]
-	s.overflow[n] = event{}
+	s.overflow[n] = timedEvent{}
 	s.overflow = s.overflow[:n]
 	i := 0
 	for {

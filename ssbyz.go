@@ -287,8 +287,15 @@ type Report struct {
 
 // Decisions returns every correct node's decide-or-abort return for
 // General g in node order (absent nodes never returned); the Agreement
-// property requires the decided values to be identical.
-func (r *Report) Decisions(g NodeID) []Decision { return r.res.Decisions(g) }
+// property requires the decided values to be identical. The slice is the
+// caller's to keep (the memoized extract underneath is copied here, so
+// mutating it cannot poison later queries).
+func (r *Report) Decisions(g NodeID) []Decision {
+	cached := r.res.Decisions(g)
+	out := make([]Decision, len(cached))
+	copy(out, cached)
+	return out
+}
 
 // Unanimous reports whether every correct node returned exactly once for
 // General g, deciding v — the all-decide case of the Agreement property.
