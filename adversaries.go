@@ -59,6 +59,69 @@ func EchoForger(g, forgedP NodeID, v Value, k int, at Ticks) Adversary {
 	return &byzantine.EchoForger{G: g, ForgedP: forgedP, ForgedV: v, K: k, At: at}
 }
 
+// MirrorVoter returns a faulty node that reflects every wave message
+// straight back at its sender — and only its sender — so each correct
+// node privately counts the mirror toward a different wave: the most
+// view-splitting participation a single Byzantine node can produce
+// without forging identities, probing the distinct-sender thresholds of
+// Initiator-Accept (IA-1, IA-4) from n directions at once.
+func MirrorVoter() Adversary { return &byzantine.MirrorVoter{} }
+
+// EdgeSupporter returns a faulty node that votes exactly when a wave's
+// distinct-sender count sits one short of the Byzantine quorum n−2f, so
+// thresholds are crossed only through the faulty vote at the last
+// admissible instant — the sharpest probe of the paper's "at least one
+// correct sender behind every quorum" counting arguments (IA-2, TPS-2).
+func EdgeSupporter() Adversary { return &byzantine.EdgeSupporter{} }
+
+// ComposeAdversaries runs several strategies concurrently on ONE faulty
+// node — e.g. an equivocating General that also forges echoes. The
+// paper's proofs quantify over every Byzantine strategy; composition
+// multiplies what a single node of the ≤ f fault budget can exhibit.
+func ComposeAdversaries(parts ...Adversary) Adversary {
+	nodes := make([]protocol.Node, len(parts))
+	for i, p := range parts {
+		nodes[i] = p
+	}
+	return &byzantine.Composite{Parts: nodes}
+}
+
+// AdversaryStage is one phase of a StagedAdversary: Adv takes over at
+// local time At (the first stage's At is ignored — it runs from the
+// start; a nil Adv plays dead for the stage). Staged behavior is the
+// self-stabilization-flavoured attack: a node may act correct through one
+// agreement and turn Byzantine in the next.
+type AdversaryStage struct {
+	At  Ticks
+	Adv Adversary
+}
+
+// StagedAdversary returns a faulty node that switches strategies at
+// scripted local times — e.g. silent until Δagr, then equivocating. The
+// paper's model fixes WHICH nodes are faulty but never how faults evolve
+// in time; staging explores that axis.
+func StagedAdversary(stages ...AdversaryStage) Adversary {
+	ss := make([]byzantine.Stage, len(stages))
+	for i, s := range stages {
+		ss[i] = byzantine.Stage{At: s.At, Node: s.Adv}
+	}
+	return &byzantine.Staged{Stages: ss}
+}
+
+// AdaptiveAdversary returns a faulty node that behaves as base (nil =
+// dormant) until it observes the first wave message for General g, then
+// permanently arms the armed strategy — a state-reactive attack that
+// strikes exactly when the watched agreement starts, the timing no fixed
+// schedule reproduces. The paper's proofs admit such adversaries: every
+// bound must hold regardless.
+func AdaptiveAdversary(g NodeID, base, armed Adversary) Adversary {
+	return &byzantine.Adaptive{
+		Base:    base,
+		Trigger: byzantine.OnGeneral(g),
+		Then:    func() protocol.Node { return armed },
+	}
+}
+
 var _ = []Adversary{
 	(*byzantine.Silent)(nil),
 	(*byzantine.Equivocator)(nil),
@@ -68,6 +131,11 @@ var _ = []Adversary{
 	(*byzantine.Spammer)(nil),
 	(*byzantine.Replayer)(nil),
 	(*byzantine.EchoForger)(nil),
+	(*byzantine.MirrorVoter)(nil),
+	(*byzantine.EdgeSupporter)(nil),
+	(*byzantine.Composite)(nil),
+	(*byzantine.Staged)(nil),
+	(*byzantine.Adaptive)(nil),
 }
 
 var _ protocol.Node = Adversary(nil)

@@ -59,6 +59,11 @@ func BenchmarkF4PulseSkew(b *testing.B)          { benchExperiment(b, "F4") }
 // for (DESIGN.md §5).
 func BenchmarkS1Scaling(b *testing.B) { benchExperiment(b, "S1") }
 
+// BenchmarkS2Campaign runs the randomized adversarial campaign — the
+// scenario engine generating and checking hundreds of adversarial
+// scenarios against the full battery (DESIGN.md §6).
+func BenchmarkS2Campaign(b *testing.B) { benchExperiment(b, "S2") }
+
 // BenchmarkSingleAgreement measures the simulator's cost of one complete
 // fault-free agreement (7 nodes, ~350 messages) — the unit of work every
 // experiment above multiplies.

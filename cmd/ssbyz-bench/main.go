@@ -1,10 +1,19 @@
 // Command ssbyz-bench runs the full reproduction suite — experiments
-// E1–E10, figures F1–F4, ablation A1, and the scaling workload S1 of
-// DESIGN.md §4 — and prints every regenerated table.
+// E1–E10, figures F1–F4, ablation A1, the scaling workload S1, and the
+// randomized adversarial campaign S2 of DESIGN.md §4 — and prints every
+// regenerated table.
 //
 // Usage:
 //
 //	ssbyz-bench [-quick] [-seeds 20] [-parallel N] [-o report.md] [-json suite.json]
+//	ssbyz-bench -replay spec.json
+//
+// -replay skips the suite and re-runs one scenario spec (as exported by
+// the S2 campaign for any property-violating scenario, or written by
+// hand — see DESIGN.md §6) against the full property battery. Replay is
+// exact: the spec carries every bit of entropy the run consumes, so the
+// verdict reproduces deterministically. The exit status is non-zero when
+// the replayed scenario violates any of the paper's proved properties.
 //
 // The full suite takes many minutes single-threaded (S1 stretches to
 // n = 256); -parallel fans the independent simulation cells across N
@@ -44,8 +53,13 @@ func run() error {
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulation cells (1 = sequential)")
 		out      = flag.String("o", "", "also write the report to this file")
 		jsonOut  = flag.String("json", "", "write the machine-readable suite to this file")
+		replay   = flag.String("replay", "", "replay a scenario spec JSON file against the property battery (skips the suite)")
 	)
 	flag.Parse()
+
+	if *replay != "" {
+		return replayScenario(*replay)
+	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
@@ -80,5 +94,35 @@ func run() error {
 	if suite.Violations != 0 {
 		return fmt.Errorf("%d property violations", suite.Violations)
 	}
+	return nil
+}
+
+// replayScenario re-runs one exported scenario spec with the full battery
+// and prints the deterministic verdict.
+func replayScenario(path string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	rep, err := ssbyz.ReplayScenario(blob)
+	if err != nil {
+		return err
+	}
+	sp := rep.Spec
+	fmt.Printf("replaying scenario: n=%d f=%d seed=%d adversaries=%d conditions=%d initiations=%d\n",
+		sp.N, sp.Params().F, sp.Seed, len(sp.Adversaries), len(sp.Conditions), len(sp.Script))
+	for _, init := range sp.Script {
+		decided := len(rep.Report.DecisionsFor(init.G, init.Value))
+		fmt.Printf("  G%d initiated %q at t=%d: %d correct decide returns\n",
+			init.G, init.Value, init.At, decided)
+	}
+	fmt.Printf("  total messages: %d\n", rep.Report.Messages())
+	if len(rep.Violations) > 0 {
+		for _, v := range rep.Violations {
+			fmt.Println("  VIOLATION", v)
+		}
+		return fmt.Errorf("%d property violations reproduced", len(rep.Violations))
+	}
+	fmt.Println("scenario replayed clean: every checked paper bound holds")
 	return nil
 }

@@ -1,0 +1,125 @@
+package ssbyz_test
+
+// This file pins the README "Scenario cookbook" recipes: each test is the
+// corresponding recipe, kept compiling and passing so the documentation
+// cannot rot. If a change here is needed, update README.md in the same
+// commit.
+
+import (
+	"testing"
+
+	"ssbyz"
+)
+
+// Recipe 1: composite attack — equivocating General who also colludes.
+func TestCookbookCompositeAttack(t *testing.T) {
+	sim, err := ssbyz.NewSimulation(ssbyz.Config{N: 7, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := sim.Params().D
+	sim.WithFaulty(5, ssbyz.ComposeAdversaries(
+		ssbyz.EquivocatingGeneral(3*d, "left", "right"),
+		ssbyz.LateColluder(0, 2*d),
+	)).ScheduleAgreement(0, "launch", 2*d)
+	report, err := sim.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Unanimous(0, "launch") {
+		t.Fatal("agreement failed under the composite attack")
+	}
+	if vs := report.Check(0); len(vs) != 0 {
+		t.Fatalf("battery violations: %v", vs)
+	}
+}
+
+// Recipe 2: rolling partition — the network silences the traitor.
+func TestCookbookRollingPartition(t *testing.T) {
+	d := ssbyz.Time(1000) // default tick value of the paper's d
+	sp := ssbyz.Scenario{
+		N: 7, Seed: 9,
+		Adversaries: []ssbyz.ScenarioAdversary{
+			{Node: 5, Kind: "equivocator", Values: []ssbyz.Value{"a", "b"}, At: 3000}},
+		Conditions: []ssbyz.NetworkCondition{
+			{Kind: ssbyz.ConditionJitter, From: 2 * d, Until: 9 * d, Jitter: 500},
+			{Kind: ssbyz.ConditionPartition, From: 5 * d, Until: 11 * d, Nodes: []ssbyz.NodeID{5}},
+		},
+		Script: []ssbyz.ScenarioInitiation{{At: 2 * d, G: 0, Value: "v"}},
+	}
+	rep, err := ssbyz.RunScenario(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("battery violations: %v", rep.Violations)
+	}
+}
+
+// Recipe 3: churn during convergence + staged turncoat.
+func TestCookbookChurnWithStagedTurncoat(t *testing.T) {
+	sp := ssbyz.Scenario{
+		N: 7, Seed: 4,
+		Adversaries: []ssbyz.ScenarioAdversary{{
+			Node: 6, Kind: "staged",
+			Parts: []ssbyz.ScenarioAdversary{
+				{Kind: "crash"},              // correct-looking silence…
+				{Kind: "yeasayer", At: 4000}, // …then amplifies everything
+			}}},
+		Conditions: []ssbyz.NetworkCondition{
+			{Kind: ssbyz.ConditionChurn, From: 3000, Until: 9000, Nodes: []ssbyz.NodeID{6}}},
+		Script: []ssbyz.ScenarioInitiation{{At: 2000, G: 0, Value: "v"}},
+	}
+	rep, err := ssbyz.RunScenario(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("battery violations: %v", rep.Violations)
+	}
+}
+
+// Recipe 4: randomized campaign (reduced seed range here; S2 is the real
+// thing).
+func TestCookbookRandomizedCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a mini campaign; skipped in -short")
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		rep, err := ssbyz.RunScenario(ssbyz.GenerateScenario(seed, 7))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(rep.Violations) > 0 {
+			t.Fatalf("seed %d: counterexample! %v", seed, rep.Violations)
+		}
+	}
+}
+
+// Recipe 5: minimize + replay (the ssbyz-bench -replay loop, in-process).
+func TestCookbookMinimizeAndReplay(t *testing.T) {
+	sp := ssbyz.GenerateScenario(3, 7)
+	anyDecision := func(c ssbyz.Scenario) bool {
+		rep, err := ssbyz.RunScenario(c)
+		if err != nil {
+			return false
+		}
+		for _, init := range c.Script {
+			if len(rep.Report.DecisionsFor(init.G, init.Value)) > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	if !anyDecision(sp) {
+		t.Skip("scenario decided nothing; predicate vacuous")
+	}
+	min := ssbyz.MinimizeScenario(sp, anyDecision)
+	rep, err := ssbyz.ReplayScenario(min.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !anyDecision(rep.Spec) {
+		t.Fatal("replayed minimized spec lost the behavior")
+	}
+}

@@ -23,6 +23,7 @@ var auditedFiles = map[string]bool{
 	"ssbyz.go":       true,
 	"live.go":        true,
 	"adversaries.go": true,
+	"scenarios.go":   true,
 }
 
 // provenance matches the paper anchors a facade doc comment may cite:

@@ -1,0 +1,146 @@
+// Scenarios: the docs-first walkthrough of the scenario engine — the
+// subsystem that turns the property checkers from a regression suite into
+// an adversarial SEARCH over the space the paper's proofs quantify over
+// (every Byzantine strategy, every arrival pattern the bounded-delay
+// model admits).
+//
+// The walkthrough has three acts, mirroring how the S2 experiment works:
+//
+//  1. A hand-written scenario: a composite adversary (equivocating
+//     General that also colludes late) plus scripted network conditions
+//     (a jitter burst, then a partition isolating the faulty node), run
+//     against the full property battery.
+//  2. A seeded random campaign: generated scenarios, every one checked.
+//  3. The counterexample loop: a deliberately weakened checker "finds" a
+//     violation, the shrinker minimizes the scenario to its essence, and
+//     the minimized spec round-trips through JSON — the exact artifact
+//     `ssbyz-bench -replay spec.json` consumes.
+//
+// Run with: go run ./examples/scenarios
+//
+// The full campaign is experiment S2 in `go run ./cmd/ssbyz-bench -quick`
+// (thousands of scenarios without -quick); DESIGN.md §6 documents the
+// spec schema and the model-legality rules the generator obeys.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ssbyz"
+)
+
+func main() {
+	handWritten()
+	campaign()
+	counterexampleLoop()
+}
+
+// handWritten composes adversaries and scripts network conditions.
+func handWritten() {
+	fmt.Println("== 1. composite adversary + network conditions ==")
+	pp := ssbyz.GenerateScenario(0, 7).Params() // n=7 constants (d, f, Δagr)
+	d := ssbyz.Time(pp.D)
+	sp := ssbyz.Scenario{
+		N:    7,
+		Seed: 42,
+		// One faulty node playing two roles at once: an equivocating
+		// General (the IA-4 uniqueness attack) that simultaneously
+		// colludes with every observed wave (late-supporter style).
+		Adversaries: []ssbyz.ScenarioAdversary{{
+			Node: 5,
+			Kind: "compose",
+			Parts: []ssbyz.ScenarioAdversary{
+				{Kind: "equivocator", Values: []ssbyz.Value{"left", "right"}, At: 3 * pp.D},
+				{Kind: "yeasayer"},
+			},
+		}},
+		Conditions: []ssbyz.NetworkCondition{
+			// A jitter burst over every link while the attack unfolds —
+			// legal: delays stay within [DelayMin, DelayMax] ≤ d.
+			{Kind: ssbyz.ConditionJitter, From: 2 * d, Until: 9 * d, Jitter: pp.D / 2},
+			// Then the network drops the traitor's packets for a while —
+			// also legal: silencing an adversary is just more adversary.
+			{Kind: ssbyz.ConditionPartition, From: 9 * d, Until: 14 * d, Nodes: []ssbyz.NodeID{5}},
+		},
+		// The General script: a correct agreement runs concurrently with
+		// the attack.
+		Script: []ssbyz.ScenarioInitiation{{At: 2 * d, G: 0, Value: "launch"}},
+	}
+	rep, err := ssbyz.RunScenario(sp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("correct decide returns for G0/%q: %d of %d correct nodes\n",
+		"launch", len(rep.Report.DecisionsFor(0, "launch")), 6)
+	fmt.Printf("property violations: %d (the paper's bounds hold under the combined attack)\n\n",
+		len(rep.Violations))
+}
+
+// campaign samples the scenario space the way experiment S2 does.
+func campaign() {
+	fmt.Println("== 2. seeded random campaign ==")
+	violations := 0
+	for seed := int64(0); seed < 25; seed++ {
+		sp := ssbyz.GenerateScenario(seed, 7)
+		rep, err := ssbyz.RunScenario(sp)
+		if err != nil {
+			log.Fatalf("seed %d: %v", seed, err)
+		}
+		violations += len(rep.Violations)
+	}
+	fmt.Printf("25 generated scenarios checked, %d violations\n", violations)
+	fmt.Println("(each spec is a pure function of its seed — re-running reproduces every run exactly)")
+	fmt.Println()
+	if violations != 0 {
+		log.Fatal("scenarios: a faithful build reports zero violations")
+	}
+}
+
+// counterexampleLoop demonstrates minimize + replay with a deliberately
+// weakened checker (a faithful build yields no real counterexamples, so
+// we manufacture a "failure": the paper bounds decision skew by 3d —
+// pretending the bound were 0 makes any real run fail).
+func counterexampleLoop() {
+	fmt.Println("== 3. weakened checker -> minimized, replayable counterexample ==")
+	zeroSkew := func(sp ssbyz.Scenario) bool {
+		rep, err := ssbyz.RunScenario(sp)
+		if err != nil {
+			return false
+		}
+		for _, init := range sp.Script {
+			decs := rep.Report.DecisionsFor(init.G, init.Value)
+			for _, d := range decs {
+				if d.RT != decs[0].RT {
+					return true // nonzero skew: "violates" the fake 0d bound
+				}
+			}
+		}
+		return false
+	}
+	var found *ssbyz.Scenario
+	for seed := int64(0); seed < 20; seed++ {
+		sp := ssbyz.GenerateScenario(seed, 7)
+		if zeroSkew(sp) {
+			found = &sp
+			break
+		}
+	}
+	if found == nil {
+		log.Fatal("scenarios: no generated spec tripped the weakened checker")
+	}
+	min := ssbyz.MinimizeScenario(*found, zeroSkew)
+	fmt.Printf("minimized: %d adversaries, %d conditions, %d initiations (from %d/%d/%d)\n",
+		len(min.Adversaries), len(min.Conditions), len(min.Script),
+		len(found.Adversaries), len(found.Conditions), len(found.Script))
+	blob := min.Marshal()
+	fmt.Printf("replayable spec (%d bytes of JSON) — feed it to `ssbyz-bench -replay`:\n%s", len(blob), blob)
+	rep, err := ssbyz.ReplayScenario(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !zeroSkew(rep.Spec) {
+		log.Fatal("scenarios: replay did not reproduce the failure")
+	}
+	fmt.Println("replay reproduced the exact failure ✓")
+}

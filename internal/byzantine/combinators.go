@@ -1,0 +1,280 @@
+package byzantine
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/simnet"
+	"ssbyz/internal/simtime"
+)
+
+// This file holds the adversary combinators: Composite runs several
+// strategies on one faulty node, Staged switches strategies at scripted
+// local times, and Adaptive arms a strategy when a watched protocol event
+// is observed. The paper's proofs quantify over EVERY Byzantine strategy,
+// so combinators multiply the strategies a single faulty node (of the ≤ f
+// the model admits) can exhibit — the scenario generator composes them
+// into randomized attacks the hand-written single-strategy suite never
+// reaches.
+//
+// Members keep their own timers: each member runs behind a subRuntime that
+// re-tags the timers it arms with a routing prefix ("<i>·name"), and the
+// combinator dispatches expiries back to the member that armed them with
+// the original tag restored. Nested combinators compose naturally — each
+// layer strips exactly its own prefix.
+
+// subRuntime is the runtime handed to one member of a combinator. It
+// passes everything through to the parent runtime except After (timers are
+// re-tagged for routing) and implements the full simnet.AdversaryRuntime
+// surface so members keep their adversarial timing power when the parent
+// has it.
+type subRuntime struct {
+	protocol.Runtime
+	prefix string
+}
+
+func (s *subRuntime) After(dl simtime.Duration, tag protocol.TimerTag) protocol.TimerID {
+	tag.Name = s.prefix + tag.Name
+	return s.Runtime.After(dl, tag)
+}
+
+// SendAt delegates precise delivery timing when the parent runtime is the
+// simulator's adversary runtime, degrading to a plain send elsewhere.
+func (s *subRuntime) SendAt(to protocol.NodeID, m protocol.Message, delay simtime.Duration) {
+	if adv, ok := s.Runtime.(simnet.AdversaryRuntime); ok {
+		adv.SendAt(to, m, delay)
+		return
+	}
+	s.Runtime.Send(to, m)
+}
+
+// Rand exposes the world RNG when available, else a per-node fallback.
+func (s *subRuntime) Rand() *rand.Rand {
+	if adv, ok := s.Runtime.(simnet.AdversaryRuntime); ok {
+		return adv.Rand()
+	}
+	return rand.New(rand.NewSource(int64(s.Runtime.ID()) + 97))
+}
+
+// RealNow leaks virtual real time when available (0 elsewhere).
+func (s *subRuntime) RealNow() simtime.Real {
+	if adv, ok := s.Runtime.(simnet.AdversaryRuntime); ok {
+		return adv.RealNow()
+	}
+	return 0
+}
+
+var _ simnet.AdversaryRuntime = (*subRuntime)(nil)
+
+// memberRuntime builds the prefixed runtime for member i.
+func memberRuntime(rt protocol.Runtime, i int) *subRuntime {
+	return &subRuntime{Runtime: rt, prefix: fmt.Sprintf("%d·", i)}
+}
+
+// routeTimer recovers the member index a combinator timer belongs to and
+// the member's original tag. ok is false for tags no member armed (e.g.
+// a combinator's own control timers).
+func routeTimer(tag protocol.TimerTag) (int, protocol.TimerTag, bool) {
+	head, rest, found := strings.Cut(tag.Name, "·")
+	if !found {
+		return 0, tag, false
+	}
+	i, err := strconv.Atoi(head)
+	if err != nil || i < 0 {
+		return 0, tag, false
+	}
+	tag.Name = rest
+	return i, tag, true
+}
+
+// Composite runs several strategies concurrently on ONE faulty node: every
+// received message fans out to every part, and each part sends under the
+// shared identity. One Byzantine node of the model's ≤ f budget thereby
+// plays several roles at once (e.g. equivocating General + echo forger).
+type Composite struct {
+	// Parts are the member strategies; nil members are skipped.
+	Parts []protocol.Node
+
+	rt protocol.Runtime
+}
+
+var _ protocol.Node = (*Composite)(nil)
+
+// Start starts every part behind its routing runtime.
+func (c *Composite) Start(rt protocol.Runtime) {
+	c.rt = rt
+	for i, p := range c.Parts {
+		if p != nil {
+			p.Start(memberRuntime(rt, i))
+		}
+	}
+}
+
+// OnMessage fans the message to every part.
+func (c *Composite) OnMessage(from protocol.NodeID, m protocol.Message) {
+	for _, p := range c.Parts {
+		if p != nil {
+			p.OnMessage(from, m)
+		}
+	}
+}
+
+// OnTimer routes the expiry to the part that armed it.
+func (c *Composite) OnTimer(tag protocol.TimerTag) {
+	if i, inner, ok := routeTimer(tag); ok && i < len(c.Parts) && c.Parts[i] != nil {
+		c.Parts[i].OnTimer(inner)
+	}
+}
+
+// stagedSwitch is the Staged combinator's own control-timer name. It
+// contains no routing separator, so it can never collide with a member
+// timer.
+const stagedSwitch = "staged-switch"
+
+// Stage is one phase of a Staged adversary.
+type Stage struct {
+	// At is the local time at which this stage takes over; the first
+	// stage's At is ignored (it runs from the start).
+	At simtime.Duration
+	// Node is the strategy of the stage; nil plays dead for the stage.
+	Node protocol.Node
+}
+
+// Staged switches strategies at scripted local times: stage 0 runs from
+// the start, each later stage takes over at its At tick. Messages reach
+// only the active stage; timers armed by a superseded stage are dropped.
+// A faulty node can thereby behave correctly through one agreement and
+// turn traitor in the next — an attack no fixed single strategy models.
+type Staged struct {
+	Stages []Stage
+
+	rt     protocol.Runtime
+	active int
+}
+
+var _ protocol.Node = (*Staged)(nil)
+
+// Start enters stage 0 and arms the switch timer of every later stage.
+func (s *Staged) Start(rt protocol.Runtime) {
+	s.rt = rt
+	s.active = -1
+	for i := 1; i < len(s.Stages); i++ {
+		rt.After(s.Stages[i].At, protocol.TimerTag{Name: stagedSwitch, K: i})
+	}
+	if len(s.Stages) > 0 {
+		s.enter(0)
+	}
+}
+
+func (s *Staged) enter(i int) {
+	s.active = i
+	if n := s.Stages[i].Node; n != nil {
+		n.Start(memberRuntime(s.rt, i))
+	}
+}
+
+// OnMessage delivers to the active stage only.
+func (s *Staged) OnMessage(from protocol.NodeID, m protocol.Message) {
+	if s.active >= 0 {
+		if n := s.Stages[s.active].Node; n != nil {
+			n.OnMessage(from, m)
+		}
+	}
+}
+
+// OnTimer performs stage switches and routes member timers, dropping
+// expiries armed by superseded stages.
+func (s *Staged) OnTimer(tag protocol.TimerTag) {
+	if tag.Name == stagedSwitch {
+		if tag.K > s.active && tag.K < len(s.Stages) {
+			s.enter(tag.K)
+		}
+		return
+	}
+	if i, inner, ok := routeTimer(tag); ok && i == s.active {
+		if n := s.Stages[i].Node; n != nil {
+			n.OnTimer(inner)
+		}
+	}
+}
+
+// Trigger decides whether an observed message arms an Adaptive adversary.
+type Trigger func(from protocol.NodeID, m protocol.Message) bool
+
+// OnKind returns a trigger that fires on the first observed message of the
+// given kind for General g — the protocol events an omniscient-enough
+// adversary reacts to (e.g. "the wave reached Ready: start colluding").
+func OnKind(g protocol.NodeID, kind protocol.MsgKind) Trigger {
+	return func(_ protocol.NodeID, m protocol.Message) bool {
+		return m.Kind == kind && m.G == g
+	}
+}
+
+// OnGeneral returns a trigger that fires on the first wave message of any
+// kind observed for General g.
+func OnGeneral(g protocol.NodeID) Trigger {
+	return func(_ protocol.NodeID, m protocol.Message) bool {
+		return m.G == g
+	}
+}
+
+// Adaptive is the state-reactive wrapper: it behaves as Base (nil = lies
+// dormant) until Trigger matches an observed message, then builds and arms
+// Then, which also receives the triggering message. The armed strategy
+// permanently replaces the base — timers the base armed are dropped.
+type Adaptive struct {
+	// Base runs until the trigger fires.
+	Base protocol.Node
+	// Trigger inspects every received message; nil never triggers.
+	Trigger Trigger
+	// Then builds the armed strategy on trigger.
+	Then func() protocol.Node
+
+	rt    protocol.Runtime
+	armed protocol.Node
+}
+
+var _ protocol.Node = (*Adaptive)(nil)
+
+// Start starts the base behavior.
+func (a *Adaptive) Start(rt protocol.Runtime) {
+	a.rt = rt
+	if a.Base != nil {
+		a.Base.Start(memberRuntime(rt, 0))
+	}
+}
+
+// OnMessage checks the trigger, then delivers to the active strategy.
+func (a *Adaptive) OnMessage(from protocol.NodeID, m protocol.Message) {
+	if a.armed == nil && a.Trigger != nil && a.Then != nil && a.Trigger(from, m) {
+		a.armed = a.Then()
+		if a.armed != nil {
+			a.armed.Start(memberRuntime(a.rt, 1))
+		}
+	}
+	if a.armed != nil {
+		a.armed.OnMessage(from, m)
+		return
+	}
+	if a.Base != nil {
+		a.Base.OnMessage(from, m)
+	}
+}
+
+// OnTimer routes to the strategy that armed the timer; base timers are
+// dropped once the adversary armed.
+func (a *Adaptive) OnTimer(tag protocol.TimerTag) {
+	i, inner, ok := routeTimer(tag)
+	if !ok {
+		return
+	}
+	switch {
+	case i == 1 && a.armed != nil:
+		a.armed.OnTimer(inner)
+	case i == 0 && a.armed == nil && a.Base != nil:
+		a.Base.OnTimer(inner)
+	}
+}

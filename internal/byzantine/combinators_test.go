@@ -1,0 +1,218 @@
+package byzantine
+
+import (
+	"testing"
+
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/simtime"
+)
+
+func TestCompositeRunsAllPartsWithOwnTimers(t *testing.T) {
+	pp := protocol.DefaultParams(4)
+	// Two timer-driven parts with clashing timer tag names: each must fire
+	// under its own routing and emit its own initiation.
+	adv := &Composite{Parts: []protocol.Node{
+		&PartialGeneral{Invitees: []protocol.NodeID{0}, Value: "a", At: pp.D},
+		&PartialGeneral{Invitees: []protocol.NodeID{0}, Value: "b", At: 2 * pp.D},
+	}}
+	w, cap0 := adversaryWorld(t, adv, 20)
+	w.RunUntil(simtime.Real(20 * pp.D))
+	var vals []protocol.Value
+	for _, m := range cap0.msgs {
+		if m.From == 3 && m.Kind == protocol.Initiator {
+			vals = append(vals, m.M)
+		}
+	}
+	if len(vals) != 2 || vals[0] != "a" || vals[1] != "b" {
+		t.Errorf("composite initiations = %v, want [a b]", vals)
+	}
+}
+
+func TestCompositeFansMessagesToAllParts(t *testing.T) {
+	adv := &Composite{Parts: []protocol.Node{
+		&Yeasayer{},
+		&LateSupporter{G: 1, Value: "v"},
+	}}
+	w, cap0 := adversaryWorld(t, adv, 21)
+	w.Scheduler().At(100, func() {
+		w.Runtime(1).Broadcast(protocol.Message{Kind: protocol.Support, G: 1, M: "v"})
+	})
+	w.RunUntil(100000)
+	// Both parts react: the Yeasayer pushes approve/ready, the late
+	// supporter contributes its support — all under node 3's identity.
+	k := cap0.kinds()
+	if k[protocol.Support] < 2 || k[protocol.Approve] < 1 || k[protocol.Ready] < 1 {
+		t.Errorf("composite parts missing reactions: %v", k)
+	}
+}
+
+func TestStagedSwitchesStrategiesAtLocalTicks(t *testing.T) {
+	pp := protocol.DefaultParams(4)
+	adv := &Staged{Stages: []Stage{
+		{Node: &Silent{}},
+		{At: 5 * pp.D, Node: &Yeasayer{}},
+	}}
+	w, cap0 := adversaryWorld(t, adv, 22)
+	// A wave in stage 0 (silent) must be ignored; the same wave after the
+	// switch must be amplified.
+	w.Scheduler().At(simtime.Real(pp.D), func() {
+		w.Runtime(1).Broadcast(protocol.Message{Kind: protocol.Support, G: 1, M: "early"})
+	})
+	w.Scheduler().At(simtime.Real(8*pp.D), func() {
+		w.Runtime(1).Broadcast(protocol.Message{Kind: protocol.Support, G: 1, M: "late"})
+	})
+	w.RunUntil(simtime.Real(20 * pp.D))
+	for _, m := range cap0.msgs {
+		if m.From != 3 {
+			continue
+		}
+		if m.M == "early" {
+			t.Errorf("stage 0 (silent) leaked a reaction: %v", m)
+		}
+	}
+	sawLate := false
+	for _, m := range cap0.msgs {
+		if m.From == 3 && m.M == "late" {
+			sawLate = true
+		}
+	}
+	if !sawLate {
+		t.Error("stage 1 (yeasayer) never reacted after the switch")
+	}
+}
+
+func TestStagedDropsSupersededStageTimers(t *testing.T) {
+	pp := protocol.DefaultParams(4)
+	// Stage 0 arms an initiation at 10d, but stage 1 takes over at 2d: the
+	// stale stage-0 timer must be dropped, not delivered cross-stage.
+	adv := &Staged{Stages: []Stage{
+		{Node: &PartialGeneral{Invitees: []protocol.NodeID{0}, Value: "stale", At: 10 * pp.D}},
+		{At: 2 * pp.D, Node: &Silent{}},
+	}}
+	w, cap0 := adversaryWorld(t, adv, 23)
+	w.RunUntil(simtime.Real(30 * pp.D))
+	for _, m := range cap0.msgs {
+		if m.From == 3 {
+			t.Errorf("superseded stage still acted: %v", m)
+		}
+	}
+}
+
+func TestAdaptiveArmsOnObservedEvent(t *testing.T) {
+	pp := protocol.DefaultParams(4)
+	adv := &Adaptive{
+		Trigger: OnKind(1, protocol.Support),
+		Then: func() protocol.Node {
+			return &PartialGeneral{Invitees: []protocol.NodeID{0}, Value: "armed", At: pp.D}
+		},
+	}
+	w, cap0 := adversaryWorld(t, adv, 24)
+	w.RunUntil(simtime.Real(10 * pp.D))
+	if len(cap0.msgs) != 0 {
+		t.Fatalf("adaptive acted before its trigger: %v", cap0.msgs)
+	}
+	w.Scheduler().At(w.Now()+100, func() {
+		w.Runtime(1).Broadcast(protocol.Message{Kind: protocol.Support, G: 1, M: "v"})
+	})
+	w.RunUntil(simtime.Real(30 * pp.D))
+	sawArmed := false
+	for _, m := range cap0.msgs {
+		if m.From == 3 && m.Kind == protocol.Initiator && m.M == "armed" {
+			sawArmed = true
+		}
+	}
+	if !sawArmed {
+		t.Error("adaptive never armed after the trigger event")
+	}
+}
+
+func TestMirrorVoterReflectsOnlyToSender(t *testing.T) {
+	pp := protocol.DefaultParams(4)
+	adv := &MirrorVoter{}
+	w, cap0 := adversaryWorld(t, adv, 25)
+	w.Scheduler().At(100, func() {
+		// Node 1 (not node 0) supports a wave; the mirror must answer node
+		// 1 alone, so the capture at node 0 sees nothing from the mirror.
+		w.Runtime(1).Send(3, protocol.Message{Kind: protocol.Support, G: 1, M: "v"})
+	})
+	w.RunUntil(simtime.Real(10 * pp.D))
+	for _, m := range cap0.msgs {
+		if m.From == 3 {
+			t.Errorf("mirror leaked a reflection to a third party: %v", m)
+		}
+	}
+
+	// Now node 0 sends: it must get exactly one mirrored Support back, even
+	// if it repeats itself.
+	w.Scheduler().At(w.Now()+100, func() {
+		w.Runtime(0).Send(3, protocol.Message{Kind: protocol.Support, G: 1, M: "v"})
+		w.Runtime(0).Send(3, protocol.Message{Kind: protocol.Support, G: 1, M: "v"})
+	})
+	w.RunUntil(simtime.Real(20 * pp.D))
+	mirrored := 0
+	for _, m := range cap0.msgs {
+		if m.From == 3 && m.Kind == protocol.Support && m.M == "v" {
+			mirrored++
+		}
+	}
+	if mirrored != 1 {
+		t.Errorf("node 0 got %d reflections, want exactly 1", mirrored)
+	}
+}
+
+func TestEdgeSupporterVotesOnThresholdEdge(t *testing.T) {
+	// n=4, f=1: ByzQuorum = n−2f = 2, so the edge is 1 distinct sender.
+	pp := protocol.DefaultParams(4)
+	adv := &EdgeSupporter{}
+	w, cap0 := adversaryWorld(t, adv, 26)
+	w.Scheduler().At(100, func() {
+		w.Runtime(1).Broadcast(protocol.Message{Kind: protocol.Approve, G: 1, M: "v"})
+	})
+	w.RunUntil(simtime.Real(10 * pp.D))
+	votes := 0
+	for _, m := range cap0.msgs {
+		if m.From == 3 && m.Kind == protocol.Approve && m.M == "v" {
+			votes++
+		}
+	}
+	if votes != 1 {
+		t.Fatalf("edge supporter votes = %d, want exactly 1 at the n−2f edge", votes)
+	}
+	// A second sender puts the wave past the edge: no further vote.
+	w.Scheduler().At(w.Now()+100, func() {
+		w.Runtime(2).Broadcast(protocol.Message{Kind: protocol.Approve, G: 1, M: "v"})
+	})
+	w.RunUntil(simtime.Real(20 * pp.D))
+	votes = 0
+	for _, m := range cap0.msgs {
+		if m.From == 3 && m.Kind == protocol.Approve && m.M == "v" {
+			votes++
+		}
+	}
+	if votes != 1 {
+		t.Errorf("edge supporter voted again past the edge: %d votes", votes)
+	}
+}
+
+func TestNestedCombinatorsRouteTimers(t *testing.T) {
+	pp := protocol.DefaultParams(4)
+	// Compose inside Staged: the inner part's timer must survive two
+	// routing layers and fire with its original tag.
+	adv := &Staged{Stages: []Stage{
+		{Node: &Composite{Parts: []protocol.Node{
+			&Silent{},
+			&PartialGeneral{Invitees: []protocol.NodeID{0}, Value: "nested", At: 2 * pp.D},
+		}}},
+	}}
+	w, cap0 := adversaryWorld(t, adv, 27)
+	w.RunUntil(simtime.Real(20 * pp.D))
+	saw := false
+	for _, m := range cap0.msgs {
+		if m.From == 3 && m.Kind == protocol.Initiator && m.M == "nested" {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Error("nested combinator timer never fired through both routing layers")
+	}
+}

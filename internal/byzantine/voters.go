@@ -1,0 +1,110 @@
+package byzantine
+
+import (
+	"ssbyz/internal/protocol"
+)
+
+// mirrorKey dedupes MirrorVoter reflections per (recipient, kind, G, m).
+type mirrorKey struct {
+	to protocol.NodeID
+	k  protocol.MsgKind
+	g  protocol.NodeID
+	m  protocol.Value
+}
+
+// MirrorVoter reflects every wave message straight back at its sender —
+// and ONLY its sender: node q sees the mirror echoing exactly what q
+// itself already said, while every other node sees the mirror stay silent.
+// It is the most view-splitting participation a single faulty node can
+// produce without forging identities (which the transport forbids): each
+// correct node counts the mirror toward a different, privately observed
+// wave, probing the distinct-sender thresholds of Initiator-Accept
+// (IA-1/IA-4) from n different directions at once. An Initiator is
+// mirrored as a Support for the General's value.
+type MirrorVoter struct {
+	rt   protocol.Runtime
+	sent map[mirrorKey]bool
+}
+
+var _ protocol.Node = (*MirrorVoter)(nil)
+
+// Start implements protocol.Node.
+func (v *MirrorVoter) Start(rt protocol.Runtime) {
+	v.rt = rt
+	v.sent = make(map[mirrorKey]bool)
+}
+
+// OnMessage reflects the observed wave message back at its sender.
+func (v *MirrorVoter) OnMessage(from protocol.NodeID, m protocol.Message) {
+	kind := m.Kind
+	switch kind {
+	case protocol.Initiator:
+		kind = protocol.Support
+	case protocol.Support, protocol.Approve, protocol.Ready:
+	default:
+		return
+	}
+	key := mirrorKey{to: from, k: kind, g: m.G, m: m.M}
+	if v.sent[key] {
+		return
+	}
+	v.sent[key] = true
+	v.rt.Send(from, protocol.Message{Kind: kind, G: m.G, M: m.M})
+}
+
+// OnTimer implements protocol.Node.
+func (*MirrorVoter) OnTimer(protocol.TimerTag) {}
+
+// waveKey identifies one wave for EdgeSupporter's sender counting.
+type waveKey struct {
+	k protocol.MsgKind
+	g protocol.NodeID
+	m protocol.Value
+}
+
+// EdgeSupporter contributes to a wave at exactly the moment the wave's
+// distinct-sender count reaches one short of the Byzantine quorum n−2f —
+// so each threshold of the primitive is crossed only through the faulty
+// node's own vote, at the last admissible instant. Waves that would have
+// died at n−2f−1 senders are pushed just over the edge, and waves with
+// broad support gain nothing: the sharpest probe of the "at least one
+// correct sender behind every quorum" counting arguments (IA-2, TPS-2).
+type EdgeSupporter struct {
+	rt      protocol.Runtime
+	senders map[waveKey]map[protocol.NodeID]bool
+	sent    map[waveKey]bool
+}
+
+var _ protocol.Node = (*EdgeSupporter)(nil)
+
+// Start implements protocol.Node.
+func (e *EdgeSupporter) Start(rt protocol.Runtime) {
+	e.rt = rt
+	e.senders = make(map[waveKey]map[protocol.NodeID]bool)
+	e.sent = make(map[waveKey]bool)
+}
+
+// OnMessage counts distinct senders per wave and votes on the edge.
+func (e *EdgeSupporter) OnMessage(from protocol.NodeID, m protocol.Message) {
+	switch m.Kind {
+	case protocol.Support, protocol.Approve, protocol.Ready:
+	default:
+		return
+	}
+	key := waveKey{k: m.Kind, g: m.G, m: m.M}
+	set := e.senders[key]
+	if set == nil {
+		set = make(map[protocol.NodeID]bool)
+		e.senders[key] = set
+	}
+	set[from] = true
+	pp := e.rt.Params()
+	if e.sent[key] || len(set) != pp.ByzQuorum()-1 {
+		return
+	}
+	e.sent[key] = true
+	e.rt.Broadcast(protocol.Message{Kind: m.Kind, G: m.G, M: m.M})
+}
+
+// OnTimer implements protocol.Node.
+func (*EdgeSupporter) OnTimer(protocol.TimerTag) {}

@@ -9,6 +9,7 @@ package check
 
 import (
 	"fmt"
+	"sort"
 
 	"ssbyz/internal/protocol"
 	"ssbyz/internal/sim"
@@ -27,40 +28,76 @@ func violate(out *[]Violation, prop, format string, args ...any) {
 	*out = append(*out, Violation{Property: prop, Detail: fmt.Sprintf(format, args...)})
 }
 
-// Agreement checks: if any correct node decides (G,m), all correct nodes
-// decide the same (and so no correct node aborts or hangs).
+// sessions partitions the correct returns for General g into agreement
+// sessions by anchor adjacency: one session's anchors span at most 6d
+// (Timeliness-1b), so a gap > 6d between anchor-ordered returns separates
+// two distinct agreements. A (faulty) General may legally run several
+// well-separated agreements in one trace — IA-4 and Timeliness-4 police
+// the separation — while Agreement and Timeliness-1 are per-session
+// properties; without the split, two legal agreements 31d apart would
+// read as one giant "violation" (the scenario campaign found exactly
+// that). Sessions are ordered by anchor; returns within one session keep
+// anchor order.
+func sessions(res *sim.Result, g protocol.NodeID) [][]sim.Decision {
+	decs := res.Decisions(g)
+	if len(decs) == 0 {
+		return nil
+	}
+	sorted := make([]sim.Decision, len(decs))
+	copy(sorted, decs)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].RTauG < sorted[j].RTauG })
+	gap := 6 * simtime.Real(res.Scenario.Params.D)
+	var out [][]sim.Decision
+	start := 0
+	for i := 1; i <= len(sorted); i++ {
+		if i == len(sorted) || sorted[i].RTauG-sorted[i-1].RTauG > gap {
+			out = append(out, sorted[start:i])
+			start = i
+		}
+	}
+	return out
+}
+
+// Agreement checks, per agreement session: if any correct node decides
+// (G,m), all correct nodes decide the same (and so no correct node aborts
+// or hangs in that session).
 func Agreement(res *sim.Result, g protocol.NodeID) []Violation {
 	var out []Violation
-	decs := res.Decisions(g)
+	for _, session := range sessions(res, g) {
+		agreementSession(&out, res, session)
+	}
+	return out
+}
+
+func agreementSession(out *[]Violation, res *sim.Result, session []sim.Decision) {
 	var first *sim.Decision
-	for i := range decs {
-		if decs[i].Decided {
-			first = &decs[i]
+	for i := range session {
+		if session[i].Decided {
+			first = &session[i]
 			break
 		}
 	}
 	if first == nil {
-		return nil // nobody decided: Agreement is vacuous
+		return // nobody decided: Agreement is vacuous for this session
 	}
-	returned := make(map[protocol.NodeID]sim.Decision, len(decs))
-	for _, d := range decs {
+	returned := make(map[protocol.NodeID]sim.Decision, len(session))
+	for _, d := range session {
 		returned[d.Node] = d
 	}
 	for _, id := range res.Correct {
 		d, ok := returned[id]
 		if !ok {
-			violate(&out, "Agreement", "node %d never returned although node %d decided %q", id, first.Node, first.Value)
+			violate(out, "Agreement", "node %d never returned although node %d decided %q", id, first.Node, first.Value)
 			continue
 		}
 		if !d.Decided {
-			violate(&out, "Agreement", "node %d aborted although node %d decided %q", id, first.Node, first.Value)
+			violate(out, "Agreement", "node %d aborted although node %d decided %q", id, first.Node, first.Value)
 			continue
 		}
 		if d.Value != first.Value {
-			violate(&out, "Agreement", "node %d decided %q but node %d decided %q", d.Node, d.Value, first.Node, first.Value)
+			violate(out, "Agreement", "node %d decided %q but node %d decided %q", d.Node, d.Value, first.Node, first.Value)
 		}
 	}
-	return out
 }
 
 // Validity checks: a correct General's initiation at real time t0 leads
@@ -97,43 +134,44 @@ func Validity(res *sim.Result, g protocol.NodeID, t0 simtime.Real, want protocol
 	return out
 }
 
-// TimelinessAgreement checks Timeliness-1 over the correct decisions for
-// G: (a) decision real times within 3d of each other (2d when validity
-// holds), (b) anchors within 6d, (d) rt(τG) ≤ rt(τq) and
-// rt(τq) − rt(τG) ≤ Δagr.
+// TimelinessAgreement checks Timeliness-1 over the correct decisions of
+// each agreement session for G: (a) decision real times within 3d of each
+// other (2d when validity holds), (b) anchors within 6d, (d) rt(τG) ≤
+// rt(τq) and rt(τq) − rt(τG) ≤ Δagr. The pairwise skews are per-session
+// properties (cross-session gaps are Timeliness-4's subject); the (d)
+// bounds hold for every decision regardless of session.
 func TimelinessAgreement(res *sim.Result, g protocol.NodeID, validityHolds bool) []Violation {
 	var out []Violation
 	pp := res.Scenario.Params
-	var decided []sim.Decision
-	for _, d := range res.Decisions(g) {
-		if d.Decided {
-			decided = append(decided, d)
-		}
-	}
-	if len(decided) == 0 {
-		return nil
-	}
 	skewBound := 3 * simtime.Real(pp.D)
 	if validityHolds {
 		skewBound = 2 * simtime.Real(pp.D)
 	}
-	for i := 0; i < len(decided); i++ {
-		for j := i + 1; j < len(decided); j++ {
-			a, b := decided[i], decided[j]
-			if diff := absReal(a.RT - b.RT); diff > skewBound {
-				violate(&out, "Timeliness-1a", "nodes %d,%d decision skew %d > %d", a.Node, b.Node, diff, skewBound)
-			}
-			if diff := absReal(a.RTauG - b.RTauG); diff > 6*simtime.Real(pp.D) {
-				violate(&out, "Timeliness-1b", "nodes %d,%d anchor skew %d > 6d=%d", a.Node, b.Node, diff, 6*simtime.Real(pp.D))
+	for _, session := range sessions(res, g) {
+		var decided []sim.Decision
+		for _, d := range session {
+			if d.Decided {
+				decided = append(decided, d)
 			}
 		}
-	}
-	for _, d := range decided {
-		if d.RTauG > d.RT {
-			violate(&out, "Timeliness-1d", "node %d: rt(τG)=%d > rt(τq)=%d", d.Node, d.RTauG, d.RT)
+		for i := 0; i < len(decided); i++ {
+			for j := i + 1; j < len(decided); j++ {
+				a, b := decided[i], decided[j]
+				if diff := absReal(a.RT - b.RT); diff > skewBound {
+					violate(&out, "Timeliness-1a", "nodes %d,%d decision skew %d > %d", a.Node, b.Node, diff, skewBound)
+				}
+				if diff := absReal(a.RTauG - b.RTauG); diff > 6*simtime.Real(pp.D) {
+					violate(&out, "Timeliness-1b", "nodes %d,%d anchor skew %d > 6d=%d", a.Node, b.Node, diff, 6*simtime.Real(pp.D))
+				}
+			}
 		}
-		if d.RT-d.RTauG > simtime.Real(pp.DeltaAgr()) {
-			violate(&out, "Timeliness-1d", "node %d: rt(τq)−rt(τG)=%d > Δagr=%d", d.Node, d.RT-d.RTauG, pp.DeltaAgr())
+		for _, d := range decided {
+			if d.RTauG > d.RT {
+				violate(&out, "Timeliness-1d", "node %d: rt(τG)=%d > rt(τq)=%d", d.Node, d.RTauG, d.RT)
+			}
+			if d.RT-d.RTauG > simtime.Real(pp.DeltaAgr()) {
+				violate(&out, "Timeliness-1d", "node %d: rt(τq)−rt(τG)=%d > Δagr=%d", d.Node, d.RT-d.RTauG, pp.DeltaAgr())
+			}
 		}
 	}
 	return out
@@ -172,67 +210,98 @@ func AnchorInInvocationWindow(res *sim.Result, g protocol.NodeID) []Violation {
 // Termination checks Timeliness-3: every correct node that invoked the
 // protocol returns within Δagr of its invocation; nodes that participated
 // without invoking return within Δagr + 7d of the earliest invocation.
+//
+// The check is horizon-aware: "never returned nor expired" is only
+// provable when the simulated run outlived the node's latest legal
+// return/expiry instant — an invocation whose deadline lies beyond the
+// run's end proves nothing either way (scenario fuzzing generates late
+// faulty-General attacks where this matters; a positive late return or
+// late expiry is still flagged regardless of the horizon).
 func Termination(res *sim.Result, g protocol.NodeID) []Violation {
 	var out []Violation
 	pp := res.Scenario.Params
+	end := simtime.Real(res.Scenario.RunFor)
+	// A node may invoke several times for one General across well-separated
+	// agreement sessions, so each invocation is matched to the node's FIRST
+	// return (or expiry) at or after it — pairing first-invocation with
+	// last-return would fuse sessions into phantom Termination violations.
 	invs := res.Invocations(g)
-	invokedAt := make(map[protocol.NodeID]simtime.Real, len(invs))
+	invokedAt := make(map[protocol.NodeID][]simtime.Real, len(invs))
 	earliest := simtime.Real(-1)
-	for _, ev := range invs {
-		if _, ok := invokedAt[ev.Node]; !ok {
-			invokedAt[ev.Node] = ev.RT
-		}
+	for _, ev := range invs { // trace order is chronological
+		invokedAt[ev.Node] = append(invokedAt[ev.Node], ev.RT)
 		if earliest < 0 || ev.RT < earliest {
 			earliest = ev.RT
 		}
 	}
-	retAt := make(map[protocol.NodeID]simtime.Real)
+	retAt := make(map[protocol.NodeID][]simtime.Real)
 	for _, d := range res.Decisions(g) {
-		retAt[d.Node] = d.RT
+		retAt[d.Node] = append(retAt[d.Node], d.RT)
+	}
+	for _, rts := range retAt {
+		sort.Slice(rts, func(i, j int) bool { return rts[i] < rts[j] })
 	}
 	// Expiry is the paper's second termination mode: "by time (2f+1)·Φ+3d
 	// on its clock all entries will be reset, which is a termination of
 	// the protocol". The expiry is detected by a periodic sweep, so allow
 	// one sweep interval (Δrmv/4) plus drift slack on top.
-	expiredAt := make(map[protocol.NodeID]simtime.Real)
+	expiredAt := make(map[protocol.NodeID][]simtime.Real)
 	res.Rec.ForEachKind(func(ev protocol.TraceEvent) {
 		if ev.G != g || !res.IsCorrect(ev.Node) {
 			return
 		}
-		if _, ok := expiredAt[ev.Node]; !ok {
-			expiredAt[ev.Node] = ev.RT
-		}
+		expiredAt[ev.Node] = append(expiredAt[ev.Node], ev.RT)
 	}, protocol.EvExpire)
 	expiryBound := simtime.Real(pp.DeltaAgr()) + 3*simtime.Real(pp.D) +
 		simtime.Real(pp.DeltaRmv()/4) + 2*simtime.Real(pp.D)
-	for node, t := range invokedAt {
-		rt, ok := retAt[node]
-		if !ok {
-			if exp, expired := expiredAt[node]; expired {
+	returnBound := simtime.Real(pp.DeltaAgr()) + simtime.Real(7*pp.D)
+	lastLegal := returnBound
+	if expiryBound > lastLegal {
+		lastLegal = expiryBound
+	}
+	firstGE := func(sorted []simtime.Real, t simtime.Real) (simtime.Real, bool) {
+		i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= t })
+		if i == len(sorted) {
+			return 0, false
+		}
+		return sorted[i], true
+	}
+	for node, ts := range invokedAt {
+		for _, t := range ts {
+			// The invocation terminates with whichever comes first: the
+			// node's next return, or the next expiry (state reset) — a
+			// later session's return must not shadow this session's expiry.
+			rt, returned := firstGE(retAt[node], t)
+			exp, expired := firstGE(expiredAt[node], t)
+			if expired && (!returned || exp < rt) {
 				if exp-t > expiryBound {
 					violate(&out, "Termination", "node %d expired %d after invocation (bound (2f+1)Φ+3d+sweep=%d)",
 						node, exp-t, expiryBound)
 				}
 				continue
 			}
-			violate(&out, "Termination", "node %d invoked at %d but never returned nor expired", node, t)
-			continue
-		}
-		if rt-t > simtime.Real(pp.DeltaAgr())+simtime.Real(7*pp.D) {
-			violate(&out, "Termination", "node %d returned %d after invocation (bound Δagr+7d=%d)",
-				node, rt-t, simtime.Real(pp.DeltaAgr())+simtime.Real(7*pp.D))
+			if !returned {
+				if t+lastLegal < end {
+					violate(&out, "Termination", "node %d invoked at %d but never returned nor expired", node, t)
+				}
+				continue
+			}
+			if rt-t > returnBound {
+				violate(&out, "Termination", "node %d returned %d after invocation (bound Δagr+7d=%d)",
+					node, rt-t, returnBound)
+			}
 		}
 	}
-	// Participants that returned without invoking: Δagr + 7d from the
+	// Participants that returned without ever invoking: Δagr + 7d from the
 	// earliest invocation.
 	if earliest >= 0 {
-		for node, rt := range retAt {
+		for node, rts := range retAt {
 			if _, ok := invokedAt[node]; ok {
 				continue
 			}
-			bound := earliest + simtime.Real(pp.DeltaAgr()) + 7*simtime.Real(pp.D)
-			if rt > bound {
-				violate(&out, "Termination", "non-invoking node %d returned at %d > bound %d", node, rt, bound)
+			bound := earliest + returnBound
+			if rts[0] > bound {
+				violate(&out, "Termination", "non-invoking node %d returned at %d > bound %d", node, rts[0], bound)
 			}
 		}
 	}

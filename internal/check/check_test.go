@@ -16,8 +16,11 @@ func fakeResult(correct []protocol.NodeID, events ...protocol.TraceEvent) *sim.R
 	for _, ev := range events {
 		rec.Add(ev)
 	}
+	// RunFor declares a horizon far past every bound used in these tests:
+	// the horizon-aware checks (Termination's "never returned") only claim
+	// a hang when the run outlived the node's latest legal return instant.
 	return &sim.Result{
-		Scenario: sim.Scenario{Params: protocol.DefaultParams(7)},
+		Scenario: sim.Scenario{Params: protocol.DefaultParams(7), RunFor: 1 << 30},
 		Rec:      rec,
 		Correct:  correct,
 	}
@@ -161,13 +164,69 @@ func TestTimelinessAgreementSkewBounds(t *testing.T) {
 }
 
 func TestTimelinessAgreementAnchorSkew(t *testing.T) {
+	// Anchors chained ≤ 6d apart form ONE session (a session split needs
+	// a > 6d gap between anchor-neighbours), so a pairwise spread beyond
+	// 6d inside the chain is a Timeliness-1b violation.
 	res := fakeResult(threeCorrect,
 		decideEv(1, 0, "v", 10000, 1000),
-		decideEv(2, 0, "v", 10100, 9000), // anchors 8d apart
-		decideEv(3, 0, "v", 10200, 1500),
+		decideEv(2, 0, "v", 10100, 6500),
+		decideEv(3, 0, "v", 10200, 12000), // 11d from node 1, chained via node 2
 	)
 	if vs := TimelinessAgreement(res, 0, false); !hasViolation(vs, "Timeliness-1b") {
-		t.Errorf("anchor skew not flagged: %v", vs)
+		t.Errorf("chained anchor spread not flagged: %v", vs)
+	}
+	// An isolated anchor outlier (> 6d gap) reads as a separate agreement
+	// session; its missing participants surface through Agreement instead
+	// of a cross-session Timeliness-1b skew.
+	outlier := fakeResult(threeCorrect,
+		decideEv(1, 0, "v", 10000, 1000),
+		decideEv(2, 0, "v", 10100, 9000),
+		decideEv(3, 0, "v", 10200, 1500),
+	)
+	if vs := TimelinessAgreement(outlier, 0, false); len(vs) != 0 {
+		t.Errorf("cross-session anchors flagged by Timeliness-1: %v", vs)
+	}
+	if vs := Agreement(outlier, 0); len(vs) == 0 {
+		t.Error("outlier session's missing participants not flagged by Agreement")
+	}
+}
+
+func TestMultiSessionAgreementsNotFused(t *testing.T) {
+	// A (faulty) General may legally run several well-separated agreements
+	// in one trace (the S2 campaign generates them): per-session checks
+	// must not fuse two clean sessions into phantom Agreement /
+	// Timeliness-1 / Termination violations.
+	pp := protocol.DefaultParams(7)
+	sessionGap := simtime.Real(40 * pp.D) // far beyond the 6d session span
+	var evs []protocol.TraceEvent
+	for s, val := range []protocol.Value{"a", "b"} {
+		base := simtime.Real(5000) + simtime.Real(s)*sessionGap
+		for _, n := range threeCorrect {
+			evs = append(evs,
+				protocol.TraceEvent{Kind: protocol.EvInvoke, Node: n, G: 0, RT: base},
+				decideEv(n, 0, val, base+3000+simtime.Real(n)*100, base+1000+simtime.Real(n)*50),
+			)
+		}
+	}
+	res := fakeResult(threeCorrect, evs...)
+	if vs := Agreement(res, 0); len(vs) != 0 {
+		t.Errorf("two clean sessions fused by Agreement: %v", vs)
+	}
+	if vs := TimelinessAgreement(res, 0, false); len(vs) != 0 {
+		t.Errorf("two clean sessions fused by Timeliness-1: %v", vs)
+	}
+	if vs := Termination(res, 0); len(vs) != 0 {
+		t.Errorf("two clean sessions fused by Termination: %v", vs)
+	}
+	// A genuinely split second session (different values decided within
+	// one anchor cluster) is still a violation.
+	bad := fakeResult(threeCorrect,
+		decideEv(1, 0, "a", 10000, 8000),
+		decideEv(2, 0, "b", 10100, 8100),
+		decideEv(3, 0, "a", 10200, 8050),
+	)
+	if vs := Agreement(bad, 0); !hasViolation(vs, "Agreement") {
+		t.Errorf("intra-session split not flagged: %v", vs)
 	}
 }
 

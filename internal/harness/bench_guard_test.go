@@ -39,42 +39,56 @@ func (a *benchArtifact) s1() (wallMS float64, cellWall map[string]float64, ok bo
 }
 
 // TestBenchArtifactN64Guard is the cross-PR perf regression guard on the
-// committed BENCH artifacts: PR3's n=64 S1 cost (cell_wall_ms["64"] mean
-// per seed × 3 quick seeds) must not regress past 2× the whole PR2-era
-// quick S1 sweep (whose n ≤ 64 run — wall_ms — was dominated by its three
-// n=64 cells). Both numbers were measured on the builder machine of their
-// PR, so the 2× margin absorbs machine deltas; the expected ratio after
-// this PR's substrate rework is ≈0.2.
+// committed BENCH artifacts (policy in DESIGN.md §5): the newest
+// artifact's n=64 S1 per-seed cost (cell_wall_ms["64"]) must not regress
+// past 2× the previous generation's. Both numbers were measured on the
+// builder machine of their PR, so the factor-two margin absorbs machine
+// deltas while still catching superlinear regressions.
 func TestBenchArtifactN64Guard(t *testing.T) {
-	pr2Wall, _, ok := loadArtifact(t, "BENCH_PR2_quick.json").s1()
-	if !ok || pr2Wall <= 0 {
-		t.Fatal("BENCH_PR2_quick.json has no usable S1 wall_ms")
-	}
-	_, pr3Cells, ok := loadArtifact(t, "BENCH_PR3_quick.json").s1()
+	_, prevCells, ok := loadArtifact(t, "BENCH_PR3_quick.json").s1()
 	if !ok {
 		t.Fatal("BENCH_PR3_quick.json has no S1 result")
 	}
-	perSeed, ok := pr3Cells["64"]
-	if !ok || perSeed <= 0 {
-		t.Fatalf("BENCH_PR3_quick.json S1 cell_wall_ms has no n=64 entry: %v", pr3Cells)
+	prev, ok := prevCells["64"]
+	if !ok || prev <= 0 {
+		t.Fatalf("BENCH_PR3_quick.json S1 cell_wall_ms has no n=64 entry: %v", prevCells)
 	}
-	const quickSeeds = 3
-	pr3N64 := perSeed * quickSeeds
-	if pr3N64 > 2*pr2Wall {
-		t.Fatalf("n=64 S1 cost regressed: PR3 %.0fms (3 seeds) > 2× PR2 quick-sweep %.0fms", pr3N64, pr2Wall)
+	_, curCells, ok := loadArtifact(t, "BENCH_PR4_quick.json").s1()
+	if !ok {
+		t.Fatal("BENCH_PR4_quick.json has no S1 result")
 	}
-	t.Logf("n=64 S1: PR3 %.0fms (3 seeds) vs PR2 quick-sweep %.0fms (ratio %.2f)", pr3N64, pr2Wall, pr3N64/pr2Wall)
+	cur, ok := curCells["64"]
+	if !ok || cur <= 0 {
+		t.Fatalf("BENCH_PR4_quick.json S1 cell_wall_ms has no n=64 entry: %v", curCells)
+	}
+	if cur > 2*prev {
+		t.Fatalf("n=64 S1 cost regressed: PR4 %.0fms/seed > 2× PR3 %.0fms/seed", cur, prev)
+	}
+	t.Logf("n=64 S1: PR4 %.0fms/seed vs PR3 %.0fms/seed (ratio %.2f)", cur, prev, cur/prev)
 }
 
-// TestBenchArtifactCoversN128 pins the committed PR3 artifact to the new
+// TestBenchArtifactCoversN128 pins the newest committed artifact to the
 // sweep shape: the quick S1 table must include an n=128 row with its
 // wall-clock recorded.
 func TestBenchArtifactCoversN128(t *testing.T) {
-	_, cells, ok := loadArtifact(t, "BENCH_PR3_quick.json").s1()
+	_, cells, ok := loadArtifact(t, "BENCH_PR4_quick.json").s1()
 	if !ok {
-		t.Fatal("BENCH_PR3_quick.json has no S1 result")
+		t.Fatal("BENCH_PR4_quick.json has no S1 result")
 	}
 	if v, found := cells["128"]; !found || v <= 0 {
-		t.Fatalf("BENCH_PR3_quick.json S1 cell_wall_ms has no n=128 entry: %v", cells)
+		t.Fatalf("BENCH_PR4_quick.json S1 cell_wall_ms has no n=128 entry: %v", cells)
 	}
+}
+
+// TestBenchArtifactCoversS2 pins the newest committed artifact to the
+// suite shape introduced with the scenario engine: an S2 result with a
+// campaign table and zero violations must be recorded.
+func TestBenchArtifactCoversS2(t *testing.T) {
+	a := loadArtifact(t, "BENCH_PR4_quick.json")
+	for _, r := range a.Results {
+		if r.ID == "S2" {
+			return
+		}
+	}
+	t.Fatal("BENCH_PR4_quick.json has no S2 result")
 }

@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ssbyz/internal/scenario"
+)
+
+// TestCampaignPlanShape pins the S2 acceptance shape: quick mode runs a
+// few hundred scenarios, full mode thousands, both across n ∈ {7,16,31}.
+func TestCampaignPlanShape(t *testing.T) {
+	ns, counts := CampaignPlan(true)
+	if len(ns) != 3 || ns[0] != 7 || ns[1] != 16 || ns[2] != 31 {
+		t.Fatalf("quick plan sizes = %v, want [7 16 31]", ns)
+	}
+	quickTotal := 0
+	for _, c := range counts {
+		quickTotal += c
+	}
+	if quickTotal < 200 {
+		t.Fatalf("quick plan runs %d scenarios, want a few hundred", quickTotal)
+	}
+	_, fullCounts := CampaignPlan(false)
+	fullTotal := 0
+	for _, c := range fullCounts {
+		fullTotal += c
+	}
+	if fullTotal < 2000 {
+		t.Fatalf("full plan runs %d scenarios, want thousands", fullTotal)
+	}
+}
+
+// TestCampaignCellDeterministic: a campaign cell is a pure function of
+// its (n, index) coordinates.
+func TestCampaignCellDeterministic(t *testing.T) {
+	a := runCampaignCell(Options{}, 7, 5)
+	b := runCampaignCell(Options{}, 7, 5)
+	if a.adversaries != b.adversaries || a.drops != b.drops ||
+		a.decided != b.decided || a.violations != b.violations ||
+		!bytes.Equal(a.minimized, b.minimized) {
+		t.Fatalf("cell not deterministic: %+v vs %+v", a, b)
+	}
+	if a.initiations == 0 {
+		t.Fatalf("cell generated no script: %+v", a)
+	}
+}
+
+// TestCampaignDeterministicAcrossWorkers: the S2 report — table, notes,
+// violation count, counterexample set — must be byte-identical whether
+// scenarios run sequentially or fanned out. This is the worker-count half
+// of the replay discipline: a campaign verdict names scenarios anyone can
+// regenerate, so it cannot depend on scheduling.
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a reduced campaign twice; skipped in -short")
+	}
+	ns, counts := []int{7, 16}, []int{24, 6}
+	tSeq, vSeq, exSeq := CampaignTable(Options{Workers: 1}, ns, counts)
+	tPar, vPar, exPar := CampaignTable(Options{Workers: 8}, ns, counts)
+	if vSeq != vPar {
+		t.Fatalf("violations differ across workers: %d vs %d", vSeq, vPar)
+	}
+	if tSeq.String() != tPar.String() {
+		t.Fatalf("S2 table differs across worker counts:\n%s\nvs\n%s", tSeq, tPar)
+	}
+	if len(exSeq) != len(exPar) {
+		t.Fatalf("counterexample sets differ: %d vs %d", len(exSeq), len(exPar))
+	}
+	for i := range exSeq {
+		if exSeq[i].N != exPar[i].N || exSeq[i].Index != exPar[i].Index ||
+			!bytes.Equal(exSeq[i].Spec, exPar[i].Spec) {
+			t.Fatalf("counterexample %d differs across workers", i)
+		}
+	}
+}
+
+// TestCampaignQuickBudget is the CI tripwire for S2 (same pattern as
+// TestScalingQuickBudgetN128): the whole quick campaign — hundreds of
+// generated adversarial scenarios plus the battery on each — must fit a
+// generous wall-clock budget, and a faithful build must come back with
+// zero violations. When the campaign DOES find counterexamples and
+// $SSBYZ_COUNTEREXAMPLE_DIR is set, S2Campaign exports the minimized
+// specs there for the pipeline to upload before this test fails the run.
+func TestCampaignQuickBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick campaign; skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("wall-clock budget is meaningless under the race detector")
+	}
+	const budget = 120 * time.Second
+	start := time.Now()
+	r := S2Campaign(Options{Quick: true})
+	elapsed := time.Since(start)
+	if r.Violations != 0 {
+		for _, n := range r.Notes {
+			if strings.HasPrefix(n, "COUNTEREXAMPLE") {
+				t.Log(n)
+			}
+		}
+		t.Fatalf("quick S2 campaign found %d property violations — minimized specs logged above", r.Violations)
+	}
+	if elapsed > budget {
+		t.Fatalf("quick S2 campaign took %v, budget %v — the scenario engine regressed", elapsed, budget)
+	}
+	t.Logf("quick S2 campaign: %v (budget %v)", elapsed, budget)
+}
+
+// TestCampaignExportsMinimizedCounterexamples drives the full export path
+// on a synthetic counterexample (violations in a faithful build are
+// supposed to be nonexistent): the exported file must parse as a valid
+// spec and regenerate from its (n, index) coordinates via CampaignSeed.
+func TestCampaignExportsMinimizedCounterexamples(t *testing.T) {
+	dir := t.TempDir()
+	sp := scenario.Generate(CampaignSeed(7, 3), 7)
+	ex := Counterexample{N: 7, Index: 3, Violations: 1, Spec: sp.Marshal()}
+	if err := exportCounterexamples(dir, []Counterexample{ex}); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, "S2_n7_i3.json"))
+	if err != nil {
+		t.Fatalf("exported file missing: %v", err)
+	}
+	parsed, err := scenario.Parse(blob)
+	if err != nil {
+		t.Fatalf("exported spec does not parse: %v", err)
+	}
+	if parsed.N != 7 {
+		t.Fatalf("exported spec n = %d, want 7", parsed.N)
+	}
+}

@@ -1,7 +1,8 @@
 // Package harness defines the experiment suite of the reproduction: one
 // experiment per proved bound / headline claim of the paper (E1–E10), the
-// figure-shaped series (F1–F4), the Block R ablation (A1), and the
-// large-n scaling workload (S1), as indexed in DESIGN.md §4. Each
+// figure-shaped series (F1–F4), the Block R ablation (A1), the large-n
+// scaling workload (S1), and the randomized adversarial campaign (S2),
+// as indexed in DESIGN.md §4. Each
 // experiment regenerates the report tables that `ssbyz-bench -o` writes;
 // the root bench_test.go exposes one testing.B target per experiment and
 // cmd/ssbyz-bench prints the full suite.
@@ -161,6 +162,7 @@ func All() []Experiment {
 		{"F4", "Pulse synchronization skew", "figure: companion [6] pulse layer atop agreement", F4PulseSkew},
 		{"A1", "Block R window ablation", "why the repo uses 5d where Fig. 1 says 4d (DESIGN.md §3)", A1BlockRWindow},
 		{"S1", "Scaling: agreement cost vs n", "new workload: the substrate sustains n = 64 committees (DESIGN.md §5)", S1Scaling},
+		{"S2", "Randomized adversarial campaign", "new workload: generated adversaries/conditions vs the full battery (DESIGN.md §6)", S2Campaign},
 	}
 }
 

@@ -1,0 +1,226 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/simnet"
+	"ssbyz/internal/simtime"
+)
+
+// Generate derives one model-legal randomized Spec from (seed, n): up to
+// f adversaries drawn from the full strategy vocabulary (primitives,
+// compositions, staged switches, adaptive triggers), a randomized General
+// script, a randomized legal delay range, and a network-condition
+// schedule. Determinism is total: every bit of the spec comes from the
+// seed, and the spec carries its own simulation seed, so (seed, n) →
+// spec → run → verdict is a pure function.
+//
+// Model legality is the generator's contract — the paper's properties are
+// only claimed under the model, so every generated spec stays inside it:
+//
+//   - n > 3f with at most f adversaries (the resilience precondition);
+//   - jitter windows may touch any link (clamped jitter keeps delays
+//     within [DelayMin, DelayMax] ≤ d, so the delivery axiom holds);
+//   - partition and churn windows, which DROP messages, only ever name
+//     faulty nodes: silencing an adversary is just more adversary
+//     behavior, while disconnecting correct nodes would void the very
+//     axioms the battery checks (DESIGN.md §6).
+//
+// A spec that violates the battery is therefore a genuine counterexample
+// to the paper's claims (or to this reproduction's faithfulness), never a
+// broken test harness.
+func Generate(seed int64, n int) Spec {
+	rng := rand.New(rand.NewSource(seed))
+	pp := protocol.DefaultParams(n)
+	d := pp.D
+	sp := Spec{N: n, Seed: rng.Int63()}
+
+	// Legal delay range: 1 ≤ DelayMin ≤ d/2 and DelayMin ≤ DelayMax ≤ d
+	// (explicitly non-zero so the spec never falls back to defaults).
+	sp.DelayMin = 1 + simtime.Duration(rng.Int63n(int64(d/2)))
+	sp.DelayMax = sp.DelayMin + simtime.Duration(rng.Int63n(int64(d-sp.DelayMin)+1))
+
+	// Faulty set: 0..f nodes, then the General script over correct nodes.
+	perm := rng.Perm(n)
+	fCount := rng.Intn(pp.F + 1)
+	faulty := append([]int(nil), perm[:fCount]...)
+	correct := perm[fCount:]
+	maxGen := len(correct)
+	if maxGen > 3 {
+		maxGen = 3
+	}
+	gCount := 1 + rng.Intn(maxGen)
+	var lastAt simtime.Real
+	for i := 0; i < gCount; i++ {
+		at := simtime.Real(2*d) + simtime.Real(rng.Int63n(int64(2*pp.DeltaAgr())))
+		if at > lastAt {
+			lastAt = at
+		}
+		sp.Script = append(sp.Script, Initiation{
+			At: at, G: protocol.NodeID(correct[i]), Value: protocol.Value(fmt.Sprintf("v%d", i)),
+		})
+	}
+	// Budget the horizon for the latest possible protocol activity: the
+	// last scripted initiation, or a staged adversary's compounded attack
+	// (switch ≤ d+Δagr, then a timer ≤ d+Δagr after the switch). 3Δagr on
+	// top covers resolution plus the expiry sweep, so every generated
+	// attack finishes well inside the run and the battery judges all of it.
+	lastAttack := simtime.Real(2*d + 2*pp.DeltaAgr())
+	if lastAt > lastAttack {
+		lastAttack = lastAt
+	}
+	sp.RunFor = simtime.Duration(lastAttack) + 3*pp.DeltaAgr()
+
+	// Adversaries: primitives, compositions, staged switches, adaptive
+	// triggers — one strategy tree per faulty node.
+	g := specgen{rng: rng, pp: pp, script: sp.Script}
+	for _, node := range faulty {
+		sp.Adversaries = append(sp.Adversaries, g.adversary(protocol.NodeID(node)))
+	}
+	sortAdversaries(sp.Adversaries)
+
+	// Network conditions: jitter anywhere, drops only around faulty nodes.
+	horizon := int64(sp.RunFor)
+	if rng.Intn(2) == 0 {
+		for i, count := 0, 1+rng.Intn(2); i < count; i++ {
+			from := simtime.Real(rng.Int63n(horizon))
+			c := simnet.Condition{
+				Kind:   simnet.CondJitter,
+				From:   from,
+				Until:  from + simtime.Real(int64(d)*(1+rng.Int63n(19))),
+				Jitter: simtime.Duration(rng.Int63n(int64(d) + 1)),
+			}
+			if rng.Intn(2) == 0 { // scoped to a random link neighbourhood
+				c.Nodes = g.nodeSubset(n, 1+rng.Intn(n-1))
+			}
+			sp.Conditions = append(sp.Conditions, c)
+		}
+	}
+	if fCount > 0 && rng.Intn(5) < 2 {
+		kind := simnet.CondPartition
+		if rng.Intn(2) == 0 {
+			kind = simnet.CondChurn
+		}
+		from := simtime.Real(rng.Int63n(horizon))
+		group := make([]protocol.NodeID, 0, fCount)
+		for _, node := range faulty {
+			if len(group) == 0 || rng.Intn(2) == 0 {
+				group = append(group, protocol.NodeID(node))
+			}
+		}
+		sortNodes(group)
+		sp.Conditions = append(sp.Conditions, simnet.Condition{
+			Kind:  kind,
+			From:  from,
+			Until: from + simtime.Real(int64(d)*(1+rng.Int63n(29))),
+			Nodes: group,
+		})
+	}
+	return sp
+}
+
+// specgen carries the generator's shared draw context.
+type specgen struct {
+	rng    *rand.Rand
+	pp     protocol.Params
+	script []Initiation
+}
+
+// scriptedG picks a scripted General — the natural target of reactive
+// strategies.
+func (g *specgen) scriptedG() protocol.NodeID {
+	return g.script[g.rng.Intn(len(g.script))].G
+}
+
+// nodeSubset draws size distinct node IDs, sorted.
+func (g *specgen) nodeSubset(n, size int) []protocol.NodeID {
+	perm := g.rng.Perm(n)
+	out := make([]protocol.NodeID, size)
+	for i := range out {
+		out[i] = protocol.NodeID(perm[i])
+	}
+	sortNodes(out)
+	return out
+}
+
+// adversary draws one strategy tree for the given faulty node.
+func (g *specgen) adversary(node protocol.NodeID) AdversarySpec {
+	switch g.rng.Intn(10) {
+	case 6: // compose: several strategies on one node
+		a := AdversarySpec{Node: node, Kind: KindCompose,
+			Parts: []AdversarySpec{g.leaf(node), g.leaf(node)}}
+		return a
+	case 7: // staged: switch strategies mid-run
+		first := g.leaf(node)
+		second := g.leaf(node)
+		// At doubles as the switch-over time AND (for timer-driven leaves)
+		// the member's own attack delay relative to the switch — the
+		// horizon budget above assumes both stay ≤ d+Δagr.
+		second.At = g.pp.D + simtime.Duration(g.rng.Int63n(int64(g.pp.DeltaAgr())))
+		return AdversarySpec{Node: node, Kind: KindStaged,
+			Parts: []AdversarySpec{first, second}}
+	case 8: // adaptive: arm on the first observed wave of a scripted General
+		a := AdversarySpec{Node: node, Kind: KindAdaptive, G: g.scriptedG()}
+		if g.rng.Intn(2) == 0 {
+			a.Parts = []AdversarySpec{g.leaf(node), g.leaf(node)}
+		} else {
+			a.Parts = []AdversarySpec{g.leaf(node)}
+		}
+		return a
+	default:
+		return g.leaf(node)
+	}
+}
+
+// leaf draws one primitive strategy.
+func (g *specgen) leaf(node protocol.NodeID) AdversarySpec {
+	d := g.pp.D
+	attackAt := func() simtime.Duration {
+		return d + simtime.Duration(g.rng.Int63n(int64(g.pp.DeltaAgr())))
+	}
+	a := AdversarySpec{Node: node}
+	switch g.rng.Intn(10) {
+	case 0:
+		a.Kind = KindCrash
+	case 1:
+		a.Kind = KindYeasayer
+	case 2:
+		a.Kind = KindEquivocator
+		a.At = attackAt()
+		a.Values = []protocol.Value{"ea", "eb"}
+	case 3:
+		a.Kind = KindPartial
+		a.At = attackAt()
+		a.Values = []protocol.Value{"p"}
+		a.Targets = g.nodeSubset(g.pp.N, 1+g.rng.Intn(g.pp.N-1))
+		a.Hold = simtime.Duration(g.rng.Int63n(int64(d) + 1))
+	case 4:
+		a.Kind = KindLate
+		a.G = g.scriptedG()
+		a.Hold = simtime.Duration(g.rng.Int63n(int64(3 * d)))
+	case 5:
+		a.Kind = KindSpam
+		a.Hold = simtime.Duration(int64(d) * (2 + g.rng.Int63n(8)))
+	case 6:
+		a.Kind = KindReplay
+		a.At = simtime.Duration(int64(d) * (2 + g.rng.Int63n(20)))
+	case 7:
+		a.Kind = KindForge
+		a.G = g.scriptedG()
+		a.Targets = g.nodeSubset(g.pp.N, 1)
+		a.At = attackAt()
+		a.Values = []protocol.Value{"fv"}
+	case 8:
+		a.Kind = KindMirror
+	default:
+		a.Kind = KindEdge
+	}
+	return a
+}
+
+func sortNodes(ids []protocol.NodeID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

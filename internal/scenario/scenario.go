@@ -1,0 +1,387 @@
+// Package scenario is the declarative scenario engine: a JSON-serializable
+// Spec describing one complete adversarial run — committee size, seed,
+// per-node adversary assignments (including composed, staged, and adaptive
+// strategies), a network-condition schedule, and the General script — plus
+// a seeded random generator of model-legal specs and a greedy shrinker
+// that minimizes property-violating specs into replayable counterexamples.
+//
+// The paper's proofs quantify over every Byzantine strategy and every
+// arrival pattern the bounded-delay model admits; a Spec is one point of
+// that space, and the S2 campaign (internal/harness) samples it by the
+// thousand. Because a Spec carries every bit of entropy a run consumes,
+// any violating spec replays byte-identically: `ssbyz-bench -replay
+// spec.json` re-runs the exact counterexample.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"ssbyz/internal/byzantine"
+	"ssbyz/internal/check"
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/sim"
+	"ssbyz/internal/simnet"
+	"ssbyz/internal/simtime"
+)
+
+// Adversary kinds of the declarative vocabulary. Leaves map to one
+// internal/byzantine strategy; Compose/Staged/Adaptive combine the specs
+// in Parts.
+const (
+	KindCrash       = "crash"       // forever silent
+	KindYeasayer    = "yeasayer"    // amplifies every wave
+	KindEquivocator = "equivocator" // faulty General, different values to different nodes
+	KindPartial     = "partial"     // faulty General, initiation to a subset
+	KindLate        = "late"        // colludes as late as the windows allow
+	KindSpam        = "spam"        // floods syntactically valid garbage
+	KindReplay      = "replay"      // captures and re-broadcasts traffic
+	KindForge       = "forge"       // fabricates broadcast-layer echoes
+	KindMirror      = "mirror"      // reflects every wave back at its sender
+	KindEdge        = "edge"        // votes exactly on the n−2f threshold edge
+	KindCompose     = "compose"     // run all Parts on one node
+	KindStaged      = "staged"      // switch between Parts at local times
+	KindAdaptive    = "adaptive"    // arm the last Part on a watched event
+)
+
+// AdversarySpec declares the strategy of one faulty node. Which fields
+// matter depends on Kind; unused fields are ignored (and omitted from
+// JSON). For combinators, Parts carries the member specs (their Node
+// field is ignored — members share the combinator's node; a Staged
+// member's At is its switch-over local time).
+type AdversarySpec struct {
+	// Node is the faulty node the strategy runs on.
+	Node protocol.NodeID `json:"node"`
+	Kind string          `json:"kind"`
+	// Values parameterizes equivocator (the split values), partial and
+	// forge (value [0]), and late (collude only with value [0]).
+	Values []protocol.Value `json:"values,omitempty"`
+	// At is a local time: attack time (equivocator, partial, forge),
+	// replay delay, or stage switch-over inside a Staged parent.
+	At simtime.Duration `json:"at,omitempty"`
+	// Hold is a secondary local delay: late's contribution hold, spam's
+	// stop time, partial's support delay.
+	Hold simtime.Duration `json:"hold,omitempty"`
+	// G scopes late (the wave to collude with), forge (the agreement
+	// context), and adaptive (arm on the first wave observed for G).
+	G protocol.NodeID `json:"g,omitempty"`
+	// Targets is partial's invitee set and forge's claimed broadcaster
+	// ([0]).
+	Targets []protocol.NodeID `json:"targets,omitempty"`
+	// Parts are the members of a combinator kind.
+	Parts []AdversarySpec `json:"parts,omitempty"`
+}
+
+// Initiation is one entry of the General script: correct General G
+// initiates agreement on Value at virtual real time At.
+type Initiation struct {
+	At    simtime.Real    `json:"at"`
+	G     protocol.NodeID `json:"g"`
+	Value protocol.Value  `json:"value"`
+}
+
+// Spec is one declarative scenario: everything a run consumes, so a spec
+// replays byte-identically. The zero value of optional fields defers to
+// the model defaults (F → ⌊(n−1)/3⌋, delays → [d/2, d], RunFor → last
+// initiation + 3Δagr).
+type Spec struct {
+	N int `json:"n"`
+	// F lowers the declared fault bound below optimal (0 = optimal).
+	F    int   `json:"f,omitempty"`
+	Seed int64 `json:"seed"`
+	// DelayMin/DelayMax bound actual message delays in ticks. 0 defers to
+	// the defaults ([d/2, d]); the generator always sets both explicitly.
+	DelayMin simtime.Duration `json:"delay_min,omitempty"`
+	DelayMax simtime.Duration `json:"delay_max,omitempty"`
+	// Adversaries assigns strategies to faulty nodes (≤ f entries,
+	// distinct nodes).
+	Adversaries []AdversarySpec `json:"adversaries,omitempty"`
+	// Conditions is the network-condition schedule (simnet vocabulary).
+	Conditions []simnet.Condition `json:"conditions,omitempty"`
+	// Script is the General script: at most one initiation per General,
+	// all by correct nodes.
+	Script []Initiation `json:"script,omitempty"`
+	// RunFor is the virtual duration to simulate (0 = last scripted
+	// initiation + 3Δagr).
+	RunFor simtime.Duration `json:"run_for,omitempty"`
+}
+
+// Params materializes the protocol constants the spec implies.
+func (sp Spec) Params() protocol.Params {
+	pp := protocol.DefaultParams(sp.N)
+	if sp.F > 0 {
+		pp.F = sp.F
+	}
+	return pp
+}
+
+// Validate checks the spec against the model: n > 3f, at most f distinct
+// faulty nodes, a script of correct Generals with at most one initiation
+// each, and well-formed adversary specs. (Conditions are validated by the
+// transport when the world is built.)
+func (sp Spec) Validate() error {
+	pp := sp.Params()
+	if err := pp.Validate(); err != nil {
+		return err
+	}
+	if len(sp.Adversaries) > pp.F {
+		return fmt.Errorf("scenario: %d adversaries exceed f=%d", len(sp.Adversaries), pp.F)
+	}
+	faulty := make(map[protocol.NodeID]bool, len(sp.Adversaries))
+	for _, a := range sp.Adversaries {
+		if a.Node < 0 || int(a.Node) >= pp.N {
+			return fmt.Errorf("scenario: adversary on node %d outside [0,%d)", a.Node, pp.N)
+		}
+		if faulty[a.Node] {
+			return fmt.Errorf("scenario: node %d has two adversaries (use %q)", a.Node, KindCompose)
+		}
+		faulty[a.Node] = true
+		if _, err := a.build(); err != nil {
+			return err
+		}
+	}
+	scripted := make(map[protocol.NodeID]bool, len(sp.Script))
+	for _, init := range sp.Script {
+		if init.G < 0 || int(init.G) >= pp.N {
+			return fmt.Errorf("scenario: script General %d outside [0,%d)", init.G, pp.N)
+		}
+		if faulty[init.G] {
+			return fmt.Errorf("scenario: script General %d is faulty (adversaries script themselves)", init.G)
+		}
+		if scripted[init.G] {
+			return fmt.Errorf("scenario: General %d initiates twice (one initiation per General)", init.G)
+		}
+		scripted[init.G] = true
+		if init.Value == protocol.Bottom {
+			return fmt.Errorf("scenario: General %d initiates ⊥", init.G)
+		}
+	}
+	return nil
+}
+
+// build materializes one adversary spec into a protocol.Node.
+func (a AdversarySpec) build() (protocol.Node, error) {
+	value := func(i int, def protocol.Value) protocol.Value {
+		if i < len(a.Values) {
+			return a.Values[i]
+		}
+		return def
+	}
+	switch a.Kind {
+	case KindCrash:
+		return &byzantine.Silent{}, nil
+	case KindYeasayer:
+		return &byzantine.Yeasayer{}, nil
+	case KindEquivocator:
+		vals := a.Values
+		if len(vals) < 2 {
+			vals = []protocol.Value{"x", "y"}
+		}
+		return &byzantine.Equivocator{Values: vals, At: a.At}, nil
+	case KindPartial:
+		return &byzantine.PartialGeneral{
+			Invitees: a.Targets, Value: value(0, "p"), At: a.At, SupportDelay: a.Hold,
+		}, nil
+	case KindLate:
+		return &byzantine.LateSupporter{G: a.G, Value: value(0, protocol.Bottom), HoldLocal: a.Hold}, nil
+	case KindSpam:
+		return &byzantine.Spammer{Stop: a.Hold, Values: a.Values}, nil
+	case KindReplay:
+		return &byzantine.Replayer{Delay: a.At}, nil
+	case KindForge:
+		var p protocol.NodeID
+		if len(a.Targets) > 0 {
+			p = a.Targets[0]
+		}
+		return &byzantine.EchoForger{G: a.G, ForgedP: p, ForgedV: value(0, "f"), K: 1, At: a.At}, nil
+	case KindMirror:
+		return &byzantine.MirrorVoter{}, nil
+	case KindEdge:
+		return &byzantine.EdgeSupporter{}, nil
+	case KindCompose:
+		if len(a.Parts) == 0 {
+			return nil, fmt.Errorf("scenario: %q adversary on node %d has no parts", a.Kind, a.Node)
+		}
+		parts := make([]protocol.Node, len(a.Parts))
+		for i, p := range a.Parts {
+			n, err := p.build()
+			if err != nil {
+				return nil, err
+			}
+			parts[i] = n
+		}
+		return &byzantine.Composite{Parts: parts}, nil
+	case KindStaged:
+		if len(a.Parts) == 0 {
+			return nil, fmt.Errorf("scenario: %q adversary on node %d has no parts", a.Kind, a.Node)
+		}
+		stages := make([]byzantine.Stage, len(a.Parts))
+		for i, p := range a.Parts {
+			n, err := p.build()
+			if err != nil {
+				return nil, err
+			}
+			stages[i] = byzantine.Stage{At: p.At, Node: n}
+		}
+		return &byzantine.Staged{Stages: stages}, nil
+	case KindAdaptive:
+		if len(a.Parts) == 0 || len(a.Parts) > 2 {
+			return nil, fmt.Errorf("scenario: %q adversary on node %d needs 1–2 parts", a.Kind, a.Node)
+		}
+		armedSpec := a.Parts[len(a.Parts)-1]
+		var base protocol.Node
+		if len(a.Parts) == 2 {
+			b, err := a.Parts[0].build()
+			if err != nil {
+				return nil, err
+			}
+			base = b
+		}
+		if _, err := armedSpec.build(); err != nil {
+			return nil, err
+		}
+		return &byzantine.Adaptive{
+			Base:    base,
+			Trigger: byzantine.OnGeneral(a.G),
+			Then: func() protocol.Node {
+				n, _ := armedSpec.build()
+				return n
+			},
+		}, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown adversary kind %q on node %d", a.Kind, a.Node)
+	}
+}
+
+// Scenario lowers the spec into the simulator's vocabulary. The caller
+// owns delivery-path flags (LegacyFanout etc.) on the returned value.
+func (sp Spec) Scenario() (sim.Scenario, error) {
+	if err := sp.Validate(); err != nil {
+		return sim.Scenario{}, err
+	}
+	pp := sp.Params()
+	sc := sim.Scenario{
+		Params:     pp,
+		Seed:       sp.Seed,
+		DelayMin:   sp.DelayMin,
+		DelayMax:   sp.DelayMax,
+		Conditions: sp.Conditions,
+		RunFor:     sp.RunFor,
+		Faulty:     make(map[protocol.NodeID]protocol.Node, len(sp.Adversaries)),
+	}
+	for _, a := range sp.Adversaries {
+		n, err := a.build()
+		if err != nil {
+			return sim.Scenario{}, err
+		}
+		sc.Faulty[a.Node] = n
+	}
+	for _, init := range sp.Script {
+		sc.Initiations = append(sc.Initiations,
+			sim.Initiation{At: init.At, G: init.G, Value: init.Value})
+	}
+	if sc.RunFor == 0 {
+		var last simtime.Real
+		for _, init := range sp.Script {
+			if init.At > last {
+				last = init.At
+			}
+		}
+		sc.RunFor = simtime.Duration(last) + 3*pp.DeltaAgr()
+	}
+	return sc, nil
+}
+
+// Run executes the spec to completion.
+func Run(sp Spec) (*sim.Result, error) {
+	sc, err := sp.Scenario()
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(sc)
+}
+
+// Check runs the full property battery over a finished run of the spec:
+// every General's Agreement/Timeliness/Termination/IA/TPS bounds, plus
+// the Validity window of each scripted initiation (a refused scripted
+// initiation is itself a violation — the generator only emits legal
+// scripts).
+func Check(res *sim.Result, sp Spec) []check.Violation {
+	var out []check.Violation
+	pp := res.Scenario.Params
+	for g := 0; g < pp.N; g++ {
+		out = append(out, check.All(res, protocol.NodeID(g))...)
+	}
+	for i, init := range sp.Script {
+		if err, refused := res.InitErrs[i]; refused {
+			out = append(out, check.Violation{
+				Property: "Script",
+				Detail:   fmt.Sprintf("initiation %d (G%d,%q) refused: %v", i, init.G, init.Value, err),
+			})
+			continue
+		}
+		out = append(out, check.Validity(res, init.G, init.At, init.Value)...)
+	}
+	return out
+}
+
+// RunCheck runs the spec and returns the battery's verdict. A spec that
+// fails to even run (invalid params, bad adversary vocabulary) reports
+// one synthetic "Spec" violation, so searches can treat run errors and
+// property violations uniformly.
+func RunCheck(sp Spec) (*sim.Result, []check.Violation) {
+	res, err := Run(sp)
+	if err != nil {
+		return nil, []check.Violation{{Property: "Spec", Detail: err.Error()}}
+	}
+	return res, Check(res, sp)
+}
+
+// Marshal renders the spec as deterministic, replayable JSON (the
+// artifact `ssbyz-bench -replay` consumes).
+func (sp Spec) Marshal() []byte {
+	blob, err := json.MarshalIndent(sp, "", "  ")
+	if err != nil {
+		// Spec contains only plain data; marshalling cannot fail.
+		panic(fmt.Sprintf("scenario: marshal: %v", err))
+	}
+	return append(blob, '\n')
+}
+
+// Parse decodes a spec from JSON and validates it.
+func Parse(blob []byte) (Spec, error) {
+	var sp Spec
+	if err := json.Unmarshal(blob, &sp); err != nil {
+		return Spec{}, fmt.Errorf("scenario: parse: %w", err)
+	}
+	if err := sp.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return sp, nil
+}
+
+// components counts the knobs a shrinker can still remove — the size
+// measure minimization reports progress against.
+func (sp Spec) components() int {
+	n := len(sp.Conditions) + len(sp.Script)
+	for _, a := range sp.Adversaries {
+		n += a.size()
+	}
+	return n
+}
+
+func (a AdversarySpec) size() int {
+	n := 1
+	for _, p := range a.Parts {
+		n += p.size()
+	}
+	return n
+}
+
+// sortAdversaries keeps adversary order canonical (by node) so shrunk and
+// generated specs marshal deterministically regardless of construction
+// order.
+func sortAdversaries(advs []AdversarySpec) {
+	sort.Slice(advs, func(i, j int) bool { return advs[i].Node < advs[j].Node })
+}

@@ -1,0 +1,86 @@
+package scenario
+
+import (
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/simnet"
+)
+
+// Shrink greedily minimizes a failing spec: it tries removing conditions,
+// script entries, and adversaries, and hoisting combinator members into
+// their parent's place, accepting any strictly smaller spec that still
+// fails, until no single removal preserves the failure. fails must be a
+// deterministic predicate (running a spec is one — every bit of entropy
+// lives in the spec), so the minimized counterexample replays exactly.
+//
+// The result is 1-minimal with respect to the move set: removing any one
+// remaining component makes the failure disappear — small enough to read,
+// and still a genuine counterexample by construction.
+func Shrink(sp Spec, fails func(Spec) bool) Spec {
+	if !fails(sp) {
+		return sp
+	}
+	for improved := true; improved; {
+		improved = false
+		for _, cand := range shrinkCandidates(sp) {
+			if cand.components() < sp.components() && fails(cand) {
+				sp = cand
+				improved = true
+				break // re-enumerate moves against the smaller spec
+			}
+		}
+	}
+	return sp
+}
+
+// shrinkCandidates enumerates every one-step reduction of the spec, in a
+// deterministic order (conditions, then script, then adversaries).
+func shrinkCandidates(sp Spec) []Spec {
+	var out []Spec
+	for i := range sp.Conditions {
+		c := sp.clone()
+		c.Conditions = append(c.Conditions[:i], c.Conditions[i+1:]...)
+		out = append(out, c)
+	}
+	for i := range sp.Script {
+		c := sp.clone()
+		c.Script = append(c.Script[:i], c.Script[i+1:]...)
+		out = append(out, c)
+	}
+	for i := range sp.Adversaries {
+		c := sp.clone()
+		c.Adversaries = append(c.Adversaries[:i], c.Adversaries[i+1:]...)
+		out = append(out, c)
+		// Hoist each combinator member into the parent's slot.
+		for j := range sp.Adversaries[i].Parts {
+			c := sp.clone()
+			member := c.Adversaries[i].Parts[j]
+			member.Node = c.Adversaries[i].Node
+			c.Adversaries[i] = member
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// clone deep-copies the spec's slices so candidate edits never alias.
+func (sp Spec) clone() Spec {
+	c := sp
+	c.Conditions = append([]simnet.Condition(nil), sp.Conditions...)
+	c.Script = append([]Initiation(nil), sp.Script...)
+	c.Adversaries = make([]AdversarySpec, len(sp.Adversaries))
+	for i, a := range sp.Adversaries {
+		c.Adversaries[i] = a.cloneAdv()
+	}
+	return c
+}
+
+func (a AdversarySpec) cloneAdv() AdversarySpec {
+	c := a
+	c.Values = append([]protocol.Value(nil), a.Values...)
+	c.Targets = append([]protocol.NodeID(nil), a.Targets...)
+	c.Parts = make([]AdversarySpec, len(a.Parts))
+	for i, p := range a.Parts {
+		c.Parts[i] = p.cloneAdv()
+	}
+	return c
+}

@@ -1,0 +1,150 @@
+package simnet
+
+import (
+	"fmt"
+
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/simtime"
+)
+
+// This file implements the network-condition schedule: a deterministic,
+// declarative script of transport-level disturbances — timed partitions,
+// per-link jitter windows, and node churn — applied at delivery time.
+// Conditions are pure functions of (virtual time, endpoints): they consume
+// no randomness and touch no scheduler state, so a world with an empty
+// schedule is byte-identical to one built before this machinery existed
+// (Config.LegacyConditions bypasses the code path entirely; the
+// differential tests pin the two).
+//
+// Model-legality matters here. Jitter only stretches delays WITHIN the
+// configured [DelayMin, DelayMax] (clamped), so a jittered run still
+// satisfies the paper's bounded-delay axiom and every proved property must
+// hold. Partitions and churn DROP messages, which suspends the delivery
+// axiom for the affected links: the property battery stays sound only if
+// drops are confined to links touching faulty nodes, or to windows outside
+// any agreement's active span — the scenario generator enforces exactly
+// that (DESIGN.md §6).
+
+// Condition kinds. The string form is the JSON vocabulary of scenario
+// specs.
+const (
+	// CondPartition splits the nodes into Nodes vs the rest for the
+	// window: messages crossing between the two groups (either direction)
+	// whose arrival falls inside the window are dropped.
+	CondPartition = "partition"
+	// CondJitter adds Jitter extra delay, clamped into the network's
+	// [DelayMin, DelayMax], to messages whose unjittered arrival falls in
+	// the window; an empty Nodes list hits every link, otherwise only
+	// links with an endpoint in Nodes.
+	CondJitter = "jitter"
+	// CondChurn detaches Nodes from the network for the window — a NIC
+	// crash with recovery: nothing they send while down leaves, nothing
+	// arriving while they are down is delivered. Local timers keep
+	// running (the node's state survives, as a recovering node's must).
+	CondChurn = "churn"
+)
+
+// Condition is one scripted network disturbance. Windows are half-open
+// [From, Until) in virtual real time. The zero value is invalid — every
+// condition names a Kind.
+type Condition struct {
+	Kind string `json:"kind"`
+	// From / Until bound the active window, [From, Until).
+	From  simtime.Real `json:"from"`
+	Until simtime.Real `json:"until"`
+	// Nodes is the partitioned group, the churned set, or the jitter
+	// scope (empty = all links; partition and churn require it).
+	Nodes []protocol.NodeID `json:"nodes,omitempty"`
+	// Jitter is the extra delay of a jitter window.
+	Jitter simtime.Duration `json:"jitter,omitempty"`
+}
+
+// compiledCond is a Condition with membership resolved to an O(1) lookup.
+type compiledCond struct {
+	kind        string
+	from, until simtime.Real
+	member      []bool // indexed by NodeID; nil = every node
+	jitter      simtime.Duration
+}
+
+func (c *compiledCond) active(at simtime.Real) bool {
+	return at >= c.from && at < c.until
+}
+
+func (c *compiledCond) has(id protocol.NodeID) bool {
+	return c.member == nil || (int(id) < len(c.member) && c.member[int(id)])
+}
+
+// compileConditions validates the schedule against the world size and
+// resolves node sets to bitmaps.
+func compileConditions(conds []Condition, n int) ([]compiledCond, error) {
+	out := make([]compiledCond, 0, len(conds))
+	for i, c := range conds {
+		cc := compiledCond{kind: c.Kind, from: c.From, until: c.Until, jitter: c.Jitter}
+		switch c.Kind {
+		case CondPartition, CondChurn:
+			if len(c.Nodes) == 0 {
+				return nil, fmt.Errorf("simnet: condition %d (%s) needs a node set", i, c.Kind)
+			}
+		case CondJitter:
+			if c.Jitter < 0 {
+				return nil, fmt.Errorf("simnet: condition %d has negative jitter", i)
+			}
+		default:
+			return nil, fmt.Errorf("simnet: condition %d has unknown kind %q", i, c.Kind)
+		}
+		if c.Until <= c.From {
+			return nil, fmt.Errorf("simnet: condition %d window [%d,%d) is empty", i, c.From, c.Until)
+		}
+		if len(c.Nodes) > 0 {
+			cc.member = make([]bool, n)
+			for _, id := range c.Nodes {
+				if id < 0 || int(id) >= n {
+					return nil, fmt.Errorf("simnet: condition %d names node %d outside [0,%d)", i, id, n)
+				}
+				cc.member[int(id)] = true
+			}
+		}
+		out = append(out, cc)
+	}
+	return out, nil
+}
+
+// applyConditions resolves the schedule for one message: the possibly
+// jittered delay and whether an active partition or churn window eats the
+// message. All windows are evaluated against deterministic instants — the
+// send time (churn on the sender: a detached node cannot emit) and the
+// UNjittered arrival instant (partitions, churn on the receiver, jitter
+// scope) — so condition effects never feed back into their own window
+// tests and replays are exact. Jitter accumulates across overlapping
+// windows and is clamped into [DelayMin, DelayMax] at the end, keeping the
+// run inside the paper's bounded-delay model.
+func (w *World) applyConditions(from, to protocol.NodeID, delay simtime.Duration) (simtime.Duration, bool) {
+	now := w.sch.Now()
+	arrive := now + simtime.Real(delay)
+	adjusted := delay
+	for i := range w.conds {
+		c := &w.conds[i]
+		switch c.kind {
+		case CondPartition:
+			if c.active(arrive) && c.has(from) != c.has(to) {
+				return delay, true
+			}
+		case CondChurn:
+			if (c.has(from) && c.active(now)) || (c.has(to) && c.active(arrive)) {
+				return delay, true
+			}
+		case CondJitter:
+			if c.active(arrive) && (c.member == nil || c.has(from) || c.has(to)) {
+				adjusted += c.jitter
+			}
+		}
+	}
+	return w.clampDelay(adjusted), false
+}
+
+// ConditionDrops returns how many sent messages the condition schedule has
+// dropped so far (partition and churn windows). Dropped messages still
+// count as sent in MessageCount — the sender paid for them; the network
+// ate them. The counter is deterministic for a given (config, seed).
+func (w *World) ConditionDrops() int64 { return w.condDrops }

@@ -8,6 +8,12 @@
 // Because virtual real time and every node's local reading are both
 // first-class, the property checkers can verify the paper's bounds (which
 // mix rt(·) and τ(·)) exactly.
+//
+// A scripted network-condition schedule (conditions.go) can disturb the
+// transport deterministically: jitter windows stretch delays within the
+// legal [DelayMin, DelayMax] (the model still holds), while timed
+// partitions and node churn deliberately suspend the delivery axiom for
+// chosen links and windows — the raw material of adversarial scenarios.
 package simnet
 
 import (
@@ -44,6 +50,16 @@ type Config struct {
 	// both must produce byte-identical traces, message counts, and
 	// processed-event counts.
 	LegacyFanout bool
+	// Conditions is the scripted network-condition schedule — timed
+	// partitions, jitter windows, node churn — applied deterministically
+	// at delivery time (see conditions.go). An empty schedule leaves the
+	// delivery path byte-identical to a condition-free world.
+	Conditions []Condition
+	// LegacyConditions bypasses the condition machinery entirely (the
+	// schedule is ignored). It exists for the differential tests that pin
+	// the conditions-on path to the pre-conditions one on a schedule-free
+	// config: both must produce byte-identical runs.
+	LegacyConditions bool
 }
 
 // World is a deterministic simulation of n nodes exchanging messages.
@@ -60,9 +76,17 @@ type World struct {
 	counts [protocol.BaselineRound + 1]int64
 	total  int64
 
-	// dropFn, when set, silently discards matching messages (used to model
-	// the tail of an incoherent period and targeted partitions).
+	// dropFn, when set, silently discards matching messages. It is the
+	// transient injector's hook for modelling the tail of an incoherent
+	// period; scripted targeted partitions (and the other timed network
+	// disturbances) are the condition schedule's job — see conditions.go.
 	dropFn func(from, to protocol.NodeID, m protocol.Message) bool
+
+	// conds is the compiled condition schedule (empty when none or when
+	// Config.LegacyConditions bypasses it); condDrops counts messages the
+	// schedule ate.
+	conds     []compiledCond
+	condDrops int64
 
 	// delPool recycles delivery events so that scheduling one in-flight
 	// message performs zero heap allocations (DESIGN.md §5); delSlab
@@ -168,6 +192,13 @@ func New(cfg Config) (*World, error) {
 		// share an arrival tick exactly when they share a delay.
 		fanScratch: make([]*deliveryBatch, int(cfg.DelayMax-cfg.DelayMin)+1),
 		useBatch:   int64(cfg.DelayMax-cfg.DelayMin)+1 <= 4*int64(cfg.Params.N),
+	}
+	if len(cfg.Conditions) > 0 && !cfg.LegacyConditions {
+		conds, err := compileConditions(cfg.Conditions, cfg.Params.N)
+		if err != nil {
+			return nil, err
+		}
+		w.conds = conds
 	}
 	for i := 0; i < cfg.Params.N; i++ {
 		var clk simtime.Clock
@@ -290,8 +321,18 @@ func (w *World) countMessage(from, to protocol.NodeID, m protocol.Message) bool 
 
 // deliver schedules the arrival of m at to, after delay. Deliveries are
 // uncancellable pooled events: no allocation, no scheduler bookkeeping.
+// Condition drops happen after the send accounting — a partitioned
+// message was sent and counted; the network ate it.
 func (w *World) deliver(from, to protocol.NodeID, m protocol.Message, delay simtime.Duration) {
+	drop := false
+	if len(w.conds) != 0 {
+		delay, drop = w.applyConditions(from, to, delay)
+	}
 	if !w.countMessage(from, to, m) {
+		return
+	}
+	if drop {
+		w.condDrops++
 		return
 	}
 	m.From = from // authenticated identity: stamped by the transport
@@ -352,7 +393,15 @@ func (w *World) broadcastFrom(from protocol.NodeID, m protocol.Message) {
 	for to := 0; to < n; to++ {
 		toID := protocol.NodeID(to)
 		delay := w.delayFor(from, toID, m)
+		drop := false
+		if len(w.conds) != 0 {
+			delay, drop = w.applyConditions(from, toID, delay)
+		}
 		if !w.countMessage(from, toID, m) {
+			continue
+		}
+		if drop {
+			w.condDrops++
 			continue
 		}
 		off := int(delay - w.cfg.DelayMin)

@@ -1,0 +1,121 @@
+package ssbyz
+
+import (
+	"fmt"
+
+	"ssbyz/internal/scenario"
+	"ssbyz/internal/sim"
+	"ssbyz/internal/simnet"
+	"ssbyz/internal/simtime"
+)
+
+// Time is an instant of virtual real time in ticks — the rt(·) frame of
+// the paper's mixed rt/τ bounds. Scenario scripts and network-condition
+// windows are expressed in it; Ticks measures durations in the same unit.
+type Time = simtime.Real
+
+// This file is the scenario-engine facade: declarative adversarial
+// scenarios over the paper's model — composable Byzantine strategies,
+// scripted network conditions, and a General script — with a seeded
+// random generator, a counterexample minimizer, and byte-exact replay.
+// The paper's theorems quantify over every Byzantine strategy and every
+// arrival pattern the bounded-delay model admits; a Scenario is one point
+// of that space, and experiment S2 (RunExperiments) samples it by the
+// thousand against the full property battery.
+
+// Scenario declares one complete adversarial run against the paper's
+// model: committee size (n > 3f), seed, up to f adversary assignments,
+// a network-condition schedule, and the General script. A Scenario
+// carries every bit of entropy its run consumes, so it replays
+// byte-identically — the JSON form is the `ssbyz-bench -replay` artifact.
+type Scenario = scenario.Spec
+
+// ScenarioAdversary assigns one Byzantine strategy tree — a primitive, or
+// a compose/staged/adaptive combinator over primitives — to one faulty
+// node of the scenario (at most f = ⌊(n−1)/3⌋ assignments).
+type ScenarioAdversary = scenario.AdversarySpec
+
+// ScenarioInitiation is one entry of a scenario's General script: a
+// correct General initiating agreement at a virtual real time (the t0 the
+// Validity window [t0−d, t0+4d] is measured from).
+type ScenarioInitiation = scenario.Initiation
+
+// NetworkCondition is one scripted transport disturbance of a scenario:
+// a timed partition, a jitter window, or node churn. Jitter stays within
+// the paper's bounded-delay model (clamped into [DelayMin, DelayMax] ≤
+// d); partitions and churn drop messages and must therefore only name
+// faulty nodes for the property battery to stay meaningful.
+type NetworkCondition = simnet.Condition
+
+// Network-condition kinds. ConditionPartition drops messages crossing the
+// named group's boundary inside the window; ConditionJitter stretches
+// delays within the model's [DelayMin, DelayMax] ≤ d; ConditionChurn
+// detaches the named nodes (a NIC crash with recovery — local state and
+// timers survive, as a recovering node's must under self-stabilization).
+const (
+	ConditionPartition = simnet.CondPartition
+	ConditionJitter    = simnet.CondJitter
+	ConditionChurn     = simnet.CondChurn
+)
+
+// GenerateScenario derives one model-legal randomized scenario from
+// (seed, n): adversary strategy trees on up to f nodes, a legal delay
+// range, a General script, and network conditions whose message drops
+// only ever isolate faulty nodes — so the paper's properties must hold
+// on every generated scenario, and any violation is a genuine
+// counterexample. Generation is a pure function of (seed, n).
+func GenerateScenario(seed int64, n int) Scenario {
+	return scenario.Generate(seed, n)
+}
+
+// ScenarioReport is a finished scenario run: the spec it ran, the full
+// run report, and every violation of the paper's proved properties the
+// battery found (empty for a faithful build on a model-legal scenario).
+type ScenarioReport struct {
+	Spec       Scenario
+	Report     *Report
+	Violations []Violation
+}
+
+// RunScenario executes a scenario and checks the full property battery
+// (Agreement, Timeliness-1..4, IA-*, TPS-* for every General, plus the
+// Validity window of each scripted initiation). Identical specs produce
+// identical reports — parallel campaigns and replays agree byte for byte.
+func RunScenario(sp Scenario) (*ScenarioReport, error) {
+	sc, err := sp.Scenario()
+	if err != nil {
+		return nil, fmt.Errorf("ssbyz: %w", err)
+	}
+	res, err := sim.Run(sc)
+	if err != nil {
+		return nil, fmt.Errorf("ssbyz: %w", err)
+	}
+	return &ScenarioReport{
+		Spec:       sp,
+		Report:     &Report{res: res},
+		Violations: scenario.Check(res, sp),
+	}, nil
+}
+
+// ReplayScenario parses a scenario spec from its JSON form (as written by
+// Scenario.Marshal, experiment S2's counterexample export, or a hand) and
+// re-runs it against the paper's full property battery. Replay is exact:
+// the spec carries all entropy, so the verdict reproduces the original
+// run's byte for byte.
+func ReplayScenario(blob []byte) (*ScenarioReport, error) {
+	sp, err := scenario.Parse(blob)
+	if err != nil {
+		return nil, fmt.Errorf("ssbyz: %w", err)
+	}
+	return RunScenario(sp)
+}
+
+// MinimizeScenario greedily shrinks a scenario while the failing
+// predicate holds: adversaries, conditions, and script entries are
+// removed and combinator members hoisted until the spec is 1-minimal —
+// the smallest replayable counterexample the move set can reach. fails
+// must be deterministic (checking the paper's property battery on a run
+// of the spec is; every bit of entropy lives in the spec).
+func MinimizeScenario(sp Scenario, fails func(Scenario) bool) Scenario {
+	return scenario.Shrink(sp, fails)
+}

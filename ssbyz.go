@@ -383,10 +383,10 @@ type ExperimentOptions = harness.Options
 type ExperimentSuite = harness.Suite
 
 // RunExperiments executes the full reproduction suite (experiments
-// E1–E10, figures F1–F4, ablation A1, and scaling workload S1 of
-// DESIGN.md §4) and writes each result to w. It returns the total number
-// of violations of the paper's proved properties (0 for a faithful
-// build).
+// E1–E10, figures F1–F4, ablation A1, scaling workload S1, and the
+// randomized adversarial campaign S2 of DESIGN.md §4) and writes each
+// result to w. It returns the total number of violations of the paper's
+// proved properties (0 for a faithful build).
 func RunExperiments(w io.Writer, opt ExperimentOptions) (int, error) {
 	suite, err := RunExperimentsSuite(w, opt)
 	return suite.Violations, err
