@@ -1,0 +1,341 @@
+package main
+
+// This file is the `-cluster` mode: spawn an n-node loopback cluster over
+// real sockets — in-process (n NetNodes, one per goroutine set, each
+// behind its own UDP/TCP socket) or multi-process (n ssbyz-node daemons
+// booted from a generated manifest, traces collected over a control
+// socket) — run agreements, and feed the collected trace through the
+// full internal/check property battery. The exit status is non-zero if
+// any node fails to decide or any paper bound is violated, which makes
+// the mode CI's live smoke gate.
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"ssbyz/internal/check"
+	"ssbyz/internal/metrics"
+	"ssbyz/internal/nettrans"
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/simtime"
+	"ssbyz/internal/wire"
+)
+
+// clusterOpts carries the -cluster flag group.
+type clusterOpts struct {
+	n          int
+	transport  string
+	procs      bool
+	nodeBin    string
+	agreements int
+	d          simtime.Duration
+	tick       time.Duration
+}
+
+// runCluster executes the -cluster mode end to end.
+func runCluster(o clusterOpts) error {
+	if o.n < 4 {
+		return fmt.Errorf("-cluster needs n ≥ 4 (n > 3f with f ≥ 1), got %d", o.n)
+	}
+	if o.agreements < 1 {
+		o.agreements = 1
+	}
+	pp := protocol.DefaultParams(o.n)
+	pp.D = o.d
+	if err := pp.Validate(); err != nil {
+		return err
+	}
+	mode := "in-process"
+	if o.procs {
+		mode = "multi-process"
+	}
+	fmt.Printf("cluster: n=%d f=%d transport=%s d=%d ticks (%v) tick=%v mode=%s agreements=%d\n",
+		pp.N, pp.F, o.transport, pp.D, time.Duration(pp.D)*o.tick, o.tick, mode, o.agreements)
+
+	if o.procs {
+		return runClusterProcs(o, pp)
+	}
+	return runClusterInProcess(o, pp)
+}
+
+// verdict checks the collected trace against the battery and prints the
+// outcome; it returns an error when anything is violated or undecided.
+func verdict(res *check.LiveResult, inits []check.LiveInitiation, pp protocol.Params, d float64) error {
+	violations := res.Battery(inits)
+	for _, in := range inits {
+		lats := res.DecideLatencies(in.G, in.V, in.T0)
+		if len(lats) != len(res.Result.Correct) {
+			violations = append(violations, check.Violation{
+				Property: "Live",
+				Detail: fmt.Sprintf("G%d %q: only %d/%d correct nodes decided",
+					in.G, in.V, len(lats), len(res.Result.Correct)),
+			})
+			continue
+		}
+		s := metrics.Summarize(lats)
+		fmt.Printf("agreement G%d %q: %d/%d decided, latency p50=%.2fd max=%.2fd\n",
+			in.G, in.V, len(lats), len(res.Result.Correct), s.P50/d, s.Max/d)
+	}
+	fmt.Printf("battery: %d violations over %d trace events\n", len(violations), res.Result.Rec.Len())
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Println("  VIOLATION", v)
+		}
+		return fmt.Errorf("%d live property violations", len(violations))
+	}
+	fmt.Println("cluster run clean: every checked paper bound holds over the live trace")
+	return nil
+}
+
+// ---- in-process ----
+
+func runClusterInProcess(o clusterOpts, pp protocol.Params) error {
+	c, err := nettrans.NewCluster(nettrans.ClusterConfig{
+		Params: pp, Tick: o.tick, Transport: o.transport,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Stop()
+
+	agrBudget := time.Duration(pp.DeltaAgr())*o.tick + 5*time.Second
+	var inits []check.LiveInitiation
+	for i := 0; i < o.agreements; i++ {
+		g := protocol.NodeID(i % pp.N)
+		v := protocol.Value(fmt.Sprintf("v%d", i))
+		t0, err := c.Initiate(g, v, 5*time.Second)
+		if err != nil {
+			return fmt.Errorf("agreement %d: %w", i, err)
+		}
+		if done := c.AwaitDecisions(g, v, agrBudget); done != pp.N {
+			return fmt.Errorf("agreement %d: only %d/%d nodes decided within %v (stats %+v)",
+				i, done, pp.N, agrBudget, c.Stats())
+		}
+		inits = append(inits, check.LiveInitiation{G: g, V: v, T0: t0})
+	}
+	stats := c.Stats()
+	fmt.Printf("traffic: sent=%d received=%d late=%d auth=%d epoch=%d chaos=%d decode=%d\n",
+		stats.Sent, stats.Received, stats.LateDrops, stats.AuthDrops,
+		stats.EpochDrops, stats.ChaosDrops, stats.DecodeDrops)
+	res := c.Result(simtime.Duration(c.NowTicks()) + 1)
+	return verdict(&check.LiveResult{Result: res}, inits, pp, float64(pp.D))
+}
+
+// ---- multi-process ----
+
+func runClusterProcs(o clusterOpts, pp protocol.Params) error {
+	nodeBin, err := resolveNodeBin(o.nodeBin)
+	if err != nil {
+		return err
+	}
+
+	// Reserve one loopback port per node by binding and releasing; the
+	// window between release and the daemon's re-bind is the usual
+	// ephemeral-port race, acceptable for a loopback smoke topology.
+	addrs := make([]string, pp.N)
+	for i := range addrs {
+		s, err := nettrans.ListenSocket(o.transport, "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		addrs[i] = s.Addr()
+		s.Close()
+	}
+
+	// The epoch sits far enough out that every daemon has parsed the
+	// manifest and bound its socket before tick 0.
+	epoch := time.Now().Add(500 * time.Millisecond)
+	t0 := simtime.Real(5 * pp.D)
+	runFor := int64(t0) + int64(2*pp.DeltaAgr()) + int64(10*pp.D)
+	m := nettrans.Manifest{
+		N: pp.N, F: pp.F, D: pp.D,
+		TickUS:        o.tick.Microseconds(),
+		Transport:     o.transport,
+		EpochUnixNano: epoch.UnixNano(),
+		Nodes:         addrs,
+	}
+	dir, err := os.MkdirTemp("", "ssbyz-cluster-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	manifestPath := filepath.Join(dir, "cluster.json")
+	if err := os.WriteFile(manifestPath, m.Marshal(), 0o644); err != nil {
+		return err
+	}
+
+	collector, err := newTraceCollector()
+	if err != nil {
+		return err
+	}
+	defer collector.close()
+
+	v := protocol.Value("v0")
+	procs := make([]*exec.Cmd, pp.N)
+	for i := 0; i < pp.N; i++ {
+		args := []string{
+			"-manifest", manifestPath,
+			"-id", fmt.Sprint(i),
+			"-control", collector.addr(),
+			"-run-for", fmt.Sprint(runFor),
+		}
+		if i == 0 {
+			args = append(args, "-initiate", string(v), "-initiate-at", fmt.Sprint(int64(t0)))
+		}
+		cmd := exec.Command(nodeBin, args...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			killAll(procs)
+			return fmt.Errorf("spawn node %d: %w", i, err)
+		}
+		procs[i] = cmd
+	}
+	var procErrs []error
+	for i, cmd := range procs {
+		if err := cmd.Wait(); err != nil {
+			procErrs = append(procErrs, fmt.Errorf("node %d: %w", i, err))
+		}
+	}
+	if len(procErrs) > 0 {
+		return errors.Join(procErrs...)
+	}
+	events := collector.drain()
+	fmt.Printf("collected %d trace events from %d daemons\n", len(events), pp.N)
+
+	correct := make([]protocol.NodeID, pp.N)
+	for i := range correct {
+		correct[i] = protocol.NodeID(i)
+	}
+	res := nettrans.BuildResult(pp, events, correct, simtime.Duration(runFor)+1)
+	realT0, ok := findInitiate(events, 0, v)
+	if !ok {
+		return fmt.Errorf("the General's initiation never appeared in the collected trace")
+	}
+	return verdict(&check.LiveResult{Result: res},
+		[]check.LiveInitiation{{G: 0, V: v, T0: realT0}}, pp, float64(pp.D))
+}
+
+func findInitiate(events []protocol.TraceEvent, g protocol.NodeID, v protocol.Value) (simtime.Real, bool) {
+	for _, ev := range events {
+		if ev.Kind == protocol.EvInitiate && ev.Node == g && ev.M == v {
+			return ev.RT, true
+		}
+	}
+	return 0, false
+}
+
+func killAll(procs []*exec.Cmd) {
+	for _, cmd := range procs {
+		if cmd != nil && cmd.Process != nil {
+			_ = cmd.Process.Kill()
+		}
+	}
+}
+
+// resolveNodeBin locates the ssbyz-node binary: the explicit flag, a
+// sibling of this executable, or PATH.
+func resolveNodeBin(flagValue string) (string, error) {
+	if flagValue != "" {
+		return flagValue, nil
+	}
+	if self, err := os.Executable(); err == nil {
+		sibling := filepath.Join(filepath.Dir(self), "ssbyz-node")
+		if _, err := os.Stat(sibling); err == nil {
+			return sibling, nil
+		}
+	}
+	if p, err := exec.LookPath("ssbyz-node"); err == nil {
+		return p, nil
+	}
+	return "", fmt.Errorf("cannot find ssbyz-node (build it with `go build ./cmd/ssbyz-node` and pass -node-bin, or put it next to ssbyz-bench)")
+}
+
+// traceCollector accepts the daemons' control connections and decodes
+// their trace streams.
+type traceCollector struct {
+	ln net.Listener
+	wg sync.WaitGroup
+
+	mu     sync.Mutex
+	events []protocol.TraceEvent
+}
+
+func newTraceCollector() (*traceCollector, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	c := &traceCollector{ln: ln}
+	go c.acceptLoop()
+	return c, nil
+}
+
+func (c *traceCollector) addr() string { return c.ln.Addr().String() }
+
+func (c *traceCollector) acceptLoop() {
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			defer conn.Close()
+			c.readLoop(conn)
+		}()
+	}
+}
+
+func (c *traceCollector) readLoop(conn net.Conn) {
+	var buf []byte
+	chunk := make([]byte, 32<<10)
+	for {
+		n, err := conn.Read(chunk)
+		if n > 0 {
+			buf = append(buf, chunk[:n]...)
+			for {
+				f, consumed, derr := wire.DecodeFrame(buf)
+				if errors.Is(derr, wire.ErrTruncated) {
+					break
+				}
+				if derr != nil {
+					return // corrupt control stream; drop the connection
+				}
+				buf = buf[consumed:]
+				if f.Kind != wire.FrameTrace {
+					continue // hello/bye bookkeeping
+				}
+				if ev, _, err := wire.DecodeTraceEvent(f.Payload); err == nil {
+					c.mu.Lock()
+					c.events = append(c.events, ev)
+					c.mu.Unlock()
+				}
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// drain waits for the open streams to finish and returns the events.
+func (c *traceCollector) drain() []protocol.TraceEvent {
+	c.ln.Close()
+	c.wg.Wait()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.events
+}
+
+func (c *traceCollector) close() {
+	c.ln.Close()
+	c.wg.Wait()
+}

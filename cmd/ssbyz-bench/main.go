@@ -5,8 +5,10 @@
 //
 // Usage:
 //
-//	ssbyz-bench [-quick] [-seeds 20] [-parallel N] [-o report.md] [-json suite.json]
+//	ssbyz-bench [-quick] [-seeds 20] [-parallel N] [-o report.md] [-json suite.json] [-live]
 //	ssbyz-bench -replay spec.json
+//	ssbyz-bench -cluster N [-transport udp|tcp] [-procs] [-node-bin path]
+//	            [-agreements K] [-cluster-d ticks] [-tick dur]
 //
 // -replay skips the suite and re-runs one scenario spec (as exported by
 // the S2 campaign for any property-violating scenario, or written by
@@ -14,6 +16,24 @@
 // exact: the spec carries every bit of entropy the run consumes, so the
 // verdict reproduces deterministically. The exit status is non-zero when
 // the replayed scenario violates any of the paper's proved properties.
+//
+// -cluster skips the suite and runs a live loopback cluster over real
+// sockets (DESIGN.md §7): N nodes, in-process by default or one
+// ssbyz-node daemon per node with -procs (the daemon binary is found via
+// -node-bin, next to ssbyz-bench, or on PATH). It runs K agreements
+// (-agreements, default 1, rotating the General), collects the trace
+// (over a control socket in -procs mode), and feeds it through the full
+// internal/check property battery; the exit status is non-zero if any
+// node fails to decide or any paper bound is violated. -transport picks
+// UDP (datagram-per-message, deadline drops — the paper-faithful
+// default) or TCP (lossless stream baseline); -cluster-d sets d in ticks
+// (default 100) and -tick the wall length of one tick (default 100µs),
+// so the default d is 10ms.
+//
+// -live appends experiment L1 (live loopback latency/throughput sweep
+// over the same socket transport) to the suite run and its JSON
+// artifact. L1's numbers are wall-clock measurements — unlike every
+// other experiment they vary run to run, so L1 only runs when asked.
 //
 // The full suite takes many minutes single-threaded (S1 stretches to
 // n = 256); -parallel fans the independent simulation cells across N
@@ -35,6 +55,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"time"
 
 	"ssbyz"
 )
@@ -54,11 +75,31 @@ func run() error {
 		out      = flag.String("o", "", "also write the report to this file")
 		jsonOut  = flag.String("json", "", "write the machine-readable suite to this file")
 		replay   = flag.String("replay", "", "replay a scenario spec JSON file against the property battery (skips the suite)")
+		live     = flag.Bool("live", false, "append experiment L1 (live loopback UDP sweep; wall-clock numbers) to the suite")
+
+		cluster    = flag.Int("cluster", 0, "run a live loopback cluster of this many nodes over real sockets (skips the suite)")
+		transport  = flag.String("transport", "udp", "-cluster socket transport: udp (deadline drops) or tcp (lossless)")
+		procs      = flag.Bool("procs", false, "-cluster: one ssbyz-node process per node instead of in-process")
+		nodeBin    = flag.String("node-bin", "", "-cluster -procs: path to the ssbyz-node binary (default: sibling of ssbyz-bench, then PATH)")
+		agreements = flag.Int("agreements", 1, "-cluster: number of agreements to run (Generals rotate)")
+		clusterD   = flag.Int64("cluster-d", 100, "-cluster: the paper's d in ticks")
+		tick       = flag.Duration("tick", 100*time.Microsecond, "-cluster: wall-clock length of one tick")
 	)
 	flag.Parse()
 
 	if *replay != "" {
 		return replayScenario(*replay)
+	}
+	if *cluster > 0 {
+		return runCluster(clusterOpts{
+			n:          *cluster,
+			transport:  *transport,
+			procs:      *procs,
+			nodeBin:    *nodeBin,
+			agreements: *agreements,
+			d:          ssbyz.Ticks(*clusterD),
+			tick:       *tick,
+		})
 	}
 
 	var w io.Writer = os.Stdout
@@ -80,6 +121,14 @@ func run() error {
 	})
 	if err != nil {
 		return err
+	}
+	if *live {
+		res, err := ssbyz.RunLiveExperiment(w, ssbyz.ExperimentOptions{Quick: *quick})
+		if err != nil {
+			return err
+		}
+		suite.Results = append(suite.Results, res)
+		suite.Violations += res.Violations
 	}
 	fmt.Fprintf(w, "total property violations: %d\n", suite.Violations)
 	if *jsonOut != "" {

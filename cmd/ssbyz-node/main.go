@@ -1,0 +1,187 @@
+// Command ssbyz-node runs ONE node of a live ss-Byz-Agree cluster over
+// real sockets: the daemon form of the protocol, where each process owns
+// one identity of the committee and everything between processes travels
+// through the internal/wire codec over UDP (paper-faithful: loss allowed,
+// delay bounded by deadline drops) or TCP (lossless baseline).
+//
+// Usage:
+//
+//	ssbyz-node -manifest cluster.json -id 2 [-control 127.0.0.1:7700]
+//	           [-run-for 6000] [-initiate v1 -initiate-at 500]
+//
+// The manifest (internal/nettrans.Manifest) is the cluster's single
+// source of truth: committee parameters, tick length, every node's listen
+// address, the shared epoch (the wall-clock instant all local clocks read
+// tick 0, and the incarnation id every frame carries), and an optional
+// chaos schedule. Start one daemon per manifest entry and the cluster
+// assembles itself; `ssbyz-bench -cluster N -procs` automates exactly
+// that for a loopback smoke run.
+//
+// With -control, the daemon dials the given TCP address and streams every
+// trace event (decide/abort/I-accept/…) as wire frames — the collector
+// feeds them to the property battery. Without it, trace events print to
+// stdout. With -initiate, the node acts as the General at the given tick
+// (subject to the sending-validity criteria IG1–IG3). The daemon exits
+// after -run-for ticks, or on SIGINT/SIGTERM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"ssbyz/internal/core"
+	"ssbyz/internal/nettrans"
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ssbyz-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		manifestPath = flag.String("manifest", "", "cluster manifest JSON (required)")
+		id           = flag.Int("id", -1, "this node's id in the manifest (required)")
+		control      = flag.String("control", "", "TCP address to stream trace events to (default: print to stdout)")
+		runFor       = flag.Int64("run-for", 0, "exit after this many ticks past the epoch (0 = run until signalled)")
+		initValue    = flag.String("initiate", "", "act as the General: initiate agreement on this value")
+		initAt       = flag.Int64("initiate-at", 0, "tick (since epoch) of the -initiate initiation")
+	)
+	flag.Parse()
+
+	if *manifestPath == "" || *id < 0 {
+		return fmt.Errorf("both -manifest and -id are required (see -h)")
+	}
+	blob, err := os.ReadFile(*manifestPath)
+	if err != nil {
+		return err
+	}
+	m, err := nettrans.ParseManifest(blob)
+	if err != nil {
+		return err
+	}
+	if *id >= m.N {
+		return fmt.Errorf("id %d outside manifest committee [0,%d)", *id, m.N)
+	}
+	nodeID := protocol.NodeID(*id)
+
+	// Control stream: trace events as wire frames over one TCP connection,
+	// opened before the node starts so no event is lost.
+	var sink func(protocol.TraceEvent)
+	if *control != "" {
+		cs, err := dialControl(*control, nodeID, uint64(m.Epoch().UnixNano()))
+		if err != nil {
+			return fmt.Errorf("control stream: %w", err)
+		}
+		defer cs.close()
+		sink = cs.send
+	} else {
+		sink = func(ev protocol.TraceEvent) {
+			fmt.Printf("trace node=%d kind=%v G=%d m=%q rt=%d\n", ev.Node, ev.Kind, ev.G, ev.M, ev.RT)
+		}
+	}
+
+	// All daemons sleep until the shared epoch so tick 0 means the same
+	// wall instant everywhere (the manifest sets the epoch slightly in the
+	// future to cover process start-up).
+	if wait := time.Until(m.Epoch()); wait > 0 {
+		time.Sleep(wait)
+	}
+
+	node := core.NewNode()
+	nn, err := nettrans.Start(m.NodeConfig(nodeID, nil, sink), node)
+	if err != nil {
+		return err
+	}
+	defer nn.Stop()
+	fmt.Printf("ssbyz-node %d up: %s %s, n=%d f=%d d=%d ticks of %v\n",
+		nodeID, m.Transport, nn.Addr(), m.N, m.Params().F, m.D, m.Tick())
+
+	if *initValue != "" {
+		at := m.Epoch().Add(time.Duration(*initAt) * m.Tick())
+		go func() {
+			if wait := time.Until(at); wait > 0 {
+				time.Sleep(wait)
+			}
+			nn.Do(func(n protocol.Node) {
+				if err := n.(*core.Node).InitiateAgreement(protocol.Value(*initValue)); err != nil {
+					fmt.Fprintf(os.Stderr, "ssbyz-node %d: initiate %q: %v\n", nodeID, *initValue, err)
+				}
+			})
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if *runFor > 0 {
+		end := m.Epoch().Add(time.Duration(*runFor) * m.Tick())
+		select {
+		case <-time.After(time.Until(end)):
+		case <-sig:
+		}
+	} else {
+		<-sig
+	}
+	stats := nn.Stats()
+	fmt.Printf("ssbyz-node %d down: sent=%d received=%d late=%d auth=%d epoch=%d chaos=%d decode=%d\n",
+		nodeID, stats.Sent, stats.Received, stats.LateDrops, stats.AuthDrops,
+		stats.EpochDrops, stats.ChaosDrops, stats.DecodeDrops)
+	return nil
+}
+
+// controlStream serializes trace frames onto the collector connection.
+type controlStream struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	id      protocol.NodeID
+	epoch   uint64
+	scratch []byte
+}
+
+func dialControl(addr string, id protocol.NodeID, epoch uint64) (*controlStream, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	cs := &controlStream{conn: conn, id: id, epoch: epoch}
+	hello := wire.AppendFrame(nil, wire.Frame{Kind: wire.FrameHello, From: id, Epoch: epoch})
+	if _, err := conn.Write(hello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return cs, nil
+}
+
+// send streams one trace event; errors are best-effort (the node keeps
+// running even if the collector went away).
+func (cs *controlStream) send(ev protocol.TraceEvent) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.scratch = cs.scratch[:0]
+	cs.scratch = wire.AppendFrame(cs.scratch, wire.Frame{
+		Kind:    wire.FrameTrace,
+		From:    cs.id,
+		Epoch:   cs.epoch,
+		Sent:    int64(ev.RT),
+		Payload: wire.AppendTraceEvent(nil, ev),
+	})
+	_, _ = cs.conn.Write(cs.scratch)
+}
+
+func (cs *controlStream) close() {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	bye := wire.AppendFrame(nil, wire.Frame{Kind: wire.FrameBye, From: cs.id, Epoch: cs.epoch})
+	_, _ = cs.conn.Write(bye)
+	cs.conn.Close()
+}

@@ -1,0 +1,165 @@
+// Package eventloop is the shared single-threaded execution core of the
+// real-time transports (internal/livenet over in-process channels,
+// internal/nettrans over UDP/TCP sockets): an unbounded FIFO mailbox
+// drained by one goroutine per node — so protocol state machines run
+// without locking, exactly as under the discrete-event simulator — and a
+// tracked set of wall-clock timers whose shutdown is race-free.
+//
+// The shutdown contract is the delicate part. A time.AfterFunc body that
+// has already fired runs concurrently with Stop; if Stop merely stopped
+// the timers and returned, such a body could still be mid-flight —
+// enqueueing into closing mailboxes, touching transport state that the
+// caller is about to tear down. Timers therefore gates every body on the
+// stopped flag under the set's lock and counts in-flight bodies; Stop
+// flips the flag, cancels the pending timers, and then WAITS for the
+// in-flight count to drain. After Stop returns, no timer body is running
+// and none will start.
+package eventloop
+
+import (
+	"sync"
+	"time"
+)
+
+// Mailbox is an unbounded FIFO of closures drained by a single goroutine
+// (Loop). Enqueue after Close is a silent no-op, so concurrent producers
+// — receive loops, timer bodies — need no shutdown coordination of their
+// own.
+type Mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []func()
+	closed bool
+	dead   chan struct{}
+}
+
+// NewMailbox returns an open mailbox.
+func NewMailbox() *Mailbox {
+	m := &Mailbox{dead: make(chan struct{})}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Enqueue appends one event; it reports false if the mailbox is closed
+// (the event is dropped).
+func (m *Mailbox) Enqueue(fn func()) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	m.queue = append(m.queue, fn)
+	m.cond.Signal()
+	return true
+}
+
+// Close wakes and terminates Loop; undrained events are discarded.
+// Close is idempotent.
+func (m *Mailbox) Close() {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		close(m.dead)
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// Done is closed when the mailbox shuts down.
+func (m *Mailbox) Done() <-chan struct{} { return m.dead }
+
+// Loop drains the mailbox until Close, running each event on the calling
+// goroutine. Exactly one goroutine may run Loop.
+func (m *Mailbox) Loop() {
+	for {
+		m.mu.Lock()
+		for len(m.queue) == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		fn := m.queue[0]
+		m.queue = m.queue[1:]
+		m.mu.Unlock()
+		fn()
+	}
+}
+
+// Timers tracks wall-clock timers so that shutdown is total: after Stop
+// returns, no registered body is running and none will ever start.
+type Timers struct {
+	mu      sync.Mutex
+	stopped bool
+	timers  map[*time.Timer]struct{}
+	// inflight counts bodies past the stopped-gate; Stop waits for it.
+	inflight sync.WaitGroup
+}
+
+// NewTimers returns an empty timer set.
+func NewTimers() *Timers {
+	return &Timers{timers: make(map[*time.Timer]struct{})}
+}
+
+// AfterFunc schedules fn to run after d on its own goroutine. It returns
+// nil if the set is already stopped. The returned timer may be passed to
+// time.Timer.Stop for individual best-effort cancellation; a body that
+// already started is handled by the Stop gate, not by the caller.
+func (t *Timers) AfterFunc(d time.Duration, fn func()) *time.Timer {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stopped {
+		return nil
+	}
+	var tm *time.Timer
+	tm = time.AfterFunc(d, func() {
+		t.mu.Lock()
+		if t.stopped {
+			t.mu.Unlock()
+			return
+		}
+		t.inflight.Add(1)
+		delete(t.timers, tm)
+		t.mu.Unlock()
+		defer t.inflight.Done()
+		fn()
+	})
+	t.timers[tm] = struct{}{}
+	return tm
+}
+
+// Cancel stops one pending timer and forgets it. Cancelling a fired or
+// already-cancelled timer is a no-op; without the forget step, the set
+// would retain one entry (and its captured closure) per timer whose body
+// never ran — a leak in long-running processes that cancel protocol
+// timers at the end of every agreement.
+func (t *Timers) Cancel(tm *time.Timer) {
+	if tm == nil {
+		return
+	}
+	tm.Stop()
+	t.mu.Lock()
+	delete(t.timers, tm)
+	t.mu.Unlock()
+}
+
+// Stop cancels every pending timer, prevents new ones, and blocks until
+// every in-flight body has returned. Idempotent. Bodies must not call
+// back into the set's AfterFunc/Stop while holding resources Stop's
+// caller is waiting on, and must not block forever.
+func (t *Timers) Stop() {
+	t.mu.Lock()
+	if t.stopped {
+		t.mu.Unlock()
+		t.inflight.Wait()
+		return
+	}
+	t.stopped = true
+	for tm := range t.timers {
+		tm.Stop()
+	}
+	t.timers = make(map[*time.Timer]struct{})
+	t.mu.Unlock()
+	t.inflight.Wait()
+}

@@ -1,0 +1,127 @@
+package eventloop
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMailboxFIFO checks ordering and the closed-drop contract.
+func TestMailboxFIFO(t *testing.T) {
+	m := NewMailbox()
+	var got []int
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m.Loop()
+	}()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	for i := 0; i < 100; i++ {
+		i := i
+		last := i == 99
+		if !m.Enqueue(func() {
+			got = append(got, i)
+			if last {
+				wg.Done()
+			}
+		}) {
+			t.Fatalf("enqueue %d refused on open mailbox", i)
+		}
+	}
+	wg.Wait()
+	m.Close()
+	<-done
+	if m.Enqueue(func() { t.Error("event ran after Close") }) {
+		t.Error("Enqueue accepted after Close")
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order at %d: %d", i, v)
+		}
+	}
+	select {
+	case <-m.Done():
+	default:
+		t.Error("Done not closed after Close")
+	}
+}
+
+// TestMailboxCloseIdempotent double-closes.
+func TestMailboxCloseIdempotent(t *testing.T) {
+	m := NewMailbox()
+	go m.Loop()
+	m.Close()
+	m.Close()
+}
+
+// TestTimersStopWaitsForInflightBodies is the regression test for the
+// shutdown window this package exists to close: a body that has already
+// begun when Stop is called must complete before Stop returns, and no
+// body may begin after.
+func TestTimersStopWaitsForInflightBodies(t *testing.T) {
+	ts := NewTimers()
+	started := make(chan struct{})
+	var finished atomic.Bool
+	ts.AfterFunc(0, func() {
+		close(started)
+		time.Sleep(30 * time.Millisecond)
+		finished.Store(true)
+	})
+	<-started
+	ts.Stop()
+	if !finished.Load() {
+		t.Fatal("Stop returned while a timer body was still running")
+	}
+	if tm := ts.AfterFunc(0, func() { t.Error("body started after Stop") }); tm != nil {
+		t.Error("AfterFunc accepted a timer after Stop")
+	}
+	time.Sleep(10 * time.Millisecond)
+}
+
+// TestTimersStopCancelsPending ensures a far-future timer neither fires
+// nor delays Stop.
+func TestTimersStopCancelsPending(t *testing.T) {
+	ts := NewTimers()
+	fired := make(chan struct{}, 1)
+	ts.AfterFunc(time.Hour, func() { fired <- struct{}{} })
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ts.Stop()
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Stop blocked on a cancelled pending timer")
+	}
+	select {
+	case <-fired:
+		t.Error("cancelled timer fired")
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+// TestTimersStressStartStop hammers the fire-vs-Stop race: many short
+// timers whose bodies enqueue into a mailbox, stopped at a random moment.
+// Run under -race this is the window detector.
+func TestTimersStressStartStop(t *testing.T) {
+	for iter := 0; iter < 50; iter++ {
+		ts := NewTimers()
+		m := NewMailbox()
+		go m.Loop()
+		var ran atomic.Int64
+		for i := 0; i < 32; i++ {
+			ts.AfterFunc(time.Duration(i%4)*time.Millisecond, func() {
+				m.Enqueue(func() { ran.Add(1) })
+			})
+		}
+		time.Sleep(time.Duration(iter%5) * time.Millisecond)
+		ts.Stop()
+		m.Close()
+		// After Stop, no body is in flight: enqueues observed from here on
+		// would be a contract violation (none can happen — the assertion is
+		// that -race sees no unsynchronized access and nothing deadlocks).
+	}
+}

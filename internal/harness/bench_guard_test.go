@@ -38,45 +38,49 @@ func (a *benchArtifact) s1() (wallMS float64, cellWall map[string]float64, ok bo
 	return 0, nil, false
 }
 
+// s1CellN64 extracts one artifact's n=64 S1 per-seed cost.
+func s1CellN64(t *testing.T, name string) float64 {
+	t.Helper()
+	_, cells, ok := loadArtifact(t, name).s1()
+	if !ok {
+		t.Fatalf("%s has no S1 result", name)
+	}
+	v, ok := cells["64"]
+	if !ok || v <= 0 {
+		t.Fatalf("%s S1 cell_wall_ms has no n=64 entry: %v", name, cells)
+	}
+	return v
+}
+
 // TestBenchArtifactN64Guard is the cross-PR perf regression guard on the
-// committed BENCH artifacts (policy in DESIGN.md §5): the newest
-// artifact's n=64 S1 per-seed cost (cell_wall_ms["64"]) must not regress
-// past 2× the previous generation's. Both numbers were measured on the
-// builder machine of their PR, so the factor-two margin absorbs machine
-// deltas while still catching superlinear regressions.
+// committed BENCH artifacts (policy in DESIGN.md §5): each generation's
+// n=64 S1 per-seed cost (cell_wall_ms["64"]) must not regress past 2×
+// the previous generation's. The numbers were measured on the builder
+// machine of their PR, so the factor-two margin absorbs machine deltas
+// while still catching superlinear regressions.
 func TestBenchArtifactN64Guard(t *testing.T) {
-	_, prevCells, ok := loadArtifact(t, "BENCH_PR3_quick.json").s1()
-	if !ok {
-		t.Fatal("BENCH_PR3_quick.json has no S1 result")
+	chain := []string{"BENCH_PR3_quick.json", "BENCH_PR4_quick.json", "BENCH_PR5_quick.json"}
+	for i := 1; i < len(chain); i++ {
+		prev, cur := s1CellN64(t, chain[i-1]), s1CellN64(t, chain[i])
+		if cur > 2*prev {
+			t.Fatalf("n=64 S1 cost regressed: %s %.0fms/seed > 2× %s %.0fms/seed",
+				chain[i], cur, chain[i-1], prev)
+		}
+		t.Logf("n=64 S1: %s %.0fms/seed vs %s %.0fms/seed (ratio %.2f)",
+			chain[i], cur, chain[i-1], prev, cur/prev)
 	}
-	prev, ok := prevCells["64"]
-	if !ok || prev <= 0 {
-		t.Fatalf("BENCH_PR3_quick.json S1 cell_wall_ms has no n=64 entry: %v", prevCells)
-	}
-	_, curCells, ok := loadArtifact(t, "BENCH_PR4_quick.json").s1()
-	if !ok {
-		t.Fatal("BENCH_PR4_quick.json has no S1 result")
-	}
-	cur, ok := curCells["64"]
-	if !ok || cur <= 0 {
-		t.Fatalf("BENCH_PR4_quick.json S1 cell_wall_ms has no n=64 entry: %v", curCells)
-	}
-	if cur > 2*prev {
-		t.Fatalf("n=64 S1 cost regressed: PR4 %.0fms/seed > 2× PR3 %.0fms/seed", cur, prev)
-	}
-	t.Logf("n=64 S1: PR4 %.0fms/seed vs PR3 %.0fms/seed (ratio %.2f)", cur, prev, cur/prev)
 }
 
 // TestBenchArtifactCoversN128 pins the newest committed artifact to the
 // sweep shape: the quick S1 table must include an n=128 row with its
 // wall-clock recorded.
 func TestBenchArtifactCoversN128(t *testing.T) {
-	_, cells, ok := loadArtifact(t, "BENCH_PR4_quick.json").s1()
+	_, cells, ok := loadArtifact(t, "BENCH_PR5_quick.json").s1()
 	if !ok {
-		t.Fatal("BENCH_PR4_quick.json has no S1 result")
+		t.Fatal("BENCH_PR5_quick.json has no S1 result")
 	}
 	if v, found := cells["128"]; !found || v <= 0 {
-		t.Fatalf("BENCH_PR4_quick.json S1 cell_wall_ms has no n=128 entry: %v", cells)
+		t.Fatalf("BENCH_PR5_quick.json S1 cell_wall_ms has no n=128 entry: %v", cells)
 	}
 }
 
@@ -84,11 +88,32 @@ func TestBenchArtifactCoversN128(t *testing.T) {
 // suite shape introduced with the scenario engine: an S2 result with a
 // campaign table and zero violations must be recorded.
 func TestBenchArtifactCoversS2(t *testing.T) {
-	a := loadArtifact(t, "BENCH_PR4_quick.json")
+	a := loadArtifact(t, "BENCH_PR5_quick.json")
 	for _, r := range a.Results {
 		if r.ID == "S2" {
 			return
 		}
 	}
-	t.Fatal("BENCH_PR4_quick.json has no S2 result")
+	t.Fatal("BENCH_PR5_quick.json has no S2 result")
+}
+
+// TestBenchArtifactCoversL1 pins the newest committed artifact to the
+// live-runtime generation's shape: an L1 result with live per-cell wall
+// costs for the UDP sweep, the TCP baseline, and the chaos replay
+// (`ssbyz-bench -quick -live -json` produced it — L1 is appended
+// explicitly because its numbers are wall-clock, DESIGN.md §7).
+func TestBenchArtifactCoversL1(t *testing.T) {
+	a := loadArtifact(t, "BENCH_PR5_quick.json")
+	for _, r := range a.Results {
+		if r.ID != "L1" {
+			continue
+		}
+		for _, key := range []string{"udp/4", "udp/7", "udp/16", "tcp/4", "chaos/7"} {
+			if v, ok := r.CellWallMS[key]; !ok || v <= 0 {
+				t.Errorf("BENCH_PR5_quick.json L1 cell_wall_ms[%q] = %v, want > 0", key, v)
+			}
+		}
+		return
+	}
+	t.Fatal("BENCH_PR5_quick.json has no L1 result")
 }

@@ -1,0 +1,36 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestLiveExperimentQuick runs L1 (quick: 2 seeds per cell) against real
+// loopback sockets. The wall-clock numbers vary; the acceptance is the
+// deterministic part — zero violations, full table shape, per-cell wall
+// costs recorded for the BENCH artifact.
+func TestLiveExperimentQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("brings up real socket clusters; skipped in -short")
+	}
+	res := L1Live(Options{Quick: true})
+	if res.Violations != 0 {
+		var buf bytes.Buffer
+		_, _ = res.WriteTo(&buf)
+		t.Fatalf("L1 found %d violations:\n%s", res.Violations, buf.String())
+	}
+	if len(res.Tables) != 2 {
+		t.Fatalf("L1 produced %d tables, want 2 (sweep + chaos)", len(res.Tables))
+	}
+	if rows := len(res.Tables[0].Rows); rows != len(LiveNs())+1 {
+		t.Errorf("sweep table has %d rows, want %d (udp sweep + tcp baseline)", rows, len(LiveNs())+1)
+	}
+	if rows := len(res.Tables[1].Rows); rows != 1 {
+		t.Errorf("chaos table has %d rows, want 1", rows)
+	}
+	for _, key := range []string{"udp/4", "udp/7", "udp/16", "tcp/4", "chaos/7"} {
+		if v, ok := res.CellWallMS[key]; !ok || v <= 0 {
+			t.Errorf("CellWallMS[%q] = %v, want > 0", key, v)
+		}
+	}
+}

@@ -4,7 +4,9 @@
 // clock. It implements the same protocol.Runtime interface as the
 // discrete-event simulator, so the identical protocol state machines run
 // unmodified in real time — the configuration a downstream user embedding
-// the library in a networked service would start from.
+// the library in a networked service would start from. The socket
+// transport (internal/nettrans) shares this package's execution core
+// (internal/eventloop) and swaps the in-process channels for UDP/TCP.
 //
 // Ticks map to wall time through Config.Tick (default 100µs per tick), so
 // the protocol constants keep their paper meaning: with D = 20 ticks, d is
@@ -20,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"ssbyz/internal/eventloop"
 	"ssbyz/internal/protocol"
 	"ssbyz/internal/simtime"
 )
@@ -43,15 +46,17 @@ type Cluster struct {
 	rec   *protocol.Recorder
 	start time.Time
 
-	mu     sync.Mutex
-	rng    *rand.Rand
-	timers map[*time.Timer]struct{}
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// timers tracks every wall-clock timer (artificial delays and protocol
+	// timers); its Stop gate guarantees no timer body outlives Cluster.Stop.
+	timers *eventloop.Timers
 
 	nodes []protocol.Node
 	rts   []*nodeRT
 
-	stopped bool
-	wg      sync.WaitGroup
+	wg sync.WaitGroup
 }
 
 // New builds a cluster; attach nodes with SetNode, then Start.
@@ -75,7 +80,7 @@ func New(cfg Config) (*Cluster, error) {
 		cfg:    cfg,
 		rec:    protocol.NewRecorder(),
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		timers: make(map[*time.Timer]struct{}),
+		timers: eventloop.NewTimers(),
 		nodes:  make([]protocol.Node, cfg.Params.N),
 		rts:    make([]*nodeRT, cfg.Params.N),
 	}
@@ -108,28 +113,21 @@ func (c *Cluster) Start() {
 		c.wg.Add(1)
 		go func() {
 			defer c.wg.Done()
-			rt.loop(node)
+			rt.mbox.Loop()
 		}()
 		rt.enqueue(func() { node.Start(rt) })
 	}
 }
 
-// Stop shuts the cluster down: stops artificial-delay and protocol timers,
-// closes every mailbox and waits for the event loops to drain and exit.
+// Stop shuts the cluster down: stops artificial-delay and protocol
+// timers — waiting out any timer body already in flight, so no callback
+// races the teardown — then closes every mailbox and waits for the event
+// loops to drain and exit. After Stop returns, nothing of the cluster is
+// still running. Idempotent.
 func (c *Cluster) Stop() {
-	c.mu.Lock()
-	if c.stopped {
-		c.mu.Unlock()
-		return
-	}
-	c.stopped = true
-	for t := range c.timers {
-		t.Stop()
-	}
-	c.timers = make(map[*time.Timer]struct{})
-	c.mu.Unlock()
+	c.timers.Stop()
 	for _, rt := range c.rts {
-		rt.close()
+		rt.mbox.Close()
 	}
 	c.wg.Wait()
 }
@@ -166,7 +164,7 @@ func (c *Cluster) DoWait(id protocol.NodeID, fn func(n protocol.Node)) {
 	})
 	select {
 	case <-done:
-	case <-c.rts[id].doneCh():
+	case <-c.rts[id].mbox.Done():
 	}
 }
 
@@ -176,22 +174,10 @@ func (c *Cluster) nowTicks() simtime.Real {
 }
 
 // afterTicks registers fn to run after dl ticks of wall time; the timer is
-// tracked so Stop can cancel it. Returns the timer for individual cancel.
+// tracked so Stop can cancel it (and wait out a body already running).
+// Returns the timer for individual cancel, nil if the cluster stopped.
 func (c *Cluster) afterTicks(dl simtime.Duration, fn func()) *time.Timer {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.stopped {
-		return nil
-	}
-	var t *time.Timer
-	t = time.AfterFunc(time.Duration(dl)*c.cfg.Tick, func() {
-		c.mu.Lock()
-		delete(c.timers, t)
-		c.mu.Unlock()
-		fn()
-	})
-	c.timers[t] = struct{}{}
-	return t
+	return c.timers.AfterFunc(time.Duration(dl)*c.cfg.Tick, fn)
 }
 
 // delay draws one artificial message delay.
@@ -205,17 +191,13 @@ func (c *Cluster) delay() simtime.Duration {
 }
 
 // nodeRT implements protocol.Runtime for one live node. Mailbox semantics:
-// an unbounded FIFO of closures drained by a single goroutine, so protocol
-// code is single-threaded exactly as under the simulator.
+// an unbounded FIFO of closures drained by a single goroutine
+// (eventloop.Mailbox), so protocol code is single-threaded exactly as
+// under the simulator.
 type nodeRT struct {
-	c  *Cluster
-	id protocol.NodeID
-
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []func()
-	closed bool
-	dead   chan struct{}
+	c    *Cluster
+	id   protocol.NodeID
+	mbox *eventloop.Mailbox
 
 	timerMu sync.Mutex
 	nextID  protocol.TimerID
@@ -225,53 +207,12 @@ type nodeRT struct {
 var _ protocol.Runtime = (*nodeRT)(nil)
 
 func newNodeRT(c *Cluster, id protocol.NodeID) *nodeRT {
-	rt := &nodeRT{c: c, id: id, pending: make(map[protocol.TimerID]*time.Timer), dead: make(chan struct{})}
-	rt.cond = sync.NewCond(&rt.mu)
-	return rt
+	return &nodeRT{c: c, id: id, mbox: eventloop.NewMailbox(),
+		pending: make(map[protocol.TimerID]*time.Timer)}
 }
 
-// enqueue appends one event to the mailbox.
-func (rt *nodeRT) enqueue(fn func()) {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	if rt.closed {
-		return
-	}
-	rt.queue = append(rt.queue, fn)
-	rt.cond.Signal()
-}
-
-// close wakes and terminates the event loop.
-func (rt *nodeRT) close() {
-	rt.mu.Lock()
-	if !rt.closed {
-		rt.closed = true
-		close(rt.dead)
-	}
-	rt.cond.Broadcast()
-	rt.mu.Unlock()
-}
-
-// doneCh is closed when the mailbox shuts down.
-func (rt *nodeRT) doneCh() <-chan struct{} { return rt.dead }
-
-// loop drains the mailbox until close.
-func (rt *nodeRT) loop(protocol.Node) {
-	for {
-		rt.mu.Lock()
-		for len(rt.queue) == 0 && !rt.closed {
-			rt.cond.Wait()
-		}
-		if rt.closed {
-			rt.mu.Unlock()
-			return
-		}
-		fn := rt.queue[0]
-		rt.queue = rt.queue[1:]
-		rt.mu.Unlock()
-		fn()
-	}
-}
+// enqueue appends one event to the mailbox (dropped after Stop).
+func (rt *nodeRT) enqueue(fn func()) { rt.mbox.Enqueue(fn) }
 
 // ID implements protocol.Runtime.
 func (rt *nodeRT) ID() protocol.NodeID { return rt.id }
@@ -331,7 +272,9 @@ func (rt *nodeRT) After(dl simtime.Duration, tag protocol.TimerTag) protocol.Tim
 	return id
 }
 
-// Cancel implements protocol.Runtime.
+// Cancel implements protocol.Runtime. The cluster-level Cancel also
+// forgets the timer in the tracked set, so cancelled timers do not
+// accumulate there over a long-running cluster's lifetime.
 func (rt *nodeRT) Cancel(id protocol.TimerID) {
 	rt.timerMu.Lock()
 	t, ok := rt.pending[id]
@@ -340,7 +283,7 @@ func (rt *nodeRT) Cancel(id protocol.TimerID) {
 	}
 	rt.timerMu.Unlock()
 	if ok {
-		t.Stop()
+		rt.c.timers.Cancel(t)
 	}
 }
 

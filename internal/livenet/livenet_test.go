@@ -170,6 +170,42 @@ func TestDoWaitAfterStopDoesNotHang(t *testing.T) {
 	}
 }
 
+// TestStartStopStress hammers the teardown window the eventloop package
+// closes: clusters are started, loaded with an in-flight agreement (so
+// artificial-delay and protocol timers are firing constantly), and
+// stopped at staggered moments. A time.AfterFunc body that already fired
+// must never enqueue into a closed mailbox or touch cluster state after
+// Stop returns — under -race this test is the detector; without -race it
+// still asserts the no-events-after-Stop contract on every iteration.
+func TestStartStopStress(t *testing.T) {
+	pp := liveParams(4)
+	pp.D = 20 // d = 2ms: timers fire densely within the test budget
+	iters := 30
+	if testing.Short() {
+		iters = 10
+	}
+	for i := 0; i < iters; i++ {
+		c, err := New(Config{Params: pp, Seed: int64(i)})
+		if err != nil {
+			t.Fatalf("iter %d: New: %v", i, err)
+		}
+		for j := 0; j < pp.N; j++ {
+			c.SetNode(protocol.NodeID(j), core.NewNode())
+		}
+		c.Start()
+		c.Do(0, func(n protocol.Node) { _ = n.(*core.Node).InitiateAgreement("stress") })
+		// Stop mid-flight at a different protocol phase each iteration.
+		time.Sleep(time.Duration(i%7) * time.Millisecond)
+		c.Stop()
+		before := c.Recorder().Len()
+		time.Sleep(2 * time.Millisecond)
+		if after := c.Recorder().Len(); after != before {
+			t.Fatalf("iter %d: %d events recorded after Stop returned", i, after-before)
+		}
+		c.Stop() // idempotent under load
+	}
+}
+
 // TestRunWrapper exercises the Run convenience.
 func TestRunWrapper(t *testing.T) {
 	pp := liveParams(4)

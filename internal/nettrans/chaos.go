@@ -1,0 +1,132 @@
+package nettrans
+
+import (
+	"fmt"
+
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/simnet"
+	"ssbyz/internal/simtime"
+)
+
+// This file maps the scenario engine's ConditionSchedule (PR 4's
+// simnet.Condition vocabulary: timed partitions, jitter windows, node
+// churn) onto the live socket transport, so generated scenarios replay
+// against real sockets. The simulator applies conditions at the
+// deterministic delivery instant; a real network has no such instant to
+// hook, so the live mapping evaluates windows against wall-clock ticks
+// since the cluster epoch, split across the two ends of a send:
+//
+//   - partition: evaluated at the SEND instant — a message crossing the
+//     partition boundary (either direction) inside the window is dropped
+//     before it reaches the socket;
+//   - churn, sender side: a detached node cannot emit — dropped at send;
+//   - churn, receiver side: evaluated at the RECEIVE instant — a frame
+//     arriving at a detached node is discarded (its timers keep running,
+//     like the paper's recovering nodes);
+//   - jitter: extra artificial delay before the socket write,
+//     accumulated across overlapping windows and clamped to D/2 so the
+//     end-to-end delivery stays inside the paper's d bound under nominal
+//     scheduling (the other half of D absorbs host jitter).
+//
+// Every node of a cluster carries the same schedule (the manifest ships
+// it), so both ends agree on the windows up to OS clock quality. The
+// model-legality rule is the scenario engine's: drop windows should only
+// name faulty nodes, or the battery's delivery-axiom-dependent checks are
+// void (DESIGN.md §6, §7).
+
+// chaos is a compiled condition schedule. The zero-length schedule is
+// free: every hook returns immediately.
+type chaos struct {
+	conds     []liveCond
+	maxJitter simtime.Duration
+}
+
+type liveCond struct {
+	kind        string
+	from, until simtime.Real
+	member      []bool // indexed by NodeID; nil = every node
+	jitter      simtime.Duration
+}
+
+func (c *liveCond) active(at simtime.Real) bool {
+	return at >= c.from && at < c.until
+}
+
+func (c *liveCond) has(id protocol.NodeID) bool {
+	return c.member == nil || (int(id) < len(c.member) && c.member[int(id)])
+}
+
+// compileChaos validates the schedule against the cluster size and
+// resolves node sets to bitmaps. The vocabulary and legality rules are
+// simnet's; maxJitter is the live clamp (D/2).
+func compileChaos(conds []simnet.Condition, n int, maxJitter simtime.Duration) (*chaos, error) {
+	ch := &chaos{maxJitter: maxJitter}
+	for i, c := range conds {
+		lc := liveCond{kind: c.Kind, from: c.From, until: c.Until, jitter: c.Jitter}
+		switch c.Kind {
+		case simnet.CondPartition, simnet.CondChurn:
+			if len(c.Nodes) == 0 {
+				return nil, fmt.Errorf("nettrans: condition %d (%s) needs a node set", i, c.Kind)
+			}
+		case simnet.CondJitter:
+			if c.Jitter < 0 {
+				return nil, fmt.Errorf("nettrans: condition %d has negative jitter", i)
+			}
+		default:
+			return nil, fmt.Errorf("nettrans: condition %d has unknown kind %q", i, c.Kind)
+		}
+		if c.Until <= c.From {
+			return nil, fmt.Errorf("nettrans: condition %d window [%d,%d) is empty", i, c.From, c.Until)
+		}
+		if len(c.Nodes) > 0 {
+			lc.member = make([]bool, n)
+			for _, id := range c.Nodes {
+				if id < 0 || int(id) >= n {
+					return nil, fmt.Errorf("nettrans: condition %d names node %d outside [0,%d)", i, id, n)
+				}
+				lc.member[int(id)] = true
+			}
+		}
+		ch.conds = append(ch.conds, lc)
+	}
+	return ch, nil
+}
+
+// onSend resolves the schedule at the send instant: the scripted jitter
+// delay (clamped) and whether a partition or sender-side churn window
+// eats the message.
+func (ch *chaos) onSend(from, to protocol.NodeID, now simtime.Real) (delay simtime.Duration, drop bool) {
+	for i := range ch.conds {
+		c := &ch.conds[i]
+		switch c.kind {
+		case simnet.CondPartition:
+			if c.active(now) && c.has(from) != c.has(to) {
+				return 0, true
+			}
+		case simnet.CondChurn:
+			if c.active(now) && c.has(from) {
+				return 0, true
+			}
+		case simnet.CondJitter:
+			if c.active(now) && (c.member == nil || c.has(from) || c.has(to)) {
+				delay += c.jitter
+			}
+		}
+	}
+	if delay > ch.maxJitter {
+		delay = ch.maxJitter
+	}
+	return delay, false
+}
+
+// onRecv reports whether a receiver-side churn window discards a frame
+// arriving at node `to` now.
+func (ch *chaos) onRecv(to protocol.NodeID, now simtime.Real) bool {
+	for i := range ch.conds {
+		c := &ch.conds[i]
+		if c.kind == simnet.CondChurn && c.active(now) && c.has(to) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,170 @@
+package nettrans
+
+import (
+	"testing"
+	"time"
+
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/simnet"
+	"ssbyz/internal/simtime"
+)
+
+func mustChaos(t *testing.T, conds []simnet.Condition, n int, clamp simtime.Duration) *chaos {
+	t.Helper()
+	ch, err := compileChaos(conds, n, clamp)
+	if err != nil {
+		t.Fatalf("compileChaos: %v", err)
+	}
+	return ch
+}
+
+// TestChaosPartitionMapping: messages crossing the boundary drop in both
+// directions inside the window, flow outside it, and intra-group traffic
+// is untouched.
+func TestChaosPartitionMapping(t *testing.T) {
+	ch := mustChaos(t, []simnet.Condition{
+		{Kind: simnet.CondPartition, From: 100, Until: 200, Nodes: []protocol.NodeID{3}},
+	}, 4, 50)
+	cases := []struct {
+		from, to protocol.NodeID
+		at       simtime.Real
+		drop     bool
+	}{
+		{0, 3, 150, true},  // crossing, inside
+		{3, 0, 150, true},  // crossing, other direction
+		{0, 1, 150, false}, // same side
+		{0, 3, 99, false},  // before window
+		{0, 3, 200, false}, // half-open end
+	}
+	for _, tc := range cases {
+		if _, drop := ch.onSend(tc.from, tc.to, tc.at); drop != tc.drop {
+			t.Errorf("onSend(%d→%d @%d) drop=%v, want %v", tc.from, tc.to, tc.at, drop, tc.drop)
+		}
+	}
+}
+
+// TestChaosChurnMapping: sender-side churn drops at send, receiver-side
+// at receive; untouched nodes flow.
+func TestChaosChurnMapping(t *testing.T) {
+	ch := mustChaos(t, []simnet.Condition{
+		{Kind: simnet.CondChurn, From: 10, Until: 20, Nodes: []protocol.NodeID{1}},
+	}, 4, 50)
+	if _, drop := ch.onSend(1, 0, 15); !drop {
+		t.Error("churned sender emitted")
+	}
+	if _, drop := ch.onSend(0, 1, 15); drop {
+		t.Error("send TO a churned node must drop at receive, not send")
+	}
+	if !ch.onRecv(1, 15) {
+		t.Error("churned receiver accepted")
+	}
+	if ch.onRecv(0, 15) || ch.onRecv(1, 25) {
+		t.Error("churn window leaked")
+	}
+}
+
+// TestChaosJitterAccumulatesAndClamps: overlapping windows add, the
+// final delay clamps to the D/2 budget that keeps delivery inside d.
+func TestChaosJitterAccumulatesAndClamps(t *testing.T) {
+	ch := mustChaos(t, []simnet.Condition{
+		{Kind: simnet.CondJitter, From: 0, Until: 100, Jitter: 30},
+		{Kind: simnet.CondJitter, From: 0, Until: 100, Jitter: 30, Nodes: []protocol.NodeID{2}},
+	}, 4, 50)
+	if d, _ := ch.onSend(0, 1, 50); d != 30 {
+		t.Errorf("global window only: delay %d, want 30", d)
+	}
+	if d, _ := ch.onSend(0, 2, 50); d != 50 {
+		t.Errorf("overlapping windows: delay %d, want clamp 50", d)
+	}
+	if d, _ := ch.onSend(0, 1, 150); d != 0 {
+		t.Errorf("outside window: delay %d, want 0", d)
+	}
+}
+
+// TestChaosCompileRejectsIllegalSchedules mirrors simnet's validation.
+func TestChaosCompileRejectsIllegalSchedules(t *testing.T) {
+	cases := []struct {
+		name string
+		c    simnet.Condition
+	}{
+		{"unknown kind", simnet.Condition{Kind: "meteor", From: 0, Until: 10}},
+		{"empty window", simnet.Condition{Kind: simnet.CondJitter, From: 10, Until: 10}},
+		{"partition no nodes", simnet.Condition{Kind: simnet.CondPartition, From: 0, Until: 10}},
+		{"churn no nodes", simnet.Condition{Kind: simnet.CondChurn, From: 0, Until: 10}},
+		{"negative jitter", simnet.Condition{Kind: simnet.CondJitter, From: 0, Until: 10, Jitter: -1}},
+		{"node out of range", simnet.Condition{Kind: simnet.CondChurn, From: 0, Until: 10, Nodes: []protocol.NodeID{9}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := compileChaos([]simnet.Condition{tc.c}, 4, 50); err == nil {
+				t.Error("compileChaos accepted an illegal schedule")
+			}
+		})
+	}
+}
+
+// TestManifestRoundTrip pins the JSON form the daemon boots from.
+func TestManifestRoundTrip(t *testing.T) {
+	m := Manifest{
+		N: 4, D: 100, TickUS: 100, Transport: TransportUDP,
+		EpochUnixNano: time.Now().UnixNano(),
+		Nodes:         []string{"127.0.0.1:9001", "127.0.0.1:9002", "127.0.0.1:9003", "127.0.0.1:9004"},
+		Conditions: []simnet.Condition{
+			{Kind: simnet.CondJitter, From: 0, Until: 1000, Jitter: 10},
+		},
+	}
+	got, err := ParseManifest(m.Marshal())
+	if err != nil {
+		t.Fatalf("ParseManifest: %v", err)
+	}
+	if got.N != m.N || got.D != m.D || got.Transport != m.Transport ||
+		got.EpochUnixNano != m.EpochUnixNano || len(got.Nodes) != 4 || len(got.Conditions) != 1 {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if got.Params().F != 1 {
+		t.Errorf("derived f = %d, want 1", got.Params().F)
+	}
+	if got.Tick() != 100*time.Microsecond {
+		t.Errorf("tick = %v", got.Tick())
+	}
+	cfg := got.NodeConfig(2, nil, nil)
+	if cfg.ID != 2 || cfg.Listen != "127.0.0.1:9003" || len(cfg.Peers) != 4 || cfg.Epoch.IsZero() {
+		t.Errorf("NodeConfig: %+v", cfg)
+	}
+}
+
+// TestManifestValidation covers the rejection taxonomy.
+func TestManifestValidation(t *testing.T) {
+	valid := Manifest{
+		N: 4, D: 100, EpochUnixNano: 1,
+		Nodes: []string{"a", "b", "c", "d"},
+	}
+	mutate := func(f func(*Manifest)) Manifest {
+		m := valid
+		m.Nodes = append([]string(nil), valid.Nodes...)
+		f(&m)
+		return m
+	}
+	cases := []struct {
+		name string
+		m    Manifest
+		ok   bool
+	}{
+		{"valid", valid, true},
+		{"n<=3f", mutate(func(m *Manifest) { m.F = 2 }), false},
+		{"missing addr", mutate(func(m *Manifest) { m.Nodes[1] = "" }), false},
+		{"addr count", mutate(func(m *Manifest) { m.Nodes = m.Nodes[:3] }), false},
+		{"bad transport", mutate(func(m *Manifest) { m.Transport = "carrier-pigeon" }), false},
+		{"no epoch", mutate(func(m *Manifest) { m.EpochUnixNano = 0 }), false},
+		{"bad condition", mutate(func(m *Manifest) {
+			m.Conditions = []simnet.Condition{{Kind: simnet.CondPartition, From: 0, Until: 10}}
+		}), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.m.Validate(); (err == nil) != tc.ok {
+				t.Errorf("Validate = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}

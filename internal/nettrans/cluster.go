@@ -1,0 +1,287 @@
+package nettrans
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ssbyz/internal/core"
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/sim"
+	"ssbyz/internal/simnet"
+	"ssbyz/internal/simtime"
+)
+
+// Cluster is an in-process loopback cluster: n NetNodes, each behind its
+// own real socket on 127.0.0.1, sharing one trace recorder. Messages
+// leave through the kernel's network stack and come back — everything
+// except the physical wire is exercised: the codec, the authentication,
+// the deadline drops, genuine concurrency and scheduling. The
+// multi-process form of the same topology is cmd/ssbyz-node driven by a
+// manifest; both are fed to the property battery through Result.
+type Cluster struct {
+	cfg     ClusterConfig
+	epoch   time.Time
+	rec     *protocol.Recorder
+	nodes   []*NetNode
+	parked  []*Socket // bound-but-unread sockets of crash-faulty slots
+	correct []protocol.NodeID
+}
+
+// ClusterConfig describes an in-process loopback cluster.
+type ClusterConfig struct {
+	// Params are the protocol constants; Params.D is in ticks.
+	Params protocol.Params
+	// Tick is the wall-clock tick length (default 100µs).
+	Tick time.Duration
+	// Transport is TransportUDP (default) or TransportTCP.
+	Transport string
+	// Faulty maps node ids to adversary state machines; a nil entry is a
+	// crash-faulty slot (its address exists, nothing reads it). IDs not
+	// present run correct nodes.
+	Faulty map[protocol.NodeID]protocol.Node
+	// Conditions is the live chaos schedule shared by every node.
+	Conditions []simnet.Condition
+}
+
+// NewCluster binds n loopback sockets (ephemeral ports), distributes the
+// peer table, and starts every node. Callers must Stop it.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = 100 * time.Microsecond
+	}
+	if cfg.Transport == "" {
+		cfg.Transport = TransportUDP
+	}
+	if len(cfg.Faulty) > cfg.Params.F {
+		return nil, fmt.Errorf("nettrans: %d faulty nodes exceeds f=%d", len(cfg.Faulty), cfg.Params.F)
+	}
+	n := cfg.Params.N
+	socks := make([]*Socket, n)
+	peers := make([]string, n)
+	closeAll := func() {
+		for _, s := range socks {
+			if s != nil {
+				s.Close()
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		s, err := ListenSocket(cfg.Transport, "127.0.0.1:0")
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		socks[i] = s
+		peers[i] = s.Addr()
+	}
+	c := &Cluster{
+		cfg:   cfg,
+		epoch: time.Now(),
+		rec:   protocol.NewRecorder(),
+		nodes: make([]*NetNode, n),
+	}
+	for i := 0; i < n; i++ {
+		id := protocol.NodeID(i)
+		machine, isFaulty := cfg.Faulty[id]
+		if isFaulty && machine == nil {
+			// Crash-faulty: hold the bound socket so peers' sends have a
+			// destination, deliver nothing.
+			c.parked = append(c.parked, socks[i])
+			continue
+		}
+		if !isFaulty {
+			machine = core.NewNode()
+			c.correct = append(c.correct, id)
+		}
+		nn, err := StartWith(NodeConfig{
+			ID:         id,
+			Params:     cfg.Params,
+			Tick:       cfg.Tick,
+			Transport:  cfg.Transport,
+			Peers:      peers,
+			Epoch:      c.epoch,
+			Rec:        c.rec,
+			Conditions: cfg.Conditions,
+		}, socks[i], machine)
+		if err != nil {
+			c.Stop()
+			closeAll()
+			return nil, err
+		}
+		c.nodes[i] = nn
+	}
+	return c, nil
+}
+
+// Params returns the protocol constants.
+func (c *Cluster) Params() protocol.Params { return c.cfg.Params }
+
+// Tick returns the wall-clock tick length.
+func (c *Cluster) Tick() time.Duration { return c.cfg.Tick }
+
+// Recorder returns the shared trace recorder.
+func (c *Cluster) Recorder() *protocol.Recorder { return c.rec }
+
+// NowTicks returns ticks since the cluster epoch.
+func (c *Cluster) NowTicks() simtime.Real {
+	return simtime.Real(time.Since(c.epoch) / c.cfg.Tick)
+}
+
+// Stop tears every node down; idempotent.
+func (c *Cluster) Stop() {
+	for _, nn := range c.nodes {
+		if nn != nil {
+			nn.Stop()
+		}
+	}
+	for _, s := range c.parked {
+		s.Close()
+	}
+	c.parked = nil
+}
+
+// Do executes fn inside node id's event loop (no-op for faulty slots).
+func (c *Cluster) Do(id protocol.NodeID, fn func(protocol.Node)) {
+	if nn := c.nodes[id]; nn != nil {
+		nn.Do(fn)
+	}
+}
+
+// DoWait executes fn inside node id's event loop and waits for it.
+func (c *Cluster) DoWait(id protocol.NodeID, fn func(protocol.Node)) {
+	if nn := c.nodes[id]; nn != nil {
+		nn.DoWait(fn)
+	}
+}
+
+// Stats aggregates every live node's transport counters.
+func (c *Cluster) Stats() Stats {
+	var total Stats
+	for _, nn := range c.nodes {
+		if nn == nil {
+			continue
+		}
+		s := nn.Stats()
+		total.Sent += s.Sent
+		total.Received += s.Received
+		total.LateDrops += s.LateDrops
+		total.AuthDrops += s.AuthDrops
+		total.EpochDrops += s.EpochDrops
+		total.ChaosDrops += s.ChaosDrops
+		total.DecodeDrops += s.DecodeDrops
+	}
+	return total
+}
+
+// Initiate asks correct node g to initiate agreement on v inside its
+// event loop, waits for the resulting EvInitiate trace event, and
+// returns its instant — the t0 the Validity window [t0−d, t0+4d] is
+// anchored at. Only an event recorded AFTER this call counts: a General
+// legally re-initiating the same value (Δv apart) must not match the
+// previous agreement's initiation. Errors reflect the sending-validity
+// refusals (IG1–IG3), a stopped cluster, or the timeout.
+func (c *Cluster) Initiate(g protocol.NodeID, v protocol.Value, timeout time.Duration) (simtime.Real, error) {
+	before := c.countInitiates(g, v)
+	errCh := make(chan error, 1)
+	c.DoWait(g, func(n protocol.Node) {
+		cn, ok := n.(*core.Node)
+		if !ok {
+			errCh <- fmt.Errorf("nettrans: node %d cannot initiate agreements", g)
+			return
+		}
+		errCh <- cn.InitiateAgreement(v)
+	})
+	select {
+	case err := <-errCh:
+		if err != nil {
+			return 0, err
+		}
+	default:
+		return 0, fmt.Errorf("nettrans: cluster stopped")
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		if evs := c.initiates(g, v); len(evs) > before {
+			return evs[len(evs)-1].RT, nil
+		}
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("nettrans: initiation of %q by node %d was accepted but never traced", v, g)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// initiates returns the EvInitiate events of (g, v) in arrival order.
+func (c *Cluster) initiates(g protocol.NodeID, v protocol.Value) []protocol.TraceEvent {
+	var out []protocol.TraceEvent
+	c.rec.ForEachKind(func(ev protocol.TraceEvent) {
+		if ev.Node == g && ev.M == v {
+			out = append(out, ev)
+		}
+	}, protocol.EvInitiate)
+	return out
+}
+
+func (c *Cluster) countInitiates(g protocol.NodeID, v protocol.Value) int {
+	return len(c.initiates(g, v))
+}
+
+// AwaitDecisions polls until every correct node has returned a decision
+// for General g with value want, or the wall-clock timeout passes; it
+// returns how many decided.
+func (c *Cluster) AwaitDecisions(g protocol.NodeID, want protocol.Value, timeout time.Duration) int {
+	deadline := time.Now().Add(timeout)
+	for {
+		done := 0
+		for _, id := range c.correct {
+			var returned, decided bool
+			var v protocol.Value
+			c.DoWait(id, func(n protocol.Node) {
+				if cn, ok := n.(*core.Node); ok {
+					returned, decided, v = cn.Result(g)
+				}
+			})
+			if returned && decided && v == want {
+				done++
+			}
+		}
+		if done == len(c.correct) || time.Now().After(deadline) {
+			return done
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Result packages the collected trace for the property battery, exactly
+// as BuildResult does for daemon-collected traces. horizon is the run's
+// wall-clock extent in ticks (Termination's proof horizon).
+func (c *Cluster) Result(horizon simtime.Duration) *sim.Result {
+	return BuildResult(c.cfg.Params, c.rec.Events(), c.correct, horizon)
+}
+
+// BuildResult shapes a live trace for the internal/check battery: events
+// are sorted into chronological order (live streams interleave; the
+// checkers' session logic assumes per-kind chronological order, which the
+// simulator provides for free) and wrapped in the sim.Result form every
+// checker consumes. correct lists the node ids running correct state
+// machines; horizon is the run's extent in ticks.
+func BuildResult(pp protocol.Params, events []protocol.TraceEvent,
+	correct []protocol.NodeID, horizon simtime.Duration) *sim.Result {
+	sort.SliceStable(events, func(i, j int) bool { return events[i].RT < events[j].RT })
+	rec := protocol.NewRecorder()
+	for _, ev := range events {
+		rec.Add(ev)
+	}
+	ids := append([]protocol.NodeID(nil), correct...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return &sim.Result{
+		Scenario: sim.Scenario{Params: pp, RunFor: horizon},
+		Rec:      rec,
+		Correct:  ids,
+		InitErrs: make(map[int]error),
+	}
+}

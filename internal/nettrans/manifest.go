@@ -1,0 +1,131 @@
+package nettrans
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/simnet"
+	"ssbyz/internal/simtime"
+)
+
+// Manifest is the JSON cluster description a node daemon boots from: the
+// committee (n, f, d), the tick length that maps protocol ticks to wall
+// time, the shared epoch (tick 0 and the frame incarnation id), every
+// node's listen address, and an optional chaos schedule shared by all
+// nodes. One manifest file, n daemons, one cluster.
+type Manifest struct {
+	// N, F, D are the paper's committee parameters; F = 0 means the
+	// optimal ⌊(n−1)/3⌋, D is in ticks.
+	N int              `json:"n"`
+	F int              `json:"f,omitempty"`
+	D simtime.Duration `json:"d"`
+	// TickUS is one tick's wall-clock length in microseconds (default
+	// 100, making the default d = 50 ticks read as 5ms).
+	TickUS int64 `json:"tick_us,omitempty"`
+	// Transport is "udp" (default) or "tcp".
+	Transport string `json:"transport,omitempty"`
+	// EpochUnixNano is the shared cluster epoch: local clocks read tick 0
+	// at this wall instant, and frames carry it as the incarnation id.
+	// Set it far enough in the future that every daemon has booted.
+	EpochUnixNano int64 `json:"epoch_unix_nano"`
+	// Nodes are listen addresses indexed by node id (length N).
+	Nodes []string `json:"nodes"`
+	// Conditions is the optional chaos schedule (simnet vocabulary,
+	// windows in ticks since the epoch).
+	Conditions []simnet.Condition `json:"conditions,omitempty"`
+}
+
+// Params materializes the protocol constants.
+func (m Manifest) Params() protocol.Params {
+	pp := protocol.Params{N: m.N, F: m.F, D: m.D}
+	if pp.F == 0 {
+		pp.F = protocol.MaxFaults(m.N)
+	}
+	return pp
+}
+
+// Tick returns the wall-clock tick length.
+func (m Manifest) Tick() time.Duration {
+	if m.TickUS <= 0 {
+		return 100 * time.Microsecond
+	}
+	return time.Duration(m.TickUS) * time.Microsecond
+}
+
+// Epoch returns the shared epoch instant.
+func (m Manifest) Epoch() time.Time { return time.Unix(0, m.EpochUnixNano) }
+
+// Validate checks the manifest: valid committee parameters, one address
+// per node, a transport the package speaks, a compilable chaos schedule,
+// and a non-zero epoch.
+func (m Manifest) Validate() error {
+	if err := m.Params().Validate(); err != nil {
+		return fmt.Errorf("nettrans: manifest: %w", err)
+	}
+	if len(m.Nodes) != m.N {
+		return fmt.Errorf("nettrans: manifest has %d addresses for n=%d", len(m.Nodes), m.N)
+	}
+	for i, a := range m.Nodes {
+		if a == "" {
+			return fmt.Errorf("nettrans: manifest node %d has no address", i)
+		}
+	}
+	switch m.Transport {
+	case "", TransportUDP, TransportTCP:
+	default:
+		return fmt.Errorf("nettrans: manifest transport %q unknown", m.Transport)
+	}
+	if m.EpochUnixNano == 0 {
+		return fmt.Errorf("nettrans: manifest has no epoch (nodes cannot share tick 0)")
+	}
+	if _, err := compileChaos(m.Conditions, m.N, m.Params().D/2); err != nil {
+		return err
+	}
+	return nil
+}
+
+// NodeConfig derives the daemon-side node configuration for id. rec may
+// be nil (a fresh recorder); sink taps trace events for the control
+// stream.
+func (m Manifest) NodeConfig(id protocol.NodeID, rec *protocol.Recorder,
+	sink func(protocol.TraceEvent)) NodeConfig {
+	transport := m.Transport
+	if transport == "" {
+		transport = TransportUDP
+	}
+	return NodeConfig{
+		ID:         id,
+		Params:     m.Params(),
+		Tick:       m.Tick(),
+		Transport:  transport,
+		Listen:     m.Nodes[id],
+		Peers:      m.Nodes,
+		Epoch:      m.Epoch(),
+		Rec:        rec,
+		Sink:       sink,
+		Conditions: m.Conditions,
+	}
+}
+
+// Marshal renders the manifest as indented JSON.
+func (m Manifest) Marshal() []byte {
+	blob, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		panic(fmt.Sprintf("nettrans: manifest marshal: %v", err)) // plain data; cannot fail
+	}
+	return append(blob, '\n')
+}
+
+// ParseManifest decodes and validates a manifest.
+func ParseManifest(blob []byte) (Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return Manifest{}, fmt.Errorf("nettrans: manifest parse: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return Manifest{}, err
+	}
+	return m, nil
+}

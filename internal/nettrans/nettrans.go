@@ -1,0 +1,438 @@
+// Package nettrans is the socket transport: protocol.Runtime over real
+// UDP and TCP sockets, speaking the internal/wire binary codec, with the
+// same event-loop/mailbox execution core (internal/eventloop) as the
+// in-process livenet transport. It is the layer that takes the protocol
+// state machines across process boundaries — serialization, sender
+// authentication, packet reordering, genuine wall-clock scheduling — and
+// the substrate of the node daemon (cmd/ssbyz-node), the `ssbyz-bench
+// -cluster` mode, and the L1 live experiment.
+//
+// Two transports, two fidelity points against the paper's model:
+//
+//   - UDP ("udp", the default) is paper-faithful: one datagram per
+//     message, loss allowed, and the bounded-delay axiom enforced by
+//     deadline drops — a frame whose send tick is more than d in the past
+//     when it arrives is discarded, because the model's messages arrive
+//     within d or not at all. A late frame therefore counts as message
+//     loss at the transport, never as a late delivery the proofs exclude.
+//   - TCP ("tcp") is the lossless baseline: a length-delimited frame
+//     stream per peer pair with no deadline drops, for separating
+//     protocol behaviour from packet loss when debugging.
+//
+// Sender authentication re-establishes the paper's "the receiver knows
+// the sending node of every message" assumption from bytes: every frame
+// carries the claimed sender id, and the transport verifies it — for UDP
+// against the datagram's source address (peers send from their bound
+// listen socket, so source address equals manifest address); for TCP
+// against the connection's hello frame and remote IP. Frames from another
+// cluster epoch (a previous incarnation on a reused port) are dropped.
+// On an open network this would be TLS/MAC territory; on the loopback
+// and LAN deployments this package targets, address checking is the
+// honest equivalent of the model's authenticated channels (DESIGN.md §7).
+package nettrans
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ssbyz/internal/eventloop"
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/simnet"
+	"ssbyz/internal/simtime"
+	"ssbyz/internal/wire"
+)
+
+// Transport names.
+const (
+	// TransportUDP is datagram-per-message with deadline drops (the
+	// paper-faithful default).
+	TransportUDP = "udp"
+	// TransportTCP is the lossless stream baseline.
+	TransportTCP = "tcp"
+)
+
+// NodeConfig configures one socket-backed node.
+type NodeConfig struct {
+	// ID is this node's identity; Peers[ID] is its own listen address.
+	ID protocol.NodeID
+	// Params are the protocol constants; Params.D (in ticks) is the
+	// deadline-drop horizon on UDP.
+	Params protocol.Params
+	// Tick is the wall-clock duration of one tick (default 100µs).
+	Tick time.Duration
+	// Transport selects TransportUDP (default) or TransportTCP.
+	Transport string
+	// Listen is the address to bind ("127.0.0.1:0" for an ephemeral
+	// loopback port). Ignored when a pre-bound socket is supplied.
+	Listen string
+	// Peers are the peer listen addresses indexed by NodeID, length N.
+	Peers []string
+	// Epoch is the shared cluster epoch: the wall-clock instant every
+	// node's clock reads tick 0, and the incarnation id frames carry.
+	// All nodes of a cluster must agree on it (the manifest fixes it).
+	Epoch time.Time
+	// Rec receives trace events (default: a fresh recorder).
+	Rec *protocol.Recorder
+	// Sink, when non-nil, additionally receives every trace event as it
+	// is recorded — the node daemon streams these over its control socket.
+	Sink func(protocol.TraceEvent)
+	// Conditions is the live chaos schedule (scripted partitions, jitter,
+	// churn mapped onto the socket path — see chaos.go).
+	Conditions []simnet.Condition
+}
+
+// Stats counts the transport's traffic and drop classes. All counters are
+// cumulative since Start.
+type Stats struct {
+	// Sent counts protocol messages handed to the socket (including ones
+	// the chaos layer then dropped — the sender paid for them).
+	Sent int64
+	// Received counts messages accepted and delivered to protocol code.
+	Received int64
+	// LateDrops counts frames discarded for violating the d deadline
+	// (UDP only — the bounded-delay axiom enforced at the transport).
+	LateDrops int64
+	// AuthDrops counts frames whose claimed sender failed the source
+	// address check.
+	AuthDrops int64
+	// EpochDrops counts frames from another cluster incarnation.
+	EpochDrops int64
+	// ChaosDrops counts messages eaten by the scripted condition schedule.
+	ChaosDrops int64
+	// DecodeDrops counts frames that failed to decode (corrupt/truncated).
+	DecodeDrops int64
+}
+
+// NetNode runs one protocol node behind a socket. It implements
+// protocol.Runtime; the node's OnMessage/OnTimer run on a single
+// event-loop goroutine exactly as under the simulator.
+type NetNode struct {
+	cfg     NodeConfig
+	epochID uint64
+	node    protocol.Node
+	rec     *protocol.Recorder
+	mbox    *eventloop.Mailbox
+	timers  *eventloop.Timers
+	chaos   *chaos
+	trans   transport
+	wg      sync.WaitGroup
+
+	timerMu sync.Mutex
+	nextID  protocol.TimerID
+	pending map[protocol.TimerID]*time.Timer
+
+	// payloadScratch/frameScratch back the allocation-free immediate-send
+	// path. Safe without a lock: protocol.Runtime's contract is that all
+	// methods are called from the node's single event loop, and both
+	// socket writes copy the bytes before returning.
+	payloadScratch, frameScratch []byte
+
+	sent, received                                        atomic.Int64
+	lateDrops, authDrops, epochDrops, chaosDrops, decDrop atomic.Int64
+
+	stopOnce sync.Once
+}
+
+var _ protocol.Runtime = (*NetNode)(nil)
+
+// transport is the socket behind one node: fire-and-forget frame sends
+// plus a close that unblocks the receive loops.
+type transport interface {
+	// send transmits one encoded frame to peer `to`, best-effort.
+	send(to protocol.NodeID, frame []byte)
+	// addr returns the resolved listen address.
+	addr() string
+	close()
+}
+
+// Start binds cfg.Listen and launches the node: the receive loop, the
+// event-loop goroutine, and Node.Start inside it. The returned NetNode
+// must be stopped.
+func Start(cfg NodeConfig, node protocol.Node) (*NetNode, error) {
+	sock, err := ListenSocket(cfg.Transport, cfg.Listen)
+	if err != nil {
+		return nil, err
+	}
+	nn, err := StartWith(cfg, sock, node)
+	if err != nil {
+		sock.Close()
+		return nil, err
+	}
+	return nn, nil
+}
+
+// StartWith is Start over a pre-bound socket (the in-process Cluster
+// binds all sockets first to learn ephemeral ports, then starts nodes).
+func StartWith(cfg NodeConfig, sock *Socket, node protocol.Node) (*NetNode, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = 100 * time.Microsecond
+	}
+	if cfg.Transport == "" {
+		cfg.Transport = TransportUDP
+	}
+	if cfg.Transport != sock.transport {
+		return nil, fmt.Errorf("nettrans: config transport %q but socket is %q", cfg.Transport, sock.transport)
+	}
+	if len(cfg.Peers) != cfg.Params.N {
+		return nil, fmt.Errorf("nettrans: %d peer addresses for n=%d", len(cfg.Peers), cfg.Params.N)
+	}
+	if cfg.ID < 0 || int(cfg.ID) >= cfg.Params.N {
+		return nil, fmt.Errorf("nettrans: node id %d outside [0,%d)", cfg.ID, cfg.Params.N)
+	}
+	if cfg.Epoch.IsZero() {
+		return nil, fmt.Errorf("nettrans: missing cluster epoch (all nodes must share one)")
+	}
+	if cfg.Rec == nil {
+		cfg.Rec = protocol.NewRecorder()
+	}
+	ch, err := compileChaos(cfg.Conditions, cfg.Params.N, cfg.Params.D/2)
+	if err != nil {
+		return nil, err
+	}
+	nn := &NetNode{
+		cfg:     cfg,
+		epochID: uint64(cfg.Epoch.UnixNano()),
+		node:    node,
+		rec:     cfg.Rec,
+		mbox:    eventloop.NewMailbox(),
+		timers:  eventloop.NewTimers(),
+		chaos:   ch,
+		pending: make(map[protocol.TimerID]*time.Timer),
+	}
+	switch cfg.Transport {
+	case TransportUDP:
+		nn.trans, err = newUDPTransport(nn, sock.udp, cfg.Peers)
+	case TransportTCP:
+		nn.trans, err = newTCPTransport(nn, sock.tcp, cfg.Peers)
+	default:
+		err = fmt.Errorf("nettrans: unknown transport %q", cfg.Transport)
+	}
+	if err != nil {
+		return nil, err
+	}
+	nn.wg.Add(1)
+	go func() {
+		defer nn.wg.Done()
+		nn.mbox.Loop()
+	}()
+	nn.mbox.Enqueue(func() { node.Start(nn) })
+	return nn, nil
+}
+
+// Addr returns the node's resolved listen address (useful with :0).
+func (nn *NetNode) Addr() string { return nn.trans.addr() }
+
+// Stop tears the node down: protocol and chaos timers first (waiting out
+// in-flight bodies), then the socket and its receive loops, then the
+// event loop. After Stop returns nothing of the node is running.
+func (nn *NetNode) Stop() {
+	nn.stopOnce.Do(func() {
+		nn.timers.Stop()
+		nn.trans.close()
+		nn.mbox.Close()
+	})
+	nn.wg.Wait()
+}
+
+// Do executes fn inside the node's event loop (for General-side
+// initiations), returning once enqueued.
+func (nn *NetNode) Do(fn func(protocol.Node)) {
+	nn.mbox.Enqueue(func() { fn(nn.node) })
+}
+
+// DoWait executes fn inside the event loop and blocks until it has run
+// (or the node stopped first).
+func (nn *NetNode) DoWait(fn func(protocol.Node)) {
+	done := make(chan struct{})
+	if !nn.mbox.Enqueue(func() {
+		defer close(done)
+		fn(nn.node)
+	}) {
+		return
+	}
+	select {
+	case <-done:
+	case <-nn.mbox.Done():
+	}
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (nn *NetNode) Stats() Stats {
+	return Stats{
+		Sent:        nn.sent.Load(),
+		Received:    nn.received.Load(),
+		LateDrops:   nn.lateDrops.Load(),
+		AuthDrops:   nn.authDrops.Load(),
+		EpochDrops:  nn.epochDrops.Load(),
+		ChaosDrops:  nn.chaosDrops.Load(),
+		DecodeDrops: nn.decDrop.Load(),
+	}
+}
+
+// nowTicks returns ticks since the cluster epoch.
+func (nn *NetNode) nowTicks() simtime.Real {
+	return simtime.Real(time.Since(nn.cfg.Epoch) / nn.cfg.Tick)
+}
+
+// ---- protocol.Runtime ----
+
+// ID implements protocol.Runtime.
+func (nn *NetNode) ID() protocol.NodeID { return nn.cfg.ID }
+
+// Now implements protocol.Runtime: ticks since the shared epoch. Live
+// clocks are ideal (drift experiments are simulator territory), so every
+// node of a cluster reads the same frame up to OS clock quality.
+func (nn *NetNode) Now() simtime.Local { return simtime.Local(nn.nowTicks()) }
+
+// Params implements protocol.Runtime.
+func (nn *NetNode) Params() protocol.Params { return nn.cfg.Params }
+
+// Send implements protocol.Runtime: encode, consult the chaos schedule,
+// and hand the frame to the socket (immediately, or after a scripted
+// jitter delay).
+func (nn *NetNode) Send(to protocol.NodeID, m protocol.Message) {
+	if to < 0 || int(to) >= nn.cfg.Params.N {
+		return
+	}
+	m.From = nn.cfg.ID // authenticated sender identity
+	nn.sent.Add(1)
+	now := nn.nowTicks()
+	delay, drop := nn.chaos.onSend(nn.cfg.ID, to, now)
+	if drop {
+		nn.chaosDrops.Add(1)
+		return
+	}
+	nn.payloadScratch = wire.AppendMessage(nn.payloadScratch[:0], m)
+	nn.frameScratch = wire.AppendFrame(nn.frameScratch[:0], wire.Frame{
+		Kind:    wire.FrameMessage,
+		From:    nn.cfg.ID,
+		Epoch:   nn.epochID,
+		Sent:    int64(now),
+		Payload: nn.payloadScratch,
+	})
+	if delay <= 0 {
+		// The socket copies the bytes before returning, so the scratch is
+		// free for the next Send: zero allocations at steady state.
+		nn.trans.send(to, nn.frameScratch)
+		return
+	}
+	// A chaos-delayed frame outlives this call; it needs its own copy.
+	frame := append([]byte(nil), nn.frameScratch...)
+	nn.timers.AfterFunc(time.Duration(delay)*nn.cfg.Tick, func() {
+		nn.trans.send(to, frame)
+	})
+}
+
+// Broadcast implements protocol.Runtime: n point-to-point sends, the
+// node itself included (the model has no broadcast medium).
+func (nn *NetNode) Broadcast(m protocol.Message) {
+	for i := 0; i < nn.cfg.Params.N; i++ {
+		nn.Send(protocol.NodeID(i), m)
+	}
+}
+
+// After implements protocol.Runtime.
+func (nn *NetNode) After(dl simtime.Duration, tag protocol.TimerTag) protocol.TimerID {
+	if dl < 0 {
+		dl = 0
+	}
+	nn.timerMu.Lock()
+	nn.nextID++
+	id := nn.nextID
+	nn.timerMu.Unlock()
+
+	t := nn.timers.AfterFunc(time.Duration(dl)*nn.cfg.Tick, func() {
+		nn.timerMu.Lock()
+		delete(nn.pending, id)
+		nn.timerMu.Unlock()
+		nn.mbox.Enqueue(func() { nn.node.OnTimer(tag) })
+	})
+	if t != nil {
+		nn.timerMu.Lock()
+		nn.pending[id] = t
+		nn.timerMu.Unlock()
+	}
+	return id
+}
+
+// Cancel implements protocol.Runtime. The set-level Cancel also forgets
+// the timer in the tracked set, so a daemon cancelling protocol timers
+// at the end of every agreement does not accumulate dead entries.
+func (nn *NetNode) Cancel(id protocol.TimerID) {
+	nn.timerMu.Lock()
+	t, ok := nn.pending[id]
+	if ok {
+		delete(nn.pending, id)
+	}
+	nn.timerMu.Unlock()
+	if ok {
+		nn.timers.Cancel(t)
+	}
+}
+
+// Trace implements protocol.Runtime.
+func (nn *NetNode) Trace(ev protocol.TraceEvent) {
+	ev.Node = nn.cfg.ID
+	ev.RT = nn.nowTicks()
+	ev.Tau = nn.Now()
+	if ev.TauG != 0 || ev.Kind == protocol.EvDecide || ev.Kind == protocol.EvAbort || ev.Kind == protocol.EvIAccept {
+		// Live clocks are ideal, so rt(τG) is the reading itself.
+		ev.RTauG = simtime.Real(ev.TauG)
+	}
+	nn.rec.Add(ev)
+	if nn.cfg.Sink != nil {
+		nn.cfg.Sink(ev)
+	}
+}
+
+// ---- receive path (shared by both transports) ----
+
+// handleFrame runs the acceptance pipeline on one decoded frame:
+// epoch check, sender authentication (authOK is the transport's source
+// check for the claimed id), the d deadline on UDP, receiver-side churn,
+// payload decode, delivery. It is called from receive-loop goroutines;
+// delivery is serialized by the mailbox.
+func (nn *NetNode) handleFrame(f wire.Frame, authOK bool) {
+	if f.Epoch != nn.epochID {
+		nn.epochDrops.Add(1)
+		return
+	}
+	switch f.Kind {
+	case wire.FrameHello, wire.FrameBye:
+		return // session bookkeeping, nothing to deliver
+	case wire.FrameMessage:
+	default:
+		nn.decDrop.Add(1)
+		return
+	}
+	if !authOK {
+		nn.authDrops.Add(1)
+		return
+	}
+	now := nn.nowTicks()
+	if nn.cfg.Transport == TransportUDP && int64(now)-f.Sent > int64(nn.cfg.Params.D) {
+		// Bounded-delay enforcement: the model delivers within d or not at
+		// all, so a late frame is transport loss, not a late delivery.
+		nn.lateDrops.Add(1)
+		return
+	}
+	if nn.chaos.onRecv(nn.cfg.ID, now) {
+		nn.chaosDrops.Add(1)
+		return
+	}
+	m, _, err := wire.DecodeMessage(f.Payload)
+	if err != nil {
+		nn.decDrop.Add(1)
+		return
+	}
+	m.From = f.From // the envelope, not the body, is authenticated
+	from := f.From
+	if nn.mbox.Enqueue(func() { nn.node.OnMessage(from, m) }) {
+		nn.received.Add(1)
+	}
+}

@@ -1,0 +1,340 @@
+package nettrans
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/wire"
+)
+
+// This file holds the two socket implementations behind NetNode: the UDP
+// datagram transport (one frame per datagram, source-address sender
+// authentication, kernel-level loss allowed) and the TCP stream transport
+// (self-delimiting frames on long-lived per-peer connections, hello-based
+// authentication, lossless). Both feed decoded frames into
+// NetNode.handleFrame; everything protocol-visible is identical.
+
+// Socket is a bound-but-idle listen socket. Binding is split from
+// starting so a cluster can bind every node first (learning ephemeral
+// ports) and hand the full peer table to each node afterwards.
+type Socket struct {
+	transport string
+	udp       *net.UDPConn
+	tcp       net.Listener
+}
+
+// ListenSocket binds addr for the given transport ("" defaults to UDP;
+// use "127.0.0.1:0" for an ephemeral loopback port).
+func ListenSocket(transport, addr string) (*Socket, error) {
+	if transport == "" {
+		transport = TransportUDP
+	}
+	switch transport {
+	case TransportUDP:
+		ua, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("nettrans: resolve %q: %w", addr, err)
+		}
+		conn, err := net.ListenUDP("udp", ua)
+		if err != nil {
+			return nil, fmt.Errorf("nettrans: listen udp %q: %w", addr, err)
+		}
+		// Broadcast waves land n² datagrams nearly simultaneously; a
+		// roomy kernel buffer keeps a briefly descheduled receiver from
+		// turning a burst into loss. Best-effort (the OS may cap it).
+		_ = conn.SetReadBuffer(4 << 20)
+		return &Socket{transport: TransportUDP, udp: conn}, nil
+	case TransportTCP:
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("nettrans: listen tcp %q: %w", addr, err)
+		}
+		return &Socket{transport: TransportTCP, tcp: ln}, nil
+	default:
+		return nil, fmt.Errorf("nettrans: unknown transport %q", transport)
+	}
+}
+
+// Addr returns the bound address.
+func (s *Socket) Addr() string {
+	switch s.transport {
+	case TransportUDP:
+		return s.udp.LocalAddr().String()
+	case TransportTCP:
+		return s.tcp.Addr().String()
+	}
+	return ""
+}
+
+// Close releases the socket (only needed if it was never handed to
+// StartWith).
+func (s *Socket) Close() {
+	if s.udp != nil {
+		s.udp.Close()
+	}
+	if s.tcp != nil {
+		s.tcp.Close()
+	}
+}
+
+// ---- UDP ----
+
+// udpTransport sends and receives one frame per datagram through the
+// node's single bound socket; because peers send from their listen
+// socket, a datagram's source address equals the manifest address of its
+// sender, which is what authenticates the claimed node id.
+type udpTransport struct {
+	nn    *NetNode
+	conn  *net.UDPConn
+	peers []*net.UDPAddr
+}
+
+func newUDPTransport(nn *NetNode, conn *net.UDPConn, peers []string) (*udpTransport, error) {
+	t := &udpTransport{nn: nn, conn: conn, peers: make([]*net.UDPAddr, len(peers))}
+	for i, p := range peers {
+		ua, err := net.ResolveUDPAddr("udp", p)
+		if err != nil {
+			return nil, fmt.Errorf("nettrans: resolve peer %d %q: %w", i, p, err)
+		}
+		t.peers[i] = ua
+	}
+	nn.wg.Add(1)
+	go func() {
+		defer nn.wg.Done()
+		t.recvLoop()
+	}()
+	return t, nil
+}
+
+func (t *udpTransport) addr() string { return t.conn.LocalAddr().String() }
+
+func (t *udpTransport) send(to protocol.NodeID, frame []byte) {
+	// Fire and forget: a full socket buffer or ICMP-refused peer is
+	// message loss, which the protocol tolerates by design.
+	_, _ = t.conn.WriteToUDP(frame, t.peers[to])
+}
+
+func (t *udpTransport) close() { t.conn.Close() }
+
+func (t *udpTransport) recvLoop() {
+	buf := make([]byte, 64<<10)
+	for {
+		n, raddr, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		f, consumed, err := wire.DecodeFrame(buf[:n])
+		if err != nil || consumed != n {
+			t.nn.decDrop.Add(1)
+			continue
+		}
+		t.nn.handleFrame(f, t.authenticate(f.From, raddr))
+	}
+}
+
+// authenticate checks the datagram's source address against the claimed
+// sender's manifest address.
+func (t *udpTransport) authenticate(from protocol.NodeID, raddr *net.UDPAddr) bool {
+	if from < 0 || int(from) >= len(t.peers) {
+		return false
+	}
+	want := t.peers[from]
+	return want.Port == raddr.Port && want.IP.Equal(raddr.IP)
+}
+
+// ---- TCP ----
+
+// tcpTransport keeps one lazily-dialed outbound connection per peer
+// (frames are self-delimiting, so no extra length prefix is needed) and
+// accepts inbound connections whose first frame must be a hello naming
+// the peer; subsequent frames are authenticated against that hello and
+// the connection's remote IP.
+type tcpTransport struct {
+	nn    *NetNode
+	ln    net.Listener
+	peers []string
+	out   []*tcpPeer
+
+	// mu guards the inbound set: connections peers dialed to us, which
+	// close() must shut down or their read loops would outlive Stop.
+	mu      sync.Mutex
+	inbound map[net.Conn]struct{}
+	closed  bool
+}
+
+type tcpPeer struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func newTCPTransport(nn *NetNode, ln net.Listener, peers []string) (*tcpTransport, error) {
+	t := &tcpTransport{nn: nn, ln: ln, peers: peers,
+		out: make([]*tcpPeer, len(peers)), inbound: make(map[net.Conn]struct{})}
+	for i := range t.out {
+		t.out[i] = &tcpPeer{}
+	}
+	nn.wg.Add(1)
+	go func() {
+		defer nn.wg.Done()
+		t.acceptLoop()
+	}()
+	return t, nil
+}
+
+func (t *tcpTransport) addr() string { return t.ln.Addr().String() }
+
+func (t *tcpTransport) send(to protocol.NodeID, frame []byte) {
+	p := t.out[to]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn == nil {
+		t.mu.Lock()
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return // no redial during/after close(): the new conn would leak
+		}
+		conn, err := net.Dial("tcp", t.peers[to])
+		if err != nil {
+			return // peer down; TCP is lossless only while peers live
+		}
+		hello := wire.AppendFrame(nil, wire.Frame{
+			Kind: wire.FrameHello, From: t.nn.cfg.ID, Epoch: t.nn.epochID,
+		})
+		if _, err := conn.Write(hello); err != nil {
+			conn.Close()
+			return
+		}
+		// close() may have run while we dialed (it holds p.mu per peer, but
+		// could have passed this peer before the dial finished): re-check
+		// before publishing, or the stored conn would never be closed.
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.mu.Unlock()
+		p.conn = conn
+	}
+	if _, err := p.conn.Write(frame); err != nil {
+		p.conn.Close()
+		p.conn = nil // redial on next send
+	}
+}
+
+func (t *tcpTransport) close() {
+	t.mu.Lock()
+	t.closed = true
+	for conn := range t.inbound {
+		conn.Close()
+	}
+	t.mu.Unlock()
+	t.ln.Close()
+	for _, p := range t.out {
+		p.mu.Lock()
+		if p.conn != nil {
+			p.conn.Close()
+			p.conn = nil
+		}
+		p.mu.Unlock()
+	}
+}
+
+func (t *tcpTransport) acceptLoop() {
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.inbound[conn] = struct{}{}
+		t.mu.Unlock()
+		t.nn.wg.Add(1)
+		go func() {
+			defer t.nn.wg.Done()
+			defer func() {
+				t.mu.Lock()
+				delete(t.inbound, conn)
+				t.mu.Unlock()
+				conn.Close()
+			}()
+			t.readLoop(conn)
+		}()
+	}
+}
+
+// readLoop parses the self-delimiting frame stream of one inbound
+// connection. The first frame must be a hello claiming a node id whose
+// manifest IP matches the connection's remote IP (the remote port is
+// ephemeral for outbound dials, so only the host is checkable — the
+// paper's authenticated-channel assumption at LAN fidelity; production
+// deployments would wrap the stream in TLS).
+func (t *tcpTransport) readLoop(conn net.Conn) {
+	var (
+		buf       []byte
+		peer      protocol.NodeID = -1
+		haveHello                 = false
+	)
+	remoteIP := func() net.IP {
+		if a, ok := conn.RemoteAddr().(*net.TCPAddr); ok {
+			return a.IP
+		}
+		return nil
+	}()
+	chunk := make([]byte, 32<<10)
+	for {
+		n, err := conn.Read(chunk)
+		if n > 0 {
+			buf = append(buf, chunk[:n]...)
+			for {
+				f, consumed, derr := wire.DecodeFrame(buf)
+				if errors.Is(derr, wire.ErrTruncated) {
+					break // need more bytes
+				}
+				if derr != nil {
+					// A corrupt stream cannot be resynchronized; drop it.
+					t.nn.decDrop.Add(1)
+					return
+				}
+				buf = buf[consumed:]
+				if !haveHello {
+					if f.Kind != wire.FrameHello || !t.ipMatches(f.From, remoteIP) {
+						t.nn.authDrops.Add(1)
+						return
+					}
+					peer = f.From
+					haveHello = true
+					t.nn.handleFrame(f, true)
+					continue
+				}
+				t.nn.handleFrame(f, f.From == peer)
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// ipMatches checks the claimed sender's manifest host against the
+// connection's remote IP.
+func (t *tcpTransport) ipMatches(from protocol.NodeID, remote net.IP) bool {
+	if from < 0 || int(from) >= len(t.peers) || remote == nil {
+		return false
+	}
+	host, _, err := net.SplitHostPort(t.peers[from])
+	if err != nil {
+		return false
+	}
+	want := net.ParseIP(host)
+	return want != nil && want.Equal(remote)
+}

@@ -3,11 +3,16 @@ package ssbyz
 import (
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
+	"ssbyz/internal/check"
 	"ssbyz/internal/core"
+	"ssbyz/internal/harness"
 	"ssbyz/internal/livenet"
+	"ssbyz/internal/nettrans"
 	"ssbyz/internal/protocol"
+	"ssbyz/internal/simtime"
 )
 
 // LiveCluster runs ss-Byz-Agree in real time: one goroutine per node,
@@ -98,15 +103,25 @@ func (lc *LiveCluster) Initiate(g NodeID, v Value) error {
 // abort, value split (a violation of the Agreement property, impossible
 // for a correct build), or timeout.
 func (lc *LiveCluster) Await(g NodeID, timeout time.Duration) (Value, error) {
+	return awaitUnanimous(lc.pp.N, timeout, lc.tick*10, func(i int, fn func(protocol.Node)) {
+		lc.c.DoWait(NodeID(i), fn)
+	}, g)
+}
+
+// awaitUnanimous polls every node's return for General g through the
+// given event-loop executor until all have returned (the Agreement
+// property then requires one value) or the deadline passes.
+func awaitUnanimous(n int, timeout, pollEvery time.Duration,
+	doWait func(i int, fn func(protocol.Node)), g NodeID) (Value, error) {
 	deadline := time.Now().Add(timeout)
 	for {
 		values := make(map[Value]int)
 		returned := 0
-		for i := 0; i < lc.pp.N; i++ {
+		for i := 0; i < n; i++ {
 			var ret, dec bool
 			var v Value
-			lc.c.DoWait(NodeID(i), func(n protocol.Node) {
-				ret, dec, v = n.(*core.Node).Result(g)
+			doWait(i, func(nd protocol.Node) {
+				ret, dec, v = nd.(*core.Node).Result(g)
 			})
 			if ret {
 				returned++
@@ -115,24 +130,136 @@ func (lc *LiveCluster) Await(g NodeID, timeout time.Duration) (Value, error) {
 				}
 			}
 		}
-		if returned == lc.pp.N {
+		if returned == n {
 			switch len(values) {
 			case 0:
 				return Bottom, errors.New("ssbyz: all nodes aborted")
 			case 1:
 				for v := range values {
-					if values[v] == lc.pp.N {
+					if values[v] == n {
 						return v, nil
 					}
-					return v, fmt.Errorf("ssbyz: %d/%d nodes decided %q, rest aborted", values[v], lc.pp.N, v)
+					return v, fmt.Errorf("ssbyz: %d/%d nodes decided %q, rest aborted", values[v], n, v)
 				}
 			default:
 				return Bottom, fmt.Errorf("ssbyz: value split across nodes: %v", values)
 			}
 		}
 		if time.Now().After(deadline) {
-			return Bottom, fmt.Errorf("ssbyz: timeout with %d/%d nodes returned", returned, lc.pp.N)
+			return Bottom, fmt.Errorf("ssbyz: timeout with %d/%d nodes returned", returned, n)
 		}
-		time.Sleep(lc.tick * 10)
+		time.Sleep(pollEvery)
 	}
+}
+
+// SocketConfig describes a real-socket loopback cluster: n nodes
+// tolerating f = ⌊(n−1)/3⌋ Byzantine faults, every message crossing a
+// real UDP or TCP socket through the binary wire codec, with the paper's
+// delivery bound d expressed as D ticks of wall-clock length Tick.
+type SocketConfig struct {
+	// N is the number of nodes (default 4).
+	N int
+	// D is the delivery bound d in ticks (default 100). On UDP the
+	// transport enforces it: frames older than d are dropped, because the
+	// paper's model delivers within d or not at all.
+	D Ticks
+	// Tick is the wall-clock length of one tick (default 100µs, making
+	// the default d = 10ms).
+	Tick time.Duration
+	// Transport is "udp" (datagram-per-message, loss allowed — the
+	// paper-faithful default) or "tcp" (lossless stream baseline).
+	Transport string
+}
+
+// SocketCluster runs ss-Byz-Agree over real sockets on loopback: the
+// same protocol state machines as Simulation and LiveCluster, but every
+// message is serialized by the wire codec, authenticated by source
+// address, and subject to the transport's enforcement of the paper's
+// bounded-delay axiom (DESIGN.md §7). It is the single-process form of
+// the cmd/ssbyz-node daemon topology.
+type SocketCluster struct {
+	c     *nettrans.Cluster
+	pp    Params
+	tick  time.Duration
+	inits []check.LiveInitiation
+}
+
+// NewSocketCluster assembles and starts a loopback socket cluster of
+// correct nodes (validating the paper's n > 3f precondition). Callers
+// must Stop it.
+func NewSocketCluster(cfg SocketConfig) (*SocketCluster, error) {
+	if cfg.N == 0 {
+		cfg.N = 4
+	}
+	pp := protocol.DefaultParams(cfg.N)
+	if cfg.D > 0 {
+		pp.D = cfg.D
+	} else {
+		pp.D = 100
+	}
+	if cfg.Tick == 0 {
+		cfg.Tick = 100 * time.Microsecond
+	}
+	c, err := nettrans.NewCluster(nettrans.ClusterConfig{
+		Params: pp, Tick: cfg.Tick, Transport: cfg.Transport,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ssbyz: %w", err)
+	}
+	return &SocketCluster{c: c, pp: pp, tick: cfg.Tick}, nil
+}
+
+// Params returns the resolved protocol constants (n, f, d and the
+// derived Δ bounds of the paper's Section 3).
+func (sc *SocketCluster) Params() Params { return sc.pp }
+
+// Stop shuts down every node: protocol timers, sockets, event loops.
+// After Stop returns nothing is running (the eventloop Stop gate —
+// required for the self-stabilizing protocol's dense timer traffic).
+func (sc *SocketCluster) Stop() { sc.c.Stop() }
+
+// Initiate asks node g to act as the General and start agreement on v
+// over the sockets, recording the traced initiation instant as the t0
+// of Check's Validity window. The error reflects the sending-validity
+// criteria IG1–IG3.
+func (sc *SocketCluster) Initiate(g NodeID, v Value) error {
+	t0, err := sc.c.Initiate(g, v, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("ssbyz: %w", err)
+	}
+	sc.inits = append(sc.inits, check.LiveInitiation{G: g, V: v, T0: t0})
+	return nil
+}
+
+// Await blocks until every node has returned for General g or the
+// timeout elapses (Timeliness-3 bounds the return by Δagr past the
+// invocation) and returns the unanimous decided value.
+func (sc *SocketCluster) Await(g NodeID, timeout time.Duration) (Value, error) {
+	return awaitUnanimous(sc.pp.N, timeout, sc.tick*10, func(i int, fn func(protocol.Node)) {
+		sc.c.DoWait(NodeID(i), fn)
+	}, g)
+}
+
+// Check runs the full property battery (Agreement, Timeliness, IA/TPS
+// bounds, plus each Initiate's Validity window) over the trace collected
+// so far. A correct build over a healthy loopback returns none.
+func (sc *SocketCluster) Check() []Violation {
+	res := sc.c.Result(simtime.Duration(sc.c.NowTicks()) + 1)
+	lr := &check.LiveResult{Result: res}
+	return lr.Battery(sc.inits)
+}
+
+// RunLiveExperiment executes experiment L1 — live loopback clusters over
+// UDP/TCP sockets sweeping n ∈ {4, 7, 16}, decide-latency percentiles
+// against the paper's d-based bounds, msgs/sec, and the property battery
+// over every collected trace — and writes the result to w. L1's numbers
+// are wall-clock measurements (they vary run to run), which is why it is
+// not part of RunExperiments' deterministic suite; `ssbyz-bench -live`
+// appends it explicitly.
+func RunLiveExperiment(w io.Writer, opt ExperimentOptions) (*ExperimentResult, error) {
+	r := harness.L1Live(opt)
+	if _, err := r.WriteTo(w); err != nil {
+		return r, err
+	}
+	return r, nil
 }

@@ -382,6 +382,11 @@ type ExperimentOptions = harness.Options
 // machine-varying field — see DESIGN.md §5).
 type ExperimentSuite = harness.Suite
 
+// ExperimentResult is one experiment's tables, notes, and count of
+// violations of the paper's proved properties — the element type of
+// ExperimentSuite.Results.
+type ExperimentResult = harness.Result
+
 // RunExperiments executes the full reproduction suite (experiments
 // E1–E10, figures F1–F4, ablation A1, scaling workload S1, and the
 // randomized adversarial campaign S2 of DESIGN.md §4) and writes each
