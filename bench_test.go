@@ -64,6 +64,11 @@ func BenchmarkS1Scaling(b *testing.B) { benchExperiment(b, "S1") }
 // scenarios against the full battery (DESIGN.md §6).
 func BenchmarkS2Campaign(b *testing.B) { benchExperiment(b, "S2") }
 
+// BenchmarkS3Service runs the replicated-log service throughput sweep —
+// open-loop Poisson clients draining through footnote-9 concurrent
+// sessions (DESIGN.md §8).
+func BenchmarkS3Service(b *testing.B) { benchExperiment(b, "S3") }
+
 // BenchmarkSingleAgreement measures the simulator's cost of one complete
 // fault-free agreement (7 nodes, ~350 messages) — the unit of work every
 // experiment above multiplies.

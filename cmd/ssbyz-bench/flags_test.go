@@ -1,0 +1,52 @@
+package main
+
+// This test pins README.md's flag table to the actual flag set, the way
+// cookbook_test.go pins the scenario recipes: the README's "Flags:"
+// table and defineFlags drifted apart once (the table missed flags the
+// binary had grown), so now any flag added, renamed, or removed without
+// updating the table fails here.
+
+import (
+	"flag"
+	"os"
+	"regexp"
+	"testing"
+)
+
+// readmeFlagNames extracts the flag names documented in README.md's flag
+// table: rows shaped `| `-name ...` | meaning |`.
+func readmeFlagNames(t *testing.T) map[string]bool {
+	t.Helper()
+	blob, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowRe := regexp.MustCompile("(?m)^\\| `-([a-z0-9-]+)[^`]*` \\|")
+	names := make(map[string]bool)
+	for _, m := range rowRe.FindAllStringSubmatch(string(blob), -1) {
+		names[m[1]] = true
+	}
+	if len(names) == 0 {
+		t.Fatal("no flag-table rows found in README.md — did the table move?")
+	}
+	return names
+}
+
+func TestREADMEFlagTableMatchesFlagSet(t *testing.T) {
+	fs := flag.NewFlagSet("ssbyz-bench", flag.ContinueOnError)
+	defineFlags(fs)
+	documented := readmeFlagNames(t)
+	defined := make(map[string]bool)
+	fs.VisitAll(func(f *flag.Flag) { defined[f.Name] = true })
+
+	for name := range defined {
+		if !documented[name] {
+			t.Errorf("flag -%s is defined but missing from README.md's flag table", name)
+		}
+	}
+	for name := range documented {
+		if !defined[name] {
+			t.Errorf("README.md documents flag -%s which ssbyz-bench does not define", name)
+		}
+	}
+}

@@ -8,7 +8,7 @@
 //	ssbyz-bench [-quick] [-seeds 20] [-parallel N] [-o report.md] [-json suite.json] [-live]
 //	ssbyz-bench -replay spec.json
 //	ssbyz-bench -cluster N [-transport udp|tcp] [-procs] [-node-bin path]
-//	            [-agreements K] [-cluster-d ticks] [-tick dur]
+//	            [-agreements K] [-sessions C] [-cluster-d ticks] [-tick dur]
 //
 // -replay skips the suite and re-runs one scenario spec (as exported by
 // the S2 campaign for any property-violating scenario, or written by
@@ -28,12 +28,17 @@
 // UDP (datagram-per-message, deadline drops — the paper-faithful
 // default) or TCP (lossless stream baseline); -cluster-d sets d in ticks
 // (default 100) and -tick the wall length of one tick (default 100µs),
-// so the default d is 10ms.
+// so the default d is 10ms. -sessions C with C > 1 switches the cluster
+// to service mode: the K agreements arrive at once as a replicated-log
+// burst at General 0 and drain through C concurrent footnote-9 sessions
+// (in-process only; incompatible with -procs).
 //
-// -live appends experiment L1 (live loopback latency/throughput sweep
-// over the same socket transport) to the suite run and its JSON
-// artifact. L1's numbers are wall-clock measurements — unlike every
-// other experiment they vary run to run, so L1 only runs when asked.
+// -live appends experiments L1 (live loopback latency/throughput sweep
+// over the same socket transport) and L2 (the replicated-log service
+// over loopback UDP at session concurrency 1 and 8) to the suite run
+// and its JSON artifact. Their numbers are wall-clock measurements —
+// unlike every other experiment they vary run to run, so they only run
+// when asked.
 //
 // The full suite takes many minutes single-threaded (S1 stretches to
 // n = 256); -parallel fans the independent simulation cells across N
@@ -67,25 +72,72 @@ func main() {
 	}
 }
 
-func run() error {
-	var (
-		quick    = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
-		seeds    = flag.Int("seeds", 0, "override repetitions per configuration")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulation cells (1 = sequential)")
-		out      = flag.String("o", "", "also write the report to this file")
-		jsonOut  = flag.String("json", "", "write the machine-readable suite to this file")
-		replay   = flag.String("replay", "", "replay a scenario spec JSON file against the property battery (skips the suite)")
-		live     = flag.Bool("live", false, "append experiment L1 (live loopback UDP sweep; wall-clock numbers) to the suite")
+// benchFlags is the resolved flag set. It is defined through defineFlags
+// so the README flag table can be pinned against it by flags_test.go.
+type benchFlags struct {
+	quick    *bool
+	seeds    *int
+	parallel *int
+	out      *string
+	jsonOut  *string
+	replay   *string
+	live     *bool
 
-		cluster    = flag.Int("cluster", 0, "run a live loopback cluster of this many nodes over real sockets (skips the suite)")
-		transport  = flag.String("transport", "udp", "-cluster socket transport: udp (deadline drops) or tcp (lossless)")
-		procs      = flag.Bool("procs", false, "-cluster: one ssbyz-node process per node instead of in-process")
-		nodeBin    = flag.String("node-bin", "", "-cluster -procs: path to the ssbyz-node binary (default: sibling of ssbyz-bench, then PATH)")
-		agreements = flag.Int("agreements", 1, "-cluster: number of agreements to run (Generals rotate)")
-		clusterD   = flag.Int64("cluster-d", 100, "-cluster: the paper's d in ticks")
-		tick       = flag.Duration("tick", 100*time.Microsecond, "-cluster: wall-clock length of one tick")
-	)
+	cluster    *int
+	transport  *string
+	procs      *bool
+	nodeBin    *string
+	agreements *int
+	sessions   *int
+	clusterD   *int64
+	tick       *time.Duration
+}
+
+// defineFlags registers every ssbyz-bench flag on fs. The definitions
+// here are the single source of truth; README.md's flag table is checked
+// against them by flags_test.go.
+func defineFlags(fs *flag.FlagSet) *benchFlags {
+	return &benchFlags{
+		quick:    fs.Bool("quick", false, "shrink sweeps for a fast smoke run"),
+		seeds:    fs.Int("seeds", 0, "override repetitions per configuration"),
+		parallel: fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulation cells (1 = sequential)"),
+		out:      fs.String("o", "", "also write the report to this file"),
+		jsonOut:  fs.String("json", "", "write the machine-readable suite to this file"),
+		replay:   fs.String("replay", "", "replay a scenario spec JSON file against the property battery (skips the suite)"),
+		live:     fs.Bool("live", false, "append experiments L1 and L2 (live loopback sweeps; wall-clock numbers) to the suite"),
+
+		cluster:    fs.Int("cluster", 0, "run a live loopback cluster of this many nodes over real sockets (skips the suite)"),
+		transport:  fs.String("transport", "udp", "-cluster socket transport: udp (deadline drops) or tcp (lossless)"),
+		procs:      fs.Bool("procs", false, "-cluster: one ssbyz-node process per node instead of in-process"),
+		nodeBin:    fs.String("node-bin", "", "-cluster -procs: path to the ssbyz-node binary (default: sibling of ssbyz-bench, then PATH)"),
+		agreements: fs.Int("agreements", 1, "-cluster: number of agreements to run (Generals rotate)"),
+		sessions:   fs.Int("sessions", 1, "-cluster: concurrent agreement sessions per node; >1 runs the agreements as a replicated-log burst through the service layer"),
+		clusterD:   fs.Int64("cluster-d", 100, "-cluster: the paper's d in ticks"),
+		tick:       fs.Duration("tick", 100*time.Microsecond, "-cluster: wall-clock length of one tick"),
+	}
+}
+
+func run() error {
+	f := defineFlags(flag.CommandLine)
 	flag.Parse()
+	var (
+		quick    = f.quick
+		seeds    = f.seeds
+		parallel = f.parallel
+		out      = f.out
+		jsonOut  = f.jsonOut
+		replay   = f.replay
+		live     = f.live
+
+		cluster    = f.cluster
+		transport  = f.transport
+		procs      = f.procs
+		nodeBin    = f.nodeBin
+		agreements = f.agreements
+		sessions   = f.sessions
+		clusterD   = f.clusterD
+		tick       = f.tick
+	)
 
 	if *replay != "" {
 		return replayScenario(*replay)
@@ -97,6 +149,7 @@ func run() error {
 			procs:      *procs,
 			nodeBin:    *nodeBin,
 			agreements: *agreements,
+			sessions:   *sessions,
 			d:          ssbyz.Ticks(*clusterD),
 			tick:       *tick,
 		})
@@ -123,12 +176,16 @@ func run() error {
 		return err
 	}
 	if *live {
-		res, err := ssbyz.RunLiveExperiment(w, ssbyz.ExperimentOptions{Quick: *quick})
-		if err != nil {
-			return err
+		for _, run := range []func(io.Writer, ssbyz.ExperimentOptions) (*ssbyz.ExperimentResult, error){
+			ssbyz.RunLiveExperiment, ssbyz.RunLiveServiceExperiment,
+		} {
+			res, err := run(w, ssbyz.ExperimentOptions{Quick: *quick})
+			if err != nil {
+				return err
+			}
+			suite.Results = append(suite.Results, res)
+			suite.Violations += res.Violations
 		}
-		suite.Results = append(suite.Results, res)
-		suite.Violations += res.Violations
 	}
 	fmt.Fprintf(w, "total property violations: %d\n", suite.Violations)
 	if *jsonOut != "" {

@@ -1,0 +1,199 @@
+package ssbyz_test
+
+// Tests for the Engine facade: the unified service API, its sentinel
+// errors, and the compatibility of the deprecated Simulation shim with
+// the engine it now wraps.
+
+import (
+	"errors"
+	"testing"
+
+	"ssbyz"
+)
+
+func TestEngineSentinelErrors(t *testing.T) {
+	// n ≤ 3f violates the paper's resilience precondition.
+	if _, err := ssbyz.New(ssbyz.WithN(7), ssbyz.WithF(3)); !errors.Is(err, ssbyz.ErrBadParams) {
+		t.Errorf("New(n=7,f=3) error = %v, want ErrBadParams", err)
+	}
+	if _, err := ssbyz.New(ssbyz.WithSessions(0)); !errors.Is(err, ssbyz.ErrBadParams) {
+		t.Errorf("WithSessions(0) error = %v, want ErrBadParams", err)
+	}
+	if _, err := ssbyz.NewSimulation(ssbyz.Config{N: 6, F: 2}); !errors.Is(err, ssbyz.ErrBadParams) {
+		t.Errorf("NewSimulation(n=6,f=2) error = %v, want ErrBadParams", err)
+	}
+
+	eng, err := ssbyz.New(ssbyz.WithN(7), ssbyz.WithSessions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The session limit is the configured footnote-9 slot count.
+	if _, err := eng.OpenSession(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.OpenSession(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.OpenSession(0); !errors.Is(err, ssbyz.ErrSessionLimit) {
+		t.Errorf("third OpenSession error = %v, want ErrSessionLimit", err)
+	}
+	// A General is scripted or log-driven, never both.
+	if _, err := eng.Log(0); !errors.Is(err, ssbyz.ErrBadParams) {
+		t.Errorf("Log after OpenSession error = %v, want ErrBadParams", err)
+	}
+	if _, err := eng.Log(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.OpenSession(1); !errors.Is(err, ssbyz.ErrBadParams) {
+		t.Errorf("OpenSession after Log error = %v, want ErrBadParams", err)
+	}
+	// Faulty Generals can neither be scripted nor serve logs.
+	eng2, _ := ssbyz.New(ssbyz.WithN(7), ssbyz.WithFaultyNode(2, nil))
+	if _, err := eng2.OpenSession(2); !errors.Is(err, ssbyz.ErrBadParams) {
+		t.Errorf("OpenSession(faulty) error = %v, want ErrBadParams", err)
+	}
+	// Stopped engines accept nothing further.
+	eng2.Stop()
+	if _, err := eng2.Run(0); !errors.Is(err, ssbyz.ErrStopped) {
+		t.Errorf("Run after Stop error = %v, want ErrStopped", err)
+	}
+	// Simulator engines refuse interactive socket calls.
+	eng3, _ := ssbyz.New(ssbyz.WithN(4))
+	if err := eng3.Start(); !errors.Is(err, ssbyz.ErrBadParams) {
+		t.Errorf("Start on sim runtime error = %v, want ErrBadParams", err)
+	}
+}
+
+// TestEngineSessionAgreement drives one agreement through the new
+// Session API and checks Validity and the battery, mirroring the legacy
+// quickstart.
+func TestEngineSessionAgreement(t *testing.T) {
+	eng, err := ssbyz.New(ssbyz.WithN(7), ssbyz.WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := eng.OpenSession(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := eng.Params().D
+	if err := s.ProposeAt("launch", 2*d); err != nil {
+		t.Fatal(err)
+	}
+	report, err := eng.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.InitiationErrors()) != 0 {
+		t.Fatalf("initiation refused: %v", report.InitiationErrors())
+	}
+	if !report.Unanimous(0, "launch") {
+		t.Fatalf("not unanimous on %q: %v", "launch", report.Decisions(0))
+	}
+	if got := s.Decisions(report.Report); len(got) != len(report.Decisions(0)) {
+		t.Fatalf("session decisions = %d, want %d", len(got), len(report.Decisions(0)))
+	}
+	if v := report.Check(0); len(v) != 0 {
+		t.Fatalf("battery violations: %v", v)
+	}
+}
+
+// TestEngineReplicatedLog runs the replicated-log facade end to end on
+// the simulator: Poisson traffic over 4 concurrent sessions, everything
+// commits in a total order, and the per-session battery is clean.
+func TestEngineReplicatedLog(t *testing.T) {
+	eng, err := ssbyz.New(ssbyz.WithN(7), ssbyz.WithSessions(4), ssbyz.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := eng.Log(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := eng.Params().D
+	if err := log.ProposeAt("genesis", d); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.GenerateTraffic(ssbyz.Traffic{Seed: 5, Start: 2 * d, MeanGap: 4 * d, Count: 10}); err != nil {
+		t.Fatal(err)
+	}
+	report, err := eng.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := report.Log(0)
+	if lr == nil {
+		t.Fatal("no log report for General 0")
+	}
+	st := lr.Stats()
+	if st.Committed != 11 || st.Failed != 0 {
+		t.Fatalf("committed=%d failed=%d dropped=%d, want 11/0", st.Committed, st.Failed, st.Dropped)
+	}
+	if lr.Committed()[0].Payload != "genesis" {
+		t.Fatalf("log head = %q, want the first proposal", lr.Committed()[0].Payload)
+	}
+	// Total order: anchors strictly grow entry to entry (Timeliness-4
+	// keeps distinct agreements > 4d apart).
+	prev := lr.Committed()[0].Anchor
+	for _, e := range lr.Committed()[1:] {
+		if e.Anchor <= prev {
+			t.Fatalf("log order not strictly anchor-ordered at entry %d", e.Index)
+		}
+		prev = e.Anchor
+	}
+	if v := report.CheckService(); len(v) != 0 {
+		t.Fatalf("service battery violations (%d): %v", len(v), v[0])
+	}
+	// Run memoizes.
+	again, err := eng.Run(0)
+	if err != nil || again != report {
+		t.Fatalf("second Run = (%p, %v), want the memoized report", again, err)
+	}
+}
+
+// TestSimulationShimMatchesEngine is the old-API differential: the
+// deprecated Simulation builder must produce exactly the decisions of
+// the equivalent Engine run — it is a shim over the same engine, so the
+// single-agreement behavior of the pre-service facade is unchanged.
+func TestSimulationShimMatchesEngine(t *testing.T) {
+	cfg := ssbyz.Config{N: 7, Seed: 9}
+	sim, err := ssbyz.NewSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := sim.Params().D
+	sim.ScheduleAgreement(0, "v", 2*d)
+	legacy, err := sim.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := ssbyz.New(ssbyz.WithN(7), ssbyz.WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := eng.OpenSession(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ProposeAt("v", 2*d); err != nil {
+		t.Fatal(err)
+	}
+	modern, err := eng.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := legacy.Decisions(0), modern.Decisions(0)
+	if len(a) != len(b) {
+		t.Fatalf("decision counts differ: legacy %d vs engine %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs: legacy %+v vs engine %+v", i, a[i], b[i])
+		}
+	}
+	if legacy.Messages() != modern.Messages() {
+		t.Fatalf("message counts differ: legacy %d vs engine %d", legacy.Messages(), modern.Messages())
+	}
+}

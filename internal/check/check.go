@@ -29,33 +29,61 @@ func violate(out *[]Violation, prop, format string, args ...any) {
 }
 
 // sessions partitions the correct returns for General g into agreement
-// sessions by anchor adjacency: one session's anchors span at most 6d
-// (Timeliness-1b), so a gap > 6d between anchor-ordered returns separates
-// two distinct agreements. A (faulty) General may legally run several
-// well-separated agreements in one trace — IA-4 and Timeliness-4 police
-// the separation — while Agreement and Timeliness-1 are per-session
-// properties; without the split, two legal agreements 31d apart would
-// read as one giant "violation" (the scenario campaign found exactly
-// that). Sessions are ordered by anchor; returns within one session keep
-// anchor order.
+// sessions, in two steps. First by concurrent-invocation slot: values of
+// concurrent sessions carry the footnote-9 index namespace ("s<k>|…"), and
+// every per-session property (Agreement, Timeliness-1, IA-4) applies per
+// index — two concurrent invocations deliberately have different values at
+// overlapping anchors. Second, within each slot, by anchor adjacency: one
+// session's anchors span at most 6d (Timeliness-1b), so a gap > 6d between
+// anchor-ordered returns separates two distinct agreements. A (faulty)
+// General may legally run several well-separated agreements in one trace —
+// IA-4 and Timeliness-4 police the separation — while Agreement and
+// Timeliness-1 are per-session properties; without the split, two legal
+// agreements 31d apart would read as one giant "violation" (the scenario
+// campaign found exactly that). Abort returns carry ⊥ and therefore no
+// slot namespace; they land in the un-namespaced group (slot −1), which is
+// the whole trace for single-session runs — exactly the pre-multiplexing
+// behavior. Sessions are ordered by slot then anchor; returns within one
+// session keep anchor order.
 func sessions(res *sim.Result, g protocol.NodeID) [][]sim.Decision {
 	decs := res.Decisions(g)
 	if len(decs) == 0 {
 		return nil
 	}
-	sorted := make([]sim.Decision, len(decs))
-	copy(sorted, decs)
-	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].RTauG < sorted[j].RTauG })
-	gap := 6 * simtime.Real(res.Scenario.Params.D)
+	bySlot := make(map[int][]sim.Decision)
+	for _, d := range decs {
+		slot := -1
+		if d.Decided {
+			slot = protocol.SlotOf(d.Value)
+		}
+		bySlot[slot] = append(bySlot[slot], d)
+	}
 	var out [][]sim.Decision
-	start := 0
-	for i := 1; i <= len(sorted); i++ {
-		if i == len(sorted) || sorted[i].RTauG-sorted[i-1].RTauG > gap {
-			out = append(out, sorted[start:i])
-			start = i
+	for _, slot := range sortedSlots(bySlot) {
+		sorted := bySlot[slot]
+		sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].RTauG < sorted[j].RTauG })
+		gap := 6 * simtime.Real(res.Scenario.Params.D)
+		start := 0
+		for i := 1; i <= len(sorted); i++ {
+			if i == len(sorted) || sorted[i].RTauG-sorted[i-1].RTauG > gap {
+				out = append(out, sorted[start:i])
+				start = i
+			}
 		}
 	}
 	return out
+}
+
+// sortedSlots returns the slot keys of a per-slot grouping in ascending
+// order (−1, the un-namespaced single-session group, first) so every
+// checker's violation output is deterministic.
+func sortedSlots[T any](m map[int]T) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
 }
 
 // Agreement checks, per agreement session: if any correct node decides
@@ -119,6 +147,43 @@ func Validity(res *sim.Result, g protocol.NodeID, t0 simtime.Real, want protocol
 		}
 		if !d.Decided || d.Value != want {
 			violate(&out, "Validity", "node %d returned (%v,%q), want decide %q", id, d.Decided, d.Value, want)
+			continue
+		}
+		if d.RTauG < t0-simtime.Real(pp.D) {
+			violate(&out, "Timeliness-2", "node %d: rt(τG)=%d < t0−d=%d", id, d.RTauG, t0-simtime.Real(pp.D))
+		}
+		if d.RTauG > d.RT {
+			violate(&out, "Timeliness-2", "node %d: rt(τG)=%d > rt(τq)=%d", id, d.RTauG, d.RT)
+		}
+		if d.RT > t0+4*simtime.Real(pp.D) {
+			violate(&out, "Timeliness-2", "node %d: rt(τq)=%d > t0+4d=%d", id, d.RT, t0+4*simtime.Real(pp.D))
+		}
+	}
+	return out
+}
+
+// ValidityFor checks Validity/Timeliness-2 for one agreement identified
+// by its decided wire value want: every correct node decides want with
+// the anchor window t0−d ≤ rt(τG) ≤ rt(τq) ≤ t0+4d. Unlike Validity it
+// scopes each node's decision lookup to the value, so it composes with
+// recurrent and concurrent (footnote-9) invocations where a node returns
+// many times per General — the service battery checks every committed log
+// entry this way.
+func ValidityFor(res *sim.Result, g protocol.NodeID, t0 simtime.Real, want protocol.Value) []Violation {
+	var out []Violation
+	pp := res.Scenario.Params
+	byNode := make(map[protocol.NodeID]sim.Decision)
+	for _, d := range res.Decisions(g) {
+		if d.Decided && d.Value == want {
+			if _, ok := byNode[d.Node]; !ok {
+				byNode[d.Node] = d
+			}
+		}
+	}
+	for _, id := range res.Correct {
+		d, ok := byNode[id]
+		if !ok {
+			violate(&out, "Validity", "correct node %d never decided %q", id, want)
 			continue
 		}
 		if d.RTauG < t0-simtime.Real(pp.D) {

@@ -56,13 +56,40 @@ func IACorrectness(res *sim.Result, g protocol.NodeID, t0 simtime.Real) []Violat
 	return out
 }
 
+// acceptsBySlot groups correct I-accept events by the footnote-9 session
+// slot of the accepted value (−1 for un-namespaced single-session values):
+// every IA property quantifies over one concurrent invocation, so the pair
+// and relay bounds apply within a slot, never across two sessions that run
+// deliberately overlapped. Groups come back in ascending slot order for
+// deterministic violation output.
+func acceptsBySlot(accepts []protocol.TraceEvent) [][]protocol.TraceEvent {
+	bySlot := make(map[int][]protocol.TraceEvent)
+	for _, ev := range accepts {
+		bySlot[protocol.SlotOf(ev.M)] = append(bySlot[protocol.SlotOf(ev.M)], ev)
+	}
+	out := make([][]protocol.TraceEvent, 0, len(bySlot))
+	for _, slot := range sortedSlots(bySlot) {
+		out = append(out, bySlot[slot])
+	}
+	return out
+}
+
 // IARelay checks IA-3: given any correct I-accept within Δagr of its
 // anchor, every correct node I-accepts within 2d of it with anchors within
 // 6d (3A), and rt(τG) ≤ rt(τq) with rt(τq) − rt(τG) ≤ Δagr + 8d (3C).
+// Concurrent sessions (footnote 9) are independent invocations, so the
+// relay obligation is checked per session slot.
 func IARelay(res *sim.Result, g protocol.NodeID) []Violation {
 	var out []Violation
+	for _, group := range acceptsBySlot(res.IAccepts(g)) {
+		out = append(out, iaRelaySession(res, group)...)
+	}
+	return out
+}
+
+func iaRelaySession(res *sim.Result, accepts []protocol.TraceEvent) []Violation {
+	var out []Violation
 	pp := res.Scenario.Params
-	accepts := res.IAccepts(g)
 	if len(accepts) == 0 {
 		return nil
 	}
@@ -123,11 +150,22 @@ func IAUnforgeability(res *sim.Result, g protocol.NodeID) []Violation {
 //
 //	4A — different values: anchors > 4d apart;
 //	4B — same value: anchors ≤ 6d apart or > 2Δrmv − 3d apart.
+//
+// The pair bounds quantify over one concurrent invocation: sessions in
+// different footnote-9 slots are distinct agreements whose values may
+// legally anchor arbitrarily close, so pairs are formed within a slot only.
 func IAUniqueness(res *sim.Result, g protocol.NodeID) []Violation {
 	var out []Violation
 	pp := res.Scenario.Params
-	accepts := res.IAccepts(g)
 	d := simtime.Real(pp.D)
+	for _, accepts := range acceptsBySlot(res.IAccepts(g)) {
+		out = append(out, iaUniquenessSession(pp, d, accepts)...)
+	}
+	return out
+}
+
+func iaUniquenessSession(pp protocol.Params, d simtime.Real, accepts []protocol.TraceEvent) []Violation {
+	var out []Violation
 	for i := 0; i < len(accepts); i++ {
 		for j := i + 1; j < len(accepts); j++ {
 			a, b := accepts[i], accepts[j]
@@ -150,15 +188,26 @@ func IAUniqueness(res *sim.Result, g protocol.NodeID) []Violation {
 
 // Separation checks Timeliness-4 over correct decisions across all
 // agreements for G (same bounds as IA-4 applied to decision anchors).
+// Like IA-4 it quantifies over one concurrent invocation, so decisions are
+// paired within a footnote-9 session slot only.
 func Separation(res *sim.Result, g protocol.NodeID) []Violation {
 	var out []Violation
-	pp := res.Scenario.Params
-	var decided []sim.Decision
+	bySlot := make(map[int][]sim.Decision)
 	for _, dec := range res.Decisions(g) {
 		if dec.Decided {
-			decided = append(decided, dec)
+			slot := protocol.SlotOf(dec.Value)
+			bySlot[slot] = append(bySlot[slot], dec)
 		}
 	}
+	for _, slot := range sortedSlots(bySlot) {
+		out = append(out, separationSession(res, bySlot[slot])...)
+	}
+	return out
+}
+
+func separationSession(res *sim.Result, decided []sim.Decision) []Violation {
+	var out []Violation
+	pp := res.Scenario.Params
 	d := simtime.Real(pp.D)
 	for i := 0; i < len(decided); i++ {
 		for j := i + 1; j < len(decided); j++ {

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -59,7 +60,7 @@ func s1CellN64(t *testing.T, name string) float64 {
 // machine of their PR, so the factor-two margin absorbs machine deltas
 // while still catching superlinear regressions.
 func TestBenchArtifactN64Guard(t *testing.T) {
-	chain := []string{"BENCH_PR3_quick.json", "BENCH_PR4_quick.json", "BENCH_PR5_quick.json"}
+	chain := []string{"BENCH_PR3_quick.json", "BENCH_PR4_quick.json", "BENCH_PR5_quick.json", "BENCH_PR6_quick.json"}
 	for i := 1; i < len(chain); i++ {
 		prev, cur := s1CellN64(t, chain[i-1]), s1CellN64(t, chain[i])
 		if cur > 2*prev {
@@ -116,4 +117,43 @@ func TestBenchArtifactCoversL1(t *testing.T) {
 		return
 	}
 	t.Fatal("BENCH_PR5_quick.json has no L1 result")
+}
+
+// TestBenchArtifactCoversS3 pins the newest committed artifact to the
+// service generation's shape: an S3 result with the per-concurrency
+// sweep costed for every point of ServiceConcurrency().
+func TestBenchArtifactCoversS3(t *testing.T) {
+	a := loadArtifact(t, "BENCH_PR6_quick.json")
+	for _, r := range a.Results {
+		if r.ID != "S3" {
+			continue
+		}
+		for _, c := range ServiceConcurrency() {
+			key := fmt.Sprintf("c%d", c)
+			if v, ok := r.CellWallMS[key]; !ok || v <= 0 {
+				t.Errorf("BENCH_PR6_quick.json S3 cell_wall_ms[%q] = %v, want > 0", key, v)
+			}
+		}
+		return
+	}
+	t.Fatal("BENCH_PR6_quick.json has no S3 result")
+}
+
+// TestBenchArtifactCoversL2 pins the live service spot-check: an L2
+// result with both session-concurrency cells costed (`ssbyz-bench
+// -quick -live -json` appends L2 after L1; wall-clock, DESIGN.md §8).
+func TestBenchArtifactCoversL2(t *testing.T) {
+	a := loadArtifact(t, "BENCH_PR6_quick.json")
+	for _, r := range a.Results {
+		if r.ID != "L2" {
+			continue
+		}
+		for _, key := range []string{"svc/udp/4/c1", "svc/udp/4/c8"} {
+			if v, ok := r.CellWallMS[key]; !ok || v <= 0 {
+				t.Errorf("BENCH_PR6_quick.json L2 cell_wall_ms[%q] = %v, want > 0", key, v)
+			}
+		}
+		return
+	}
+	t.Fatal("BENCH_PR6_quick.json has no L2 result")
 }

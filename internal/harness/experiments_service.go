@@ -1,0 +1,295 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"ssbyz/internal/metrics"
+	"ssbyz/internal/nettrans"
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/service"
+	"ssbyz/internal/sim"
+	"ssbyz/internal/simtime"
+)
+
+// Experiment S3 "Service throughput vs session concurrency": the
+// replicated-log facade under an open-loop Poisson client, sweeping the
+// footnote-9 concurrent-invocation slot count. The paper's IG1 admission
+// rule spaces successive invocations of one General by Δ0 = 13d PER
+// INVOCATION SLOT, so a single-session General sustains at most one
+// agreement per 13d no matter how fast clients arrive — the bounded
+// pending queue sheds the excess. Multiplexing C concurrent sessions
+// over the same nodes, msglogs, and timers lifts the sustained rate
+// toward C/Δ0 until the client's arrival rate itself saturates. S3
+// measures that curve: sustained agreements/sec, shed fraction, and
+// commit-latency percentiles at C ∈ {1, 4, 16, 64}, with the full
+// per-session property battery on every cell.
+//
+// Like the rest of the deterministic suite the numbers are virtual-time
+// (1 tick = 1 ms, so the default d = 1000 ticks reads as one second);
+// wall-clock cost goes to cell_wall_ms. Experiment L2 below spot-checks
+// the same service against real loopback sockets.
+
+// ServiceConcurrency is the S3 session-count sweep. It is not shrunk in
+// quick mode — the concurrency curve is the point — only the entry and
+// seed counts shrink.
+func ServiceConcurrency() []int { return []int{1, 4, 16, 64} }
+
+// svcMeanGap is the open-loop client's mean inter-arrival gap: d/6, an
+// offered load of ~78 agreements per Δ0 — far past what one session can
+// admit (1 per Δ0), and just above what 64 sessions can drain, so every
+// sweep point is saturated and "agreements/sec" reads as SUSTAINED
+// throughput, not arrival echo.
+func svcMeanGap(pp protocol.Params) simtime.Duration { return pp.D / 6 }
+
+// svcCell is one (concurrency, seed) service run.
+type svcCell struct {
+	proposed   int
+	committed  int
+	dropped    int
+	failed     int
+	lats       []float64 // commit − arrival per committed entry, ticks
+	makespan   float64   // first arrival → last commit, ticks
+	violations int
+	errs       []string
+	wallMS     float64
+}
+
+// runServiceCell pushes one open-loop workload of `entries` arrivals
+// through General 0 with the given concurrent-session count and the
+// service's default bounded queue (4·sessions).
+func runServiceCell(opt Options, sessions, entries, seed int) svcCell {
+	start := time.Now()
+	var c svcCell
+	pp := protocol.DefaultParams(16)
+	arrivals := service.PoissonArrivals(int64(1000*sessions+seed),
+		simtime.Real(2*pp.D), svcMeanGap(pp), entries)
+	res, err := service.RunSim(service.SimConfig{
+		Scenario: sim.Scenario{Params: pp, Seed: int64(7000*sessions + seed),
+			LegacyFanout: opt.LegacyFanout},
+		Sessions: sessions,
+		Loads:    []service.Workload{{G: 0, Arrivals: arrivals}},
+	})
+	if err != nil {
+		c.violations++
+		c.errs = append(c.errs, err.Error())
+		return c
+	}
+	st := res.Logs[0].Stats()
+	c.proposed, c.committed = st.Proposed, st.Committed
+	c.dropped, c.failed = st.Dropped, st.Failed
+	c.makespan = float64(st.MakespanTicks)
+	for _, l := range st.Latencies {
+		c.lats = append(c.lats, float64(l))
+	}
+	if c.failed > 0 {
+		c.errs = append(c.errs, fmt.Sprintf("%d entries failed (no decide within the reclaim extent)", c.failed))
+	}
+	vs := service.Battery(res.Res, res.Logs)
+	c.violations += len(vs)
+	for _, v := range vs {
+		c.errs = append(c.errs, v.String())
+	}
+	c.wallMS = float64(time.Since(start).Microseconds()) / 1000
+	return c
+}
+
+// ServiceThroughputTable runs the S3 sweep and returns the table, the
+// violation count, the mean per-seed wall clock per concurrency (JSON
+// cell_wall_ms), and the mean sustained agreements/sec per concurrency —
+// the series the throughput-floor gate checks. Everything in the table
+// is virtual-time deterministic.
+func ServiceThroughputTable(opt Options, concs []int) (*metrics.Table, int, map[string]float64, map[int]float64, []string) {
+	entries, seeds := 128, 3
+	if opt.Quick {
+		entries, seeds = 64, 2
+	}
+	t := metrics.NewTable(
+		fmt.Sprintf("replicated-log service, n=16, open-loop Poisson mean gap d/6, queue 4·C (%d arrivals, 1 tick = 1 ms)", entries),
+		"conc", "seeds", "proposed", "committed", "shed", "agr/sec", "×c1",
+		"p50 lat (d)", "p99 lat (d)")
+	cells := sweep(opt, concs, seeds, func(conc, seed int) svcCell {
+		return runServiceCell(opt, conc, entries, seed)
+	})
+	violations := 0
+	var errs []string
+	cellWall := make(map[string]float64, len(concs))
+	thr := make(map[int]float64, len(concs))
+	rows := make([][]any, 0, len(concs))
+	for i, conc := range concs {
+		pp := protocol.DefaultParams(16)
+		var lats []float64
+		var proposed, committed, dropped float64
+		var agrSec, wall float64
+		for _, c := range cells[i] {
+			violations += c.violations
+			for _, e := range c.errs {
+				errs = append(errs, fmt.Sprintf("c%d: %s", conc, e))
+			}
+			lats = append(lats, c.lats...)
+			proposed += float64(c.proposed)
+			committed += float64(c.committed)
+			dropped += float64(c.dropped)
+			if c.makespan > 0 {
+				// 1 tick = 1 ms ⇒ ticks/1000 = seconds.
+				agrSec += float64(c.committed) / (c.makespan / 1000)
+			}
+			wall += c.wallMS
+		}
+		sN := float64(seeds)
+		thr[conc] = agrSec / sN
+		s := metrics.Summarize(lats)
+		rows = append(rows, []any{conc, seeds, proposed / sN, committed / sN,
+			dropped / sN, fmt.Sprintf("%.3f", thr[conc]),
+			fmt.Sprintf("%.1f", thr[conc]/thr[concs[0]]),
+			fmt.Sprintf("%.1f", dF(s.P50, pp)), fmt.Sprintf("%.1f", dF(s.P99, pp))})
+		cellWall[fmt.Sprintf("c%d", conc)] = wall / sN
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
+	}
+	return t, violations, cellWall, thr, errs
+}
+
+// S3Service is the session-concurrency throughput experiment.
+func S3Service(opt Options) *Result {
+	r := &Result{ID: "S3", Title: "Service throughput vs session concurrency"}
+	t, violations, cellWall, thr, errs := ServiceThroughputTable(opt, ServiceConcurrency())
+	r.Violations += violations
+	r.Tables = append(r.Tables, t)
+	r.CellWallMS = cellWall
+	r.Notes = append(r.Notes, errs...)
+	r.Notes = append(r.Notes,
+		"IG1 spaces invocations by Δ0 = 13d per slot, so one session sustains ≈1/13 agreements per d-second while the bounded queue sheds the open-loop excess; C sessions scale toward C/Δ0",
+		fmt.Sprintf("sustained throughput at concurrency 16 is ×%.1f the single-session rate (the PR gate requires ≥4×)", thr[16]/thr[1]),
+		"p50/p99 are commit−arrival (queue wait included): saturation at low concurrency shows up as latency, exactly the open-loop story",
+		"every cell runs the full per-session property battery (Agreement, Timeliness, IA/TPS bounds, per-entry Validity) — violations must be zero",
+	)
+	return r
+}
+
+// ---- L2: the service against real loopback sockets ----
+
+// L2 spot-checks the replicated-log service where S3's virtual-time
+// claims must survive contact with the kernel: an in-process loopback
+// UDP cluster (wire codec, source-address authentication, deadline
+// drops), the same pump polling on wall-clock. Like L1 its numbers are
+// wall-clock and vary with the host, so it is NOT in All(); ssbyz-bench
+// -live appends it after L1. The deterministic acceptance is the
+// verdict: every entry commits and the per-session battery is clean.
+
+// l2Cell is one live service run.
+type l2Cell struct {
+	committed  int
+	agrSec     float64 // committed per wall-second of drain
+	p50MS      float64
+	violations int
+	errs       []string
+	wallMS     float64
+	timedOut   bool
+}
+
+func runL2Cell(sessions, entries, seed int) l2Cell {
+	start := time.Now()
+	var c l2Cell
+	pp := protocol.DefaultParams(4)
+	pp.D = liveD
+	arrivals := service.PoissonArrivals(int64(100*sessions+seed),
+		simtime.Real(2*pp.D), pp.D/2, entries)
+	res, err := service.RunLive(service.LiveConfig{
+		Params:     pp,
+		Tick:       liveTick,
+		Transport:  nettrans.TransportUDP,
+		Sessions:   sessions,
+		QueueLimit: entries, // spot-check drains everything; S3 owns shedding
+	}, []service.Workload{{G: 0, Arrivals: arrivals}}, 60*time.Second)
+	drainS := time.Since(start).Seconds()
+	if err != nil {
+		c.timedOut = true
+		c.violations++
+		c.errs = append(c.errs, err.Error())
+		c.wallMS = float64(time.Since(start).Microseconds()) / 1000
+		return c
+	}
+	st := res.Logs[0].Stats()
+	c.committed = st.Committed
+	if st.Committed != entries || st.Failed > 0 || st.Dropped > 0 {
+		c.violations++
+		c.errs = append(c.errs, fmt.Sprintf(
+			"live log incomplete: committed=%d failed=%d dropped=%d of %d",
+			st.Committed, st.Failed, st.Dropped, entries))
+	}
+	if drainS > 0 {
+		c.agrSec = float64(st.Committed) / drainS
+	}
+	tickMS := float64(liveTick.Microseconds()) / 1000
+	var lats []float64
+	for _, l := range st.Latencies {
+		lats = append(lats, float64(l))
+	}
+	c.p50MS = metrics.Summarize(lats).P50 * tickMS
+	vs := service.Battery(res.Res, res.Logs)
+	c.violations += len(vs)
+	for _, v := range vs {
+		c.errs = append(c.errs, v.String())
+	}
+	c.wallMS = float64(time.Since(start).Microseconds()) / 1000
+	return c
+}
+
+// L2LiveService is the live service spot-check. Cells run sequentially
+// for the same reason L1's do: overlapping clusters would contend for
+// the host. Cells that time out (host starvation, not protocol failure)
+// are retried a bounded number of times, L1-style.
+func L2LiveService(opt Options) *Result {
+	r := &Result{ID: "L2", Title: "Live service: replicated log over loopback sockets"}
+	seeds, entries := 2, 6
+	if !opt.Quick {
+		seeds, entries = 3, 12
+	}
+	t := metrics.NewTable(
+		fmt.Sprintf("replicated-log service over UDP loopback (n=4, d = %d ticks × %v, %d entries)",
+			liveD, liveTick, entries),
+		"transport", "sessions", "seeds", "committed", "agr/sec", "p50 lat ms", "violations")
+	cellWall := make(map[string]float64)
+	retries := 0
+	for _, sessions := range []int{1, 8} {
+		var committed float64
+		var agrSec, p50, wall float64
+		violations := 0
+		for seed := 0; seed < seeds; seed++ {
+			var c l2Cell
+			for attempt := 0; ; attempt++ {
+				c = runL2Cell(sessions, entries, seed)
+				if !c.timedOut || attempt >= 2 {
+					break
+				}
+				retries++
+			}
+			committed += float64(c.committed)
+			agrSec += c.agrSec
+			p50 += c.p50MS
+			wall += c.wallMS
+			violations += c.violations
+			for _, e := range c.errs {
+				r.Notes = append(r.Notes, fmt.Sprintf("sessions=%d: %s", sessions, e))
+			}
+		}
+		sN := float64(seeds)
+		t.AddRow("udp", sessions, seeds, committed/sN,
+			fmt.Sprintf("%.1f", agrSec/sN), fmt.Sprintf("%.2f", p50/sN), violations)
+		r.Violations += violations
+		cellWall[fmt.Sprintf("svc/udp/4/c%d", sessions)] = wall / sN
+	}
+	r.Tables = append(r.Tables, t)
+	r.CellWallMS = cellWall
+	if retries > 0 {
+		r.Notes = append(r.Notes, fmt.Sprintf(
+			"%d cell(s) were rerun after a drain timeout (host contention); persistent failures are reported", retries))
+	}
+	r.Notes = append(r.Notes,
+		"the same pump as S3 against real sockets: every initiation crosses the wire codec, commits are harvested from the live trace, and the per-session battery must stay clean",
+		"agr/sec here is wall-clock (host-dependent); the deterministic acceptance is full commitment and zero violations",
+	)
+	return r
+}

@@ -163,6 +163,7 @@ func All() []Experiment {
 		{"A1", "Block R window ablation", "why the repo uses 5d where Fig. 1 says 4d (DESIGN.md §3)", A1BlockRWindow},
 		{"S1", "Scaling: agreement cost vs n", "new workload: the substrate sustains n = 64 committees (DESIGN.md §5)", S1Scaling},
 		{"S2", "Randomized adversarial campaign", "new workload: generated adversaries/conditions vs the full battery (DESIGN.md §6)", S2Campaign},
+		{"S3", "Service throughput vs session concurrency", "new workload: the replicated-log service scales with footnote-9 concurrent sessions (DESIGN.md §8)", S3Service},
 	}
 }
 

@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestServiceThroughputFloor is the PR's acceptance gate on experiment
+// S3: multiplexing 16 concurrent sessions must sustain at least 4× the
+// single-session agreement rate (IG1's Δ0 per-slot admission bound
+// predicts ~16×; 4× leaves margin for queue-shed edge effects), with
+// zero property violations across the whole sweep.
+func TestServiceThroughputFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("S3 quick sweep exceeds -short budget")
+	}
+	_, violations, _, thr, errs := ServiceThroughputTable(Options{Quick: true}, ServiceConcurrency())
+	for _, e := range errs {
+		t.Errorf("cell error: %s", e)
+	}
+	if violations != 0 {
+		t.Fatalf("S3 sweep produced %d property violations", violations)
+	}
+	if thr[1] <= 0 {
+		t.Fatalf("single-session throughput %.4f not positive", thr[1])
+	}
+	if ratio := thr[16] / thr[1]; ratio < 4 {
+		t.Fatalf("concurrency 16 sustains only ×%.2f the single-session rate, want ≥4×", ratio)
+	}
+}
+
+// TestServiceDeterministicAcrossWorkers pins the suite contract for S3:
+// the rendered experiment (tables, notes, violation count) is
+// byte-identical whether its cells run sequentially or on 8 workers —
+// every cell is a sealed simulator world, and aggregation happens in
+// presentation order after the barrier.
+func TestServiceDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("S3 quick sweep exceeds -short budget")
+	}
+	render := func(workers int) string {
+		r := S3Service(Options{Quick: true, Workers: workers})
+		var buf bytes.Buffer
+		if _, err := r.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Fatalf("S3 report differs across worker counts:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", seq, par)
+	}
+}
+
+// TestL2LiveServiceQuick runs the live service spot-check (quick: 2
+// seeds, 6 entries, sessions 1 and 8) against real loopback sockets.
+// Wall-clock numbers vary; the acceptance is the verdict — every entry
+// committed, zero violations, both cells costed for the BENCH artifact.
+func TestL2LiveServiceQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("brings up real socket clusters; skipped in -short")
+	}
+	res := L2LiveService(Options{Quick: true})
+	if res.Violations != 0 {
+		var buf bytes.Buffer
+		_, _ = res.WriteTo(&buf)
+		t.Fatalf("L2 found %d violations:\n%s", res.Violations, buf.String())
+	}
+	if len(res.Tables) != 1 || len(res.Tables[0].Rows) != 2 {
+		t.Fatalf("L2 table shape wrong: %+v", res.Tables)
+	}
+	for _, key := range []string{"svc/udp/4/c1", "svc/udp/4/c8"} {
+		if v, ok := res.CellWallMS[key]; !ok || v <= 0 {
+			t.Errorf("CellWallMS[%q] = %v, want > 0", key, v)
+		}
+	}
+}

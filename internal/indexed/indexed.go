@@ -118,26 +118,16 @@ func (n *Node) OnTimer(tag protocol.TimerTag) {
 	n.slots[slot].OnTimer(tag)
 }
 
-// SlotValue namespaces v for a slot.
+// SlotValue namespaces v for a slot. It is protocol.SlotValue, kept as an
+// alias for this package's historical callers.
 func SlotValue(slot int, v protocol.Value) protocol.Value {
-	return protocol.Value("s" + strconv.Itoa(slot) + "|" + string(v))
+	return protocol.SlotValue(slot, v)
 }
 
-// ParseSlotValue splits a namespaced value.
+// ParseSlotValue splits a namespaced value (alias of
+// protocol.ParseSlotValue).
 func ParseSlotValue(v protocol.Value) (slot int, inner protocol.Value, ok bool) {
-	s := string(v)
-	if !strings.HasPrefix(s, "s") {
-		return 0, v, false
-	}
-	bar := strings.IndexByte(s, '|')
-	if bar < 2 {
-		return 0, v, false
-	}
-	slot, err := strconv.Atoi(s[1:bar])
-	if err != nil {
-		return 0, v, false
-	}
-	return slot, protocol.Value(s[bar+1:]), true
+	return protocol.ParseSlotValue(v)
 }
 
 // makeTag / parseTag namespace timer-tag names per slot.

@@ -40,6 +40,11 @@ type ClusterConfig struct {
 	// crash-faulty slot (its address exists, nothing reads it). IDs not
 	// present run correct nodes.
 	Faulty map[protocol.NodeID]protocol.Node
+	// NewNode builds each correct node's state machine (default
+	// core.NewNode). The service layer installs the indexed (footnote-9)
+	// factory here to multiplex concurrent agreement sessions over the
+	// same sockets.
+	NewNode func() protocol.Node
 	// Conditions is the live chaos schedule shared by every node.
 	Conditions []simnet.Condition
 }
@@ -94,7 +99,11 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			continue
 		}
 		if !isFaulty {
-			machine = core.NewNode()
+			if cfg.NewNode != nil {
+				machine = cfg.NewNode()
+			} else {
+				machine = core.NewNode()
+			}
 			c.correct = append(c.correct, id)
 		}
 		nn, err := StartWith(NodeConfig{
@@ -125,6 +134,11 @@ func (c *Cluster) Tick() time.Duration { return c.cfg.Tick }
 
 // Recorder returns the shared trace recorder.
 func (c *Cluster) Recorder() *protocol.Recorder { return c.rec }
+
+// Correct lists the ids running correct state machines, ascending.
+func (c *Cluster) Correct() []protocol.NodeID {
+	return append([]protocol.NodeID(nil), c.correct...)
+}
 
 // NowTicks returns ticks since the cluster epoch.
 func (c *Cluster) NowTicks() simtime.Real {
@@ -185,31 +199,59 @@ func (c *Cluster) Stats() Stats {
 // previous agreement's initiation. Errors reflect the sending-validity
 // refusals (IG1–IG3), a stopped cluster, or the timeout.
 func (c *Cluster) Initiate(g protocol.NodeID, v protocol.Value, timeout time.Duration) (simtime.Real, error) {
-	before := c.countInitiates(g, v)
-	errCh := make(chan error, 1)
+	t0, _, err := c.InitiateIn(g, 0, v, timeout)
+	return t0, err
+}
+
+// InitiateIn is Initiate for a concurrent-invocation slot (footnote 9):
+// node g starts agreement on v in the given slot and the returned wire
+// value carries the slot namespace the agreement runs under ("s<slot>|v"
+// on indexed nodes, v itself on single-session nodes, which only accept
+// slot 0). t0 is the traced initiation instant, as for Initiate.
+func (c *Cluster) InitiateIn(g protocol.NodeID, slot int, v protocol.Value,
+	timeout time.Duration) (simtime.Real, protocol.Value, error) {
+	type accepted struct {
+		wire   protocol.Value
+		before int
+		err    error
+	}
+	ch := make(chan accepted, 1)
 	c.DoWait(g, func(n protocol.Node) {
-		cn, ok := n.(*core.Node)
-		if !ok {
-			errCh <- fmt.Errorf("nettrans: node %d cannot initiate agreements", g)
-			return
+		switch m := n.(type) {
+		case sim.SlotInitiator:
+			wire := protocol.SlotValue(slot, v)
+			// Count inside the event loop, before the initiation records
+			// its trace event, so a legal re-initiation of the same value
+			// (Δv apart) cannot match the previous agreement's event.
+			before := c.countInitiates(g, wire)
+			ch <- accepted{wire, before, m.InitiateAgreement(slot, v)}
+		case sim.Initiator:
+			if slot != 0 {
+				ch <- accepted{err: fmt.Errorf("nettrans: node %d has no concurrent slots", g)}
+				return
+			}
+			before := c.countInitiates(g, v)
+			ch <- accepted{v, before, m.InitiateAgreement(v)}
+		default:
+			ch <- accepted{err: fmt.Errorf("nettrans: node %d cannot initiate agreements", g)}
 		}
-		errCh <- cn.InitiateAgreement(v)
 	})
+	var acc accepted
 	select {
-	case err := <-errCh:
-		if err != nil {
-			return 0, err
+	case acc = <-ch:
+		if acc.err != nil {
+			return 0, acc.wire, acc.err
 		}
 	default:
-		return 0, fmt.Errorf("nettrans: cluster stopped")
+		return 0, "", fmt.Errorf("nettrans: cluster stopped")
 	}
 	deadline := time.Now().Add(timeout)
 	for {
-		if evs := c.initiates(g, v); len(evs) > before {
-			return evs[len(evs)-1].RT, nil
+		if evs := c.initiates(g, acc.wire); len(evs) > acc.before {
+			return evs[len(evs)-1].RT, acc.wire, nil
 		}
 		if time.Now().After(deadline) {
-			return 0, fmt.Errorf("nettrans: initiation of %q by node %d was accepted but never traced", v, g)
+			return 0, acc.wire, fmt.Errorf("nettrans: initiation of %q by node %d was accepted but never traced", acc.wire, g)
 		}
 		time.Sleep(time.Millisecond)
 	}

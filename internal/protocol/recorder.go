@@ -144,6 +144,28 @@ func (r *Recorder) ForEachKind(fn func(TraceEvent), kinds ...EventKind) {
 	}
 }
 
+// ForEachKindFrom calls fn for every kind-event recorded at cursor
+// position start or later (positions count events of that kind only, in
+// arrival order) and returns the new cursor. It lets a live consumer — the
+// service pump watching for decide returns — drain a kind incrementally
+// without re-copying the prefix it has already seen.
+func (r *Recorder) ForEachKindFrom(kind EventKind, start int, fn func(TraceEvent)) int {
+	r.lock()
+	defer r.unlock()
+	k := int(kind)
+	if k < 0 || k > maxEventKind {
+		return start
+	}
+	idx := r.byKind[k]
+	if start < 0 {
+		start = 0
+	}
+	for _, pos := range idx[min(start, len(idx)):] {
+		fn(r.events[pos])
+	}
+	return len(idx)
+}
+
 // KindLen returns how many events of one kind are recorded, without
 // copying anything.
 func (r *Recorder) KindLen(kind EventKind) int {

@@ -1,0 +1,52 @@
+package protocol
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Session-namespaced values implement the paper's footnote-9 extension
+// ("one can expand the protocol to a number of concurrent invocations by
+// using an index to differentiate among the concurrent invocations"): the
+// wire value of concurrent session k is "s<k>|<inner>", so no message-log
+// window of one session can ever count messages of another, and the
+// property checkers can scope the per-session bounds (Agreement,
+// Timeliness-1, IA-4, Timeliness-4) to one concurrent invocation.
+//
+// These helpers used to live in internal/indexed; they moved here when the
+// session-multiplexed engine made the namespace part of the shared
+// protocol vocabulary (the checkers and the service layer both parse it).
+
+// SlotValue namespaces v for concurrent session slot.
+func SlotValue(slot int, v Value) Value {
+	return Value("s" + strconv.Itoa(slot) + "|" + string(v))
+}
+
+// ParseSlotValue splits a session-namespaced value. Values that carry no
+// namespace (the single-session protocol of Fig. 1) return ok=false with
+// the value unchanged.
+func ParseSlotValue(v Value) (slot int, inner Value, ok bool) {
+	s := string(v)
+	if !strings.HasPrefix(s, "s") {
+		return 0, v, false
+	}
+	bar := strings.IndexByte(s, '|')
+	if bar < 2 {
+		return 0, v, false
+	}
+	slot, err := strconv.Atoi(s[1:bar])
+	if err != nil {
+		return 0, v, false
+	}
+	return slot, Value(s[bar+1:]), true
+}
+
+// SlotOf returns the session slot a value is namespaced for, or -1 for
+// un-namespaced (single-session) values — the grouping key the per-session
+// checkers split concurrent invocations by (footnote-9).
+func SlotOf(v Value) int {
+	if slot, _, ok := ParseSlotValue(v); ok {
+		return slot
+	}
+	return -1
+}

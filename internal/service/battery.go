@@ -1,0 +1,48 @@
+package service
+
+import (
+	"fmt"
+
+	"ssbyz/internal/check"
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/sim"
+	"ssbyz/internal/simtime"
+)
+
+// Battery runs the full per-session property battery over a finished
+// service run: check.All for every General that carried a log (its
+// checkers split concurrent invocations by the footnote-9 slot
+// namespace), plus per-committed-entry Validity/Timeliness-2 anchored at
+// the entry's traced initiation instant t0. A committed entry whose
+// initiation never reached the trace is itself a violation — commit
+// without initiation would be forged agreement.
+func Battery(res *sim.Result, logs []*LogResult) []check.Violation {
+	var out []check.Violation
+	for _, lr := range logs {
+		out = append(out, check.All(res, lr.G)...)
+		t0s := initiationInstants(res, lr.G)
+		for _, e := range lr.Committed {
+			t0, ok := t0s[e.Wire]
+			if !ok {
+				out = append(out, check.Violation{Property: "Validity",
+					Detail: fmt.Sprintf("entry %d of General %d committed %q without a traced initiation", e.Index, lr.G, e.Wire)})
+				continue
+			}
+			out = append(out, check.ValidityFor(res, lr.G, t0, e.Wire)...)
+		}
+	}
+	return out
+}
+
+// initiationInstants maps each wire value General g initiated to its
+// first traced initiation instant (service wire values are unique per
+// entry, so first is only).
+func initiationInstants(res *sim.Result, g protocol.NodeID) map[protocol.Value]simtime.Real {
+	out := make(map[protocol.Value]simtime.Real)
+	for _, ev := range res.Initiations(g) {
+		if _, ok := out[ev.M]; !ok {
+			out[ev.M] = ev.RT
+		}
+	}
+	return out
+}

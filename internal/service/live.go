@@ -1,0 +1,106 @@
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"ssbyz/internal/indexed"
+	"ssbyz/internal/nettrans"
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/sim"
+	"ssbyz/internal/simnet"
+	"ssbyz/internal/simtime"
+)
+
+// LiveConfig runs the service against an in-process loopback socket
+// cluster: the same pump as the simulator, but time is wall-clock ticks
+// and initiations ride the kernel's network stack.
+type LiveConfig struct {
+	Params     protocol.Params
+	Tick       time.Duration // wall-clock tick length (default 100µs)
+	Transport  string        // nettrans.TransportUDP (default) or TCP
+	Sessions   int           // concurrent slots per General (footnote 9)
+	QueueLimit int           // bounded pending buffer (default 4·Sessions)
+	Faulty     map[protocol.NodeID]protocol.Node
+	Conditions []simnet.Condition
+}
+
+// LiveResult is a finished live service run.
+type LiveResult struct {
+	Res   *sim.Result
+	Logs  []*LogResult
+	Stats nettrans.Stats
+}
+
+// liveBackend adapts the socket cluster to the pump. Initiations are
+// synchronous (DoWait into the General's event loop) with a short trace
+// deadline; IG refusals pass through for the pump's retry logic.
+type liveBackend struct {
+	c *nettrans.Cluster
+}
+
+func (b *liveBackend) Initiate(g protocol.NodeID, slot int, v protocol.Value) (protocol.Value, error) {
+	_, wire, err := b.c.InitiateIn(g, slot, v, 2*time.Second)
+	return wire, err
+}
+
+// RunLive executes the workload against a loopback cluster, polling the
+// pump on wall-clock until it drains or the timeout passes. Arrival
+// instants in the loads are in ticks of cfg.Tick, like every protocol
+// constant. The trace comes back in sim.Result form for the battery.
+func RunLive(cfg LiveConfig, loads []Workload, timeout time.Duration) (*LiveResult, error) {
+	sessions := cfg.Sessions
+	if sessions < 1 {
+		sessions = 1
+	}
+	if err := validateLoads(cfg.Params, cfg.Faulty, loads); err != nil {
+		return nil, err
+	}
+	ccfg := nettrans.ClusterConfig{
+		Params:     cfg.Params,
+		Tick:       cfg.Tick,
+		Transport:  cfg.Transport,
+		Faulty:     cfg.Faulty,
+		Conditions: cfg.Conditions,
+	}
+	if sessions > 1 {
+		ccfg.NewNode = func() protocol.Node { return indexed.NewNode(sessions) }
+	}
+	c, err := nettrans.NewCluster(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Stop()
+
+	pump := NewPump(PumpConfig{
+		Params:     cfg.Params,
+		Backend:    &liveBackend{c: c},
+		Recorder:   c.Recorder(),
+		Sessions:   sessions,
+		QueueLimit: cfg.QueueLimit,
+		Loads:      loads,
+	})
+	// Poll at quarter-d wall-clock granularity, the same cadence the sim
+	// driver uses in virtual time.
+	poll := c.Tick() * time.Duration(cfg.Params.D) / 4
+	if poll <= 0 {
+		poll = time.Millisecond
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		pump.Step(c.NowTicks())
+		if pump.Idle() {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("service: live workload did not drain within %v", timeout)
+		}
+		time.Sleep(poll)
+	}
+	// Let the last decide returns settle at every correct node before the
+	// trace is frozen (the General's own return leads peers by ≤ 2d).
+	time.Sleep(2 * time.Duration(cfg.Params.D) * c.Tick())
+	horizon := simtime.Duration(c.NowTicks())
+	res := c.Result(horizon)
+	return &LiveResult{Res: res, Logs: pump.Results(), Stats: c.Stats()}, nil
+}

@@ -1,0 +1,226 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/sim"
+	"ssbyz/internal/simtime"
+)
+
+// TestPoissonArrivalsDeterministic pins the generator: same seed, same
+// schedule; sorted; mean gap in the right ballpark.
+func TestPoissonArrivalsDeterministic(t *testing.T) {
+	a := PoissonArrivals(7, 1000, 500, 200)
+	b := PoissonArrivals(7, 1000, 500, 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs across identical seeds: %d vs %d", i, a[i], b[i])
+		}
+		if i > 0 && a[i] < a[i-1] {
+			t.Fatalf("arrivals not sorted at %d", i)
+		}
+	}
+	mean := float64(a[len(a)-1]-1000) / float64(len(a))
+	if mean < 250 || mean > 1000 {
+		t.Fatalf("empirical mean gap %.0f implausible for mean 500", mean)
+	}
+}
+
+// TestSingleSessionLogCommits runs a small open-loop workload through the
+// plain (sessions=1) protocol: every entry commits, the battery is clean,
+// and the committed order is the arrival order (one slot is strictly
+// sequential).
+func TestSingleSessionLogCommits(t *testing.T) {
+	pp := protocol.DefaultParams(7)
+	arrivals := PoissonArrivals(3, simtime.Real(pp.D), 2*pp.Delta0(), 4)
+	res, err := RunSim(SimConfig{
+		Scenario: sim.Scenario{Params: pp, Seed: 11},
+		Sessions: 1,
+		Loads:    []Workload{{G: 0, Arrivals: arrivals}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Logs) != 1 {
+		t.Fatalf("logs = %d, want 1", len(res.Logs))
+	}
+	lr := res.Logs[0]
+	if len(lr.Committed) != len(arrivals) || lr.Dropped != 0 || lr.Failed != 0 {
+		t.Fatalf("committed=%d dropped=%d failed=%d, want %d/0/0",
+			len(lr.Committed), lr.Dropped, lr.Failed, len(arrivals))
+	}
+	for i, e := range lr.Committed {
+		if e.Index != i {
+			t.Fatalf("single-slot log order %v not arrival order", entryIndices(lr))
+		}
+	}
+	if v := Battery(res.Res, res.Logs); len(v) != 0 {
+		t.Fatalf("battery violations: %v", v)
+	}
+}
+
+// TestConcurrentSessionsDrainFaster pins the tentpole claim: with C slots
+// a backlogged workload drains ~C× faster than through one slot, because
+// IG1's Δ0 rate limit applies per concurrent invocation (footnote 9).
+// Every entry still commits and the full battery stays clean per session.
+func TestConcurrentSessionsDrainFaster(t *testing.T) {
+	pp := protocol.DefaultParams(7)
+	const entries = 12
+	arrivals := PoissonArrivals(5, simtime.Real(pp.D), simtime.Duration(pp.D), entries)
+
+	run := func(sessions int) Stats {
+		res, err := RunSim(SimConfig{
+			Scenario:   sim.Scenario{Params: pp, Seed: 11},
+			Sessions:   sessions,
+			QueueLimit: entries, // no shedding: this test is about drain rate
+			Loads:      []Workload{{G: 0, Arrivals: arrivals}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lr := res.Logs[0]
+		if len(lr.Committed) != entries || lr.Failed != 0 {
+			t.Fatalf("sessions=%d: committed=%d failed=%d, want %d/0",
+				sessions, len(lr.Committed), lr.Failed, entries)
+		}
+		if v := Battery(res.Res, res.Logs); len(v) != 0 {
+			t.Fatalf("sessions=%d battery violations (%d): %v", sessions, len(v), v[0])
+		}
+		return lr.Stats()
+	}
+
+	seq := run(1)
+	par := run(4)
+	if par.MakespanTicks*2 >= seq.MakespanTicks {
+		t.Fatalf("4 sessions makespan %d not ≥2× faster than 1 session's %d",
+			par.MakespanTicks, seq.MakespanTicks)
+	}
+}
+
+// TestQueueLimitSheds pins the open-loop contract: arrivals beyond the
+// bounded queue are dropped, never silently delayed.
+func TestQueueLimitSheds(t *testing.T) {
+	pp := protocol.DefaultParams(7)
+	// 8 arrivals in one burst through 1 slot with queue limit 2: the
+	// burst finds at most 1 in flight + 2 queued; the rest must shed.
+	arrivals := make([]simtime.Real, 8)
+	for i := range arrivals {
+		arrivals[i] = simtime.Real(pp.D) + simtime.Real(i)
+	}
+	res, err := RunSim(SimConfig{
+		Scenario:   sim.Scenario{Params: pp, Seed: 2},
+		Sessions:   1,
+		QueueLimit: 2,
+		Loads:      []Workload{{G: 0, Arrivals: arrivals}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := res.Logs[0]
+	if lr.Dropped == 0 {
+		t.Fatalf("burst of 8 through queue limit 2 shed nothing")
+	}
+	if len(lr.Committed)+lr.Dropped+lr.Failed != len(arrivals) {
+		t.Fatalf("entries unaccounted: committed=%d dropped=%d failed=%d of %d",
+			len(lr.Committed), lr.Dropped, lr.Failed, len(arrivals))
+	}
+	if v := Battery(res.Res, res.Logs); len(v) != 0 {
+		t.Fatalf("battery violations: %v", v)
+	}
+}
+
+// TestServiceTraceDeterministic runs the same concurrent-session workload
+// twice and requires byte-identical traces — the engine's scheduling
+// must be a pure function of the scenario.
+func TestServiceTraceDeterministic(t *testing.T) {
+	pp := protocol.DefaultParams(7)
+	arrivals := PoissonArrivals(9, simtime.Real(pp.D), simtime.Duration(pp.D), 10)
+	cfg := SimConfig{
+		Scenario: sim.Scenario{Params: pp, Seed: 4},
+		Sessions: 4,
+		Loads:    []Workload{{G: 0, Arrivals: arrivals}, {G: 1, Arrivals: arrivals}},
+	}
+	a, err := RunSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := a.Res.Rec.Events(), b.Res.Rec.Events()
+	if len(ea) != len(eb) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("trace diverges at event %d: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+}
+
+// TestWorkloadValidation pins the service's input contract.
+func TestWorkloadValidation(t *testing.T) {
+	pp := protocol.DefaultParams(7)
+	bad := []SimConfig{
+		{Scenario: sim.Scenario{Params: pp}, Loads: []Workload{{G: 99}}},
+		{Scenario: sim.Scenario{Params: pp}, Loads: []Workload{{G: 0}, {G: 0}}},
+		{Scenario: sim.Scenario{Params: pp, Faulty: map[protocol.NodeID]protocol.Node{2: nil}},
+			Loads: []Workload{{G: 2}}},
+		{Scenario: sim.Scenario{Params: pp},
+			Loads: []Workload{{G: 0, Arrivals: []simtime.Real{100, 50}}}},
+	}
+	for i, cfg := range bad {
+		if _, err := RunSim(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func entryIndices(lr *LogResult) []string {
+	out := make([]string, len(lr.Committed))
+	for i, e := range lr.Committed {
+		out[i] = fmt.Sprint(e.Index)
+	}
+	return out
+}
+
+// TestDifferentialSingleSessionUnchanged is the compatibility proof for
+// the service layer: a sessions=1 service run whose single arrival lands
+// exactly on a pump poll instant produces a trace byte-identical to the
+// pre-service scripted simulation initiating at the same virtual time.
+// The pump only reads the recorder and calls the same InitiateAgreement
+// the scripted path calls, so the protocol's behavior — every message,
+// timer, and decision — is untouched by the service machinery.
+func TestDifferentialSingleSessionUnchanged(t *testing.T) {
+	pp := protocol.DefaultParams(7)
+	at := simtime.Real(4 * (pp.D / 4)) // on the poll grid (poll = D/4)
+
+	svc, err := RunSim(SimConfig{
+		Scenario: sim.Scenario{Params: pp, Seed: 7, RunFor: 3 * pp.DeltaAgr()},
+		Sessions: 1,
+		Loads: []Workload{{G: 0, Arrivals: []simtime.Real{at},
+			Payload: func(i int) protocol.Value { return "launch" }}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := sim.Run(sim.Scenario{
+		Params: pp, Seed: 7, RunFor: 3 * pp.DeltaAgr(),
+		Initiations: []sim.Initiation{{At: at, G: 0, Value: "0#launch"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := svc.Res.Rec.Events(), legacy.Rec.Events()
+	if len(a) != len(b) {
+		t.Fatalf("service trace has %d events, scripted trace %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at event %d:\n service: %+v\nscripted: %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -51,6 +51,12 @@ type Scenario struct {
 	// Corrupt, when non-nil, runs at virtual time 0 against the assembled
 	// world, before any protocol event (the transient-fault hook).
 	Corrupt func(w *simnet.World)
+	// Drive, when non-nil, runs after the world starts and before any
+	// scripted initiation is registered. It lets a dynamic driver — the
+	// replicated-log service pump reacting to decide returns — schedule
+	// its own virtual-time callbacks via w.Scheduler(), something the
+	// static Initiations list cannot express.
+	Drive func(w *simnet.World)
 	// RunFor is the virtual real time to simulate (default 3·Δagr).
 	RunFor simtime.Duration
 	// LegacyFanout forces the per-recipient broadcast delivery path (see
@@ -180,6 +186,9 @@ func Run(sc Scenario) (*Result, error) {
 		sc.Corrupt(w)
 	}
 	w.Start()
+	if sc.Drive != nil {
+		sc.Drive(w)
+	}
 
 	for i, init := range sc.Initiations {
 		if _, faulty := sc.Faulty[init.G]; faulty {

@@ -15,12 +15,26 @@
 //   - Live: a goroutine-per-node transport over in-process channels with
 //     wall-clock delays, for embedding the protocol in real services.
 //
-// Quickstart (simulation):
+// Both runtimes are driven through one service-oriented entry point, the
+// Engine: agreement sessions (individual invocations, concurrent per
+// footnote 9) and replicated logs (ordered client proposals, each
+// committed through one agreement) are opened as handles on it.
 //
-//	sim, _ := ssbyz.NewSimulation(ssbyz.Config{N: 7})
-//	sim.ScheduleAgreement(0, "launch", 2*sim.Params().D)
-//	report := sim.Run(0)
+// Quickstart (one agreement, simulated):
+//
+//	eng, _ := ssbyz.New(ssbyz.WithN(7))
+//	s, _ := eng.OpenSession(0)
+//	s.ProposeAt("launch", 2*eng.Params().D)
+//	report, _ := eng.Run(0)
 //	for _, d := range report.Decisions(0) { fmt.Println(d.Node, d.Value) }
+//
+// Quickstart (replicated log under Poisson client load):
+//
+//	eng, _ := ssbyz.New(ssbyz.WithN(7), ssbyz.WithSessions(4))
+//	log, _ := eng.Log(0)
+//	log.GenerateTraffic(ssbyz.Traffic{MeanGap: 4000, Count: 32})
+//	report, _ := eng.Run(0)
+//	for _, e := range report.Log(0).Committed() { fmt.Println(e.Index, e.Payload) }
 //
 // The deeper layers remain importable through this package's re-exported
 // types; the experiment suite reproducing the paper's results lives behind
@@ -28,7 +42,6 @@
 package ssbyz
 
 import (
-	"fmt"
 	"io"
 
 	"ssbyz/internal/check"
@@ -71,6 +84,10 @@ const Bottom = protocol.Bottom
 // at most F are Byzantine (n > 3f), message delays bounded by D (the
 // paper's d), and actual delays — the δ of the headline claim — drawn
 // from [DelayMin, DelayMax].
+//
+// Deprecated: Config is the pre-Engine configuration struct, kept for the
+// Simulation shim; new code passes the equivalent functional options
+// (WithN, WithF, WithD, WithSeed, WithDelayBounds) to New.
 type Config struct {
 	// N is the number of nodes. F defaults to ⌊(N−1)/3⌋ (optimal).
 	N int
@@ -86,22 +103,22 @@ type Config struct {
 	DelayMin, DelayMax Ticks
 }
 
-// params materializes the protocol constants.
-func (c Config) params() (protocol.Params, error) {
-	if c.N == 0 {
-		c.N = 7
+// options translates the legacy Config into Engine options.
+func (c Config) options() []Option {
+	opts := []Option{WithSeed(c.Seed)}
+	if c.N > 0 {
+		opts = append(opts, WithN(c.N))
 	}
-	pp := protocol.DefaultParams(c.N)
 	if c.F > 0 {
-		pp.F = c.F
+		opts = append(opts, WithF(c.F))
 	}
 	if c.D > 0 {
-		pp.D = c.D
+		opts = append(opts, WithD(c.D))
 	}
-	if err := pp.Validate(); err != nil {
-		return pp, err
+	if c.DelayMin > 0 || c.DelayMax > 0 {
+		opts = append(opts, WithDelayBounds(c.DelayMin, c.DelayMax))
 	}
-	return pp, nil
+	return opts
 }
 
 // Adversary scripts a Byzantine node. Construct values with the
@@ -118,42 +135,35 @@ type Decision = sim.Decision
 // bounded message delays, per-node drifting clocks, up to f Byzantine
 // nodes. Configure (faults, scheduled agreements, transient corruption),
 // then Run.
+//
+// Deprecated: Simulation is a thin shim over Engine, kept for existing
+// callers; new code uses New with SimRuntime (the default) and
+// OpenSession/Log handles.
 type Simulation struct {
-	cfg    Config
-	pp     protocol.Params
-	sc     sim.Scenario
+	eng    *Engine
 	report *Report
 }
 
 // NewSimulation validates the config (the paper's n > 3f resilience
-// precondition among the checks) and prepares an empty scenario.
+// precondition among the checks; failures wrap ErrBadParams) and prepares
+// an empty scenario.
 func NewSimulation(cfg Config) (*Simulation, error) {
-	pp, err := cfg.params()
+	eng, err := New(cfg.options()...)
 	if err != nil {
-		return nil, fmt.Errorf("ssbyz: %w", err)
+		return nil, err
 	}
-	return &Simulation{
-		cfg: cfg,
-		pp:  pp,
-		sc: sim.Scenario{
-			Params:   pp,
-			Seed:     cfg.Seed,
-			DelayMin: cfg.DelayMin,
-			DelayMax: cfg.DelayMax,
-			Faulty:   make(map[protocol.NodeID]protocol.Node),
-		},
-	}, nil
+	return &Simulation{eng: eng}, nil
 }
 
 // Params returns the resolved protocol constants (n, f, d and the
 // derived Δ bounds of the paper's Section 3).
-func (s *Simulation) Params() Params { return s.pp }
+func (s *Simulation) Params() Params { return s.eng.pp }
 
 // WithFaulty marks node id Byzantine, driven by the given adversary (nil
 // for a crashed node); the scenario may hold at most f = ⌊(n−1)/3⌋ of
 // them. It returns s for chaining.
 func (s *Simulation) WithFaulty(id NodeID, adv Adversary) *Simulation {
-	s.sc.Faulty[id] = adv
+	s.eng.faulty[id] = adv
 	return s
 }
 
@@ -163,14 +173,18 @@ func (s *Simulation) WithFaulty(id NodeID, adv Adversary) *Simulation {
 // sending-validity criteria applying per slot. Schedule with
 // ScheduleSlotAgreement and read results with Report.SlotDecisions.
 func (s *Simulation) WithConcurrentSlots(slots int) *Simulation {
-	s.sc.NewNode = func() protocol.Node { return indexed.NewNode(slots) }
+	if slots < 1 {
+		slots = 1
+	}
+	s.eng.sessions = slots
+	s.eng.newNode = func() protocol.Node { return indexed.NewNode(slots) }
 	return s
 }
 
 // ScheduleSlotAgreement schedules General g to initiate v in the given
 // concurrent slot at virtual time at (requires WithConcurrentSlots).
 func (s *Simulation) ScheduleSlotAgreement(slot int, g NodeID, v Value, at Ticks) *Simulation {
-	s.sc.Initiations = append(s.sc.Initiations, sim.Initiation{
+	s.eng.manual = append(s.eng.manual, sim.Initiation{
 		At: simtime.Real(at), G: g, Value: v, Slot: slot,
 	})
 	return s
@@ -202,7 +216,7 @@ func (r *Report) SlotDecisions(g NodeID, slot int) []Decision {
 // spacing between pulses; values below the legal minimum are raised to
 // it. Retrieve fired pulses with Report.Pulses.
 func (s *Simulation) WithPulseSynchronization(cycle Ticks) *Simulation {
-	s.sc.NewNode = func() protocol.Node {
+	s.eng.newNode = func() protocol.Node {
 		return pulse.NewNode(pulse.Config{Cycle: cycle})
 	}
 	return s
@@ -237,7 +251,7 @@ func (r *Report) Pulses() map[int][]Pulse {
 // paper's post-transient scenario. Severity in (0,1] scales how much of
 // the state is corrupted; 1 corrupts everything.
 func (s *Simulation) WithTransientFault(seed int64, severity float64) *Simulation {
-	s.sc.Corrupt = func(w *simnet.World) {
+	s.eng.corrupt = func(w *simnet.World) {
 		transient.Corrupt(w, transient.Config{Seed: seed, Severity: severity})
 	}
 	return s
@@ -247,7 +261,7 @@ func (s *Simulation) WithTransientFault(seed int64, severity float64) *Simulatio
 // virtual time at. The initiation is refused (and recorded in the report)
 // if it violates the sending-validity criteria IG1–IG3.
 func (s *Simulation) ScheduleAgreement(g NodeID, v Value, at Ticks) *Simulation {
-	s.sc.Initiations = append(s.sc.Initiations, sim.Initiation{
+	s.eng.manual = append(s.eng.manual, sim.Initiation{
 		At: simtime.Real(at), G: g, Value: v,
 	})
 	return s
@@ -260,22 +274,11 @@ func (s *Simulation) Run(runFor Ticks) (*Report, error) {
 	if s.report != nil {
 		return s.report, nil
 	}
-	if runFor > 0 {
-		s.sc.RunFor = runFor
-	} else {
-		var last simtime.Real
-		for _, init := range s.sc.Initiations {
-			if init.At > last {
-				last = init.At
-			}
-		}
-		s.sc.RunFor = simtime.Duration(last) + 3*s.pp.DeltaAgr()
-	}
-	res, err := sim.Run(s.sc)
+	sr, err := s.eng.Run(runFor)
 	if err != nil {
-		return nil, fmt.Errorf("ssbyz: %w", err)
+		return nil, err
 	}
-	s.report = &Report{res: res}
+	s.report = sr.Report
 	return s.report, nil
 }
 
