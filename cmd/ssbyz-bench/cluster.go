@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"ssbyz/internal/check"
+	"ssbyz/internal/clock"
 	"ssbyz/internal/metrics"
 	"ssbyz/internal/nettrans"
 	"ssbyz/internal/protocol"
@@ -38,7 +39,15 @@ type clusterOpts struct {
 	sessions   int
 	d          simtime.Duration
 	tick       time.Duration
+	// virtual runs the cluster on a fake clock over the deterministic
+	// in-memory wire: same codec and acceptance pipeline, byte-identical
+	// runs (DESIGN.md §9). In-process only.
+	virtual bool
 }
+
+// virtualSeed is the fixed wire seed of -virtual runs: the CLI's output
+// must be reproducible, so the one entropy source is pinned.
+const virtualSeed = 1
 
 // runCluster executes the -cluster mode end to end.
 func runCluster(o clusterOpts) error {
@@ -53,9 +62,15 @@ func runCluster(o clusterOpts) error {
 	if err := pp.Validate(); err != nil {
 		return err
 	}
+	if o.virtual && o.procs {
+		return fmt.Errorf("-virtual needs the in-process cluster; drop -procs")
+	}
 	mode := "in-process"
 	if o.procs {
 		mode = "multi-process"
+	}
+	if o.virtual {
+		mode = "in-process (virtual time)"
 	}
 	fmt.Printf("cluster: n=%d f=%d transport=%s d=%d ticks (%v) tick=%v mode=%s agreements=%d\n",
 		pp.N, pp.F, o.transport, pp.D, time.Duration(pp.D)*o.tick, o.tick, mode, o.agreements)
@@ -83,14 +98,19 @@ func runClusterService(o clusterOpts, pp protocol.Params) error {
 	for i := range arrivals {
 		arrivals[i] = simtime.Real(2 * pp.D)
 	}
-	start := time.Now()
-	res, err := service.RunLive(service.LiveConfig{
+	cfg := service.LiveConfig{
 		Params:     pp,
 		Tick:       o.tick,
 		Transport:  o.transport,
 		Sessions:   o.sessions,
 		QueueLimit: o.agreements,
-	}, []service.Workload{{G: 0, Arrivals: arrivals}}, 120*time.Second)
+	}
+	if o.virtual {
+		cfg.Clock = clock.NewFake(time.Time{})
+		cfg.Seed = virtualSeed
+	}
+	start := time.Now()
+	res, err := service.RunLive(cfg, []service.Workload{{G: 0, Arrivals: arrivals}}, 120*time.Second)
 	if err != nil {
 		return err
 	}
@@ -147,15 +167,23 @@ func verdict(res *check.LiveResult, inits []check.LiveInitiation, pp protocol.Pa
 // ---- in-process ----
 
 func runClusterInProcess(o clusterOpts, pp protocol.Params) error {
-	c, err := nettrans.NewCluster(nettrans.ClusterConfig{
+	ccfg := nettrans.ClusterConfig{
 		Params: pp, Tick: o.tick, Transport: o.transport,
-	})
+	}
+	agrBudget := time.Duration(pp.DeltaAgr())*o.tick + 5*time.Second
+	if o.virtual {
+		ccfg.Clock = clock.NewFake(time.Time{})
+		ccfg.Seed = virtualSeed
+		// The budget is virtual ticks now, not wall clock: no slack for
+		// host scheduling is needed, only protocol time.
+		agrBudget = time.Duration(pp.DeltaAgr()+20*pp.D) * o.tick
+	}
+	c, err := nettrans.NewCluster(ccfg)
 	if err != nil {
 		return err
 	}
 	defer c.Stop()
 
-	agrBudget := time.Duration(pp.DeltaAgr())*o.tick + 5*time.Second
 	var inits []check.LiveInitiation
 	for i := 0; i < o.agreements; i++ {
 		g := protocol.NodeID(i % pp.N)

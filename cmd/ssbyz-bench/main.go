@@ -9,6 +9,7 @@
 //	ssbyz-bench -replay spec.json
 //	ssbyz-bench -cluster N [-transport udp|tcp] [-procs] [-node-bin path]
 //	            [-agreements K] [-sessions C] [-cluster-d ticks] [-tick dur]
+//	            [-virtual]
 //
 // -replay skips the suite and re-runs one scenario spec (as exported by
 // the S2 campaign for any property-violating scenario, or written by
@@ -31,6 +32,10 @@
 // so the default d is 10ms. -sessions C with C > 1 switches the cluster
 // to service mode: the K agreements arrive at once as a replicated-log
 // burst at General 0 and drain through C concurrent footnote-9 sessions
+// (in-process only; incompatible with -procs). -virtual runs the cluster
+// under virtual time: the same pipeline on a fake clock over the
+// deterministic in-memory wire (DESIGN.md §9), so the run is exactly
+// reproducible and -tick is a virtual unit rather than a wall sleep
 // (in-process only; incompatible with -procs).
 //
 // -live appends experiments L1 (live loopback latency/throughput sweep
@@ -91,6 +96,7 @@ type benchFlags struct {
 	sessions   *int
 	clusterD   *int64
 	tick       *time.Duration
+	virtual    *bool
 }
 
 // defineFlags registers every ssbyz-bench flag on fs. The definitions
@@ -114,6 +120,7 @@ func defineFlags(fs *flag.FlagSet) *benchFlags {
 		sessions:   fs.Int("sessions", 1, "-cluster: concurrent agreement sessions per node; >1 runs the agreements as a replicated-log burst through the service layer"),
 		clusterD:   fs.Int64("cluster-d", 100, "-cluster: the paper's d in ticks"),
 		tick:       fs.Duration("tick", 100*time.Microsecond, "-cluster: wall-clock length of one tick"),
+		virtual:    fs.Bool("virtual", false, "-cluster: run under virtual time on a fake clock over the deterministic in-memory wire (in-process only; the run is byte-reproducible)"),
 	}
 }
 
@@ -152,6 +159,7 @@ func run() error {
 			sessions:   *sessions,
 			d:          ssbyz.Ticks(*clusterD),
 			tick:       *tick,
+			virtual:    *f.virtual,
 		})
 	}
 

@@ -35,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"ssbyz/internal/clock"
 	"ssbyz/internal/core"
 	"ssbyz/internal/nettrans"
 	"ssbyz/internal/protocol"
@@ -91,15 +92,23 @@ func run() error {
 		}
 	}
 
+	// The daemon is the one runtime that is always wall-clock, and it says
+	// so explicitly: every wait below and the node's whole timer stack run
+	// on this injected clock (the in-process runtimes inject a *clock.Fake
+	// through the same seams — DESIGN.md §9).
+	clk := clock.Real()
+
 	// All daemons sleep until the shared epoch so tick 0 means the same
 	// wall instant everywhere (the manifest sets the epoch slightly in the
 	// future to cover process start-up).
 	if wait := time.Until(m.Epoch()); wait > 0 {
-		time.Sleep(wait)
+		clk.Sleep(wait)
 	}
 
 	node := core.NewNode()
-	nn, err := nettrans.Start(m.NodeConfig(nodeID, nil, sink), node)
+	cfg := m.NodeConfig(nodeID, nil, sink)
+	cfg.Clock = clk
+	nn, err := nettrans.Start(cfg, node)
 	if err != nil {
 		return err
 	}
@@ -111,7 +120,7 @@ func run() error {
 		at := m.Epoch().Add(time.Duration(*initAt) * m.Tick())
 		go func() {
 			if wait := time.Until(at); wait > 0 {
-				time.Sleep(wait)
+				clk.Sleep(wait)
 			}
 			nn.Do(func(n protocol.Node) {
 				if err := n.(*core.Node).InitiateAgreement(protocol.Value(*initValue)); err != nil {
@@ -126,7 +135,7 @@ func run() error {
 	if *runFor > 0 {
 		end := m.Epoch().Add(time.Duration(*runFor) * m.Tick())
 		select {
-		case <-time.After(time.Until(end)):
+		case <-clk.After(time.Until(end)):
 		case <-sig:
 		}
 	} else {

@@ -14,6 +14,7 @@ import (
 	"go/parser"
 	"go/token"
 	"io/fs"
+	"os"
 	"regexp"
 	"strings"
 	"testing"
@@ -38,6 +39,44 @@ var provenance = regexp.MustCompile(
 	`IA-\d|TPS-\d|IG\d|Block [A-Z]|Fig\. \d|Claim \d|Theorem \d|footnote[ -]\d` +
 		`|Timeliness|Validity|Agreement|Unforgeability|Uniqueness` +
 		`|self-stabiliz|Byzantine|Δ|Φ|τG|⊥|PODC|the paper|paper's`)
+
+// TestTimeModelDocumented pins the §9 time-model documentation: code
+// comments across clock/eventloop/nettrans cite "DESIGN.md §9", and the
+// README advertises the deterministic virtual-time path, so both
+// documents must keep the sections those citations point at.
+func TestTimeModelDocumented(t *testing.T) {
+	design, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, anchor := range []string{
+		"## §9 Time model",
+		"§9 time model.", // the numbered index at the top
+		"AutoAdvance",    // the accelerated-soak driver idiom
+		"Busy tokens",    // the quiescence rule that makes Fake deterministic
+		"Frames()",       // the record half of record/replay
+		"| V1 ",          // the §4 experiment rows riding on virtual time
+		"| V2 ",
+	} {
+		if !strings.Contains(string(design), anchor) {
+			t.Errorf("DESIGN.md lost its time-model anchor %q", anchor)
+		}
+	}
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, anchor := range []string{
+		"## Virtual time: the live pipeline, deterministically",
+		"`-virtual`", // the flag-table row (flags_test pins the full table)
+		"Record/replay",
+		"Accelerated soak",
+	} {
+		if !strings.Contains(string(readme), anchor) {
+			t.Errorf("README.md lost its virtual-time anchor %q", anchor)
+		}
+	}
+}
 
 func TestFacadeGodocProvenance(t *testing.T) {
 	fset := token.NewFileSet()

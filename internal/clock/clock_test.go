@@ -1,0 +1,324 @@
+package clock
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFakeFiresInDeadlineSeqOrder pins the total order: deadline first,
+// registration sequence breaking ties.
+func TestFakeFiresInDeadlineSeqOrder(t *testing.T) {
+	f := NewFake(time.Time{})
+	var got []int
+	f.AfterFunc(30*time.Millisecond, func() { got = append(got, 3) })
+	f.AfterFunc(10*time.Millisecond, func() { got = append(got, 1) })
+	f.AfterFunc(20*time.Millisecond, func() { got = append(got, 20) })
+	f.AfterFunc(20*time.Millisecond, func() { got = append(got, 21) })
+	f.AfterFunc(0, func() { got = append(got, 0) })
+	f.Advance(25 * time.Millisecond)
+	if want := []int{0, 1, 20, 21}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	if f.PendingTimers() != 1 {
+		t.Fatalf("pending = %d, want 1", f.PendingTimers())
+	}
+	f.Advance(5 * time.Millisecond)
+	if want := []int{0, 1, 20, 21, 3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+}
+
+// TestFakeBodyReschedulesWithinWindow: a body scheduling a new timer
+// inside the Advance window fires within the same Advance, at the right
+// instant.
+func TestFakeBodyReschedulesWithinWindow(t *testing.T) {
+	f := NewFake(time.Time{})
+	start := f.Now()
+	var at []time.Duration
+	f.AfterFunc(10*time.Millisecond, func() {
+		at = append(at, f.Now().Sub(start))
+		f.AfterFunc(15*time.Millisecond, func() {
+			at = append(at, f.Now().Sub(start))
+		})
+	})
+	f.Advance(40 * time.Millisecond)
+	want := []time.Duration{10 * time.Millisecond, 25 * time.Millisecond}
+	if !reflect.DeepEqual(at, want) {
+		t.Fatalf("fired at %v, want %v", at, want)
+	}
+	if f.Since(start) != 40*time.Millisecond {
+		t.Fatalf("clock at %v, want 40ms", f.Since(start))
+	}
+}
+
+// TestFakeTimerStop: a stopped timer never fires and reports whether it
+// was still pending, matching time.Timer.
+func TestFakeTimerStop(t *testing.T) {
+	f := NewFake(time.Time{})
+	fired := false
+	tm := f.AfterFunc(time.Second, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop of pending timer = false, want true")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop = true, want false")
+	}
+	f.Advance(2 * time.Second)
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	tm2 := f.NewTimer(time.Second)
+	f.Advance(time.Second)
+	select {
+	case <-tm2.C():
+	default:
+		t.Fatal("NewTimer did not deliver at its deadline")
+	}
+	if tm2.Stop() {
+		t.Fatal("Stop of fired timer = true, want false")
+	}
+}
+
+// TestFakeSleepAndBlockUntilWaiters is the test-handshake pattern: the
+// driver blocks until n sleepers are scheduled, then advances past
+// their wakeups.
+func TestFakeSleepAndBlockUntilWaiters(t *testing.T) {
+	f := NewFake(time.Time{})
+	const sleepers = 4
+	var woke atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < sleepers; i++ {
+		wg.Add(1)
+		d := time.Duration(i+1) * time.Minute
+		go func() {
+			defer wg.Done()
+			f.Sleep(d)
+			woke.Add(1)
+		}()
+	}
+	f.BlockUntilWaiters(sleepers)
+	if got := f.WaiterCount(); got != sleepers {
+		t.Fatalf("WaiterCount = %d, want %d", got, sleepers)
+	}
+	f.Advance(2 * time.Minute)
+	// Two sleepers are due; the rest still wait.
+	if f.WaiterCount() != sleepers-2 {
+		t.Fatalf("WaiterCount after 2min = %d, want %d", f.WaiterCount(), sleepers-2)
+	}
+	f.Advance(10 * time.Minute)
+	wg.Wait()
+	if woke.Load() != sleepers {
+		t.Fatalf("woke = %d, want %d", woke.Load(), sleepers)
+	}
+}
+
+// TestFakeGateBlocksAdvance: Advance must not move time across an
+// outstanding busy token (the mailbox-in-flight quiescence rule).
+func TestFakeGateBlocksAdvance(t *testing.T) {
+	f := NewFake(time.Time{})
+	f.AddBusy(1)
+	done := make(chan struct{})
+	go func() {
+		f.Advance(time.Second)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Advance returned while a busy token was outstanding")
+	case <-time.After(20 * time.Millisecond):
+	}
+	f.DoneBusy(1)
+	<-done
+}
+
+// TestFakeAutoAdvance: with a registered driver asleep, the auto loop
+// rushes virtual time to each wakeup — simulated hours in wall
+// microseconds.
+func TestFakeAutoAdvance(t *testing.T) {
+	f := NewFake(time.Time{})
+	stop := f.AutoAdvance()
+	defer stop()
+	f.Register()
+	defer f.Unregister()
+	var fires atomic.Int32
+	f.AfterFunc(time.Hour, func() { fires.Add(1) })
+	f.AfterFunc(3*time.Hour, func() { fires.Add(1) })
+	start := f.Now()
+	f.Sleep(4 * time.Hour)
+	if fires.Load() != 2 {
+		t.Fatalf("fires = %d, want 2", fires.Load())
+	}
+	if got := f.Since(start); got < 4*time.Hour {
+		t.Fatalf("advanced %v, want ≥ 4h", got)
+	}
+}
+
+// TestFakeAutoAdvancePausesWhileDriverRuns: between Sleeps of the
+// registered driver, the auto loop must hold time still, so actions the
+// driver takes land at the instant it woke.
+func TestFakeAutoAdvancePausesWhileDriverRuns(t *testing.T) {
+	f := NewFake(time.Time{})
+	stop := f.AutoAdvance()
+	defer stop()
+	f.Register()
+	defer f.Unregister()
+	// A self-rearming timer, like the protocol's decay sweeps: with no
+	// driver-awareness the auto loop would spin time forever.
+	var rearm func()
+	rearm = func() { f.AfterFunc(time.Minute, func() { rearm() }) }
+	rearm()
+	start := f.Now()
+	f.Sleep(10 * time.Minute)
+	woke := f.Since(start)
+	// The driver is awake: time must not move while we look at it.
+	for i := 0; i < 50; i++ {
+		if got := f.Since(start); got != woke {
+			t.Fatalf("clock moved while registered driver was awake: %v → %v", woke, got)
+		}
+	}
+	if woke != 10*time.Minute {
+		t.Fatalf("woke at %v, want exactly 10m", woke)
+	}
+}
+
+// TestFakeStressAdvanceSleepStop is the -race waiter-accounting stress:
+// concurrent Advance, Sleep, Timer.Stop, AfterFunc and gate traffic on
+// one clock must neither race nor deadlock nor corrupt the heap.
+func TestFakeStressAdvanceSleepStop(t *testing.T) {
+	f := NewFake(time.Time{})
+	var wg sync.WaitGroup
+	stopAll := make(chan struct{})
+
+	// Advancers.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				f.Advance(time.Duration(j%7+1) * time.Millisecond)
+			}
+		}()
+	}
+	// Sleepers.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i)))
+			for j := 0; j < 50; j++ {
+				f.Sleep(time.Duration(rng.Intn(5)+1) * time.Millisecond)
+			}
+		}(i)
+	}
+	// Timer churn: schedule and racily stop.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + i)))
+			for j := 0; j < 100; j++ {
+				tm := f.AfterFunc(time.Duration(rng.Intn(10))*time.Millisecond, func() {})
+				if rng.Intn(2) == 0 {
+					tm.Stop()
+				}
+			}
+		}(i)
+	}
+	// Gate traffic: bounded and yielding, so the busy flag toggles
+	// without starving the advancers of a busy==0 observation.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 2000; j++ {
+			f.AddBusy(1)
+			runtime.Gosched()
+			f.DoneBusy(1)
+		}
+	}()
+
+	fin := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(fin)
+	}()
+	// The sleepers need someone to keep advancing after the advancers
+	// finish; drain until everything exits.
+	for {
+		select {
+		case <-fin:
+			close(stopAll)
+			return
+		default:
+			f.Advance(time.Millisecond)
+		}
+	}
+}
+
+// TestRealVsFakeOrdering is the differential test: the same scenario —
+// three timers and a sleeping goroutine with well-separated deadlines —
+// must produce the same observable order on the wall clock and on the
+// Fake. On the wall clock, real time gives the woken sleeper its slice
+// before the next deadline; on the Fake the sleeper gets the same
+// guarantee by being a registered driver under AutoAdvance (a bare
+// Advance would not wait for a woken goroutine — that asymmetry is the
+// documented semantic this test pins). The real run uses 30ms spacings
+// so OS scheduling noise cannot reorder it.
+func TestRealVsFakeOrdering(t *testing.T) {
+	scenario := func(c Clock, f *Fake) []string {
+		var mu sync.Mutex
+		var order []string
+		add := func(s string) { mu.Lock(); order = append(order, s); mu.Unlock() }
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if f != nil {
+				f.Register()
+				defer f.Unregister()
+			}
+			c.Sleep(45 * time.Millisecond)
+			add("sleep45")
+		}()
+		// Ensure the sleeper is scheduled before the timers, on both
+		// clocks, so registration order is part of the shared scenario.
+		if f != nil {
+			f.BlockUntilWaiters(1)
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+		c.AfterFunc(30*time.Millisecond, func() { add("t30") })
+		c.AfterFunc(90*time.Millisecond, func() { add("t90") })
+		tm := c.AfterFunc(60*time.Millisecond, func() { add("t60-cancelled") })
+		c.AfterFunc(1*time.Millisecond, func() { tm.Stop() })
+		if f != nil {
+			stop := f.AutoAdvance()
+			f.Register()
+			f.Sleep(120 * time.Millisecond)
+			f.Unregister()
+			stop()
+		} else {
+			time.Sleep(150 * time.Millisecond)
+		}
+		wg.Wait()
+		mu.Lock()
+		defer mu.Unlock()
+		return order
+	}
+
+	fake := NewFake(time.Time{})
+	fakeOrder := scenario(fake, fake)
+	realOrder := scenario(Real(), nil)
+
+	want := []string{"t30", "sleep45", "t90"}
+	if !reflect.DeepEqual(fakeOrder, want) {
+		t.Fatalf("fake order %v, want %v", fakeOrder, want)
+	}
+	if !reflect.DeepEqual(realOrder, want) {
+		t.Fatalf("real order %v, want %v (host too loaded?)", realOrder, want)
+	}
+}

@@ -1,0 +1,384 @@
+package clock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Fake is a deterministic virtual clock. Time moves only under explicit
+// control — Advance/AdvanceTo/Step from a driving goroutine, or the
+// AutoAdvance loop — and pending timers fire one at a time in a total
+// (deadline, registration-sequence) order, so a run scheduled against a
+// Fake is reproducible event for event.
+//
+// Determinism rests on quiescence: the clock never advances while any
+// busy token is outstanding (Gate — the event-loop mailboxes hold one
+// per undrained event), and it fires exactly one timer, then waits for
+// the resulting cascade of enqueues to drain back to zero before firing
+// the next. All cross-node traffic in the virtual runtimes rides clock
+// timers, so at most one causal cascade is ever in flight.
+//
+// Timer bodies run on the advancing goroutine; they may schedule new
+// timers but must not call Advance/Step/WaitIdle themselves (that would
+// self-deadlock).
+type Fake struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	now time.Time
+	seq uint64
+	th  timerHeap
+
+	// busy counts outstanding work units (Gate); the clock is quiescent
+	// only at zero.
+	busy int
+	// sleeping counts goroutines currently blocked in Sleep; registered
+	// counts goroutines that declared themselves drivers (Register).
+	// AutoAdvance fires only while every registered driver is asleep.
+	sleeping, registered int
+	// advancing serializes Advance/AdvanceTo/Step/auto loops.
+	advancing bool
+}
+
+// FakeEpoch is the canonical starting instant of NewFake(time.Time{}):
+// an arbitrary fixed wall date, so virtual runs are identical across
+// hosts and independent of the real clock.
+var FakeEpoch = time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// NewFake returns a virtual clock reading start; a zero start means
+// FakeEpoch.
+func NewFake(start time.Time) *Fake {
+	if start.IsZero() {
+		start = FakeEpoch
+	}
+	f := &Fake{now: start}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+var _ Clock = (*Fake)(nil)
+var _ Gate = (*Fake)(nil)
+
+// fakeTimer is one pending virtual timer.
+type fakeTimer struct {
+	f       *Fake
+	when    time.Time
+	seq     uint64
+	fn      func()
+	ch      chan time.Time
+	sleeper bool
+	idx     int // heap index; -1 once fired or stopped
+}
+
+func (t *fakeTimer) C() <-chan time.Time { return t.ch }
+
+// Stop cancels the timer if still pending.
+func (t *fakeTimer) Stop() bool {
+	f := t.f
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if t.idx < 0 {
+		return false
+	}
+	heap.Remove(&f.th, t.idx)
+	f.cond.Broadcast()
+	return true
+}
+
+// timerHeap orders by (when, seq): deadline first, registration order
+// breaking ties — the total order every virtual run fires in.
+type timerHeap []*fakeTimer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if !h[i].when.Equal(h[j].when) {
+		return h[i].when.Before(h[j].when)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *timerHeap) Push(x any) {
+	t := x.(*fakeTimer)
+	t.idx = len(*h)
+	*h = append(*h, t)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.idx = -1
+	*h = old[:n-1]
+	return t
+}
+
+// schedule registers a timer d from now; mu must be held. A past or
+// zero d fires at the current instant on the next advance.
+func (f *Fake) schedule(d time.Duration, fn func(), ch chan time.Time, sleeper bool) *fakeTimer {
+	if d < 0 {
+		d = 0
+	}
+	f.seq++
+	t := &fakeTimer{f: f, when: f.now.Add(d), seq: f.seq, fn: fn, ch: ch, sleeper: sleeper}
+	heap.Push(&f.th, t)
+	f.cond.Broadcast()
+	return t
+}
+
+// Now implements Clock.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Since implements Clock.
+func (f *Fake) Since(t time.Time) time.Duration { return f.Now().Sub(t) }
+
+// Sleep implements Clock: it blocks until the virtual clock passes
+// now+d. The sleeper is counted (WaiterCount/BlockUntilWaiters), and a
+// registered driver in Sleep is what lets AutoAdvance move time.
+func (f *Fake) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	ch := make(chan time.Time, 1)
+	f.mu.Lock()
+	f.schedule(d, nil, ch, true)
+	f.sleeping++
+	f.cond.Broadcast()
+	f.mu.Unlock()
+	<-ch
+}
+
+// After implements Clock.
+func (f *Fake) After(d time.Duration) <-chan time.Time { return f.NewTimer(d).C() }
+
+// NewTimer implements Clock.
+func (f *Fake) NewTimer(d time.Duration) Timer {
+	ch := make(chan time.Time, 1)
+	f.mu.Lock()
+	t := f.schedule(d, nil, ch, false)
+	f.mu.Unlock()
+	return t
+}
+
+// AfterFunc implements Clock: fn runs on the advancing goroutine when
+// virtual time reaches now+d.
+func (f *Fake) AfterFunc(d time.Duration, fn func()) Timer {
+	f.mu.Lock()
+	t := f.schedule(d, fn, nil, false)
+	f.mu.Unlock()
+	return t
+}
+
+// AddBusy implements Gate.
+func (f *Fake) AddBusy(n int) {
+	f.mu.Lock()
+	f.busy += n
+	f.mu.Unlock()
+}
+
+// DoneBusy implements Gate.
+func (f *Fake) DoneBusy(n int) {
+	f.mu.Lock()
+	f.busy -= n
+	if f.busy < 0 {
+		panic("clock: DoneBusy below zero")
+	}
+	if f.busy == 0 {
+		f.cond.Broadcast()
+	}
+	f.mu.Unlock()
+}
+
+// Register declares the calling goroutine a driver: AutoAdvance will
+// only move time while every registered driver is blocked in Sleep.
+func (f *Fake) Register() {
+	f.mu.Lock()
+	f.registered++
+	f.mu.Unlock()
+}
+
+// Unregister retires one Register.
+func (f *Fake) Unregister() {
+	f.mu.Lock()
+	f.registered--
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}
+
+// WaiterCount returns how many goroutines are blocked in Sleep.
+func (f *Fake) WaiterCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.sleeping
+}
+
+// PendingTimers returns how many timers are scheduled.
+func (f *Fake) PendingTimers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.th)
+}
+
+// BlockUntilWaiters blocks until at least n goroutines are in Sleep —
+// the handshake a test uses before Advance, so the sleepers it means to
+// wake are scheduled before time moves.
+func (f *Fake) BlockUntilWaiters(n int) {
+	f.mu.Lock()
+	for f.sleeping < n {
+		f.cond.Wait()
+	}
+	f.mu.Unlock()
+}
+
+// WaitIdle blocks until the clock is quiescent: no advance in progress
+// and no busy tokens outstanding. Pending timers do not count — with
+// self-rearming protocol timers the heap never empties.
+func (f *Fake) WaitIdle() {
+	f.mu.Lock()
+	for f.advancing || f.busy > 0 {
+		f.cond.Wait()
+	}
+	f.mu.Unlock()
+}
+
+// Advance moves the clock forward by d, firing every timer due in the
+// window one at a time in (deadline, seq) order, waiting for quiescence
+// between fires. It returns with the clock reading exactly old+d.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	for f.advancing {
+		f.cond.Wait()
+	}
+	target := f.now.Add(d)
+	f.advanceToLocked(target)
+	f.mu.Unlock()
+}
+
+// AdvanceTo is Advance to an absolute instant (no-op if target is in
+// the past).
+func (f *Fake) AdvanceTo(target time.Time) {
+	f.mu.Lock()
+	for f.advancing {
+		f.cond.Wait()
+	}
+	f.advanceToLocked(target)
+	f.mu.Unlock()
+}
+
+// advanceToLocked runs the fire loop up to target; mu held, advancing
+// false on entry and on return.
+func (f *Fake) advanceToLocked(target time.Time) {
+	f.advancing = true
+	for {
+		for f.busy > 0 {
+			f.cond.Wait()
+		}
+		if len(f.th) == 0 || f.th[0].when.After(target) {
+			break
+		}
+		f.fireNextLocked()
+	}
+	if target.After(f.now) {
+		f.now = target
+	}
+	f.advancing = false
+	f.cond.Broadcast()
+}
+
+// Step fires the single earliest pending timer (jumping the clock to
+// its deadline) and waits for the cascade to drain. It reports false if
+// no timer was pending.
+func (f *Fake) Step() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for f.advancing {
+		f.cond.Wait()
+	}
+	f.advancing = true
+	for f.busy > 0 {
+		f.cond.Wait()
+	}
+	fired := false
+	if len(f.th) > 0 {
+		f.fireNextLocked()
+		fired = true
+		for f.busy > 0 {
+			f.cond.Wait()
+		}
+	}
+	f.advancing = false
+	f.cond.Broadcast()
+	return fired
+}
+
+// fireNextLocked pops and delivers the earliest timer; mu held (and
+// released around the delivery). On return the body has run, but busy
+// tokens it created may still be outstanding.
+func (f *Fake) fireNextLocked() {
+	t := heap.Pop(&f.th).(*fakeTimer)
+	if t.when.After(f.now) {
+		f.now = t.when
+	}
+	if t.sleeper {
+		// The sleeper wakes: account it before releasing the lock so
+		// AutoAdvance cannot observe a stale "all drivers asleep".
+		f.sleeping--
+	}
+	when := f.now
+	f.mu.Unlock()
+	if t.fn != nil {
+		t.fn()
+	} else {
+		t.ch <- when
+	}
+	f.mu.Lock()
+	for f.busy > 0 {
+		f.cond.Wait()
+	}
+}
+
+// AutoAdvance starts a goroutine that moves time whenever the clock is
+// quiescent and every registered driver is blocked in Sleep, firing
+// pending timers in order — the Navarch-style mode where a test's
+// driver goroutine just Sleeps through virtual hours and the clock
+// rushes to each wakeup. With no Register calls time free-runs, which
+// spins forever against self-rearming timers: soak drivers must
+// Register. The returned stop function halts the loop and waits for it
+// to exit; it must not be called from a timer body.
+func (f *Fake) AutoAdvance() (stop func()) {
+	done := make(chan struct{})
+	quit := false
+	go func() {
+		defer close(done)
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		for {
+			for !quit && !(f.busy == 0 && !f.advancing && len(f.th) > 0 &&
+				f.sleeping >= f.registered) {
+				f.cond.Wait()
+			}
+			if quit {
+				return
+			}
+			f.advancing = true
+			f.fireNextLocked()
+			f.advancing = false
+			f.cond.Broadcast()
+		}
+	}()
+	return func() {
+		f.mu.Lock()
+		quit = true
+		f.cond.Broadcast()
+		f.mu.Unlock()
+		<-done
+	}
+}

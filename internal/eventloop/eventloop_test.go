@@ -5,6 +5,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"ssbyz/internal/clock"
 )
 
 // TestMailboxFIFO checks ordering and the closed-drop contract.
@@ -124,4 +126,93 @@ func TestTimersStressStartStop(t *testing.T) {
 		// would be a contract violation (none can happen — the assertion is
 		// that -race sees no unsynchronized access and nothing deadlocks).
 	}
+}
+
+// TestTimersOnFakeClockDeterministicFire pins the virtual-time path:
+// timers on a clock.Fake fire in (deadline, registration) order, only
+// when the clock is advanced, and Cancel removes them from the heap.
+func TestTimersOnFakeClockDeterministicFire(t *testing.T) {
+	f := clock.NewFake(time.Time{})
+	ts := NewTimersOn(f)
+	var got []int
+	ts.AfterFunc(10*time.Millisecond, func() { got = append(got, 1) })
+	tm := ts.AfterFunc(20*time.Millisecond, func() { got = append(got, 2) })
+	ts.AfterFunc(30*time.Millisecond, func() { got = append(got, 3) })
+	if len(got) != 0 {
+		t.Fatalf("fired before Advance: %v", got)
+	}
+	ts.Cancel(tm)
+	f.Advance(25 * time.Millisecond)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("after 25ms got %v, want [1]", got)
+	}
+	f.Advance(10 * time.Millisecond)
+	if len(got) != 2 || got[1] != 3 {
+		t.Fatalf("after 35ms got %v, want [1 3]", got)
+	}
+	ts.Stop()
+	if f.PendingTimers() != 0 {
+		t.Fatalf("Stop left %d timers on the fake heap", f.PendingTimers())
+	}
+}
+
+// TestTimersStopGateOnFakeClock re-pins the stopped-flag gate with the
+// clock injected: a pending virtual timer cancelled by Stop must not
+// fire on a later Advance, deterministically (no wall-clock window).
+func TestTimersStopGateOnFakeClock(t *testing.T) {
+	f := clock.NewFake(time.Time{})
+	ts := NewTimersOn(f)
+	m := NewMailboxGated(f)
+	go m.Loop()
+	var ran atomic.Int64
+	for i := 0; i < 32; i++ {
+		ts.AfterFunc(time.Duration(i%4)*time.Millisecond, func() {
+			m.Enqueue(func() { ran.Add(1) })
+		})
+	}
+	f.Advance(1 * time.Millisecond) // fires deadlines 0 and 1, cascades drained
+	before := ran.Load()
+	if before != 16 {
+		t.Fatalf("ran = %d after 1ms, want 16 (deadlines 0 and 1)", before)
+	}
+	ts.Stop()
+	f.Advance(10 * time.Millisecond)
+	if ran.Load() != before {
+		t.Fatalf("timer body ran after Stop: %d → %d", before, ran.Load())
+	}
+	m.Close()
+}
+
+// TestMailboxGateAccounting: a gated mailbox holds one busy token per
+// undrained event — Advance cannot pass an enqueued-but-unprocessed
+// event, and Close releases the tokens of discarded events.
+func TestMailboxGateAccounting(t *testing.T) {
+	f := clock.NewFake(time.Time{})
+	m := NewMailboxGated(f)
+	// No Loop yet: tokens accumulate.
+	for i := 0; i < 5; i++ {
+		m.Enqueue(func() {})
+	}
+	advanced := make(chan struct{})
+	go func() {
+		f.Advance(time.Second)
+		close(advanced)
+	}()
+	select {
+	case <-advanced:
+		t.Fatal("Advance passed 5 undrained mailbox events")
+	case <-time.After(20 * time.Millisecond):
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m.Loop()
+	}()
+	<-advanced // the loop drains the queue, tokens release, Advance completes
+	// A final enqueue races Close: whichever side consumes the event
+	// (loop or Close-discard) must release its token.
+	m.Enqueue(func() {})
+	m.Close()
+	<-done
+	f.WaitIdle()
 }

@@ -60,7 +60,7 @@ func s1CellN64(t *testing.T, name string) float64 {
 // machine of their PR, so the factor-two margin absorbs machine deltas
 // while still catching superlinear regressions.
 func TestBenchArtifactN64Guard(t *testing.T) {
-	chain := []string{"BENCH_PR3_quick.json", "BENCH_PR4_quick.json", "BENCH_PR5_quick.json", "BENCH_PR6_quick.json"}
+	chain := []string{"BENCH_PR3_quick.json", "BENCH_PR4_quick.json", "BENCH_PR5_quick.json", "BENCH_PR6_quick.json", "BENCH_PR7_quick.json"}
 	for i := 1; i < len(chain); i++ {
 		prev, cur := s1CellN64(t, chain[i-1]), s1CellN64(t, chain[i])
 		if cur > 2*prev {
@@ -137,6 +137,30 @@ func TestBenchArtifactCoversS3(t *testing.T) {
 		return
 	}
 	t.Fatal("BENCH_PR6_quick.json has no S3 result")
+}
+
+// TestBenchArtifactCoversV1V2 pins the virtual-time generation's shape:
+// the committed artifact must carry the deterministic mirrors V1 and V2
+// (DESIGN.md §9). Unlike S1/L1/L2 they record no cell_wall_ms — their
+// tables are exact, so only the suite-level wall cost is machine-varying
+// — hence the guard checks presence by ID and a recorded wall_ms.
+func TestBenchArtifactCoversV1V2(t *testing.T) {
+	a := loadArtifact(t, "BENCH_PR7_quick.json")
+	for _, id := range []string{"V1", "V2"} {
+		found := false
+		for _, r := range a.Results {
+			if r.ID == id {
+				found = true
+				if r.WallMS <= 0 {
+					t.Errorf("BENCH_PR7_quick.json %s wall_ms = %v, want > 0", id, r.WallMS)
+				}
+				break
+			}
+		}
+		if !found {
+			t.Errorf("BENCH_PR7_quick.json has no %s result", id)
+		}
+	}
 }
 
 // TestBenchArtifactCoversL2 pins the live service spot-check: an L2

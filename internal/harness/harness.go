@@ -164,6 +164,8 @@ func All() []Experiment {
 		{"S1", "Scaling: agreement cost vs n", "new workload: the substrate sustains n = 64 committees (DESIGN.md §5)", S1Scaling},
 		{"S2", "Randomized adversarial campaign", "new workload: generated adversaries/conditions vs the full battery (DESIGN.md §6)", S2Campaign},
 		{"S3", "Service throughput vs session concurrency", "new workload: the replicated-log service scales with footnote-9 concurrent sessions (DESIGN.md §8)", S3Service},
+		{"V1", "Deterministic live campaign under virtual time", "the live socket pipeline on an injected fake clock: exact, reproducible ticks (DESIGN.md §9)", V1VirtualLive},
+		{"V2", "Deterministic live service under virtual time", "the replicated-log service as a deterministic schedule (DESIGN.md §9)", V2VirtualService},
 	}
 }
 

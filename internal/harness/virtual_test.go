@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+)
+
+// renderVirtual runs the deterministic live campaign (V1) and service
+// (V2) and renders both reports.
+func renderVirtual(t *testing.T, workers int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	opt := Options{Quick: true, Workers: workers}
+	for _, run := range []func(Options) *Result{V1VirtualLive, V2VirtualService} {
+		r := run(opt)
+		if r.Violations != 0 {
+			t.Fatalf("%s: %d violations: %v", r.ID, r.Violations, r.Notes)
+		}
+		if _, err := r.WriteTo(&buf); err != nil {
+			t.Fatalf("%s: render: %v", r.ID, err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestVirtualCampaignDeterministic is the acceptance gate of the
+// virtual-time runtimes: the V1 sweep (n ∈ {4,7,16}, TCP baseline, chaos
+// replay) and the V2 service burst must produce byte-identical reports
+// across two runs AND across worker counts — live-pipeline numbers with
+// simulator-grade reproducibility, in the default `go test ./...` with no
+// -live flag. (TestRunAllDeterministicAcrossWorkers re-checks the same
+// inside the full suite.)
+func TestVirtualCampaignDeterministic(t *testing.T) {
+	seq := renderVirtual(t, 1)
+	seqAgain := renderVirtual(t, 1)
+	par := renderVirtual(t, 8)
+	if !bytes.Equal(seq, seqAgain) {
+		t.Errorf("virtual campaign differs across two sequential runs (%d vs %d bytes)",
+			len(seq), len(seqAgain))
+	}
+	if !bytes.Equal(seq, par) {
+		t.Errorf("virtual campaign differs between Workers=1 (%d bytes) and Workers=8 (%d bytes)",
+			len(seq), len(par))
+	}
+	if len(seq) == 0 {
+		t.Fatal("virtual campaign rendered nothing")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"ssbyz/internal/clock"
 	"ssbyz/internal/eventloop"
 	"ssbyz/internal/protocol"
 	"ssbyz/internal/simtime"
@@ -38,11 +39,15 @@ type Config struct {
 	DelayMin, DelayMax simtime.Duration
 	// Seed drives the delay randomness.
 	Seed int64
+	// Clock is the time source (default clock.Real()). Injecting a
+	// *clock.Fake runs the same cluster in deterministic virtual time.
+	Clock clock.Clock
 }
 
 // Cluster owns the nodes, their mailboxes and event-loop goroutines.
 type Cluster struct {
 	cfg   Config
+	clk   clock.Clock
 	rec   *protocol.Recorder
 	start time.Time
 
@@ -76,11 +81,15 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.DelayMin > cfg.DelayMax || cfg.DelayMax > cfg.Params.D {
 		return nil, errors.New("livenet: delay range must satisfy 0 ≤ min ≤ max ≤ D")
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real()
+	}
 	c := &Cluster{
 		cfg:    cfg,
+		clk:    cfg.Clock,
 		rec:    protocol.NewRecorder(),
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		timers: eventloop.NewTimers(),
+		timers: eventloop.NewTimersOn(cfg.Clock),
 		nodes:  make([]protocol.Node, cfg.Params.N),
 		rts:    make([]*nodeRT, cfg.Params.N),
 	}
@@ -103,7 +112,7 @@ func (c *Cluster) Params() protocol.Params { return c.cfg.Params }
 
 // Start launches every node's event loop and calls Node.Start inside it.
 func (c *Cluster) Start() {
-	c.start = time.Now()
+	c.start = c.clk.Now()
 	for i, n := range c.nodes {
 		if n == nil {
 			continue // silent (crash-faulty) slot
@@ -168,15 +177,15 @@ func (c *Cluster) DoWait(id protocol.NodeID, fn func(n protocol.Node)) {
 	}
 }
 
-// nowTicks returns wall time since Start in ticks.
+// nowTicks returns clock time since Start in ticks.
 func (c *Cluster) nowTicks() simtime.Real {
-	return simtime.Real(time.Since(c.start) / c.cfg.Tick)
+	return simtime.Real(c.clk.Since(c.start) / c.cfg.Tick)
 }
 
-// afterTicks registers fn to run after dl ticks of wall time; the timer is
-// tracked so Stop can cancel it (and wait out a body already running).
+// afterTicks registers fn to run after dl ticks of clock time; the timer
+// is tracked so Stop can cancel it (and wait out a body already running).
 // Returns the timer for individual cancel, nil if the cluster stopped.
-func (c *Cluster) afterTicks(dl simtime.Duration, fn func()) *time.Timer {
+func (c *Cluster) afterTicks(dl simtime.Duration, fn func()) clock.Timer {
 	return c.timers.AfterFunc(time.Duration(dl)*c.cfg.Tick, fn)
 }
 
@@ -201,14 +210,15 @@ type nodeRT struct {
 
 	timerMu sync.Mutex
 	nextID  protocol.TimerID
-	pending map[protocol.TimerID]*time.Timer
+	pending map[protocol.TimerID]clock.Timer
 }
 
 var _ protocol.Runtime = (*nodeRT)(nil)
 
 func newNodeRT(c *Cluster, id protocol.NodeID) *nodeRT {
-	return &nodeRT{c: c, id: id, mbox: eventloop.NewMailbox(),
-		pending: make(map[protocol.TimerID]*time.Timer)}
+	gate, _ := c.clk.(clock.Gate)
+	return &nodeRT{c: c, id: id, mbox: eventloop.NewMailboxGated(gate),
+		pending: make(map[protocol.TimerID]clock.Timer)}
 }
 
 // enqueue appends one event to the mailbox (dropped after Stop).

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"ssbyz/internal/clock"
 	"ssbyz/internal/core"
 	"ssbyz/internal/protocol"
 	"ssbyz/internal/simtime"
@@ -226,5 +227,85 @@ func TestRunWrapper(t *testing.T) {
 	})
 	if !ran {
 		t.Error("Run did not execute the body")
+	}
+}
+
+// TestStartStopStressVirtual is TestStartStopStress re-pinned on the
+// injected FakeClock: the same teardown window, but the "different
+// protocol phase each iteration" is a deterministic virtual-time offset
+// instead of a wall sleep, and Stop races a concurrent Advance — under
+// -race this pins that the Timers gate holds for fake-clock bodies
+// (which run on the advancing goroutine) exactly as for time.AfterFunc
+// goroutines.
+func TestStartStopStressVirtual(t *testing.T) {
+	pp := liveParams(4)
+	pp.D = 20
+	iters := 30
+	if testing.Short() {
+		iters = 10
+	}
+	for i := 0; i < iters; i++ {
+		clk := clock.NewFake(time.Time{})
+		c, err := New(Config{Params: pp, Seed: int64(i), Clock: clk})
+		if err != nil {
+			t.Fatalf("iter %d: New: %v", i, err)
+		}
+		for j := 0; j < pp.N; j++ {
+			c.SetNode(protocol.NodeID(j), core.NewNode())
+		}
+		c.Start()
+		c.Do(0, func(n protocol.Node) { _ = n.(*core.Node).InitiateAgreement("stress") })
+		// Advance concurrently with Stop so the fire-vs-Stop window is
+		// exercised from both sides.
+		advDone := make(chan struct{})
+		go func() {
+			defer close(advDone)
+			for k := 0; k <= i%7; k++ {
+				clk.Advance(time.Duration(pp.D) * c.cfg.Tick)
+			}
+		}()
+		if i%2 == 0 {
+			<-advDone // half the iterations stop a quiescent cluster
+		}
+		c.Stop()
+		before := c.Recorder().Len()
+		<-advDone
+		clk.Advance(time.Duration(pp.D) * c.cfg.Tick)
+		if after := c.Recorder().Len(); after != before {
+			t.Fatalf("iter %d: %d events recorded after Stop returned", i, after-before)
+		}
+		c.Stop()
+	}
+}
+
+// TestLiveAgreementVirtual runs the in-process channel cluster entirely
+// under virtual time: one Advance of Δagr must complete the agreement,
+// with zero wall-clock waiting.
+func TestLiveAgreementVirtual(t *testing.T) {
+	pp := liveParams(4)
+	clk := clock.NewFake(time.Time{})
+	c, err := New(Config{Params: pp, Seed: 7, Clock: clk})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := 0; i < pp.N; i++ {
+		c.SetNode(protocol.NodeID(i), core.NewNode())
+	}
+	c.Start()
+	defer c.Stop()
+	c.DoWait(0, func(n protocol.Node) {
+		if err := n.(*core.Node).InitiateAgreement("virt-v"); err != nil {
+			t.Errorf("InitiateAgreement: %v", err)
+		}
+	})
+	clk.Advance(time.Duration(pp.DeltaAgr()) * c.cfg.Tick)
+	decides := c.Recorder().ByKind(protocol.EvDecide)
+	if len(decides) != pp.N {
+		t.Fatalf("decides = %d, want %d", len(decides), pp.N)
+	}
+	for _, ev := range decides {
+		if ev.M != "virt-v" {
+			t.Errorf("node %d decided %q, want \"virt-v\"", ev.Node, ev.M)
+		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"ssbyz/internal/clock"
 	"ssbyz/internal/core"
 	"ssbyz/internal/protocol"
 	"ssbyz/internal/sim"
@@ -21,6 +22,9 @@ import (
 // manifest; both are fed to the property battery through Result.
 type Cluster struct {
 	cfg     ClusterConfig
+	clk     clock.Clock
+	fake    *clock.Fake // non-nil on the virtual-time path
+	wire    *memWire    // the in-memory wire of a virtual cluster
 	epoch   time.Time
 	rec     *protocol.Recorder
 	nodes   []*NetNode
@@ -47,6 +51,20 @@ type ClusterConfig struct {
 	NewNode func() protocol.Node
 	// Conditions is the live chaos schedule shared by every node.
 	Conditions []simnet.Condition
+	// Clock is the time source (default clock.Real()). Injecting a
+	// *clock.Fake switches the cluster to the virtual-time path: real
+	// sockets are replaced by the deterministic in-memory wire
+	// (virtual.go), nodes boot serialized, and time moves only under
+	// Advance/Step — the same codec, authentication, deadline-drop, and
+	// chaos code runs, reproducibly.
+	Clock clock.Clock
+	// Seed drives the virtual wire's delivery-delay randomness (the seed
+	// is the run's only entropy, so equal seeds replay byte-identically).
+	Seed int64
+	// DelayMin/DelayMax bound the virtual wire's per-frame delivery
+	// delay in ticks (defaults [D/4, D/2], like livenet; max D/2 so a
+	// chaos jitter of up to D/2 on top never crosses the d deadline).
+	DelayMin, DelayMax simtime.Duration
 }
 
 // NewCluster binds n loopback sockets (ephemeral ports), distributes the
@@ -63,6 +81,12 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	if len(cfg.Faulty) > cfg.Params.F {
 		return nil, fmt.Errorf("nettrans: %d faulty nodes exceeds f=%d", len(cfg.Faulty), cfg.Params.F)
+	}
+	if fake, ok := cfg.Clock.(*clock.Fake); ok {
+		return newVirtualCluster(cfg, fake)
+	}
+	if cfg.Clock != nil {
+		return nil, fmt.Errorf("nettrans: cluster clock must be nil (wall) or a *clock.Fake (virtual)")
 	}
 	n := cfg.Params.N
 	socks := make([]*Socket, n)
@@ -85,6 +109,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	c := &Cluster{
 		cfg:   cfg,
+		clk:   clock.Real(),
 		epoch: time.Now(),
 		rec:   protocol.NewRecorder(),
 		nodes: make([]*NetNode, n),
@@ -142,11 +167,18 @@ func (c *Cluster) Correct() []protocol.NodeID {
 
 // NowTicks returns ticks since the cluster epoch.
 func (c *Cluster) NowTicks() simtime.Real {
-	return simtime.Real(time.Since(c.epoch) / c.cfg.Tick)
+	return simtime.Real(c.clk.Since(c.epoch) / c.cfg.Tick)
 }
+
+// Virtual returns the cluster's fake clock when it runs in virtual
+// time, nil on the wall-clock path. Drivers use it to Advance/Step.
+func (c *Cluster) Virtual() *clock.Fake { return c.fake }
 
 // Stop tears every node down; idempotent.
 func (c *Cluster) Stop() {
+	if c.wire != nil {
+		c.wire.timers.Stop()
+	}
 	for _, nn := range c.nodes {
 		if nn != nil {
 			nn.Stop()
@@ -272,29 +304,86 @@ func (c *Cluster) countInitiates(g protocol.NodeID, v protocol.Value) int {
 	return len(c.initiates(g, v))
 }
 
-// AwaitDecisions polls until every correct node has returned a decision
-// for General g with value want, or the wall-clock timeout passes; it
-// returns how many decided.
+// AwaitDecisions waits until every correct node has returned a decision
+// for General g with value want, or the timeout passes; it returns how
+// many decided. On the wall-clock path it polls; on the virtual path it
+// steps the fake clock timer by timer, so the timeout is a virtual-time
+// budget (timeout/Tick ticks) and deterministic.
 func (c *Cluster) AwaitDecisions(g protocol.NodeID, want protocol.Value, timeout time.Duration) int {
+	if c.fake != nil {
+		horizon := simtime.Duration(c.NowTicks()) + simtime.Duration(timeout/c.cfg.Tick)
+		c.StepUntil(func() bool {
+			// Cheap recorder precheck first; the event-loop query
+			// (countDecided) only runs once the trace says all decided.
+			return c.countDecideEvents(g, want) >= len(c.correct) &&
+				c.countDecided(g, want) == len(c.correct)
+		}, horizon)
+		return c.countDecided(g, want)
+	}
 	deadline := time.Now().Add(timeout)
 	for {
-		done := 0
-		for _, id := range c.correct {
-			var returned, decided bool
-			var v protocol.Value
-			c.DoWait(id, func(n protocol.Node) {
-				if cn, ok := n.(*core.Node); ok {
-					returned, decided, v = cn.Result(g)
-				}
-			})
-			if returned && decided && v == want {
-				done++
-			}
-		}
+		done := c.countDecided(g, want)
 		if done == len(c.correct) || time.Now().After(deadline) {
 			return done
 		}
 		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// countDecided counts correct nodes that have returned a decision for
+// General g with value want.
+func (c *Cluster) countDecided(g protocol.NodeID, want protocol.Value) int {
+	done := 0
+	for _, id := range c.correct {
+		var returned, decided bool
+		var v protocol.Value
+		c.DoWait(id, func(n protocol.Node) {
+			if cn, ok := n.(*core.Node); ok {
+				returned, decided, v = cn.Result(g)
+			}
+		})
+		if returned && decided && v == want {
+			done++
+		}
+	}
+	return done
+}
+
+// countDecideEvents counts traced EvDecide events of correct nodes for
+// (g, want) — a lock-light proxy for countDecided usable every step.
+func (c *Cluster) countDecideEvents(g protocol.NodeID, want protocol.Value) int {
+	isCorrect := make(map[protocol.NodeID]bool, len(c.correct))
+	for _, id := range c.correct {
+		isCorrect[id] = true
+	}
+	done := 0
+	c.rec.ForEachKind(func(ev protocol.TraceEvent) {
+		if ev.G == g && ev.M == want && isCorrect[ev.Node] {
+			done++
+		}
+	}, protocol.EvDecide)
+	return done
+}
+
+// StepUntil drives a virtual cluster one timer at a time until pred
+// holds or virtual time reaches the horizon (ticks since epoch); it
+// reports whether pred held. On a wall-clock cluster it just evaluates
+// pred — real time cannot be stepped.
+func (c *Cluster) StepUntil(pred func() bool, horizon simtime.Duration) bool {
+	if c.fake == nil {
+		return pred()
+	}
+	for {
+		if pred() {
+			return true
+		}
+		if simtime.Duration(c.NowTicks()) >= horizon {
+			return false
+		}
+		if !c.fake.Step() {
+			// Heap empty (a stopped cluster): pred will not change again.
+			return pred()
+		}
 	}
 }
 

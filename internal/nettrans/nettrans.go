@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ssbyz/internal/clock"
 	"ssbyz/internal/eventloop"
 	"ssbyz/internal/protocol"
 	"ssbyz/internal/simnet"
@@ -81,6 +82,10 @@ type NodeConfig struct {
 	// Conditions is the live chaos schedule (scripted partitions, jitter,
 	// churn mapped onto the socket path — see chaos.go).
 	Conditions []simnet.Condition
+	// Clock is the time source behind the epoch clock, the deadline
+	// drops, and every chaos/protocol timer (default clock.Real()). The
+	// virtual cluster injects a shared *clock.Fake here.
+	Clock clock.Clock
 }
 
 // Stats counts the transport's traffic and drop classes. All counters are
@@ -110,6 +115,7 @@ type Stats struct {
 // event-loop goroutine exactly as under the simulator.
 type NetNode struct {
 	cfg     NodeConfig
+	clk     clock.Clock
 	epochID uint64
 	node    protocol.Node
 	rec     *protocol.Recorder
@@ -121,7 +127,7 @@ type NetNode struct {
 
 	timerMu sync.Mutex
 	nextID  protocol.TimerID
-	pending map[protocol.TimerID]*time.Timer
+	pending map[protocol.TimerID]clock.Timer
 
 	// payloadScratch/frameScratch back the allocation-free immediate-send
 	// path. Safe without a lock: protocol.Runtime's contract is that all
@@ -166,17 +172,36 @@ func Start(cfg NodeConfig, node protocol.Node) (*NetNode, error) {
 // StartWith is Start over a pre-bound socket (the in-process Cluster
 // binds all sockets first to learn ephemeral ports, then starts nodes).
 func StartWith(cfg NodeConfig, sock *Socket, node protocol.Node) (*NetNode, error) {
+	if cfg.Transport == "" {
+		cfg.Transport = TransportUDP
+	}
+	if cfg.Transport != sock.transport {
+		return nil, fmt.Errorf("nettrans: config transport %q but socket is %q", cfg.Transport, sock.transport)
+	}
+	return startNode(cfg, node, func(nn *NetNode) (transport, error) {
+		switch cfg.Transport {
+		case TransportUDP:
+			return newUDPTransport(nn, sock.udp, cfg.Peers)
+		case TransportTCP:
+			return newTCPTransport(nn, sock.tcp, cfg.Peers)
+		default:
+			return nil, fmt.Errorf("nettrans: unknown transport %q", cfg.Transport)
+		}
+	})
+}
+
+// startNode validates cfg, assembles the node around the transport the
+// factory builds, and launches its event loop. It is the shared tail of
+// StartWith (real sockets) and the virtual cluster (in-memory wire).
+func startNode(cfg NodeConfig, node protocol.Node, mkTrans func(*NetNode) (transport, error)) (*NetNode, error) {
 	if err := cfg.Params.Validate(); err != nil {
 		return nil, err
 	}
 	if cfg.Tick <= 0 {
 		cfg.Tick = 100 * time.Microsecond
 	}
-	if cfg.Transport == "" {
-		cfg.Transport = TransportUDP
-	}
-	if cfg.Transport != sock.transport {
-		return nil, fmt.Errorf("nettrans: config transport %q but socket is %q", cfg.Transport, sock.transport)
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real()
 	}
 	if len(cfg.Peers) != cfg.Params.N {
 		return nil, fmt.Errorf("nettrans: %d peer addresses for n=%d", len(cfg.Peers), cfg.Params.N)
@@ -194,24 +219,19 @@ func StartWith(cfg NodeConfig, sock *Socket, node protocol.Node) (*NetNode, erro
 	if err != nil {
 		return nil, err
 	}
+	gate, _ := cfg.Clock.(clock.Gate)
 	nn := &NetNode{
 		cfg:     cfg,
+		clk:     cfg.Clock,
 		epochID: uint64(cfg.Epoch.UnixNano()),
 		node:    node,
 		rec:     cfg.Rec,
-		mbox:    eventloop.NewMailbox(),
-		timers:  eventloop.NewTimers(),
+		mbox:    eventloop.NewMailboxGated(gate),
+		timers:  eventloop.NewTimersOn(cfg.Clock),
 		chaos:   ch,
-		pending: make(map[protocol.TimerID]*time.Timer),
+		pending: make(map[protocol.TimerID]clock.Timer),
 	}
-	switch cfg.Transport {
-	case TransportUDP:
-		nn.trans, err = newUDPTransport(nn, sock.udp, cfg.Peers)
-	case TransportTCP:
-		nn.trans, err = newTCPTransport(nn, sock.tcp, cfg.Peers)
-	default:
-		err = fmt.Errorf("nettrans: unknown transport %q", cfg.Transport)
-	}
+	nn.trans, err = mkTrans(nn)
 	if err != nil {
 		return nil, err
 	}
@@ -274,9 +294,10 @@ func (nn *NetNode) Stats() Stats {
 	}
 }
 
-// nowTicks returns ticks since the cluster epoch.
+// nowTicks returns ticks since the cluster epoch, read off the injected
+// clock (the wall clock, or a Fake under virtual time).
 func (nn *NetNode) nowTicks() simtime.Real {
-	return simtime.Real(time.Since(nn.cfg.Epoch) / nn.cfg.Tick)
+	return simtime.Real(nn.clk.Since(nn.cfg.Epoch) / nn.cfg.Tick)
 }
 
 // ---- protocol.Runtime ----

@@ -1,0 +1,182 @@
+package nettrans
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"ssbyz/internal/clock"
+	"ssbyz/internal/core"
+	"ssbyz/internal/eventloop"
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/simtime"
+	"ssbyz/internal/wire"
+)
+
+// This file is the virtual-time path of the Cluster: when ClusterConfig
+// carries a *clock.Fake, the kernel sockets are replaced by an
+// in-memory deterministic wire and every timer — protocol, chaos,
+// delivery — schedules on the fake clock. Everything above the socket
+// still runs for real: frames are encoded by the wire codec, carry the
+// epoch incarnation and send tick, and pass back through handleFrame's
+// full acceptance pipeline (epoch check, authentication, the UDP
+// deadline drop, receiver churn, payload decode). What virtual time
+// buys is reproducibility: the fake fires timers one at a time in
+// (deadline, seq) order and waits for each cascade of mailbox events to
+// drain before the next, so a seeded run's trace is byte-identical
+// across executions (DESIGN.md §9).
+
+// CapturedFrame is one encoded wire frame recorded by the virtual wire
+// at send time — the record half of record/replay: the captured bytes
+// can be decoded and re-fed through the property battery.
+type CapturedFrame struct {
+	From, To protocol.NodeID
+	// Bytes is the full encoded frame (envelope + payload).
+	Bytes []byte
+}
+
+// memWire is the deterministic in-memory datagram wire: sends draw a
+// seeded delivery delay in [DelayMin, DelayMax] ticks and ride a fake-
+// clock timer to the receiver's acceptance pipeline.
+type memWire struct {
+	tick   time.Duration
+	timers *eventloop.Timers
+
+	mu         sync.Mutex
+	rng        *rand.Rand
+	dmin, dmax simtime.Duration
+	nodes      []*NetNode
+	frames     []CapturedFrame
+}
+
+// memTransport is one node's endpoint on the wire; it satisfies the
+// same transport interface as the UDP/TCP sockets.
+type memTransport struct {
+	w  *memWire
+	id protocol.NodeID
+}
+
+func (t *memTransport) addr() string { return fmt.Sprintf("virtual:%d", t.id) }
+func (t *memTransport) close()       {}
+
+func (t *memTransport) send(to protocol.NodeID, frame []byte) {
+	w := t.w
+	// The caller's scratch buffer is reused on the next send; the wire
+	// needs its own copy, exactly as a socket write would take one.
+	cp := append([]byte(nil), frame...)
+	w.mu.Lock()
+	w.frames = append(w.frames, CapturedFrame{From: t.id, To: to, Bytes: cp})
+	delay := w.dmin
+	if w.dmax > w.dmin {
+		delay += simtime.Duration(w.rng.Int63n(int64(w.dmax-w.dmin) + 1))
+	}
+	tgt := w.nodes[to]
+	w.mu.Unlock()
+	if tgt == nil {
+		return // crash-faulty slot: the datagram vanishes, as on a parked socket
+	}
+	w.timers.AfterFunc(time.Duration(delay)*w.tick, func() {
+		f, n, err := wire.DecodeFrame(cp)
+		if err != nil || n != len(cp) {
+			tgt.decDrop.Add(1)
+			return
+		}
+		// The wire is point-to-point in process: the sender identity is
+		// its endpoint, so authentication holds by construction (the
+		// claimed-sender check still runs inside handleFrame's pipeline).
+		tgt.handleFrame(f, f.From == t.id)
+	})
+}
+
+// Frames returns a copy of every wire frame the virtual wire carried so
+// far, in send order (empty on the wall-clock path). With a fixed seed
+// the sequence is byte-identical run to run — the record/replay golden
+// tests pin exactly that.
+func (c *Cluster) Frames() []CapturedFrame {
+	if c.wire == nil {
+		return nil
+	}
+	c.wire.mu.Lock()
+	defer c.wire.mu.Unlock()
+	out := make([]CapturedFrame, len(c.wire.frames))
+	copy(out, c.wire.frames)
+	return out
+}
+
+// newVirtualCluster is NewCluster on the virtual-time path.
+func newVirtualCluster(cfg ClusterConfig, fake *clock.Fake) (*Cluster, error) {
+	n := cfg.Params.N
+	if cfg.DelayMax == 0 {
+		cfg.DelayMax = cfg.Params.D / 2
+	}
+	if cfg.DelayMin == 0 {
+		cfg.DelayMin = cfg.Params.D / 4
+	}
+	if cfg.DelayMin < 0 || cfg.DelayMin > cfg.DelayMax || cfg.DelayMax > cfg.Params.D/2 {
+		// Max D/2: the chaos layer may add up to D/2 of scripted jitter
+		// before the send, and the two together must stay within the
+		// model's d so the deadline drop never fires spuriously.
+		return nil, fmt.Errorf("nettrans: virtual delay range must satisfy 0 ≤ min ≤ max ≤ D/2")
+	}
+	peers := make([]string, n)
+	for i := range peers {
+		peers[i] = fmt.Sprintf("virtual:%d", i)
+	}
+	c := &Cluster{
+		cfg:   cfg,
+		clk:   fake,
+		fake:  fake,
+		epoch: fake.Now(),
+		rec:   protocol.NewRecorder(),
+		nodes: make([]*NetNode, n),
+	}
+	c.wire = &memWire{
+		tick:   cfg.Tick,
+		timers: eventloop.NewTimersOn(fake),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		dmin:   cfg.DelayMin,
+		dmax:   cfg.DelayMax,
+		nodes:  make([]*NetNode, n),
+	}
+	for i := 0; i < n; i++ {
+		id := protocol.NodeID(i)
+		machine, isFaulty := cfg.Faulty[id]
+		if isFaulty && machine == nil {
+			continue // crash-faulty: the wire drops frames addressed to it
+		}
+		if !isFaulty {
+			if cfg.NewNode != nil {
+				machine = cfg.NewNode()
+			} else {
+				machine = core.NewNode()
+			}
+			c.correct = append(c.correct, id)
+		}
+		nn, err := startNode(NodeConfig{
+			ID:         id,
+			Params:     cfg.Params,
+			Tick:       cfg.Tick,
+			Transport:  cfg.Transport,
+			Peers:      peers,
+			Epoch:      c.epoch,
+			Rec:        c.rec,
+			Conditions: cfg.Conditions,
+			Clock:      fake,
+		}, machine, func(nn *NetNode) (transport, error) {
+			return &memTransport{w: c.wire, id: id}, nil
+		})
+		if err != nil {
+			c.Stop()
+			return nil, err
+		}
+		c.nodes[i] = nn
+		c.wire.nodes[i] = nn
+		// Serialize the boot: node i's Start (and the timers it
+		// registers) fully drains before node i+1 starts, so timer
+		// registration order — and with it the whole run — is
+		// deterministic.
+		fake.WaitIdle()
+	}
+	return c, nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"ssbyz/internal/clock"
 	"ssbyz/internal/indexed"
 	"ssbyz/internal/nettrans"
 	"ssbyz/internal/protocol"
@@ -23,6 +24,12 @@ type LiveConfig struct {
 	QueueLimit int           // bounded pending buffer (default 4·Sessions)
 	Faulty     map[protocol.NodeID]protocol.Node
 	Conditions []simnet.Condition
+	// Clock switches the run to virtual time when it is a *clock.Fake:
+	// the cluster uses the deterministic in-memory wire and RunLive
+	// drives the fake clock instead of polling the wall (nil = wall).
+	Clock clock.Clock
+	// Seed drives the virtual wire's delivery delays (virtual path only).
+	Seed int64
 }
 
 // LiveResult is a finished live service run.
@@ -62,6 +69,8 @@ func RunLive(cfg LiveConfig, loads []Workload, timeout time.Duration) (*LiveResu
 		Transport:  cfg.Transport,
 		Faulty:     cfg.Faulty,
 		Conditions: cfg.Conditions,
+		Clock:      cfg.Clock,
+		Seed:       cfg.Seed,
 	}
 	if sessions > 1 {
 		ccfg.NewNode = func() protocol.Node { return indexed.NewNode(sessions) }
@@ -80,26 +89,43 @@ func RunLive(cfg LiveConfig, loads []Workload, timeout time.Duration) (*LiveResu
 		QueueLimit: cfg.QueueLimit,
 		Loads:      loads,
 	})
-	// Poll at quarter-d wall-clock granularity, the same cadence the sim
-	// driver uses in virtual time.
-	poll := c.Tick() * time.Duration(cfg.Params.D) / 4
-	if poll <= 0 {
-		poll = time.Millisecond
+	// Poll at quarter-d granularity, the same cadence the sim driver
+	// uses. On the virtual path the poll is an Advance of the fake
+	// clock — the timeout becomes a virtual-time budget and the whole
+	// drive is deterministic; on the wall path it is a real sleep.
+	quarter := time.Duration(cfg.Params.D) / 4 * c.Tick()
+	if quarter <= 0 {
+		quarter = time.Millisecond
 	}
-	deadline := time.Now().Add(timeout)
-	for {
-		pump.Step(c.NowTicks())
-		if pump.Idle() {
-			break
+	if fake := c.Virtual(); fake != nil {
+		horizon := simtime.Duration(c.NowTicks()) + simtime.Duration(timeout/c.Tick())
+		for {
+			pump.Step(c.NowTicks())
+			if pump.Idle() {
+				break
+			}
+			if simtime.Duration(c.NowTicks()) >= horizon {
+				return nil, fmt.Errorf("service: live workload did not drain within %v of virtual time", timeout)
+			}
+			fake.Advance(quarter)
 		}
-		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("service: live workload did not drain within %v", timeout)
+		fake.Advance(2 * time.Duration(cfg.Params.D) * c.Tick())
+	} else {
+		deadline := time.Now().Add(timeout)
+		for {
+			pump.Step(c.NowTicks())
+			if pump.Idle() {
+				break
+			}
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("service: live workload did not drain within %v", timeout)
+			}
+			time.Sleep(quarter)
 		}
-		time.Sleep(poll)
+		// Let the last decide returns settle at every correct node before
+		// the trace is frozen (the General's own return leads peers by ≤ 2d).
+		time.Sleep(2 * time.Duration(cfg.Params.D) * c.Tick())
 	}
-	// Let the last decide returns settle at every correct node before the
-	// trace is frozen (the General's own return leads peers by ≤ 2d).
-	time.Sleep(2 * time.Duration(cfg.Params.D) * c.Tick())
 	horizon := simtime.Duration(c.NowTicks())
 	res := c.Result(horizon)
 	return &LiveResult{Res: res, Logs: pump.Results(), Stats: c.Stats()}, nil

@@ -1,11 +1,14 @@
 package service
 
 import (
+	"bytes"
 	"testing"
 	"time"
 
+	"ssbyz/internal/clock"
 	"ssbyz/internal/protocol"
 	"ssbyz/internal/simtime"
+	"ssbyz/internal/wire"
 )
 
 // TestLiveServiceMultiplexed drives the replicated log over real loopback
@@ -34,6 +37,54 @@ func TestLiveServiceMultiplexed(t *testing.T) {
 	}
 	if v := Battery(res.Res, res.Logs); len(v) != 0 {
 		t.Fatalf("battery violations on live trace (%d): %v", len(v), v[0])
+	}
+}
+
+// TestLiveServiceVirtual is the multiplexed service burst under virtual
+// time: same pump, same sockets-shaped pipeline, but the cluster runs on
+// a fake clock over the deterministic in-memory wire, so it needs no
+// -short gate and two executions must agree byte for byte — committed
+// logs, commit instants, and the full trace stream. This is the L2
+// deterministic-live cell the default `go test ./...` runs.
+func TestLiveServiceVirtual(t *testing.T) {
+	run := func(seed int64) (*LiveResult, []byte) {
+		pp := protocol.DefaultParams(4)
+		pp.D = 250
+		const entries = 6
+		arrivals := PoissonArrivals(1, simtime.Real(pp.D), simtime.Duration(pp.D), entries)
+		res, err := RunLive(LiveConfig{
+			Params:   pp,
+			Sessions: 3,
+			Clock:    clock.NewFake(time.Time{}),
+			Seed:     seed,
+		}, []Workload{{G: 0, Arrivals: arrivals}}, 10*time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var blob []byte
+		for _, ev := range res.Res.Rec.Events() {
+			blob = wire.AppendTraceEvent(blob, ev)
+		}
+		return res, blob
+	}
+	res1, blob1 := run(11)
+	res2, blob2 := run(11)
+	lr := res1.Logs[0]
+	if len(lr.Committed) != 6 || lr.Failed != 0 || lr.Dropped != 0 {
+		t.Fatalf("committed=%d failed=%d dropped=%d, want 6/0/0",
+			len(lr.Committed), lr.Failed, lr.Dropped)
+	}
+	if v := Battery(res1.Res, res1.Logs); len(v) != 0 {
+		t.Fatalf("battery violations on virtual live trace (%d): %v", len(v), v[0])
+	}
+	if !bytes.Equal(blob1, blob2) {
+		t.Fatalf("virtual service traces differ across executions: %d vs %d bytes", len(blob1), len(blob2))
+	}
+	for i, e := range res1.Logs[0].Committed {
+		e2 := res2.Logs[0].Committed[i]
+		if *e != *e2 {
+			t.Fatalf("committed entry %d differs across executions: %+v vs %+v", i, e, e2)
+		}
 	}
 }
 
