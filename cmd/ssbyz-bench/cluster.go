@@ -16,16 +16,19 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
 	"ssbyz/internal/check"
 	"ssbyz/internal/clock"
+	"ssbyz/internal/core"
 	"ssbyz/internal/metrics"
 	"ssbyz/internal/nettrans"
 	"ssbyz/internal/protocol"
 	"ssbyz/internal/service"
 	"ssbyz/internal/simtime"
+	"ssbyz/internal/transient"
 	"ssbyz/internal/wire"
 )
 
@@ -43,6 +46,12 @@ type clusterOpts struct {
 	// in-memory wire: same codec and acceptance pipeline, byte-identical
 	// runs (DESIGN.md §9). In-process only.
 	virtual bool
+	// fault, when ≥ 0, corrupts that RUNNING node's protocol state after
+	// the first agreement — in place through its event loop in-process,
+	// or over the daemon's control socket as a FrameFault with -procs —
+	// and the run measures re-stabilization against Δstb = 2Δreset before
+	// probing with a fresh agreement.
+	fault int
 }
 
 // virtualSeed is the fixed wire seed of -virtual runs: the CLI's output
@@ -75,6 +84,19 @@ func runCluster(o clusterOpts) error {
 	fmt.Printf("cluster: n=%d f=%d transport=%s d=%d ticks (%v) tick=%v mode=%s agreements=%d\n",
 		pp.N, pp.F, o.transport, pp.D, time.Duration(pp.D)*o.tick, o.tick, mode, o.agreements)
 
+	if o.fault >= 0 {
+		if o.fault >= pp.N {
+			return fmt.Errorf("-fault node %d outside committee [0,%d)", o.fault, pp.N)
+		}
+		if o.sessions > 1 {
+			return fmt.Errorf("-fault needs the agreement cluster; drop -sessions")
+		}
+		if o.agreements >= pp.N {
+			// The phantom mark is planted under General n-1; the rotation
+			// must never script that identity or the mark is unobservable.
+			return fmt.Errorf("-fault needs -agreements < n (the mark General n-1 must stay unscripted)")
+		}
+	}
 	if o.sessions > 1 {
 		if o.procs {
 			return fmt.Errorf("-sessions > 1 needs the in-process service pump; drop -procs")
@@ -116,9 +138,7 @@ func runClusterService(o clusterOpts, pp protocol.Params) error {
 	}
 	wallS := time.Since(start).Seconds()
 	st := res.Logs[0].Stats()
-	fmt.Printf("traffic: sent=%d received=%d late=%d auth=%d epoch=%d chaos=%d decode=%d\n",
-		res.Stats.Sent, res.Stats.Received, res.Stats.LateDrops, res.Stats.AuthDrops,
-		res.Stats.EpochDrops, res.Stats.ChaosDrops, res.Stats.DecodeDrops)
+	fmt.Printf("traffic: %s\n", fmtStats(res.Stats))
 	fmt.Printf("log: committed=%d/%d failed=%d sessions=%d wall=%.2fs (%.1f agr/sec)\n",
 		st.Committed, o.agreements, st.Failed, o.sessions, wallS,
 		float64(st.Committed)/wallS)
@@ -166,6 +186,17 @@ func verdict(res *check.LiveResult, inits []check.LiveInitiation, pp protocol.Pa
 
 // ---- in-process ----
 
+// fmtStats renders the full per-class condition/attack counter vector as
+// "name=value" pairs — the same schema the daemons stream as FrameStats.
+func fmtStats(s nettrans.Stats) string {
+	vec := s.Counters()
+	parts := make([]string, len(vec))
+	for i, name := range nettrans.CounterNames {
+		parts[i] = fmt.Sprintf("%s=%d", name, vec[i])
+	}
+	return strings.Join(parts, " ")
+}
+
 func runClusterInProcess(o clusterOpts, pp protocol.Params) error {
 	ccfg := nettrans.ClusterConfig{
 		Params: pp, Tick: o.tick, Transport: o.transport,
@@ -184,26 +215,137 @@ func runClusterInProcess(o clusterOpts, pp protocol.Params) error {
 	}
 	defer c.Stop()
 
-	var inits []check.LiveInitiation
-	for i := 0; i < o.agreements; i++ {
+	runAgreement := func(i int) (check.LiveInitiation, error) {
 		g := protocol.NodeID(i % pp.N)
 		v := protocol.Value(fmt.Sprintf("v%d", i))
 		t0, err := c.Initiate(g, v, 5*time.Second)
 		if err != nil {
-			return fmt.Errorf("agreement %d: %w", i, err)
+			return check.LiveInitiation{}, fmt.Errorf("agreement %d: %w", i, err)
 		}
 		if done := c.AwaitDecisions(g, v, agrBudget); done != pp.N {
-			return fmt.Errorf("agreement %d: only %d/%d nodes decided within %v (stats %+v)",
+			return check.LiveInitiation{}, fmt.Errorf("agreement %d: only %d/%d nodes decided within %v (stats %+v)",
 				i, done, pp.N, agrBudget, c.Stats())
 		}
-		inits = append(inits, check.LiveInitiation{G: g, V: v, T0: t0})
+		return check.LiveInitiation{G: g, V: v, T0: t0}, nil
 	}
-	stats := c.Stats()
-	fmt.Printf("traffic: sent=%d received=%d late=%d auth=%d epoch=%d chaos=%d decode=%d\n",
-		stats.Sent, stats.Received, stats.LateDrops, stats.AuthDrops,
-		stats.EpochDrops, stats.ChaosDrops, stats.DecodeDrops)
+
+	var inits []check.LiveInitiation
+	for i := 0; i < o.agreements; i++ {
+		init, err := runAgreement(i)
+		if err != nil {
+			return err
+		}
+		inits = append(inits, init)
+		if i == 0 && o.fault >= 0 {
+			break
+		}
+	}
+
+	if o.fault < 0 {
+		fmt.Printf("traffic: %s\n", fmtStats(c.Stats()))
+		res := c.Result(simtime.Duration(c.NowTicks()) + 1)
+		return verdict(&check.LiveResult{Result: res}, inits, pp, float64(pp.D))
+	}
+
+	// Mid-run transient fault: corrupt the RUNNING node in place through
+	// its event loop (the same transient.CorruptRunning call the daemon's
+	// control socket triggers), measure the re-stabilization of the
+	// planted phantom mark against Δstb = 2Δreset, then probe with the
+	// remaining agreements and judge the pre- and post-window trace
+	// halves separately — the paper's properties are only promised
+	// outside the fault window.
+	faultNode := protocol.NodeID(o.fault)
+	markG := protocol.NodeID(pp.N - 1)
+	// Flush the first agreement's tail before the cut: decisions are
+	// awaited above but the return events trail them, and the pre-fault
+	// verdict below must see a complete agreement.
+	if c.Virtual() != nil {
+		c.StepUntil(func() bool { return false }, simtime.Duration(c.NowTicks())+8*pp.D)
+	} else {
+		time.Sleep(time.Duration(8*pp.D) * o.tick)
+	}
+	faultTick := c.NowTicks()
+	c.DoWait(faultNode, func(n protocol.Node) {
+		transient.CorruptRunning(n.(*core.Node), pp, transient.Config{
+			Seed:  virtualSeed,
+			Marks: []protocol.NodeID{markG},
+		}, simtime.Local(c.NowTicks()))
+	})
+	fmt.Printf("fault: node %d state corrupted in place at tick %d (severity 1000‰)\n", faultNode, faultTick)
+
+	markReturned := func() bool {
+		returned := false
+		c.DoWait(faultNode, func(n protocol.Node) {
+			returned, _, _ = n.(*core.Node).Result(markG)
+		})
+		return returned
+	}
+	if !markReturned() {
+		return fmt.Errorf("fault: the phantom mark was not planted on node %d", faultNode)
+	}
+	deadline := faultTick + simtime.Real(pp.DeltaStb())
+	advanceUntil := func(target simtime.Real, stop func() bool) {
+		if fake := c.Virtual(); fake != nil {
+			steps := 0
+			c.StepUntil(func() bool {
+				steps++
+				return steps%32 == 0 && stop != nil && stop()
+			}, simtime.Duration(target))
+			return
+		}
+		for c.NowTicks() < target {
+			if stop != nil && stop() {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	advanceUntil(deadline, func() bool { return !markReturned() })
+	if markReturned() {
+		return fmt.Errorf("node %d did not re-stabilize within Δstb = %d ticks", faultNode, pp.DeltaStb())
+	}
+	restab := c.NowTicks() - faultTick
+	fmt.Printf("fault: node %d re-stabilized in %d ticks (Δstb budget %d)\n", faultNode, restab, pp.DeltaStb())
+	advanceUntil(deadline, nil)
+
+	postStart := c.NowTicks()
+	var postInits []check.LiveInitiation
+	for i := 1; i < o.agreements; i++ {
+		init, err := runAgreement(i)
+		if err != nil {
+			return err
+		}
+		postInits = append(postInits, init)
+	}
+	if len(postInits) == 0 {
+		// Always probe after recovery, even when -agreements is 1: the
+		// point of the fault run is proving the system still agrees.
+		init, err := runAgreement(1)
+		if err != nil {
+			return err
+		}
+		postInits = append(postInits, init)
+	}
+	fmt.Printf("traffic: %s\n", fmtStats(c.Stats()))
+
 	res := c.Result(simtime.Duration(c.NowTicks()) + 1)
-	return verdict(&check.LiveResult{Result: res}, inits, pp, float64(pp.D))
+	var pre, post []protocol.TraceEvent
+	for _, ev := range res.Rec.Events() {
+		switch {
+		case ev.RT < faultTick:
+			pre = append(pre, ev)
+		case ev.RT >= postStart:
+			post = append(post, ev)
+		}
+	}
+	fmt.Printf("pre-fault window (%d events):\n", len(pre))
+	if err := verdict(&check.LiveResult{Result: nettrans.BuildResult(pp, pre, res.Correct, simtime.Duration(faultTick))},
+		inits, pp, float64(pp.D)); err != nil {
+		return err
+	}
+	fmt.Printf("post-recovery window (%d events):\n", len(post))
+	return verdict(&check.LiveResult{Result: nettrans.BuildResult(pp, post, res.Correct, simtime.Duration(c.NowTicks())+1)},
+		postInits, pp, float64(pp.D))
 }
 
 // ---- multi-process ----
@@ -232,6 +374,29 @@ func runClusterProcs(o clusterOpts, pp protocol.Params) error {
 	epoch := time.Now().Add(500 * time.Millisecond)
 	t0 := simtime.Real(5 * pp.D)
 	runFor := int64(t0) + int64(2*pp.DeltaAgr()) + int64(10*pp.D)
+
+	// With -fault the run stretches past the transient window: the fault
+	// order lands after the first agreement settles, the daemons get the
+	// full Δstb = 2Δreset budget to re-stabilize, and a second General
+	// then probes that the recovered cluster still agrees.
+	var (
+		faultAt   simtime.Real
+		postAt    simtime.Real
+		probeNode protocol.NodeID
+		vpost     = protocol.Value("vpost")
+	)
+	if o.fault >= 0 {
+		faultAt = t0 + simtime.Real(pp.DeltaAgr()) + simtime.Real(10*pp.D)
+		postAt = faultAt + simtime.Real(pp.DeltaStb()) + simtime.Real(2*pp.D)
+		// The probe General must be neither node 0 (already the General of
+		// v0) nor n-1 (the phantom-mark identity the daemon's fault watcher
+		// observes); n ≥ 4 always leaves 1 or 2 free.
+		probeNode = 1
+		if o.fault == 1 {
+			probeNode = 2
+		}
+		runFor = int64(postAt) + int64(2*pp.DeltaAgr()) + int64(10*pp.D)
+	}
 	m := nettrans.Manifest{
 		N: pp.N, F: pp.F, D: pp.D,
 		TickUS:        o.tick.Microseconds(),
@@ -267,6 +432,9 @@ func runClusterProcs(o clusterOpts, pp protocol.Params) error {
 		if i == 0 {
 			args = append(args, "-initiate", string(v), "-initiate-at", fmt.Sprint(int64(t0)))
 		}
+		if o.fault >= 0 && protocol.NodeID(i) == probeNode {
+			args = append(args, "-initiate", string(vpost), "-initiate-at", fmt.Sprint(int64(postAt)))
+		}
 		cmd := exec.Command(nodeBin, args...)
 		cmd.Stdout = os.Stdout
 		cmd.Stderr = os.Stderr
@@ -275,6 +443,18 @@ func runClusterProcs(o clusterOpts, pp protocol.Params) error {
 			return fmt.Errorf("spawn node %d: %w", i, err)
 		}
 		procs[i] = cmd
+	}
+	if o.fault >= 0 {
+		// Deliver the fault order over the control socket at wall time
+		// epoch + faultAt ticks — the daemon corrupts its RUNNING state in
+		// place and self-reports its re-stabilization.
+		go func() {
+			time.Sleep(time.Until(epoch.Add(time.Duration(faultAt) * o.tick)))
+			if err := collector.sendFault(protocol.NodeID(o.fault),
+				wire.FaultCmd{Seed: virtualSeed, SeverityPermille: 1000}); err != nil {
+				fmt.Fprintf(os.Stderr, "fault order to node %d: %v\n", o.fault, err)
+			}
+		}()
 	}
 	var procErrs []error
 	for i, cmd := range procs {
@@ -287,18 +467,47 @@ func runClusterProcs(o clusterOpts, pp protocol.Params) error {
 	}
 	events := collector.drain()
 	fmt.Printf("collected %d trace events from %d daemons\n", len(events), pp.N)
+	fmt.Printf("traffic: %s\n", fmtStats(collector.totalStats()))
 
 	correct := make([]protocol.NodeID, pp.N)
 	for i := range correct {
 		correct[i] = protocol.NodeID(i)
 	}
-	res := nettrans.BuildResult(pp, events, correct, simtime.Duration(runFor)+1)
 	realT0, ok := findInitiate(events, 0, v)
 	if !ok {
 		return fmt.Errorf("the General's initiation never appeared in the collected trace")
 	}
-	return verdict(&check.LiveResult{Result: res},
-		[]check.LiveInitiation{{G: 0, V: v, T0: realT0}}, pp, float64(pp.D))
+
+	if o.fault < 0 {
+		res := nettrans.BuildResult(pp, events, correct, simtime.Duration(runFor)+1)
+		return verdict(&check.LiveResult{Result: res},
+			[]check.LiveInitiation{{G: 0, V: v, T0: realT0}}, pp, float64(pp.D))
+	}
+
+	// With -fault the trace is judged in two halves around the transient
+	// window [faultAt, postAt): the paper's properties are promised before
+	// the fault and again once Δstb has elapsed, not during recovery.
+	var pre, post []protocol.TraceEvent
+	for _, ev := range events {
+		switch {
+		case ev.RT < faultAt:
+			pre = append(pre, ev)
+		case ev.RT >= postAt:
+			post = append(post, ev)
+		}
+	}
+	postT0, ok := findInitiate(post, probeNode, vpost)
+	if !ok {
+		return fmt.Errorf("the post-recovery probe initiation (G%d %q) never appeared in the collected trace", probeNode, vpost)
+	}
+	fmt.Printf("pre-fault window (%d events):\n", len(pre))
+	if err := verdict(&check.LiveResult{Result: nettrans.BuildResult(pp, pre, correct, simtime.Duration(faultAt))},
+		[]check.LiveInitiation{{G: 0, V: v, T0: realT0}}, pp, float64(pp.D)); err != nil {
+		return err
+	}
+	fmt.Printf("post-recovery window (%d events):\n", len(post))
+	return verdict(&check.LiveResult{Result: nettrans.BuildResult(pp, post, correct, simtime.Duration(runFor)+1)},
+		[]check.LiveInitiation{{G: probeNode, V: vpost, T0: postT0}}, pp, float64(pp.D))
 }
 
 func findInitiate(events []protocol.TraceEvent, g protocol.NodeID, v protocol.Value) (simtime.Real, bool) {
@@ -337,13 +546,19 @@ func resolveNodeBin(flagValue string) (string, error) {
 }
 
 // traceCollector accepts the daemons' control connections and decodes
-// their trace streams.
+// their trace streams. The connections are bidirectional: each is
+// registered under the node id its FrameHello announces so sendFault can
+// address a specific RUNNING daemon with a FrameFault order, and the
+// FrameStats vector each daemon streams at shutdown is kept so the run
+// can print the cluster-wide per-class condition/attack counters.
 type traceCollector struct {
 	ln net.Listener
 	wg sync.WaitGroup
 
 	mu     sync.Mutex
 	events []protocol.TraceEvent
+	conns  map[protocol.NodeID]net.Conn
+	stats  map[protocol.NodeID]nettrans.Stats
 }
 
 func newTraceCollector() (*traceCollector, error) {
@@ -351,9 +566,43 @@ func newTraceCollector() (*traceCollector, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &traceCollector{ln: ln}
+	c := &traceCollector{
+		ln:    ln,
+		conns: make(map[protocol.NodeID]net.Conn),
+		stats: make(map[protocol.NodeID]nettrans.Stats),
+	}
 	go c.acceptLoop()
 	return c, nil
+}
+
+// sendFault writes a FrameFault order on the named daemon's control
+// connection; the daemon corrupts its RUNNING protocol state in place on
+// receipt (the in-situ transient-fault injection of DESIGN.md §10).
+func (c *traceCollector) sendFault(id protocol.NodeID, cmd wire.FaultCmd) error {
+	c.mu.Lock()
+	conn := c.conns[id]
+	c.mu.Unlock()
+	if conn == nil {
+		return fmt.Errorf("no control connection from node %d", id)
+	}
+	frame := wire.AppendFrame(nil, wire.Frame{
+		Kind:    wire.FrameFault,
+		From:    id,
+		Payload: wire.AppendFaultCmd(nil, cmd),
+	})
+	_, err := conn.Write(frame)
+	return err
+}
+
+// totalStats sums the per-daemon shutdown counter vectors.
+func (c *traceCollector) totalStats() nettrans.Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total nettrans.Stats
+	for _, s := range c.stats {
+		total.Add(s)
+	}
+	return total
 }
 
 func (c *traceCollector) addr() string { return c.ln.Addr().String() }
@@ -389,13 +638,23 @@ func (c *traceCollector) readLoop(conn net.Conn) {
 					return // corrupt control stream; drop the connection
 				}
 				buf = buf[consumed:]
-				if f.Kind != wire.FrameTrace {
-					continue // hello/bye bookkeeping
-				}
-				if ev, _, err := wire.DecodeTraceEvent(f.Payload); err == nil {
+				switch f.Kind {
+				case wire.FrameHello:
 					c.mu.Lock()
-					c.events = append(c.events, ev)
+					c.conns[f.From] = conn
 					c.mu.Unlock()
+				case wire.FrameStats:
+					if vec, _, err := wire.DecodeCounters(f.Payload); err == nil {
+						c.mu.Lock()
+						c.stats[f.From] = nettrans.StatsFromCounters(vec)
+						c.mu.Unlock()
+					}
+				case wire.FrameTrace:
+					if ev, _, err := wire.DecodeTraceEvent(f.Payload); err == nil {
+						c.mu.Lock()
+						c.events = append(c.events, ev)
+						c.mu.Unlock()
+					}
 				}
 			}
 		}

@@ -9,14 +9,18 @@
 //	ssbyz-bench -replay spec.json
 //	ssbyz-bench -cluster N [-transport udp|tcp] [-procs] [-node-bin path]
 //	            [-agreements K] [-sessions C] [-cluster-d ticks] [-tick dur]
-//	            [-virtual]
+//	            [-virtual] [-fault K]
 //
 // -replay skips the suite and re-runs one scenario spec (as exported by
-// the S2 campaign for any property-violating scenario, or written by
-// hand — see DESIGN.md §6) against the full property battery. Replay is
-// exact: the spec carries every bit of entropy the run consumes, so the
-// verdict reproduces deterministically. The exit status is non-zero when
-// the replayed scenario violates any of the paper's proved properties.
+// the S2 or V3 campaigns for any property-violating scenario, or written
+// by hand — see DESIGN.md §6, §10) against the full property battery, on
+// whatever runtime the spec names: the simulator (default), the
+// deterministic virtual-time cluster ("virtual" — wire codec, byte-level
+// attacks, scripted in-situ transient faults), or real loopback sockets
+// ("live"). Replay of sim/virtual specs is exact: the spec carries every
+// bit of entropy the run consumes, so the verdict reproduces
+// deterministically. The exit status is non-zero when the replayed
+// scenario violates any of the paper's proved properties.
 //
 // -cluster skips the suite and runs a live loopback cluster over real
 // sockets (DESIGN.md §7): N nodes, in-process by default or one
@@ -36,14 +40,23 @@
 // under virtual time: the same pipeline on a fake clock over the
 // deterministic in-memory wire (DESIGN.md §9), so the run is exactly
 // reproducible and -tick is a virtual unit rather than a wall sleep
-// (in-process only; incompatible with -procs).
+// (in-process only; incompatible with -procs). -fault K corrupts node
+// K's RUNNING protocol state after the first agreement — in place
+// through its event loop in-process, or as a FrameFault order over the
+// daemon's control socket with -procs — plants a phantom mark, requires
+// the node to re-stabilize within the paper's Δstb = 2Δreset budget,
+// then probes the recovered cluster with a fresh agreement; the trace is
+// judged in pre-fault and post-recovery halves, since the paper's
+// properties are only promised outside the transient window
+// (DESIGN.md §10).
 //
 // -live appends experiments L1 (live loopback latency/throughput sweep
-// over the same socket transport) and L2 (the replicated-log service
-// over loopback UDP at session concurrency 1 and 8) to the suite run
-// and its JSON artifact. Their numbers are wall-clock measurements —
-// unlike every other experiment they vary run to run, so they only run
-// when asked.
+// over the same socket transport), L2 (the replicated-log service over
+// loopback UDP at session concurrency 1 and 8), and L3 (byte-level
+// attack classes and in-situ transient-fault recovery against real
+// sockets) to the suite run and its JSON artifact. Their numbers are
+// wall-clock measurements — unlike every other experiment they vary run
+// to run, so they only run when asked.
 //
 // The full suite takes many minutes single-threaded (S1 stretches to
 // n = 256); -parallel fans the independent simulation cells across N
@@ -97,6 +110,7 @@ type benchFlags struct {
 	clusterD   *int64
 	tick       *time.Duration
 	virtual    *bool
+	fault      *int
 }
 
 // defineFlags registers every ssbyz-bench flag on fs. The definitions
@@ -109,8 +123,8 @@ func defineFlags(fs *flag.FlagSet) *benchFlags {
 		parallel: fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulation cells (1 = sequential)"),
 		out:      fs.String("o", "", "also write the report to this file"),
 		jsonOut:  fs.String("json", "", "write the machine-readable suite to this file"),
-		replay:   fs.String("replay", "", "replay a scenario spec JSON file against the property battery (skips the suite)"),
-		live:     fs.Bool("live", false, "append experiments L1 and L2 (live loopback sweeps; wall-clock numbers) to the suite"),
+		replay:   fs.String("replay", "", "replay a scenario spec JSON file against the property battery on the runtime it names (skips the suite)"),
+		live:     fs.Bool("live", false, "append experiments L1, L2, and L3 (live loopback sweeps and adversarial cells; wall-clock numbers) to the suite"),
 
 		cluster:    fs.Int("cluster", 0, "run a live loopback cluster of this many nodes over real sockets (skips the suite)"),
 		transport:  fs.String("transport", "udp", "-cluster socket transport: udp (deadline drops) or tcp (lossless)"),
@@ -121,6 +135,7 @@ func defineFlags(fs *flag.FlagSet) *benchFlags {
 		clusterD:   fs.Int64("cluster-d", 100, "-cluster: the paper's d in ticks"),
 		tick:       fs.Duration("tick", 100*time.Microsecond, "-cluster: wall-clock length of one tick"),
 		virtual:    fs.Bool("virtual", false, "-cluster: run under virtual time on a fake clock over the deterministic in-memory wire (in-process only; the run is byte-reproducible)"),
+		fault:      fs.Int("fault", -1, "-cluster: corrupt this RUNNING node's protocol state in place after the first agreement (in-process, or over the daemon control socket with -procs) and require re-stabilization within Δstb = 2Δreset before a probe agreement"),
 	}
 }
 
@@ -160,6 +175,7 @@ func run() error {
 			d:          ssbyz.Ticks(*clusterD),
 			tick:       *tick,
 			virtual:    *f.virtual,
+			fault:      *f.fault,
 		})
 	}
 
@@ -186,6 +202,7 @@ func run() error {
 	if *live {
 		for _, run := range []func(io.Writer, ssbyz.ExperimentOptions) (*ssbyz.ExperimentResult, error){
 			ssbyz.RunLiveExperiment, ssbyz.RunLiveServiceExperiment,
+			ssbyz.RunAdversarialLiveExperiment,
 		} {
 			res, err := run(w, ssbyz.ExperimentOptions{Quick: *quick})
 			if err != nil {
@@ -223,14 +240,36 @@ func replayScenario(path string) error {
 		return err
 	}
 	sp := rep.Spec
-	fmt.Printf("replaying scenario: n=%d f=%d seed=%d adversaries=%d conditions=%d initiations=%d\n",
-		sp.N, sp.Params().F, sp.Seed, len(sp.Adversaries), len(sp.Conditions), len(sp.Script))
+	runtime := sp.Runtime
+	if runtime == "" {
+		runtime = ssbyz.RuntimeSim
+	}
+	fmt.Printf("replaying scenario: runtime=%s n=%d f=%d seed=%d adversaries=%d conditions=%d initiations=%d faults=%d\n",
+		runtime, sp.N, sp.Params().F, sp.Seed, len(sp.Adversaries), len(sp.Conditions), len(sp.Script), len(sp.Faults))
 	for _, init := range sp.Script {
 		decided := len(rep.Report.DecisionsFor(init.G, init.Value))
 		fmt.Printf("  G%d initiated %q at t=%d: %d correct decide returns\n",
 			init.G, init.Value, init.At, decided)
 	}
-	fmt.Printf("  total messages: %d\n", rep.Report.Messages())
+	if rep.Live != nil {
+		s := rep.Live.Stats
+		fmt.Printf("  frames: sent=%d received=%d\n", s.Sent, s.Received)
+		fmt.Printf("  attacks injected: corrupt=%d replay=%d forge=%d dup=%d reorder-held=%d\n",
+			s.CorruptFrames, s.ReplayFrames, s.ForgeFrames, s.DupFrames, s.ReorderHolds)
+		fmt.Printf("  defenses fired: decode=%d epoch=%d auth=%d late=%d dup=%d clamps=%d rate-deferrals=%d\n",
+			s.DecodeDrops, s.EpochDrops, s.AuthDrops, s.LateDrops, s.DupDrops, s.Clamps, s.RateDeferrals)
+		for _, rs := range rep.Live.Restab {
+			if rs.Ticks < 0 {
+				fmt.Printf("  fault at t=%d on node %d: NOT re-stabilized within Δstb = %d ticks\n",
+					rs.At, rs.Node, rs.Budget)
+			} else {
+				fmt.Printf("  fault at t=%d on node %d: re-stabilized in %d ticks (Δstb budget %d)\n",
+					rs.At, rs.Node, rs.Ticks, rs.Budget)
+			}
+		}
+	} else {
+		fmt.Printf("  total messages: %d\n", rep.Report.Messages())
+	}
 	if len(rep.Violations) > 0 {
 		for _, v := range rep.Violations {
 			fmt.Println("  VIOLATION", v)

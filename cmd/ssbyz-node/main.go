@@ -19,18 +19,30 @@
 //
 // With -control, the daemon dials the given TCP address and streams every
 // trace event (decide/abort/I-accept/…) as wire frames — the collector
-// feeds them to the property battery. Without it, trace events print to
-// stdout. With -initiate, the node acts as the General at the given tick
-// (subject to the sending-validity criteria IG1–IG3). The daemon exits
-// after -run-for ticks, or on SIGINT/SIGTERM.
+// feeds them to the property battery. The control connection is
+// bidirectional: a FrameFault sent back orders the daemon to corrupt its
+// RUNNING protocol state in place (internal/transient's arbitrary-state
+// injector, applied inside the event loop) — the live form of the
+// transient faults the paper's self-stabilization property quantifies
+// over — after which the daemon measures and reports its own
+// re-stabilization against Δstb = 2Δreset. At shutdown the daemon
+// streams a FrameStats frame carrying its per-class condition/attack
+// counters (sends, deadline/auth/epoch/decode/duplicate drops, injected
+// attack frames — the nettrans.CounterNames vector), so the collector
+// can prove which wire defenses fired. Without -control, trace events
+// print to stdout. With -initiate, the node acts as the General at the
+// given tick (subject to the sending-validity criteria IG1–IG3). The
+// daemon exits after -run-for ticks, or on SIGINT/SIGTERM.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -39,6 +51,8 @@ import (
 	"ssbyz/internal/core"
 	"ssbyz/internal/nettrans"
 	"ssbyz/internal/protocol"
+	"ssbyz/internal/simtime"
+	"ssbyz/internal/transient"
 	"ssbyz/internal/wire"
 )
 
@@ -78,9 +92,10 @@ func run() error {
 
 	// Control stream: trace events as wire frames over one TCP connection,
 	// opened before the node starts so no event is lost.
+	var cs *controlStream
 	var sink func(protocol.TraceEvent)
 	if *control != "" {
-		cs, err := dialControl(*control, nodeID, uint64(m.Epoch().UnixNano()))
+		cs, err = dialControl(*control, nodeID, uint64(m.Epoch().UnixNano()))
 		if err != nil {
 			return fmt.Errorf("control stream: %w", err)
 		}
@@ -116,6 +131,12 @@ func run() error {
 	fmt.Printf("ssbyz-node %d up: %s %s, n=%d f=%d d=%d ticks of %v\n",
 		nodeID, m.Transport, nn.Addr(), m.N, m.Params().F, m.D, m.Tick())
 
+	// The control connection is bidirectional: watch it for FrameFault
+	// orders — the in-situ transient-fault injection the campaign drives.
+	if cs != nil {
+		cs.watchFaults(func(cmd wire.FaultCmd) { applyFault(nn, m, nodeID, cmd) })
+	}
+
 	if *initValue != "" {
 		at := m.Epoch().Add(time.Duration(*initAt) * m.Tick())
 		go func() {
@@ -142,10 +163,75 @@ func run() error {
 		<-sig
 	}
 	stats := nn.Stats()
-	fmt.Printf("ssbyz-node %d down: sent=%d received=%d late=%d auth=%d epoch=%d chaos=%d decode=%d\n",
-		nodeID, stats.Sent, stats.Received, stats.LateDrops, stats.AuthDrops,
-		stats.EpochDrops, stats.ChaosDrops, stats.DecodeDrops)
+	if cs != nil {
+		// Stream the full per-class counter vector so the collector can
+		// prove which attacks were injected and which defenses fired.
+		cs.sendStats(stats.Counters())
+	}
+	fmt.Printf("ssbyz-node %d down: %s\n", nodeID, formatCounters(stats.Counters()))
 	return nil
+}
+
+// formatCounters renders a nettrans.CounterNames vector as "name=value"
+// pairs — the human-readable form of the FrameStats payload.
+func formatCounters(vec []int64) string {
+	parts := make([]string, 0, len(vec))
+	for i, name := range nettrans.CounterNames {
+		if i >= len(vec) {
+			break
+		}
+		parts = append(parts, fmt.Sprintf("%s=%d", name, vec[i]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// applyFault executes one control-socket FaultCmd: the node's RUNNING
+// protocol state is corrupted inside its event loop (arbitrary-state
+// placement, the paper's transient-fault model), a phantom mark is
+// planted under the highest committee id (which the -cluster General
+// rotation never scripts), and a watcher then reports the observed
+// re-stabilization against the Δstb = 2Δreset budget the paper's
+// self-stabilization property promises.
+func applyFault(nn *nettrans.NetNode, m nettrans.Manifest, nodeID protocol.NodeID, cmd wire.FaultCmd) {
+	pp := m.Params()
+	markG := protocol.NodeID(pp.N - 1)
+	at := nn.Now()
+	nn.DoWait(func(n protocol.Node) {
+		cn, ok := n.(*core.Node)
+		if !ok {
+			return
+		}
+		transient.CorruptRunning(cn, pp, transient.Config{
+			Seed:     cmd.Seed,
+			Severity: float64(cmd.SeverityPermille) / 1000,
+			InFlight: cmd.InFlight,
+			Marks:    []protocol.NodeID{markG},
+		}, nn.Now())
+	})
+	fmt.Printf("ssbyz-node %d: transient fault injected at tick %d (seed=%d severity=%d‰)\n",
+		nodeID, at, cmd.Seed, cmd.SeverityPermille)
+	go func() {
+		budget := pp.DeltaStb()
+		for {
+			time.Sleep(10 * m.Tick())
+			returned := false
+			nn.DoWait(func(n protocol.Node) {
+				if cn, ok := n.(*core.Node); ok {
+					returned, _, _ = cn.Result(markG)
+				}
+			})
+			if !returned {
+				fmt.Printf("ssbyz-node %d: re-stabilized in %d ticks (Δstb budget %d)\n",
+					nodeID, simtime.Duration(nn.Now()-at), budget)
+				return
+			}
+			if simtime.Duration(nn.Now()-at) > budget {
+				fmt.Printf("ssbyz-node %d: NOT re-stabilized within Δstb = %d ticks\n",
+					nodeID, budget)
+				return
+			}
+		}
+	}()
 }
 
 // controlStream serializes trace frames onto the collector connection.
@@ -185,6 +271,56 @@ func (cs *controlStream) send(ev protocol.TraceEvent) {
 		Payload: wire.AppendTraceEvent(nil, ev),
 	})
 	_, _ = cs.conn.Write(cs.scratch)
+}
+
+// sendStats streams the node's per-class counter vector as one
+// FrameStats frame (best-effort, like send).
+func (cs *controlStream) sendStats(counters []int64) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	frame := wire.AppendFrame(nil, wire.Frame{
+		Kind:    wire.FrameStats,
+		From:    cs.id,
+		Epoch:   cs.epoch,
+		Payload: wire.AppendCounters(nil, counters),
+	})
+	_, _ = cs.conn.Write(frame)
+}
+
+// watchFaults reads the control connection for FrameFault orders and
+// applies each through the given callback. Reads and writes share the
+// TCP connection safely; a read error (collector gone, corrupt stream)
+// just ends the watch — the node keeps running.
+func (cs *controlStream) watchFaults(apply func(wire.FaultCmd)) {
+	go func() {
+		var buf []byte
+		chunk := make([]byte, 4096)
+		for {
+			n, err := cs.conn.Read(chunk)
+			if n > 0 {
+				buf = append(buf, chunk[:n]...)
+				for {
+					f, consumed, derr := wire.DecodeFrame(buf)
+					if errors.Is(derr, wire.ErrTruncated) {
+						break
+					}
+					if derr != nil {
+						return
+					}
+					buf = buf[consumed:]
+					if f.Kind != wire.FrameFault {
+						continue
+					}
+					if cmd, _, cerr := wire.DecodeFaultCmd(f.Payload); cerr == nil {
+						apply(cmd)
+					}
+				}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
 }
 
 func (cs *controlStream) close() {

@@ -123,3 +123,76 @@ func TestCookbookMinimizeAndReplay(t *testing.T) {
 		t.Fatal("replayed minimized spec lost the behavior")
 	}
 }
+
+// Recipe 6: byte-level attacks on the live wire — a virtual-runtime spec
+// with a WAN delay matrix, duplication, and a byte corrupter on the
+// faulty node's NIC; the per-class counters prove the attacks were
+// injected and the battery proves the defenses held.
+func TestCookbookLiveWireAttacks(t *testing.T) {
+	d := ssbyz.Time(1000) // default tick value of the paper's d
+	sp := ssbyz.Scenario{
+		N: 4, Seed: 11, Runtime: ssbyz.RuntimeVirtual,
+		DelayMin: 2, DelayMax: 20,
+		Adversaries: []ssbyz.ScenarioAdversary{{Node: 3, Kind: "yeasayer"}},
+		Conditions: []ssbyz.NetworkCondition{
+			{Kind: ssbyz.ConditionWAN, From: 0, Until: 100 * d,
+				Groups: [][]ssbyz.NodeID{{0, 1}, {2, 3}},
+				Matrix: [][]ssbyz.Ticks{{0, 300}, {250, 0}}, Jitter: 100},
+			{Kind: ssbyz.ConditionDuplicate, From: 0, Until: 100 * d, Copies: 2},
+			{Kind: ssbyz.ConditionCorrupt, From: 0, Until: 100 * d,
+				Nodes: []ssbyz.NodeID{3}, Stride: 2},
+		},
+		Script: []ssbyz.ScenarioInitiation{{At: 2 * d, G: 0, Value: "wan"}},
+		RunFor: 100 * ssbyz.Ticks(d),
+	}
+	rep, err := ssbyz.RunScenario(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("battery violations: %v", rep.Violations)
+	}
+	if rep.Live == nil {
+		t.Fatal("live runtime report missing")
+	}
+	if rep.Live.Stats.CorruptFrames == 0 || rep.Live.Stats.DupFrames == 0 {
+		t.Fatalf("attacks were not injected: %+v", rep.Live.Stats)
+	}
+}
+
+// Recipe 7: in-situ transient fault — a scripted corruption of a RUNNING
+// node mid-run, with the runner measuring re-stabilization against the
+// paper's Δstb = 2Δreset budget before a post-window probe agreement.
+func TestCookbookInSituTransientFault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a Δstb-length virtual campaign; skipped in -short")
+	}
+	sp := ssbyz.Scenario{
+		N: 4, Seed: 7, Runtime: ssbyz.RuntimeVirtual,
+		DelayMin: 1, DelayMax: 20,
+	}
+	pp := sp.Params()
+	pre := ssbyz.Time(2 * pp.D)
+	faultAt := pre + ssbyz.Time(3*pp.DeltaAgr())
+	postAt := faultAt + ssbyz.Time(pp.DeltaStb()+pp.D)
+	sp.Script = []ssbyz.ScenarioInitiation{
+		{At: pre, G: 0, Value: "pre"},
+		{At: postAt, G: 2, Value: "post"},
+	}
+	sp.Faults = []ssbyz.ScenarioFault{{At: faultAt, Node: 1, Seed: 99, SeverityPermille: 1000}}
+	sp.RunFor = ssbyz.Ticks(postAt) + 3*pp.DeltaAgr()
+	rep, err := ssbyz.RunScenario(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("battery violations: %v", rep.Violations)
+	}
+	if rep.Live == nil || len(rep.Live.Restab) != 1 {
+		t.Fatalf("restab samples missing: %+v", rep.Live)
+	}
+	rs := rep.Live.Restab[0]
+	if rs.Ticks <= 0 || rs.Ticks > pp.DeltaStb() {
+		t.Fatalf("re-stabilization %d ticks outside (0, Δstb=%d]", rs.Ticks, pp.DeltaStb())
+	}
+}

@@ -51,11 +51,11 @@ func TestTimeModelDocumented(t *testing.T) {
 	}
 	for _, anchor := range []string{
 		"## §9 Time model",
-		"§9 time model.", // the numbered index at the top
-		"AutoAdvance",    // the accelerated-soak driver idiom
-		"Busy tokens",    // the quiescence rule that makes Fake deterministic
-		"Frames()",       // the record half of record/replay
-		"| V1 ",          // the §4 experiment rows riding on virtual time
+		"§9 time model", // the numbered index at the top
+		"AutoAdvance",   // the accelerated-soak driver idiom
+		"Busy tokens",   // the quiescence rule that makes Fake deterministic
+		"Frames()",      // the record half of record/replay
+		"| V1 ",         // the §4 experiment rows riding on virtual time
 		"| V2 ",
 	} {
 		if !strings.Contains(string(design), anchor) {
@@ -74,6 +74,45 @@ func TestTimeModelDocumented(t *testing.T) {
 	} {
 		if !strings.Contains(string(readme), anchor) {
 			t.Errorf("README.md lost its virtual-time anchor %q", anchor)
+		}
+	}
+}
+
+// TestAdversarialCampaignDocumented pins the §10 adversarial-campaign
+// documentation the code cites ("DESIGN.md §10"): the attack-taxonomy
+// section, the V3/L3 experiment rows, and the README's wire-attack and
+// in-situ fault recipes and the -fault flag row.
+func TestAdversarialCampaignDocumented(t *testing.T) {
+	design, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, anchor := range []string{
+		"## §10 Adversarial live campaign",
+		"§10 adversarial",   // the numbered index at the top
+		"Attack taxonomy",   // the class → defense counter table
+		"In-situ transient", // CorruptRunning against a RUNNING node
+		"Δstb = 2Δreset",    // the recovery budget every surface asserts
+		"`corrupt_frames`",  // the injected/defense counter vocabulary
+		"| V3 ",             // the §4 experiment rows
+		"| L3 ",
+	} {
+		if !strings.Contains(string(design), anchor) {
+			t.Errorf("DESIGN.md lost its adversarial-campaign anchor %q", anchor)
+		}
+	}
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, anchor := range []string{
+		"Byte-level attacks on the live wire", // recipe 6
+		"In-situ transient fault",             // recipe 7
+		"`-fault K`",                          // the flag-table row
+		"FrameFault",                          // the daemon control order
+	} {
+		if !strings.Contains(string(readme), anchor) {
+			t.Errorf("README.md lost its adversarial-campaign anchor %q", anchor)
 		}
 	}
 }

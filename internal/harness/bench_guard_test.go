@@ -60,7 +60,7 @@ func s1CellN64(t *testing.T, name string) float64 {
 // machine of their PR, so the factor-two margin absorbs machine deltas
 // while still catching superlinear regressions.
 func TestBenchArtifactN64Guard(t *testing.T) {
-	chain := []string{"BENCH_PR3_quick.json", "BENCH_PR4_quick.json", "BENCH_PR5_quick.json", "BENCH_PR6_quick.json", "BENCH_PR7_quick.json"}
+	chain := []string{"BENCH_PR3_quick.json", "BENCH_PR4_quick.json", "BENCH_PR5_quick.json", "BENCH_PR6_quick.json", "BENCH_PR7_quick.json", "BENCH_PR8_quick.json"}
 	for i := 1; i < len(chain); i++ {
 		prev, cur := s1CellN64(t, chain[i-1]), s1CellN64(t, chain[i])
 		if cur > 2*prev {
@@ -160,6 +160,40 @@ func TestBenchArtifactCoversV1V2(t *testing.T) {
 		if !found {
 			t.Errorf("BENCH_PR7_quick.json has no %s result", id)
 		}
+	}
+}
+
+// TestBenchArtifactCoversV3L3 pins the adversarial-campaign generation's
+// shape (DESIGN.md §10): the committed artifact must carry V3 (the
+// deterministic attack/defense + in-situ recovery + generated-fuzz
+// campaign, costed at the suite level like V1/V2) and L3 (its
+// real-socket smoke, with every attack-subset cell and the recovery
+// cell individually costed — `ssbyz-bench -quick -live -json` appends
+// it after L2).
+func TestBenchArtifactCoversV3L3(t *testing.T) {
+	a := loadArtifact(t, "BENCH_PR8_quick.json")
+	foundV3, foundL3 := false, false
+	for _, r := range a.Results {
+		switch r.ID {
+		case "V3":
+			foundV3 = true
+			if r.WallMS <= 0 {
+				t.Errorf("BENCH_PR8_quick.json V3 wall_ms = %v, want > 0", r.WallMS)
+			}
+		case "L3":
+			foundL3 = true
+			for _, key := range []string{"corrupt/4", "forge/4", "duplicate/4", "replay-xepoch/4", "recovery/4"} {
+				if v, ok := r.CellWallMS[key]; !ok || v <= 0 {
+					t.Errorf("BENCH_PR8_quick.json L3 cell_wall_ms[%q] = %v, want > 0", key, v)
+				}
+			}
+		}
+	}
+	if !foundV3 {
+		t.Error("BENCH_PR8_quick.json has no V3 result")
+	}
+	if !foundL3 {
+		t.Error("BENCH_PR8_quick.json has no L3 result")
 	}
 }
 

@@ -119,7 +119,7 @@ func TestCampaignExportsMinimizedCounterexamples(t *testing.T) {
 	dir := t.TempDir()
 	sp := scenario.Generate(CampaignSeed(7, 3), 7)
 	ex := Counterexample{N: 7, Index: 3, Violations: 1, Spec: sp.Marshal()}
-	if err := exportCounterexamples(dir, []Counterexample{ex}); err != nil {
+	if err := exportCounterexamples(dir, "S2", []Counterexample{ex}); err != nil {
 		t.Fatalf("export: %v", err)
 	}
 	blob, err := os.ReadFile(filepath.Join(dir, "S2_n7_i3.json"))

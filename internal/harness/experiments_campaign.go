@@ -172,19 +172,36 @@ func CampaignTable(opt Options, ns, counts []int) (*metrics.Table, int, []Counte
 // uploads the directory as a workflow artifact.
 const CounterexampleDirEnv = "SSBYZ_COUNTEREXAMPLE_DIR"
 
+// counterexampleDir returns the export directory from the environment,
+// empty when exporting is off.
+func counterexampleDir() string { return os.Getenv(CounterexampleDirEnv) }
+
 // exportCounterexamples writes minimized specs to dir; file names encode
-// the (n, index) coordinates so CampaignSeed regenerates the original.
-func exportCounterexamples(dir string, examples []Counterexample) error {
+// the experiment and the (n, index) coordinates so the matching seed
+// formula (CampaignSeed for S2, V3CampaignSeed for V3) regenerates the
+// original.
+func exportCounterexamples(dir, prefix string, examples []Counterexample) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	for _, ex := range examples {
-		name := fmt.Sprintf("S2_n%d_i%d.json", ex.N, ex.Index)
+		name := fmt.Sprintf("%s_n%d_i%d.json", prefix, ex.N, ex.Index)
 		if err := os.WriteFile(filepath.Join(dir, name), ex.Spec, 0o644); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// compactJSON re-marshals an indented spec into its one-line form for
+// report notes, falling back to the input on error.
+func compactJSON(spec []byte) []byte {
+	var compact json.RawMessage = spec
+	buf, err := json.Marshal(compact)
+	if err != nil {
+		return spec
+	}
+	return buf
 }
 
 // S2Campaign is the randomized adversarial campaign: scenario-engine
@@ -205,17 +222,12 @@ func S2Campaign(opt Options) *Result {
 		"scenario i at size n regenerates from scenario.Generate(CampaignSeed(n,i), n); specs are self-contained, so any violation replays with `ssbyz-bench -replay spec.json`",
 	)
 	for _, ex := range examples {
-		var compact json.RawMessage = ex.Spec
-		buf, err := json.Marshal(compact) // re-marshal: one-line form for the note
-		if err != nil {
-			buf = ex.Spec
-		}
 		r.Notes = append(r.Notes, fmt.Sprintf(
 			"COUNTEREXAMPLE n=%d scenario=%d (%d violations), minimized spec: %s",
-			ex.N, ex.Index, ex.Violations, buf))
+			ex.N, ex.Index, ex.Violations, compactJSON(ex.Spec)))
 	}
-	if dir := os.Getenv(CounterexampleDirEnv); dir != "" && len(examples) > 0 {
-		if err := exportCounterexamples(dir, examples); err != nil {
+	if dir := counterexampleDir(); dir != "" && len(examples) > 0 {
+		if err := exportCounterexamples(dir, "S2", examples); err != nil {
 			r.Notes = append(r.Notes, "counterexample export failed: "+err.Error())
 		}
 	}

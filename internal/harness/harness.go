@@ -166,6 +166,7 @@ func All() []Experiment {
 		{"S3", "Service throughput vs session concurrency", "new workload: the replicated-log service scales with footnote-9 concurrent sessions (DESIGN.md §8)", S3Service},
 		{"V1", "Deterministic live campaign under virtual time", "the live socket pipeline on an injected fake clock: exact, reproducible ticks (DESIGN.md §9)", V1VirtualLive},
 		{"V2", "Deterministic live service under virtual time", "the replicated-log service as a deterministic schedule (DESIGN.md §9)", V2VirtualService},
+		{"V3", "Adversarial live campaign under virtual time", "byte-level attacks vs the wire defenses, in-situ transient recovery within Δstb (DESIGN.md §10)", V3AdversarialLive},
 	}
 }
 

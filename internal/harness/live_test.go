@@ -34,3 +34,28 @@ func TestLiveExperimentQuick(t *testing.T) {
 		}
 	}
 }
+
+// TestAdversarialLiveQuick runs L3 against real loopback sockets: the
+// byte-level attack classes and the in-situ recovery cell outside
+// virtual time. The wall-clock figures vary; the verdict must not —
+// every class injected and rejected, recovery within Δstb, battery
+// clean.
+func TestAdversarialLiveQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("brings up real socket clusters and waits a real Δstb window; skipped in -short")
+	}
+	res := L3AdversarialLive(Options{Quick: true})
+	if res.Violations != 0 {
+		var buf bytes.Buffer
+		_, _ = res.WriteTo(&buf)
+		t.Fatalf("L3 found %d violations:\n%s", res.Violations, buf.String())
+	}
+	if len(res.Tables) != 2 {
+		t.Fatalf("L3 produced %d tables, want 2 (attack smoke + recovery)", len(res.Tables))
+	}
+	for _, key := range []string{"corrupt/4", "forge/4", "duplicate/4", "replay-xepoch/4", "recovery/4"} {
+		if v, ok := res.CellWallMS[key]; !ok || v <= 0 {
+			t.Errorf("CellWallMS[%q] = %v, want > 0", key, v)
+		}
+	}
+}

@@ -2,16 +2,17 @@ package harness
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 )
 
-// renderVirtual runs the deterministic live campaign (V1) and service
-// (V2) and renders both reports.
+// renderVirtual runs the deterministic live campaign (V1), service (V2),
+// and adversarial campaign (V3) and renders the reports.
 func renderVirtual(t *testing.T, workers int) []byte {
 	t.Helper()
 	var buf bytes.Buffer
 	opt := Options{Quick: true, Workers: workers}
-	for _, run := range []func(Options) *Result{V1VirtualLive, V2VirtualService} {
+	for _, run := range []func(Options) *Result{V1VirtualLive, V2VirtualService, V3AdversarialLive} {
 		r := run(opt)
 		if r.Violations != 0 {
 			t.Fatalf("%s: %d violations: %v", r.ID, r.Violations, r.Notes)
@@ -44,5 +45,31 @@ func TestVirtualCampaignDeterministic(t *testing.T) {
 	}
 	if len(seq) == 0 {
 		t.Fatal("virtual campaign rendered nothing")
+	}
+}
+
+// TestAdversarialVirtualCampaign is V3's own acceptance gate: every
+// byte-level attack class must show as injected AND defended (the cells
+// assert both counters non-zero, surfacing any failure as a violation),
+// every in-situ recovery must land within Δstb = 2Δreset, and the
+// generated live campaign must hold the battery — all deterministic, so
+// any failure here is a hard bug, never flaky timing (DESIGN.md §10).
+func TestAdversarialVirtualCampaign(t *testing.T) {
+	r := V3AdversarialLive(Options{Quick: true, Workers: 4})
+	if r.Violations != 0 {
+		t.Fatalf("V3: %d violations: %v", r.Violations, r.Notes)
+	}
+	if len(r.Tables) != 3 {
+		t.Fatalf("V3: want 3 tables (attack/defense, recovery, campaign), got %d", len(r.Tables))
+	}
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	report := buf.String()
+	for _, class := range advClasses() {
+		if !strings.Contains(report, class.label) {
+			t.Errorf("V3 report lost attack class %q", class.label)
+		}
 	}
 }

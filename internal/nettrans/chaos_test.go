@@ -11,7 +11,7 @@ import (
 
 func mustChaos(t *testing.T, conds []simnet.Condition, n int, clamp simtime.Duration) *chaos {
 	t.Helper()
-	ch, err := compileChaos(conds, n, clamp)
+	ch, err := compileChaos(conds, n, clamp, 2*clamp)
 	if err != nil {
 		t.Fatalf("compileChaos: %v", err)
 	}
@@ -37,8 +37,8 @@ func TestChaosPartitionMapping(t *testing.T) {
 		{0, 3, 200, false}, // half-open end
 	}
 	for _, tc := range cases {
-		if _, drop := ch.onSend(tc.from, tc.to, tc.at); drop != tc.drop {
-			t.Errorf("onSend(%d→%d @%d) drop=%v, want %v", tc.from, tc.to, tc.at, drop, tc.drop)
+		if plan := ch.planSend(tc.from, tc.to, tc.at); plan.drop != tc.drop {
+			t.Errorf("planSend(%d→%d @%d) drop=%v, want %v", tc.from, tc.to, tc.at, plan.drop, tc.drop)
 		}
 	}
 }
@@ -49,10 +49,10 @@ func TestChaosChurnMapping(t *testing.T) {
 	ch := mustChaos(t, []simnet.Condition{
 		{Kind: simnet.CondChurn, From: 10, Until: 20, Nodes: []protocol.NodeID{1}},
 	}, 4, 50)
-	if _, drop := ch.onSend(1, 0, 15); !drop {
+	if plan := ch.planSend(1, 0, 15); !plan.drop {
 		t.Error("churned sender emitted")
 	}
-	if _, drop := ch.onSend(0, 1, 15); drop {
+	if plan := ch.planSend(0, 1, 15); plan.drop {
 		t.Error("send TO a churned node must drop at receive, not send")
 	}
 	if !ch.onRecv(1, 15) {
@@ -70,14 +70,14 @@ func TestChaosJitterAccumulatesAndClamps(t *testing.T) {
 		{Kind: simnet.CondJitter, From: 0, Until: 100, Jitter: 30},
 		{Kind: simnet.CondJitter, From: 0, Until: 100, Jitter: 30, Nodes: []protocol.NodeID{2}},
 	}, 4, 50)
-	if d, _ := ch.onSend(0, 1, 50); d != 30 {
-		t.Errorf("global window only: delay %d, want 30", d)
+	if plan := ch.planSend(0, 1, 50); plan.delay != 30 || plan.clamped {
+		t.Errorf("global window only: delay %d clamped=%v, want 30, unclamped", plan.delay, plan.clamped)
 	}
-	if d, _ := ch.onSend(0, 2, 50); d != 50 {
-		t.Errorf("overlapping windows: delay %d, want clamp 50", d)
+	if plan := ch.planSend(0, 2, 50); plan.delay != 50 || !plan.clamped {
+		t.Errorf("overlapping windows: delay %d clamped=%v, want clamp 50", plan.delay, plan.clamped)
 	}
-	if d, _ := ch.onSend(0, 1, 150); d != 0 {
-		t.Errorf("outside window: delay %d, want 0", d)
+	if plan := ch.planSend(0, 1, 150); plan.delay != 0 {
+		t.Errorf("outside window: delay %d, want 0", plan.delay)
 	}
 }
 
@@ -96,7 +96,7 @@ func TestChaosCompileRejectsIllegalSchedules(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			if _, err := compileChaos([]simnet.Condition{tc.c}, 4, 50); err == nil {
+			if _, err := compileChaos([]simnet.Condition{tc.c}, 4, 50, 100); err == nil {
 				t.Error("compileChaos accepted an illegal schedule")
 			}
 		})

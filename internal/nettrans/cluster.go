@@ -211,14 +211,7 @@ func (c *Cluster) Stats() Stats {
 		if nn == nil {
 			continue
 		}
-		s := nn.Stats()
-		total.Sent += s.Sent
-		total.Received += s.Received
-		total.LateDrops += s.LateDrops
-		total.AuthDrops += s.AuthDrops
-		total.EpochDrops += s.EpochDrops
-		total.ChaosDrops += s.ChaosDrops
-		total.DecodeDrops += s.DecodeDrops
+		total.Add(nn.Stats())
 	}
 	return total
 }

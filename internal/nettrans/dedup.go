@@ -1,0 +1,127 @@
+package nettrans
+
+import (
+	"bytes"
+	"sync"
+
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/simtime"
+	"ssbyz/internal/wire"
+)
+
+// Receive-side duplicate suppression: the transport-level defense that
+// restores the paper's at-most-once delivery from datagram semantics. A
+// UDP network (or a duplicate/replay attacker) may deliver the same
+// frame twice; the protocol state machines are idempotent under
+// identical re-delivery, but counting and proving the defense requires
+// catching the duplicate at the transport. A frame is a duplicate when
+// a byte-identical (sender, send-tick, payload) triple was already
+// accepted within the last d ticks — beyond d the deadline drop owns
+// the decision (UDP), so the memory of seen frames can be bounded by
+// the window. Matching is on the full bytes, never just a hash, so a
+// hash collision can only cost a comparison, never a legitimate
+// delivery.
+
+// dedupSweepEvery bounds stale-bucket memory: every this-many inserts
+// the whole table is swept for entries older than the window.
+const dedupSweepEvery = 1024
+
+// dedupEntry is one remembered accepted frame.
+type dedupEntry struct {
+	from    protocol.NodeID
+	sent    int64
+	payload []byte
+	at      simtime.Real // receiver clock at acceptance, for pruning
+}
+
+// dedup is a windowed exact-match set of recently accepted frames. It
+// takes a lock: TCP feeds handleFrame from one goroutine per peer
+// connection.
+type dedup struct {
+	window simtime.Duration
+
+	mu      sync.Mutex
+	entries map[uint64][]dedupEntry
+	inserts int
+}
+
+// seen reports whether f is a byte-identical duplicate of a frame
+// accepted within the window, and records f if not.
+func (d *dedup) seen(f wire.Frame, now simtime.Real) bool {
+	key := dedupHash(f)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.entries == nil {
+		d.entries = make(map[uint64][]dedupEntry)
+	}
+	bucket := d.entries[key]
+	// Prune the bucket in place while scanning for a live exact match.
+	kept := bucket[:0]
+	dup := false
+	for _, e := range bucket {
+		if now-e.at > simtime.Real(d.window) {
+			continue // expired: beyond the window the deadline drop rules
+		}
+		if e.from == f.From && e.sent == f.Sent && bytes.Equal(e.payload, f.Payload) {
+			dup = true
+		}
+		kept = append(kept, e)
+	}
+	if dup {
+		d.entries[key] = kept
+		return true
+	}
+	d.entries[key] = append(kept, dedupEntry{
+		from:    f.From,
+		sent:    f.Sent,
+		payload: append([]byte(nil), f.Payload...),
+		at:      now,
+	})
+	d.inserts++
+	if d.inserts >= dedupSweepEvery {
+		d.inserts = 0
+		d.sweepLocked(now)
+	}
+	return false
+}
+
+// sweepLocked drops every expired entry (and empty buckets) so quiet
+// buckets cannot accumulate stale frames forever.
+func (d *dedup) sweepLocked(now simtime.Real) {
+	for key, bucket := range d.entries {
+		kept := bucket[:0]
+		for _, e := range bucket {
+			if now-e.at <= simtime.Real(d.window) {
+				kept = append(kept, e)
+			}
+		}
+		if len(kept) == 0 {
+			delete(d.entries, key)
+		} else {
+			d.entries[key] = kept
+		}
+	}
+}
+
+// dedupHash is FNV-1a over the identifying triple; buckets disambiguate
+// by exact comparison.
+func dedupHash(f wire.Frame) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime
+	}
+	v := uint64(f.From)
+	for i := 0; i < 8; i++ {
+		mix(byte(v >> (8 * i)))
+	}
+	v = uint64(f.Sent)
+	for i := 0; i < 8; i++ {
+		mix(byte(v >> (8 * i)))
+	}
+	for _, b := range f.Payload {
+		mix(b)
+	}
+	return h
+}

@@ -80,7 +80,7 @@ func (m Manifest) Validate() error {
 	if m.EpochUnixNano == 0 {
 		return fmt.Errorf("nettrans: manifest has no epoch (nodes cannot share tick 0)")
 	}
-	if _, err := compileChaos(m.Conditions, m.N, m.Params().D/2); err != nil {
+	if _, err := compileChaos(m.Conditions, m.N, m.Params().D/2, m.Params().D); err != nil {
 		return err
 	}
 	return nil

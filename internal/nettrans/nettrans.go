@@ -108,6 +108,90 @@ type Stats struct {
 	ChaosDrops int64
 	// DecodeDrops counts frames that failed to decode (corrupt/truncated).
 	DecodeDrops int64
+	// DupDrops counts frames discarded by receive-side duplicate
+	// suppression: byte-identical to a frame already accepted from the
+	// same sender within the last d ticks. The defense against datagram
+	// duplication and fresh replays — at-most-once delivery within the
+	// deadline window.
+	DupDrops int64
+	// Clamps counts sends whose scripted environment delay (jitter + wan)
+	// exceeded D/2 and was clamped to keep the run inside the paper's
+	// bounded-delay model. Non-zero means the schedule asked for more
+	// delay than the model admits (previously this clamp was silent).
+	Clamps int64
+	// RateDeferrals counts frames a wan bandwidth cap pushed into a later
+	// d window.
+	RateDeferrals int64
+	// DupFrames counts extra frame copies injected by duplicate windows.
+	DupFrames int64
+	// ReorderHolds counts frames held back by reorder windows.
+	ReorderHolds int64
+	// CorruptFrames counts frames whose encoded bytes a corrupt window
+	// flipped a byte in.
+	CorruptFrames int64
+	// ReplayFrames counts old frames re-emitted by replay windows.
+	ReplayFrames int64
+	// ForgeFrames counts extra frames emitted under a forged sender id.
+	ForgeFrames int64
+}
+
+// CounterNames is the fixed order of the Stats counters as a vector —
+// the schema of the FrameStats payload a node daemon streams
+// (wire.AppendCounters carries the numbers; this list is their meaning).
+var CounterNames = []string{
+	"sent", "received", "late_drops", "auth_drops", "epoch_drops",
+	"chaos_drops", "decode_drops", "dup_drops", "clamps", "rate_deferrals",
+	"dup_frames", "reorder_holds", "corrupt_frames", "replay_frames",
+	"forge_frames",
+}
+
+// Counters flattens s into the CounterNames order for FrameStats
+// streaming.
+func (s Stats) Counters() []int64 {
+	return []int64{
+		s.Sent, s.Received, s.LateDrops, s.AuthDrops, s.EpochDrops,
+		s.ChaosDrops, s.DecodeDrops, s.DupDrops, s.Clamps, s.RateDeferrals,
+		s.DupFrames, s.ReorderHolds, s.CorruptFrames, s.ReplayFrames,
+		s.ForgeFrames,
+	}
+}
+
+// Add accumulates other into s (cluster- and collector-side
+// aggregation).
+func (s *Stats) Add(other Stats) {
+	s.Sent += other.Sent
+	s.Received += other.Received
+	s.LateDrops += other.LateDrops
+	s.AuthDrops += other.AuthDrops
+	s.EpochDrops += other.EpochDrops
+	s.ChaosDrops += other.ChaosDrops
+	s.DecodeDrops += other.DecodeDrops
+	s.DupDrops += other.DupDrops
+	s.Clamps += other.Clamps
+	s.RateDeferrals += other.RateDeferrals
+	s.DupFrames += other.DupFrames
+	s.ReorderHolds += other.ReorderHolds
+	s.CorruptFrames += other.CorruptFrames
+	s.ReplayFrames += other.ReplayFrames
+	s.ForgeFrames += other.ForgeFrames
+}
+
+// StatsFromCounters is the inverse of Stats.Counters, tolerating shorter
+// vectors from older senders (missing classes read zero).
+func StatsFromCounters(v []int64) Stats {
+	var s Stats
+	fields := []*int64{
+		&s.Sent, &s.Received, &s.LateDrops, &s.AuthDrops, &s.EpochDrops,
+		&s.ChaosDrops, &s.DecodeDrops, &s.DupDrops, &s.Clamps, &s.RateDeferrals,
+		&s.DupFrames, &s.ReorderHolds, &s.CorruptFrames, &s.ReplayFrames,
+		&s.ForgeFrames,
+	}
+	for i, f := range fields {
+		if i < len(v) {
+			*f = v[i]
+		}
+	}
+	return s
 }
 
 // NetNode runs one protocol node behind a socket. It implements
@@ -135,8 +219,15 @@ type NetNode struct {
 	// socket writes copy the bytes before returning.
 	payloadScratch, frameScratch []byte
 
+	// dedup is the receive-side duplicate-suppression window (the defense
+	// against datagram duplication and fresh replay).
+	dedup dedup
+
 	sent, received                                        atomic.Int64
 	lateDrops, authDrops, epochDrops, chaosDrops, decDrop atomic.Int64
+	dupDrops, clamps, rateDefers                          atomic.Int64
+	dupFrames, reorderHolds                               atomic.Int64
+	corruptFrames, replayFrames, forgeFrames              atomic.Int64
 
 	stopOnce sync.Once
 }
@@ -215,7 +306,7 @@ func startNode(cfg NodeConfig, node protocol.Node, mkTrans func(*NetNode) (trans
 	if cfg.Rec == nil {
 		cfg.Rec = protocol.NewRecorder()
 	}
-	ch, err := compileChaos(cfg.Conditions, cfg.Params.N, cfg.Params.D/2)
+	ch, err := compileChaos(cfg.Conditions, cfg.Params.N, cfg.Params.D/2, cfg.Params.D)
 	if err != nil {
 		return nil, err
 	}
@@ -231,6 +322,7 @@ func startNode(cfg NodeConfig, node protocol.Node, mkTrans func(*NetNode) (trans
 		chaos:   ch,
 		pending: make(map[protocol.TimerID]clock.Timer),
 	}
+	nn.dedup.window = cfg.Params.D
 	nn.trans, err = mkTrans(nn)
 	if err != nil {
 		return nil, err
@@ -284,13 +376,21 @@ func (nn *NetNode) DoWait(fn func(protocol.Node)) {
 // Stats returns a snapshot of the traffic counters.
 func (nn *NetNode) Stats() Stats {
 	return Stats{
-		Sent:        nn.sent.Load(),
-		Received:    nn.received.Load(),
-		LateDrops:   nn.lateDrops.Load(),
-		AuthDrops:   nn.authDrops.Load(),
-		EpochDrops:  nn.epochDrops.Load(),
-		ChaosDrops:  nn.chaosDrops.Load(),
-		DecodeDrops: nn.decDrop.Load(),
+		Sent:          nn.sent.Load(),
+		Received:      nn.received.Load(),
+		LateDrops:     nn.lateDrops.Load(),
+		AuthDrops:     nn.authDrops.Load(),
+		EpochDrops:    nn.epochDrops.Load(),
+		ChaosDrops:    nn.chaosDrops.Load(),
+		DecodeDrops:   nn.decDrop.Load(),
+		DupDrops:      nn.dupDrops.Load(),
+		Clamps:        nn.clamps.Load(),
+		RateDeferrals: nn.rateDefers.Load(),
+		DupFrames:     nn.dupFrames.Load(),
+		ReorderHolds:  nn.reorderHolds.Load(),
+		CorruptFrames: nn.corruptFrames.Load(),
+		ReplayFrames:  nn.replayFrames.Load(),
+		ForgeFrames:   nn.forgeFrames.Load(),
 	}
 }
 
@@ -315,7 +415,10 @@ func (nn *NetNode) Params() protocol.Params { return nn.cfg.Params }
 
 // Send implements protocol.Runtime: encode, consult the chaos schedule,
 // and hand the frame to the socket (immediately, or after a scripted
-// jitter delay).
+// delay) — executing whatever byte-level attacks the schedule orders on
+// the way: corruption, duplication, replay, forgery. Each attack class
+// increments its injection counter here; the receive pipeline counts
+// the defenses.
 func (nn *NetNode) Send(to protocol.NodeID, m protocol.Message) {
 	if to < 0 || int(to) >= nn.cfg.Params.N {
 		return
@@ -323,12 +426,53 @@ func (nn *NetNode) Send(to protocol.NodeID, m protocol.Message) {
 	m.From = nn.cfg.ID // authenticated sender identity
 	nn.sent.Add(1)
 	now := nn.nowTicks()
-	delay, drop := nn.chaos.onSend(nn.cfg.ID, to, now)
-	if drop {
+	plan := nn.chaos.planSend(nn.cfg.ID, to, now)
+	if plan.drop {
 		nn.chaosDrops.Add(1)
 		return
 	}
+	if plan.clamped {
+		nn.clamps.Add(1)
+	}
+	if plan.rateDeferred {
+		nn.rateDefers.Add(1)
+	}
+	if plan.reorderHeld {
+		nn.reorderHolds.Add(1)
+	}
 	nn.payloadScratch = wire.AppendMessage(nn.payloadScratch[:0], m)
+	// The replay attacker records the REAL traffic, before corruption.
+	nn.chaos.capture(to, int64(now), nn.payloadScratch)
+	if plan.forge >= 0 {
+		// The forged twin claims another node's identity; the transport's
+		// source check is the defense the campaign expects to fire.
+		forged := wire.AppendFrame(nil, wire.Frame{
+			Kind:    wire.FrameMessage,
+			From:    plan.forge,
+			Epoch:   nn.epochID,
+			Sent:    int64(now),
+			Payload: nn.payloadScratch,
+		})
+		nn.forgeFrames.Add(1)
+		nn.trans.send(to, forged)
+	}
+	if plan.replay {
+		if e := nn.chaos.pickReplay(now, plan.replayLag, plan.replayCross); e != nil {
+			epoch := nn.epochID
+			if plan.replayCross {
+				epoch++ // a frame from an incarnation that never was
+			}
+			replayed := wire.AppendFrame(nil, wire.Frame{
+				Kind:    wire.FrameMessage,
+				From:    nn.cfg.ID,
+				Epoch:   epoch,
+				Sent:    e.sent, // the ORIGINAL send tick: stale on arrival
+				Payload: e.payload,
+			})
+			nn.replayFrames.Add(1)
+			nn.trans.send(e.to, replayed)
+		}
+	}
 	nn.frameScratch = wire.AppendFrame(nn.frameScratch[:0], wire.Frame{
 		Kind:    wire.FrameMessage,
 		From:    nn.cfg.ID,
@@ -336,16 +480,29 @@ func (nn *NetNode) Send(to protocol.NodeID, m protocol.Message) {
 		Sent:    int64(now),
 		Payload: nn.payloadScratch,
 	})
-	if delay <= 0 {
+	if plan.corrupt {
+		// One deterministic byte flipped: header hits fail the codec's
+		// magic/version/kind checks, payload hits the decoder's bounds.
+		idx := int(plan.corruptSeed % uint64(len(nn.frameScratch)))
+		nn.frameScratch[idx] ^= 0xFF
+		nn.corruptFrames.Add(1)
+	}
+	copies := 1 + plan.dups
+	nn.dupFrames.Add(int64(plan.dups))
+	if plan.delay <= 0 {
 		// The socket copies the bytes before returning, so the scratch is
 		// free for the next Send: zero allocations at steady state.
-		nn.trans.send(to, nn.frameScratch)
+		for i := 0; i < copies; i++ {
+			nn.trans.send(to, nn.frameScratch)
+		}
 		return
 	}
 	// A chaos-delayed frame outlives this call; it needs its own copy.
 	frame := append([]byte(nil), nn.frameScratch...)
-	nn.timers.AfterFunc(time.Duration(delay)*nn.cfg.Tick, func() {
-		nn.trans.send(to, frame)
+	nn.timers.AfterFunc(time.Duration(plan.delay)*nn.cfg.Tick, func() {
+		for i := 0; i < copies; i++ {
+			nn.trans.send(to, frame)
+		}
 	})
 }
 
@@ -415,9 +572,11 @@ func (nn *NetNode) Trace(ev protocol.TraceEvent) {
 
 // handleFrame runs the acceptance pipeline on one decoded frame:
 // epoch check, sender authentication (authOK is the transport's source
-// check for the claimed id), the d deadline on UDP, receiver-side churn,
-// payload decode, delivery. It is called from receive-loop goroutines;
-// delivery is serialized by the mailbox.
+// check for the claimed id), the d deadline on UDP, duplicate
+// suppression, receiver-side churn, payload decode, delivery. It is
+// called from receive-loop goroutines; delivery is serialized by the
+// mailbox. Control-stream kinds (fault, stats) have no business on the
+// data path and are discarded as decode drops.
 func (nn *NetNode) handleFrame(f wire.Frame, authOK bool) {
 	if f.Epoch != nn.epochID {
 		nn.epochDrops.Add(1)
@@ -440,6 +599,13 @@ func (nn *NetNode) handleFrame(f wire.Frame, authOK bool) {
 		// Bounded-delay enforcement: the model delivers within d or not at
 		// all, so a late frame is transport loss, not a late delivery.
 		nn.lateDrops.Add(1)
+		return
+	}
+	if nn.dedup.seen(f, now) {
+		// At-most-once within the d window: a byte-identical frame from the
+		// same sender was already accepted, so this is datagram duplication
+		// or a fresh replay — either way, redundant by construction.
+		nn.dupDrops.Add(1)
 		return
 	}
 	if nn.chaos.onRecv(nn.cfg.ID, now) {

@@ -1,0 +1,201 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+
+	"ssbyz/internal/protocol"
+	"ssbyz/internal/simnet"
+	"ssbyz/internal/simtime"
+)
+
+// TestGenerateLiveSpecsLegal: every generated live spec validates, names
+// the virtual runtime, and — across a seed sweep — the generator actually
+// exercises the live vocabulary (faults, wire-level attacks, WAN windows).
+func TestGenerateLiveSpecsLegal(t *testing.T) {
+	counts := map[string]int{}
+	for _, n := range []int{4, 7} {
+		for seed := int64(0); seed < 40; seed++ {
+			sp := GenerateLive(seed, n)
+			if err := sp.Validate(); err != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+			}
+			if sp.Runtime != RuntimeVirtual {
+				t.Fatalf("n=%d seed=%d: runtime %q", n, seed, sp.Runtime)
+			}
+			if len(sp.Faults) > 0 {
+				counts["fault"]++
+			}
+			for _, c := range sp.Conditions {
+				counts[c.Kind]++
+			}
+			if len(sp.Adversaries) > 0 {
+				counts["adversary"]++
+			}
+		}
+	}
+	for _, want := range []string{"fault", "adversary", simnet.CondWAN, simnet.CondDuplicate, simnet.CondCorrupt, simnet.CondReplay, simnet.CondForge, simnet.CondReorder} {
+		if counts[want] == 0 {
+			t.Errorf("80 generated specs never drew %q (coverage hole): %v", want, counts)
+		}
+	}
+}
+
+// liveDeterminismSpec is a fixed virtual-runtime spec exercising WAN
+// delays, duplication, and a byte corrupter on an adversary NIC.
+func liveDeterminismSpec() Spec {
+	pp := protocol.DefaultParams(4)
+	return Spec{
+		N: 4, Seed: 12345, Runtime: RuntimeVirtual,
+		DelayMin: 2, DelayMax: 20,
+		Script: []Initiation{
+			{At: simtime.Real(2 * pp.D), G: 0, Value: "det-a"},
+			{At: simtime.Real(2*pp.D) + simtime.Real(pp.DeltaAgr()), G: 2, Value: "det-b"},
+		},
+		Adversaries: []AdversarySpec{{Node: 3, Kind: KindYeasayer}},
+		Conditions: []simnet.Condition{
+			{
+				Kind: simnet.CondWAN, From: 0, Until: simtime.Real(4 * pp.DeltaAgr()),
+				Groups: [][]protocol.NodeID{{0, 1}, {2, 3}},
+				Matrix: [][]simtime.Duration{{0, 30}, {25, 0}},
+				Jitter: 10,
+			},
+			{Kind: simnet.CondDuplicate, From: 0, Until: simtime.Real(4 * pp.DeltaAgr()), Copies: 2},
+			{Kind: simnet.CondCorrupt, From: 0, Until: simtime.Real(4 * pp.DeltaAgr()), Nodes: []protocol.NodeID{3}, Stride: 2},
+		},
+		RunFor: 4 * pp.DeltaAgr(),
+	}
+}
+
+// TestRunLiveVirtualDeterministic: the virtual runtime is a pure function
+// of the spec — two executions produce byte-identical traces, transport
+// counters, and verdicts.
+func TestRunLiveVirtualDeterministic(t *testing.T) {
+	digest := func() string {
+		sp := liveDeterminismSpec()
+		run, err := RunLive(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.Marshal(struct {
+			Events []protocol.TraceEvent
+			Stats  any
+			Pre    any
+			Viols  any
+		}{run.Res.Rec.Events(), run.Stats, run.PreInits, CheckLive(run, sp)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(blob)
+	}
+	a, b := digest(), digest()
+	if a != b {
+		t.Fatalf("virtual run not deterministic:\n%s\nvs\n%s", a, b)
+	}
+	if a == "" || len(a) < 100 {
+		t.Fatalf("suspiciously empty digest: %q", a)
+	}
+}
+
+// TestRunLiveFaultRecovery is the spec-level tentpole: a scripted
+// transient fault corrupts a running correct node mid-run, the runner
+// measures its re-stabilization against Δstb, a post-window probe
+// agreement succeeds, and the battery judges both phases clean.
+func TestRunLiveFaultRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a Δstb-length virtual campaign; skipped in -short")
+	}
+	pp := protocol.DefaultParams(4)
+	preAt := simtime.Real(2 * pp.D)
+	faultAt := preAt + simtime.Real(3*pp.DeltaAgr())
+	postAt := faultAt + simtime.Real(pp.DeltaStb()) + simtime.Real(pp.D)
+	sp := Spec{
+		N: 4, Seed: 7, Runtime: RuntimeVirtual,
+		DelayMin: 1, DelayMax: 20,
+		Script: []Initiation{
+			{At: preAt, G: 0, Value: "pre"},
+			{At: postAt, G: 2, Value: "post"},
+		},
+		Faults: []Fault{{At: faultAt, Node: 1, Seed: 99, SeverityPermille: 1000}},
+		RunFor: simtime.Duration(postAt) + 3*pp.DeltaAgr(),
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	run, err := RunLive(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(run.Restab); got != 1 {
+		t.Fatalf("restab samples: %d", got)
+	}
+	rs := run.Restab[0]
+	if rs.Ticks <= 0 || rs.Ticks > pp.DeltaStb() {
+		t.Fatalf("re-stabilization %d ticks outside (0, Δstb=%d]", rs.Ticks, pp.DeltaStb())
+	}
+	t.Logf("node %d re-stabilized in %d ticks (Δstb budget %d)", rs.Node, rs.Ticks, rs.Budget)
+	if len(run.PreInits) != 1 || len(run.PostInits) != 1 {
+		t.Fatalf("initiation split: pre=%d post=%d", len(run.PreInits), len(run.PostInits))
+	}
+	if viols := CheckLive(run, sp); len(viols) != 0 {
+		t.Fatalf("battery violations: %v", viols)
+	}
+}
+
+// TestLiveShrinkBrokenSpec closes the counterexample loop for the live
+// runtimes: a deliberately model-illegal spec (a churn window detaching a
+// CORRECT General across its own initiation — outside the generator's
+// legality contract) violates the battery, shrinks to a 1-minimal spec,
+// and the minimized JSON replays to the same verdict — exactly what
+// `ssbyz-bench -replay` does with an exported counterexample file.
+func TestLiveShrinkBrokenSpec(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs shrink candidates; skipped in -short")
+	}
+	pp := protocol.DefaultParams(4)
+	sp := Spec{
+		N: 4, Seed: 3, Runtime: RuntimeVirtual,
+		DelayMin: 1, DelayMax: 20,
+		Script: []Initiation{{At: simtime.Real(4 * pp.D), G: 0, Value: "doomed"}},
+		Conditions: []simnet.Condition{
+			// Two harmless decoys the shrinker must strip...
+			{Kind: simnet.CondJitter, From: 0, Until: simtime.Real(2 * pp.D), Jitter: 5},
+			{Kind: simnet.CondDuplicate, From: 0, Until: simtime.Real(2 * pp.D), Copies: 1},
+			// ...and the actual killer: the scripted General loses its NIC
+			// for the whole agreement window.
+			{Kind: simnet.CondChurn, From: simtime.Real(2 * pp.D), Until: simtime.Real(2 * pp.DeltaAgr()), Nodes: []protocol.NodeID{0}},
+		},
+		RunFor: 2 * pp.DeltaAgr(),
+	}
+	fails := func(c Spec) bool { return len(RunCheckAny(c)) > 0 }
+	if !fails(sp) {
+		t.Fatal("broken spec unexpectedly passed the battery")
+	}
+	min := Shrink(sp, fails)
+	if len(min.Conditions) != 1 || min.Conditions[0].Kind != simnet.CondChurn {
+		t.Fatalf("shrink kept conditions %+v", min.Conditions)
+	}
+	if len(min.Script) != 1 || len(min.Faults) != 0 || len(min.Adversaries) != 0 {
+		t.Fatalf("shrink not minimal: %+v", min)
+	}
+	// 1-minimality spot check: dropping the churn window heals the run.
+	healed := min.clone()
+	healed.Conditions = nil
+	if fails(healed) {
+		t.Fatal("spec still fails without the churn window — shrink kept a non-causal component")
+	}
+	// The counterexample replays from its JSON form.
+	blob, err := json.Marshal(min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replayed Spec
+	if err := json.Unmarshal(blob, &replayed); err != nil {
+		t.Fatal(err)
+	}
+	viols := RunCheckAny(replayed)
+	if len(viols) == 0 {
+		t.Fatal("replayed counterexample no longer violates the battery")
+	}
+	t.Logf("minimal counterexample (%d bytes): %s -> %v", len(blob), blob, viols[0])
+}

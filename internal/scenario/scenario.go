@@ -81,6 +81,38 @@ type Initiation struct {
 	Value protocol.Value  `json:"value"`
 }
 
+// Runtime names a Spec can carry: which execution substrate replays it.
+const (
+	// RuntimeSim (also the empty default) runs under the discrete-event
+	// simulator — message-level adversaries, no bytes on any wire.
+	RuntimeSim = "sim"
+	// RuntimeVirtual runs on the nettrans virtual-time cluster: the full
+	// wire codec and receive pipeline over the deterministic in-memory
+	// wire, so byte-level attack conditions and mid-run faults replay
+	// byte-identically.
+	RuntimeVirtual = "virtual"
+	// RuntimeLive runs on the in-process loopback cluster: real sockets,
+	// wall-clock time. Same attack vocabulary as virtual, minus
+	// determinism.
+	RuntimeLive = "live"
+)
+
+// Fault is one scripted mid-run transient fault: at virtual real time
+// At, the running node's protocol state is corrupted arbitrarily
+// (transient.CorruptRunning), seeded by Seed — the live form of the
+// arbitrary initial state the paper's self-stabilization property
+// quantifies over. The runner plants a phantom "returned" record for
+// General Node as the recovery observable and measures the time until
+// the recovery sweep clears it, against Δstb = 2Δreset.
+type Fault struct {
+	At   simtime.Real    `json:"at"`
+	Node protocol.NodeID `json:"node"`
+	Seed int64           `json:"seed"`
+	// SeverityPermille scales each corruption class's hit probability in
+	// thousandths (0 = the injector default, 1000).
+	SeverityPermille int `json:"severity_permille,omitempty"`
+}
+
 // Spec is one declarative scenario: everything a run consumes, so a spec
 // replays byte-identically. The zero value of optional fields defers to
 // the model defaults (F → ⌊(n−1)/3⌋, delays → [d/2, d], RunFor → last
@@ -90,20 +122,35 @@ type Spec struct {
 	// F lowers the declared fault bound below optimal (0 = optimal).
 	F    int   `json:"f,omitempty"`
 	Seed int64 `json:"seed"`
+	// Runtime selects the execution substrate: RuntimeSim (default ""),
+	// RuntimeVirtual, or RuntimeLive. Wire-level attack conditions and
+	// Faults require a live runtime — the simulator has no frames to
+	// attack and no running process to corrupt.
+	Runtime string `json:"runtime,omitempty"`
+	// Transport selects the live cluster's socket flavor ("udp" default,
+	// "tcp"); ignored by the simulator.
+	Transport string `json:"transport,omitempty"`
 	// DelayMin/DelayMax bound actual message delays in ticks. 0 defers to
-	// the defaults ([d/2, d]); the generator always sets both explicitly.
+	// the defaults ([d/2, d] under the simulator, [d/4, d/2] on the live
+	// runtimes); the generators always set both explicitly.
 	DelayMin simtime.Duration `json:"delay_min,omitempty"`
 	DelayMax simtime.Duration `json:"delay_max,omitempty"`
 	// Adversaries assigns strategies to faulty nodes (≤ f entries,
 	// distinct nodes).
 	Adversaries []AdversarySpec `json:"adversaries,omitempty"`
-	// Conditions is the network-condition schedule (simnet vocabulary).
+	// Conditions is the network-condition schedule (simnet vocabulary,
+	// including the wire-level attack kinds on live runtimes).
 	Conditions []simnet.Condition `json:"conditions,omitempty"`
 	// Script is the General script: at most one initiation per General,
 	// all by correct nodes.
 	Script []Initiation `json:"script,omitempty"`
+	// Faults is the transient-fault script (live runtimes only). Scripted
+	// initiations must complete before the first fault or start after the
+	// last fault's Δstb window — the battery judges the clean phases, the
+	// fault window is what the paper's convergence claim covers.
+	Faults []Fault `json:"faults,omitempty"`
 	// RunFor is the virtual duration to simulate (0 = last scripted
-	// initiation + 3Δagr).
+	// initiation + 3Δagr, extended past the last fault's Δstb window).
 	RunFor simtime.Duration `json:"run_for,omitempty"`
 }
 
@@ -116,14 +163,81 @@ func (sp Spec) Params() protocol.Params {
 	return pp
 }
 
+// LiveRuntime reports whether the spec names a live execution substrate
+// (virtual-time or wall-clock cluster) rather than the simulator.
+func (sp Spec) LiveRuntime() bool {
+	return sp.Runtime == RuntimeVirtual || sp.Runtime == RuntimeLive
+}
+
 // Validate checks the spec against the model: n > 3f, at most f distinct
 // faulty nodes, a script of correct Generals with at most one initiation
-// each, and well-formed adversary specs. (Conditions are validated by the
-// transport when the world is built.)
+// each, well-formed adversary specs, structurally valid conditions
+// (wire-level attack kinds only on live runtimes), and a fault script
+// confined to live runtimes with the script phase-separated around it.
+// Drop-scope model legality (partitions and byte-level attackers naming
+// only faulty nodes) remains the generator's contract, as under the
+// simulator: a spec violating it runs, and the battery's verdict on it
+// is about the spec, not the paper.
 func (sp Spec) Validate() error {
 	pp := sp.Params()
 	if err := pp.Validate(); err != nil {
 		return err
+	}
+	switch sp.Runtime {
+	case "", RuntimeSim, RuntimeVirtual, RuntimeLive:
+	default:
+		return fmt.Errorf("scenario: unknown runtime %q", sp.Runtime)
+	}
+	if sp.Transport != "" && !sp.LiveRuntime() {
+		return fmt.Errorf("scenario: transport %q requires a live runtime", sp.Transport)
+	}
+	for i, c := range sp.Conditions {
+		if err := simnet.ValidateCondition(i, c, pp.N, sp.LiveRuntime()); err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+	}
+	if sp.LiveRuntime() && sp.DelayMax > pp.D/2 {
+		return fmt.Errorf("scenario: live delay max %d exceeds d/2 = %d (the chaos layer owns the other half of d)",
+			sp.DelayMax, pp.D/2)
+	}
+	if len(sp.Faults) > 0 {
+		if !sp.LiveRuntime() {
+			return fmt.Errorf("scenario: faults require a live runtime (the simulator corrupts state before start, not mid-run)")
+		}
+		adv := make(map[protocol.NodeID]bool, len(sp.Adversaries))
+		for _, a := range sp.Adversaries {
+			adv[a.Node] = true
+		}
+		firstFault, lastFault := sp.Faults[0].At, sp.Faults[0].At
+		for _, f := range sp.Faults {
+			if f.Node < 0 || int(f.Node) >= pp.N {
+				return fmt.Errorf("scenario: fault on node %d outside [0,%d)", f.Node, pp.N)
+			}
+			if adv[f.Node] {
+				return fmt.Errorf("scenario: fault on adversary node %d (transient faults hit correct nodes; Byzantine nodes need no help)", f.Node)
+			}
+			if f.At <= 0 {
+				return fmt.Errorf("scenario: fault at tick %d (must be mid-run, after start)", f.At)
+			}
+			if f.SeverityPermille < 0 || f.SeverityPermille > 1000 {
+				return fmt.Errorf("scenario: fault severity %d‰ outside [0,1000]", f.SeverityPermille)
+			}
+			if f.At < firstFault {
+				firstFault = f.At
+			}
+			if f.At > lastFault {
+				lastFault = f.At
+			}
+		}
+		postStart := lastFault + simtime.Real(pp.DeltaStb())
+		for _, init := range sp.Script {
+			pre := init.At+simtime.Real(3*pp.DeltaAgr()) <= firstFault
+			post := init.At >= postStart
+			if !pre && !post {
+				return fmt.Errorf("scenario: initiation by General %d at %d overlaps the fault window [%d, %d) — finish 3Δagr before it or start after it",
+					init.G, init.At, firstFault, postStart)
+			}
+		}
 	}
 	if len(sp.Adversaries) > pp.F {
 		return fmt.Errorf("scenario: %d adversaries exceed f=%d", len(sp.Adversaries), pp.F)
@@ -257,6 +371,9 @@ func (a AdversarySpec) build() (protocol.Node, error) {
 // Scenario lowers the spec into the simulator's vocabulary. The caller
 // owns delivery-path flags (LegacyFanout etc.) on the returned value.
 func (sp Spec) Scenario() (sim.Scenario, error) {
+	if sp.LiveRuntime() {
+		return sim.Scenario{}, fmt.Errorf("scenario: %q runtime specs run on the cluster (RunLive), not the simulator", sp.Runtime)
+	}
 	if err := sp.Validate(); err != nil {
 		return sim.Scenario{}, err
 	}
@@ -364,7 +481,7 @@ func Parse(blob []byte) (Spec, error) {
 // components counts the knobs a shrinker can still remove — the size
 // measure minimization reports progress against.
 func (sp Spec) components() int {
-	n := len(sp.Conditions) + len(sp.Script)
+	n := len(sp.Conditions) + len(sp.Script) + len(sp.Faults)
 	for _, a := range sp.Adversaries {
 		n += a.size()
 	}

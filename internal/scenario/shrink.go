@@ -46,6 +46,11 @@ func shrinkCandidates(sp Spec) []Spec {
 		c.Script = append(c.Script[:i], c.Script[i+1:]...)
 		out = append(out, c)
 	}
+	for i := range sp.Faults {
+		c := sp.clone()
+		c.Faults = append(c.Faults[:i], c.Faults[i+1:]...)
+		out = append(out, c)
+	}
 	for i := range sp.Adversaries {
 		c := sp.clone()
 		c.Adversaries = append(c.Adversaries[:i], c.Adversaries[i+1:]...)
@@ -67,6 +72,7 @@ func (sp Spec) clone() Spec {
 	c := sp
 	c.Conditions = append([]simnet.Condition(nil), sp.Conditions...)
 	c.Script = append([]Initiation(nil), sp.Script...)
+	c.Faults = append([]Fault(nil), sp.Faults...)
 	c.Adversaries = make([]AdversarySpec, len(sp.Adversaries))
 	for i, a := range sp.Adversaries {
 		c.Adversaries[i] = a.cloneAdv()

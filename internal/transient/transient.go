@@ -42,13 +42,22 @@ type Config struct {
 	// InFlight is the number of spurious deliveries per node scheduled in
 	// the first d (default 2n).
 	InFlight int
+	// Marks lists Generals every corrupted node gets a phantom "already
+	// returned, decided ghost-mark" record planted for — a deterministic
+	// observable for re-stabilization measurement: the recovery sweep
+	// must clear the phantom (the node's Result for the General stops
+	// claiming a return) within Δstb, so a campaign can time the
+	// convergence the paper's self-stabilization property promises.
+	Marks []protocol.NodeID
 }
 
-// Corrupt applies the injection to every correct node of the world. Call
-// it after the world is assembled and before Start.
-func Corrupt(w *simnet.World, cfg Config) {
-	pp := w.Params()
-	rng := rand.New(rand.NewSource(cfg.Seed))
+// MarkValue is the phantom decided value planted for every Config.Marks
+// General.
+const MarkValue = protocol.Value("ghost-mark")
+
+// withDefaults resolves the zero-value conventions against the
+// protocol constants.
+func (cfg Config) withDefaults(pp protocol.Params) Config {
 	if cfg.Severity == 0 {
 		cfg.Severity = 1
 	}
@@ -61,7 +70,66 @@ func Corrupt(w *simnet.World, cfg Config) {
 	if cfg.InFlight == 0 {
 		cfg.InFlight = 2 * pp.N
 	}
+	return cfg
+}
 
+// Corrupt applies the injection to every correct node of the world. Call
+// it after the world is assembled and before Start.
+func Corrupt(w *simnet.World, cfg Config) {
+	pp := w.Params()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cfg = cfg.withDefaults(pp)
+	for id := 0; id < pp.N; id++ {
+		node, ok := w.Node(protocol.NodeID(id)).(*core.Node)
+		if !ok || node == nil {
+			continue
+		}
+		nid := protocol.NodeID(id)
+		// The node has not started yet; the runtime still answers Now().
+		rtNow := w.LocalNow(nid)
+		corruptNode(rng, pp, cfg, node, rtNow,
+			func(g protocol.NodeID) *core.Instance {
+				// core.Node.Instance requires a runtime; attach it exactly as
+				// Start would, without arming the sweep (Start will).
+				return node.InstanceWithRuntime(w.Runtime(nid), g)
+			},
+			func(m protocol.Message) {
+				w.InjectDelivery(nid, m, simtime.Real(rng.Int63n(int64(pp.D))))
+			})
+	}
+}
+
+// CorruptRunning applies the same per-node arbitrary-state injection to
+// ONE node that is already running — the live form of the transient
+// fault, corrupting a daemon or in-process cluster node mid-run. The
+// caller MUST invoke it inside the node's event loop (Cluster.DoWait,
+// or the daemon's mailbox): the injections touch protocol state the
+// loop owns, and the spurious messages are delivered synchronously as
+// if they had just arrived from the (still-faulty) network.
+func CorruptRunning(node *core.Node, pp protocol.Params, cfg Config, rtNow simtime.Local) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cfg = cfg.withDefaults(pp)
+	corruptNode(rng, pp, cfg, node, rtNow,
+		func(g protocol.NodeID) *core.Instance {
+			// A started node owns its runtime; nil means "keep it".
+			return node.InstanceWithRuntime(nil, g)
+		},
+		func(m protocol.Message) {
+			// Burn the delay draw the sim path makes (keeps the corruption
+			// sequence of a shared seed comparable), then deliver now.
+			_ = rng.Int63n(int64(pp.D))
+			node.OnMessage(m.From, m)
+		})
+}
+
+// corruptNode is the per-node corruption core shared by the pre-start
+// (simulator) and mid-run (live) paths: seeded garbage across IA state,
+// broadcast state, agreement control state, General bookkeeping, and
+// spurious forged-sender deliveries. instance materializes the
+// per-General instance; deliver schedules one spurious message.
+func corruptNode(rng *rand.Rand, pp protocol.Params, cfg Config, node *core.Node,
+	rtNow simtime.Local, instance func(protocol.NodeID) *core.Instance,
+	deliver func(protocol.Message)) {
 	hit := func() bool { return rng.Float64() < cfg.Severity }
 	randVal := func() protocol.Value { return cfg.Values[rng.Intn(len(cfg.Values))] }
 	randNode := func() protocol.NodeID { return protocol.NodeID(rng.Intn(pp.N)) }
@@ -69,18 +137,11 @@ func Corrupt(w *simnet.World, cfg Config) {
 		return simtime.Duration(rng.Int63n(2*int64(cfg.SkewRange)+1)) - cfg.SkewRange
 	}
 
-	for id := 0; id < pp.N; id++ {
-		node, ok := w.Node(protocol.NodeID(id)).(*core.Node)
-		if !ok || node == nil {
-			continue
-		}
-		// The node has not started yet; the runtime still answers Now().
-		rtNow := w.LocalNow(protocol.NodeID(id))
-
+	{
 		// Pick a few Generals to plant garbage for.
 		for gi := 0; gi < 1+rng.Intn(3); gi++ {
 			g := randNode()
-			inst := instanceBeforeStart(node, w, protocol.NodeID(id), g)
+			inst := instance(g)
 			if inst == nil {
 				continue
 			}
@@ -161,14 +222,17 @@ func Corrupt(w *simnet.World, cfg Config) {
 				K:    rng.Intn(2*pp.F + 2),
 				From: randNode(),
 			}
-			w.InjectDelivery(protocol.NodeID(id), m, simtime.Real(rng.Int63n(int64(pp.D))))
+			deliver(m)
 		}
 	}
-}
 
-// instanceBeforeStart creates the per-General instance on a node that has
-// not started yet. core.Node.Instance requires a runtime; we attach it
-// here exactly as Start would, without arming the sweep (Start will).
-func instanceBeforeStart(node *core.Node, w *simnet.World, id, g protocol.NodeID) *core.Instance {
-	return node.InstanceWithRuntime(w.Runtime(id), g)
+	// Deterministic observables, planted last so the random draws above
+	// are identical whether or not marks are requested: a phantom
+	// "already returned" record per marked General, which only the
+	// recovery sweep can clear.
+	for _, g := range cfg.Marks {
+		if inst := instance(g); inst != nil {
+			inst.CorruptReturned(rtNow, true, MarkValue)
+		}
+	}
 }

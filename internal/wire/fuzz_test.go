@@ -18,11 +18,19 @@ import (
 func seedFrames() [][]byte {
 	msg := AppendMessage(nil, protocol.Message{Kind: protocol.Ready, G: 2, M: "s⊥", P: 1, K: 3, Aux: -9, From: 5})
 	ev := AppendTraceEvent(nil, protocol.TraceEvent{Kind: protocol.EvIAccept, Node: 3, RT: 777, Tau: -2, G: 1, M: "m", K: 2, TauG: 5, RTauG: 6, P: 4})
+	fault := AppendFaultCmd(nil, FaultCmd{Seed: 99, SeverityPermille: 750, InFlight: 14})
+	stats := AppendCounters(nil, []int64{5, 4, 0, 1, -1, 1 << 33})
 	return [][]byte{
 		AppendFrame(nil, Frame{Kind: FrameHello, From: 0, Epoch: 1}),
 		AppendFrame(nil, Frame{Kind: FrameMessage, From: 1, Epoch: 1 << 62, Sent: 99, Payload: msg}),
 		AppendFrame(nil, Frame{Kind: FrameTrace, From: 2, Epoch: 3, Sent: -4, Payload: ev}),
 		AppendFrame(nil, Frame{Kind: FrameBye, From: 3, Epoch: 3, Sent: 1000}),
+		AppendFrame(nil, Frame{Kind: FrameFault, From: 4, Epoch: 8, Sent: 12, Payload: fault}),
+		AppendFrame(nil, Frame{Kind: FrameStats, From: 5, Epoch: 8, Sent: 13, Payload: stats}),
+		// The incarnation-id envelope under attack: a replayed frame whose
+		// epoch was bumped to the next incarnation, and maximal epochs.
+		AppendFrame(nil, Frame{Kind: FrameMessage, From: 1, Epoch: (1 << 62) + 1, Sent: 99, Payload: msg}),
+		AppendFrame(nil, Frame{Kind: FrameMessage, From: 1, Epoch: ^uint64(0), Sent: -99, Payload: msg}),
 	}
 }
 
@@ -116,6 +124,58 @@ func FuzzMessageFields(f *testing.F) {
 		}
 		if n != len(b) || got != msg {
 			t.Fatalf("round trip mismatch: %+v -> %+v", msg, got)
+		}
+	})
+}
+
+// FuzzDecodeFaultCmd: arbitrary bytes never panic the fault-command
+// decoder, and accepted commands re-encode decode-equal.
+func FuzzDecodeFaultCmd(f *testing.F) {
+	f.Add(AppendFaultCmd(nil, FaultCmd{Seed: 7, SeverityPermille: 1000, InFlight: 8}))
+	f.Add(AppendFaultCmd(nil, FaultCmd{Seed: -(1 << 55)}))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x80}, 16))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		c, n, err := DecodeFaultCmd(b)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(b) {
+			t.Fatalf("consumed %d of %d bytes", n, len(b))
+		}
+		re := AppendFaultCmd(nil, c)
+		c2, _, err := DecodeFaultCmd(re)
+		if err != nil || c2 != c {
+			t.Fatalf("re-encode not stable: %+v vs %+v (%v)", c, c2, err)
+		}
+	})
+}
+
+// FuzzDecodeCounters: the stats-vector decoder neither panics nor
+// allocates past MaxCounters on arbitrary bytes, and accepted vectors
+// re-encode decode-equal.
+func FuzzDecodeCounters(f *testing.F) {
+	f.Add(AppendCounters(nil, []int64{1, 2, 3}))
+	f.Add(AppendCounters(nil, nil))
+	f.Add(appendUvarint(nil, MaxCounters+1))
+	f.Add(bytes.Repeat([]byte{0xff}, 24))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		v, n, err := DecodeCounters(b)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(b) || len(v) > MaxCounters {
+			t.Fatalf("consumed %d of %d bytes, %d counters", n, len(b), len(v))
+		}
+		re := AppendCounters(nil, v)
+		v2, _, err := DecodeCounters(re)
+		if err != nil || len(v2) != len(v) {
+			t.Fatalf("re-encode not stable: %v vs %v (%v)", v, v2, err)
+		}
+		for i := range v {
+			if v2[i] != v[i] {
+				t.Fatalf("counter %d: %d != %d", i, v2[i], v[i])
+			}
 		}
 	})
 }

@@ -1,0 +1,45 @@
+package wire_test
+
+// External test package: the scenario engine imports the live transport,
+// which imports the codec, so this corpus test must live outside
+// `package wire` to avoid a test-archive import cycle.
+
+import (
+	"testing"
+
+	"ssbyz/internal/scenario"
+	"ssbyz/internal/wire"
+)
+
+// TestTraceEventRoundTripGeneratedScenarios round-trips every trace event
+// a real adversarial run produces: the scenario engine's seeded generator
+// supplies the corpus, so the codec is exercised against genuine protocol
+// traffic (decide/abort/accept/invoke/pulse events with real anchors),
+// not just synthetic field draws.
+func TestTraceEventRoundTripGeneratedScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs generated scenarios; skipped in -short")
+	}
+	total := 0
+	for seed := int64(0); seed < 3; seed++ {
+		sp := scenario.Generate(seed, 4)
+		res, err := scenario.Run(sp)
+		if err != nil {
+			t.Fatalf("seed %d: run: %v", seed, err)
+		}
+		for _, ev := range res.Rec.Events() {
+			b := wire.AppendTraceEvent(nil, ev)
+			got, n, err := wire.DecodeTraceEvent(b)
+			if err != nil {
+				t.Fatalf("seed %d: decode %+v: %v", seed, ev, err)
+			}
+			if n != len(b) || got != ev {
+				t.Fatalf("seed %d: round trip mismatch: %+v -> %+v", seed, ev, got)
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		t.Fatal("generated scenarios produced no trace events")
+	}
+}

@@ -3,6 +3,7 @@ package ssbyz
 import (
 	"fmt"
 
+	"ssbyz/internal/nettrans"
 	"ssbyz/internal/scenario"
 	"ssbyz/internal/sim"
 	"ssbyz/internal/simnet"
@@ -58,6 +59,64 @@ const (
 	ConditionChurn     = simnet.CondChurn
 )
 
+// Wire-level condition kinds, live runtimes only (RuntimeVirtual /
+// RuntimeLive): they act on encoded frames in the socket path, attacking
+// exactly what the paper's model assumes away — and what the wire layer
+// must re-establish from bytes. ConditionWAN shapes delay with a
+// region-pair matrix, jitter, and an optional per-link rate cap, clamped
+// into the model's D/2 environment share (clamps are counted);
+// ConditionDuplicate re-sends copies that receive-side suppression must
+// drop; ConditionReorder holds every Stride-th frame back without
+// touching its send tick; ConditionCorrupt flips bytes the codec must
+// reject; ConditionReplay re-injects captured frames (stale past d, or
+// from another incarnation with CrossEpoch) the deadline/epoch checks
+// must kill; ConditionForge rewrites the claimed sender so source
+// authentication must refuse it. Corrupt/replay/forge — and reorder
+// holds beyond d — void the paper's delivery axiom on the links they
+// touch, so model-legal specs confine them to faulty nodes.
+const (
+	ConditionWAN       = simnet.CondWAN
+	ConditionDuplicate = simnet.CondDuplicate
+	ConditionReorder   = simnet.CondReorder
+	ConditionCorrupt   = simnet.CondCorrupt
+	ConditionReplay    = simnet.CondReplay
+	ConditionForge     = simnet.CondForge
+)
+
+// Scenario runtimes: which substrate a Spec replays on. RuntimeSim (the
+// "" default) is the discrete-event simulator of the paper's model;
+// RuntimeVirtual is the live socket pipeline — wire codec, receive
+// defenses, event loops — on a fake clock over the deterministic
+// in-memory wire, so a spec replays byte-identically; RuntimeLive is the
+// same pipeline over real loopback sockets under the wall clock.
+const (
+	RuntimeSim     = scenario.RuntimeSim
+	RuntimeVirtual = scenario.RuntimeVirtual
+	RuntimeLive    = scenario.RuntimeLive
+)
+
+// ScenarioFault is one scripted mid-run transient fault: at virtual real
+// time At, node Node's RUNNING protocol state is corrupted in place
+// (arbitrary-state injection inside its event loop), the paper's
+// transient-fault model made executable. The runner measures the node's
+// re-stabilization against Δstb = 2Δreset. Live runtimes only.
+type ScenarioFault = scenario.Fault
+
+// LiveNetStats are the live transport's per-class condition/attack
+// counters: sends, receives, the injection counters of every wire-level
+// attack class, and the defense counters (decode/auth/epoch/deadline/
+// duplicate drops, clamps, rate deferrals) proving which rejections
+// fired — the byte-level evidence behind a live run's verdict. The
+// deadline drops are the transport enforcing the paper's bounded-delay
+// axiom (deliver within d or not at all); the rest guard the Byzantine
+// wire surface the codec re-establishes from raw bytes (DESIGN.md §10).
+type LiveNetStats = nettrans.Stats
+
+// ScenarioRestab is the measured recovery of one scripted fault: the
+// ticks until the planted phantom state was observed swept, against the
+// Δstb = 2Δreset budget the paper's self-stabilization property promises.
+type ScenarioRestab = scenario.RestabSample
+
 // GenerateScenario derives one model-legal randomized scenario from
 // (seed, n): adversary strategy trees on up to f nodes, a legal delay
 // range, a General script, and network conditions whose message drops
@@ -68,6 +127,18 @@ func GenerateScenario(seed int64, n int) Scenario {
 	return scenario.Generate(seed, n)
 }
 
+// GenerateLiveScenario derives one model-legal randomized LIVE scenario
+// from (seed, n): a RuntimeVirtual spec with WAN delay windows,
+// duplication, byte-level attackers confined to faulty nodes, adversary
+// strategy trees, and optionally a scripted mid-run transient fault with
+// a post-Δstb probe initiation — the generated population of the V3
+// campaign. The paper's properties must hold outside the fault window on
+// every generated spec, so any battery violation is a genuine
+// counterexample. Generation is a pure function of (seed, n).
+func GenerateLiveScenario(seed int64, n int) Scenario {
+	return scenario.GenerateLive(seed, n)
+}
+
 // ScenarioReport is a finished scenario run: the spec it ran, the full
 // run report, and every violation of the paper's proved properties the
 // battery found (empty for a faithful build on a model-legal scenario).
@@ -75,13 +146,41 @@ type ScenarioReport struct {
 	Spec       Scenario
 	Report     *Report
 	Violations []Violation
+	// Live carries the live-runtime extras — transport attack/defense
+	// counters and per-fault re-stabilization measurements — and is nil
+	// for simulator specs.
+	Live *LiveScenarioReport
+}
+
+// LiveScenarioReport is the live-runtime half of a scenario verdict: the
+// byte-level evidence (which attacks fired, which defenses rejected
+// them) and the self-stabilization measurements of every scripted fault.
+type LiveScenarioReport struct {
+	Stats  LiveNetStats
+	Restab []ScenarioRestab
 }
 
 // RunScenario executes a scenario and checks the full property battery
 // (Agreement, Timeliness-1..4, IA-*, TPS-* for every General, plus the
-// Validity window of each scripted initiation). Identical specs produce
-// identical reports — parallel campaigns and replays agree byte for byte.
+// Validity window of each scripted initiation). Specs naming a live
+// runtime run on the cluster pipeline — RuntimeVirtual deterministically,
+// RuntimeLive over real sockets — with the split-phase battery judging
+// around any scripted fault's Δstb window; simulator specs run under
+// sim.Run. Identical RuntimeSim/RuntimeVirtual specs produce identical
+// reports — parallel campaigns and replays agree byte for byte.
 func RunScenario(sp Scenario) (*ScenarioReport, error) {
+	if sp.LiveRuntime() {
+		run, err := scenario.RunLive(sp)
+		if err != nil {
+			return nil, fmt.Errorf("ssbyz: %w", err)
+		}
+		return &ScenarioReport{
+			Spec:       sp,
+			Report:     &Report{res: run.Res},
+			Violations: scenario.CheckLive(run, sp),
+			Live:       &LiveScenarioReport{Stats: run.Stats, Restab: run.Restab},
+		}, nil
+	}
 	sc, err := sp.Scenario()
 	if err != nil {
 		return nil, fmt.Errorf("ssbyz: %w", err)
@@ -98,10 +197,12 @@ func RunScenario(sp Scenario) (*ScenarioReport, error) {
 }
 
 // ReplayScenario parses a scenario spec from its JSON form (as written by
-// Scenario.Marshal, experiment S2's counterexample export, or a hand) and
-// re-runs it against the paper's full property battery. Replay is exact:
-// the spec carries all entropy, so the verdict reproduces the original
-// run's byte for byte.
+// Scenario.Marshal, the S2/V3 counterexample exports, or a hand) and
+// re-runs it against the paper's full property battery, on whatever
+// runtime the spec names — the simulator, the deterministic virtual-time
+// cluster, or real sockets. Replay of sim/virtual specs is exact: the
+// spec carries all entropy, so the verdict reproduces the original run's
+// byte for byte.
 func ReplayScenario(blob []byte) (*ScenarioReport, error) {
 	sp, err := scenario.Parse(blob)
 	if err != nil {

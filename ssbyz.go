@@ -361,6 +361,11 @@ func (r *Report) CheckValidity(g NodeID, t0 Ticks, v Value) []Violation {
 // Messages returns the total message count of the run — the quantity
 // E10 and S1 track against the paper's O(n²)-per-primitive bound.
 func (r *Report) Messages() int64 {
+	if r.res.World == nil {
+		// Live-runtime reports have no simulated World; the transport's
+		// frame counters live in ScenarioReport.Live.Stats instead.
+		return 0
+	}
 	total, _ := r.res.World.MessageCount()
 	return total
 }
