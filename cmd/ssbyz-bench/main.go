@@ -100,6 +100,7 @@ type benchFlags struct {
 	jsonOut  *string
 	replay   *string
 	live     *bool
+	legacyW  *bool
 
 	cluster    *int
 	transport  *string
@@ -125,6 +126,7 @@ func defineFlags(fs *flag.FlagSet) *benchFlags {
 		jsonOut:  fs.String("json", "", "write the machine-readable suite to this file"),
 		replay:   fs.String("replay", "", "replay a scenario spec JSON file against the property battery on the runtime it names (skips the suite)"),
 		live:     fs.Bool("live", false, "append experiments L1, L2, and L3 (live loopback sweeps and adversarial cells; wall-clock numbers) to the suite"),
+		legacyW:  fs.Bool("legacy-wire", false, "run live-runtime clusters with frame coalescing off (one datagram per frame); reports must be byte-identical to the coalesced wire"),
 
 		cluster:    fs.Int("cluster", 0, "run a live loopback cluster of this many nodes over real sockets (skips the suite)"),
 		transport:  fs.String("transport", "udp", "-cluster socket transport: udp (deadline drops) or tcp (lossless)"),
@@ -150,6 +152,7 @@ func run() error {
 		jsonOut  = f.jsonOut
 		replay   = f.replay
 		live     = f.live
+		legacyW  = f.legacyW
 
 		cluster    = f.cluster
 		transport  = f.transport
@@ -192,9 +195,10 @@ func run() error {
 	fmt.Fprintln(w, "# ss-Byz-Agree reproduction suite")
 	fmt.Fprintln(w)
 	suite, err := ssbyz.RunExperimentsSuite(w, ssbyz.ExperimentOptions{
-		Quick:   *quick,
-		Seeds:   *seeds,
-		Workers: *parallel,
+		Quick:      *quick,
+		Seeds:      *seeds,
+		Workers:    *parallel,
+		LegacyWire: *legacyW,
 	})
 	if err != nil {
 		return err
@@ -204,7 +208,7 @@ func run() error {
 			ssbyz.RunLiveExperiment, ssbyz.RunLiveServiceExperiment,
 			ssbyz.RunAdversarialLiveExperiment,
 		} {
-			res, err := run(w, ssbyz.ExperimentOptions{Quick: *quick})
+			res, err := run(w, ssbyz.ExperimentOptions{Quick: *quick, LegacyWire: *legacyW})
 			if err != nil {
 				return err
 			}

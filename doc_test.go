@@ -117,6 +117,45 @@ func TestAdversarialCampaignDocumented(t *testing.T) {
 	}
 }
 
+// TestWireRateDocumented pins the §11 wire-rate documentation the code
+// cites ("DESIGN.md §11"): the batch-envelope section, the pump floor
+// vocabulary, and the README's perf subsection and -legacy-wire flag
+// row (flags_test pins the full table).
+func TestWireRateDocumented(t *testing.T) {
+	design, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, anchor := range []string{
+		"## §11 Wire-rate hot path",
+		"§11 wire-rate hot path",    // the numbered index at the top
+		"Batch envelope",            // the container-format table
+		"`MaxBatchFrames`",          // the container cap the codec exports
+		"sendmmsg",                  // the batched-syscall half
+		"Sharded ingest",            // the receive half
+		"udp_pump_msgs_per_sec_n16", // the artifact floor key the guard reads
+		"-legacy-wire",              // the off-switch behind the differential
+	} {
+		if !strings.Contains(string(design), anchor) {
+			t.Errorf("DESIGN.md lost its wire-rate anchor %q", anchor)
+		}
+	}
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, anchor := range []string{
+		"### Wire rate: the live hot path",
+		"`-legacy-wire`", // the flag-table row
+		"BENCH_PR9_quick.json",
+		"TestBatchedVsLegacyWireReportsIdentical",
+	} {
+		if !strings.Contains(string(readme), anchor) {
+			t.Errorf("README.md lost its wire-rate anchor %q", anchor)
+		}
+	}
+}
+
 func TestFacadeGodocProvenance(t *testing.T) {
 	fset := token.NewFileSet()
 	pkgs, err := parser.ParseDir(fset, ".", func(fi fs.FileInfo) bool {

@@ -14,6 +14,7 @@ type benchArtifact struct {
 		ID         string             `json:"id"`
 		WallMS     float64            `json:"wall_ms"`
 		CellWallMS map[string]float64 `json:"cell_wall_ms"`
+		Floors     map[string]float64 `json:"floors"`
 	} `json:"results"`
 }
 
@@ -60,7 +61,7 @@ func s1CellN64(t *testing.T, name string) float64 {
 // machine of their PR, so the factor-two margin absorbs machine deltas
 // while still catching superlinear regressions.
 func TestBenchArtifactN64Guard(t *testing.T) {
-	chain := []string{"BENCH_PR3_quick.json", "BENCH_PR4_quick.json", "BENCH_PR5_quick.json", "BENCH_PR6_quick.json", "BENCH_PR7_quick.json", "BENCH_PR8_quick.json"}
+	chain := []string{"BENCH_PR3_quick.json", "BENCH_PR4_quick.json", "BENCH_PR5_quick.json", "BENCH_PR6_quick.json", "BENCH_PR7_quick.json", "BENCH_PR8_quick.json", "BENCH_PR9_quick.json"}
 	for i := 1; i < len(chain); i++ {
 		prev, cur := s1CellN64(t, chain[i-1]), s1CellN64(t, chain[i])
 		if cur > 2*prev {
@@ -214,4 +215,32 @@ func TestBenchArtifactCoversL2(t *testing.T) {
 		return
 	}
 	t.Fatal("BENCH_PR6_quick.json has no L2 result")
+}
+
+// TestBenchArtifactCoversPR9 pins the wire-rate generation's shape and
+// its headline number: the committed artifact's L1 result must carry the
+// transport pump cell (cell_wall_ms["pump/16"]) and a recorded floor of
+// at least 10^6 aggregate msgs/sec on the n=16 loopback pump
+// (floors["udp_pump_msgs_per_sec_n16"], DESIGN.md §11). The floor was
+// measured on the builder machine of this PR; the guard keeps any future
+// hot-path regression from silently re-committing a slower artifact.
+func TestBenchArtifactCoversPR9(t *testing.T) {
+	a := loadArtifact(t, "BENCH_PR9_quick.json")
+	for _, r := range a.Results {
+		if r.ID != "L1" {
+			continue
+		}
+		if v, ok := r.CellWallMS["pump/16"]; !ok || v <= 0 {
+			t.Errorf("BENCH_PR9_quick.json L1 cell_wall_ms[%q] = %v, want > 0", "pump/16", v)
+		}
+		rate, ok := r.Floors["udp_pump_msgs_per_sec_n16"]
+		if !ok {
+			t.Fatalf("BENCH_PR9_quick.json L1 records no udp_pump_msgs_per_sec_n16 floor: %v", r.Floors)
+		}
+		if rate < 1e6 {
+			t.Errorf("committed pump floor %.0f msgs/sec is below the 10^6 wire-rate target", rate)
+		}
+		return
+	}
+	t.Fatal("BENCH_PR9_quick.json has no L1 result")
 }

@@ -63,7 +63,7 @@ type liveCell struct {
 
 // runLiveCell runs one agreement on a fresh loopback cluster.
 func runLiveCell(n int, transport string, conds []simnet.Condition,
-	faulty map[protocol.NodeID]protocol.Node) liveCell {
+	faulty map[protocol.NodeID]protocol.Node, legacy bool) liveCell {
 	cellStart := time.Now()
 	var c liveCell
 	fail := func(format string, args ...any) liveCell {
@@ -77,6 +77,7 @@ func runLiveCell(n int, transport string, conds []simnet.Condition,
 	cl, err := nettrans.NewCluster(nettrans.ClusterConfig{
 		Params: pp, Tick: liveTick, Transport: transport,
 		Conditions: conds, Faulty: faulty,
+		LegacyDatagramPerFrame: legacy,
 	})
 	if err != nil {
 		return fail("cluster: %v", err)
@@ -117,10 +118,10 @@ func runLiveCell(n int, transport string, conds []simnet.Condition,
 // as-is: persistent non-decision IS signal, and a violated bound on a
 // complete run always is.
 func runLiveCellRetry(n int, transport string, conds []simnet.Condition,
-	faulty map[protocol.NodeID]protocol.Node) (liveCell, int) {
+	faulty map[protocol.NodeID]protocol.Node, legacy bool) (liveCell, int) {
 	var c liveCell
 	for attempt := 0; ; attempt++ {
-		c = runLiveCell(n, transport, conds, faulty)
+		c = runLiveCell(n, transport, conds, faulty, legacy)
 		if !c.incomplete || attempt >= 2 {
 			return c, attempt
 		}
@@ -187,7 +188,7 @@ func L1Live(opt Options) *Result {
 		cells := make([]liveCell, seeds)
 		for s := range cells {
 			var tries int
-			cells[s], tries = runLiveCellRetry(n, transport, conds, faulty)
+			cells[s], tries = runLiveCellRetry(n, transport, conds, faulty, opt.LegacyWire)
 			retries += tries
 		}
 		return cells
@@ -221,7 +222,17 @@ func L1Live(opt Options) *Result {
 		runSeries(7, nettrans.TransportUDP, conds, faulty), r, cellWall, "chaos/7")
 	r.Tables = append(r.Tables, chaosTable)
 
+	// Wire-rate pump: the transport stack alone (encode → coalesce →
+	// sendmmsg → recvmmsg → shards → decode → dedup → deliver), protocol
+	// state machines stubbed out by NullNode. The measured aggregate rate
+	// lands in Floors, where the bench guard holds the committed artifact
+	// to the 10⁶ msgs/sec floor.
+	r.Floors = map[string]float64{}
+	l1PumpRow(r, cellWall, opt.LegacyWire)
+
 	r.CellWallMS = cellWall
+	r.Notes = append(r.Notes,
+		"the wire-rate pump floods NullNode state machines through the full transport stack (coalesced frames, batched syscalls, sharded ingest) — the aggregate delivered rate is recorded in the artifact's floors and held to the 10⁶ msgs/sec floor by the bench guard; shortfall against sent is genuine datagram loss under deliberate overload, which the paper's model tolerates")
 	if retries > 0 {
 		r.Notes = append(r.Notes, fmt.Sprintf(
 			"%d cell(s) were rerun after an incomplete first attempt (host contention starved the run past the d deadline); persistent failures are reported, one-off starvation is not", retries))
@@ -232,4 +243,70 @@ func L1Live(opt Options) *Result {
 		"the chaos table replays a scenario-engine ConditionSchedule against real sockets (DESIGN.md §7): scripted jitter delays the socket write, the partition eats frames around the crashed node (chaos drops > 0)",
 	)
 	return r
+}
+
+// l1PumpBroadcasts is the pump's offered load: 20000 broadcasts at
+// n = 16 are 300k point-to-point messages — enough to amortize startup
+// and the settle window while keeping the quick -live run fast.
+const l1PumpBroadcasts = 20000
+
+// l1PumpRow measures the transport's wire rate: one n=16 loopback UDP
+// cluster of NullNode state machines, flooded by the pump from node 0.
+// Every message crosses the real stack — encode, coalesce, sendmmsg,
+// recvmmsg, ingest shards, decode, dedup, delivery — so the delivered
+// aggregate rate is the transport's, not the protocol's. The rate lands
+// in r.Floors["udp_pump_msgs_per_sec_n16"]; the committed BENCH artifact
+// must prove ≥ 10⁶ there (bench_guard_test.go).
+func l1PumpRow(r *Result, cellWall map[string]float64, legacy bool) {
+	const n = 16
+	cellStart := time.Now()
+	pp := protocol.DefaultParams(n)
+	// A wide deadline window: the pump deliberately overloads the host,
+	// so receive-side lag must read as loss (kernel drops), never as
+	// late-frame rejections that would understate the stack's rate.
+	pp.D = 10000
+	mode := "coalesced"
+	if legacy {
+		mode = "legacy"
+	}
+	t := metrics.NewTable(
+		fmt.Sprintf("transport wire-rate pump (NullNode machines, %d broadcasts from one node, wall-clock)", l1PumpBroadcasts),
+		"mode", "n", "sent", "delivered", "delivered/sent", "msgs/sec", "batches", "frames/batch")
+	cl, err := nettrans.NewCluster(nettrans.ClusterConfig{
+		Params: pp, Tick: liveTick, Transport: nettrans.TransportUDP,
+		NewNode:                func() protocol.Node { return nettrans.NullNode{} },
+		LegacyDatagramPerFrame: legacy,
+	})
+	if err != nil {
+		r.Violations++
+		r.Notes = append(r.Notes, fmt.Sprintf("pump cluster: %v", err))
+		return
+	}
+	defer cl.Stop()
+	// Warm the pipeline first (dedup tables, coalescer buffers, socket
+	// pools grow to steady-state capacity), then measure: the floor is a
+	// steady-state wire rate, not a cold-start one.
+	cl.Pump(0, l1PumpBroadcasts/10, 10*time.Second)
+	res := cl.Pump(0, l1PumpBroadcasts, 30*time.Second)
+	bs := cl.BatchStats()
+	ratio, perBatch := 0.0, 0.0
+	if res.Sent > 0 {
+		ratio = float64(res.Received) / float64(res.Sent)
+	}
+	if bs.BatchesSent > 0 {
+		perBatch = float64(bs.BatchedFrames) / float64(bs.BatchesSent)
+	}
+	rate := res.MsgsPerSec()
+	t.AddRow(mode, n, res.Sent, res.Received,
+		fmt.Sprintf("%.3f", ratio),
+		fmt.Sprintf("%.0f", rate),
+		bs.BatchesSent,
+		fmt.Sprintf("%.1f", perBatch))
+	if res.Received == 0 {
+		r.Violations++
+		r.Notes = append(r.Notes, "pump delivered nothing — the transport stack is stalled")
+	}
+	r.Tables = append(r.Tables, t)
+	r.Floors["udp_pump_msgs_per_sec_n16"] = rate
+	cellWall["pump/16"] = float64(time.Since(cellStart).Microseconds()) / 1000
 }

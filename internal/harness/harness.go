@@ -43,6 +43,12 @@ type Options struct {
 	// output must be byte-identical either way (the differential tests
 	// assert it); the flag exists only to demonstrate that.
 	LegacyFanout bool
+	// LegacyWire runs every live-runtime cluster (the nettrans pipeline
+	// behind L1/L3 and their deterministic mirrors V1/V3) with frame
+	// coalescing off: one datagram per frame, exactly the pre-batching
+	// wire. Like LegacyFanout, the reports must be byte-identical either
+	// way — the wire differential tests assert it.
+	LegacyWire bool
 
 	// pool, when set by RunAll, is the token pool shared by every sweep of
 	// every overlapping experiment.
@@ -105,6 +111,12 @@ type Result struct {
 	// fills it with the mean per-seed wall clock per committee size) —
 	// the series the BENCH regression guard compares across commits.
 	CellWallMS map[string]float64 `json:"cell_wall_ms,omitempty"`
+	// Floors records measured rates a committed artifact must prove (L1
+	// fills it with the transport pump's aggregate msgs/sec): the bench
+	// guard asserts a minimum on the committed value, so a regression on
+	// the builder machine cannot be committed silently. Like WallMS it is
+	// machine-varying and excluded from WriteTo.
+	Floors map[string]float64 `json:"floors,omitempty"`
 }
 
 // WriteTo renders the result.

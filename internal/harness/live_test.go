@@ -19,8 +19,8 @@ func TestLiveExperimentQuick(t *testing.T) {
 		_, _ = res.WriteTo(&buf)
 		t.Fatalf("L1 found %d violations:\n%s", res.Violations, buf.String())
 	}
-	if len(res.Tables) != 2 {
-		t.Fatalf("L1 produced %d tables, want 2 (sweep + chaos)", len(res.Tables))
+	if len(res.Tables) != 3 {
+		t.Fatalf("L1 produced %d tables, want 3 (sweep + chaos + wire-rate pump)", len(res.Tables))
 	}
 	if rows := len(res.Tables[0].Rows); rows != len(LiveNs())+1 {
 		t.Errorf("sweep table has %d rows, want %d (udp sweep + tcp baseline)", rows, len(LiveNs())+1)
@@ -28,10 +28,13 @@ func TestLiveExperimentQuick(t *testing.T) {
 	if rows := len(res.Tables[1].Rows); rows != 1 {
 		t.Errorf("chaos table has %d rows, want 1", rows)
 	}
-	for _, key := range []string{"udp/4", "udp/7", "udp/16", "tcp/4", "chaos/7"} {
+	for _, key := range []string{"udp/4", "udp/7", "udp/16", "tcp/4", "chaos/7", "pump/16"} {
 		if v, ok := res.CellWallMS[key]; !ok || v <= 0 {
 			t.Errorf("CellWallMS[%q] = %v, want > 0", key, v)
 		}
+	}
+	if rate, ok := res.Floors["udp_pump_msgs_per_sec_n16"]; !ok || rate <= 0 {
+		t.Errorf("Floors[udp_pump_msgs_per_sec_n16] = %v, want > 0 (the committed-artifact guard enforces the 10^6 bar)", rate)
 	}
 }
 

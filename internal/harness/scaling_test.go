@@ -1,21 +1,29 @@
 package harness
 
 import (
+	"os"
 	"testing"
 	"time"
 )
 
 // TestScalingSweepShape is the acceptance gate of the S1 workload: the
-// quick sweep must reach n = 128 and the full sweep n = 256 (quick
+// quick sweep must reach n = 128 and the full sweep n = 1024 (quick
 // shrinks seeds, never the committee sizes — sustaining large n IS the
-// experiment), and an n = 64 sweep must produce its row cleanly.
+// experiment; the giant n ≥ 256 cells run seedCapForN = 1 seed), and an
+// n = 64 sweep must produce its row cleanly.
 func TestScalingSweepShape(t *testing.T) {
 	ns := ScalingNs(false)
 	if ns[len(ns)-1] != 128 {
 		t.Fatalf("ScalingNs = %v, want a quick sweep ending at 128", ns)
 	}
-	if full := ScalingNs(true); full[len(full)-1] != 256 {
-		t.Fatalf("ScalingNs(full) = %v, want a sweep ending at 256", full)
+	if full := ScalingNs(true); full[len(full)-1] != 1024 {
+		t.Fatalf("ScalingNs(full) = %v, want a sweep ending at 1024", full)
+	}
+	if got := seedCapForN(512, 8); got != 1 {
+		t.Fatalf("seedCapForN(512, 8) = %d, want 1 (giant cells run one seed)", got)
+	}
+	if got := seedCapForN(128, 8); got != 8 {
+		t.Fatalf("seedCapForN(128, 8) = %d, want the sweep's seed count", got)
 	}
 	if testing.Short() {
 		t.Skip("running the sweep is seconds-long; skipped in -short")
@@ -77,6 +85,38 @@ func TestScalingQuickBudgetN128(t *testing.T) {
 		t.Fatalf("quick S1 sweep at n=128 took %v, budget %v — the simulation substrate regressed", elapsed, budget)
 	}
 	t.Logf("quick S1 sweep at n=128: %v (budget %v)", elapsed, budget)
+}
+
+// TestScalingQuickBudgetN512 is the env-gated giant-cell tripwire: one
+// n=512 seed (≈ 4×10⁸ simulated deliveries plus the TPS-87 baseline)
+// must complete clean inside a generous wall-clock budget. Measured at
+// ~43 minutes on the reference 2.1 GHz core, it cannot ride in the
+// default `go test` run — the 10-minute per-package timeout alone
+// forbids it — so CI invokes it explicitly (set SSBYZ_S1_512=1 and
+// pass -timeout 2h). The budget is ~2× the measured cost; blowing it
+// means the buffer-discipline gains of the chunked scheduler wheel
+// regressed.
+func TestScalingQuickBudgetN512(t *testing.T) {
+	if os.Getenv("SSBYZ_S1_512") == "" {
+		t.Skip("giant cell: ~45 minutes; set SSBYZ_S1_512=1 (and -timeout 2h) to run")
+	}
+	if raceEnabled {
+		t.Skip("wall-clock budget is meaningless under the race detector")
+	}
+	const budget = 90 * time.Minute
+	start := time.Now()
+	tab, violations, _ := ScalingTable(Options{Quick: true}, []int{512})
+	elapsed := time.Since(start)
+	if violations != 0 {
+		t.Fatalf("S1 at n=512: %d property violations", violations)
+	}
+	if len(tab.Rows) != 1 || tab.Rows[0][0] != "512" {
+		t.Fatalf("S1 table rows = %v, want one n=512 row", tab.Rows)
+	}
+	if elapsed > budget {
+		t.Fatalf("quick S1 cell at n=512 took %v, budget %v — the simulation substrate regressed", elapsed, budget)
+	}
+	t.Logf("quick S1 cell at n=512: %v (budget %v)", elapsed, budget)
 }
 
 // TestScalingTableDeterministicAcrossWorkers: every figure of the S1

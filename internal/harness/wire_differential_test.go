@@ -1,0 +1,43 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The wire differential at campaign scale: -legacy-wire must be a pure
+// wire-format switch. V1 (the deterministic live campaign) and V3 (the
+// deterministic adversarial campaign) run the full nettrans pipeline
+// over the virtual wire, so their rendered reports — latency tables,
+// per-class injected/rejected accounting, violations, notes — must come
+// out byte-identical whether frames cross the wire coalesced into
+// FrameBatch containers or one datagram per frame, at any worker count.
+
+// TestBatchedVsLegacyWireReportsIdentical renders V1+V3 under all four
+// (wire mode × worker count) corners and requires one unique byte
+// stream. Workers is swept too because the coalescer runs inside each
+// cell's event loops: a cell-parallelism leak into coalescing decisions
+// would show up here as a diff between the Workers=1 and Workers=8
+// renderings before it could corrupt CI.
+func TestBatchedVsLegacyWireReportsIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two campaigns four times; skipped in -short")
+	}
+	var ref []byte
+	var refMode string
+	for _, legacy := range []bool{false, true} {
+		for _, workers := range []int{1, 8} {
+			opt := Options{Quick: true, Workers: workers, LegacyWire: legacy}
+			got := renderReport(t, opt, V1VirtualLive, V3AdversarialLive)
+			mode := map[bool]string{false: "coalesced", true: "legacy"}[legacy]
+			if ref == nil {
+				ref, refMode = got, mode
+				continue
+			}
+			if !bytes.Equal(ref, got) {
+				t.Fatalf("V1/V3 reports differ: %s vs %s workers=%d:\n--- ref ---\n%s\n--- got ---\n%s",
+					refMode, mode, workers, ref, got)
+			}
+		}
+	}
+}

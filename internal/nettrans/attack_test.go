@@ -372,3 +372,97 @@ func TestVirtualLiveTransientRecovery(t *testing.T) {
 		t.Fatalf("post-recovery battery: %v", v)
 	}
 }
+
+// TestAttackClassesRideCoalescedWire sweeps every byte-level attack
+// class over the BATCHED wire and proves three things per class: the
+// coalescer really shipped multi-frame containers while the attack ran
+// (a blanket duplicate window guarantees multi-frame bursts, so the
+// check cannot pass vacuously), the class's injection counter fired,
+// and its defense counter fired — i.e. the per-class injected-AND-
+// rejected accounting of the attack campaign survives coalescing
+// unchanged. Tolerated classes (reorder-within-bound, in-model WAN)
+// assert toleration: holds counted, zero clamps, battery clean.
+func TestAttackClassesRideCoalescedWire(t *testing.T) {
+	everywhereDup := simnet.Condition{
+		Kind: simnet.CondDuplicate, From: 0, Until: attackWindow, Copies: 2,
+	}
+	classes := []struct {
+		name   string
+		cond   simnet.Condition
+		faulty protocol.NodeID // -1: all-correct (the class is model-legal)
+		check  func(t *testing.T, s Stats)
+	}{
+		{"corrupt", simnet.Condition{Kind: simnet.CondCorrupt, From: 0, Until: attackWindow, Nodes: []protocol.NodeID{1}}, 1,
+			func(t *testing.T, s Stats) {
+				if s.CorruptFrames == 0 || s.DecodeDrops == 0 {
+					t.Fatalf("corrupt: injected %d, decode drops %d", s.CorruptFrames, s.DecodeDrops)
+				}
+			}},
+		{"replay-stale", simnet.Condition{Kind: simnet.CondReplay, From: 0, Until: attackWindow, Nodes: []protocol.NodeID{1}}, 1,
+			func(t *testing.T, s Stats) {
+				if s.ReplayFrames == 0 || s.LateDrops == 0 {
+					t.Fatalf("stale replay: injected %d, late drops %d", s.ReplayFrames, s.LateDrops)
+				}
+			}},
+		{"replay-xepoch", simnet.Condition{Kind: simnet.CondReplay, From: 0, Until: attackWindow, Nodes: []protocol.NodeID{1}, CrossEpoch: true}, 1,
+			func(t *testing.T, s Stats) {
+				if s.ReplayFrames == 0 || s.EpochDrops == 0 {
+					t.Fatalf("cross-epoch replay: injected %d, epoch drops %d", s.ReplayFrames, s.EpochDrops)
+				}
+			}},
+		{"forge", simnet.Condition{Kind: simnet.CondForge, From: 0, Until: attackWindow, Nodes: []protocol.NodeID{1}}, 1,
+			func(t *testing.T, s Stats) {
+				if s.ForgeFrames == 0 || s.AuthDrops == 0 {
+					t.Fatalf("forge: injected %d, auth drops %d", s.ForgeFrames, s.AuthDrops)
+				}
+			}},
+		{"duplicate", simnet.Condition{Kind: simnet.CondDuplicate, From: 0, Until: attackWindow, Copies: 3}, -1,
+			func(t *testing.T, s Stats) {
+				if s.DupFrames == 0 || s.DupDrops == 0 {
+					t.Fatalf("duplicate: injected %d, dup drops %d", s.DupFrames, s.DupDrops)
+				}
+			}},
+		{"reorder-within", simnet.Condition{Kind: simnet.CondReorder, From: 0, Until: attackWindow, Stride: 3}, -1,
+			func(t *testing.T, s Stats) {
+				if s.ReorderHolds == 0 {
+					t.Fatal("reorder-within: held nothing")
+				}
+			}},
+		{"reorder-beyond", simnet.Condition{Kind: simnet.CondReorder, From: 0, Until: attackWindow, Nodes: []protocol.NodeID{1}, Jitter: 150}, 1,
+			func(t *testing.T, s Stats) {
+				if s.ReorderHolds == 0 || s.LateDrops == 0 {
+					t.Fatalf("reorder-beyond: held %d, late drops %d", s.ReorderHolds, s.LateDrops)
+				}
+			}},
+		{"wan", simnet.Condition{
+			Kind: simnet.CondWAN, From: 0, Until: attackWindow,
+			Groups: [][]protocol.NodeID{{0, 1}, {2, 3}},
+			Matrix: [][]simtime.Duration{{0, 10}, {12, 0}},
+			Jitter: 5,
+		}, -1,
+			func(t *testing.T, s Stats) {
+				if s.Clamps != 0 {
+					t.Fatalf("wan: in-model matrix clamped %d sends", s.Clamps)
+				}
+			}},
+	}
+	for _, tc := range classes {
+		t.Run(tc.name, func(t *testing.T) {
+			c, _ := startAttackCluster(t,
+				[]simnet.Condition{tc.cond, everywhereDup}, tc.faulty)
+			t0 := runAttackAgreement(t, c, 0, "coalesced-attack")
+			// A second agreement gives replay tapes time to go stale and
+			// every class a longer window to coalesce under.
+			t1 := runAttackAgreement(t, c, 2, "coalesced-attack-2")
+			flushInFlight(c)
+			tc.check(t, c.Stats())
+			if bs := c.BatchStats(); bs.BatchesSent == 0 || bs.BatchedFrames < 2*bs.BatchesSent {
+				t.Fatalf("attack ran but the wire never coalesced: %+v", bs)
+			}
+			assertBattery(t, c, []check.LiveInitiation{
+				{G: 0, V: "coalesced-attack", T0: t0},
+				{G: 2, V: "coalesced-attack-2", T0: t1},
+			})
+		})
+	}
+}

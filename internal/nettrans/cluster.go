@@ -65,6 +65,11 @@ type ClusterConfig struct {
 	// delay in ticks (defaults [D/4, D/2], like livenet; max D/2 so a
 	// chaos jitter of up to D/2 on top never crosses the d deadline).
 	DelayMin, DelayMax simtime.Duration
+	// LegacyDatagramPerFrame switches every node to the pre-batching
+	// one-datagram-per-frame wire (see NodeConfig). The batched-vs-legacy
+	// differential tests run the same campaign under both settings and
+	// require byte-identical results.
+	LegacyDatagramPerFrame bool
 }
 
 // NewCluster binds n loopback sockets (ephemeral ports), distributes the
@@ -132,14 +137,15 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			c.correct = append(c.correct, id)
 		}
 		nn, err := StartWith(NodeConfig{
-			ID:         id,
-			Params:     cfg.Params,
-			Tick:       cfg.Tick,
-			Transport:  cfg.Transport,
-			Peers:      peers,
-			Epoch:      c.epoch,
-			Rec:        c.rec,
-			Conditions: cfg.Conditions,
+			ID:                     id,
+			Params:                 cfg.Params,
+			Tick:                   cfg.Tick,
+			Transport:              cfg.Transport,
+			Peers:                  peers,
+			Epoch:                  c.epoch,
+			Rec:                    c.rec,
+			Conditions:             cfg.Conditions,
+			LegacyDatagramPerFrame: cfg.LegacyDatagramPerFrame,
 		}, socks[i], machine)
 		if err != nil {
 			c.Stop()
@@ -212,6 +218,18 @@ func (c *Cluster) Stats() Stats {
 			continue
 		}
 		total.Add(nn.Stats())
+	}
+	return total
+}
+
+// BatchStats aggregates every live node's coalescer counters.
+func (c *Cluster) BatchStats() BatchStats {
+	var total BatchStats
+	for _, nn := range c.nodes {
+		if nn == nil {
+			continue
+		}
+		total.Add(nn.BatchStats())
 	}
 	return total
 }
@@ -391,11 +409,19 @@ func (c *Cluster) Result(horizon simtime.Duration) *sim.Result {
 // are sorted into chronological order (live streams interleave; the
 // checkers' session logic assumes per-kind chronological order, which the
 // simulator provides for free) and wrapped in the sim.Result form every
-// checker consumes. correct lists the node ids running correct state
-// machines; horizon is the run's extent in ticks.
+// checker consumes. Same-instant events are ordered by node, so the
+// shaped trace is canonical: two runs that traced the same events in a
+// different same-tick interleaving (e.g. the batched and legacy wires)
+// shape to identical results. correct lists the node ids running correct
+// state machines; horizon is the run's extent in ticks.
 func BuildResult(pp protocol.Params, events []protocol.TraceEvent,
 	correct []protocol.NodeID, horizon simtime.Duration) *sim.Result {
-	sort.SliceStable(events, func(i, j int) bool { return events[i].RT < events[j].RT })
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].RT != events[j].RT {
+			return events[i].RT < events[j].RT
+		}
+		return events[i].Node < events[j].Node
+	})
 	rec := protocol.NewRecorder()
 	for _, ev := range events {
 		rec.Add(ev)

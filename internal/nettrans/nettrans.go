@@ -86,6 +86,13 @@ type NodeConfig struct {
 	// drops, and every chaos/protocol timer (default clock.Real()). The
 	// virtual cluster injects a shared *clock.Fake here.
 	Clock clock.Clock
+	// LegacyDatagramPerFrame disables the send-side frame coalescer: every
+	// protocol message rides its own datagram, exactly the pre-batching
+	// wire behaviour. The receive pipeline always understands batch
+	// containers, so mixed clusters interoperate; the flag exists to prove
+	// (differentially) that coalescing changes only how bytes are packed,
+	// never what any node observes.
+	LegacyDatagramPerFrame bool
 }
 
 // Stats counts the transport's traffic and drop classes. All counters are
@@ -176,6 +183,26 @@ func (s *Stats) Add(other Stats) {
 	s.ForgeFrames += other.ForgeFrames
 }
 
+// BatchStats counts the frame coalescer's packing work. Deliberately kept
+// OUTSIDE Stats: the 15-counter vector is the FrameStats schema shared
+// with older daemons and the byte-identity surface of the batched-vs-
+// legacy differential — coalescing must change how bytes are packed, not
+// what any counter observes.
+type BatchStats struct {
+	// BatchesSent counts multi-frame container datagrams written.
+	BatchesSent int64
+	// BatchedFrames counts inner frames that rode inside those containers.
+	// Single-frame flushes go out raw (byte-identical to the legacy wire)
+	// and are counted by neither field.
+	BatchedFrames int64
+}
+
+// Add accumulates other into s.
+func (s *BatchStats) Add(other BatchStats) {
+	s.BatchesSent += other.BatchesSent
+	s.BatchedFrames += other.BatchedFrames
+}
+
 // StatsFromCounters is the inverse of Stats.Counters, tolerating shorter
 // vectors from older senders (missing classes read zero).
 func StatsFromCounters(v []int64) Stats {
@@ -207,6 +234,7 @@ type NetNode struct {
 	timers  *eventloop.Timers
 	chaos   *chaos
 	trans   transport
+	co      *coalescer
 	wg      sync.WaitGroup
 
 	timerMu sync.Mutex
@@ -228,6 +256,7 @@ type NetNode struct {
 	dupDrops, clamps, rateDefers                          atomic.Int64
 	dupFrames, reorderHolds                               atomic.Int64
 	corruptFrames, replayFrames, forgeFrames              atomic.Int64
+	batchesSent, batchedFrames                            atomic.Int64
 
 	stopOnce sync.Once
 }
@@ -326,6 +355,9 @@ func startNode(cfg NodeConfig, node protocol.Node, mkTrans func(*NetNode) (trans
 	nn.trans, err = mkTrans(nn)
 	if err != nil {
 		return nil, err
+	}
+	if !cfg.LegacyDatagramPerFrame {
+		nn.co = newCoalescer(nn)
 	}
 	nn.wg.Add(1)
 	go func() {
@@ -427,6 +459,13 @@ func (nn *NetNode) Send(to protocol.NodeID, m protocol.Message) {
 	nn.sent.Add(1)
 	now := nn.nowTicks()
 	plan := nn.chaos.planSend(nn.cfg.ID, to, now)
+	nn.sendPlanned(to, m, now, plan)
+}
+
+// sendPlanned executes one resolved chaos plan: encode, inject whatever
+// the plan orders, ship. Split from Send so Broadcast can route only
+// chaos-touched links through it.
+func (nn *NetNode) sendPlanned(to protocol.NodeID, m protocol.Message, now simtime.Real, plan sendPlan) {
 	if plan.drop {
 		nn.chaosDrops.Add(1)
 		return
@@ -454,7 +493,7 @@ func (nn *NetNode) Send(to protocol.NodeID, m protocol.Message) {
 			Payload: nn.payloadScratch,
 		})
 		nn.forgeFrames.Add(1)
-		nn.trans.send(to, forged)
+		nn.deliverNow(to, forged)
 	}
 	if plan.replay {
 		if e := nn.chaos.pickReplay(now, plan.replayLag, plan.replayCross); e != nil {
@@ -470,7 +509,7 @@ func (nn *NetNode) Send(to protocol.NodeID, m protocol.Message) {
 				Payload: e.payload,
 			})
 			nn.replayFrames.Add(1)
-			nn.trans.send(e.to, replayed)
+			nn.deliverNow(e.to, replayed)
 		}
 	}
 	nn.frameScratch = wire.AppendFrame(nn.frameScratch[:0], wire.Frame{
@@ -490,14 +529,19 @@ func (nn *NetNode) Send(to protocol.NodeID, m protocol.Message) {
 	copies := 1 + plan.dups
 	nn.dupFrames.Add(int64(plan.dups))
 	if plan.delay <= 0 {
-		// The socket copies the bytes before returning, so the scratch is
-		// free for the next Send: zero allocations at steady state.
+		// Both sinks copy the bytes before returning (the coalescer into
+		// its per-peer buffer, the socket into the kernel), so the scratch
+		// is free for the next Send: zero allocations at steady state.
 		for i := 0; i < copies; i++ {
-			nn.trans.send(to, nn.frameScratch)
+			nn.deliverNow(to, nn.frameScratch)
 		}
 		return
 	}
-	// A chaos-delayed frame outlives this call; it needs its own copy.
+	// A chaos-delayed frame outlives this call; it needs its own copy. It
+	// bypasses the coalescer in both modes: its delivery tick is set by
+	// its own timer, not by the burst it was born in, so batching it with
+	// unrelated later traffic would change the schedule the legacy wire
+	// produces.
 	frame := append([]byte(nil), nn.frameScratch...)
 	nn.timers.AfterFunc(time.Duration(plan.delay)*nn.cfg.Tick, func() {
 		for i := 0; i < copies; i++ {
@@ -506,11 +550,53 @@ func (nn *NetNode) Send(to protocol.NodeID, m protocol.Message) {
 	})
 }
 
+// deliverNow hands one encoded frame to the wire on the immediate path:
+// through the coalescer when batching is on (the frame joins this event-
+// handler burst's per-peer batch), straight to the socket in legacy mode.
+// Forged and replayed frames take this path too — attack traffic must
+// keep its position in the per-link frame order, or the batched and
+// legacy wires would present receivers with different sequences.
+func (nn *NetNode) deliverNow(to protocol.NodeID, frame []byte) {
+	if nn.co != nil {
+		nn.co.add(to, frame)
+		return
+	}
+	nn.trans.send(to, frame)
+}
+
 // Broadcast implements protocol.Runtime: n point-to-point sends, the
 // node itself included (the model has no broadcast medium).
 func (nn *NetNode) Broadcast(m protocol.Message) {
+	m.From = nn.cfg.ID // authenticated sender identity
+	now := nn.nowTicks()
+	encoded := false
 	for i := 0; i < nn.cfg.Params.N; i++ {
-		nn.Send(protocol.NodeID(i), m)
+		to := protocol.NodeID(i)
+		nn.sent.Add(1)
+		plan := nn.chaos.planSend(nn.cfg.ID, to, now)
+		if plan != (sendPlan{forge: -1}) {
+			// An attack or environment plan is in force on this link: take
+			// the full per-link path (which clobbers the scratch buffers).
+			encoded = false
+			nn.sendPlanned(to, m, now, plan)
+			continue
+		}
+		// Clean link: the frame bytes do not depend on the recipient, so
+		// the n-way fan-out encodes message and frame exactly once.
+		if !encoded {
+			nn.payloadScratch = wire.AppendMessage(nn.payloadScratch[:0], m)
+			nn.frameScratch = wire.AppendFrame(nn.frameScratch[:0], wire.Frame{
+				Kind:    wire.FrameMessage,
+				From:    nn.cfg.ID,
+				Epoch:   nn.epochID,
+				Sent:    int64(now),
+				Payload: nn.payloadScratch,
+			})
+			encoded = true
+		}
+		// The replay attacker records the REAL traffic, per link.
+		nn.chaos.capture(to, int64(now), nn.payloadScratch)
+		nn.deliverNow(to, nn.frameScratch)
 	}
 }
 
@@ -568,58 +654,144 @@ func (nn *NetNode) Trace(ev protocol.TraceEvent) {
 	}
 }
 
+// BatchStats returns a snapshot of the coalescer counters.
+func (nn *NetNode) BatchStats() BatchStats {
+	return BatchStats{
+		BatchesSent:   nn.batchesSent.Load(),
+		BatchedFrames: nn.batchedFrames.Load(),
+	}
+}
+
 // ---- receive path (shared by both transports) ----
 
-// handleFrame runs the acceptance pipeline on one decoded frame:
-// epoch check, sender authentication (authOK is the transport's source
-// check for the claimed id), the d deadline on UDP, duplicate
-// suppression, receiver-side churn, payload decode, delivery. It is
-// called from receive-loop goroutines; delivery is serialized by the
-// mailbox. Control-stream kinds (fault, stats) have no business on the
+// admitFrame runs the acceptance pipeline on one decoded frame: epoch
+// check, sender authentication (authOK is the transport's source check
+// for the claimed id), the d deadline on UDP, duplicate suppression,
+// receiver-side churn, payload decode. It returns the decoded message
+// and true when the frame should be delivered. Every drop class counts
+// here, per frame — a batch container is just packaging, so its inner
+// frames are admitted one by one exactly as if each had its own
+// datagram. Control-stream kinds (fault, stats) have no business on the
 // data path and are discarded as decode drops.
-func (nn *NetNode) handleFrame(f wire.Frame, authOK bool) {
+func (nn *NetNode) admitFrame(f wire.Frame, authOK bool, now simtime.Real) (protocol.Message, bool) {
 	if f.Epoch != nn.epochID {
 		nn.epochDrops.Add(1)
-		return
+		return protocol.Message{}, false
 	}
 	switch f.Kind {
 	case wire.FrameHello, wire.FrameBye:
-		return // session bookkeeping, nothing to deliver
+		return protocol.Message{}, false // session bookkeeping, nothing to deliver
 	case wire.FrameMessage:
 	default:
 		nn.decDrop.Add(1)
-		return
+		return protocol.Message{}, false
 	}
 	if !authOK {
 		nn.authDrops.Add(1)
-		return
+		return protocol.Message{}, false
 	}
-	now := nn.nowTicks()
 	if nn.cfg.Transport == TransportUDP && int64(now)-f.Sent > int64(nn.cfg.Params.D) {
 		// Bounded-delay enforcement: the model delivers within d or not at
 		// all, so a late frame is transport loss, not a late delivery.
 		nn.lateDrops.Add(1)
-		return
+		return protocol.Message{}, false
 	}
 	if nn.dedup.seen(f, now) {
 		// At-most-once within the d window: a byte-identical frame from the
 		// same sender was already accepted, so this is datagram duplication
 		// or a fresh replay — either way, redundant by construction.
 		nn.dupDrops.Add(1)
-		return
+		return protocol.Message{}, false
 	}
 	if nn.chaos.onRecv(nn.cfg.ID, now) {
 		nn.chaosDrops.Add(1)
-		return
+		return protocol.Message{}, false
 	}
 	m, _, err := wire.DecodeMessage(f.Payload)
 	if err != nil {
 		nn.decDrop.Add(1)
-		return
+		return protocol.Message{}, false
 	}
 	m.From = f.From // the envelope, not the body, is authenticated
-	from := f.From
+	return m, true
+}
+
+// handleFrame admits one frame and delivers it. It is called from
+// receive-loop goroutines; delivery is serialized by the mailbox.
+func (nn *NetNode) handleFrame(f wire.Frame, authOK bool) {
+	m, ok := nn.admitFrame(f, authOK, nn.nowTicks())
+	if !ok {
+		return
+	}
+	from := m.From
 	if nn.mbox.Enqueue(func() { nn.node.OnMessage(from, m) }) {
 		nn.received.Add(1)
 	}
+}
+
+// handleBatch unpacks a batch container and admits every inner frame
+// individually: per-frame decode (a corrupt inner frame costs one decode
+// drop and spares its batch-mates), per-frame authentication of the
+// claimed sender, per-frame deadline/dedup/churn. All admitted messages
+// are delivered in order through ONE mailbox enqueue — the amortization
+// that lets the event loop keep up with a coalesced wire. A broken
+// container framing (bad count or length prefix) costs one decode drop
+// for the unreadable remainder; frames yielded before the break stand.
+func (nn *NetNode) handleBatch(f wire.Frame, auth func(protocol.NodeID) bool) {
+	if f.Epoch != nn.epochID {
+		nn.epochDrops.Add(1)
+		return
+	}
+	r, err := wire.ReadBatch(f.Payload)
+	if err != nil {
+		nn.decDrop.Add(1)
+		return
+	}
+	msgs := make([]protocol.Message, 0, wire.MaxBatchFrames/8)
+	// One clock read admits the whole container: every inner frame shares
+	// the batch's arrival instant (virtual deliveries of one cascade all
+	// happen at the same fake-clock tick, so this is also what keeps the
+	// batched and legacy wires' deadline decisions identical).
+	now := nn.nowTicks()
+	for {
+		raw, ok := r.Next()
+		if !ok {
+			break
+		}
+		inner, consumed, derr := wire.DecodeFrame(raw)
+		if derr != nil || consumed != len(raw) {
+			nn.decDrop.Add(1)
+			continue
+		}
+		if m, admit := nn.admitFrame(inner, auth(inner.From), now); admit {
+			msgs = append(msgs, m)
+		}
+	}
+	if r.Err() != nil {
+		nn.decDrop.Add(1)
+	}
+	if len(msgs) == 0 {
+		return
+	}
+	if nn.mbox.Enqueue(func() {
+		for _, m := range msgs {
+			nn.node.OnMessage(m.From, m)
+		}
+	}) {
+		nn.received.Add(int64(len(msgs)))
+	}
+}
+
+// handleDatagram dispatches one decoded top-level frame from the wire:
+// batch containers fan out through handleBatch, everything else is a
+// single frame. auth answers "could this claimed sender have produced
+// this datagram" — for UDP the source-address check, for TCP the session
+// identity — and is consulted per inner frame, because a batch carries
+// one envelope but every inner frame restates its sender.
+func (nn *NetNode) handleDatagram(f wire.Frame, auth func(protocol.NodeID) bool) {
+	if f.Kind == wire.FrameBatch {
+		nn.handleBatch(f, auth)
+		return
+	}
+	nn.handleFrame(f, auth(f.From))
 }

@@ -1,0 +1,97 @@
+package nettrans
+
+import (
+	"testing"
+	"time"
+
+	"ssbyz/internal/protocol"
+)
+
+// Transport throughput battery: the pump floods a wall-clock loopback
+// cluster through the full stack — encode, coalesce, sendmmsg, recvmmsg
+// into pooled buffers, sharded decode, dedup, delivery — with NullNode
+// stubbing the protocol out. TestRecvBufferPoolRace is the -race stress
+// for the pooled receive buffers; the benchmark and the floor test are
+// the local instruments behind the committed L1 artifact floor.
+
+// pumpCluster boots an n-node wall-clock UDP NullNode cluster with a
+// deadline window wide enough that scheduler hiccups read as loss (which
+// the pump tolerates), not late-drops.
+func pumpCluster(t testing.TB, n int) *Cluster {
+	pp := protocol.DefaultParams(n)
+	pp.D = 10000
+	c, err := NewCluster(ClusterConfig{
+		Params: pp, Tick: 100 * time.Microsecond, Transport: TransportUDP,
+		NewNode: func() protocol.Node { return NullNode{} },
+	})
+	if err != nil {
+		t.Fatalf("NewCluster(n=%d): %v", n, err)
+	}
+	t.Cleanup(c.Stop)
+	return c
+}
+
+// TestRecvBufferPoolRace hammers the pooled receive path (referenced by
+// the ownership comment in socket.go): recvmmsg fills pooled buffers,
+// ingest shards consume and recycle them, and the race detector checks
+// the handoff. Four nodes all pumping at once maximizes pool churn —
+// every socket is simultaneously filling buffers and returning them.
+func TestRecvBufferPoolRace(t *testing.T) {
+	c := pumpCluster(t, 4)
+	done := make(chan PumpResult, 4)
+	for id := 0; id < 4; id++ {
+		go func(id protocol.NodeID) {
+			done <- c.Pump(id, 2000, 20*time.Second)
+		}(protocol.NodeID(id))
+	}
+	var recv int64
+	for i := 0; i < 4; i++ {
+		r := <-done
+		recv += r.Received
+	}
+	if recv == 0 {
+		t.Fatal("four concurrent pumps delivered nothing")
+	}
+}
+
+// TestTransportThroughputFloor is the local tripwire under the committed
+// artifact floor: the loopback pump must clear a deliberately modest
+// 10^5 msgs/sec so a hot-path regression fails fast in `go test ./...`
+// without wall-clock flakiness. The real 10^6 floor is enforced on the
+// committed BENCH artifact by the harness floor guard.
+func TestTransportThroughputFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock throughput floor: skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("race detector slowdown invalidates throughput floors")
+	}
+	c := pumpCluster(t, 16)
+	c.Pump(0, 2000, 10*time.Second) // warm to steady state
+	res := c.Pump(0, 20000, 30*time.Second)
+	if res.Received == 0 {
+		t.Fatalf("pump delivered nothing: %+v", res)
+	}
+	const floor = 1e5
+	if rate := res.MsgsPerSec(); rate < floor {
+		t.Errorf("loopback transport rate %.0f msgs/sec below %.0f floor (%+v)", rate, floor, res)
+	}
+	t.Logf("n=16 loopback: %.0f msgs/sec (%d/%d delivered, %v) batches=%+v",
+		res.MsgsPerSec(), res.Received, res.Sent, res.Elapsed, c.BatchStats())
+}
+
+// BenchmarkTransportSendRecv measures the wire-rate hot path end to end
+// on a persistent n=16 loopback cluster; the reported custom metric is
+// aggregate delivered msgs/sec.
+func BenchmarkTransportSendRecv(b *testing.B) {
+	c := pumpCluster(b, 16)
+	c.Pump(0, 2000, 10*time.Second) // warm to steady state
+	b.ResetTimer()
+	res := c.Pump(0, b.N, time.Minute)
+	b.StopTimer()
+	if res.Received == 0 {
+		b.Fatalf("pump delivered nothing: %+v", res)
+	}
+	b.ReportMetric(res.MsgsPerSec(), "msgs/sec")
+	b.ReportMetric(float64(res.Received)/float64(res.Sent), "delivered/sent")
+}

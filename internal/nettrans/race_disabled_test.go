@@ -1,0 +1,5 @@
+//go:build !race
+
+package nettrans
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package nettrans
+
+// raceEnabled reports that this build runs under the race detector, whose
+// 5–20× slowdown makes wall-clock throughput floors meaningless.
+const raceEnabled = true

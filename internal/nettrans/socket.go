@@ -1,9 +1,12 @@
 package nettrans
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
+	"net/netip"
+	"runtime"
 	"sync"
 
 	"ssbyz/internal/protocol"
@@ -11,11 +14,21 @@ import (
 )
 
 // This file holds the two socket implementations behind NetNode: the UDP
-// datagram transport (one frame per datagram, source-address sender
-// authentication, kernel-level loss allowed) and the TCP stream transport
-// (self-delimiting frames on long-lived per-peer connections, hello-based
-// authentication, lossless). Both feed decoded frames into
-// NetNode.handleFrame; everything protocol-visible is identical.
+// datagram transport (coalesced frames per datagram, source-address
+// sender authentication, kernel-level loss allowed) and the TCP stream
+// transport (self-delimiting frames on long-lived per-peer connections,
+// hello-based authentication, lossless). Both feed decoded frames into
+// NetNode.handleDatagram; everything protocol-visible is identical.
+//
+// The UDP receive side is the other half of the wire-rate hot path
+// (DESIGN.md §11; batch.go is the send half): datagrams are read into
+// pooled buffers
+// (recvmmsg in batches where the platform supports it — see
+// socket_mmsg_linux.go) and handed to per-source ingest shards, so
+// decode, authentication, dedup and chaos accounting run off the socket
+// goroutine while the kernel keeps filling the next buffers. Sharding by
+// source address preserves per-link FIFO order, which the bounded-delay
+// model and the dedup window both assume.
 
 // Socket is a bound-but-idle listen socket. Binding is split from
 // starting so a cluster can bind every node first (learning ephemeral
@@ -82,24 +95,74 @@ func (s *Socket) Close() {
 
 // ---- UDP ----
 
-// udpTransport sends and receives one frame per datagram through the
-// node's single bound socket; because peers send from their listen
-// socket, a datagram's source address equals the manifest address of its
-// sender, which is what authenticates the claimed node id.
+// recvBufSize is the pooled receive buffer size: comfortably above the
+// largest datagram the coalescer emits (maxBatchBytes plus one frame and
+// the envelope) and the UDP payload ceiling.
+const recvBufSize = 64 << 10
+
+// ingestShardCap bounds the number of ingest shards; more shards than
+// cores just adds context switches.
+const ingestShardCap = 4
+
+// ingestItem is one received datagram in flight from the socket reader
+// to an ingest shard: a pooled buffer (returned to the pool by the
+// shard worker), the datagram length, and the kernel-reported source.
+type ingestItem struct {
+	buf *[]byte
+	n   int
+	src netip.AddrPort
+}
+
+// udpTransport sends and receives datagrams through the node's single
+// bound socket; because peers send from their listen socket, a
+// datagram's source address equals the manifest address of its sender,
+// which is what authenticates the claimed node id.
 type udpTransport struct {
 	nn    *NetNode
 	conn  *net.UDPConn
-	peers []*net.UDPAddr
+	peers []netip.AddrPort
+
+	// shards are the inbound per-source queues; bufPool recycles the
+	// receive buffers the socket reader fills and the shard workers drain.
+	shards  []chan ingestItem
+	bufPool sync.Pool
+
+	// mmsg fast path (linux amd64/arm64 only; see socket_mmsg_*.go).
+	mmsgOK   bool
+	rawPeers []rawAddr
 }
 
 func newUDPTransport(nn *NetNode, conn *net.UDPConn, peers []string) (*udpTransport, error) {
-	t := &udpTransport{nn: nn, conn: conn, peers: make([]*net.UDPAddr, len(peers))}
+	t := &udpTransport{nn: nn, conn: conn, peers: make([]netip.AddrPort, len(peers))}
+	t.bufPool.New = func() any {
+		b := make([]byte, recvBufSize)
+		return &b
+	}
 	for i, p := range peers {
 		ua, err := net.ResolveUDPAddr("udp", p)
 		if err != nil {
 			return nil, fmt.Errorf("nettrans: resolve peer %d %q: %w", i, p, err)
 		}
-		t.peers[i] = ua
+		ap := ua.AddrPort()
+		t.peers[i] = netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
+	}
+	t.initMMsg()
+	nshards := runtime.GOMAXPROCS(0)
+	if nshards > ingestShardCap {
+		nshards = ingestShardCap
+	}
+	if nshards < 1 {
+		nshards = 1
+	}
+	t.shards = make([]chan ingestItem, nshards)
+	for i := range t.shards {
+		ch := make(chan ingestItem, 256)
+		t.shards[i] = ch
+		nn.wg.Add(1)
+		go func() {
+			defer nn.wg.Done()
+			t.ingestLoop(ch)
+		}()
 	}
 	nn.wg.Add(1)
 	go func() {
@@ -114,35 +177,105 @@ func (t *udpTransport) addr() string { return t.conn.LocalAddr().String() }
 func (t *udpTransport) send(to protocol.NodeID, frame []byte) {
 	// Fire and forget: a full socket buffer or ICMP-refused peer is
 	// message loss, which the protocol tolerates by design.
-	_, _ = t.conn.WriteToUDP(frame, t.peers[to])
+	_, _ = t.conn.WriteToUDPAddrPort(frame, t.peers[to])
+}
+
+// sendBatch implements batchSender: one flush, one datagram per peer,
+// and — where the platform provides sendmmsg — one syscall for all of
+// them.
+func (t *udpTransport) sendBatch(dsts []protocol.NodeID, frames [][]byte) {
+	if t.mmsgOK && len(dsts) > 1 {
+		t.sendMMsg(dsts, frames)
+		return
+	}
+	for i, to := range dsts {
+		t.send(to, frames[i])
+	}
 }
 
 func (t *udpTransport) close() { t.conn.Close() }
 
+func (t *udpTransport) getBuf() *[]byte  { return t.bufPool.Get().(*[]byte) }
+func (t *udpTransport) putBuf(b *[]byte) { t.bufPool.Put(b) }
+
+// recvLoop is the socket reader: it fills pooled buffers and hands them
+// to the ingest shards. When the platform mmsg path is available it
+// drains whole batches of datagrams per syscall instead.
 func (t *udpTransport) recvLoop() {
-	buf := make([]byte, 64<<10)
+	defer t.closeShards()
+	if t.recvLoopMMsg() {
+		return
+	}
 	for {
-		n, raddr, err := t.conn.ReadFromUDP(buf)
+		bp := t.getBuf()
+		n, src, err := t.conn.ReadFromUDPAddrPort(*bp)
 		if err != nil {
+			t.putBuf(bp)
 			return // socket closed
 		}
-		f, consumed, err := wire.DecodeFrame(buf[:n])
-		if err != nil || consumed != n {
-			t.nn.decDrop.Add(1)
-			continue
-		}
-		t.nn.handleFrame(f, t.authenticate(f.From, raddr))
+		t.dispatch(ingestItem{buf: bp, n: n, src: netip.AddrPortFrom(src.Addr().Unmap(), src.Port())})
 	}
+}
+
+// dispatch routes one datagram to its source's shard. The mapping is a
+// pure function of the source address, so frames of one link always
+// land on the same shard and per-link FIFO order survives the fan-out;
+// the blocking send is deliberate backpressure (a slow shard fills its
+// queue, then the kernel buffer, then the excess is datagram loss — the
+// failure mode the protocol already tolerates).
+func (t *udpTransport) dispatch(it ingestItem) {
+	t.shards[t.shardOf(it.src)] <- it
+}
+
+func (t *udpTransport) shardOf(src netip.AddrPort) int {
+	if len(t.shards) == 1 {
+		return 0
+	}
+	a16 := src.Addr().As16()
+	h := mix64(uint64(src.Port()), binary.LittleEndian.Uint64(a16[8:]), 0, 0)
+	return int(h % uint64(len(t.shards)))
+}
+
+// closeShards ends the shard workers once the socket reader has exited
+// (the reader is the only producer, so closing here is race-free).
+func (t *udpTransport) closeShards() {
+	for _, ch := range t.shards {
+		close(ch)
+	}
+}
+
+// ingestLoop is one shard worker: decode, authenticate, admit, deliver
+// — everything downstream of the socket read — then recycle the buffer.
+// The dedup window and the message decoder both copy what they keep, so
+// returning the buffer to the pool here cannot leave aliases behind
+// (pinned by TestRecvBufferPoolRace under -race).
+func (t *udpTransport) ingestLoop(ch chan ingestItem) {
+	for it := range ch {
+		t.process((*it.buf)[:it.n], it.src)
+		t.putBuf(it.buf)
+	}
+}
+
+func (t *udpTransport) process(dg []byte, src netip.AddrPort) {
+	f, consumed, err := wire.DecodeFrame(dg)
+	if err != nil || consumed != len(dg) {
+		t.nn.decDrop.Add(1)
+		return
+	}
+	if f.Kind == wire.FrameBatch {
+		t.nn.handleBatch(f, func(from protocol.NodeID) bool { return t.authenticate(from, src) })
+		return
+	}
+	t.nn.handleFrame(f, t.authenticate(f.From, src))
 }
 
 // authenticate checks the datagram's source address against the claimed
 // sender's manifest address.
-func (t *udpTransport) authenticate(from protocol.NodeID, raddr *net.UDPAddr) bool {
+func (t *udpTransport) authenticate(from protocol.NodeID, src netip.AddrPort) bool {
 	if from < 0 || int(from) >= len(t.peers) {
 		return false
 	}
-	want := t.peers[from]
-	return want.Port == raddr.Port && want.IP.Equal(raddr.IP)
+	return t.peers[from] == src
 }
 
 // ---- TCP ----
@@ -314,6 +447,12 @@ func (t *tcpTransport) readLoop(conn net.Conn) {
 					peer = f.From
 					haveHello = true
 					t.nn.handleFrame(f, true)
+					continue
+				}
+				if f.Kind == wire.FrameBatch {
+					// Stream transport, same container: inner frames are
+					// authenticated against the session identity individually.
+					t.nn.handleBatch(f, func(from protocol.NodeID) bool { return from == peer })
 					continue
 				}
 				t.nn.handleFrame(f, f.From == peer)

@@ -1,0 +1,203 @@
+//go:build linux && (amd64 || arm64)
+
+package nettrans
+
+import (
+	"net"
+	"net/netip"
+	"syscall"
+	"unsafe"
+
+	"ssbyz/internal/protocol"
+)
+
+// Batched UDP syscalls via sendmmsg/recvmmsg, straight off the stdlib
+// syscall package (no x/net dependency): one kernel crossing moves a
+// whole coalescer flush out, or a whole burst of datagrams in. The
+// sockets stay in the runtime's netpoller — the syscalls are issued
+// through RawConn Read/Write callbacks, so EAGAIN parks the goroutine
+// on the poller like any other socket op instead of spinning.
+//
+// The path is gated to IPv4 sockets with all-IPv4 peers (every manifest
+// this repo produces is loopback IPv4); anything else falls back to the
+// portable WriteToUDPAddrPort/ReadFromUDPAddrPort loop in socket.go,
+// which is behaviourally identical. Only little-endian platforms are
+// tagged in, so the network-byte-order port swaps below are fixed.
+
+const mmsgEnabled = true
+
+// rawAddr is one peer's precomputed kernel sockaddr.
+type rawAddr struct {
+	sa syscall.RawSockaddrInet4
+}
+
+// mmsghdr mirrors struct mmsghdr: a msghdr plus the kernel-filled
+// per-datagram byte count, padded to the struct's 8-byte alignment.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+	_   [4]byte
+}
+
+// sendChunk / recvBatch size the syscall vectors. A coalescer flush is
+// at most n-1 datagrams, so 16 covers the common cluster sizes in one
+// syscall; the receive batch is larger because bursts aggregate across
+// senders.
+const (
+	sendChunk = 16
+	recvBatch = 32
+)
+
+// initMMsg decides whether the fast path applies and precomputes the
+// peer sockaddrs.
+func (t *udpTransport) initMMsg() {
+	la, ok := t.conn.LocalAddr().(*net.UDPAddr)
+	if !ok || la.IP.To4() == nil {
+		return // AF_INET6 socket: sockaddr_in names would be rejected
+	}
+	t.rawPeers = make([]rawAddr, len(t.peers))
+	for i, ap := range t.peers {
+		if !ap.Addr().Is4() {
+			return // mixed family: stay on the portable path
+		}
+		var sa syscall.RawSockaddrInet4
+		sa.Family = syscall.AF_INET
+		sa.Addr = ap.Addr().As4()
+		p := ap.Port()
+		sa.Port = uint16(p>>8) | uint16(p&0xff)<<8 // host → network byte order
+		t.rawPeers[i].sa = sa
+	}
+	t.mmsgOK = true
+}
+
+// sendMMsg transmits one datagram per destination with as few sendmmsg
+// calls as possible. Fire-and-forget like send: a refused or failed
+// datagram is skipped, not retried — datagram loss is in the model.
+func (t *udpTransport) sendMMsg(dsts []protocol.NodeID, frames [][]byte) {
+	rc, err := t.conn.SyscallConn()
+	if err != nil {
+		for i, to := range dsts {
+			t.send(to, frames[i])
+		}
+		return
+	}
+	var (
+		hdrs [sendChunk]mmsghdr
+		iovs [sendChunk]syscall.Iovec
+	)
+	for off := 0; off < len(dsts); off += sendChunk {
+		m := len(dsts) - off
+		if m > sendChunk {
+			m = sendChunk
+		}
+		for i := 0; i < m; i++ {
+			fr := frames[off+i]
+			iovs[i].Base = &fr[0]
+			iovs[i].Len = uint64(len(fr))
+			sa := &t.rawPeers[dsts[off+i]].sa
+			hdrs[i] = mmsghdr{}
+			hdrs[i].hdr.Name = (*byte)(unsafe.Pointer(sa))
+			hdrs[i].hdr.Namelen = uint32(unsafe.Sizeof(*sa))
+			hdrs[i].hdr.Iov = &iovs[i]
+			hdrs[i].hdr.Iovlen = 1
+		}
+		sent := 0
+		for sent < m {
+			var n uintptr
+			var errno syscall.Errno
+			werr := rc.Write(func(fd uintptr) bool {
+				n, _, errno = syscall.Syscall6(sysSENDMMSG, fd,
+					uintptr(unsafe.Pointer(&hdrs[sent])), uintptr(m-sent), 0, 0, 0)
+				return errno != syscall.EAGAIN
+			})
+			if werr != nil {
+				return // socket closed
+			}
+			switch {
+			case errno == syscall.EINTR:
+				// retry
+			case errno != 0:
+				sent++ // the head datagram was refused (async ICMP etc.): drop it
+			default:
+				sent += int(n)
+			}
+		}
+	}
+}
+
+// recvLoopMMsg is the batched receive loop: it replaces the portable
+// loop entirely when the fast path applies (returning true), draining
+// up to recvBatch datagrams per syscall into pooled buffers and
+// dispatching each to its ingest shard.
+func (t *udpTransport) recvLoopMMsg() bool {
+	if !t.mmsgOK {
+		return false
+	}
+	rc, err := t.conn.SyscallConn()
+	if err != nil {
+		return false
+	}
+	var (
+		hdrs  [recvBatch]mmsghdr
+		iovs  [recvBatch]syscall.Iovec
+		names [recvBatch]syscall.RawSockaddrInet6
+		bufs  [recvBatch]*[]byte
+	)
+	for {
+		for i := 0; i < recvBatch; i++ {
+			if bufs[i] == nil {
+				bufs[i] = t.getBuf()
+			}
+			b := *bufs[i]
+			iovs[i].Base = &b[0]
+			iovs[i].Len = uint64(len(b))
+			hdrs[i] = mmsghdr{}
+			hdrs[i].hdr.Name = (*byte)(unsafe.Pointer(&names[i]))
+			hdrs[i].hdr.Namelen = uint32(unsafe.Sizeof(names[i]))
+			hdrs[i].hdr.Iov = &iovs[i]
+			hdrs[i].hdr.Iovlen = 1
+		}
+		var n uintptr
+		var errno syscall.Errno
+		rerr := rc.Read(func(fd uintptr) bool {
+			n, _, errno = syscall.Syscall6(sysRECVMMSG, fd,
+				uintptr(unsafe.Pointer(&hdrs[0])), recvBatch, 0, 0, 0)
+			return errno != syscall.EAGAIN
+		})
+		if rerr != nil {
+			return true // socket closed; the loop ran to completion
+		}
+		if errno != 0 {
+			if errno == syscall.EINTR {
+				continue
+			}
+			return true // unexpected kernel error: treat like a closed socket
+		}
+		for i := 0; i < int(n); i++ {
+			src, ok := sockaddrToAddrPort(&names[i])
+			if !ok {
+				continue
+			}
+			it := ingestItem{buf: bufs[i], n: int(hdrs[i].n), src: src}
+			bufs[i] = nil // ownership moved to the shard worker
+			t.dispatch(it)
+		}
+	}
+}
+
+// sockaddrToAddrPort converts a kernel-filled source sockaddr (the
+// buffer is inet6-sized; the kernel writes whichever family the socket
+// speaks) back to a netip.AddrPort, unmapped for comparison against the
+// manifest addresses.
+func sockaddrToAddrPort(sa *syscall.RawSockaddrInet6) (netip.AddrPort, bool) {
+	switch sa.Family {
+	case syscall.AF_INET:
+		sa4 := (*syscall.RawSockaddrInet4)(unsafe.Pointer(sa))
+		port := sa4.Port>>8 | sa4.Port<<8 // network → host byte order
+		return netip.AddrPortFrom(netip.AddrFrom4(sa4.Addr), port), true
+	case syscall.AF_INET6:
+		port := sa.Port>>8 | sa.Port<<8
+		return netip.AddrPortFrom(netip.AddrFrom16(sa.Addr).Unmap(), port), true
+	}
+	return netip.AddrPort{}, false
+}

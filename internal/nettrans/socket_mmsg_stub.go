@@ -1,0 +1,25 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package nettrans
+
+import "ssbyz/internal/protocol"
+
+// Portable stub for platforms without the sendmmsg/recvmmsg fast path:
+// the coalescer still packs frames into batch containers (that is where
+// most of the win lives — one datagram per burst per peer), but each
+// datagram costs one ordinary socket call.
+
+const mmsgEnabled = false
+
+// rawAddr is unused on this platform.
+type rawAddr struct{}
+
+func (t *udpTransport) initMMsg() {}
+
+func (t *udpTransport) recvLoopMMsg() bool { return false }
+
+func (t *udpTransport) sendMMsg(dsts []protocol.NodeID, frames [][]byte) {
+	for i, to := range dsts {
+		t.send(to, frames[i])
+	}
+}

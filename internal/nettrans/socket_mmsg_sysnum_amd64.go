@@ -1,0 +1,11 @@
+//go:build linux
+
+package nettrans
+
+// The stdlib syscall number table on linux/amd64 was frozen before
+// sendmmsg landed; the numbers are ABI-stable, so they are spelled out
+// here (x86_64 syscall table).
+const (
+	sysRECVMMSG = 299
+	sysSENDMMSG = 307
+)

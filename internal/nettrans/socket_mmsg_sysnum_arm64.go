@@ -1,0 +1,9 @@
+//go:build linux
+
+package nettrans
+
+// asm-generic syscall numbers (linux/arm64).
+const (
+	sysRECVMMSG = 243
+	sysSENDMMSG = 269
+)

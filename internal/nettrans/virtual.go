@@ -2,7 +2,7 @@ package nettrans
 
 import (
 	"fmt"
-	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -19,35 +19,88 @@ import (
 // in-memory deterministic wire and every timer — protocol, chaos,
 // delivery — schedules on the fake clock. Everything above the socket
 // still runs for real: frames are encoded by the wire codec, carry the
-// epoch incarnation and send tick, and pass back through handleFrame's
-// full acceptance pipeline (epoch check, authentication, the UDP
-// deadline drop, receiver churn, payload decode). What virtual time
-// buys is reproducibility: the fake fires timers one at a time in
-// (deadline, seq) order and waits for each cascade of mailbox events to
-// drain before the next, so a seeded run's trace is byte-identical
-// across executions (DESIGN.md §9).
+// epoch incarnation and send tick, and pass back through the full
+// acceptance pipeline (epoch check, authentication, the UDP deadline
+// drop, receiver churn, payload decode). What virtual time buys is
+// reproducibility: a seeded run's trace is byte-identical across
+// executions (DESIGN.md §9).
+//
+// The wire's delivery schedule is built to be identical whether the
+// sender coalesces frames into batch containers or ships one datagram
+// per frame — that invariant is what the batched-vs-legacy differential
+// tests pin, and three design points carry it:
+//
+//   - Per-link delay draws. Every frame's delay is a pure function of
+//     (seed, from, to, per-link sequence number), drawn when the frame
+//     reaches the wire. Batching defers when a frame reaches the wire
+//     (flush time instead of Send time) and so reorders draws *between*
+//     links, but each link's own sequence — and therefore each frame's
+//     delay — is unchanged. A batch container is unpacked here at send
+//     time, each inner frame drawing its own delay, exactly as if it
+//     had shipped alone.
+//   - Per-tick delivery buckets behind one canonical pump timer. Frames
+//     land in a bucket keyed by their delivery tick; a single self-
+//     rearming pump timer — registered before any node exists, rearmed
+//     first thing in its own body — fires each tick's bucket sorted by
+//     (to, from, seq). No timer registration order ever depends on when
+//     traffic happened to be scheduled, so the fake clock's global
+//     timer sequence is identical across wire modes.
+//   - The half-tick offset with delay ≥ 1. The pump fires at tick
+//     boundary + tick/2, and every frame is delivered at least one full
+//     tick after its scheduling instant, so a bucket is always complete
+//     before its pump fire and wire deliveries never tie with protocol
+//     or chaos timers registered at the same boundary.
 
-// CapturedFrame is one encoded wire frame recorded by the virtual wire
-// at send time — the record half of record/replay: the captured bytes
-// can be decoded and re-fed through the property battery.
+// CapturedFrame is one encoded wire datagram recorded by the virtual
+// wire at send time — the record half of record/replay: the captured
+// bytes can be decoded (batch containers via wire.ReadBatch) and re-fed
+// through the property battery.
 type CapturedFrame struct {
 	From, To protocol.NodeID
-	// Bytes is the full encoded frame (envelope + payload).
+	// Bytes is the full encoded datagram (a single frame, or a
+	// FrameBatch container when the sender coalesced).
 	Bytes []byte
 }
 
+// wireDelivery is one frame waiting in a delivery-tick bucket.
+type wireDelivery struct {
+	from, to protocol.NodeID
+	seq      int64
+	bytes    []byte
+}
+
+// capturedRec is one recorded datagram plus its canonical position:
+// the send tick and the directed link's sequence number at send time.
+// Node event loops send concurrently within one fake-clock cascade, so
+// the append order of the record is scheduler-dependent; the key is
+// not, and Frames sorts by it.
+type capturedRec struct {
+	at  simtime.Real
+	seq int64
+	f   CapturedFrame
+}
+
 // memWire is the deterministic in-memory datagram wire: sends draw a
-// seeded delivery delay in [DelayMin, DelayMax] ticks and ride a fake-
-// clock timer to the receiver's acceptance pipeline.
+// per-link seeded delivery delay in [DelayMin, DelayMax] ticks and wait
+// in per-tick buckets for the pump.
 type memWire struct {
 	tick   time.Duration
 	timers *eventloop.Timers
+	clk    clock.Clock
+	epoch  time.Time
+	n      int
+	seed   uint64
 
 	mu         sync.Mutex
-	rng        *rand.Rand
 	dmin, dmax simtime.Duration
 	nodes      []*NetNode
-	frames     []CapturedFrame
+	frames     []capturedRec
+	// linkSeq[from*n+to] numbers the frames of one directed link in wire
+	// order; the delay draw hashes it, so a link's delays are independent
+	// of every other link's traffic (and of batching).
+	linkSeq []int64
+	// due buckets frames by delivery tick until the pump collects them.
+	due map[simtime.Real][]wireDelivery
 }
 
 // memTransport is one node's endpoint on the wire; it satisfies the
@@ -65,42 +118,141 @@ func (t *memTransport) send(to protocol.NodeID, frame []byte) {
 	// The caller's scratch buffer is reused on the next send; the wire
 	// needs its own copy, exactly as a socket write would take one.
 	cp := append([]byte(nil), frame...)
+	at := simtime.Real(w.clk.Since(w.epoch) / w.tick)
 	w.mu.Lock()
-	w.frames = append(w.frames, CapturedFrame{From: t.id, To: to, Bytes: cp})
-	delay := w.dmin
-	if w.dmax > w.dmin {
-		delay += simtime.Duration(w.rng.Int63n(int64(w.dmax-w.dmin) + 1))
+	defer w.mu.Unlock()
+	// The link's current sequence number positions this datagram among
+	// same-tick sends (a container covers [seq, seq+count) — its first
+	// inner frame's draw).
+	w.frames = append(w.frames, capturedRec{
+		at:  at,
+		seq: w.linkSeq[int(t.id)*w.n+int(to)],
+		f:   CapturedFrame{From: t.id, To: to, Bytes: cp},
+	})
+	if f, n, err := wire.DecodeFrame(cp); err == nil && n == len(cp) && f.Kind == wire.FrameBatch {
+		// Unpack at send time: every inner frame draws its own per-link
+		// delay and travels alone, exactly as on the legacy wire. Inner
+		// frame *content* is not inspected here — a chaos-corrupted inner
+		// frame must still draw its delay and fail at the receiver, as it
+		// would have unbatched.
+		if r, rerr := wire.ReadBatch(f.Payload); rerr == nil {
+			for {
+				inner, ok := r.Next()
+				if !ok {
+					break
+				}
+				w.scheduleLocked(t.id, to, inner)
+			}
+			if r.Err() == nil {
+				return
+			}
+		}
+		// An unreadable container never leaves the coalescer in practice;
+		// deliver it whole and let the receiver count the decode drop.
 	}
-	tgt := w.nodes[to]
-	w.mu.Unlock()
-	if tgt == nil {
+	w.scheduleLocked(t.id, to, cp)
+}
+
+// scheduleLocked buckets one frame for delivery; w.mu must be held. The
+// delay is a pure function of the link and the frame's position on it.
+func (w *memWire) scheduleLocked(from, to protocol.NodeID, bytes []byte) {
+	seq := w.linkSeq[int(from)*w.n+int(to)]
+	w.linkSeq[int(from)*w.n+int(to)]++
+	if w.nodes[to] == nil {
 		return // crash-faulty slot: the datagram vanishes, as on a parked socket
 	}
-	w.timers.AfterFunc(time.Duration(delay)*w.tick, func() {
-		f, n, err := wire.DecodeFrame(cp)
-		if err != nil || n != len(cp) {
+	delay := w.dmin
+	if w.dmax > w.dmin {
+		delay += simtime.Duration(mix64(w.seed, uint64(from), uint64(to), uint64(seq)) % uint64(w.dmax-w.dmin+1))
+	}
+	if delay < 1 {
+		delay = 1 // a bucket must close strictly before its pump fire
+	}
+	at := simtime.Real(w.clk.Since(w.epoch)/w.tick) + simtime.Real(delay)
+	w.due[at] = append(w.due[at], wireDelivery{from: from, to: to, seq: seq, bytes: bytes})
+}
+
+// pump is the wire's single delivery timer body: rearm for the next
+// tick first (keeping the rearm's position in the fake clock's timer
+// sequence canonical), then deliver this tick's bucket in (to, from,
+// seq) order — an order independent of how the bucket was filled.
+func (w *memWire) pump() {
+	w.timers.AfterFunc(w.tick, w.pump)
+	at := simtime.Real(w.clk.Since(w.epoch) / w.tick)
+	w.mu.Lock()
+	list := w.due[at]
+	delete(w.due, at)
+	w.mu.Unlock()
+	if len(list) == 0 {
+		return
+	}
+	sort.Slice(list, func(i, j int) bool {
+		a, b := list[i], list[j]
+		if a.to != b.to {
+			return a.to < b.to
+		}
+		if a.from != b.from {
+			return a.from < b.from
+		}
+		return a.seq < b.seq
+	})
+	for _, d := range list {
+		w.mu.Lock()
+		tgt := w.nodes[d.to]
+		w.mu.Unlock()
+		if tgt == nil {
+			continue
+		}
+		f, n, err := wire.DecodeFrame(d.bytes)
+		if err != nil || n != len(d.bytes) {
 			tgt.decDrop.Add(1)
-			return
+			continue
 		}
 		// The wire is point-to-point in process: the sender identity is
 		// its endpoint, so authentication holds by construction (the
-		// claimed-sender check still runs inside handleFrame's pipeline).
-		tgt.handleFrame(f, f.From == t.id)
-	})
+		// claimed-sender check still runs inside the acceptance pipeline).
+		if f.Kind == wire.FrameBatch {
+			from := d.from
+			tgt.handleBatch(f, func(id protocol.NodeID) bool { return id == from })
+			continue
+		}
+		tgt.handleFrame(f, f.From == d.from)
+	}
 }
 
-// Frames returns a copy of every wire frame the virtual wire carried so
-// far, in send order (empty on the wall-clock path). With a fixed seed
-// the sequence is byte-identical run to run — the record/replay golden
-// tests pin exactly that.
+// Frames returns a copy of every wire datagram the virtual wire carried
+// so far, in canonical (send tick, from, to, link sequence) order
+// (empty on the wall-clock path). The canonical order — not raw append
+// order — is what makes the record byte-identical run to run: within
+// one fake-clock cascade several node event loops send concurrently,
+// so append order is scheduler noise, while the key is a pure function
+// of the seeded schedule. The record/replay golden tests pin exactly
+// that.
 func (c *Cluster) Frames() []CapturedFrame {
 	if c.wire == nil {
 		return nil
 	}
 	c.wire.mu.Lock()
-	defer c.wire.mu.Unlock()
-	out := make([]CapturedFrame, len(c.wire.frames))
-	copy(out, c.wire.frames)
+	recs := make([]capturedRec, len(c.wire.frames))
+	copy(recs, c.wire.frames)
+	c.wire.mu.Unlock()
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.f.From != b.f.From {
+			return a.f.From < b.f.From
+		}
+		if a.f.To != b.f.To {
+			return a.f.To < b.f.To
+		}
+		return a.seq < b.seq
+	})
+	out := make([]CapturedFrame, len(recs))
+	for i, r := range recs {
+		out[i] = r.f
+	}
 	return out
 }
 
@@ -132,13 +284,23 @@ func newVirtualCluster(cfg ClusterConfig, fake *clock.Fake) (*Cluster, error) {
 		nodes: make([]*NetNode, n),
 	}
 	c.wire = &memWire{
-		tick:   cfg.Tick,
-		timers: eventloop.NewTimersOn(fake),
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		dmin:   cfg.DelayMin,
-		dmax:   cfg.DelayMax,
-		nodes:  make([]*NetNode, n),
+		tick:    cfg.Tick,
+		timers:  eventloop.NewTimersOn(fake),
+		clk:     fake,
+		epoch:   c.epoch,
+		n:       n,
+		seed:    uint64(cfg.Seed),
+		dmin:    cfg.DelayMin,
+		dmax:    cfg.DelayMax,
+		nodes:   make([]*NetNode, n),
+		linkSeq: make([]int64, n*n),
+		due:     make(map[simtime.Real][]wireDelivery),
 	}
+	// The pump is the first timer the fake clock ever sees: its self-
+	// rearming chain owns the half-tick delivery offsets from before any
+	// node boots, keeping the clock's timer sequence — and with it every
+	// tie-break — independent of traffic and of wire mode.
+	c.wire.timers.AfterFunc(cfg.Tick/2, c.wire.pump)
 	for i := 0; i < n; i++ {
 		id := protocol.NodeID(i)
 		machine, isFaulty := cfg.Faulty[id]
@@ -154,15 +316,16 @@ func newVirtualCluster(cfg ClusterConfig, fake *clock.Fake) (*Cluster, error) {
 			c.correct = append(c.correct, id)
 		}
 		nn, err := startNode(NodeConfig{
-			ID:         id,
-			Params:     cfg.Params,
-			Tick:       cfg.Tick,
-			Transport:  cfg.Transport,
-			Peers:      peers,
-			Epoch:      c.epoch,
-			Rec:        c.rec,
-			Conditions: cfg.Conditions,
-			Clock:      fake,
+			ID:                     id,
+			Params:                 cfg.Params,
+			Tick:                   cfg.Tick,
+			Transport:              cfg.Transport,
+			Peers:                  peers,
+			Epoch:                  c.epoch,
+			Rec:                    c.rec,
+			Conditions:             cfg.Conditions,
+			Clock:                  fake,
+			LegacyDatagramPerFrame: cfg.LegacyDatagramPerFrame,
 		}, machine, func(nn *NetNode) (transport, error) {
 			return &memTransport{w: c.wire, id: id}, nil
 		})

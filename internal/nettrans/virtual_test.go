@@ -3,6 +3,7 @@ package nettrans
 import (
 	"bytes"
 	"encoding/binary"
+	"sort"
 	"testing"
 	"time"
 
@@ -56,7 +57,19 @@ func goldenRun(t *testing.T, seed int64) (traceBlob, wireBlob []byte, decided, v
 	violations = len(lr.Battery([]check.LiveInitiation{{G: 0, V: "golden", T0: t0}}))
 
 	epochID := uint64(c.epoch.UnixNano())
-	for _, ev := range c.rec.Events() {
+	// Canonicalize the trace the way the daemon collector merges per-node
+	// control streams: by (tick, node), keeping each node's own event
+	// order. Node event loops append to the shared recorder concurrently
+	// within a fake-clock cascade, so the raw cross-node arrival order is
+	// scheduler noise; each node's stream and every timestamp are exact.
+	events := c.rec.Events()
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].RT != events[j].RT {
+			return events[i].RT < events[j].RT
+		}
+		return events[i].Node < events[j].Node
+	})
+	for _, ev := range events {
 		traceBlob = wire.AppendFrame(traceBlob, wire.Frame{
 			Kind:    wire.FrameTrace,
 			From:    ev.Node,

@@ -37,6 +37,30 @@ type timedEvent struct {
 	event
 }
 
+// chunkEvents sizes a bucket chunk so the whole chunk (511 × 32-byte
+// events + the next pointer) lands exactly in the 16KB allocator size
+// class. Buckets are chains of these fixed chunks instead of growing
+// slices: a run shorter than one wheel rotation used to regrow every
+// touched bucket from zero capacity through the large-alloc doubling
+// ladder, and the allocator's zeroing of those ever-larger arrays was
+// ~40% of a big-n S1 cell. Chunks drained by advance() go to a freelist
+// and are reused, so steady-state scheduling allocates nothing.
+const chunkEvents = 511
+
+// chunk is one fixed-size segment of a bucket's FIFO.
+type chunk struct {
+	ev   [chunkEvents]event
+	next *chunk
+}
+
+// bucket is one wheel slot: an append-only chain of chunks. All chunks
+// before tail are full, so entry i lives in chunk i/chunkEvents at
+// offset i%chunkEvents. n counts entries appended since the last reset.
+type bucket struct {
+	head, tail *chunk
+	n          int
+}
+
 // wheelBits sizes the timing wheel: one bucket per tick over a horizon of
 // 2^wheelBits ticks. The default d is 1000 ticks, so the whole delivery
 // horizon (delays ≤ d) and the short protocol timers (≤ ~13d) fall inside
@@ -65,11 +89,19 @@ type Scheduler struct {
 
 	// wheel[(base+k) & wheelMask] holds the events for tick base+k,
 	// 0 ≤ k < wheelSize, appended in schedule order. base ≤ now at all
-	// times. cursor indexes the first unconsumed event of bucket base.
-	wheel   [wheelSize][]event
-	base    Real
-	cursor  int
-	inWheel int
+	// times. cursor indexes the first unconsumed event of bucket base;
+	// curChunk/curBase cache the chunk holding entry cursor (curBase =
+	// index of that chunk's first entry) so peek/Step stay O(1).
+	wheel    [wheelSize]bucket
+	base     Real
+	cursor   int
+	curChunk *chunk
+	curBase  int
+	inWheel  int
+
+	// free is the chunk freelist: chains released by drained buckets,
+	// reused by bucketAppend before any new allocation.
+	free *chunk
 
 	// overflow holds events at ticks ≥ base+wheelSize, ordered by
 	// (at, seq).
@@ -127,11 +159,66 @@ func (s *Scheduler) schedule(at Real, e event) {
 		s.rewind(at)
 	}
 	if at < s.base+wheelSize {
-		s.wheel[int(at)&wheelMask] = append(s.wheel[int(at)&wheelMask], e)
+		s.bucketAppend(&s.wheel[int(at)&wheelMask], e)
 		s.inWheel++
 		return
 	}
 	s.heapPush(timedEvent{at: at, event: e})
+}
+
+// bucketAppend appends e to b, extending the chunk chain from the
+// freelist (or the heap, only while the fleet of chunks is still
+// growing toward the run's peak in-flight population).
+func (s *Scheduler) bucketAppend(b *bucket, e event) {
+	i := b.n % chunkEvents
+	if i == 0 {
+		c := s.free
+		if c != nil {
+			s.free = c.next
+			c.next = nil
+		} else {
+			c = new(chunk)
+		}
+		if b.tail == nil {
+			b.head, b.tail = c, c
+		} else {
+			b.tail.next = c
+			b.tail = c
+		}
+	}
+	b.tail.ev[i] = e
+	b.n++
+}
+
+// releaseBucket returns b's chunk chain to the freelist and resets b.
+// Chunks are zeroed on the way out: the memclr runs over cache-warm
+// recycled memory (cheap — the storm this design removes was the
+// allocator zeroing ever-larger FRESH arrays), and a freelist of
+// nil-pointer chunks costs the garbage collector near nothing to scan,
+// where stale Handler words would drag findObject/greyobject work across
+// every cycle of a large-n run.
+func (s *Scheduler) releaseBucket(b *bucket) {
+	if b.tail != nil {
+		for c := b.head; c != nil; c = c.next {
+			c.ev = [chunkEvents]event{}
+		}
+		b.tail.next = s.free
+		s.free = b.head
+	}
+	*b = bucket{}
+}
+
+// seek positions curChunk/curBase at the chunk holding entry s.cursor of
+// the base bucket b. Amortized O(1): the cache only ever moves forward
+// until a bucket reset clears it.
+func (s *Scheduler) seek(b *bucket) {
+	if s.curChunk == nil {
+		s.curChunk, s.curBase = b.head, 0
+	}
+	for s.cursor-s.curBase >= chunkEvents {
+		s.curChunk = s.curChunk.next
+		s.curBase += chunkEvents
+	}
 }
 
 // rewind moves the wheel base back to tick to (now ≤ to < base), used on
@@ -142,22 +229,34 @@ func (s *Scheduler) schedule(at Real, e event) {
 // window [base, base+wheelSize). O(wheelSize); never on the hot path.
 func (s *Scheduler) rewind(to Real) {
 	for i := range s.wheel {
-		at := s.tickOfSlot(i)
-		bucket := s.wheel[i]
-		if at == s.base {
-			// The base bucket's consumed prefix is stale (Step does not
-			// zero slots); only entries from the cursor on are pending.
-			bucket = bucket[s.cursor:]
+		b := &s.wheel[i]
+		if b.n == 0 {
+			continue
 		}
-		for _, e := range bucket {
-			if e.h != nil || e.id != 0 {
-				s.heapPush(timedEvent{at: at, event: e})
+		at := s.tickOfSlot(i)
+		// The base bucket's consumed prefix is stale (Step does not
+		// zero slots); only entries from the cursor on are pending.
+		skip := 0
+		if at == s.base {
+			skip = s.cursor
+		}
+		idx := 0
+		for c := b.head; c != nil; c = c.next {
+			limit := min(b.n-idx, chunkEvents)
+			for j := 0; j < limit; j++ {
+				if idx >= skip {
+					e := c.ev[j]
+					if e.h != nil || e.id != 0 {
+						s.heapPush(timedEvent{at: at, event: e})
+					}
+				}
+				idx++
 			}
 		}
-		s.wheel[i] = s.wheel[i][:0]
+		s.releaseBucket(b)
 	}
 	s.inWheel = 0
-	s.cursor = 0
+	s.cursor, s.curChunk, s.curBase = 0, nil, 0
 	s.base = to
 	s.migrate()
 }
@@ -168,7 +267,7 @@ func (s *Scheduler) migrate() {
 	edge := s.base + wheelSize - 1
 	for len(s.overflow) > 0 && s.overflow[0].at <= edge {
 		e := s.heapPop()
-		s.wheel[int(e.at)&wheelMask] = append(s.wheel[int(e.at)&wheelMask], e.event)
+		s.bucketAppend(&s.wheel[int(e.at)&wheelMask], e.event)
 		s.inWheel++
 	}
 }
@@ -232,9 +331,9 @@ func (s *Scheduler) Pending() int {
 // horizon. The caller guarantees the current bucket is fully consumed.
 func (s *Scheduler) advance() {
 	b := &s.wheel[int(s.base)&wheelMask]
-	s.inWheel -= len(*b)
-	*b = (*b)[:0]
-	s.cursor = 0
+	s.inWheel -= b.n
+	s.releaseBucket(b)
+	s.cursor, s.curChunk, s.curBase = 0, nil, 0
 	s.base++
 	s.migrate()
 }
@@ -244,9 +343,10 @@ func (s *Scheduler) advance() {
 // running. It returns false when no events remain.
 func (s *Scheduler) peek() (Real, bool) {
 	for {
-		bucket := s.wheel[int(s.base)&wheelMask]
-		if s.cursor < len(bucket) {
-			e := &bucket[s.cursor]
+		b := &s.wheel[int(s.base)&wheelMask]
+		if s.cursor < b.n {
+			s.seek(b)
+			e := &s.curChunk.ev[s.cursor-s.curBase]
 			if e.id != 0 && s.live[e.id] {
 				delete(s.live, e.id)
 				*e = event{} // release references
@@ -264,9 +364,9 @@ func (s *Scheduler) peek() (Real, bool) {
 		}
 		// The wheel is empty: jump the base straight to the earliest
 		// overflow tick instead of sweeping the gap bucket by bucket.
-		s.inWheel -= len(s.wheel[int(s.base)&wheelMask])
-		s.wheel[int(s.base)&wheelMask] = s.wheel[int(s.base)&wheelMask][:0]
-		s.cursor = 0
+		s.inWheel -= b.n
+		s.releaseBucket(b)
+		s.cursor, s.curChunk, s.curBase = 0, nil, 0
 		s.base = s.overflow[0].at
 		s.migrate()
 	}
@@ -279,14 +379,14 @@ func (s *Scheduler) Step() bool {
 	if !ok {
 		return false
 	}
-	bucket := s.wheel[int(s.base)&wheelMask]
-	e := bucket[s.cursor]
+	// peek left curChunk/curBase positioned at the cursor entry.
+	e := s.curChunk.ev[s.cursor-s.curBase]
 	s.cursor++
 	// The consumed slot is NOT zeroed: its handler reference lives until
-	// the bucket slot is overwritten on a later wheel pass, which retains
-	// only pooled (already live) deliveries or an occasional closure for a
-	// bounded time — where clearing 32 bytes per event is a measurable
-	// share of a large-n run.
+	// the chunk is recycled and overwritten on a later bucket drain, which
+	// retains only pooled (already live) deliveries or an occasional
+	// closure for a bounded time — where clearing 32 bytes per event is a
+	// measurable share of a large-n run.
 	if e.id != 0 {
 		delete(s.live, e.id)
 	}

@@ -151,6 +151,183 @@ func FuzzDecodeFaultCmd(f *testing.F) {
 	})
 }
 
+// buildBatch coalesces the given frame encodings the way the transport
+// does: concatenated into one scratch buffer with end offsets.
+func buildBatch(from protocol.NodeID, epoch uint64, sent int64, frames [][]byte) []byte {
+	var buf []byte
+	var ends []int
+	for _, fb := range frames {
+		buf = append(buf, fb...)
+		ends = append(ends, len(buf))
+	}
+	return AppendBatch(nil, from, epoch, sent, buf, ends)
+}
+
+// FuzzDecodeBatch is fuzz target #5: the coalesced batch-envelope
+// decoder. Invariants on arbitrary bytes: no panic, the reader
+// terminates within MaxBatchFrames iterations, every yielded inner
+// frame lies inside the payload, and a cleanly-read batch re-packs to a
+// container whose inner frames are byte-identical — so a frame can
+// never silently migrate to a different sender (attribution lives in
+// the inner bytes, which round-trip exactly).
+func FuzzDecodeBatch(f *testing.F) {
+	inner := seedFrames()
+	whole := buildBatch(1, 7, 42, inner)
+	f.Add(whole)
+	f.Add(whole[:len(whole)-3])             // truncation mid-inner-frame
+	f.Add(buildBatch(2, 7, 43, inner[:1]))  // single-frame batch
+	f.Add(buildBatch(3, 7, 44, [][]byte{})) // zero count: corrupt
+	// Corrupt an inner length prefix deep in the container.
+	mangled := append([]byte(nil), whole...)
+	mangled[len(mangled)/2] = 0xff
+	f.Add(mangled)
+	// Oversized batch count prefix on an otherwise plausible envelope.
+	f.Add(AppendFrame(nil, Frame{Kind: FrameBatch, From: 1, Epoch: 7,
+		Payload: appendUvarint(nil, MaxBatchFrames+1)}))
+	f.Add(bytes.Repeat([]byte{0x80}, 40))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr, n, err := DecodeFrame(b)
+		if err != nil || fr.Kind != FrameBatch {
+			return
+		}
+		if n <= 0 || n > len(b) {
+			t.Fatalf("consumed %d of %d bytes", n, len(b))
+		}
+		r, err := ReadBatch(fr.Payload)
+		if err != nil {
+			return
+		}
+		var innerCopies [][]byte
+		steps := 0
+		for {
+			fb, ok := r.Next()
+			if !ok {
+				break
+			}
+			if steps++; steps > MaxBatchFrames {
+				t.Fatalf("reader did not terminate within MaxBatchFrames")
+			}
+			if len(fb) > len(fr.Payload) {
+				t.Fatalf("inner frame larger than payload: %d > %d", len(fb), len(fr.Payload))
+			}
+			innerCopies = append(innerCopies, append([]byte(nil), fb...))
+		}
+		if r.Err() != nil {
+			return // container framing broke mid-way; yielded frames stand
+		}
+		re := buildBatch(fr.From, fr.Epoch, fr.Sent, innerCopies)
+		fr2, _, err := DecodeFrame(re)
+		if err != nil {
+			t.Fatalf("re-encoded batch does not decode: %v", err)
+		}
+		r2, err := ReadBatch(fr2.Payload)
+		if err != nil {
+			t.Fatalf("re-encoded batch does not open: %v", err)
+		}
+		for i := 0; ; i++ {
+			fb, ok := r2.Next()
+			if !ok {
+				if i != len(innerCopies) {
+					t.Fatalf("re-encoded batch yields %d frames, want %d", i, len(innerCopies))
+				}
+				break
+			}
+			if !bytes.Equal(fb, innerCopies[i]) {
+				t.Fatalf("inner frame %d not byte-stable (sender attribution at risk)", i)
+			}
+		}
+	})
+}
+
+// TestBatchAttribution pins the mis-attribution invariant directly: a
+// batch built from frames of distinct senders yields each inner frame
+// with its own From intact, independent of the container's envelope
+// sender.
+func TestBatchAttribution(t *testing.T) {
+	frames := seedFrames()
+	b := buildBatch(99, 5, 1, frames)
+	fr, _, err := DecodeFrame(b)
+	if err != nil || fr.Kind != FrameBatch || fr.From != 99 {
+		t.Fatalf("container decode: %+v, %v", fr, err)
+	}
+	r, err := ReadBatch(fr.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		fb, ok := r.Next()
+		if !ok {
+			if err := r.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if i != len(frames) {
+				t.Fatalf("yielded %d frames, want %d", i, len(frames))
+			}
+			break
+		}
+		want, _, err := DecodeFrame(frames[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := DecodeFrame(fb)
+		if err != nil {
+			t.Fatalf("inner frame %d: %v", i, err)
+		}
+		if got.From != want.From || got.Kind != want.Kind || got.Epoch != want.Epoch {
+			t.Fatalf("inner frame %d mis-attributed: got %+v want %+v", i, got, want)
+		}
+	}
+}
+
+// TestBatchCorruptInnerContentSparesMates pins the battery-preserving
+// property the transport depends on: flipping a byte *inside* one inner
+// frame's bytes (the chaos layer's corruption model) leaves the
+// container framing intact, so every other inner frame still decodes.
+func TestBatchCorruptInnerContentSparesMates(t *testing.T) {
+	frames := seedFrames()
+	b := buildBatch(1, 5, 1, frames)
+	fr, _, err := DecodeFrame(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate inner frame #2 within the payload and trash its magic.
+	r, _ := ReadBatch(fr.Payload)
+	idx := 0
+	for {
+		fb, ok := r.Next()
+		if !ok {
+			t.Fatal("batch exhausted before frame 2")
+		}
+		if idx == 2 {
+			fb[0] ^= 0xff // aliases the container bytes
+			break
+		}
+		idx++
+	}
+	r2, err := ReadBatch(fr.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, dropped := 0, 0
+	for {
+		fb, ok := r2.Next()
+		if !ok {
+			break
+		}
+		if _, _, err := DecodeFrame(fb); err != nil {
+			dropped++
+		} else {
+			decoded++
+		}
+	}
+	if err := r2.Err(); err != nil {
+		t.Fatalf("container framing must survive inner content corruption: %v", err)
+	}
+	if dropped != 1 || decoded != len(frames)-1 {
+		t.Fatalf("decoded=%d dropped=%d, want %d/1", decoded, dropped, len(frames)-1)
+	}
+}
+
 // FuzzDecodeCounters: the stats-vector decoder neither panics nor
 // allocates past MaxCounters on arbitrary bytes, and accepted vectors
 // re-encode decode-equal.

@@ -85,6 +85,11 @@ const (
 	// transport's per-class traffic/drop/attack counters, streamed by a
 	// node daemon so a collector can prove which defenses fired.
 	FrameStats
+	// FrameBatch carries a coalesced batch of complete inner frames
+	// (batch.go): COUNT then COUNT × (LEN, frame bytes). One batch is one
+	// datagram / one stream record; every inner frame is authenticated and
+	// checked individually on receipt.
+	FrameBatch
 )
 
 func (k FrameKind) String() string {
@@ -101,6 +106,8 @@ func (k FrameKind) String() string {
 		return "fault"
 	case FrameStats:
 		return "stats"
+	case FrameBatch:
+		return "batch"
 	}
 	return fmt.Sprintf("framekind(%d)", uint8(k))
 }
@@ -351,7 +358,7 @@ func DecodeFrame(b []byte) (Frame, int, error) {
 		return f, 0, fmt.Errorf("%w: unknown version %d", ErrCorrupt, b[2])
 	}
 	f.Kind = FrameKind(b[3])
-	if f.Kind < FrameHello || f.Kind > FrameStats {
+	if f.Kind < FrameHello || f.Kind > FrameBatch {
 		return f, 0, fmt.Errorf("%w: unknown frame kind %d", ErrCorrupt, b[3])
 	}
 	var v int64
