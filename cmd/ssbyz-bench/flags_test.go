@@ -10,20 +10,32 @@ import (
 	"flag"
 	"os"
 	"regexp"
+	"strings"
 	"testing"
 )
 
-// readmeFlagNames extracts the flag names documented in README.md's flag
-// table: rows shaped `| `-name ...` | meaning |`.
+// readmeFlagNames extracts the flag names documented in README.md's
+// ssbyz-bench flag table: rows shaped `| `-name ...` | meaning |` inside
+// the "## Running the reproduction suite" section (ssbyz-cluster's table
+// lives in its own section and is pinned by that command's flags_test).
 func readmeFlagNames(t *testing.T) map[string]bool {
 	t.Helper()
 	blob, err := os.ReadFile("../../README.md")
 	if err != nil {
 		t.Fatal(err)
 	}
+	section := string(blob)
+	if i := strings.Index(section, "## Running the reproduction suite"); i >= 0 {
+		section = section[i:]
+	} else {
+		t.Fatal("README.md lost the \"## Running the reproduction suite\" section")
+	}
+	if i := strings.Index(section, "## Benchmarks"); i >= 0 {
+		section = section[:i]
+	}
 	rowRe := regexp.MustCompile("(?m)^\\| `-([a-z0-9-]+)[^`]*` \\|")
 	names := make(map[string]bool)
-	for _, m := range rowRe.FindAllStringSubmatch(string(blob), -1) {
+	for _, m := range rowRe.FindAllStringSubmatch(section, -1) {
 		names[m[1]] = true
 	}
 	if len(names) == 0 {

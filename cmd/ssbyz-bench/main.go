@@ -52,9 +52,12 @@
 //
 // -live appends experiments L1 (live loopback latency/throughput sweep
 // over the same socket transport), L2 (the replicated-log service over
-// loopback UDP at session concurrency 1 and 8), and L3 (byte-level
+// loopback UDP at session concurrency 1 and 8), L3 (byte-level
 // attack classes and in-situ transient-fault recovery against real
-// sockets) to the suite run and its JSON artifact. Their numbers are
+// sockets), and L4 (the cluster operations campaign: scale-up and a
+// rolling replacement under committed traffic, with the Δstb
+// re-stabilization and old-incarnation replay-rejection verdicts) to
+// the suite run and its JSON artifact. Their numbers are
 // wall-clock measurements — unlike every other experiment they vary run
 // to run, so they only run when asked.
 //
@@ -125,7 +128,7 @@ func defineFlags(fs *flag.FlagSet) *benchFlags {
 		out:      fs.String("o", "", "also write the report to this file"),
 		jsonOut:  fs.String("json", "", "write the machine-readable suite to this file"),
 		replay:   fs.String("replay", "", "replay a scenario spec JSON file against the property battery on the runtime it names (skips the suite)"),
-		live:     fs.Bool("live", false, "append experiments L1, L2, and L3 (live loopback sweeps and adversarial cells; wall-clock numbers) to the suite"),
+		live:     fs.Bool("live", false, "append experiments L1, L2, L3, and L4 (live loopback sweeps, adversarial cells, and the ops campaign; wall-clock numbers) to the suite"),
 		legacyW:  fs.Bool("legacy-wire", false, "run live-runtime clusters with frame coalescing off (one datagram per frame); reports must be byte-identical to the coalesced wire"),
 
 		cluster:    fs.Int("cluster", 0, "run a live loopback cluster of this many nodes over real sockets (skips the suite)"),
@@ -206,7 +209,7 @@ func run() error {
 	if *live {
 		for _, run := range []func(io.Writer, ssbyz.ExperimentOptions) (*ssbyz.ExperimentResult, error){
 			ssbyz.RunLiveExperiment, ssbyz.RunLiveServiceExperiment,
-			ssbyz.RunAdversarialLiveExperiment,
+			ssbyz.RunAdversarialLiveExperiment, ssbyz.RunOpsLiveExperiment,
 		} {
 			res, err := run(w, ssbyz.ExperimentOptions{Quick: *quick, LegacyWire: *legacyW})
 			if err != nil {

@@ -1,0 +1,254 @@
+// Command ssbyz-cluster orchestrates a fleet of ss-Byz-Agree nodes
+// through a full operations campaign: boot → scale-up → rolling
+// replacement → drain, with replicated-log traffic committing at
+// General 0 the whole time. It is the cluster-level counterpart of
+// ssbyz-node: the daemon exposes the per-node control plane
+// (internal/ops REST API), and this command drives it.
+//
+// Usage:
+//
+//	ssbyz-cluster -n 4 -roll 2                 # in-process fleet, wall clock
+//	ssbyz-cluster -n 4 -roll 2 -virtual        # deterministic virtual time
+//	ssbyz-cluster -n 4 -roll 2 -procs          # one ssbyz-node process per
+//	                                           # node, driven over REST
+//	ssbyz-cluster -spec campaign.json          # declarative campaign spec
+//
+// The campaign spec (internal/ops.ClusterSpec) extends the cluster
+// manifest with a workload (seed, sessions, entries) and a membership
+// schedule: scale steps boot slots held back at start, a roll step
+// replaces a running node — stop, bump its incarnation epoch on every
+// peer, reboot on the same address — and the drain step ends the run
+// once traffic has committed and every roll has re-stabilized. The
+// quick form (-n/-roll) synthesizes the canonical schedule: scale the
+// last slot at 10d, roll at 22d, drain at 30d.
+//
+// The verdicts are the paper's: the rolled node must re-stabilize
+// within Δstb = 2Δreset (a roll is a transient fault to a
+// self-stabilizing protocol — DESIGN.md §12), a frame replayed from its
+// previous incarnation must be rejected by every peer (epoch_drops),
+// and the workload must commit across the roll. The exit status is
+// non-zero if any verdict fails.
+//
+// In-process modes run the campaign on internal/ops.RunCampaign (the
+// same engine as experiments V4/L4); -virtual puts it on a fake clock
+// over the deterministic in-memory wire, where the whole campaign —
+// schedule, traffic, roll, report — is byte-reproducible. -procs spawns
+// one ssbyz-node per committee slot with -ops enabled and orchestrates
+// entirely over the REST API: health polls, initiations, epoch bumps,
+// the replay probe, and the ordered drain.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"ssbyz/internal/clock"
+	"ssbyz/internal/ops"
+	"ssbyz/internal/simtime"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ssbyz-cluster:", err)
+		os.Exit(1)
+	}
+}
+
+// clusterFlags is the resolved flag set, defined through defineFlags so
+// the README flag table can be pinned against it by flags_test.go.
+type clusterFlags struct {
+	spec      *string
+	n         *int
+	roll      *int
+	d         *int64
+	tick      *time.Duration
+	transport *string
+	sessions  *int
+	entries   *int
+	seed      *int64
+	virtual   *bool
+	procs     *bool
+	nodeBin   *string
+	jsonOut   *string
+}
+
+// defineFlags registers every ssbyz-cluster flag on fs; README.md's
+// flag table is checked against these definitions.
+func defineFlags(fs *flag.FlagSet) *clusterFlags {
+	return &clusterFlags{
+		spec:      fs.String("spec", "", "campaign spec JSON (ops.ClusterSpec: manifest + workload + membership schedule); overrides the quick form"),
+		n:         fs.Int("n", 4, "quick form: committee size (slot n-1 boots late as the scale-up)"),
+		roll:      fs.Int("roll", 2, "quick form: node to replace mid-campaign (stop, epoch bump, reboot)"),
+		d:         fs.Int64("d", 250, "quick form: the paper's d in ticks"),
+		tick:      fs.Duration("tick", 100*time.Microsecond, "wall-clock length of one tick"),
+		transport: fs.String("transport", "udp", "socket transport for wall-clock fleets: udp (deadline drops) or tcp (lossless)"),
+		sessions:  fs.Int("sessions", 1, "concurrent agreement sessions per node (footnote-9 slots) for the traffic pump"),
+		entries:   fs.Int("entries", 0, "replicated-log entries the pump commits during the campaign (0 = the spec's default)"),
+		seed:      fs.Int64("seed", 7, "campaign seed: wire delays (virtual) and workload arrivals"),
+		virtual:   fs.Bool("virtual", false, "run under virtual time on a fake clock over the deterministic in-memory wire (in-process only; byte-reproducible)"),
+		procs:     fs.Bool("procs", false, "one ssbyz-node process per slot, orchestrated over the REST ops API (udp only)"),
+		nodeBin:   fs.String("node-bin", "", "-procs: path to the ssbyz-node binary (default: sibling of ssbyz-cluster, then PATH)"),
+		jsonOut:   fs.String("json", "", "also write the campaign report as JSON to this file"),
+	}
+}
+
+func run() error {
+	f := defineFlags(flag.CommandLine)
+	flag.Parse()
+
+	spec, err := loadSpec(f)
+	if err != nil {
+		return err
+	}
+	if *f.procs {
+		if *f.virtual {
+			return fmt.Errorf("-procs and -virtual are mutually exclusive (processes run on the wall clock)")
+		}
+		return runProcs(f, spec)
+	}
+
+	cfg := ops.CampaignConfig{
+		Spec:      spec,
+		Transport: *f.transport,
+		Tick:      *f.tick,
+	}
+	if *f.virtual {
+		cfg.Clock = clock.NewFake(time.Time{})
+	}
+	rep, err := ops.RunCampaign(cfg)
+	if err != nil {
+		return err
+	}
+	printReport(rep, *f.virtual, *f.tick)
+	if *f.jsonOut != "" {
+		shallow := *rep
+		shallow.Result = nil
+		blob, err := json.MarshalIndent(shallow, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*f.jsonOut, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return judgeReport(rep)
+}
+
+// loadSpec resolves the campaign spec: the -spec file, or the quick
+// form synthesized from -n/-roll/-d, with -sessions/-entries/-seed
+// overrides applied either way.
+func loadSpec(f *clusterFlags) (ops.ClusterSpec, error) {
+	var spec ops.ClusterSpec
+	if *f.spec != "" {
+		blob, err := os.ReadFile(*f.spec)
+		if err != nil {
+			return spec, err
+		}
+		spec, err = ops.ParseSpec(blob)
+		if err != nil {
+			return spec, err
+		}
+	} else {
+		spec = ops.QuickSpec(*f.n, *f.roll, simtime.Duration(*f.d), *f.seed)
+	}
+	if *f.sessions > 1 {
+		spec.Sessions = *f.sessions
+	}
+	if *f.entries > 0 {
+		spec.Entries = *f.entries
+	}
+	if *f.spec == "" {
+		spec.Seed = *f.seed
+	}
+	return spec, spec.Validate()
+}
+
+// printReport renders the campaign for a human. Under -virtual every
+// number below is deterministic: two runs print identical bytes.
+func printReport(rep *ops.CampaignReport, virtual bool, tick time.Duration) {
+	mode := "wall"
+	if virtual {
+		mode = "virtual"
+	}
+	pp := rep.Params
+	fmt.Printf("campaign done (%s time): n=%d f=%d d=%d, horizon %d ticks\n",
+		mode, pp.N, pp.F, pp.D, rep.Horizon)
+	fmt.Printf("workload: committed=%d failed=%d dropped=%d\n",
+		rep.Committed, rep.Failed, rep.Dropped)
+	for _, sc := range rep.Scales {
+		fmt.Printf("scale: node %d up at tick %d\n", sc.Node, sc.At)
+	}
+	for _, rr := range rep.Rolls {
+		restab := "never"
+		if rr.RestabTicks >= 0 {
+			restab = fmt.Sprintf("%d ticks (%.3f Δstb)", rr.RestabTicks,
+				float64(rr.RestabTicks)/float64(pp.DeltaStb()))
+			if !virtual {
+				restab += fmt.Sprintf(" = %v", (time.Duration(rr.RestabTicks) * tick).Round(time.Millisecond))
+			}
+		}
+		fmt.Printf("roll: node %d at tick %d → incarnation %d, re-stabilized in %s, replay rejected by %d/%d peers\n",
+			rr.Node, rr.At, rr.Incarnation, restab, rr.EpochDropPeers, pp.N-1)
+	}
+	health := make([]string, len(rep.Health))
+	for i, st := range rep.Health {
+		health[i] = fmt.Sprintf("%d:%s", i, st)
+	}
+	fmt.Printf("health: %v\n", health)
+	types := make([]string, 0, len(rep.EventCounts))
+	for k := range rep.EventCounts {
+		types = append(types, k)
+	}
+	sort.Strings(types)
+	for _, k := range types {
+		fmt.Printf("events: %s=%d\n", k, rep.EventCounts[k])
+	}
+	fmt.Printf("traffic: sent=%d received=%d epoch_drops=%d late_drops=%d\n",
+		rep.Stats.Sent, rep.Stats.Received, rep.Stats.EpochDrops, rep.Stats.LateDrops)
+}
+
+// judgeReport turns the report into the exit verdict: workload
+// committed, every roll within Δstb with the replay rejected everywhere,
+// final fleet health stabilized.
+func judgeReport(rep *ops.CampaignReport) error {
+	var errs []string
+	if rep.Committed == 0 || rep.Failed != 0 || rep.Dropped != 0 {
+		errs = append(errs, fmt.Sprintf("workload: committed=%d failed=%d dropped=%d",
+			rep.Committed, rep.Failed, rep.Dropped))
+	}
+	for _, rr := range rep.Rolls {
+		if rr.RestabTicks < 0 || !rr.WithinDeltaStb {
+			errs = append(errs, fmt.Sprintf("roll of node %d missed the Δstb=%d budget (restab=%d)",
+				rr.Node, rep.Params.DeltaStb(), rr.RestabTicks))
+		}
+		if rr.EpochDropPeers != rep.Params.N-1 {
+			errs = append(errs, fmt.Sprintf("old-incarnation replay rejected by %d/%d peers",
+				rr.EpochDropPeers, rep.Params.N-1))
+		}
+	}
+	for id, st := range rep.Health {
+		if st != ops.StateStabilized {
+			errs = append(errs, fmt.Sprintf("final health[%d] = %q", id, st))
+		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("campaign verdicts failed:\n  %s", joinLines(errs))
+	}
+	fmt.Println("campaign verdicts: all passed")
+	return nil
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for i, l := range lines {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += l
+	}
+	return out
+}

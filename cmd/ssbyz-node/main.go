@@ -32,24 +32,47 @@
 // can prove which wire defenses fired. Without -control, trace events
 // print to stdout. With -initiate, the node acts as the General at the
 // given tick (subject to the sending-validity criteria IG1–IG3). The
-// daemon exits after -run-for ticks, or on SIGINT/SIGTERM.
+// daemon exits after -run-for ticks, on SIGINT/SIGTERM, or on a REST
+// drain/stop order.
+//
+// With -ops, the daemon additionally serves the internal/ops REST
+// control plane (libpod-style): GET /healthz reports the protocol-level
+// health state (stabilized / re-stabilizing / partitioned, derived from
+// the trace and the transport counters against the Δstb = 2Δreset
+// budget), GET /metrics the full counter vector, GET /events an NDJSON
+// event stream, and POST /initiate, /fault, /bump-epoch, /drain, /stop
+// subsume the control-socket frames for orchestrators — this is the
+// surface `ssbyz-cluster -procs` drives. -incarnation is the node's
+// life number: a rolling replacement reboots the same manifest slot at
+// the previous incarnation + 1, every frame carries epoch + incarnation
+// as its wire epoch id, and peers (told via POST /bump-epoch or
+// -peer-incarnations) reject frames from the old life (epoch_drops).
+//
+// Shutdown is ordered: the ops server drains first (the event bus
+// closes, so /events subscribers read a clean EOF, then in-flight
+// handlers finish), the control stream flushes its stats and bye
+// frames, and only then do the node's transports come down.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"ssbyz/internal/clock"
 	"ssbyz/internal/core"
 	"ssbyz/internal/nettrans"
+	"ssbyz/internal/ops"
 	"ssbyz/internal/protocol"
 	"ssbyz/internal/simtime"
 	"ssbyz/internal/transient"
@@ -71,6 +94,10 @@ func run() error {
 		runFor       = flag.Int64("run-for", 0, "exit after this many ticks past the epoch (0 = run until signalled)")
 		initValue    = flag.String("initiate", "", "act as the General: initiate agreement on this value")
 		initAt       = flag.Int64("initiate-at", 0, "tick (since epoch) of the -initiate initiation")
+		opsAddr      = flag.String("ops", "", "serve the REST control plane (healthz/metrics/events + initiate/fault/bump-epoch/drain/stop) on this TCP address (empty = off)")
+		opsAddrFile  = flag.String("ops-addr-file", "", "write the bound ops address to this file (for -ops 127.0.0.1:0 orchestration)")
+		incarnation  = flag.Uint64("incarnation", 0, "this node's incarnation: a rolling replacement reboots the slot at the previous incarnation + 1")
+		peerIncs     = flag.String("peer-incarnations", "", "comma-separated expected incarnation per peer (n values; default all 0); advanced at runtime via POST /bump-epoch")
 	)
 	flag.Parse()
 
@@ -89,13 +116,19 @@ func run() error {
 		return fmt.Errorf("id %d outside manifest committee [0,%d)", *id, m.N)
 	}
 	nodeID := protocol.NodeID(*id)
+	peerIncarnations, err := parsePeerIncarnations(*peerIncs, m.N)
+	if err != nil {
+		return err
+	}
 
 	// Control stream: trace events as wire frames over one TCP connection,
-	// opened before the node starts so no event is lost.
+	// opened before the node starts so no event is lost. The stream's
+	// epoch id carries this life's incarnation, like every wire frame.
+	wireEpoch := uint64(m.Epoch().UnixNano()) + *incarnation
 	var cs *controlStream
 	var sink func(protocol.TraceEvent)
 	if *control != "" {
-		cs, err = dialControl(*control, nodeID, uint64(m.Epoch().UnixNano()))
+		cs, err = dialControl(*control, nodeID, wireEpoch)
 		if err != nil {
 			return fmt.Errorf("control stream: %w", err)
 		}
@@ -105,6 +138,18 @@ func run() error {
 		sink = func(ev protocol.TraceEvent) {
 			fmt.Printf("trace node=%d kind=%v G=%d m=%q rt=%d\n", ev.Node, ev.Kind, ev.G, ev.M, ev.RT)
 		}
+	}
+
+	// The ops control (when -ops is set) taps every trace event for its
+	// health-state machine. It attaches right after the node starts; the
+	// atomic keeps the sink race-free during that window.
+	var opsCtl atomic.Pointer[ops.Control]
+	baseSink := sink
+	sink = func(ev protocol.TraceEvent) {
+		if c := opsCtl.Load(); c != nil {
+			c.Observe(ev)
+		}
+		baseSink(ev)
 	}
 
 	// The daemon is the one runtime that is always wall-clock, and it says
@@ -123,18 +168,40 @@ func run() error {
 	node := core.NewNode()
 	cfg := m.NodeConfig(nodeID, nil, sink)
 	cfg.Clock = clk
+	cfg.Incarnation = *incarnation
+	cfg.PeerIncarnations = peerIncarnations
 	nn, err := nettrans.Start(cfg, node)
 	if err != nil {
 		return err
 	}
 	defer nn.Stop()
-	fmt.Printf("ssbyz-node %d up: %s %s, n=%d f=%d d=%d ticks of %v\n",
-		nodeID, m.Transport, nn.Addr(), m.N, m.Params().F, m.D, m.Tick())
+	fmt.Printf("ssbyz-node %d up: %s %s, n=%d f=%d d=%d ticks of %v, incarnation %d\n",
+		nodeID, m.Transport, nn.Addr(), m.N, m.Params().F, m.D, m.Tick(), *incarnation)
+
+	// The REST control plane (DESIGN.md §12): health, metrics, events,
+	// and the operator verbs. It owns its listener; Shutdown drains it
+	// BEFORE the node's transports come down.
+	var srv *ops.Server
+	if *opsAddr != "" {
+		ln, lerr := net.Listen("tcp", *opsAddr)
+		if lerr != nil {
+			return fmt.Errorf("ops listener: %w", lerr)
+		}
+		ctl := ops.NewControl(&ops.NetBackend{NN: nn})
+		opsCtl.Store(ctl)
+		srv = ops.Serve(ln, ctl)
+		fmt.Printf("ssbyz-node %d ops: http://%s\n", nodeID, srv.Addr())
+		if *opsAddrFile != "" {
+			if werr := os.WriteFile(*opsAddrFile, []byte(srv.Addr()), 0o644); werr != nil {
+				return fmt.Errorf("ops addr file: %w", werr)
+			}
+		}
+	}
 
 	// The control connection is bidirectional: watch it for FrameFault
 	// orders — the in-situ transient-fault injection the campaign drives.
 	if cs != nil {
-		cs.watchFaults(func(cmd wire.FaultCmd) { applyFault(nn, m, nodeID, cmd) })
+		cs.watchFaults(func(cmd wire.FaultCmd) { applyFault(nn, m, nodeID, opsCtl.Load(), cmd) })
 	}
 
 	if *initValue != "" {
@@ -153,14 +220,31 @@ func run() error {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	var opsDone <-chan string
+	if srv != nil {
+		opsDone = srv.Done()
+	}
+	reason := "signal"
+	var end <-chan time.Time
 	if *runFor > 0 {
-		end := m.Epoch().Add(time.Duration(*runFor) * m.Tick())
-		select {
-		case <-clk.After(time.Until(end)):
-		case <-sig:
-		}
-	} else {
-		<-sig
+		end = clk.After(time.Until(m.Epoch().Add(time.Duration(*runFor) * m.Tick())))
+	}
+	select {
+	case <-end:
+		reason = "run-for"
+	case <-sig:
+	case reason = <-opsDone: // REST /drain or /stop
+	}
+
+	// Ordered shutdown (the contract the Stop-ordering test pins): drain
+	// the ops listeners first — the event bus closes, so every /events
+	// subscriber reads a clean EOF over a still-healthy connection, then
+	// in-flight handlers finish. Then flush the control stream's stats
+	// and bye while the node is still up. Only then stop the transports.
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = srv.Shutdown(ctx)
+		cancel()
 	}
 	stats := nn.Stats()
 	if cs != nil {
@@ -168,8 +252,31 @@ func run() error {
 		// prove which attacks were injected and which defenses fired.
 		cs.sendStats(stats.Counters())
 	}
-	fmt.Printf("ssbyz-node %d down: %s\n", nodeID, formatCounters(stats.Counters()))
+	nn.Stop()
+	fmt.Printf("ssbyz-node %d down (%s): %s\n", nodeID, reason, formatCounters(stats.Counters()))
 	return nil
+}
+
+// parsePeerIncarnations decodes the -peer-incarnations list: empty means
+// every peer at incarnation 0, otherwise exactly n comma-separated
+// values indexed by node id.
+func parsePeerIncarnations(s string, n int) ([]uint64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("-peer-incarnations has %d values, want n=%d", len(parts), n)
+	}
+	out := make([]uint64, n)
+	for i, p := range parts {
+		v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-peer-incarnations[%d]: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
 }
 
 // formatCounters renders a nettrans.CounterNames vector as "name=value"
@@ -192,7 +299,7 @@ func formatCounters(vec []int64) string {
 // rotation never scripts), and a watcher then reports the observed
 // re-stabilization against the Δstb = 2Δreset budget the paper's
 // self-stabilization property promises.
-func applyFault(nn *nettrans.NetNode, m nettrans.Manifest, nodeID protocol.NodeID, cmd wire.FaultCmd) {
+func applyFault(nn *nettrans.NetNode, m nettrans.Manifest, nodeID protocol.NodeID, ctl *ops.Control, cmd wire.FaultCmd) {
 	pp := m.Params()
 	markG := protocol.NodeID(pp.N - 1)
 	at := nn.Now()
@@ -208,6 +315,11 @@ func applyFault(nn *nettrans.NetNode, m nettrans.Manifest, nodeID protocol.NodeI
 			Marks:    []protocol.NodeID{markG},
 		}, nn.Now())
 	})
+	if ctl != nil {
+		// The control-socket fault opens the same /healthz convergence
+		// window as the REST form.
+		ctl.MarkFault("fault", map[string]string{"seed": fmt.Sprint(cmd.Seed)})
+	}
 	fmt.Printf("ssbyz-node %d: transient fault injected at tick %d (seed=%d severity=%d‰)\n",
 		nodeID, at, cmd.Seed, cmd.SeverityPermille)
 	go func() {

@@ -7,8 +7,11 @@ package ssbyz_test
 
 import (
 	"testing"
+	"time"
 
 	"ssbyz"
+	"ssbyz/internal/clock"
+	"ssbyz/internal/ops"
 )
 
 // Recipe 1: composite attack — equivocating General who also colludes.
@@ -194,5 +197,36 @@ func TestCookbookInSituTransientFault(t *testing.T) {
 	rs := rep.Live.Restab[0]
 	if rs.Ticks <= 0 || rs.Ticks > pp.DeltaStb() {
 		t.Fatalf("re-stabilization %d ticks outside (0, Δstb=%d]", rs.Ticks, pp.DeltaStb())
+	}
+}
+
+// Recipe 8: rolling replacement as a transient fault — the operations
+// campaign under virtual time, judged on the paper's corollary: the
+// rolled node re-stabilizes within Δstb = 2Δreset, the old
+// incarnation's replay is rejected by every peer, and the
+// replicated-log traffic rides through the roll.
+func TestCookbookRollingReplacement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full operations campaign; skipped in -short")
+	}
+	rep, err := ops.RunCampaign(ops.CampaignConfig{
+		Spec:  ops.QuickSpec(4, 2, 250, 7), // n=4, roll node 2, d=250, seed 7
+		Clock: clock.NewFake(time.Time{}),  // virtual time: deterministic
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rolls) != 1 {
+		t.Fatalf("want 1 roll, got %d", len(rep.Rolls))
+	}
+	rr := rep.Rolls[0]
+	if !rr.WithinDeltaStb {
+		t.Fatalf("roll missed the Δstb budget: restab=%d ticks", rr.RestabTicks)
+	}
+	if rr.EpochDropPeers != rep.Params.N-1 {
+		t.Fatalf("old-incarnation replay rejected by %d/%d peers", rr.EpochDropPeers, rep.Params.N-1)
+	}
+	if rep.Committed != 8 || rep.Failed != 0 || rep.Dropped != 0 {
+		t.Fatalf("workload: committed=%d failed=%d dropped=%d", rep.Committed, rep.Failed, rep.Dropped)
 	}
 }

@@ -117,6 +117,46 @@ func TestAdversarialCampaignDocumented(t *testing.T) {
 	}
 }
 
+// TestOpsLayerDocumented pins the §12 cluster-operations documentation
+// the code cites ("DESIGN.md §12"): the control-plane endpoint table,
+// the incarnation-epoch story, the V4/L4 experiment rows, and the
+// README's fleet-operations walkthrough and rolling-replacement recipe.
+func TestOpsLayerDocumented(t *testing.T) {
+	design, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, anchor := range []string{
+		"## §12 Cluster operations layer",
+		"§12 cluster operations layer", // the numbered index at the top
+		"`GET /healthz`",               // the control-plane endpoint table
+		"Ordered shutdown",             // the drain contract /events relies on
+		"Incarnation epochs",           // epoch_unix_nano + incarnation
+		"`epoch_drops`, checked before authentication",
+		"Δstb = 2Δreset", // the roll budget every surface asserts
+		"| V4 ",          // the §4 experiment rows
+		"| L4 ",
+	} {
+		if !strings.Contains(string(design), anchor) {
+			t.Errorf("DESIGN.md lost its operations-layer anchor %q", anchor)
+		}
+	}
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, anchor := range []string{
+		"## Operating a fleet",
+		"Rolling replacement as a transient fault", // recipe 8
+		"`GET /healthz`",                           // the control-plane summary
+		"ssbyz-cluster -n 4 -roll 2",               // flag-table rows are pinned by flags_test
+	} {
+		if !strings.Contains(string(readme), anchor) {
+			t.Errorf("README.md lost its operations-layer anchor %q", anchor)
+		}
+	}
+}
+
 // TestWireRateDocumented pins the §11 wire-rate documentation the code
 // cites ("DESIGN.md §11"): the batch-envelope section, the pump floor
 // vocabulary, and the README's perf subsection and -legacy-wire flag

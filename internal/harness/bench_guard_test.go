@@ -61,7 +61,7 @@ func s1CellN64(t *testing.T, name string) float64 {
 // machine of their PR, so the factor-two margin absorbs machine deltas
 // while still catching superlinear regressions.
 func TestBenchArtifactN64Guard(t *testing.T) {
-	chain := []string{"BENCH_PR3_quick.json", "BENCH_PR4_quick.json", "BENCH_PR5_quick.json", "BENCH_PR6_quick.json", "BENCH_PR7_quick.json", "BENCH_PR8_quick.json", "BENCH_PR9_quick.json"}
+	chain := []string{"BENCH_PR3_quick.json", "BENCH_PR4_quick.json", "BENCH_PR5_quick.json", "BENCH_PR6_quick.json", "BENCH_PR7_quick.json", "BENCH_PR8_quick.json", "BENCH_PR9_quick.json", "BENCH_PR10_quick.json"}
 	for i := 1; i < len(chain); i++ {
 		prev, cur := s1CellN64(t, chain[i-1]), s1CellN64(t, chain[i])
 		if cur > 2*prev {
@@ -195,6 +195,38 @@ func TestBenchArtifactCoversV3L3(t *testing.T) {
 	}
 	if !foundL3 {
 		t.Error("BENCH_PR8_quick.json has no L3 result")
+	}
+}
+
+// TestBenchArtifactCoversV4L4 pins the cluster-operations generation's
+// shape (DESIGN.md §12): the committed artifact must carry V4 (the
+// deterministic operations campaign — scale-up, rolling replacement
+// within Δstb, old-incarnation replay rejection — costed at the suite
+// level like V1/V2/V3, since its tables are exact) and L4 (the same
+// campaign over real UDP sockets with its per-seed campaign cell
+// costed — `ssbyz-bench -quick -live -json` appends it after L3).
+func TestBenchArtifactCoversV4L4(t *testing.T) {
+	a := loadArtifact(t, "BENCH_PR10_quick.json")
+	foundV4, foundL4 := false, false
+	for _, r := range a.Results {
+		switch r.ID {
+		case "V4":
+			foundV4 = true
+			if r.WallMS <= 0 {
+				t.Errorf("BENCH_PR10_quick.json V4 wall_ms = %v, want > 0", r.WallMS)
+			}
+		case "L4":
+			foundL4 = true
+			if v, ok := r.CellWallMS["campaign/0"]; !ok || v <= 0 {
+				t.Errorf("BENCH_PR10_quick.json L4 cell_wall_ms[%q] = %v, want > 0", "campaign/0", v)
+			}
+		}
+	}
+	if !foundV4 {
+		t.Error("BENCH_PR10_quick.json has no V4 result")
+	}
+	if !foundL4 {
+		t.Error("BENCH_PR10_quick.json has no L4 result")
 	}
 }
 

@@ -179,6 +179,7 @@ func All() []Experiment {
 		{"V1", "Deterministic live campaign under virtual time", "the live socket pipeline on an injected fake clock: exact, reproducible ticks (DESIGN.md §9)", V1VirtualLive},
 		{"V2", "Deterministic live service under virtual time", "the replicated-log service as a deterministic schedule (DESIGN.md §9)", V2VirtualService},
 		{"V3", "Adversarial live campaign under virtual time", "byte-level attacks vs the wire defenses, in-situ transient recovery within Δstb (DESIGN.md §10)", V3AdversarialLive},
+		{"V4", "Cluster operations campaign under virtual time", "live membership: scale-up, rolling replacement within Δstb, old-incarnation replay rejection (DESIGN.md §12)", V4OpsCampaign},
 	}
 }
 

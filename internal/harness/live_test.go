@@ -62,3 +62,26 @@ func TestAdversarialLiveQuick(t *testing.T) {
 		}
 	}
 }
+
+// TestOpsLiveQuick runs L4 against real loopback sockets: the full
+// boot→scale→roll→drain campaign under the wall clock. The times vary
+// with the host; the verdict must not — workload committed under the
+// roll, the replacement re-stabilized within Δstb of real time, the
+// old-incarnation replay rejected by every peer.
+func TestOpsLiveQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("brings up a real socket fleet and rolls a node under traffic; skipped in -short")
+	}
+	res := L4OpsLive(Options{Quick: true})
+	if res.Violations != 0 {
+		var buf bytes.Buffer
+		_, _ = res.WriteTo(&buf)
+		t.Fatalf("L4 found %d violations:\n%s", res.Violations, buf.String())
+	}
+	if len(res.Tables) != 1 {
+		t.Fatalf("L4 produced %d tables, want 1", len(res.Tables))
+	}
+	if v, ok := res.CellWallMS["campaign/0"]; !ok || v <= 0 {
+		t.Errorf("CellWallMS[campaign/0] = %v, want > 0", v)
+	}
+}

@@ -7,12 +7,13 @@ import (
 )
 
 // renderVirtual runs the deterministic live campaign (V1), service (V2),
-// and adversarial campaign (V3) and renders the reports.
+// adversarial campaign (V3), and ops campaign (V4) and renders the
+// reports.
 func renderVirtual(t *testing.T, workers int) []byte {
 	t.Helper()
 	var buf bytes.Buffer
 	opt := Options{Quick: true, Workers: workers}
-	for _, run := range []func(Options) *Result{V1VirtualLive, V2VirtualService, V3AdversarialLive} {
+	for _, run := range []func(Options) *Result{V1VirtualLive, V2VirtualService, V3AdversarialLive, V4OpsCampaign} {
 		r := run(opt)
 		if r.Violations != 0 {
 			t.Fatalf("%s: %d violations: %v", r.ID, r.Violations, r.Notes)
@@ -45,6 +46,30 @@ func TestVirtualCampaignDeterministic(t *testing.T) {
 	}
 	if len(seq) == 0 {
 		t.Fatal("virtual campaign rendered nothing")
+	}
+}
+
+// TestOpsVirtualCampaign is V4's own acceptance gate: the deterministic
+// boot→scale→roll→drain campaign must commit its workload, re-stabilize
+// the rolled node within Δstb, and show the old-incarnation replay
+// rejected by every peer — with zero violations, including the internal
+// rerun-and-compare determinism gate (DESIGN.md §12).
+func TestOpsVirtualCampaign(t *testing.T) {
+	r := V4OpsCampaign(Options{Quick: true, Workers: 4})
+	if r.Violations != 0 {
+		t.Fatalf("V4: %d violations: %v", r.Violations, r.Notes)
+	}
+	if len(r.Tables) != 1 {
+		t.Fatalf("V4: want 1 table, got %d", len(r.Tables))
+	}
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, needle := range []string{"restab", "replay-rejecting", "determinism gate"} {
+		if !strings.Contains(buf.String(), needle) {
+			t.Errorf("V4 report lost %q", needle)
+		}
 	}
 }
 

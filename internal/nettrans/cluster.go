@@ -3,6 +3,7 @@ package nettrans
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"ssbyz/internal/clock"
@@ -21,15 +22,23 @@ import (
 // multi-process form of the same topology is cmd/ssbyz-node driven by a
 // manifest; both are fed to the property battery through Result.
 type Cluster struct {
-	cfg     ClusterConfig
-	clk     clock.Clock
-	fake    *clock.Fake // non-nil on the virtual-time path
-	wire    *memWire    // the in-memory wire of a virtual cluster
-	epoch   time.Time
-	rec     *protocol.Recorder
-	nodes   []*NetNode
-	parked  []*Socket // bound-but-unread sockets of crash-faulty slots
-	correct []protocol.NodeID
+	cfg   ClusterConfig
+	clk   clock.Clock
+	fake  *clock.Fake // non-nil on the virtual-time path
+	wire  *memWire    // the in-memory wire of a virtual cluster
+	epoch time.Time
+	rec   *protocol.Recorder
+	peers []string // listen addresses by id (restart needs them)
+
+	// mu guards the membership state below: the live-membership
+	// operations (StartNode/StopNode/RollNode) rewrite it while ops
+	// observers (health endpoints, stats scrapes) read it from their own
+	// goroutines.
+	mu           sync.Mutex
+	nodes        []*NetNode
+	parked       map[protocol.NodeID]*Socket // bound-but-unread sockets of crash-faulty/absent slots
+	correct      []protocol.NodeID
+	incarnations []uint64
 }
 
 // ClusterConfig describes an in-process loopback cluster.
@@ -65,6 +74,13 @@ type ClusterConfig struct {
 	// delay in ticks (defaults [D/4, D/2], like livenet; max D/2 so a
 	// chaos jitter of up to D/2 on top never crosses the d deadline).
 	DelayMin, DelayMax simtime.Duration
+	// Absent lists correct slots NOT booted at cluster start: their
+	// addresses exist (peers' sends have a destination) but no protocol
+	// machine runs, which the model reads as a crash fault — so
+	// len(Faulty) + len(Absent) must stay within f. StartNode boots an
+	// absent slot later (the orchestrator's scale-up operation), after
+	// which it converges like any node recovering from a transient.
+	Absent []protocol.NodeID
 	// LegacyDatagramPerFrame switches every node to the pre-batching
 	// one-datagram-per-frame wire (see NodeConfig). The batched-vs-legacy
 	// differential tests run the same campaign under both settings and
@@ -84,11 +100,22 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Transport == "" {
 		cfg.Transport = TransportUDP
 	}
-	if len(cfg.Faulty) > cfg.Params.F {
-		return nil, fmt.Errorf("nettrans: %d faulty nodes exceeds f=%d", len(cfg.Faulty), cfg.Params.F)
+	if len(cfg.Faulty)+len(cfg.Absent) > cfg.Params.F {
+		return nil, fmt.Errorf("nettrans: %d faulty + %d absent nodes exceeds f=%d",
+			len(cfg.Faulty), len(cfg.Absent), cfg.Params.F)
+	}
+	absent := make(map[protocol.NodeID]bool, len(cfg.Absent))
+	for _, id := range cfg.Absent {
+		if id < 0 || int(id) >= cfg.Params.N {
+			return nil, fmt.Errorf("nettrans: absent node %d outside [0,%d)", id, cfg.Params.N)
+		}
+		if _, faulty := cfg.Faulty[id]; faulty || absent[id] {
+			return nil, fmt.Errorf("nettrans: absent node %d is duplicated or also faulty", id)
+		}
+		absent[id] = true
 	}
 	if fake, ok := cfg.Clock.(*clock.Fake); ok {
-		return newVirtualCluster(cfg, fake)
+		return newVirtualCluster(cfg, fake, absent)
 	}
 	if cfg.Clock != nil {
 		return nil, fmt.Errorf("nettrans: cluster clock must be nil (wall) or a *clock.Fake (virtual)")
@@ -113,19 +140,22 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		peers[i] = s.Addr()
 	}
 	c := &Cluster{
-		cfg:   cfg,
-		clk:   clock.Real(),
-		epoch: time.Now(),
-		rec:   protocol.NewRecorder(),
-		nodes: make([]*NetNode, n),
+		cfg:          cfg,
+		clk:          clock.Real(),
+		epoch:        time.Now(),
+		rec:          protocol.NewRecorder(),
+		peers:        peers,
+		nodes:        make([]*NetNode, n),
+		parked:       make(map[protocol.NodeID]*Socket),
+		incarnations: make([]uint64, n),
 	}
 	for i := 0; i < n; i++ {
 		id := protocol.NodeID(i)
 		machine, isFaulty := cfg.Faulty[id]
-		if isFaulty && machine == nil {
-			// Crash-faulty: hold the bound socket so peers' sends have a
-			// destination, deliver nothing.
-			c.parked = append(c.parked, socks[i])
+		if (isFaulty && machine == nil) || absent[id] {
+			// Crash-faulty or not-yet-booted: hold the bound socket so
+			// peers' sends have a destination, deliver nothing.
+			c.parked[id] = socks[i]
 			continue
 		}
 		if !isFaulty {
@@ -136,17 +166,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			}
 			c.correct = append(c.correct, id)
 		}
-		nn, err := StartWith(NodeConfig{
-			ID:                     id,
-			Params:                 cfg.Params,
-			Tick:                   cfg.Tick,
-			Transport:              cfg.Transport,
-			Peers:                  peers,
-			Epoch:                  c.epoch,
-			Rec:                    c.rec,
-			Conditions:             cfg.Conditions,
-			LegacyDatagramPerFrame: cfg.LegacyDatagramPerFrame,
-		}, socks[i], machine)
+		nn, err := StartWith(c.nodeConfig(id), socks[i], machine)
 		if err != nil {
 			c.Stop()
 			closeAll()
@@ -155,6 +175,26 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		c.nodes[i] = nn
 	}
 	return c, nil
+}
+
+// nodeConfig derives the NodeConfig for slot id at its current
+// incarnation, with the per-peer incarnation table snapshot. Callers on
+// the wall path hand it to StartWith; the virtual path overrides Clock.
+func (c *Cluster) nodeConfig(id protocol.NodeID) NodeConfig {
+	return NodeConfig{
+		ID:                     id,
+		Params:                 c.cfg.Params,
+		Tick:                   c.cfg.Tick,
+		Transport:              c.cfg.Transport,
+		Peers:                  c.peers,
+		Epoch:                  c.epoch,
+		Incarnation:            c.incarnations[id],
+		PeerIncarnations:       append([]uint64(nil), c.incarnations...),
+		Rec:                    c.rec,
+		Conditions:             c.cfg.Conditions,
+		Clock:                  c.cfg.Clock,
+		LegacyDatagramPerFrame: c.cfg.LegacyDatagramPerFrame,
+	}
 }
 
 // Params returns the protocol constants.
@@ -166,8 +206,13 @@ func (c *Cluster) Tick() time.Duration { return c.cfg.Tick }
 // Recorder returns the shared trace recorder.
 func (c *Cluster) Recorder() *protocol.Recorder { return c.rec }
 
-// Correct lists the ids running correct state machines, ascending.
+// Correct lists the ids running correct state machines (including slots
+// temporarily down mid-roll — a rolled node's trace still belongs to a
+// correct node), ascending. Slots booted later via StartNode join the
+// list when they boot.
 func (c *Cluster) Correct() []protocol.NodeID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return append([]protocol.NodeID(nil), c.correct...)
 }
 
@@ -185,35 +230,45 @@ func (c *Cluster) Stop() {
 	if c.wire != nil {
 		c.wire.timers.Stop()
 	}
-	for _, nn := range c.nodes {
+	c.mu.Lock()
+	nodes := append([]*NetNode(nil), c.nodes...)
+	for i := range c.nodes {
+		c.nodes[i] = nil
+	}
+	parked := c.parked
+	c.parked = nil
+	c.mu.Unlock()
+	for _, nn := range nodes {
 		if nn != nil {
 			nn.Stop()
 		}
 	}
-	for _, s := range c.parked {
+	for _, s := range parked {
 		s.Close()
 	}
-	c.parked = nil
 }
 
-// Do executes fn inside node id's event loop (no-op for faulty slots).
+// Do executes fn inside node id's event loop (no-op for down slots).
 func (c *Cluster) Do(id protocol.NodeID, fn func(protocol.Node)) {
-	if nn := c.nodes[id]; nn != nil {
+	if nn := c.node(id); nn != nil {
 		nn.Do(fn)
 	}
 }
 
 // DoWait executes fn inside node id's event loop and waits for it.
 func (c *Cluster) DoWait(id protocol.NodeID, fn func(protocol.Node)) {
-	if nn := c.nodes[id]; nn != nil {
+	if nn := c.node(id); nn != nil {
 		nn.DoWait(fn)
 	}
 }
 
 // Stats aggregates every live node's transport counters.
 func (c *Cluster) Stats() Stats {
+	c.mu.Lock()
+	nodes := append([]*NetNode(nil), c.nodes...)
+	c.mu.Unlock()
 	var total Stats
-	for _, nn := range c.nodes {
+	for _, nn := range nodes {
 		if nn == nil {
 			continue
 		}
@@ -222,10 +277,23 @@ func (c *Cluster) Stats() Stats {
 	return total
 }
 
+// NodeStats returns the transport counters of node id alone (zero when
+// the slot is down) — the per-node scrape behind /metrics and the
+// campaign's per-peer epoch-drop assertions.
+func (c *Cluster) NodeStats(id protocol.NodeID) Stats {
+	if nn := c.node(id); nn != nil {
+		return nn.Stats()
+	}
+	return Stats{}
+}
+
 // BatchStats aggregates every live node's coalescer counters.
 func (c *Cluster) BatchStats() BatchStats {
+	c.mu.Lock()
+	nodes := append([]*NetNode(nil), c.nodes...)
+	c.mu.Unlock()
 	var total BatchStats
-	for _, nn := range c.nodes {
+	for _, nn := range nodes {
 		if nn == nil {
 			continue
 		}
@@ -321,20 +389,21 @@ func (c *Cluster) countInitiates(g protocol.NodeID, v protocol.Value) int {
 // steps the fake clock timer by timer, so the timeout is a virtual-time
 // budget (timeout/Tick ticks) and deterministic.
 func (c *Cluster) AwaitDecisions(g protocol.NodeID, want protocol.Value, timeout time.Duration) int {
+	needed := len(c.Correct())
 	if c.fake != nil {
 		horizon := simtime.Duration(c.NowTicks()) + simtime.Duration(timeout/c.cfg.Tick)
 		c.StepUntil(func() bool {
 			// Cheap recorder precheck first; the event-loop query
 			// (countDecided) only runs once the trace says all decided.
-			return c.countDecideEvents(g, want) >= len(c.correct) &&
-				c.countDecided(g, want) == len(c.correct)
+			return c.countDecideEvents(g, want) >= needed &&
+				c.countDecided(g, want) == needed
 		}, horizon)
 		return c.countDecided(g, want)
 	}
 	deadline := time.Now().Add(timeout)
 	for {
 		done := c.countDecided(g, want)
-		if done == len(c.correct) || time.Now().After(deadline) {
+		if done == needed || time.Now().After(deadline) {
 			return done
 		}
 		time.Sleep(2 * time.Millisecond)
@@ -345,7 +414,7 @@ func (c *Cluster) AwaitDecisions(g protocol.NodeID, want protocol.Value, timeout
 // General g with value want.
 func (c *Cluster) countDecided(g protocol.NodeID, want protocol.Value) int {
 	done := 0
-	for _, id := range c.correct {
+	for _, id := range c.Correct() {
 		var returned, decided bool
 		var v protocol.Value
 		c.DoWait(id, func(n protocol.Node) {
@@ -363,8 +432,9 @@ func (c *Cluster) countDecided(g protocol.NodeID, want protocol.Value) int {
 // countDecideEvents counts traced EvDecide events of correct nodes for
 // (g, want) — a lock-light proxy for countDecided usable every step.
 func (c *Cluster) countDecideEvents(g protocol.NodeID, want protocol.Value) int {
-	isCorrect := make(map[protocol.NodeID]bool, len(c.correct))
-	for _, id := range c.correct {
+	correct := c.Correct()
+	isCorrect := make(map[protocol.NodeID]bool, len(correct))
+	for _, id := range correct {
 		isCorrect[id] = true
 	}
 	done := 0
@@ -402,7 +472,7 @@ func (c *Cluster) StepUntil(pred func() bool, horizon simtime.Duration) bool {
 // as BuildResult does for daemon-collected traces. horizon is the run's
 // wall-clock extent in ticks (Termination's proof horizon).
 func (c *Cluster) Result(horizon simtime.Duration) *sim.Result {
-	return BuildResult(c.cfg.Params, c.rec.Events(), c.correct, horizon)
+	return BuildResult(c.cfg.Params, c.rec.Events(), c.Correct(), horizon)
 }
 
 // BuildResult shapes a live trace for the internal/check battery: events

@@ -1,0 +1,22 @@
+package nettrans
+
+import "errors"
+
+// Sentinel errors of the transport's configuration surface, matchable
+// with errors.Is (the same discipline as the facade's ErrBadParams):
+// manifest and cluster-spec validation used to return bare fmt.Errorf
+// strings, which forced the orchestrator to match messages; now every
+// validation failure wraps one of these.
+var (
+	// ErrBadManifest reports a cluster manifest (or a cluster spec built
+	// on one) that cannot describe a runnable committee: parameters
+	// outside the paper's n > 3f model, a missing address, an unknown
+	// transport, an uncompilable chaos schedule, or a missing epoch.
+	ErrBadManifest = errors.New("nettrans: bad manifest")
+	// ErrEpochSkew reports an incarnation-epoch disagreement: a roll that
+	// does not advance a node's incarnation, or a fleet whose members
+	// disagree about a peer's current incarnation. Frames across such a
+	// skew are rejected by the receive pipeline (epoch_drops), so the
+	// orchestrator refuses to create the skew in the first place.
+	ErrEpochSkew = errors.New("nettrans: incarnation epoch skew")
+)

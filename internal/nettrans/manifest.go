@@ -59,29 +59,30 @@ func (m Manifest) Epoch() time.Time { return time.Unix(0, m.EpochUnixNano) }
 
 // Validate checks the manifest: valid committee parameters, one address
 // per node, a transport the package speaks, a compilable chaos schedule,
-// and a non-zero epoch.
+// and a non-zero epoch. Every failure wraps ErrBadManifest, so callers
+// branch with errors.Is instead of matching message strings.
 func (m Manifest) Validate() error {
 	if err := m.Params().Validate(); err != nil {
-		return fmt.Errorf("nettrans: manifest: %w", err)
+		return fmt.Errorf("%w: %w", ErrBadManifest, err)
 	}
 	if len(m.Nodes) != m.N {
-		return fmt.Errorf("nettrans: manifest has %d addresses for n=%d", len(m.Nodes), m.N)
+		return fmt.Errorf("%w: %d addresses for n=%d", ErrBadManifest, len(m.Nodes), m.N)
 	}
 	for i, a := range m.Nodes {
 		if a == "" {
-			return fmt.Errorf("nettrans: manifest node %d has no address", i)
+			return fmt.Errorf("%w: node %d has no address", ErrBadManifest, i)
 		}
 	}
 	switch m.Transport {
 	case "", TransportUDP, TransportTCP:
 	default:
-		return fmt.Errorf("nettrans: manifest transport %q unknown", m.Transport)
+		return fmt.Errorf("%w: transport %q unknown", ErrBadManifest, m.Transport)
 	}
 	if m.EpochUnixNano == 0 {
-		return fmt.Errorf("nettrans: manifest has no epoch (nodes cannot share tick 0)")
+		return fmt.Errorf("%w: no epoch (nodes cannot share tick 0)", ErrBadManifest)
 	}
 	if _, err := compileChaos(m.Conditions, m.N, m.Params().D/2, m.Params().D); err != nil {
-		return err
+		return fmt.Errorf("%w: %w", ErrBadManifest, err)
 	}
 	return nil
 }

@@ -71,9 +71,22 @@ type NodeConfig struct {
 	// Peers are the peer listen addresses indexed by NodeID, length N.
 	Peers []string
 	// Epoch is the shared cluster epoch: the wall-clock instant every
-	// node's clock reads tick 0, and the incarnation id frames carry.
-	// All nodes of a cluster must agree on it (the manifest fixes it).
+	// node's clock reads tick 0, and the base of the incarnation id
+	// frames carry. All nodes of a cluster must agree on it (the
+	// manifest fixes it).
 	Epoch time.Time
+	// Incarnation is this node's incarnation number within the cluster
+	// epoch: a rolled replacement boots with the previous incarnation
+	// plus one, and its frames carry Epoch + Incarnation as their wire
+	// epoch id. Zero for a first boot — the wire format is unchanged.
+	Incarnation uint64
+	// PeerIncarnations seeds the per-peer expected incarnations (length
+	// N, indexed by node id; nil means every peer at incarnation 0). The
+	// receive pipeline rejects any frame whose epoch id is not the
+	// expected incarnation of its claimed sender (epoch_drops), which is
+	// what makes an orchestrated roll's old frames provably dead; the
+	// expectation is advanced at runtime with BumpPeerEpoch.
+	PeerIncarnations []uint64
 	// Rec receives trace events (default: a fresh recorder).
 	Rec *protocol.Recorder
 	// Sink, when non-nil, additionally receives every trace event as it
@@ -225,17 +238,23 @@ func StatsFromCounters(v []int64) Stats {
 // protocol.Runtime; the node's OnMessage/OnTimer run on a single
 // event-loop goroutine exactly as under the simulator.
 type NetNode struct {
-	cfg     NodeConfig
-	clk     clock.Clock
-	epochID uint64
-	node    protocol.Node
-	rec     *protocol.Recorder
-	mbox    *eventloop.Mailbox
-	timers  *eventloop.Timers
-	chaos   *chaos
-	trans   transport
-	co      *coalescer
-	wg      sync.WaitGroup
+	cfg       NodeConfig
+	clk       clock.Clock
+	epochBase uint64 // uint64(Epoch.UnixNano()): incarnation 0's epoch id
+	epochID   uint64 // epochBase + cfg.Incarnation: the id stamped on sends
+	// peerEpochs[id] is the epoch id this node currently accepts from
+	// peer id (epochBase + that peer's incarnation). Atomic because the
+	// receive loops read it per frame while an orchestrator bumps it
+	// mid-roll from its own goroutine.
+	peerEpochs []atomic.Uint64
+	node       protocol.Node
+	rec        *protocol.Recorder
+	mbox       *eventloop.Mailbox
+	timers     *eventloop.Timers
+	chaos      *chaos
+	trans      transport
+	co         *coalescer
+	wg         sync.WaitGroup
 
 	timerMu sync.Mutex
 	nextID  protocol.TimerID
@@ -339,17 +358,33 @@ func startNode(cfg NodeConfig, node protocol.Node, mkTrans func(*NetNode) (trans
 	if err != nil {
 		return nil, err
 	}
+	if cfg.PeerIncarnations != nil && len(cfg.PeerIncarnations) != cfg.Params.N {
+		return nil, fmt.Errorf("%w: %d peer incarnations for n=%d", ErrEpochSkew, len(cfg.PeerIncarnations), cfg.Params.N)
+	}
 	gate, _ := cfg.Clock.(clock.Gate)
+	base := uint64(cfg.Epoch.UnixNano())
 	nn := &NetNode{
-		cfg:     cfg,
-		clk:     cfg.Clock,
-		epochID: uint64(cfg.Epoch.UnixNano()),
-		node:    node,
-		rec:     cfg.Rec,
-		mbox:    eventloop.NewMailboxGated(gate),
-		timers:  eventloop.NewTimersOn(cfg.Clock),
-		chaos:   ch,
-		pending: make(map[protocol.TimerID]clock.Timer),
+		cfg:        cfg,
+		clk:        cfg.Clock,
+		epochBase:  base,
+		epochID:    base + cfg.Incarnation,
+		peerEpochs: make([]atomic.Uint64, cfg.Params.N),
+		node:       node,
+		rec:        cfg.Rec,
+		mbox:       eventloop.NewMailboxGated(gate),
+		timers:     eventloop.NewTimersOn(cfg.Clock),
+		chaos:      ch,
+		pending:    make(map[protocol.TimerID]clock.Timer),
+	}
+	for i := range nn.peerEpochs {
+		inc := uint64(0)
+		if cfg.PeerIncarnations != nil {
+			inc = cfg.PeerIncarnations[i]
+		}
+		if protocol.NodeID(i) == cfg.ID {
+			inc = cfg.Incarnation // a node always accepts its own frames
+		}
+		nn.peerEpochs[i].Store(base + inc)
 	}
 	nn.dedup.window = cfg.Params.D
 	nn.trans, err = mkTrans(nn)
@@ -662,6 +697,40 @@ func (nn *NetNode) BatchStats() BatchStats {
 	}
 }
 
+// BumpPeerEpoch advances the epoch id this node accepts from peer id to
+// the given incarnation: the orchestrator calls it on every member
+// before restarting a rolled peer, so the replacement's frames are
+// admitted while every frame of the dead incarnation keeps failing the
+// epoch check (epoch_drops). Returns ErrEpochSkew when the bump would
+// move the expectation backwards — a stale roll must not resurrect a
+// retired incarnation.
+func (nn *NetNode) BumpPeerEpoch(peer protocol.NodeID, incarnation uint64) error {
+	if peer < 0 || int(peer) >= len(nn.peerEpochs) {
+		return fmt.Errorf("%w: peer %d outside [0,%d)", ErrEpochSkew, peer, len(nn.peerEpochs))
+	}
+	want := nn.epochBase + incarnation
+	if cur := nn.peerEpochs[peer].Load(); want < cur {
+		return fmt.Errorf("%w: peer %d already at incarnation %d, refusing %d",
+			ErrEpochSkew, peer, cur-nn.epochBase, incarnation)
+	}
+	nn.peerEpochs[peer].Store(want)
+	return nil
+}
+
+// Incarnation returns this node's incarnation number within the epoch.
+func (nn *NetNode) Incarnation() uint64 { return nn.cfg.Incarnation }
+
+// expectedEpoch returns the epoch id currently accepted from the claimed
+// sender. An id outside the committee reads as this node's own epoch so
+// the frame falls through to the authentication check exactly as before
+// incarnations existed (auth_drops, not epoch_drops).
+func (nn *NetNode) expectedEpoch(from protocol.NodeID) uint64 {
+	if from < 0 || int(from) >= len(nn.peerEpochs) {
+		return nn.epochID
+	}
+	return nn.peerEpochs[from].Load()
+}
+
 // ---- receive path (shared by both transports) ----
 
 // admitFrame runs the acceptance pipeline on one decoded frame: epoch
@@ -674,7 +743,7 @@ func (nn *NetNode) BatchStats() BatchStats {
 // datagram. Control-stream kinds (fault, stats) have no business on the
 // data path and are discarded as decode drops.
 func (nn *NetNode) admitFrame(f wire.Frame, authOK bool, now simtime.Real) (protocol.Message, bool) {
-	if f.Epoch != nn.epochID {
+	if f.Epoch != nn.expectedEpoch(f.From) {
 		nn.epochDrops.Add(1)
 		return protocol.Message{}, false
 	}
@@ -738,7 +807,7 @@ func (nn *NetNode) handleFrame(f wire.Frame, authOK bool) {
 // container framing (bad count or length prefix) costs one decode drop
 // for the unreadable remainder; frames yielded before the break stand.
 func (nn *NetNode) handleBatch(f wire.Frame, auth func(protocol.NodeID) bool) {
-	if f.Epoch != nn.epochID {
+	if f.Epoch != nn.expectedEpoch(f.From) {
 		nn.epochDrops.Add(1)
 		return
 	}

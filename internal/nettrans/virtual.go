@@ -257,7 +257,7 @@ func (c *Cluster) Frames() []CapturedFrame {
 }
 
 // newVirtualCluster is NewCluster on the virtual-time path.
-func newVirtualCluster(cfg ClusterConfig, fake *clock.Fake) (*Cluster, error) {
+func newVirtualCluster(cfg ClusterConfig, fake *clock.Fake, absent map[protocol.NodeID]bool) (*Cluster, error) {
 	n := cfg.Params.N
 	if cfg.DelayMax == 0 {
 		cfg.DelayMax = cfg.Params.D / 2
@@ -276,12 +276,15 @@ func newVirtualCluster(cfg ClusterConfig, fake *clock.Fake) (*Cluster, error) {
 		peers[i] = fmt.Sprintf("virtual:%d", i)
 	}
 	c := &Cluster{
-		cfg:   cfg,
-		clk:   fake,
-		fake:  fake,
-		epoch: fake.Now(),
-		rec:   protocol.NewRecorder(),
-		nodes: make([]*NetNode, n),
+		cfg:          cfg,
+		clk:          fake,
+		fake:         fake,
+		epoch:        fake.Now(),
+		rec:          protocol.NewRecorder(),
+		peers:        peers,
+		nodes:        make([]*NetNode, n),
+		parked:       make(map[protocol.NodeID]*Socket),
+		incarnations: make([]uint64, n),
 	}
 	c.wire = &memWire{
 		tick:    cfg.Tick,
@@ -304,8 +307,8 @@ func newVirtualCluster(cfg ClusterConfig, fake *clock.Fake) (*Cluster, error) {
 	for i := 0; i < n; i++ {
 		id := protocol.NodeID(i)
 		machine, isFaulty := cfg.Faulty[id]
-		if isFaulty && machine == nil {
-			continue // crash-faulty: the wire drops frames addressed to it
+		if (isFaulty && machine == nil) || absent[id] {
+			continue // crash-faulty or not-yet-booted: the wire drops frames addressed to it
 		}
 		if !isFaulty {
 			if cfg.NewNode != nil {
@@ -315,18 +318,7 @@ func newVirtualCluster(cfg ClusterConfig, fake *clock.Fake) (*Cluster, error) {
 			}
 			c.correct = append(c.correct, id)
 		}
-		nn, err := startNode(NodeConfig{
-			ID:                     id,
-			Params:                 cfg.Params,
-			Tick:                   cfg.Tick,
-			Transport:              cfg.Transport,
-			Peers:                  peers,
-			Epoch:                  c.epoch,
-			Rec:                    c.rec,
-			Conditions:             cfg.Conditions,
-			Clock:                  fake,
-			LegacyDatagramPerFrame: cfg.LegacyDatagramPerFrame,
-		}, machine, func(nn *NetNode) (transport, error) {
+		nn, err := startNode(c.nodeConfig(id), machine, func(nn *NetNode) (transport, error) {
 			return &memTransport{w: c.wire, id: id}, nil
 		})
 		if err != nil {

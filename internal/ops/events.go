@@ -1,0 +1,92 @@
+package ops
+
+import "sync"
+
+// Event is one structured operations event — the libpod events shape
+// (type + actor + instant + attributes), rendered as NDJSON on /events.
+// Types: decide, suspicion, stabilized, re-stabilizing, fault, roll,
+// epoch, drain, stop.
+type Event struct {
+	Type string `json:"type"`
+	Node int    `json:"node"`
+	Tick int64  `json:"tick"`
+	// Attrs carries type-specific detail (the General and value of a
+	// decide, the peer and incarnation of an epoch change, …).
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// Bus fans events out to subscribers. Publishing never blocks: a
+// subscriber that stops draining loses events rather than stalling the
+// node's event loop (the sink path publishes decides). Closing the bus
+// closes every subscriber channel, which is how /events streams end in
+// a clean EOF during shutdown.
+type Bus struct {
+	mu     sync.Mutex
+	subs   map[int]chan Event
+	nextID int
+	closed bool
+}
+
+// NewBus builds an empty bus.
+func NewBus() *Bus {
+	return &Bus{subs: make(map[int]chan Event)}
+}
+
+// Subscribe registers a subscriber with the given channel buffer
+// (minimum 16) and returns its channel plus a cancel function. The
+// channel closes on cancel or when the bus closes.
+func (b *Bus) Subscribe(buf int) (<-chan Event, func()) {
+	if buf < 16 {
+		buf = 16
+	}
+	ch := make(chan Event, buf)
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	id := b.nextID
+	b.nextID++
+	b.subs[id] = ch
+	b.mu.Unlock()
+	return ch, func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if sub, ok := b.subs[id]; ok {
+			delete(b.subs, id)
+			close(sub)
+		}
+	}
+}
+
+// Publish offers ev to every subscriber, dropping it at any whose
+// buffer is full. No-op after Close.
+func (b *Bus) Publish(ev Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	for _, ch := range b.subs {
+		select {
+		case ch <- ev:
+		default: // slow subscriber: drop rather than block the publisher
+		}
+	}
+}
+
+// Close shuts the bus down: all subscriber channels close (clean EOF
+// for streams), later Publishes are dropped. Idempotent.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for id, ch := range b.subs {
+		delete(b.subs, id)
+		close(ch)
+	}
+}

@@ -380,3 +380,40 @@ func TestFrameClaimedSenderIsEnvelopeOnly(t *testing.T) {
 		t.Fatalf("payload sender %d, want the encoded 5", m.From)
 	}
 }
+
+// TestIncarnationEpochRoundTrip pins the envelope property the rolling-
+// replacement design rests on: wire epoch ids one incarnation apart
+// (epoch base + incarnation counter) survive the codec exactly at every
+// magnitude — including the uint64 wrap of a negative epoch base, which
+// is what the virtual clusters' zero-time epoch produces — and encode to
+// distinct bytes, so a receiver comparing a decoded Epoch against its
+// per-peer expectation reliably tells a node's old life from its new
+// one.
+func TestIncarnationEpochRoundTrip(t *testing.T) {
+	payload := AppendMessage(nil, protocol.Message{Kind: protocol.Echo, G: 2, M: "roll", K: 1})
+	negBase := int64(-6795364578871) // virtual zero-time epochs wrap a negative base
+	bases := []uint64{
+		0,               // degenerate base
+		1 << 40,         // a plausible unix-nano magnitude
+		uint64(negBase), // wrapped negative base
+		^uint64(0) - 8,  // near the top, still room for incarnations
+	}
+	for _, base := range bases {
+		var prev []byte
+		for inc := uint64(0); inc < 3; inc++ {
+			f := Frame{Kind: FrameMessage, From: 4, Epoch: base + inc, Sent: 7, Payload: payload}
+			b := AppendFrame(nil, f)
+			got, n, err := DecodeFrame(b)
+			if err != nil || n != len(b) {
+				t.Fatalf("base %d inc %d: decode: n=%d err=%v", base, inc, n, err)
+			}
+			if got.Epoch != base+inc {
+				t.Fatalf("base %d inc %d: epoch %d survived as %d", base, inc, base+inc, got.Epoch)
+			}
+			if prev != nil && bytes.Equal(b, prev) {
+				t.Fatalf("base %d inc %d: adjacent incarnations encode identically", base, inc)
+			}
+			prev = b
+		}
+	}
+}

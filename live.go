@@ -288,3 +288,26 @@ func RunAdversarialLiveExperiment(w io.Writer, opt ExperimentOptions) (*Experime
 	}
 	return r, nil
 }
+
+// RunOpsLiveExperiment executes experiment L4 — the cluster operations
+// campaign over real UDP loopback sockets: an n=4 fleet boots with one
+// slot held back, the replicated-log pump commits entries at General 0
+// throughout, the held slot scales up mid-run, a running node is rolled
+// (stopped, epoch-bumped on every peer, rebooted at the next
+// incarnation on the same address), and the fleet drains once the
+// workload is committed and the replacement has re-stabilized — and
+// writes the result to w. It is the real-socket mirror of the
+// deterministic V4 campaign; its wall-clock times vary with the host,
+// so `ssbyz-bench -live` appends it rather than the deterministic
+// suite. The acceptance is the verdict: every entry commits under the
+// roll, the rolled node re-stabilizes within Δstb = 2Δreset of real
+// time (self-stabilization is what makes rolling replacement safe —
+// DESIGN.md §12), and a frame replayed from the node's previous
+// incarnation is rejected by every peer (epoch_drops > 0).
+func RunOpsLiveExperiment(w io.Writer, opt ExperimentOptions) (*ExperimentResult, error) {
+	r := harness.L4OpsLive(opt)
+	if _, err := r.WriteTo(w); err != nil {
+		return r, err
+	}
+	return r, nil
+}
